@@ -1,0 +1,89 @@
+//! Ablations of the design choices called out in DESIGN.md §7:
+//! meta-characters on/off in synthesis, iterative deepening vs fixed size,
+//! and the SWAR/bitmap mechanism behind Figure 5 in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use strsum_core::{synthesize, synthesize_deepening, DeepeningConfig, SynthesisConfig};
+use strsum_libcstr::{naive, opt};
+
+fn digit_loop() -> strsum_ir::Func {
+    strsum_cfront::compile_one("char* f(char* s) { while (isdigit(*s)) s++; return s; }")
+        .expect("compiles")
+}
+
+/// Meta-characters let `isdigit` loops synthesise with one argument byte
+/// instead of ten (§2.2: "not strictly necessary … would take longer").
+/// Both arms search at size 14 (big enough for the expanded set) under the
+/// same 3 s budget: with metas the search succeeds quickly; without them it
+/// runs to the budget (and typically fails), which is precisely the
+/// paper's point.
+fn bench_meta_chars(c: &mut Criterion) {
+    let func = digit_loop();
+    let mut group = c.benchmark_group("ablation/meta_chars");
+    group.sample_size(10);
+    for (name, metas) in [("on", true), ("off", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = SynthesisConfig {
+                    use_meta_chars: metas,
+                    max_prog_size: 14,
+                    timeout: Duration::from_secs(3),
+                    ..Default::default()
+                };
+                black_box(synthesize(&func, &cfg).program)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Iterative deepening (§4.2.2) vs a fixed max_prog_size of 9.
+fn bench_deepening(c: &mut Criterion) {
+    let func = strsum_cfront::compile_one("char* f(char* s) { while (*s) s++; return s; }")
+        .expect("compiles");
+    let mut group = c.benchmark_group("ablation/deepening");
+    group.sample_size(10);
+    group.bench_function("deepening", |b| {
+        b.iter(|| {
+            let cfg = DeepeningConfig {
+                total_timeout: Duration::from_secs(60),
+                ..Default::default()
+            };
+            black_box(synthesize_deepening(&func, &cfg).0)
+        })
+    });
+    group.bench_function("fixed_size9", |b| {
+        b.iter(|| {
+            let cfg = SynthesisConfig {
+                timeout: Duration::from_secs(60),
+                ..Default::default()
+            };
+            black_box(synthesize(&func, &cfg).program)
+        })
+    });
+    group.finish();
+}
+
+/// The raw scanning mechanism: SWAR/bitmap vs byte loops on a 64-byte
+/// buffer (isolates Figure 5's cause).
+fn bench_scanning(c: &mut Criterion) {
+    let mut buf = vec![b'a'; 64];
+    buf.push(0);
+    let mut group = c.benchmark_group("ablation/scanning");
+    group.bench_function("strlen_naive", |b| {
+        b.iter(|| black_box(naive::strlen(&buf)))
+    });
+    group.bench_function("strlen_swar", |b| b.iter(|| black_box(opt::strlen(&buf))));
+    group.bench_function("strspn_naive", |b| {
+        b.iter(|| black_box(naive::strspn(&buf, b"ab")))
+    });
+    group.bench_function("strspn_bitmap", |b| {
+        b.iter(|| black_box(opt::strspn(&buf, b"ab")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_meta_chars, bench_deepening, bench_scanning);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion version of the Figure 5 measurement on representative
+//! summaries: original-loop-style byte scanning vs libc-style optimised
+//! routines, same driver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use strsum_gadgets::compile_rust::{compile, Impl};
+use strsum_gadgets::Program;
+
+fn workloads() -> Vec<Vec<u8>> {
+    vec![
+        b"  \t  value = 12345 x\0".to_vec(),
+        b"path/to/some/file.c\0".to_vec(),
+        b"abcdefghijklmnopqrst\0".to_vec(),
+        b"12345:67890;rest/end\0".to_vec(),
+    ]
+}
+
+fn bench_programs(c: &mut Criterion) {
+    let programs: &[(&str, &[u8])] = &[
+        ("strspn_ws", b"P \t\0F"),
+        ("strchr_colon", b"C:F"),
+        ("strlen", b"EF"),
+        ("strcspn_slash", b"N/\0F"),
+        ("strrchr_slash", b"R/F"),
+    ];
+    let bufs = workloads();
+    let mut group = c.benchmark_group("fig5_native");
+    for (name, enc) in programs {
+        let prog = Program::decode(enc).expect("valid program");
+        let naive = compile(&prog, Impl::Naive);
+        let opt = compile(&prog, Impl::Opt);
+        group.bench_with_input(BenchmarkId::new("naive", name), &bufs, |b, bufs| {
+            b.iter(|| {
+                for buf in bufs {
+                    black_box(naive(buf));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("opt", name), &bufs, |b, bufs| {
+            b.iter(|| {
+                for buf in bufs {
+                    black_box(opt(buf));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_programs);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Micro-benchmarks of the solving stack: CDCL SAT on bit-vector queries,
+//! the symbolic-program circuit, and a whole bounded-equivalence check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use strsum_gadgets::symbolic::outcome_term_symbolic_prog;
+use strsum_smt::{Solver, TermId, TermPool};
+
+fn bench_bitvector_query(c: &mut Criterion) {
+    c.bench_function("smt/add_mul_equality", |b| {
+        b.iter(|| {
+            let mut pool = TermPool::new();
+            let x = pool.var("x", 16);
+            let y = pool.var("y", 16);
+            let prod = pool.bv_mul(x, y);
+            let target = pool.bv_const(12_345, 16);
+            let eq = pool.eq(prod, target);
+            let five = pool.bv_const(5, 16);
+            let gt = pool.bv_ult(five, x);
+            black_box(Solver::new().check(&mut pool, &[eq, gt]).is_sat())
+        })
+    });
+}
+
+fn bench_interpreter_circuit(c: &mut Criterion) {
+    c.bench_function("gadgets/symbolic_prog_circuit_size9", |b| {
+        b.iter(|| {
+            let mut pool = TermPool::new();
+            let vars: Vec<TermId> = (0..9).map(|i| pool.var(&format!("p{i}"), 8)).collect();
+            black_box(outcome_term_symbolic_prog(&mut pool, &vars, Some(b" \tx")))
+        })
+    });
+}
+
+fn bench_equivalence(c: &mut Criterion) {
+    let func = strsum_cfront::compile_one(
+        "char* f(char* s) { while (*s == ' ' || *s == '\\t') s++; return s; }",
+    )
+    .expect("compiles");
+    let prog = strsum_gadgets::Program::decode(b"P \t\0F").expect("valid");
+    c.bench_function("core/bounded_equivalence_len3", |b| {
+        b.iter(|| black_box(strsum_core::check_equivalence(&func, &prog, 3)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_bitvector_query,
+    bench_interpreter_circuit,
+    bench_equivalence
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Figure 2: number of programs synthesised as the maximum program size
+//! grows from 1 to 10, for four timeout budgets.
+//!
+//! The paper's ladder is 30 s / 3 min / 10 min / 1 h per loop. We keep the
+//! 1 : 6 : 20 : 120 ratio, scaled down (default ×0.25 of the already-scaled
+//! 0.5 s / 3 s / 10 s / 60 s ladder; `--scale 1` for the full scaled
+//! ladder). To fit the budget ladder in one pass, each size is synthesised
+//! once at the top timeout and the smaller budgets are derived from the
+//! per-loop wall-clock (synthesis time is deterministic up to noise, so a
+//! loop solved in 2 s is counted for every budget ≥ 2 s).
+//!
+//! Usage: `cargo run --release -p strsum-bench --bin fig2
+//!         [--scale X] [--threads N] [--max-size N]`
+
+use std::fmt::Write as _;
+use std::time::Duration;
+use strsum_bench::{arg_value, bar, default_threads, synthesize_corpus, write_result};
+use strsum_core::SynthesisConfig;
+use strsum_corpus::corpus;
+
+fn main() {
+    let scale: f64 = arg_value("--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+    let threads = arg_value("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(default_threads);
+    let max_size: usize = arg_value("--max-size")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    // Scaled ladder (seconds): paper 30s/3min/10min/1h → 0.5/3/10/60 × scale.
+    let ladder: [f64; 4] = [0.5 * scale, 3.0 * scale, 10.0 * scale, 60.0 * scale];
+
+    let entries = corpus();
+    let mut table: Vec<[usize; 4]> = Vec::new();
+    for size in 1..=max_size {
+        let cfg = SynthesisConfig {
+            max_prog_size: size,
+            timeout: Duration::from_secs_f64(ladder[3]),
+            ..Default::default()
+        };
+        let results = synthesize_corpus(&entries, &cfg, threads);
+        let mut row = [0usize; 4];
+        for r in &results {
+            if r.program.is_none() {
+                continue;
+            }
+            for (li, budget) in ladder.iter().enumerate() {
+                if r.elapsed.as_secs_f64() <= *budget {
+                    row[li] += 1;
+                }
+            }
+        }
+        println!("size {size}: {row:?}");
+        table.push(row);
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 2. Programs synthesised vs max program size (timeout ladder {:?} s).\n",
+        ladder
+    );
+    let _ = writeln!(
+        out,
+        "{:>5} {:>8} {:>8} {:>8} {:>8}",
+        "size", "30s", "3min", "10min", "1h"
+    );
+    for (i, row) in table.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>5} {:>8} {:>8} {:>8} {:>8}",
+            i + 1,
+            row[0],
+            row[1],
+            row[2],
+            row[3]
+        );
+    }
+    let _ = writeln!(out, "\n1h-series profile:");
+    for (i, row) in table.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  size {:>2} |{}| {}",
+            i + 1,
+            bar(row[3] as f64, 115.0, 40),
+            row[3]
+        );
+    }
+
+    let mut csv = String::from("size,t30s,t3min,t10min,t1h\n");
+    for (i, row) in table.iter().enumerate() {
+        let _ = writeln!(csv, "{},{},{},{},{}", i + 1, row[0], row[1], row[2], row[3]);
+    }
+
+    print!("{out}");
+    write_result("fig2.txt", &out);
+    write_result("fig2.csv", &csv);
+}

@@ -1,0 +1,110 @@
+//! Table 2: loops remaining after each automatic filter, per application,
+//! plus the §4.1.2 manual-filter breakdown (323 → 115).
+//!
+//! Usage: `cargo run --release -p strsum-bench --bin table2 [--seed N]`
+
+use std::fmt::Write as _;
+use strsum_bench::{arg_value, write_result};
+use strsum_corpus::{
+    filter::{classify, FilterStage},
+    generate_population, manual_category, ManualCategory, APPS,
+};
+
+fn main() {
+    let seed: u64 = arg_value("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2019);
+    let population = generate_population(seed);
+    println!(
+        "generated {} loops; compiling and filtering…",
+        population.len()
+    );
+
+    let mut rows = Vec::new();
+    let mut totals = [0usize; 5];
+    let mut survivors = Vec::new();
+    for app in APPS {
+        let mut counts = [0usize; 5];
+        for p in population.iter().filter(|p| p.app == app) {
+            let func = strsum_cfront::compile_one(&p.source)
+                .unwrap_or_else(|e| panic!("population loop failed to compile: {e}\n{}", p.source));
+            let stage = classify(&func);
+            counts[0] += 1;
+            if stage >= FilterStage::NoInnerLoops {
+                counts[1] += 1;
+            }
+            if stage >= FilterStage::NoPointerCalls {
+                counts[2] += 1;
+            }
+            if stage >= FilterStage::NoArrayWrites {
+                counts[3] += 1;
+            }
+            if stage >= FilterStage::SinglePointerRead {
+                counts[4] += 1;
+                survivors.push((p.source.clone(), func));
+            }
+        }
+        for i in 0..5 {
+            totals[i] += counts[i];
+        }
+        rows.push((app, counts));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 2. Loops remaining after each additional filter.\n\n{:10} {:>8} {:>8} {:>9} {:>8} {:>10}",
+        "", "Initial", "Inner", "Pointer", "Array", "Multiple"
+    );
+    let _ = writeln!(
+        out,
+        "{:10} {:>8} {:>8} {:>9} {:>8} {:>10}",
+        "", "loops", "loops", "calls", "writes", "ptr reads"
+    );
+    for (app, c) in &rows {
+        let _ = writeln!(
+            out,
+            "{:10} {:>8} {:>8} {:>9} {:>8} {:>10}",
+            app.name(),
+            c[0],
+            c[1],
+            c[2],
+            c[3],
+            c[4]
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:10} {:>8} {:>8} {:>9} {:>8} {:>10}",
+        "Total", totals[0], totals[1], totals[2], totals[3], totals[4]
+    );
+
+    // Manual filter over the survivors (§4.1.2).
+    let mut manual = std::collections::BTreeMap::new();
+    for (src, func) in &survivors {
+        let cat = manual_category(src, func);
+        *manual.entry(cat.label()).or_insert(0usize) += 1;
+    }
+    let _ = writeln!(
+        out,
+        "\nManual inspection of the {} candidates (§4.1.2):",
+        survivors.len()
+    );
+    for (label, count) in &manual {
+        let _ = writeln!(out, "  {label:20} {count}");
+    }
+    let kept = manual
+        .get(ManualCategory::Memoryless.label())
+        .copied()
+        .unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "\n{} candidates − {} excluded = {} memoryless loops",
+        survivors.len(),
+        survivors.len() - kept,
+        kept
+    );
+
+    print!("{out}");
+    write_result("table2.txt", &out);
+}

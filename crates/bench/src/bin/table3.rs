@@ -1,0 +1,140 @@
+//! Table 3: loops synthesised per application with a generous budget,
+//! plus average/median synthesis time.
+//!
+//! The paper uses a 2-hour timeout per loop on an i7-6700; the scaled
+//! default here is 45 s per loop (`--timeout-secs` to change, `--full`
+//! for 300 s).
+//!
+//! Usage: `cargo run --release -p strsum-bench --bin table3
+//!         [--timeout-secs N] [--threads N] [--full]`
+
+use std::fmt::Write as _;
+use std::time::Duration;
+use strsum_bench::{
+    arg_flag, arg_value, default_threads, median, minutes, synthesize_corpus, write_result,
+};
+use strsum_core::SynthesisConfig;
+use strsum_corpus::{corpus, APPS};
+
+fn main() {
+    let timeout = if arg_flag("--full") {
+        300
+    } else {
+        arg_value("--timeout-secs")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(45)
+    };
+    let threads = arg_value("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(default_threads);
+    let cfg = SynthesisConfig {
+        timeout: Duration::from_secs(timeout),
+        ..Default::default()
+    };
+    println!(
+        "synthesising 115 loops (full vocabulary, max_prog_size=9, max_ex_size=3, timeout={timeout}s, {threads} threads)…"
+    );
+    let entries = corpus();
+    let results = synthesize_corpus(&entries, &cfg, threads);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 3. Successfully synthesised loops per program (timeout {timeout}s ≈ paper's 2h scaled).\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:10} {:>12} {:>14} {:>14}",
+        "", "synthesised", "avg (min)", "median (min)"
+    );
+    let mut total_ok = 0;
+    let mut total_n = 0;
+    for app in APPS {
+        let rows: Vec<_> = results.iter().filter(|r| r.entry.app == app).collect();
+        if rows.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:10} {:>12} {:>14} {:>14}",
+                app.name(),
+                "0/0",
+                "n/a",
+                "n/a"
+            );
+            continue;
+        }
+        let ok: Vec<_> = rows.iter().filter(|r| r.program.is_some()).collect();
+        let mut times: Vec<f64> = ok.iter().map(|r| minutes(r.elapsed)).collect();
+        let avg = if times.is_empty() {
+            f64::NAN
+        } else {
+            times.iter().sum::<f64>() / times.len() as f64
+        };
+        let med = median(&mut times);
+        total_ok += ok.len();
+        total_n += rows.len();
+        let _ = writeln!(
+            out,
+            "{:10} {:>12} {:>14} {:>14}",
+            app.name(),
+            format!("{}/{}", ok.len(), rows.len()),
+            if avg.is_nan() {
+                "n/a".to_string()
+            } else {
+                format!("{avg:.2}")
+            },
+            if med.is_nan() {
+                "n/a".to_string()
+            } else {
+                format!("{med:.2}")
+            },
+        );
+    }
+    let mut all_times: Vec<f64> = results
+        .iter()
+        .filter(|r| r.program.is_some())
+        .map(|r| minutes(r.elapsed))
+        .collect();
+    let avg = all_times.iter().sum::<f64>() / all_times.len().max(1) as f64;
+    let med = median(&mut all_times);
+    let _ = writeln!(
+        out,
+        "{:10} {:>12} {:>14.2} {:>14.2}",
+        "Total",
+        format!("{total_ok}/{total_n}"),
+        avg,
+        med
+    );
+
+    let _ = writeln!(out, "\nPer-loop detail:");
+    for r in &results {
+        let _ = writeln!(
+            out,
+            "  {:12} {:>8.1}s  {}",
+            r.entry.id,
+            r.elapsed.as_secs_f64(),
+            match &r.program {
+                Some(p) => format!("{p}"),
+                None => format!("FAIL ({})", r.failure.clone().unwrap_or_default()),
+            }
+        );
+    }
+
+    print!("{out}");
+    write_result("table3.txt", &out);
+
+    // Refresh the summaries cache for the downstream figure binaries.
+    let cache = strsum_bench::results_dir().join("summaries.tsv");
+    let mut file = std::fs::File::create(cache).expect("cache");
+    use std::io::Write as _;
+    for r in &results {
+        let enc = match &r.program {
+            Some(p) => p
+                .encode()
+                .iter()
+                .map(|b| format!("{b:02x}"))
+                .collect::<String>(),
+            None => "-".to_string(),
+        };
+        writeln!(file, "{}\t{}", r.entry.id, enc).expect("cache write");
+    }
+}

@@ -1,0 +1,210 @@
+//! Shared infrastructure for the experiment binaries that regenerate every
+//! table and figure of the paper (see `DESIGN.md` §4 for the index and
+//! `EXPERIMENTS.md` for paper-vs-measured numbers).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+use strsum_core::{synthesize, SynthesisConfig, SynthesisResult};
+use strsum_corpus::LoopEntry;
+use strsum_gadgets::Program;
+
+/// Result of synthesising one corpus loop.
+#[derive(Debug, Clone)]
+pub struct LoopSynth {
+    /// The corpus entry.
+    pub entry: LoopEntry,
+    /// The synthesised program, if any.
+    pub program: Option<Program>,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// Failure reason when unsynthesised.
+    pub failure: Option<String>,
+}
+
+/// Runs synthesis over `entries` in parallel using `threads` workers.
+pub fn synthesize_corpus(
+    entries: &[LoopEntry],
+    cfg: &SynthesisConfig,
+    threads: usize,
+) -> Vec<LoopSynth> {
+    let threads = threads.max(1);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<LoopSynth>>> = entries
+        .iter()
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if i >= entries.len() {
+                    break;
+                }
+                let entry = entries[i].clone();
+                let func = strsum_cfront::compile_one(&entry.source)
+                    .unwrap_or_else(|e| panic!("{} does not compile: {e}", entry.id));
+                let start = std::time::Instant::now();
+                let SynthesisResult { program, stats } = synthesize(&func, cfg);
+                *results[i].lock().expect("no poisoned lock") = Some(LoopSynth {
+                    entry,
+                    program,
+                    elapsed: start.elapsed(),
+                    failure: stats.failure,
+                });
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("no poisoned lock")
+                .expect("all jobs ran")
+        })
+        .collect()
+}
+
+/// The results directory (`results/` at the workspace root).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    fs::create_dir_all(&dir).expect("can create results dir");
+    dir
+}
+
+/// Writes `content` to `results/<name>` and echoes the path.
+pub fn write_result(name: &str, content: &str) {
+    let path = results_dir().join(name);
+    fs::write(&path, content).expect("can write result file");
+    println!("\n[written to {}]", path.display());
+}
+
+/// Loads cached summaries (`results/summaries.tsv`) or synthesises the full
+/// corpus and caches it. The cache keeps the Figure 3–5 binaries
+/// independent of a fresh multi-minute synthesis run.
+pub fn load_or_synthesize_summaries(
+    cfg: &SynthesisConfig,
+    threads: usize,
+) -> Vec<(LoopEntry, Option<Program>)> {
+    let cache = results_dir().join("summaries.tsv");
+    let entries = strsum_corpus::corpus();
+    if let Ok(text) = fs::read_to_string(&cache) {
+        let mut map = std::collections::HashMap::new();
+        for line in text.lines() {
+            if let Some((id, hexstr)) = line.split_once('\t') {
+                map.insert(id.to_string(), hexstr.to_string());
+            }
+        }
+        if entries.iter().all(|e| map.contains_key(&e.id)) {
+            return entries
+                .into_iter()
+                .map(|e| {
+                    let prog = match map[&e.id].as_str() {
+                        "-" => None,
+                        hexstr => Program::decode(&unhex(hexstr)).ok(),
+                    };
+                    (e, prog)
+                })
+                .collect();
+        }
+    }
+    println!("(no summary cache; synthesising the corpus first — this takes a while)");
+    let results = synthesize_corpus(&entries, cfg, threads);
+    let mut file = fs::File::create(&cache).expect("can create summary cache");
+    for r in &results {
+        let enc = match &r.program {
+            Some(p) => hex(&p.encode()),
+            None => "-".to_string(),
+        };
+        writeln!(file, "{}\t{}", r.entry.id, enc).expect("cache write");
+    }
+    results.into_iter().map(|r| (r.entry, r.program)).collect()
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn unhex(s: &str) -> Vec<u8> {
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).expect("valid hex"))
+        .collect()
+}
+
+/// Parses `--flag value`-style arguments.
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Whether a bare `--flag` is present.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Default worker-thread count.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+}
+
+/// Formats a duration in minutes (the unit of Table 3).
+pub fn minutes(d: Duration) -> f64 {
+    d.as_secs_f64() / 60.0
+}
+
+/// Median of a slice (sorts in place).
+pub fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.sort_by(f64::total_cmp);
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+/// A simple horizontal ASCII bar.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let filled = if max > 0.0 {
+        ((value / max) * width as f64)
+            .round()
+            .clamp(0.0, width as f64) as usize
+    } else {
+        0
+    };
+    "#".repeat(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let bytes = b"P \t\0F";
+        assert_eq!(unhex(&hex(bytes)), bytes);
+    }
+
+    #[test]
+    fn median_cases() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&mut []).is_nan());
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(20.0, 10.0, 10), "##########");
+    }
+}

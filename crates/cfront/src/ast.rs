@@ -1,0 +1,380 @@
+//! Abstract syntax for the C subset.
+
+use std::fmt;
+
+/// C types of the subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CTy {
+    /// `void` (return types only).
+    Void,
+    /// Integer type of 8, 32 or 64 bits.
+    Int {
+        /// Bit width: 8, 32 or 64.
+        bits: u8,
+        /// Signedness. Plain `char` is treated as **unsigned** in this
+        /// frontend so that character comparisons match the byte view used
+        /// by the gadget vocabulary (documented substitution).
+        signed: bool,
+    },
+    /// Pointer to another type.
+    Ptr(Box<CTy>),
+}
+
+impl CTy {
+    /// `char`
+    pub fn char_() -> CTy {
+        CTy::Int {
+            bits: 8,
+            signed: false,
+        }
+    }
+
+    /// `int`
+    pub fn int() -> CTy {
+        CTy::Int {
+            bits: 32,
+            signed: true,
+        }
+    }
+
+    /// `unsigned int`
+    pub fn uint() -> CTy {
+        CTy::Int {
+            bits: 32,
+            signed: false,
+        }
+    }
+
+    /// `long` / `size_t`
+    pub fn long() -> CTy {
+        CTy::Int {
+            bits: 64,
+            signed: true,
+        }
+    }
+
+    /// `char *`
+    pub fn char_ptr() -> CTy {
+        CTy::Ptr(Box::new(CTy::char_()))
+    }
+
+    /// Whether this is any pointer type.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, CTy::Ptr(_))
+    }
+
+    /// Whether this is an integer type.
+    pub fn is_int(&self) -> bool {
+        matches!(self, CTy::Int { .. })
+    }
+
+    /// Size in bytes (pointers are 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics on `void`.
+    pub fn size(&self) -> usize {
+        match self {
+            CTy::Void => panic!("void has no size"),
+            CTy::Int { bits, .. } => usize::from(*bits) / 8,
+            CTy::Ptr(_) => 8,
+        }
+    }
+}
+
+impl fmt::Display for CTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CTy::Void => write!(f, "void"),
+            CTy::Int {
+                bits: 8,
+                signed: false,
+            } => write!(f, "char"),
+            CTy::Int {
+                bits: 8,
+                signed: true,
+            } => write!(f, "signed char"),
+            CTy::Int {
+                bits: 32,
+                signed: true,
+            } => write!(f, "int"),
+            CTy::Int {
+                bits: 32,
+                signed: false,
+            } => write!(f, "unsigned"),
+            CTy::Int {
+                bits: 64,
+                signed: true,
+            } => write!(f, "long"),
+            CTy::Int {
+                bits: 64,
+                signed: false,
+            } => write!(f, "unsigned long"),
+            CTy::Int { bits, signed } => write!(f, "int{bits}{}", if *signed { "" } else { "u" }),
+            CTy::Ptr(inner) => write!(f, "{inner}*"),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-x`
+    Neg,
+    /// `!x`
+    LogicalNot,
+    /// `~x`
+    BitNot,
+    /// `*x`
+    Deref,
+    /// `&x`
+    AddrOf,
+    /// `++x`
+    PreInc,
+    /// `--x`
+    PreDec,
+}
+
+/// Postfix operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostOp {
+    /// `x++`
+    PostInc,
+    /// `x--`
+    PostDec,
+}
+
+/// Binary operators (excluding assignment and short-circuit forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (parsed; rejected during lowering)
+    Div,
+    /// `%` (parsed; rejected during lowering)
+    Rem,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    LAnd,
+    /// `||`
+    LOr,
+}
+
+/// Expressions. Each node carries its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64, u32),
+    /// Character literal (type `char`).
+    CharLit(u8, u32),
+    /// String literal.
+    StrLit(Vec<u8>, u32),
+    /// Variable reference.
+    Ident(String, u32),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Postfix `++`/`--`.
+    Postfix {
+        /// Operator.
+        op: PostOp,
+        /// Operand (an lvalue).
+        expr: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Binary operation (including `&&`/`||`).
+    Binary {
+        /// Operator.
+        op: CBinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Assignment `lhs = rhs` or compound `lhs op= rhs`.
+    Assign {
+        /// `None` for plain `=`, the operator for `op=`.
+        op: Option<CBinOp>,
+        /// Target lvalue.
+        lhs: Box<Expr>,
+        /// Source value.
+        rhs: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `cond ? then : else`.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when true.
+        then_e: Box<Expr>,
+        /// Value when false.
+        else_e: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Array indexing `base[index]`.
+    Index {
+        /// Base pointer.
+        base: Box<Expr>,
+        /// Index.
+        index: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Function call by name.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// C cast `(ty)expr`.
+    Cast {
+        /// Target type.
+        ty: CTy,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `sizeof(type)` — resolved to a constant during lowering.
+    SizeofTy(CTy, u32),
+    /// Comma expression `lhs, rhs`.
+    Comma(Box<Expr>, Box<Expr>, u32),
+}
+
+impl Expr {
+    /// The source line of this expression.
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::IntLit(_, l)
+            | Expr::CharLit(_, l)
+            | Expr::StrLit(_, l)
+            | Expr::Ident(_, l)
+            | Expr::SizeofTy(_, l)
+            | Expr::Comma(_, _, l) => *l,
+            Expr::Unary { line, .. }
+            | Expr::Postfix { line, .. }
+            | Expr::Binary { line, .. }
+            | Expr::Assign { line, .. }
+            | Expr::Ternary { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::Cast { line, .. } => *line,
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Variable declaration(s) with optional initialisers.
+    Decl {
+        /// Declared base type (each var may add pointer depth).
+        vars: Vec<(String, CTy, Option<Expr>)>,
+        /// Source line.
+        line: u32,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if`/`else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_s: Box<Stmt>,
+        /// Optional else branch.
+        else_s: Option<Box<Stmt>>,
+    },
+    /// `while` loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `do … while` loop.
+    DoWhile {
+        /// Body.
+        body: Box<Stmt>,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `for` loop.
+    For {
+        /// Initialiser (declaration or expression statement).
+        init: Option<Box<Stmt>>,
+        /// Condition (`None` = always true).
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `return`.
+    Return(Option<Expr>, u32),
+    /// `break`.
+    Break(u32),
+    /// `continue`.
+    Continue(u32),
+    /// `{ … }` block with its own scope.
+    Block(Vec<Stmt>),
+    /// `goto label;`
+    Goto(String, u32),
+    /// `label: stmt`
+    Label(String, Box<Stmt>),
+    /// `;`
+    Empty,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: CTy,
+    /// Parameters.
+    pub params: Vec<(String, CTy)>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Line of the definition.
+    pub line: u32,
+}

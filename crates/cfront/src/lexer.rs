@@ -1,0 +1,417 @@
+//! The lexer: bytes → [`Token`]s.
+//!
+//! Handles `//` and `/* */` comments, decimal/hex/octal integer literals,
+//! character and string literals with the usual escapes, and all operators
+//! of the subset. Preprocessor directives (`#...` lines) are *not* handled
+//! here — see [`crate::macros::preprocess`].
+
+use crate::token::{Token, TokenKind};
+use crate::CError;
+
+/// Streaming lexer over source bytes.
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), CError> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let start = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.pos >= self.src.len() {
+                            return Err(CError::new("unterminated block comment", start));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<u8, CError> {
+        let c = self.bump();
+        Ok(match c {
+            b'n' => b'\n',
+            b't' => b'\t',
+            b'r' => b'\r',
+            b'0'..=b'7' => {
+                // Octal escape, up to 3 digits.
+                let mut v = u32::from(c - b'0');
+                for _ in 0..2 {
+                    let d = self.peek();
+                    if !(b'0'..=b'7').contains(&d) {
+                        break;
+                    }
+                    v = v * 8 + u32::from(self.bump() - b'0');
+                }
+                v as u8
+            }
+            b'x' => {
+                let mut v: u32 = 0;
+                let mut any = false;
+                while self.peek().is_ascii_hexdigit() {
+                    let d = self.bump();
+                    v = v * 16 + (d as char).to_digit(16).expect("hex digit");
+                    any = true;
+                }
+                if !any {
+                    return Err(CError::new("empty hex escape", self.line));
+                }
+                v as u8
+            }
+            b'a' => 0x07,
+            b'b' => 0x08,
+            b'f' => 0x0c,
+            b'v' => 0x0b,
+            b'\\' => b'\\',
+            b'\'' => b'\'',
+            b'"' => b'"',
+            b'?' => b'?',
+            other => {
+                return Err(CError::new(
+                    format!("unknown escape \\{}", other as char),
+                    self.line,
+                ))
+            }
+        })
+    }
+
+    /// Lexes the next token.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed literals or unknown characters.
+    pub fn next_token(&mut self) -> Result<Token, CError> {
+        self.skip_trivia()?;
+        let line = self.line;
+        if self.pos >= self.src.len() {
+            return Ok(Token::new(TokenKind::Eof, line));
+        }
+        let c = self.bump();
+        let kind = match c {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b';' => TokenKind::Semi,
+            b',' => TokenKind::Comma,
+            b':' => TokenKind::Colon,
+            b'?' => TokenKind::Question,
+            b'*' => TokenKind::Star,
+            b'/' => TokenKind::Slash,
+            b'%' => TokenKind::Percent,
+            b'.' => TokenKind::Dot,
+            b'~' => TokenKind::Tilde,
+            b'+' => match self.peek() {
+                b'+' => {
+                    self.bump();
+                    TokenKind::PlusPlus
+                }
+                b'=' => {
+                    self.bump();
+                    TokenKind::PlusAssign
+                }
+                _ => TokenKind::Plus,
+            },
+            b'-' => match self.peek() {
+                b'-' => {
+                    self.bump();
+                    TokenKind::MinusMinus
+                }
+                b'=' => {
+                    self.bump();
+                    TokenKind::MinusAssign
+                }
+                b'>' => {
+                    self.bump();
+                    TokenKind::Arrow
+                }
+                _ => TokenKind::Minus,
+            },
+            b'=' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            b'!' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::NotEq
+                } else {
+                    TokenKind::Bang
+                }
+            }
+            b'<' => match self.peek() {
+                b'=' => {
+                    self.bump();
+                    TokenKind::Le
+                }
+                b'<' => {
+                    self.bump();
+                    if self.peek() == b'=' {
+                        self.bump();
+                        TokenKind::ShlAssign
+                    } else {
+                        TokenKind::Shl
+                    }
+                }
+                _ => TokenKind::Lt,
+            },
+            b'>' => match self.peek() {
+                b'=' => {
+                    self.bump();
+                    TokenKind::Ge
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == b'=' {
+                        self.bump();
+                        TokenKind::ShrAssign
+                    } else {
+                        TokenKind::Shr
+                    }
+                }
+                _ => TokenKind::Gt,
+            },
+            b'&' => match self.peek() {
+                b'&' => {
+                    self.bump();
+                    TokenKind::AndAnd
+                }
+                b'=' => {
+                    self.bump();
+                    TokenKind::AndAssign
+                }
+                _ => TokenKind::Amp,
+            },
+            b'|' => match self.peek() {
+                b'|' => {
+                    self.bump();
+                    TokenKind::OrOr
+                }
+                b'=' => {
+                    self.bump();
+                    TokenKind::OrAssign
+                }
+                _ => TokenKind::Pipe,
+            },
+            b'^' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::XorAssign
+                } else {
+                    TokenKind::Caret
+                }
+            }
+            b'\'' => {
+                let v = if self.peek() == b'\\' {
+                    self.bump();
+                    self.escape()?
+                } else {
+                    self.bump()
+                };
+                if self.bump() != b'\'' {
+                    return Err(CError::new("unterminated char literal", line));
+                }
+                TokenKind::CharLit(v)
+            }
+            b'"' => {
+                let mut s = Vec::new();
+                loop {
+                    if self.pos >= self.src.len() {
+                        return Err(CError::new("unterminated string literal", line));
+                    }
+                    match self.bump() {
+                        b'"' => break,
+                        b'\\' => s.push(self.escape()?),
+                        other => s.push(other),
+                    }
+                }
+                TokenKind::StrLit(s)
+            }
+            b'0'..=b'9' => {
+                let mut v: i64;
+                if c == b'0' && (self.peek() == b'x' || self.peek() == b'X') {
+                    self.bump();
+                    v = 0;
+                    while self.peek().is_ascii_hexdigit() {
+                        let d = self.bump();
+                        v = v * 16 + i64::from((d as char).to_digit(16).expect("hex digit"));
+                    }
+                } else if c == b'0' {
+                    v = 0;
+                    while (b'0'..=b'7').contains(&self.peek()) {
+                        v = v * 8 + i64::from(self.bump() - b'0');
+                    }
+                } else {
+                    v = i64::from(c - b'0');
+                    while self.peek().is_ascii_digit() {
+                        v = v * 10 + i64::from(self.bump() - b'0');
+                    }
+                }
+                // Swallow integer suffixes.
+                while matches!(self.peek(), b'u' | b'U' | b'l' | b'L') {
+                    self.bump();
+                }
+                TokenKind::IntLit(v)
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = self.pos - 1;
+                while self.peek() == b'_' || self.peek().is_ascii_alphanumeric() {
+                    self.bump();
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("identifier is ascii")
+                    .to_string();
+                TokenKind::Ident(text)
+            }
+            other => {
+                return Err(CError::new(
+                    format!("unexpected character {:?}", other as char),
+                    line,
+                ))
+            }
+        };
+        Ok(Token::new(kind, line))
+    }
+
+    /// Lexes to the end of input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first lexical error.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, CError> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let eof = t.kind == TokenKind::Eof;
+            out.push(t);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lex_operators() {
+        let ks = kinds("p++ == *q && a <<= 2");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("p".into()),
+                TokenKind::PlusPlus,
+                TokenKind::EqEq,
+                TokenKind::Star,
+                TokenKind::Ident("q".into()),
+                TokenKind::AndAnd,
+                TokenKind::Ident("a".into()),
+                TokenKind::ShlAssign,
+                TokenKind::IntLit(2),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_literals() {
+        let ks = kinds(r#"'a' '\t' '\0' '\x41' 0x1f 077 42 "hi\n""#);
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::CharLit(b'a'),
+                TokenKind::CharLit(b'\t'),
+                TokenKind::CharLit(0),
+                TokenKind::CharLit(0x41),
+                TokenKind::IntLit(0x1f),
+                TokenKind::IntLit(0o77),
+                TokenKind::IntLit(42),
+                TokenKind::StrLit(b"hi\n".to_vec()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comments_and_lines() {
+        let toks = Lexer::new("a // c\n/* b\nb */ d").tokenize().unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Ident("a".into()));
+        assert_eq!(toks[1].kind, TokenKind::Ident("d".into()));
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn lex_error_on_bad_escape() {
+        assert!(Lexer::new(r"'\q'").tokenize().is_err());
+    }
+
+    #[test]
+    fn lex_suffixes() {
+        assert_eq!(kinds("10UL")[0], TokenKind::IntLit(10));
+    }
+}

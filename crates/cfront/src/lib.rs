@@ -1,0 +1,111 @@
+#![warn(missing_docs)]
+//! A C-subset frontend for string loops.
+//!
+//! This crate replaces the Clang/LLVM frontend the paper relies on. It
+//! handles the dialect of C that real string loops are written in:
+//! pointers, arrays, `char`/`int`/`long` arithmetic, all loop forms, `if`,
+//! `goto`, `?:`, short-circuit logic, simple `#define` macros (both
+//! object-like and function-like, e.g. bash's `whitespace(c)`), and calls.
+//!
+//! The pipeline is: [`preprocess`] → [`Lexer`] → [`Parser`] → AST →
+//! [`lower`] → `strsum_ir::Func`.
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//!     #define whitespace(c) (((c) == ' ') || ((c) == '\t'))
+//!     char* loopFunction(char* line) {
+//!         char *p;
+//!         for (p = line; p && *p && whitespace(*p); p++)
+//!             ;
+//!         return p;
+//!     }
+//! "#;
+//! let func = strsum_cfront::compile_one(src).expect("compiles");
+//! assert_eq!(strsum_ir::interp::run_loop_function(&func, b" \tx").unwrap(), Some(2));
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod macros;
+pub mod parser;
+pub mod token;
+
+pub use ast::{CBinOp, CTy, Expr, FuncDef, PostOp, Stmt, UnOp};
+pub use lexer::Lexer;
+pub use lower::lower;
+pub use macros::preprocess;
+pub use parser::Parser;
+pub use token::{Token, TokenKind};
+
+use std::fmt;
+
+/// A frontend error with a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CError {
+    /// Human-readable message.
+    pub msg: String,
+    /// 1-based source line, 0 when unknown.
+    pub line: u32,
+}
+
+impl CError {
+    /// Creates an error.
+    pub fn new(msg: impl Into<String>, line: u32) -> CError {
+        CError {
+            msg: msg.into(),
+            line,
+        }
+    }
+}
+
+impl fmt::Display for CError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CError {}
+
+/// Parses a translation unit into function definitions.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error.
+pub fn parse(src: &str) -> Result<Vec<FuncDef>, CError> {
+    let toks = preprocess(src)?;
+    Parser::new(toks).parse_unit()
+}
+
+/// Compiles all functions in `src` to IR (with `mem2reg` applied).
+///
+/// # Errors
+///
+/// Returns the first frontend error.
+pub fn compile(src: &str) -> Result<Vec<strsum_ir::Func>, CError> {
+    let defs = parse(src)?;
+    let mut out = Vec::with_capacity(defs.len());
+    for def in &defs {
+        let mut f = lower(def)?;
+        strsum_ir::mem2reg::run(&mut f);
+        strsum_ir::fold::run(&mut f);
+        out.push(f);
+    }
+    Ok(out)
+}
+
+/// Compiles a source expected to contain exactly one function.
+///
+/// # Errors
+///
+/// Errors if compilation fails or the unit does not contain exactly one
+/// function definition.
+pub fn compile_one(src: &str) -> Result<strsum_ir::Func, CError> {
+    let mut funcs = compile(src)?;
+    match funcs.len() {
+        1 => Ok(funcs.remove(0)),
+        n => Err(CError::new(format!("expected 1 function, found {n}"), 0)),
+    }
+}

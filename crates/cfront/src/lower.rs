@@ -1,0 +1,1217 @@
+//! Lowering from the C AST to `strsum_ir` functions.
+//!
+//! Local variables (including parameters) become `alloca` slots; the
+//! `mem2reg` pass then promotes them to SSA, mirroring the paper's
+//! Clang-then-`mem2reg` pipeline. Short-circuit operators and `?:` lower
+//! through temporary slots, `goto`/labels map to blocks.
+
+use crate::ast::{CBinOp, CTy, Expr, FuncDef, PostOp, Stmt, UnOp};
+use crate::CError;
+use std::collections::HashMap;
+use strsum_ir::{BinOp, BlockId, Builtin, CastKind, CmpOp, Func, FuncBuilder, Operand, Ty};
+
+/// A typed value during lowering.
+#[derive(Debug, Clone)]
+struct TV {
+    op: Operand,
+    ty: CTy,
+}
+
+#[derive(Debug, Clone)]
+struct Var {
+    slot: Operand,
+    ty: CTy,
+}
+
+/// Known C library signatures, used to type opaque calls so that the
+/// pointer-call filter can see pointer arguments/results.
+fn known_signature(name: &str) -> Option<(Vec<CTy>, CTy)> {
+    let cp = CTy::char_ptr;
+    let sz = || CTy::Int {
+        bits: 64,
+        signed: false,
+    };
+    Some(match name {
+        "strlen" => (vec![cp()], sz()),
+        "strchr" | "strrchr" | "rawmemchr" => (vec![cp(), CTy::int()], cp()),
+        "strpbrk" => (vec![cp(), cp()], cp()),
+        "strspn" | "strcspn" => (vec![cp(), cp()], sz()),
+        "strcmp" | "strcoll" => (vec![cp(), cp()], CTy::int()),
+        "strncmp" => (vec![cp(), cp(), sz()], CTy::int()),
+        "strcpy" | "strcat" => (vec![cp(), cp()], cp()),
+        "strstr" => (vec![cp(), cp()], cp()),
+        "memchr" => (vec![cp(), CTy::int(), sz()], cp()),
+        "putc" | "putchar" | "fputc" => (vec![CTy::int()], CTy::int()),
+        "getchar" => (vec![], CTy::int()),
+        _ => return None,
+    })
+}
+
+/// Lowers one function definition to IR (no optimisation applied).
+///
+/// # Errors
+///
+/// Reports uses of C features outside the supported subset (division,
+/// struct access, arrays of non-parameters, unknown variables, …).
+pub fn lower(def: &FuncDef) -> Result<Func, CError> {
+    Lower::new(def)?.run()
+}
+
+struct Lower<'a> {
+    def: &'a FuncDef,
+    b: FuncBuilder,
+    scopes: Vec<HashMap<String, Var>>,
+    break_stack: Vec<BlockId>,
+    continue_stack: Vec<BlockId>,
+    labels: HashMap<String, BlockId>,
+    blocks_made: u32,
+}
+
+impl<'a> Lower<'a> {
+    fn new(def: &'a FuncDef) -> Result<Lower<'a>, CError> {
+        let params: Vec<(&str, Ty)> = def
+            .params
+            .iter()
+            .map(|(n, t)| (n.as_str(), ir_ty(t)))
+            .collect();
+        let ret = match def.ret {
+            CTy::Void => None,
+            ref t => Some(ir_ty(t)),
+        };
+        let b = FuncBuilder::new(&def.name, &params, ret);
+        Ok(Lower {
+            def,
+            b,
+            scopes: vec![HashMap::new()],
+            break_stack: vec![],
+            continue_stack: vec![],
+            labels: HashMap::new(),
+            blocks_made: 0,
+        })
+    }
+
+    fn run(mut self) -> Result<Func, CError> {
+        // Parameters become mutable slots.
+        for (i, (name, ty)) in self.def.params.iter().enumerate() {
+            let slot = self.b.alloca(ir_ty(ty), name);
+            self.b.store(slot, Operand::Param(i as u32));
+            self.scopes[0].insert(
+                name.clone(),
+                Var {
+                    slot,
+                    ty: ty.clone(),
+                },
+            );
+        }
+        for stmt in &self.def.body {
+            self.stmt(stmt)?;
+        }
+        if !self.b.is_terminated() {
+            match self.def.ret {
+                CTy::Void => self.b.ret(None),
+                CTy::Ptr(_) => self.b.ret(Some(Operand::NullPtr)),
+                ref t => self.b.ret(Some(Operand::Const(0, ir_ty(t)))),
+            }
+        }
+        Ok(self.b.finish())
+    }
+
+    fn fresh_block(&mut self, hint: &str) -> BlockId {
+        self.blocks_made += 1;
+        let name = format!("{hint}{}", self.blocks_made);
+        self.b.new_block(&name)
+    }
+
+    fn lookup(&self, name: &str, line: u32) -> Result<Var, CError> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Ok(v.clone());
+            }
+        }
+        Err(CError::new(format!("unknown variable `{name}`"), line))
+    }
+
+    fn label_block(&mut self, name: &str) -> BlockId {
+        if let Some(&b) = self.labels.get(name) {
+            return b;
+        }
+        let b = self.fresh_block(&format!("label_{name}_"));
+        self.labels.insert(name.to_string(), b);
+        b
+    }
+
+    // ----- statements -------------------------------------------------------
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CError> {
+        match s {
+            Stmt::Empty => Ok(()),
+            Stmt::Block(stmts) => {
+                self.scopes.push(HashMap::new());
+                for st in stmts {
+                    self.stmt(st)?;
+                }
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Decl { vars, line } => {
+                for (name, ty, init) in vars {
+                    if matches!(ty, CTy::Void) {
+                        return Err(CError::new("cannot declare void variable", *line));
+                    }
+                    let slot = self.b.alloca(ir_ty(ty), name);
+                    if let Some(e) = init {
+                        let v = self.rvalue(e)?;
+                        let v = self.convert(v, ty, *line)?;
+                        self.b.store(slot, v.op);
+                    }
+                    self.scopes
+                        .last_mut()
+                        .expect("scope stack non-empty")
+                        .insert(
+                            name.clone(),
+                            Var {
+                                slot,
+                                ty: ty.clone(),
+                            },
+                        );
+                }
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.rvalue(e)?;
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
+                let c = self.truthy_expr(cond)?;
+                let then_bb = self.fresh_block("if_then");
+                let else_bb = self.fresh_block("if_else");
+                let join = self.fresh_block("if_join");
+                self.b.cond_br(c, then_bb, else_bb);
+                self.b.switch_to(then_bb);
+                self.stmt(then_s)?;
+                if !self.b.is_terminated() {
+                    self.b.br(join);
+                }
+                self.b.switch_to(else_bb);
+                if let Some(e) = else_s {
+                    self.stmt(e)?;
+                }
+                if !self.b.is_terminated() {
+                    self.b.br(join);
+                }
+                self.b.switch_to(join);
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let header = self.fresh_block("while_header");
+                let body_bb = self.fresh_block("while_body");
+                let exit = self.fresh_block("while_exit");
+                self.b.br(header);
+                self.b.switch_to(header);
+                let c = self.truthy_expr(cond)?;
+                self.b.cond_br(c, body_bb, exit);
+                self.b.switch_to(body_bb);
+                self.break_stack.push(exit);
+                self.continue_stack.push(header);
+                self.stmt(body)?;
+                self.break_stack.pop();
+                self.continue_stack.pop();
+                if !self.b.is_terminated() {
+                    self.b.br(header);
+                }
+                self.b.switch_to(exit);
+                Ok(())
+            }
+            Stmt::DoWhile { body, cond } => {
+                let body_bb = self.fresh_block("do_body");
+                let latch = self.fresh_block("do_latch");
+                let exit = self.fresh_block("do_exit");
+                self.b.br(body_bb);
+                self.b.switch_to(body_bb);
+                self.break_stack.push(exit);
+                self.continue_stack.push(latch);
+                self.stmt(body)?;
+                self.break_stack.pop();
+                self.continue_stack.pop();
+                if !self.b.is_terminated() {
+                    self.b.br(latch);
+                }
+                self.b.switch_to(latch);
+                let c = self.truthy_expr(cond)?;
+                self.b.cond_br(c, body_bb, exit);
+                self.b.switch_to(exit);
+                Ok(())
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                let header = self.fresh_block("for_header");
+                let body_bb = self.fresh_block("for_body");
+                let step_bb = self.fresh_block("for_step");
+                let exit = self.fresh_block("for_exit");
+                self.b.br(header);
+                self.b.switch_to(header);
+                match cond {
+                    Some(c) => {
+                        let t = self.truthy_expr(c)?;
+                        self.b.cond_br(t, body_bb, exit);
+                    }
+                    None => self.b.br(body_bb),
+                }
+                self.b.switch_to(body_bb);
+                self.break_stack.push(exit);
+                self.continue_stack.push(step_bb);
+                self.stmt(body)?;
+                self.break_stack.pop();
+                self.continue_stack.pop();
+                if !self.b.is_terminated() {
+                    self.b.br(step_bb);
+                }
+                self.b.switch_to(step_bb);
+                if let Some(st) = step {
+                    self.rvalue(st)?;
+                }
+                self.b.br(header);
+                self.b.switch_to(exit);
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Return(v, line) => {
+                match (v, &self.def.ret) {
+                    (None, CTy::Void) => self.b.ret(None),
+                    (Some(e), CTy::Void) => {
+                        self.rvalue(e)?;
+                        self.b.ret(None);
+                    }
+                    (Some(e), ret_ty) => {
+                        let tv = self.rvalue(e)?;
+                        let ret_ty = ret_ty.clone();
+                        let tv = self.convert(tv, &ret_ty, *line)?;
+                        self.b.ret(Some(tv.op));
+                    }
+                    (None, _) => {
+                        return Err(CError::new("non-void function returns nothing", *line))
+                    }
+                }
+                let dead = self.fresh_block("after_ret");
+                self.b.switch_to(dead);
+                Ok(())
+            }
+            Stmt::Break(line) => {
+                let target = *self
+                    .break_stack
+                    .last()
+                    .ok_or_else(|| CError::new("break outside loop", *line))?;
+                self.b.br(target);
+                let dead = self.fresh_block("after_break");
+                self.b.switch_to(dead);
+                Ok(())
+            }
+            Stmt::Continue(line) => {
+                let target = *self
+                    .continue_stack
+                    .last()
+                    .ok_or_else(|| CError::new("continue outside loop", *line))?;
+                self.b.br(target);
+                let dead = self.fresh_block("after_continue");
+                self.b.switch_to(dead);
+                Ok(())
+            }
+            Stmt::Goto(label, _line) => {
+                let target = self.label_block(label);
+                self.b.br(target);
+                let dead = self.fresh_block("after_goto");
+                self.b.switch_to(dead);
+                Ok(())
+            }
+            Stmt::Label(label, inner) => {
+                let block = self.label_block(label);
+                if !self.b.is_terminated() {
+                    self.b.br(block);
+                }
+                self.b.switch_to(block);
+                self.stmt(inner)
+            }
+        }
+    }
+
+    // ----- expressions ------------------------------------------------------
+
+    /// Lowers an expression to a typed rvalue.
+    fn rvalue(&mut self, e: &Expr) -> Result<TV, CError> {
+        match e {
+            Expr::IntLit(v, _) => Ok(TV {
+                op: Operand::Const(*v, Ty::I32),
+                ty: CTy::int(),
+            }),
+            Expr::CharLit(c, _) => {
+                // Char literals have type int in C.
+                Ok(TV {
+                    op: Operand::Const(i64::from(*c), Ty::I32),
+                    ty: CTy::int(),
+                })
+            }
+            Expr::StrLit(_, _) => {
+                // String literals only occur as opaque-call arguments in the
+                // corpus; lower to a null char* placeholder (never executed).
+                Ok(TV {
+                    op: Operand::NullPtr,
+                    ty: CTy::char_ptr(),
+                })
+            }
+            Expr::Ident(name, line) => {
+                let var = self.lookup(name, *line)?;
+                let v = self.b.load(var.slot, ir_ty(&var.ty));
+                Ok(TV { op: v, ty: var.ty })
+            }
+            Expr::SizeofTy(ty, _) => Ok(TV {
+                op: Operand::Const(ty.size() as i64, Ty::I64),
+                ty: CTy::Int {
+                    bits: 64,
+                    signed: false,
+                },
+            }),
+            Expr::Comma(l, r, _) => {
+                self.rvalue(l)?;
+                self.rvalue(r)
+            }
+            Expr::Cast { ty, expr, line } => {
+                let v = self.rvalue(expr)?;
+                self.convert(v, ty, *line)
+            }
+            Expr::Unary { op, expr, line } => self.unary(*op, expr, *line),
+            Expr::Postfix { op, expr, line } => {
+                let (ptr, ty) = self.lvalue(expr)?;
+                let old = self.b.load(ptr, ir_ty(&ty));
+                let delta: i64 = if *op == PostOp::PostInc { 1 } else { -1 };
+                let new = self.add_delta(old, &ty, delta, *line)?;
+                self.b.store(ptr, new);
+                Ok(TV { op: old, ty })
+            }
+            Expr::Binary { op, lhs, rhs, line } => self.binary(*op, lhs, rhs, *line),
+            Expr::Assign { op, lhs, rhs, line } => {
+                let (ptr, ty) = self.lvalue(lhs)?;
+                let value = match op {
+                    None => {
+                        let r = self.rvalue(rhs)?;
+                        self.convert(r, &ty, *line)?
+                    }
+                    Some(bop) => {
+                        let cur = TV {
+                            op: self.b.load(ptr, ir_ty(&ty)),
+                            ty: ty.clone(),
+                        };
+                        let r = self.rvalue(rhs)?;
+                        let combined = self.apply_bin(*bop, cur, r, *line)?;
+                        self.convert(combined, &ty, *line)?
+                    }
+                };
+                self.b.store(ptr, value.op);
+                Ok(TV { op: value.op, ty })
+            }
+            Expr::Ternary {
+                cond,
+                then_e,
+                else_e,
+                line,
+            } => {
+                let t_then = self.infer(then_e)?;
+                let t_else = self.infer(else_e)?;
+                let ty = unify(&t_then, &t_else)
+                    .ok_or_else(|| CError::new("incompatible ?: branch types", *line))?;
+                let slot = self.b.alloca(ir_ty(&ty), "ternary_tmp");
+                let c = self.truthy_expr(cond)?;
+                let then_bb = self.fresh_block("tern_then");
+                let else_bb = self.fresh_block("tern_else");
+                let join = self.fresh_block("tern_join");
+                self.b.cond_br(c, then_bb, else_bb);
+                self.b.switch_to(then_bb);
+                let tv = self.rvalue(then_e)?;
+                let tv = self.convert(tv, &ty, *line)?;
+                self.b.store(slot, tv.op);
+                self.b.br(join);
+                self.b.switch_to(else_bb);
+                let ev = self.rvalue(else_e)?;
+                let ev = self.convert(ev, &ty, *line)?;
+                self.b.store(slot, ev.op);
+                self.b.br(join);
+                self.b.switch_to(join);
+                let v = self.b.load(slot, ir_ty(&ty));
+                Ok(TV { op: v, ty })
+            }
+            Expr::Index { base, index, line } => {
+                let (ptr, ty) = self.index_ptr(base, index, *line)?;
+                let v = self.b.load(ptr, ir_ty(&ty));
+                Ok(TV { op: v, ty })
+            }
+            Expr::Call { name, args, line } => self.call(name, args, *line),
+        }
+    }
+
+    fn unary(&mut self, op: UnOp, expr: &Expr, line: u32) -> Result<TV, CError> {
+        match op {
+            UnOp::Deref => {
+                let v = self.rvalue(expr)?;
+                match v.ty.clone() {
+                    CTy::Ptr(inner) => {
+                        let loaded = self.b.load(v.op, ir_ty(&inner));
+                        Ok(TV {
+                            op: loaded,
+                            ty: *inner,
+                        })
+                    }
+                    _ => Err(CError::new("dereference of non-pointer", line)),
+                }
+            }
+            UnOp::AddrOf => {
+                let (ptr, ty) = self.lvalue(expr)?;
+                Ok(TV {
+                    op: ptr,
+                    ty: CTy::Ptr(Box::new(ty)),
+                })
+            }
+            UnOp::Neg => {
+                let inner = self.rvalue(expr)?;
+                let v = self.promote(inner);
+                let ity = ir_ty(&v.ty);
+                let zero = Operand::Const(0, ity);
+                let r = self.b.bin(BinOp::Sub, zero, v.op, ity);
+                Ok(TV { op: r, ty: v.ty })
+            }
+            UnOp::BitNot => {
+                let inner = self.rvalue(expr)?;
+                let v = self.promote(inner);
+                let ity = ir_ty(&v.ty);
+                let ones = Operand::Const(-1, ity);
+                let r = self.b.bin(BinOp::Xor, v.op, ones, ity);
+                Ok(TV { op: r, ty: v.ty })
+            }
+            UnOp::LogicalNot => {
+                let t = self.truthy_expr(expr)?;
+                // !x is (x == 0) as an int.
+                let flipped = self.b.cmp(CmpOp::Eq, t, Operand::bool(false), Ty::I1);
+                let widened = self.b.cast(CastKind::Zext, flipped, Ty::I1, Ty::I32);
+                Ok(TV {
+                    op: widened,
+                    ty: CTy::int(),
+                })
+            }
+            UnOp::PreInc | UnOp::PreDec => {
+                let (ptr, ty) = self.lvalue(expr)?;
+                let old = self.b.load(ptr, ir_ty(&ty));
+                let delta = if op == UnOp::PreInc { 1 } else { -1 };
+                let new = self.add_delta(old, &ty, delta, line)?;
+                self.b.store(ptr, new);
+                Ok(TV { op: new, ty })
+            }
+        }
+    }
+
+    /// `value ± 1`, pointer-aware (for `++`/`--`).
+    fn add_delta(
+        &mut self,
+        value: Operand,
+        ty: &CTy,
+        delta: i64,
+        line: u32,
+    ) -> Result<Operand, CError> {
+        match ty {
+            CTy::Ptr(inner) => {
+                let step = inner.size() as i64 * delta;
+                Ok(self.b.gep(value, Operand::i64(step)))
+            }
+            CTy::Int { .. } => {
+                let ity = ir_ty(ty);
+                Ok(self
+                    .b
+                    .bin(BinOp::Add, value, Operand::Const(delta, ity), ity))
+            }
+            CTy::Void => Err(CError::new("cannot increment void", line)),
+        }
+    }
+
+    fn binary(&mut self, op: CBinOp, lhs: &Expr, rhs: &Expr, line: u32) -> Result<TV, CError> {
+        match op {
+            CBinOp::LAnd | CBinOp::LOr => {
+                // Short-circuit through an i8 temporary.
+                let slot = self.b.alloca(Ty::I8, "sc_tmp");
+                let l = self.truthy_expr(lhs)?;
+                let rhs_bb = self.fresh_block("sc_rhs");
+                let skip_bb = self.fresh_block("sc_skip");
+                let join = self.fresh_block("sc_join");
+                if op == CBinOp::LAnd {
+                    self.b.cond_br(l, rhs_bb, skip_bb);
+                } else {
+                    self.b.cond_br(l, skip_bb, rhs_bb);
+                }
+                // Skip side: result is fixed (0 for &&, 1 for ||).
+                self.b.switch_to(skip_bb);
+                let fixed = if op == CBinOp::LAnd { 0 } else { 1 };
+                self.b.store(slot, Operand::Const(fixed, Ty::I8));
+                self.b.br(join);
+                // RHS side: result is truthiness of rhs.
+                self.b.switch_to(rhs_bb);
+                let r = self.truthy_expr(rhs)?;
+                let r8 = self.b.cast(CastKind::Zext, r, Ty::I1, Ty::I8);
+                self.b.store(slot, r8);
+                self.b.br(join);
+                self.b.switch_to(join);
+                let v8 = self.b.load(slot, Ty::I8);
+                let v = self.b.cast(CastKind::Zext, v8, Ty::I8, Ty::I32);
+                Ok(TV {
+                    op: v,
+                    ty: CTy::int(),
+                })
+            }
+            _ => {
+                let l = self.rvalue(lhs)?;
+                let r = self.rvalue(rhs)?;
+                self.apply_bin(op, l, r, line)
+            }
+        }
+    }
+
+    fn apply_bin(&mut self, op: CBinOp, l: TV, r: TV, line: u32) -> Result<TV, CError> {
+        use CBinOp::*;
+        match op {
+            Eq | Ne | Lt | Le | Gt | Ge => {
+                let (lo, ro, ty, signed) = self.usual_conversions(l, r, line)?;
+                let ity = ir_ty(&ty);
+                let (cmp_op, a, b) = match (op, signed) {
+                    (Eq, _) => (CmpOp::Eq, lo, ro),
+                    (Ne, _) => (CmpOp::Ne, lo, ro),
+                    (Lt, true) => (CmpOp::Slt, lo, ro),
+                    (Lt, false) => (CmpOp::Ult, lo, ro),
+                    (Le, true) => (CmpOp::Sle, lo, ro),
+                    (Le, false) => (CmpOp::Ule, lo, ro),
+                    (Gt, true) => (CmpOp::Slt, ro, lo),
+                    (Gt, false) => (CmpOp::Ult, ro, lo),
+                    (Ge, true) => (CmpOp::Sle, ro, lo),
+                    (Ge, false) => (CmpOp::Ule, ro, lo),
+                    _ => unreachable!(),
+                };
+                let c = self.b.cmp(cmp_op, a, b, ity);
+                let widened = self.b.cast(CastKind::Zext, c, Ty::I1, Ty::I32);
+                Ok(TV {
+                    op: widened,
+                    ty: CTy::int(),
+                })
+            }
+            Add | Sub => {
+                // Pointer arithmetic.
+                match (l.ty.clone(), r.ty.clone()) {
+                    (CTy::Ptr(inner), CTy::Int { .. }) => {
+                        let scaled = self.scale_index(&r, inner.size(), op == Sub)?;
+                        let p = self.b.gep(l.op, scaled);
+                        Ok(TV {
+                            op: p,
+                            ty: CTy::Ptr(inner),
+                        })
+                    }
+                    (CTy::Int { .. }, CTy::Ptr(inner)) if op == Add => {
+                        let scaled = self.scale_index(&l, inner.size(), false)?;
+                        let p = self.b.gep(r.op, scaled);
+                        Ok(TV {
+                            op: p,
+                            ty: CTy::Ptr(inner),
+                        })
+                    }
+                    (CTy::Ptr(a), CTy::Ptr(_)) if op == Sub => {
+                        // ptr − ptr: byte difference / pointee size; only
+                        // size-1 pointees appear in the corpus.
+                        if a.size() != 1 {
+                            return Err(CError::new(
+                                "pointer difference only supported for char*",
+                                line,
+                            ));
+                        }
+                        let d = self.b.bin(BinOp::Sub, l.op, r.op, Ty::I64);
+                        Ok(TV {
+                            op: d,
+                            ty: CTy::long(),
+                        })
+                    }
+                    _ => {
+                        let (lo, ro, ty, _) = self.usual_conversions(l, r, line)?;
+                        let ity = ir_ty(&ty);
+                        let bop = if op == Add { BinOp::Add } else { BinOp::Sub };
+                        let v = self.b.bin(bop, lo, ro, ity);
+                        Ok(TV { op: v, ty })
+                    }
+                }
+            }
+            Mul | BitAnd | BitOr | BitXor => {
+                let (lo, ro, ty, _) = self.usual_conversions(l, r, line)?;
+                let ity = ir_ty(&ty);
+                let bop = match op {
+                    Mul => BinOp::Mul,
+                    BitAnd => BinOp::And,
+                    BitOr => BinOp::Or,
+                    BitXor => BinOp::Xor,
+                    _ => unreachable!(),
+                };
+                let v = self.b.bin(bop, lo, ro, ity);
+                Ok(TV { op: v, ty })
+            }
+            Shl | Shr => {
+                let lp = self.promote(l);
+                let rp = self.promote(r);
+                let ity = ir_ty(&lp.ty);
+                let rhs = self.convert(rp, &lp.ty, line)?;
+                let signed = matches!(lp.ty, CTy::Int { signed: true, .. });
+                let bop = match (op, signed) {
+                    (Shl, _) => BinOp::Shl,
+                    (Shr, true) => BinOp::AShr,
+                    (Shr, false) => BinOp::LShr,
+                    _ => unreachable!(),
+                };
+                let v = self.b.bin(bop, lp.op, rhs.op, ity);
+                Ok(TV { op: v, ty: lp.ty })
+            }
+            Div | Rem => Err(CError::new(
+                "division is outside the supported subset",
+                line,
+            )),
+            LAnd | LOr => unreachable!("handled in binary()"),
+        }
+    }
+
+    fn scale_index(&mut self, idx: &TV, size: usize, negate: bool) -> Result<Operand, CError> {
+        // Sign-extend the index to 64 bits, then scale.
+        let wide = match idx.ty {
+            CTy::Int { bits: 64, .. } => idx.op,
+            CTy::Int { signed, bits, .. } => {
+                let kind = if signed {
+                    CastKind::Sext
+                } else {
+                    CastKind::Zext
+                };
+                let from = ir_ty(&CTy::Int { bits, signed });
+                self.b.cast(kind, idx.op, from, Ty::I64)
+            }
+            _ => idx.op,
+        };
+        let mut v = wide;
+        if size != 1 {
+            v = self
+                .b
+                .bin(BinOp::Mul, v, Operand::i64(size as i64), Ty::I64);
+        }
+        if negate {
+            v = self.b.bin(BinOp::Sub, Operand::i64(0), v, Ty::I64);
+        }
+        Ok(v)
+    }
+
+    fn call(&mut self, name: &str, args: &[Expr], line: u32) -> Result<TV, CError> {
+        if let Some(builtin) = Builtin::by_name(name) {
+            if args.len() != 1 {
+                return Err(CError::new(format!("{name} expects 1 argument"), line));
+            }
+            let a = self.rvalue(&args[0])?;
+            let a = self.convert(a, &CTy::int(), line)?;
+            let r = self.b.call_builtin(builtin, a.op);
+            return Ok(TV {
+                op: r,
+                ty: CTy::int(),
+            });
+        }
+        let (sig_args, ret) = match known_signature(name) {
+            Some(s) => s,
+            None => {
+                // Unknown callee: infer argument types, assume int result.
+                let mut tys = Vec::with_capacity(args.len());
+                for a in args {
+                    tys.push(self.infer(a)?);
+                }
+                (tys, CTy::int())
+            }
+        };
+        let mut ops = Vec::with_capacity(args.len());
+        let mut tys = Vec::with_capacity(args.len());
+        for (i, a) in args.iter().enumerate() {
+            let v = self.rvalue(a)?;
+            let v = match sig_args.get(i) {
+                Some(t) => self.convert(v, t, line)?,
+                None => v,
+            };
+            tys.push(ir_ty(&v.ty));
+            ops.push(v.op);
+        }
+        let ret_ir = match ret {
+            CTy::Void => None,
+            ref t => Some(ir_ty(t)),
+        };
+        match self.b.call(name, ops, tys, ret_ir) {
+            Some(v) => Ok(TV { op: v, ty: ret }),
+            None => Ok(TV {
+                op: Operand::i32(0),
+                ty: CTy::int(),
+            }),
+        }
+    }
+
+    /// Lowers an lvalue expression to (address, pointee type).
+    fn lvalue(&mut self, e: &Expr) -> Result<(Operand, CTy), CError> {
+        match e {
+            Expr::Ident(name, line) => {
+                let var = self.lookup(name, *line)?;
+                Ok((var.slot, var.ty))
+            }
+            Expr::Unary {
+                op: UnOp::Deref,
+                expr,
+                line,
+            } => {
+                let v = self.rvalue(expr)?;
+                match v.ty {
+                    CTy::Ptr(inner) => Ok((v.op, *inner)),
+                    _ => Err(CError::new("dereference of non-pointer", *line)),
+                }
+            }
+            Expr::Index { base, index, line } => self.index_ptr(base, index, *line),
+            other => Err(CError::new("expression is not assignable", other.line())),
+        }
+    }
+
+    fn index_ptr(
+        &mut self,
+        base: &Expr,
+        index: &Expr,
+        line: u32,
+    ) -> Result<(Operand, CTy), CError> {
+        let b = self.rvalue(base)?;
+        let i = self.rvalue(index)?;
+        match b.ty {
+            CTy::Ptr(inner) => {
+                let scaled = self.scale_index(&i, inner.size(), false)?;
+                let p = self.b.gep(b.op, scaled);
+                Ok((p, *inner))
+            }
+            _ => Err(CError::new("indexing a non-pointer", line)),
+        }
+    }
+
+    /// Lowers `e` and reduces it to an `i1` truth value.
+    fn truthy_expr(&mut self, e: &Expr) -> Result<Operand, CError> {
+        let v = self.rvalue(e)?;
+        Ok(match v.ty {
+            CTy::Ptr(_) => self.b.cmp(CmpOp::Ne, v.op, Operand::NullPtr, Ty::Ptr),
+            CTy::Int { bits, signed } => {
+                let ity = ir_ty(&CTy::Int { bits, signed });
+                self.b.cmp(CmpOp::Ne, v.op, Operand::Const(0, ity), ity)
+            }
+            CTy::Void => return Err(CError::new("void value in condition", e.line())),
+        })
+    }
+
+    /// Integer promotion: anything narrower than `int` widens to `int`.
+    fn promote(&mut self, v: TV) -> TV {
+        match v.ty {
+            CTy::Int { bits, signed } if bits < 32 => {
+                let kind = if signed {
+                    CastKind::Sext
+                } else {
+                    CastKind::Zext
+                };
+                let from = ir_ty(&CTy::Int { bits, signed });
+                let op = self.b.cast(kind, v.op, from, Ty::I32);
+                TV { op, ty: CTy::int() }
+            }
+            _ => v,
+        }
+    }
+
+    /// Usual arithmetic conversions; returns (lhs, rhs, common type, signed).
+    fn usual_conversions(
+        &mut self,
+        l: TV,
+        r: TV,
+        line: u32,
+    ) -> Result<(Operand, Operand, CTy, bool), CError> {
+        // Pointer comparisons keep pointer type.
+        match (&l.ty, &r.ty) {
+            (CTy::Ptr(_), CTy::Ptr(_)) => {
+                return Ok((l.op, r.op, l.ty.clone(), false));
+            }
+            (CTy::Ptr(_), CTy::Int { .. }) => {
+                // `p == 0` style: convert the int (it must be 0 in practice).
+                let rc = self.convert(r, &l.ty, line)?;
+                return Ok((l.op, rc.op, l.ty.clone(), false));
+            }
+            (CTy::Int { .. }, CTy::Ptr(_)) => {
+                let lc = self.convert(l, &r.ty, line)?;
+                return Ok((lc.op, r.op, r.ty.clone(), false));
+            }
+            _ => {}
+        }
+        let l = self.promote(l);
+        let r = self.promote(r);
+        let (lb, ls) = int_parts(&l.ty, line)?;
+        let (rb, rs) = int_parts(&r.ty, line)?;
+        let bits = lb.max(rb);
+        let signed = if lb == rb {
+            ls && rs
+        } else if lb > rb {
+            ls
+        } else {
+            rs
+        };
+        let common = CTy::Int { bits, signed };
+        let lc = self.convert(l, &common, line)?;
+        let rc = self.convert(r, &common, line)?;
+        Ok((lc.op, rc.op, common, signed))
+    }
+
+    /// Converts `v` to `target` (int widths, int↔ptr, ptr↔ptr).
+    fn convert(&mut self, v: TV, target: &CTy, line: u32) -> Result<TV, CError> {
+        if &v.ty == target {
+            return Ok(v);
+        }
+        let op = match (&v.ty, target) {
+            (
+                CTy::Int {
+                    bits: fb,
+                    signed: fs,
+                },
+                CTy::Int { bits: tb, .. },
+            ) => {
+                let from = ir_ty(&v.ty);
+                let to = ir_ty(target);
+                if fb == tb {
+                    v.op // signedness-only change
+                } else if fb < tb {
+                    let kind = if *fs { CastKind::Sext } else { CastKind::Zext };
+                    self.b.cast(kind, v.op, from, to)
+                } else {
+                    self.b.cast(CastKind::Trunc, v.op, from, to)
+                }
+            }
+            (CTy::Ptr(_), CTy::Ptr(_)) => v.op,
+            (CTy::Int { .. }, CTy::Ptr(_)) => match v.op {
+                Operand::Const(0, _) => Operand::NullPtr,
+                _ => self.b.cast(CastKind::IntToPtr, v.op, ir_ty(&v.ty), Ty::Ptr),
+            },
+            (CTy::Ptr(_), CTy::Int { .. }) => {
+                self.b
+                    .cast(CastKind::PtrToInt, v.op, Ty::Ptr, ir_ty(target))
+            }
+            _ => {
+                return Err(CError::new(
+                    format!("cannot convert {} to {target}", v.ty),
+                    line,
+                ))
+            }
+        };
+        Ok(TV {
+            op,
+            ty: target.clone(),
+        })
+    }
+
+    /// Computes the C type of `e` without emitting code.
+    fn infer(&self, e: &Expr) -> Result<CTy, CError> {
+        Ok(match e {
+            Expr::IntLit(..) | Expr::CharLit(..) => CTy::int(),
+            Expr::StrLit(..) => CTy::char_ptr(),
+            Expr::Ident(name, line) => self.lookup(name, *line)?.ty,
+            Expr::SizeofTy(..) => CTy::Int {
+                bits: 64,
+                signed: false,
+            },
+            Expr::Comma(_, r, _) => self.infer(r)?,
+            Expr::Cast { ty, .. } => ty.clone(),
+            Expr::Unary { op, expr, line } => match op {
+                UnOp::Deref => match self.infer(expr)? {
+                    CTy::Ptr(inner) => *inner,
+                    _ => return Err(CError::new("dereference of non-pointer", *line)),
+                },
+                UnOp::AddrOf => CTy::Ptr(Box::new(self.infer(expr)?)),
+                UnOp::LogicalNot => CTy::int(),
+                UnOp::Neg | UnOp::BitNot => promote_ty(self.infer(expr)?),
+                UnOp::PreInc | UnOp::PreDec => self.infer(expr)?,
+            },
+            Expr::Postfix { expr, .. } => self.infer(expr)?,
+            Expr::Binary { op, lhs, rhs, .. } => match op {
+                CBinOp::Eq
+                | CBinOp::Ne
+                | CBinOp::Lt
+                | CBinOp::Le
+                | CBinOp::Gt
+                | CBinOp::Ge
+                | CBinOp::LAnd
+                | CBinOp::LOr => CTy::int(),
+                _ => {
+                    let lt = self.infer(lhs)?;
+                    let rt = self.infer(rhs)?;
+                    match (&lt, &rt) {
+                        (CTy::Ptr(_), _) => lt,
+                        (_, CTy::Ptr(_)) => rt,
+                        _ => unify(&promote_ty(lt), &promote_ty(rt)).unwrap_or(CTy::int()),
+                    }
+                }
+            },
+            Expr::Assign { lhs, .. } => self.infer(lhs)?,
+            Expr::Ternary {
+                then_e,
+                else_e,
+                line,
+                ..
+            } => {
+                let a = self.infer(then_e)?;
+                let b = self.infer(else_e)?;
+                unify(&a, &b).ok_or_else(|| CError::new("incompatible ?: branch types", *line))?
+            }
+            Expr::Index { base, line, .. } => match self.infer(base)? {
+                CTy::Ptr(inner) => *inner,
+                _ => return Err(CError::new("indexing a non-pointer", *line)),
+            },
+            Expr::Call { name, .. } => {
+                if Builtin::by_name(name).is_some() {
+                    CTy::int()
+                } else {
+                    known_signature(name).map(|(_, r)| r).unwrap_or(CTy::int())
+                }
+            }
+        })
+    }
+}
+
+fn ir_ty(ty: &CTy) -> Ty {
+    match ty {
+        CTy::Void => panic!("void has no IR type"),
+        CTy::Int { bits: 8, .. } => Ty::I8,
+        CTy::Int { bits: 32, .. } => Ty::I32,
+        CTy::Int { bits: 64, .. } => Ty::I64,
+        CTy::Int { bits, .. } => panic!("unsupported width {bits}"),
+        CTy::Ptr(_) => Ty::Ptr,
+    }
+}
+
+fn int_parts(ty: &CTy, line: u32) -> Result<(u8, bool), CError> {
+    match ty {
+        CTy::Int { bits, signed } => Ok((*bits, *signed)),
+        other => Err(CError::new(
+            format!("expected integer, found {other}"),
+            line,
+        )),
+    }
+}
+
+fn promote_ty(ty: CTy) -> CTy {
+    match ty {
+        CTy::Int { bits, .. } if bits < 32 => CTy::int(),
+        t => t,
+    }
+}
+
+/// Unifies two types for `?:`: equal types, ptr+int(0), or the common
+/// arithmetic type.
+fn unify(a: &CTy, b: &CTy) -> Option<CTy> {
+    if a == b {
+        return Some(a.clone());
+    }
+    match (a, b) {
+        (CTy::Ptr(_), CTy::Int { .. }) => Some(a.clone()),
+        (CTy::Int { .. }, CTy::Ptr(_)) => Some(b.clone()),
+        (
+            CTy::Int {
+                bits: ab,
+                signed: asg,
+            },
+            CTy::Int {
+                bits: bb,
+                signed: bsg,
+            },
+        ) => {
+            let bits = (*ab).max(*bb).max(32);
+            let signed = if ab == bb {
+                *asg && *bsg
+            } else if ab > bb {
+                *asg
+            } else {
+                *bsg
+            };
+            Some(CTy::Int { bits, signed })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile_one;
+    use strsum_ir::interp::{run_loop_function, run_loop_function_null};
+
+    #[test]
+    fn bash_whitespace_loop() {
+        let src = r#"
+            #define whitespace(c) (((c) == ' ') || ((c) == '\t'))
+            char* loopFunction(char* line) {
+                char *p;
+                for (p = line; p && *p && whitespace(*p); p++)
+                    ;
+                return p;
+            }
+        "#;
+        let f = compile_one(src).unwrap();
+        assert_eq!(run_loop_function(&f, b"  \tabc").unwrap(), Some(3));
+        assert_eq!(run_loop_function(&f, b"abc").unwrap(), Some(0));
+        assert_eq!(run_loop_function(&f, b"   ").unwrap(), Some(3));
+        // The `p &&` guard makes it null-safe.
+        assert_eq!(run_loop_function_null(&f).unwrap(), None);
+    }
+
+    #[test]
+    fn strchr_style_loop() {
+        let src = r#"
+            char* find_colon(char* s) {
+                while (*s != 0 && *s != ':')
+                    s++;
+                return s;
+            }
+        "#;
+        let f = compile_one(src).unwrap();
+        assert_eq!(run_loop_function(&f, b"ab:cd").unwrap(), Some(2));
+        assert_eq!(run_loop_function(&f, b"abcd").unwrap(), Some(4));
+    }
+
+    #[test]
+    fn index_based_loop() {
+        let src = r#"
+            char* skip_digits(char* s) {
+                int i = 0;
+                while (s[i] >= '0' && s[i] <= '9')
+                    i++;
+                return s + i;
+            }
+        "#;
+        let f = compile_one(src).unwrap();
+        assert_eq!(run_loop_function(&f, b"123ab").unwrap(), Some(3));
+        assert_eq!(run_loop_function(&f, b"ab").unwrap(), Some(0));
+    }
+
+    #[test]
+    fn backward_loop_with_strlen_shape() {
+        // Backward scan from the end, emulating strrchr-ish loops. Uses a
+        // second loop to find the end first.
+        let src = r#"
+            char* last_slash(char* s) {
+                char *end = s;
+                while (*end)
+                    end++;
+                while (end > s && *end != '/')
+                    end--;
+                return end;
+            }
+        "#;
+        let f = compile_one(src).unwrap();
+        assert_eq!(run_loop_function(&f, b"a/b/c").unwrap(), Some(3));
+        assert_eq!(run_loop_function(&f, b"abc").unwrap(), Some(0));
+    }
+
+    #[test]
+    fn do_while_and_ternary() {
+        let src = r#"
+            char* f(char* s) {
+                return *s ? s + 1 : s;
+            }
+        "#;
+        let f = compile_one(src).unwrap();
+        assert_eq!(run_loop_function(&f, b"x").unwrap(), Some(1));
+        assert_eq!(run_loop_function(&f, b"").unwrap(), Some(0));
+    }
+
+    #[test]
+    fn ctype_builtin() {
+        let src = r#"
+            char* skip_spaces(char* s) {
+                while (isspace(*s))
+                    s++;
+                return s;
+            }
+        "#;
+        let f = compile_one(src).unwrap();
+        assert_eq!(run_loop_function(&f, b" \n\tz").unwrap(), Some(3));
+    }
+
+    #[test]
+    fn goto_loop() {
+        let src = r#"
+            char* f(char* s) {
+            again:
+                if (*s) { s++; goto again; }
+                return s;
+            }
+        "#;
+        let f = compile_one(src).unwrap();
+        assert_eq!(run_loop_function(&f, b"abc").unwrap(), Some(3));
+    }
+
+    #[test]
+    fn compound_assign_and_postfix() {
+        let src = r#"
+            char* f(char* s) {
+                int n = 0;
+                while (s[n])
+                    n += 1;
+                return s + n;
+            }
+        "#;
+        let f = compile_one(src).unwrap();
+        assert_eq!(run_loop_function(&f, b"hello").unwrap(), Some(5));
+    }
+
+    #[test]
+    fn break_continue() {
+        let src = r#"
+            char* f(char* s) {
+                for (;;) {
+                    if (*s == 0) break;
+                    if (*s == '.') { s++; continue; }
+                    if (*s == '!') return s;
+                    s++;
+                }
+                return s;
+            }
+        "#;
+        let f = compile_one(src).unwrap();
+        assert_eq!(run_loop_function(&f, b"..a!b").unwrap(), Some(3));
+        assert_eq!(run_loop_function(&f, b"...").unwrap(), Some(3));
+    }
+
+    #[test]
+    fn division_rejected() {
+        assert!(compile_one("int f(int x) { return x / 2; }").is_err());
+    }
+
+    #[test]
+    fn unknown_var_rejected() {
+        assert!(compile_one("int f(int x) { return y; }").is_err());
+    }
+
+    #[test]
+    fn unsigned_comparison_semantics() {
+        // With unsigned char semantics, 0xFF > 0x7F.
+        let src = r#"
+            char* f(char* s) {
+                if (*s > 127) return s + 1;
+                return s;
+            }
+        "#;
+        let f = compile_one(src).unwrap();
+        assert_eq!(run_loop_function(&f, &[0xff, 0]).unwrap(), Some(1));
+        assert_eq!(run_loop_function(&f, b"a").unwrap(), Some(0));
+    }
+}

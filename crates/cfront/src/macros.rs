@@ -1,0 +1,329 @@
+//! A miniature preprocessor: `#define` expansion.
+//!
+//! Real string loops frequently hide their character tests behind macros —
+//! the motivating bash loop uses `#define whitespace(c) (((c) == ' ') || ((c)
+//! == '\t'))`. This module supports object-like and function-like macros
+//! with full token substitution, line continuations, `#undef`, and ignores
+//! `#include` and conditional directives (the corpus does not use them).
+
+use crate::lexer::Lexer;
+use crate::token::{Token, TokenKind};
+use crate::CError;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct Macro {
+    /// `None` for object-like macros, parameter names otherwise.
+    params: Option<Vec<String>>,
+    body: Vec<Token>,
+}
+
+/// Expands preprocessor directives and macros, returning the final token
+/// stream (ending in `Eof`).
+///
+/// # Errors
+///
+/// Returns lexical errors, malformed `#define`s, or runaway recursive
+/// expansion.
+pub fn preprocess(src: &str) -> Result<Vec<Token>, CError> {
+    let (clean, defines) = strip_directives(src)?;
+    let mut macros: HashMap<String, Macro> = HashMap::new();
+    for (line_no, text) in defines {
+        parse_define(&text, line_no, &mut macros)?;
+    }
+    let toks = Lexer::new(&clean).tokenize()?;
+    expand(&toks, &macros, 0)
+}
+
+/// Removes `#` directive lines (preserving line numbering) and collects
+/// `#define` bodies with their line numbers. `#undef` removes by emitting a
+/// marker define with an empty name — handled inline instead for clarity.
+fn strip_directives(src: &str) -> Result<(String, Vec<(u32, String)>), CError> {
+    let mut clean = String::with_capacity(src.len());
+    let mut defines = Vec::new();
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((idx, line)) = lines.next() {
+        let line_no = (idx + 1) as u32;
+        let trimmed = line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            let mut directive = rest.trim_start().to_string();
+            let mut blanks = 1;
+            // Line continuations.
+            while directive.ends_with('\\') {
+                directive.pop();
+                match lines.next() {
+                    Some((_, cont)) => {
+                        directive.push(' ');
+                        directive.push_str(cont);
+                        blanks += 1;
+                    }
+                    None => return Err(CError::new("directive ends with \\ at EOF", line_no)),
+                }
+            }
+            if let Some(def) = directive.strip_prefix("define") {
+                defines.push((line_no, def.to_string()));
+            } else if let Some(name) = directive.strip_prefix("undef") {
+                defines.push((line_no, format!("!undef {}", name.trim())));
+            }
+            // #include, #if, #ifdef, #endif, #pragma … are ignored.
+            for _ in 0..blanks {
+                clean.push('\n');
+            }
+        } else {
+            clean.push_str(line);
+            clean.push('\n');
+        }
+    }
+    Ok((clean, defines))
+}
+
+fn parse_define(text: &str, line: u32, macros: &mut HashMap<String, Macro>) -> Result<(), CError> {
+    if let Some(name) = text.strip_prefix("!undef ") {
+        macros.remove(name);
+        return Ok(());
+    }
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() && (bytes[i] == b' ' || bytes[i] == b'\t') {
+        i += 1;
+    }
+    let start = i;
+    while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+        i += 1;
+    }
+    if start == i {
+        return Err(CError::new("#define without a name", line));
+    }
+    let name = text[start..i].to_string();
+    let params = if i < bytes.len() && bytes[i] == b'(' {
+        // Function-like (no space before the paren).
+        let close = text[i..]
+            .find(')')
+            .ok_or_else(|| CError::new("unterminated macro parameter list", line))?;
+        let list = &text[i + 1..i + close];
+        let params: Vec<String> = if list.trim().is_empty() {
+            vec![]
+        } else {
+            list.split(',').map(|p| p.trim().to_string()).collect()
+        };
+        i += close + 1;
+        Some(params)
+    } else {
+        None
+    };
+    let mut body = Lexer::new(&text[i..]).tokenize()?;
+    body.pop(); // Eof
+    for t in &mut body {
+        t.line = line;
+    }
+    macros.insert(name, Macro { params, body });
+    Ok(())
+}
+
+const MAX_EXPANSION_DEPTH: u32 = 32;
+
+fn expand(
+    toks: &[Token],
+    macros: &HashMap<String, Macro>,
+    depth: u32,
+) -> Result<Vec<Token>, CError> {
+    if depth > MAX_EXPANSION_DEPTH {
+        return Err(CError::new(
+            "macro expansion too deep (recursive macro?)",
+            toks.first().map_or(0, |t| t.line),
+        ));
+    }
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0;
+    while i < toks.len() {
+        let tok = &toks[i];
+        let name = match tok.kind.ident() {
+            Some(n) => n.to_string(),
+            None => {
+                out.push(tok.clone());
+                i += 1;
+                continue;
+            }
+        };
+        let Some(mac) = macros.get(&name) else {
+            out.push(tok.clone());
+            i += 1;
+            continue;
+        };
+        match &mac.params {
+            None => {
+                let body = retag(&mac.body, tok.line);
+                let expanded = expand(&body, macros, depth + 1)?;
+                out.extend(strip_eof(expanded));
+                i += 1;
+            }
+            Some(params) => {
+                // Function-like: must be followed by '('; otherwise it is a
+                // plain identifier.
+                if toks.get(i + 1).map(|t| &t.kind) != Some(&TokenKind::LParen) {
+                    out.push(tok.clone());
+                    i += 1;
+                    continue;
+                }
+                let (args, consumed) = collect_args(&toks[i + 2..], tok.line)?;
+                if args.len() != params.len()
+                    && !(params.is_empty() && args.len() == 1 && args[0].is_empty())
+                {
+                    return Err(CError::new(
+                        format!(
+                            "macro `{name}` expects {} argument(s), got {}",
+                            params.len(),
+                            args.len()
+                        ),
+                        tok.line,
+                    ));
+                }
+                let mut body = Vec::new();
+                for bt in &mac.body {
+                    match bt
+                        .kind
+                        .ident()
+                        .and_then(|id| params.iter().position(|p| p == id))
+                    {
+                        Some(pi) => body.extend(args[pi].iter().cloned()),
+                        None => body.push(bt.clone()),
+                    }
+                }
+                let body = retag(&body, tok.line);
+                let expanded = expand(&body, macros, depth + 1)?;
+                out.extend(strip_eof(expanded));
+                i += 2 + consumed; // name, '(', args incl. ')'
+            }
+        }
+    }
+    if out.last().map(|t| &t.kind) != Some(&TokenKind::Eof) {
+        let line = out.last().map_or(1, |t| t.line);
+        out.push(Token::new(TokenKind::Eof, line));
+    }
+    Ok(out)
+}
+
+/// Collects macro call arguments starting just after `(`. Returns the
+/// argument token lists and the number of tokens consumed including `)`.
+fn collect_args(toks: &[Token], line: u32) -> Result<(Vec<Vec<Token>>, usize), CError> {
+    let mut args: Vec<Vec<Token>> = vec![Vec::new()];
+    let mut depth = 0usize;
+    let mut i = 0;
+    loop {
+        let Some(t) = toks.get(i) else {
+            return Err(CError::new("unterminated macro call", line));
+        };
+        match &t.kind {
+            TokenKind::LParen => {
+                depth += 1;
+                args.last_mut().expect("non-empty").push(t.clone());
+            }
+            TokenKind::RParen if depth == 0 => {
+                return Ok((args, i + 1));
+            }
+            TokenKind::RParen => {
+                depth -= 1;
+                args.last_mut().expect("non-empty").push(t.clone());
+            }
+            TokenKind::Comma if depth == 0 => args.push(Vec::new()),
+            TokenKind::Eof => return Err(CError::new("unterminated macro call", line)),
+            _ => args.last_mut().expect("non-empty").push(t.clone()),
+        }
+        i += 1;
+    }
+}
+
+fn retag(toks: &[Token], line: u32) -> Vec<Token> {
+    toks.iter()
+        .map(|t| Token::new(t.kind.clone(), line))
+        .collect()
+}
+
+fn strip_eof(toks: Vec<Token>) -> Vec<Token> {
+    toks.into_iter()
+        .filter(|t| t.kind != TokenKind::Eof)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pp(src: &str) -> Vec<TokenKind> {
+        preprocess(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn object_like() {
+        let ks = pp("#define N 10\nint x = N;");
+        assert!(ks.contains(&TokenKind::IntLit(10)));
+        assert!(!ks.iter().any(|k| k.ident() == Some("N")));
+    }
+
+    #[test]
+    fn function_like() {
+        let ks = pp("#define SQ(x) ((x)*(x))\nSQ(a)");
+        // ((a)*(a))
+        let expect = [
+            TokenKind::LParen,
+            TokenKind::LParen,
+            TokenKind::Ident("a".into()),
+            TokenKind::RParen,
+            TokenKind::Star,
+            TokenKind::LParen,
+            TokenKind::Ident("a".into()),
+            TokenKind::RParen,
+            TokenKind::RParen,
+            TokenKind::Eof,
+        ];
+        assert_eq!(ks, expect);
+    }
+
+    #[test]
+    fn bash_whitespace_macro() {
+        let src = "#define whitespace(c) (((c) == ' ') || ((c) == '\\t'))\nwhitespace(*p)";
+        let ks = pp(src);
+        assert!(ks.contains(&TokenKind::CharLit(b' ')));
+        assert!(ks.contains(&TokenKind::CharLit(b'\t')));
+        assert!(ks.contains(&TokenKind::OrOr));
+    }
+
+    #[test]
+    fn nested_macros() {
+        let ks = pp("#define A 1\n#define B (A + A)\nB");
+        assert_eq!(ks.iter().filter(|k| **k == TokenKind::IntLit(1)).count(), 2);
+    }
+
+    #[test]
+    fn undef_removes() {
+        let ks = pp("#define N 1\n#undef N\nN");
+        assert!(ks.iter().any(|k| k.ident() == Some("N")));
+    }
+
+    #[test]
+    fn line_continuation() {
+        let ks = pp("#define LONG 1 + \\\n 2\nLONG");
+        assert!(ks.contains(&TokenKind::IntLit(2)));
+    }
+
+    #[test]
+    fn include_ignored() {
+        let ks = pp("#include <string.h>\nx");
+        assert_eq!(ks[0], TokenKind::Ident("x".into()));
+    }
+
+    #[test]
+    fn wrong_arity_errors() {
+        assert!(preprocess("#define F(a,b) a\nF(1)").is_err());
+    }
+
+    #[test]
+    fn function_macro_without_call_is_ident() {
+        let ks = pp("#define F(a) a\nint F;");
+        assert!(ks.iter().any(|k| k.ident() == Some("F")));
+    }
+}

@@ -1,0 +1,766 @@
+//! Recursive-descent parser for the C subset.
+
+use crate::ast::{CBinOp, CTy, Expr, FuncDef, PostOp, Stmt, UnOp};
+use crate::token::{Token, TokenKind};
+use crate::CError;
+
+/// The parser over a preprocessed token stream.
+#[derive(Debug)]
+pub struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+const TYPE_KEYWORDS: &[&str] = &[
+    "void", "char", "int", "long", "short", "unsigned", "signed", "const", "size_t", "ssize_t",
+];
+
+impl Parser {
+    /// Creates a parser over `toks` (must end with `Eof`).
+    pub fn new(toks: Vec<Token>) -> Parser {
+        Parser { toks, pos: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        let i = (self.pos + n).min(self.toks.len() - 1);
+        &self.toks[i].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), CError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(CError::new(
+                format!("expected `{kind}`, found `{}`", self.peek()),
+                self.line(),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CError> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(CError::new(
+                format!("expected identifier, found `{other}`"),
+                self.line(),
+            )),
+        }
+    }
+
+    fn at_type(&self) -> bool {
+        match self.peek() {
+            TokenKind::Ident(s) => TYPE_KEYWORDS.contains(&s.as_str()),
+            _ => false,
+        }
+    }
+
+    /// Parses a base type (no pointer stars).
+    fn parse_base_type(&mut self) -> Result<CTy, CError> {
+        let mut signed: Option<bool> = None;
+        let mut base: Option<&str> = None;
+        let mut longs = 0;
+        loop {
+            let word = match self.peek() {
+                TokenKind::Ident(s) if TYPE_KEYWORDS.contains(&s.as_str()) => s.clone(),
+                _ => break,
+            };
+            match word.as_str() {
+                "const" => {
+                    self.bump();
+                }
+                "unsigned" => {
+                    signed = Some(false);
+                    self.bump();
+                }
+                "signed" => {
+                    signed = Some(true);
+                    self.bump();
+                }
+                "long" => {
+                    longs += 1;
+                    self.bump();
+                }
+                "short" => {
+                    return Err(CError::new("`short` is not supported", self.line()));
+                }
+                w @ ("void" | "char" | "int" | "size_t" | "ssize_t") => {
+                    if base.is_some() {
+                        break;
+                    }
+                    base = Some(match w {
+                        "void" => "void",
+                        "char" => "char",
+                        "int" => "int",
+                        "size_t" => "size_t",
+                        "ssize_t" => "ssize_t",
+                        _ => unreachable!(),
+                    });
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let ty = match (base, longs) {
+            (Some("void"), _) => CTy::Void,
+            (Some("char"), _) => CTy::Int {
+                bits: 8,
+                signed: false,
+            },
+            (Some("size_t"), _) => CTy::Int {
+                bits: 64,
+                signed: false,
+            },
+            (Some("ssize_t"), _) => CTy::Int {
+                bits: 64,
+                signed: true,
+            },
+            (Some("int") | None, 0) => {
+                if base.is_none() && signed.is_none() && longs == 0 {
+                    return Err(CError::new("expected a type", self.line()));
+                }
+                CTy::Int {
+                    bits: 32,
+                    signed: signed.unwrap_or(true),
+                }
+            }
+            (_, _l) => CTy::Int {
+                bits: 64,
+                signed: signed.unwrap_or(true),
+            },
+        };
+        // Plain `char` stays unsigned (see `CTy` docs); honour explicit
+        // `signed char` requests.
+        let ty = match (ty, signed) {
+            (CTy::Int { bits: 8, .. }, Some(s)) => CTy::Int { bits: 8, signed: s },
+            (t, _) => t,
+        };
+        Ok(ty)
+    }
+
+    fn parse_ptr_suffix(&mut self, mut ty: CTy) -> CTy {
+        while self.eat(&TokenKind::Star) {
+            // `const` after the star.
+            while matches!(self.peek(), TokenKind::Ident(s) if s == "const") {
+                self.bump();
+            }
+            ty = CTy::Ptr(Box::new(ty));
+        }
+        ty
+    }
+
+    fn parse_type(&mut self) -> Result<CTy, CError> {
+        let base = self.parse_base_type()?;
+        Ok(self.parse_ptr_suffix(base))
+    }
+
+    /// Parses a translation unit: a sequence of function definitions
+    /// (prototypes are skipped).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax error.
+    pub fn parse_unit(&mut self) -> Result<Vec<FuncDef>, CError> {
+        let mut funcs = Vec::new();
+        while self.peek() != &TokenKind::Eof {
+            let line = self.line();
+            let ret = self.parse_type()?;
+            let name = self.expect_ident()?;
+            self.expect(&TokenKind::LParen)?;
+            let mut params = Vec::new();
+            if !self.eat(&TokenKind::RParen) {
+                loop {
+                    if matches!(self.peek(), TokenKind::Ident(s) if s == "void")
+                        && self.peek_at(1) == &TokenKind::RParen
+                    {
+                        self.bump();
+                        break;
+                    }
+                    let pty = self.parse_type()?;
+                    let pname = match self.peek() {
+                        TokenKind::Ident(_) => self.expect_ident()?,
+                        _ => String::new(), // unnamed param in prototype
+                    };
+                    params.push((pname, pty));
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+            }
+            if self.eat(&TokenKind::Semi) {
+                continue; // prototype
+            }
+            self.expect(&TokenKind::LBrace)?;
+            let mut body = Vec::new();
+            while !self.eat(&TokenKind::RBrace) {
+                if self.peek() == &TokenKind::Eof {
+                    return Err(CError::new("unexpected EOF in function body", self.line()));
+                }
+                body.push(self.parse_stmt()?);
+            }
+            funcs.push(FuncDef {
+                name,
+                ret,
+                params,
+                body,
+                line,
+            });
+        }
+        Ok(funcs)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, CError> {
+        let line = self.line();
+        match self.peek().clone() {
+            TokenKind::Semi => {
+                self.bump();
+                Ok(Stmt::Empty)
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let mut stmts = Vec::new();
+                while !self.eat(&TokenKind::RBrace) {
+                    if self.peek() == &TokenKind::Eof {
+                        return Err(CError::new("unexpected EOF in block", self.line()));
+                    }
+                    stmts.push(self.parse_stmt()?);
+                }
+                Ok(Stmt::Block(stmts))
+            }
+            TokenKind::Ident(word) => match word.as_str() {
+                "if" => {
+                    self.bump();
+                    self.expect(&TokenKind::LParen)?;
+                    let cond = self.parse_comma()?;
+                    self.expect(&TokenKind::RParen)?;
+                    let then_s = Box::new(self.parse_stmt()?);
+                    let else_s = if matches!(self.peek(), TokenKind::Ident(s) if s == "else") {
+                        self.bump();
+                        Some(Box::new(self.parse_stmt()?))
+                    } else {
+                        None
+                    };
+                    Ok(Stmt::If {
+                        cond,
+                        then_s,
+                        else_s,
+                    })
+                }
+                "while" => {
+                    self.bump();
+                    self.expect(&TokenKind::LParen)?;
+                    let cond = self.parse_comma()?;
+                    self.expect(&TokenKind::RParen)?;
+                    let body = Box::new(self.parse_stmt()?);
+                    Ok(Stmt::While { cond, body })
+                }
+                "do" => {
+                    self.bump();
+                    let body = Box::new(self.parse_stmt()?);
+                    match self.bump() {
+                        TokenKind::Ident(s) if s == "while" => {}
+                        other => {
+                            return Err(CError::new(
+                                format!("expected `while` after do-body, found `{other}`"),
+                                self.line(),
+                            ))
+                        }
+                    }
+                    self.expect(&TokenKind::LParen)?;
+                    let cond = self.parse_comma()?;
+                    self.expect(&TokenKind::RParen)?;
+                    self.expect(&TokenKind::Semi)?;
+                    Ok(Stmt::DoWhile { body, cond })
+                }
+                "for" => {
+                    self.bump();
+                    self.expect(&TokenKind::LParen)?;
+                    let init = if self.eat(&TokenKind::Semi) {
+                        None
+                    } else if self.at_type() {
+                        Some(Box::new(self.parse_decl()?))
+                    } else {
+                        let e = self.parse_comma()?;
+                        self.expect(&TokenKind::Semi)?;
+                        Some(Box::new(Stmt::Expr(e)))
+                    };
+                    let cond = if self.peek() == &TokenKind::Semi {
+                        None
+                    } else {
+                        Some(self.parse_comma()?)
+                    };
+                    self.expect(&TokenKind::Semi)?;
+                    let step = if self.peek() == &TokenKind::RParen {
+                        None
+                    } else {
+                        Some(self.parse_comma()?)
+                    };
+                    self.expect(&TokenKind::RParen)?;
+                    let body = Box::new(self.parse_stmt()?);
+                    Ok(Stmt::For {
+                        init,
+                        cond,
+                        step,
+                        body,
+                    })
+                }
+                "return" => {
+                    self.bump();
+                    let v = if self.peek() == &TokenKind::Semi {
+                        None
+                    } else {
+                        Some(self.parse_comma()?)
+                    };
+                    self.expect(&TokenKind::Semi)?;
+                    Ok(Stmt::Return(v, line))
+                }
+                "break" => {
+                    self.bump();
+                    self.expect(&TokenKind::Semi)?;
+                    Ok(Stmt::Break(line))
+                }
+                "continue" => {
+                    self.bump();
+                    self.expect(&TokenKind::Semi)?;
+                    Ok(Stmt::Continue(line))
+                }
+                "goto" => {
+                    self.bump();
+                    let label = self.expect_ident()?;
+                    self.expect(&TokenKind::Semi)?;
+                    Ok(Stmt::Goto(label, line))
+                }
+                _ if TYPE_KEYWORDS.contains(&word.as_str()) => self.parse_decl(),
+                _ if self.peek_at(1) == &TokenKind::Colon => {
+                    // label:
+                    let label = self.expect_ident()?;
+                    self.bump(); // ':'
+                    let inner = Box::new(self.parse_stmt()?);
+                    Ok(Stmt::Label(label, inner))
+                }
+                _ => {
+                    let e = self.parse_comma()?;
+                    self.expect(&TokenKind::Semi)?;
+                    Ok(Stmt::Expr(e))
+                }
+            },
+            _ => {
+                let e = self.parse_comma()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    /// Parses `type a = e, *b, c[…is unsupported];`
+    fn parse_decl(&mut self) -> Result<Stmt, CError> {
+        let line = self.line();
+        let base = self.parse_base_type()?;
+        let mut vars = Vec::new();
+        loop {
+            let ty = self.parse_ptr_suffix(base.clone());
+            let name = self.expect_ident()?;
+            if self.peek() == &TokenKind::LBracket {
+                return Err(CError::new(
+                    "array declarations are not supported",
+                    self.line(),
+                ));
+            }
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.parse_assign()?)
+            } else {
+                None
+            };
+            vars.push((name, ty, init));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::Semi)?;
+        Ok(Stmt::Decl { vars, line })
+    }
+
+    // ----- expressions, by descending precedence ---------------------------
+
+    fn parse_comma(&mut self) -> Result<Expr, CError> {
+        let mut e = self.parse_assign()?;
+        while self.peek() == &TokenKind::Comma {
+            let line = self.line();
+            self.bump();
+            let rhs = self.parse_assign()?;
+            e = Expr::Comma(Box::new(e), Box::new(rhs), line);
+        }
+        Ok(e)
+    }
+
+    fn parse_assign(&mut self) -> Result<Expr, CError> {
+        let lhs = self.parse_ternary()?;
+        let line = self.line();
+        let op = match self.peek() {
+            TokenKind::Assign => None,
+            TokenKind::PlusAssign => Some(CBinOp::Add),
+            TokenKind::MinusAssign => Some(CBinOp::Sub),
+            TokenKind::AndAssign => Some(CBinOp::BitAnd),
+            TokenKind::OrAssign => Some(CBinOp::BitOr),
+            TokenKind::XorAssign => Some(CBinOp::BitXor),
+            TokenKind::ShlAssign => Some(CBinOp::Shl),
+            TokenKind::ShrAssign => Some(CBinOp::Shr),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.parse_assign()?; // right associative
+        Ok(Expr::Assign {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+            line,
+        })
+    }
+
+    fn parse_ternary(&mut self) -> Result<Expr, CError> {
+        let cond = self.parse_bin(0)?;
+        if self.peek() != &TokenKind::Question {
+            return Ok(cond);
+        }
+        let line = self.line();
+        self.bump();
+        let then_e = self.parse_comma()?;
+        self.expect(&TokenKind::Colon)?;
+        let else_e = self.parse_assign()?;
+        Ok(Expr::Ternary {
+            cond: Box::new(cond),
+            then_e: Box::new(then_e),
+            else_e: Box::new(else_e),
+            line,
+        })
+    }
+
+    /// Binary operators by precedence level (0 = `||` … 9 = `* / %`).
+    fn parse_bin(&mut self, level: usize) -> Result<Expr, CError> {
+        const LEVELS: &[&[(TokenKind, CBinOp)]] = &[
+            &[(TokenKind::OrOr, CBinOp::LOr)],
+            &[(TokenKind::AndAnd, CBinOp::LAnd)],
+            &[(TokenKind::Pipe, CBinOp::BitOr)],
+            &[(TokenKind::Caret, CBinOp::BitXor)],
+            &[(TokenKind::Amp, CBinOp::BitAnd)],
+            &[
+                (TokenKind::EqEq, CBinOp::Eq),
+                (TokenKind::NotEq, CBinOp::Ne),
+            ],
+            &[
+                (TokenKind::Lt, CBinOp::Lt),
+                (TokenKind::Le, CBinOp::Le),
+                (TokenKind::Gt, CBinOp::Gt),
+                (TokenKind::Ge, CBinOp::Ge),
+            ],
+            &[(TokenKind::Shl, CBinOp::Shl), (TokenKind::Shr, CBinOp::Shr)],
+            &[
+                (TokenKind::Plus, CBinOp::Add),
+                (TokenKind::Minus, CBinOp::Sub),
+            ],
+            &[
+                (TokenKind::Star, CBinOp::Mul),
+                (TokenKind::Slash, CBinOp::Div),
+                (TokenKind::Percent, CBinOp::Rem),
+            ],
+        ];
+        if level >= LEVELS.len() {
+            return self.parse_unary();
+        }
+        let mut lhs = self.parse_bin(level + 1)?;
+        'outer: loop {
+            for (tk, op) in LEVELS[level] {
+                if self.peek() == tk {
+                    let line = self.line();
+                    self.bump();
+                    let rhs = self.parse_bin(level + 1)?;
+                    lhs = Expr::Binary {
+                        op: *op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                        line,
+                    };
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, CError> {
+        let line = self.line();
+        let op = match self.peek() {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Bang => Some(UnOp::LogicalNot),
+            TokenKind::Tilde => Some(UnOp::BitNot),
+            TokenKind::Star => Some(UnOp::Deref),
+            TokenKind::Amp => Some(UnOp::AddrOf),
+            TokenKind::PlusPlus => Some(UnOp::PreInc),
+            TokenKind::MinusMinus => Some(UnOp::PreDec),
+            TokenKind::Plus => {
+                self.bump();
+                return self.parse_unary();
+            }
+            TokenKind::Ident(s) if s == "sizeof" => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                if self.at_type() {
+                    let ty = self.parse_type()?;
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(Expr::SizeofTy(ty, line));
+                }
+                let e = self.parse_comma()?;
+                self.expect(&TokenKind::RParen)?;
+                // sizeof(expr): only char-typed exprs appear in our corpus;
+                // approximate via lowering (type-directed).
+                return Ok(Expr::Unary {
+                    op: UnOp::AddrOf,
+                    expr: Box::new(e),
+                    line,
+                })
+                .and(Err(CError::new(
+                    "sizeof(expr) is not supported; use sizeof(type)",
+                    line,
+                )));
+            }
+            // Cast: '(' type ')' unary
+            TokenKind::LParen => {
+                if let TokenKind::Ident(s) = self.peek_at(1) {
+                    if TYPE_KEYWORDS.contains(&s.as_str()) {
+                        self.bump(); // '('
+                        let ty = self.parse_type()?;
+                        self.expect(&TokenKind::RParen)?;
+                        let e = self.parse_unary()?;
+                        return Ok(Expr::Cast {
+                            ty,
+                            expr: Box::new(e),
+                            line,
+                        });
+                    }
+                }
+                None
+            }
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let e = self.parse_unary()?;
+            return Ok(Expr::Unary {
+                op,
+                expr: Box::new(e),
+                line,
+            });
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, CError> {
+        let mut e = self.parse_primary()?;
+        loop {
+            let line = self.line();
+            match self.peek() {
+                TokenKind::PlusPlus => {
+                    self.bump();
+                    e = Expr::Postfix {
+                        op: PostOp::PostInc,
+                        expr: Box::new(e),
+                        line,
+                    };
+                }
+                TokenKind::MinusMinus => {
+                    self.bump();
+                    e = Expr::Postfix {
+                        op: PostOp::PostDec,
+                        expr: Box::new(e),
+                        line,
+                    };
+                }
+                TokenKind::LBracket => {
+                    self.bump();
+                    let idx = self.parse_comma()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    e = Expr::Index {
+                        base: Box::new(e),
+                        index: Box::new(idx),
+                        line,
+                    };
+                }
+                TokenKind::LParen => {
+                    let name = match &e {
+                        Expr::Ident(n, _) => n.clone(),
+                        _ => {
+                            return Err(CError::new(
+                                "only direct calls by name are supported",
+                                line,
+                            ))
+                        }
+                    };
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.parse_assign()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&TokenKind::RParen)?;
+                    }
+                    e = Expr::Call { name, args, line };
+                }
+                TokenKind::Arrow | TokenKind::Dot => {
+                    return Err(CError::new("struct member access is not supported", line));
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, CError> {
+        let line = self.line();
+        match self.bump() {
+            TokenKind::IntLit(v) => Ok(Expr::IntLit(v, line)),
+            TokenKind::CharLit(c) => Ok(Expr::CharLit(c, line)),
+            TokenKind::StrLit(s) => Ok(Expr::StrLit(s, line)),
+            TokenKind::Ident(s) => {
+                if s == "NULL" {
+                    Ok(Expr::IntLit(0, line))
+                } else {
+                    Ok(Expr::Ident(s, line))
+                }
+            }
+            TokenKind::LParen => {
+                let e = self.parse_comma()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => Err(CError::new(format!("unexpected token `{other}`"), line)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess;
+
+    fn parse_ok(src: &str) -> Vec<FuncDef> {
+        Parser::new(preprocess(src).unwrap()).parse_unit().unwrap()
+    }
+
+    #[test]
+    fn parse_bash_loop() {
+        let fs = parse_ok(
+            r#"
+            char* loopFunction(char* line) {
+                char *p;
+                for (p = line; p && *p && (*p == ' ' || *p == '\t'); p++)
+                    ;
+                return p;
+            }
+            "#,
+        );
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].name, "loopFunction");
+        assert_eq!(fs[0].params.len(), 1);
+        assert!(fs[0].params[0].1.is_ptr());
+    }
+
+    #[test]
+    fn parse_types() {
+        let fs = parse_ok("unsigned long f(const char *s, int n) { return 0; }");
+        assert_eq!(
+            fs[0].ret,
+            CTy::Int {
+                bits: 64,
+                signed: false
+            }
+        );
+        assert_eq!(fs[0].params[0].1, CTy::char_ptr());
+    }
+
+    #[test]
+    fn parse_do_while_and_index() {
+        let fs = parse_ok(
+            "char* f(char* s) { int i = 0; do { i++; } while (s[i] != 0); return s + i; }",
+        );
+        assert_eq!(fs.len(), 1);
+    }
+
+    #[test]
+    fn parse_ternary_and_calls() {
+        let fs = parse_ok("int f(int c) { return isdigit(c) ? c : tolower(c); }");
+        assert_eq!(fs.len(), 1);
+    }
+
+    #[test]
+    fn parse_goto_label() {
+        let fs = parse_ok("char* f(char* s) { loop: if (*s) { s++; goto loop; } return s; }");
+        match &fs[0].body[0] {
+            Stmt::Label(l, _) => assert_eq!(l, "loop"),
+            other => panic!("expected label, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_prototype_skipped() {
+        let fs = parse_ok("int strlen(const char *); char* f(char* s) { return s; }");
+        assert_eq!(fs.len(), 1);
+    }
+
+    #[test]
+    fn parse_cast() {
+        let fs = parse_ok("long f(char *p) { return (long)(unsigned char)*p; }");
+        assert_eq!(fs.len(), 1);
+    }
+
+    #[test]
+    fn error_on_struct_access() {
+        let toks = preprocess("int f(int x) { return x.y; }").unwrap();
+        assert!(Parser::new(toks).parse_unit().is_err());
+    }
+
+    #[test]
+    fn parse_multi_decl() {
+        let fs = parse_ok("char* f(char* s) { char *p = s, *q; int n = 3, m; return p; }");
+        assert_eq!(fs.len(), 1);
+        match &fs[0].body[0] {
+            Stmt::Decl { vars, .. } => {
+                assert_eq!(vars.len(), 2);
+                assert!(vars[0].1.is_ptr());
+            }
+            other => panic!("expected decl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn null_is_zero() {
+        let fs = parse_ok("char* f(char* s) { if (s == NULL) return s; return s; }");
+        assert_eq!(fs.len(), 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Tokens of the C subset.
+
+use std::fmt;
+
+/// Token kind, carrying literal payloads inline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// Integer literal (decimal, hex, octal or char escape value).
+    IntLit(i64),
+    /// Character literal value.
+    CharLit(u8),
+    /// String literal bytes (escapes resolved, no terminating NUL).
+    StrLit(Vec<u8>),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `?`
+    Question,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `&=`
+    AndAssign,
+    /// `|=`
+    OrAssign,
+    /// `^=`
+    XorAssign,
+    /// `<<=`
+    ShlAssign,
+    /// `>>=`
+    ShrAssign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `~`
+    Tilde,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `->` (parsed, rejected in lowering — no structs in the subset)
+    Arrow,
+    /// `.`
+    Dot,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::IntLit(v) => write!(f, "{v}"),
+            TokenKind::CharLit(c) => write!(f, "{:?}", *c as char),
+            TokenKind::StrLit(s) => write!(f, "{:?}", String::from_utf8_lossy(s)),
+            other => {
+                let s = match other {
+                    TokenKind::LParen => "(",
+                    TokenKind::RParen => ")",
+                    TokenKind::LBrace => "{",
+                    TokenKind::RBrace => "}",
+                    TokenKind::LBracket => "[",
+                    TokenKind::RBracket => "]",
+                    TokenKind::Semi => ";",
+                    TokenKind::Comma => ",",
+                    TokenKind::Colon => ":",
+                    TokenKind::Question => "?",
+                    TokenKind::Star => "*",
+                    TokenKind::Slash => "/",
+                    TokenKind::Percent => "%",
+                    TokenKind::Plus => "+",
+                    TokenKind::Minus => "-",
+                    TokenKind::PlusPlus => "++",
+                    TokenKind::MinusMinus => "--",
+                    TokenKind::Assign => "=",
+                    TokenKind::PlusAssign => "+=",
+                    TokenKind::MinusAssign => "-=",
+                    TokenKind::AndAssign => "&=",
+                    TokenKind::OrAssign => "|=",
+                    TokenKind::XorAssign => "^=",
+                    TokenKind::ShlAssign => "<<=",
+                    TokenKind::ShrAssign => ">>=",
+                    TokenKind::EqEq => "==",
+                    TokenKind::NotEq => "!=",
+                    TokenKind::Lt => "<",
+                    TokenKind::Le => "<=",
+                    TokenKind::Gt => ">",
+                    TokenKind::Ge => ">=",
+                    TokenKind::AndAnd => "&&",
+                    TokenKind::OrOr => "||",
+                    TokenKind::Bang => "!",
+                    TokenKind::Tilde => "~",
+                    TokenKind::Amp => "&",
+                    TokenKind::Pipe => "|",
+                    TokenKind::Caret => "^",
+                    TokenKind::Shl => "<<",
+                    TokenKind::Shr => ">>",
+                    TokenKind::Arrow => "->",
+                    TokenKind::Dot => ".",
+                    TokenKind::Eof => "<eof>",
+                    _ => unreachable!(),
+                };
+                f.write_str(s)
+            }
+        }
+    }
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, line: u32) -> Token {
+        Token { kind, line }
+    }
+}

@@ -1,0 +1,158 @@
+//! Frontend conformance: tricky-but-legal C constructs must compile and
+//! compute the right values through the interpreter.
+
+use strsum_cfront::compile_one;
+use strsum_ir::interp::run_loop_function;
+
+fn offset(src: &str, input: &[u8]) -> i64 {
+    let f = compile_one(src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    run_loop_function(&f, input)
+        .unwrap_or_else(|e| panic!("execution failed: {e}\n{src}"))
+        .expect("non-null result")
+}
+
+#[test]
+fn comma_operator_in_for() {
+    let src = "char* f(char* s) { char *p; int n; for (p = s, n = 0; *p && n < 3; p++, n++) ; return p; }";
+    assert_eq!(offset(src, b"abcdef"), 3);
+    assert_eq!(offset(src, b"ab"), 2);
+}
+
+#[test]
+fn nested_ternary() {
+    let src = "char* f(char* s) { return *s == 'a' ? s + 1 : *s == 'b' ? s + 2 : s; }";
+    assert_eq!(offset(src, b"ax"), 1);
+    assert_eq!(offset(src, b"bxx"), 2);
+    assert_eq!(offset(src, b"c"), 0);
+}
+
+#[test]
+fn negative_index() {
+    let src = "char* f(char* s) { char *e = s; while (*e) e++; if (e > s && e[-1] == '/') return e - 1; return e; }";
+    assert_eq!(offset(src, b"ab/"), 2);
+    assert_eq!(offset(src, b"ab"), 2);
+}
+
+#[test]
+fn pointer_difference_used_as_int() {
+    let src = "char* f(char* s) { char *e = s; while (*e) e++; return s + (e - s); }";
+    assert_eq!(offset(src, b"hello"), 5);
+}
+
+#[test]
+fn compound_assignment_operators() {
+    let src =
+        "char* f(char* s) { int i = 0; int step = 1; while (s[i]) { i += step; } return s + i; }";
+    assert_eq!(offset(src, b"xyz"), 3);
+}
+
+#[test]
+fn bitwise_character_tricks() {
+    // Case-insensitive 'a' test via OR 0x20.
+    let src = "char* f(char* s) { while ((*s | 32) == 'a') s++; return s; }";
+    assert_eq!(offset(src, b"aAaz"), 3);
+}
+
+#[test]
+fn shifts_and_masks() {
+    let src =
+        "char* f(char* s) { int c = *s; int hi = (c >> 4) & 15; return s + (hi == 6 ? 1 : 0); }";
+    assert_eq!(offset(src, b"a"), 1); // 'a' = 0x61
+    assert_eq!(offset(src, b"A"), 0); // 'A' = 0x41
+}
+
+#[test]
+fn hex_and_octal_literals() {
+    let src = "char* f(char* s) { while (*s == 0x20 || *s == 011) s++; return s; }";
+    assert_eq!(offset(src, b" \tx"), 2);
+}
+
+#[test]
+fn do_while_executes_once() {
+    let src = "char* f(char* s) { do { s++; } while (*s == '.'); return s; }";
+    assert_eq!(offset(src, b"x..y"), 3);
+    assert_eq!(offset(src, b"xy"), 1);
+}
+
+#[test]
+fn logical_not_and_double_negation() {
+    let src = "char* f(char* s) { while (!!*s && !(*s == ';')) s++; return s; }";
+    assert_eq!(offset(src, b"ab;c"), 2);
+    assert_eq!(offset(src, b"ab"), 2);
+}
+
+#[test]
+fn sizeof_type() {
+    let src = "char* f(char* s) { return s + sizeof(char); }";
+    assert_eq!(offset(src, b"ab"), 1);
+}
+
+#[test]
+fn casts_between_widths() {
+    let src =
+        "char* f(char* s) { long v = (long)(unsigned char)*s; return s + (v > 200 ? 1 : 0); }";
+    assert_eq!(offset(src, &[0xff, b'x']), 1);
+    assert_eq!(offset(src, b"a"), 0);
+}
+
+#[test]
+fn function_like_macro_with_nested_parens() {
+    let src = r#"
+        #define in_range(c, lo, hi) (((c) >= (lo)) && ((c) <= (hi)))
+        char* f(char* s) { while (in_range(*s, '0', '9')) s++; return s; }
+    "#;
+    assert_eq!(offset(src, b"42x"), 2);
+}
+
+#[test]
+fn object_macro_chains() {
+    let src = r#"
+        #define SEP ':'
+        #define IS_SEP(c) ((c) == SEP)
+        char* f(char* s) { while (*s && !IS_SEP(*s)) s++; return s; }
+    "#;
+    assert_eq!(offset(src, b"ab:c"), 2);
+}
+
+#[test]
+fn while_with_empty_body_semicolon() {
+    let src = "char* f(char* s) { while (*s == '-') s++; ; ; return s; }";
+    assert_eq!(offset(src, b"--x"), 2);
+}
+
+#[test]
+fn unsigned_wraparound_comparison() {
+    // unsigned comparison: 0u - 1 is large.
+    let src = "char* f(char* s) { unsigned n = 0; n = n - 1; return s + (n > 100 ? 1 : 0); }";
+    assert_eq!(offset(src, b"ab"), 1);
+}
+
+#[test]
+fn labels_and_structured_mix() {
+    let src = r#"
+        char* f(char* s) {
+            if (*s == 0) goto out;
+            while (*s) s++;
+        out:
+            return s;
+        }
+    "#;
+    assert_eq!(offset(src, b"abc"), 3);
+    assert_eq!(offset(src, b""), 0);
+}
+
+#[test]
+fn error_messages_carry_lines() {
+    let err = compile_one("char* f(char* s) {\n  return t;\n}").unwrap_err();
+    assert_eq!(err.line, 2);
+    assert!(err.to_string().contains("unknown variable"));
+}
+
+#[test]
+fn multiple_functions_compile_independently() {
+    let src = "char* a(char* s) { return s; } char* b(char* s) { return s + 1; }";
+    let funcs = strsum_cfront::compile(src).unwrap();
+    assert_eq!(funcs.len(), 2);
+    assert_eq!(funcs[0].name, "a");
+    assert_eq!(funcs[1].name, "b");
+}

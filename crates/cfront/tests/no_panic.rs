@@ -1,0 +1,55 @@
+//! Robustness: the frontend must return errors, never panic, on arbitrary
+//! input — a tool that sees real-world C gets fed garbage constantly.
+
+use proptest::prelude::*;
+use strsum_cfront::{compile, parse, preprocess};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes (as lossy strings) never panic the pipeline.
+    #[test]
+    fn arbitrary_text_never_panics(input in ".{0,200}") {
+        let _ = preprocess(&input);
+        let _ = parse(&input);
+        let _ = compile(&input);
+    }
+
+    /// C-looking soup (keywords, operators, punctuation) never panics.
+    #[test]
+    fn c_flavoured_soup_never_panics(
+        tokens in proptest::collection::vec(
+            proptest::sample::select(&[
+                "char", "int", "*", "(", ")", "{", "}", ";", "if", "while",
+                "for", "return", "s", "p", "++", "==", "&&", "||", "'x'",
+                "\"lit\"", "0", "42", "#define", "X", ",", "=", "!", "goto",
+                "lbl", ":", "?", "[", "]", "+", "-",
+            ][..]),
+            0..40,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = compile(&src);
+    }
+
+    /// Truncations of a valid program never panic (common editor state).
+    #[test]
+    fn truncated_valid_program_never_panics(cut in 0usize..180) {
+        let full = r#"
+            #define ws(c) (((c) == ' ') || ((c) == '\t'))
+            char* loopFunction(char* line) {
+                char *p;
+                for (p = line; p && *p && ws(*p); p++)
+                    ;
+                return p;
+            }
+        "#;
+        let cut = cut.min(full.len());
+        // Cut on a char boundary.
+        let mut end = cut;
+        while !full.is_char_boundary(end) {
+            end += 1;
+        }
+        let _ = compile(&full[..end]);
+    }
+}

@@ -1,0 +1,420 @@
+//! Algorithm 2: counterexample-guided synthesis of loop summaries.
+
+use crate::equivalence::{BoundedChecker, EquivalenceResult};
+use crate::oracle::LoopOracle;
+use crate::vocab::Vocab;
+use std::time::{Duration, Instant};
+use strsum_gadgets::charset::{META_DIGITS, META_WHITESPACE};
+use strsum_gadgets::symbolic::outcome_term_symbolic_prog_vocab;
+use strsum_gadgets::Program;
+use strsum_smt::{CheckResult, Solver, TermId, TermPool};
+
+/// Configuration of one synthesis attempt.
+#[derive(Debug, Clone)]
+pub struct SynthesisConfig {
+    /// Maximum program size in encoded bytes (`MAX_PROG_SIZE`, paper: 9).
+    pub max_prog_size: usize,
+    /// Equivalence bound in characters (`MAX_EX_SIZE`, paper: 3).
+    pub max_ex_size: usize,
+    /// Gadget vocabulary to synthesise over.
+    pub vocab: Vocab,
+    /// Wall-clock budget.
+    pub timeout: Duration,
+    /// Whether the `\a`-style meta-characters may appear in arguments.
+    pub use_meta_chars: bool,
+    /// Counterexamples to seed the loop with (speeds up convergence).
+    pub seed_examples: Vec<Option<Vec<u8>>>,
+    /// SAT conflict budget per candidate-search query; `Unknown` beyond it
+    /// counts as a failed attempt (keeps wall-clock near `timeout`).
+    pub solver_conflict_limit: u64,
+}
+
+impl Default for SynthesisConfig {
+    /// The paper's §4.2.1 settings, with a laptop-scale timeout.
+    fn default() -> SynthesisConfig {
+        SynthesisConfig {
+            max_prog_size: 9,
+            max_ex_size: 3,
+            vocab: Vocab::full(),
+            timeout: Duration::from_secs(60),
+            use_meta_chars: true,
+            seed_examples: vec![Some(b"".to_vec()), Some(b"ab".to_vec())],
+            solver_conflict_limit: 200_000,
+        }
+    }
+}
+
+/// Statistics of a synthesis run.
+#[derive(Debug, Clone, Default)]
+pub struct SynthStats {
+    /// CEGIS iterations executed.
+    pub iterations: usize,
+    /// Counterexamples accumulated (in discovery order).
+    pub counterexamples: Vec<Option<Vec<u8>>>,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+    /// Why synthesis stopped, when it failed.
+    pub failure: Option<String>,
+}
+
+/// Result of a synthesis attempt.
+#[derive(Debug, Clone)]
+pub struct SynthesisResult {
+    /// The synthesised program, when successful.
+    pub program: Option<Program>,
+    /// Run statistics.
+    pub stats: SynthStats,
+}
+
+/// Synthesises a summary for `func` (shape `char* f(char*)`).
+///
+/// Returns `SynthesisResult { program: None, .. }` when the loop cannot be
+/// expressed in the vocabulary/size or the budget runs out — never panics
+/// on inexpressible loops.
+pub fn synthesize(func: &strsum_ir::Func, cfg: &SynthesisConfig) -> SynthesisResult {
+    let start = Instant::now();
+    let mut stats = SynthStats::default();
+    let mut pool = TermPool::new();
+
+    // One-time: the loop's symbolic behaviour on strings ≤ max_ex_size.
+    let checker = match BoundedChecker::new(&mut pool, func, cfg.max_ex_size) {
+        Ok(c) => c,
+        Err(e) => {
+            stats.failure = Some(e);
+            stats.elapsed = start.elapsed();
+            return SynthesisResult {
+                program: None,
+                stats,
+            };
+        }
+    };
+    let mut oracle = LoopOracle::new(func);
+    let mut counterexamples: Vec<Option<Vec<u8>>> = Vec::new();
+    for seed in &cfg.seed_examples {
+        if let Some(s) = seed {
+            if s.len() <= cfg.max_ex_size && !counterexamples.contains(seed) {
+                counterexamples.push(seed.clone());
+            }
+        } else if !counterexamples.contains(seed) {
+            counterexamples.push(None);
+        }
+    }
+    let allowed = cfg.vocab.opcodes();
+
+    loop {
+        if start.elapsed() >= cfg.timeout {
+            stats.failure = Some("timeout".to_string());
+            break;
+        }
+        stats.iterations += 1;
+
+        // 1. Fresh symbolic program bytes (line 3).
+        let prog_vars: Vec<TermId> = (0..cfg.max_prog_size)
+            .map(|i| pool.fresh_var(&format!("prog{i}"), 8))
+            .collect();
+
+        // 2. Constrain the program to match the oracle on every known
+        //    counterexample (lines 4–6).
+        let mut constraints: Vec<TermId> = Vec::new();
+        if !cfg.use_meta_chars {
+            for &v in &prog_vars {
+                let d = pool.bv_const(u64::from(META_DIGITS), 8);
+                let w = pool.bv_const(u64::from(META_WHITESPACE), 8);
+                let nd = pool.ne(v, d);
+                let nw = pool.ne(v, w);
+                constraints.push(nd);
+                constraints.push(nw);
+            }
+        }
+        for cex in &counterexamples {
+            let expected = oracle.run(cex.as_deref());
+            let term =
+                outcome_term_symbolic_prog_vocab(&mut pool, &prog_vars, cex.as_deref(), &allowed);
+            let expected_t = pool.bv_const(expected.encode8(), 8);
+            constraints.push(pool.eq(term, expected_t));
+        }
+
+        // 3. Concretise a candidate (lines 7–8).
+        let solver = Solver::with_conflict_limit(cfg.solver_conflict_limit);
+        let model = match solver.check(&mut pool, &constraints) {
+            CheckResult::Sat(m) => m,
+            CheckResult::Unsat => {
+                stats.failure = Some(format!(
+                    "no program of size ≤ {} in vocabulary {} matches the examples",
+                    cfg.max_prog_size, cfg.vocab
+                ));
+                break;
+            }
+            CheckResult::Unknown => {
+                stats.failure = Some("solver gave up on candidate search".to_string());
+                break;
+            }
+        };
+        let bytes: Vec<u8> = prog_vars
+            .iter()
+            .map(|&v| model.value_or_zero(v) as u8)
+            .collect();
+
+        // 4. Bounded verification (lines 10–18). Candidate bytes may be
+        //    malformed; the checker treats them through Program::decode —
+        //    if undecodable, fall back to direct interpretation on the
+        //    counterexample search below.
+        let candidate = decode_prefix(&bytes);
+        match candidate {
+            Some(prog) if cfg.vocab.admits(&prog) => match checker.check(&mut pool, &prog) {
+                EquivalenceResult::Equivalent => {
+                    let minimal = minimize(&mut pool, &checker, &prog);
+                    stats.counterexamples = counterexamples;
+                    stats.elapsed = start.elapsed();
+                    return SynthesisResult {
+                        program: Some(minimal),
+                        stats,
+                    };
+                }
+                EquivalenceResult::Counterexample(cex) => {
+                    if counterexamples.contains(&cex) {
+                        stats.failure =
+                            Some(format!("duplicate counterexample {cex:?} (soundness bug?)"));
+                        break;
+                    }
+                    counterexamples.push(cex);
+                }
+                EquivalenceResult::Unknown(e) => {
+                    stats.failure = Some(e);
+                    break;
+                }
+            },
+            _ => {
+                // Malformed candidate: any string on which it differs from
+                // the oracle will do; the empty string always distinguishes
+                // (a malformed program is Invalid everywhere). Find a fresh
+                // counterexample by brute force over tiny strings.
+                match fresh_distinguishing_input(&mut oracle, &bytes, &counterexamples, cfg) {
+                    Some(cex) => counterexamples.push(cex),
+                    None => {
+                        stats.failure = Some(format!(
+                            "malformed candidate {bytes:?} with no distinguishing input"
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    stats.counterexamples = counterexamples;
+    stats.elapsed = start.elapsed();
+    SynthesisResult {
+        program: None,
+        stats,
+    }
+}
+
+/// Greedily removes gadgets that do not affect bounded equivalence,
+/// yielding a (locally) minimal summary — candidates often carry redundant
+/// guard prefixes that the SAT model happened to pick.
+pub fn minimize(pool: &mut TermPool, checker: &BoundedChecker, prog: &Program) -> Program {
+    let mut gadgets = prog.gadgets().to_vec();
+    loop {
+        let mut changed = false;
+        let mut i = 0;
+        while i < gadgets.len() {
+            if gadgets.len() <= 1 {
+                break;
+            }
+            let mut shorter = gadgets.clone();
+            shorter.remove(i);
+            let candidate = Program::new(shorter);
+            if checker.check(pool, &candidate) == EquivalenceResult::Equivalent {
+                gadgets.remove(i);
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !changed {
+            return Program::new(gadgets);
+        }
+    }
+}
+
+/// Decodes the longest valid instruction prefix, truncated after the
+/// *last* `F` (guards such as `Z` can skip earlier `F`s at run time, so
+/// truncating at the first one — e.g. in `ZFP \t\0F` — would lose the
+/// program body). Trailing bytes after the last `F` never execute.
+fn decode_prefix(bytes: &[u8]) -> Option<Program> {
+    let mut i = 0;
+    let mut last_f_end = None;
+    while i < bytes.len() {
+        let end = match bytes[i] {
+            b'M' | b'C' | b'R' => {
+                if i + 2 > bytes.len() {
+                    break;
+                }
+                i + 2
+            }
+            b'B' | b'P' | b'N' => {
+                if i + 1 >= bytes.len() {
+                    break;
+                }
+                match bytes[i + 1..].iter().position(|&b| b == 0) {
+                    Some(0) | None => break, // empty or unterminated set
+                    Some(rel) => i + rel + 2,
+                }
+            }
+            b'F' => {
+                last_f_end = Some(i + 1);
+                i + 1
+            }
+            b'Z' | b'X' | b'I' | b'E' | b'S' => i + 1,
+            b'V' if i == 0 => i + 1,
+            _ => break, // unknown opcode or misplaced V
+        };
+        i = end;
+    }
+    Program::decode(&bytes[..last_f_end?]).ok()
+}
+
+/// Brute-force search for a small input distinguishing raw candidate bytes
+/// from the oracle.
+fn fresh_distinguishing_input(
+    oracle: &mut LoopOracle<'_>,
+    bytes: &[u8],
+    known: &[Option<Vec<u8>>],
+    cfg: &SynthesisConfig,
+) -> Option<Option<Vec<u8>>> {
+    // Base alphabet plus every byte the candidate mentions (its set and
+    // character arguments are where it can differ from the oracle) plus the
+    // characters the loop itself compares against.
+    let mut alphabet: Vec<u8> = b" \tab:;/0".to_vec();
+    for &b in bytes {
+        if b != 0 && !alphabet.contains(&b) {
+            alphabet.push(b);
+        }
+    }
+    for instr in &oracle.func().instrs {
+        for op in instr.operands() {
+            if let strsum_ir::Operand::Const(v, strsum_ir::Ty::I8 | strsum_ir::Ty::I32) = op {
+                if (1..=255).contains(&v) && !alphabet.contains(&(v as u8)) {
+                    alphabet.push(v as u8);
+                }
+            }
+        }
+    }
+    let alphabet = &alphabet[..];
+    let mut queue: Vec<Vec<u8>> = vec![vec![]];
+    let mut idx = 0;
+    while idx < queue.len() {
+        let s = queue[idx].clone();
+        idx += 1;
+        let candidate_out = strsum_gadgets::interp::run_bytes(bytes, Some(&s));
+        let oracle_out = oracle.run(Some(&s));
+        if crate::oracle::OracleOutcome::from_gadget(candidate_out) != oracle_out {
+            let cex = Some(s.clone());
+            if !known.contains(&cex) {
+                return Some(cex);
+            }
+        }
+        if s.len() < cfg.max_ex_size {
+            for &c in alphabet {
+                let mut t = s.clone();
+                t.push(c);
+                queue.push(t);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strsum_cfront::compile_one;
+    use strsum_gadgets::interp::{run_bytes, Outcome};
+
+    fn quick_cfg() -> SynthesisConfig {
+        SynthesisConfig {
+            timeout: Duration::from_secs(120),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn synthesises_bash_whitespace_loop() {
+        let f = compile_one(
+            r#"
+            #define whitespace(c) (((c) == ' ') || ((c) == '\t'))
+            char* loopFunction(char* line) {
+                char *p;
+                for (p = line; p && *p && whitespace(*p); p++)
+                    ;
+                return p;
+            }
+            "#,
+        )
+        .unwrap();
+        let r = synthesize(&f, &quick_cfg());
+        let prog = r.program.expect("bash loop synthesises");
+        // Spot-check behaviour on longer strings than the bound.
+        assert_eq!(
+            run_bytes(&prog.encode(), Some(b" \t \t hello")),
+            Outcome::Ptr(5)
+        );
+        assert_eq!(run_bytes(&prog.encode(), Some(b"xyz")), Outcome::Ptr(0));
+        assert_eq!(run_bytes(&prog.encode(), None), Outcome::Null);
+    }
+
+    #[test]
+    fn synthesises_strchr_loop() {
+        let f = compile_one("char* f(char* s) { while (*s != 0 && *s != ':') s++; return s; }")
+            .unwrap();
+        let r = synthesize(&f, &quick_cfg());
+        let prog = r.program.expect("strchr-like loop synthesises");
+        assert_eq!(run_bytes(&prog.encode(), Some(b"ab:c")), Outcome::Ptr(2));
+        assert_eq!(run_bytes(&prog.encode(), Some(b"abc")), Outcome::Ptr(3));
+    }
+
+    #[test]
+    fn synthesises_strlen_loop() {
+        let f = compile_one("char* f(char* s) { while (*s) s++; return s; }").unwrap();
+        let r = synthesize(&f, &quick_cfg());
+        let prog = r.program.expect("strlen loop synthesises");
+        assert_eq!(run_bytes(&prog.encode(), Some(b"hello")), Outcome::Ptr(5));
+    }
+
+    #[test]
+    fn respects_vocabulary() {
+        // Without P (strspn), the whitespace loop needs another expression;
+        // with only {E, F} nothing matches, so synthesis must fail cleanly.
+        let f = compile_one("char* f(char* s) { while (*s == ' ' || *s == '\\t') s++; return s; }")
+            .unwrap();
+        let cfg = SynthesisConfig {
+            vocab: Vocab::parse("EF").unwrap(),
+            timeout: Duration::from_secs(30),
+            ..Default::default()
+        };
+        let r = synthesize(&f, &cfg);
+        assert!(r.program.is_none());
+        assert!(r.stats.failure.is_some());
+    }
+
+    #[test]
+    fn minimize_strips_redundant_guards() {
+        use crate::equivalence::BoundedChecker;
+        use strsum_smt::TermPool;
+        let f = compile_one("char* f(char* s) { while (*s == ' ') s++; return s; }").unwrap();
+        let mut pool = TermPool::new();
+        let checker = BoundedChecker::new(&mut pool, &f, 3).unwrap();
+        // XX is a no-op prefix; minimisation should remove it.
+        let bloated = Program::decode(b"XXP  F").unwrap();
+        let minimal = minimize(&mut pool, &checker, &bloated);
+        assert_eq!(minimal.encode(), b"P  F");
+    }
+
+    #[test]
+    fn decode_prefix_ignores_trailing_garbage() {
+        let p = decode_prefix(b"P \0F\x11\x22").unwrap();
+        assert_eq!(p.encode(), b"P \0F");
+        assert!(decode_prefix(b"\x11F").is_none());
+        assert!(decode_prefix(b"III").is_none()); // no return
+    }
+}

@@ -1,0 +1,226 @@
+//! Bounded equivalence checking between a loop and a candidate program
+//! (lines 10–18 of Algorithm 2).
+//!
+//! The loop is executed symbolically once per length bound; each candidate
+//! is then checked by merging both sides' outcomes into single if-then-else
+//! terms (the paper's `StartMerge`/`EndMerge`) and asking the solver whether
+//! they can ever differ (`IsAlwaysTrue(isEq)`).
+
+use crate::oracle::{LoopOracle, OracleOutcome};
+use strsum_gadgets::symbolic::{outcomes_on_symbolic_string, INVALID_SENTINEL};
+use strsum_gadgets::{Outcome, Program};
+use strsum_smt::{CheckResult, Solver, TermId, TermPool};
+use strsum_symex::{engine::encode_outcome, Engine, SymbolicRun};
+
+/// Result of a bounded equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivalenceResult {
+    /// Equal on every string up to the bound (and on NULL when applicable).
+    Equivalent,
+    /// A distinguishing input (`None` = the NULL pointer).
+    Counterexample(Option<Vec<u8>>),
+    /// The check could not be completed (symbolic execution hit a budget).
+    Unknown(String),
+}
+
+/// A reusable checker: runs the loop symbolically once, then checks many
+/// candidate programs against it.
+#[derive(Debug)]
+pub struct BoundedChecker {
+    run: SymbolicRun,
+    orig_term: TermId,
+    null_expected: Option<OracleOutcome>,
+    /// Canonical-buffer assumptions: bytes after the first NUL are NUL, so
+    /// that reads past the terminator (unsafe executions) see the same
+    /// "nothing there" on both sides.
+    canon: Vec<TermId>,
+}
+
+impl BoundedChecker {
+    /// Prepares a checker for `func` on strings of length ≤ `max_ex_size`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when symbolic execution cannot fully explore the
+    /// loop (budget exhaustion, wrong signature).
+    pub fn new(
+        pool: &mut TermPool,
+        func: &strsum_ir::Func,
+        max_ex_size: usize,
+    ) -> Result<BoundedChecker, String> {
+        let mut engine = Engine::new(pool);
+        let run = engine.run_on_symbolic_string(func, max_ex_size)?;
+        let canon = canonical_buffer_constraints(pool, &run.chars);
+        if !run.complete {
+            return Err(format!(
+                "symbolic execution of {} exceeded budgets",
+                func.name
+            ));
+        }
+        let inv = pool.bv_const(INVALID_SENTINEL, 64);
+        let mut orig_term = inv;
+        for path in &run.paths {
+            let enc = encode_outcome(pool, path, run.input_obj).unwrap_or(inv);
+            let pc = pool.and_many(&path.constraints);
+            orig_term = pool.ite(pc, enc, orig_term);
+        }
+        // NULL input behaviour, decided concretely.
+        let mut oracle = LoopOracle::new(func);
+        let null_expected = if oracle.null_safe() {
+            Some(oracle.run(None))
+        } else {
+            None // unsafe on NULL ⇒ NULL excluded from the input space
+        };
+        Ok(BoundedChecker {
+            run,
+            orig_term,
+            null_expected,
+            canon,
+        })
+    }
+
+    /// The symbolic character variables of the bound-length input string.
+    pub fn chars(&self) -> &[TermId] {
+        &self.run.chars
+    }
+
+    /// Checks a candidate program for equivalence up to the bound.
+    pub fn check(&self, pool: &mut TermPool, prog: &Program) -> EquivalenceResult {
+        // NULL input first (concrete, cheap).
+        if let Some(expected) = self.null_expected {
+            let got = OracleOutcome::from_gadget(strsum_gadgets::interp::run(prog, None));
+            if got != expected {
+                return EquivalenceResult::Counterexample(None);
+            }
+        }
+        // Merge the program's guarded outcomes into one term.
+        let inv = pool.bv_const(INVALID_SENTINEL, 64);
+        let outcomes = outcomes_on_symbolic_string(pool, prog, &self.run.chars, false);
+        let mut prog_term = inv;
+        for go in &outcomes {
+            let enc = match go.outcome {
+                Outcome::Ptr(o) => pool.bv_const(o as u64, 64),
+                Outcome::Null => pool.bv_const(strsum_gadgets::symbolic::NULL_SENTINEL, 64),
+                Outcome::Invalid => inv,
+            };
+            prog_term = pool.ite(go.guard, enc, prog_term);
+        }
+        let neq = pool.ne(self.orig_term, prog_term);
+        let mut query = self.canon.clone();
+        query.push(neq);
+        match Solver::new().check(pool, &query) {
+            CheckResult::Unsat => EquivalenceResult::Equivalent,
+            CheckResult::Sat(model) => {
+                let bytes: Vec<u8> = self
+                    .run
+                    .chars
+                    .iter()
+                    .map(|&c| model.eval_bv(pool, c) as u8)
+                    .take_while(|&b| b != 0)
+                    .collect();
+                EquivalenceResult::Counterexample(Some(bytes))
+            }
+            CheckResult::Unknown => EquivalenceResult::Unknown("solver limit".to_string()),
+        }
+    }
+}
+
+/// Constrains a symbolic buffer to canonical form: every byte after the
+/// first NUL is NUL. Strings of length k are then represented uniquely,
+/// and out-of-string reads behave identically in the loop and the summary.
+fn canonical_buffer_constraints(pool: &mut TermPool, chars: &[TermId]) -> Vec<TermId> {
+    let zero = pool.bv_const(0, 8);
+    let mut out = Vec::new();
+    for w in chars.windows(2) {
+        let prev_nul = pool.eq(w[0], zero);
+        let next_nul = pool.eq(w[1], zero);
+        out.push(pool.implies(prev_nul, next_nul));
+    }
+    out
+}
+
+/// One-shot convenience wrapper around [`BoundedChecker`].
+pub fn check_equivalence(
+    func: &strsum_ir::Func,
+    prog: &Program,
+    max_ex_size: usize,
+) -> EquivalenceResult {
+    let mut pool = TermPool::new();
+    match BoundedChecker::new(&mut pool, func, max_ex_size) {
+        Ok(checker) => checker.check(&mut pool, prog),
+        Err(e) => EquivalenceResult::Unknown(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strsum_cfront::compile_one;
+
+    fn skip_ws() -> strsum_ir::Func {
+        compile_one("char* f(char* s) { while (*s == ' ' || *s == '\\t') s++; return s; }").unwrap()
+    }
+
+    #[test]
+    fn correct_summary_accepted() {
+        let f = skip_ws();
+        let p = Program::decode(b"P \t\0F").unwrap();
+        assert_eq!(check_equivalence(&f, &p, 3), EquivalenceResult::Equivalent);
+    }
+
+    #[test]
+    fn wrong_set_rejected_with_cex() {
+        let f = skip_ws();
+        let p = Program::decode(b"P \0F").unwrap(); // missing \t
+        match check_equivalence(&f, &p, 3) {
+            EquivalenceResult::Counterexample(Some(cex)) => {
+                // The counterexample must actually distinguish them.
+                assert!(cex.contains(&b'\t'), "cex {cex:?} should involve tab");
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_shape_rejected() {
+        let f = skip_ws();
+        let p = Program::decode(b"EF").unwrap(); // strlen, not strspn
+        assert!(matches!(
+            check_equivalence(&f, &p, 3),
+            EquivalenceResult::Counterexample(Some(_))
+        ));
+    }
+
+    #[test]
+    fn null_guard_checked() {
+        let f = compile_one(
+            "char* f(char* s) { if (s == 0) return s; while (*s == ' ') s++; return s; }",
+        )
+        .unwrap();
+        let with_guard = Program::decode(b"ZFP \0F").unwrap();
+        let without = Program::decode(b"P \0F").unwrap();
+        assert_eq!(
+            check_equivalence(&f, &with_guard, 3),
+            EquivalenceResult::Equivalent
+        );
+        assert_eq!(
+            check_equivalence(&f, &without, 3),
+            EquivalenceResult::Counterexample(None)
+        );
+    }
+
+    #[test]
+    fn unsafe_loop_matches_rawmemchr() {
+        // This loop reads past the NUL if ';' is absent — exactly
+        // rawmemchr's unsafe behaviour (§3 "Unterminated Loops").
+        let f = compile_one("char* f(char* s) { while (*s != ';') s++; return s; }").unwrap();
+        let m = Program::decode(b"M;F").unwrap();
+        assert_eq!(check_equivalence(&f, &m, 3), EquivalenceResult::Equivalent);
+        // Plain strchr differs: it returns NULL when ';' is missing.
+        let c = Program::decode(b"C;F").unwrap();
+        assert!(matches!(
+            check_equivalence(&f, &c, 3),
+            EquivalenceResult::Counterexample(Some(_))
+        ));
+    }
+}

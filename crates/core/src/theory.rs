@@ -1,0 +1,337 @@
+//! Executable versions of §3's definitions and theorems.
+//!
+//! [`MemorylessSpec`] is Definition 3: a scan that stops at the first
+//! character in a set `X`. The Truncate (Thm 3.2), Squeeze (Thm 3.3) and
+//! Equivalence (Thm 3.4) theorems are stated here as checkable predicates;
+//! the test-suite (including property-based tests) exercises them on
+//! arbitrary specs and on synthesised programs, providing empirical
+//! backing for using `max_ex_size = 3` in CEGIS.
+
+use strsum_smt::ByteSet;
+
+/// Definition 3: a memoryless specification.
+///
+/// Forward form:
+/// ```c
+/// char* func(char *input) {
+///     int i, len = strlen(input);
+///     for (i = 0; i <= len - 1; i++)
+///         if (input[i] ∈ X) return input + i;
+///     return input + len;
+/// }
+/// ```
+/// The NUL terminator may be a member of `X` via `nul_in_x`, which makes
+/// the scan stop at `len` with 0 extra iterations — this is how `strchr`
+/// with the NUL target and `strspn`-style specs are expressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemorylessSpec {
+    /// Scan direction.
+    pub forward: bool,
+    /// The stop set `X` over non-NUL characters.
+    pub x: ByteSet,
+    /// Whether the NUL character is in `X`.
+    pub nul_in_x: bool,
+}
+
+impl MemorylessSpec {
+    /// A forward spec stopping at any byte of `stop` (NUL excluded).
+    pub fn forward(stop: &[u8]) -> MemorylessSpec {
+        MemorylessSpec {
+            forward: true,
+            x: ByteSet::from_bytes(stop),
+            nul_in_x: false,
+        }
+    }
+
+    /// A backward spec stopping at any byte of `stop`.
+    pub fn backward(stop: &[u8]) -> MemorylessSpec {
+        MemorylessSpec {
+            forward: false,
+            x: ByteSet::from_bytes(stop),
+            nul_in_x: false,
+        }
+    }
+
+    fn stops_at(&self, c: u8) -> bool {
+        if c == 0 {
+            self.nul_in_x
+        } else {
+            self.x.contains(c)
+        }
+    }
+
+    /// ∆F(s): the number of iterations before the spec returns.
+    pub fn delta(&self, s: &[u8]) -> usize {
+        let len = s.len();
+        if self.forward {
+            for (i, &c) in s.iter().enumerate() {
+                if self.stops_at(c) {
+                    return i;
+                }
+            }
+            len
+        } else {
+            for (iter, i) in (0..len).rev().enumerate() {
+                if self.stops_at(s[i]) {
+                    return iter;
+                }
+            }
+            len
+        }
+    }
+
+    /// The returned offset `JFK(s)`.
+    pub fn eval(&self, s: &[u8]) -> usize {
+        let len = s.len();
+        let d = self.delta(s);
+        if self.forward {
+            d // input + i, or input + len when no stop
+        } else if d == len {
+            0 // R = input for backward scans that never stop
+        } else {
+            len - 1 - d
+        }
+    }
+}
+
+/// The paper's §3 extension: "we can allow simple loops to start scanning
+/// the string from the nth character … provided we test that the program is
+/// memoryless for strings up to length of n + 3". An [`OffsetSpec`] skips a
+/// fixed prefix and then behaves like a memoryless spec on the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OffsetSpec {
+    /// Characters skipped unconditionally before scanning.
+    pub skip: usize,
+    /// The memoryless scan applied from `skip` onwards.
+    pub inner: MemorylessSpec,
+}
+
+impl OffsetSpec {
+    /// Returned offset; inputs shorter than `skip` yield `None` (the C loop
+    /// would read past the terminator — an unsafe execution).
+    pub fn eval(&self, s: &[u8]) -> Option<usize> {
+        if s.len() < self.skip {
+            return None;
+        }
+        Some(self.skip + self.inner.eval(&s[self.skip..]))
+    }
+
+    /// The verification bound for this spec: `skip + 3` (paper §3).
+    pub fn bound(&self) -> usize {
+        self.skip + 3
+    }
+}
+
+/// Theorem 3.2 (Memoryless Truncate), part 1, for a given evaluator `dp`:
+/// if `∆P(ωω') < |ω|` then `∆P(ωω') = ∆P(ω)`.
+pub fn truncate_holds(dp: &dyn Fn(&[u8]) -> usize, omega: &[u8], omega2: &[u8]) -> bool {
+    let mut full = omega.to_vec();
+    full.extend_from_slice(omega2);
+    let d_full = dp(&full);
+    if d_full < omega.len() {
+        d_full == dp(omega)
+    } else {
+        // Part 2: ∆P(ω) ≥ |ω|.
+        dp(omega) >= omega.len()
+    }
+}
+
+/// Theorem 3.3 (Memoryless Squeeze) for evaluator `dp`: on `"aωb"`,
+/// if `∆ = 1 + |ω|` then `∆("ab") = 1`, and if `∆ > 1 + |ω|` then
+/// `∆("ab") > 1`.
+pub fn squeeze_holds(dp: &dyn Fn(&[u8]) -> usize, a: u8, omega: &[u8], b: u8) -> bool {
+    let mut s = vec![a];
+    s.extend_from_slice(omega);
+    s.push(b);
+    let d = dp(&s);
+    let ab = [a, b];
+    if d == 1 + omega.len() {
+        dp(&ab) == 1
+    } else if d > 1 + omega.len() {
+        dp(&ab) > 1
+    } else {
+        true // antecedent false
+    }
+}
+
+/// Theorem 3.4 (Memoryless Equivalence) specialised to checking: if a
+/// program agrees with `spec` on *all* strings of length ≤ 2 over
+/// `alphabet`, it agrees on `longer` too. Returns `false` only on a
+/// violation of the theorem (never because the short check fails — in that
+/// case the antecedent is false and the theorem holds vacuously).
+pub fn equivalence_transfer(
+    eval: &dyn Fn(&[u8]) -> Option<usize>,
+    spec: &MemorylessSpec,
+    alphabet: &[u8],
+    longer: &[u8],
+) -> bool {
+    // Check agreement on all strings of length ≤ 2.
+    let mut shorts: Vec<Vec<u8>> = vec![vec![]];
+    for &a in alphabet {
+        shorts.push(vec![a]);
+        for &b in alphabet {
+            shorts.push(vec![a, b]);
+        }
+    }
+    for s in &shorts {
+        if eval(s) != Some(spec.eval(s)) {
+            return true; // antecedent false ⇒ nothing to check
+        }
+    }
+    eval(longer) == Some(spec.eval(longer))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use strsum_gadgets::interp::{run_bytes, Outcome};
+
+    #[test]
+    fn spec_matches_strchr_strspn() {
+        // strchr(s, ':') stops at ':' — X = {':'} (Example 3.1).
+        let spec = MemorylessSpec::forward(b":");
+        assert_eq!(spec.eval(b"ab:c"), 2);
+        assert_eq!(spec.eval(b"abc"), 3); // input + len
+                                          // strspn(s, " \t") — X = complement of the span set.
+        let mut x = ByteSet::from_bytes(b" \t").complement();
+        x.remove(0);
+        let spec = MemorylessSpec {
+            forward: true,
+            x,
+            nul_in_x: false,
+        };
+        assert_eq!(spec.eval(b"  \tz"), 3);
+        assert_eq!(spec.eval(b"   "), 3);
+    }
+
+    #[test]
+    fn backward_spec_matches_strrchr_shape() {
+        let spec = MemorylessSpec::backward(b"/");
+        assert_eq!(spec.eval(b"a/b/c"), 3);
+        assert_eq!(spec.eval(b"abc"), 0); // R = input
+    }
+
+    #[test]
+    fn offset_spec_models_skip_then_span() {
+        // s++ then skip spaces: OffsetSpec{skip:1, strspn-like}.
+        let mut x = ByteSet::from_bytes(b" ").complement();
+        x.remove(0);
+        let spec = OffsetSpec {
+            skip: 1,
+            inner: MemorylessSpec {
+                forward: true,
+                x,
+                nul_in_x: false,
+            },
+        };
+        assert_eq!(spec.eval(b"X  rest"), Some(3));
+        assert_eq!(spec.eval(b"X"), Some(1));
+        assert_eq!(spec.eval(b""), None); // would read past the NUL
+        assert_eq!(spec.bound(), 4);
+        // Matches the corresponding gadget program I P␣\0 F.
+        let prog = b"IP \0F";
+        for s in [&b"X  rest"[..], b"X", b"X "] {
+            match run_bytes(prog, Some(s)) {
+                Outcome::Ptr(o) => assert_eq!(Some(o), spec.eval(s), "{s:?}"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn offset_spec_transfer_holds_at_its_bound() {
+        // Agreement on strings ≤ skip+3 transfers to longer strings — the
+        // §3 claim, checked exhaustively over a small alphabet.
+        let mut x = ByteSet::from_bytes(b".").complement();
+        x.remove(0);
+        let spec = OffsetSpec {
+            skip: 1,
+            inner: MemorylessSpec {
+                forward: true,
+                x,
+                nul_in_x: false,
+            },
+        };
+        let prog = b"IP.\0F";
+        let eval = |s: &[u8]| match run_bytes(prog, Some(s)) {
+            Outcome::Ptr(o) => Some(o),
+            _ => None,
+        };
+        let alphabet = b".z";
+        // Antecedent: agree on all strings of length ≤ bound().
+        let mut stack: Vec<Vec<u8>> = vec![vec![]];
+        while let Some(s) = stack.pop() {
+            assert_eq!(eval(&s), spec.eval(&s), "short {s:?}");
+            if s.len() < spec.bound() {
+                for &c in alphabet {
+                    let mut t = s.clone();
+                    t.push(c);
+                    stack.push(t);
+                }
+            }
+        }
+        // Consequent: agreement on longer strings.
+        for s in [&b"z....z.z"[..], b"........", b"zzzzzzzz", b".z.z.z.z.z"] {
+            assert_eq!(eval(s), spec.eval(s), "long {s:?}");
+        }
+    }
+
+    fn spec_strategy() -> impl Strategy<Value = MemorylessSpec> {
+        (
+            any::<bool>(),
+            proptest::collection::vec(1u8..=255, 0..6),
+            any::<bool>(),
+        )
+            .prop_map(|(forward, stop, nul)| MemorylessSpec {
+                forward,
+                x: ByteSet::from_bytes(&stop),
+                nul_in_x: nul,
+            })
+    }
+
+    fn string_strategy() -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(1u8..=255, 0..12)
+    }
+
+    proptest! {
+        /// Theorem 3.2 holds for every *forward* memoryless specification
+        /// (the paper proves the forward case; backward is symmetric under
+        /// reversal, not under suffix extension).
+        #[test]
+        fn truncate_theorem(spec in spec_strategy(), w1 in string_strategy(), w2 in string_strategy()) {
+            let spec = MemorylessSpec { forward: true, ..spec };
+            let dp = |s: &[u8]| spec.delta(s);
+            prop_assert!(truncate_holds(&dp, &w1, &w2));
+        }
+
+        /// Theorem 3.3 holds for every forward memoryless specification.
+        #[test]
+        fn squeeze_theorem(spec in spec_strategy(), a in 1u8..=255, w in string_strategy(), b in 1u8..=255) {
+            let spec = MemorylessSpec { forward: true, ..spec };
+            let dp = |s: &[u8]| spec.delta(s);
+            prop_assert!(squeeze_holds(&dp, a, &w, b));
+        }
+
+        /// Theorem 3.4, instantiated with gadget programs as the "loops":
+        /// agreement up to length 2 transfers to longer strings.
+        #[test]
+        fn equivalence_theorem_on_programs(
+            stop in proptest::collection::vec(proptest::sample::select(&b" \t:;/ab"[..]), 1..3),
+            longer in proptest::collection::vec(proptest::sample::select(&b" \t:;/ab"[..]), 3..10),
+        ) {
+            // Program: strcspn over `stop` — a forward memoryless loop.
+            let mut enc = vec![b'N'];
+            enc.extend_from_slice(&stop);
+            enc.push(0);
+            enc.push(b'F');
+            let eval = |s: &[u8]| match run_bytes(&enc, Some(s)) {
+                Outcome::Ptr(o) => Some(o),
+                _ => None,
+            };
+            let spec = MemorylessSpec::forward(&stop);
+            let alphabet = b" \t:;/ab";
+            prop_assert!(equivalence_transfer(&eval, &spec, alphabet, &longer));
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Vocabularies: subsets of the 13 gadget kinds, represented as bitmasks
+//! exactly like §4.2.3's bit-vectors `v ∈ {0,1}^13`.
+
+use std::fmt;
+use strsum_gadgets::{GadgetKind, ALL_KINDS};
+
+/// A gadget vocabulary (subset of [`ALL_KINDS`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Vocab(u16);
+
+impl Vocab {
+    /// The empty vocabulary.
+    pub const EMPTY: Vocab = Vocab(0);
+
+    /// The full 13-gadget vocabulary of Table 1.
+    pub fn full() -> Vocab {
+        Vocab((1 << ALL_KINDS.len()) - 1)
+    }
+
+    /// Builds a vocabulary from kinds.
+    pub fn from_kinds(kinds: &[GadgetKind]) -> Vocab {
+        let mut v = Vocab(0);
+        for &k in kinds {
+            v.insert(k);
+        }
+        v
+    }
+
+    /// Parses the paper's opcode-letter notation, e.g. `"MPNIFV"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending character.
+    pub fn parse(letters: &str) -> Result<Vocab, char> {
+        let mut v = Vocab(0);
+        for ch in letters.chars() {
+            match GadgetKind::from_opcode(ch as u8) {
+                Some(k) => v.insert(k),
+                None => return Err(ch),
+            }
+        }
+        Ok(v)
+    }
+
+    /// Builds from the bit-vector form of §4.2.3 (bit *i* = kind *i* in
+    /// Table 1 order).
+    pub fn from_bits(bits: u16) -> Vocab {
+        Vocab(bits & ((1 << ALL_KINDS.len()) - 1))
+    }
+
+    /// The raw bitmask (Table 1 order).
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    fn index(kind: GadgetKind) -> usize {
+        ALL_KINDS
+            .iter()
+            .position(|&k| k == kind)
+            .expect("kind in table")
+    }
+
+    /// Adds a kind.
+    pub fn insert(&mut self, kind: GadgetKind) {
+        self.0 |= 1 << Self::index(kind);
+    }
+
+    /// Removes a kind.
+    pub fn remove(&mut self, kind: GadgetKind) {
+        self.0 &= !(1 << Self::index(kind));
+    }
+
+    /// Membership test.
+    pub fn contains(self, kind: GadgetKind) -> bool {
+        self.0 >> Self::index(kind) & 1 == 1
+    }
+
+    /// Number of kinds in the vocabulary.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over contained kinds in Table 1 order.
+    pub fn kinds(self) -> impl Iterator<Item = GadgetKind> {
+        ALL_KINDS.into_iter().filter(move |&k| self.contains(k))
+    }
+
+    /// The opcode bytes of the contained kinds.
+    pub fn opcodes(self) -> Vec<u8> {
+        self.kinds().map(GadgetKind::opcode).collect()
+    }
+
+    /// Whether a program uses only gadgets from this vocabulary.
+    pub fn admits(self, prog: &strsum_gadgets::Program) -> bool {
+        prog.gadgets().iter().all(|g| self.contains(g.kind()))
+    }
+}
+
+impl fmt::Display for Vocab {
+    /// Displays in the paper's letter notation (`MPNIFV`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for k in self.kinds() {
+            write!(f, "{}", k.opcode() as char)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_has_13() {
+        assert_eq!(Vocab::full().len(), 13);
+    }
+
+    #[test]
+    fn parse_paper_vocabularies() {
+        // The winning vocabulary of Table 4.
+        let v = Vocab::parse("MPNIFV").unwrap();
+        assert_eq!(v.len(), 6);
+        assert!(v.contains(GadgetKind::Strspn));
+        assert!(v.contains(GadgetKind::Reverse));
+        assert!(!v.contains(GadgetKind::Strchr));
+        assert_eq!(v.to_string(), "MPNIVF"); // Table 1 order puts F last
+        assert_eq!(Vocab::parse("Q"), Err('Q'));
+    }
+
+    #[test]
+    fn display_is_table_order() {
+        let v = Vocab::parse("FIP").unwrap();
+        assert_eq!(v.to_string(), "PIF"); // Table 1 order
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let v = Vocab::parse("PNIFV").unwrap();
+        assert_eq!(Vocab::from_bits(v.bits()), v);
+    }
+
+    #[test]
+    fn admits_checks_gadgets() {
+        let v = Vocab::parse("PF").unwrap();
+        let ok = strsum_gadgets::Program::decode(b"P \0F").unwrap();
+        let no = strsum_gadgets::Program::decode(b"C F").unwrap();
+        assert!(v.admits(&ok));
+        assert!(!v.admits(&no));
+    }
+}

@@ -1,0 +1,558 @@
+//! The database of 115 memoryless-candidate loops, distributed over the 13
+//! applications exactly as in the paper's Table 3.
+//!
+//! Each entry is a complete C function in the `char* loopFunction(char*)`
+//! shape the paper extracts (§4.1.2), written in one of the many idioms
+//! real code uses: `for`/`while`/`do`, pointer or index cursors, macro or
+//! `<ctype.h>` predicates, forward and backward scans, NULL guards, and
+//! unterminated (`rawmemchr`-style) scans. A minority are intentionally at
+//! or beyond the edge of the vocabulary (alphabetic spans, 4-character
+//! sets, case-folded comparisons) — the paper, too, synthesises only 77 of
+//! the 115.
+
+use std::fmt;
+
+/// The 13 applications of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum App {
+    /// GNU bash 4.4
+    Bash,
+    /// GNU diffutils
+    Diff,
+    /// one-true-awk / gawk
+    Awk,
+    /// git
+    Git,
+    /// GNU grep
+    Grep,
+    /// GNU m4
+    M4,
+    /// GNU make
+    Make,
+    /// GNU patch
+    Patch,
+    /// GNU sed
+    Sed,
+    /// OpenSSH
+    Ssh,
+    /// GNU tar
+    Tar,
+    /// libosip2
+    Libosip,
+    /// GNU wget
+    Wget,
+}
+
+/// All applications, in Table 2/3 order.
+pub const APPS: [App; 13] = [
+    App::Bash,
+    App::Diff,
+    App::Awk,
+    App::Git,
+    App::Grep,
+    App::M4,
+    App::Make,
+    App::Patch,
+    App::Sed,
+    App::Ssh,
+    App::Tar,
+    App::Libosip,
+    App::Wget,
+];
+
+impl App {
+    /// Lower-case display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            App::Bash => "bash",
+            App::Diff => "diff",
+            App::Awk => "awk",
+            App::Git => "git",
+            App::Grep => "grep",
+            App::M4 => "m4",
+            App::Make => "make",
+            App::Patch => "patch",
+            App::Sed => "sed",
+            App::Ssh => "ssh",
+            App::Tar => "tar",
+            App::Libosip => "libosip",
+            App::Wget => "wget",
+        }
+    }
+}
+
+impl fmt::Display for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One loop of the corpus.
+#[derive(Debug, Clone)]
+pub struct LoopEntry {
+    /// Stable identifier, e.g. `bash_03`.
+    pub id: String,
+    /// Application the loop is modelled on.
+    pub app: App,
+    /// What the loop does.
+    pub description: String,
+    /// Complete C source of the extracted `loopFunction`.
+    pub source: String,
+}
+
+struct Builder {
+    entries: Vec<LoopEntry>,
+    app: App,
+    n: usize,
+}
+
+impl Builder {
+    fn app(&mut self, app: App) {
+        self.app = app;
+        self.n = 0;
+    }
+
+    fn push(&mut self, description: &str, source: String) {
+        self.n += 1;
+        self.entries.push(LoopEntry {
+            id: format!("{}_{:02}", self.app.name(), self.n),
+            app: self.app,
+            description: description.to_string(),
+            source,
+        });
+    }
+}
+
+// --- loop idiom templates ---------------------------------------------------
+
+/// `for (p = s; *p == a || *p == b …; p++) ; return p;`
+fn skip_set_for(chars: &[char]) -> String {
+    let cond: Vec<String> = chars
+        .iter()
+        .map(|c| format!("*p == '{}'", esc(*c)))
+        .collect();
+    format!(
+        "char* loopFunction(char* s) {{\n    char *p;\n    for (p = s; {}; p++)\n        ;\n    return p;\n}}\n",
+        cond.join(" || ")
+    )
+}
+
+/// `while (*s == a …) s++; return s;`
+fn skip_set_while(chars: &[char]) -> String {
+    let cond: Vec<String> = chars
+        .iter()
+        .map(|c| format!("*s == '{}'", esc(*c)))
+        .collect();
+    format!(
+        "char* loopFunction(char* s) {{\n    while ({})\n        s++;\n    return s;\n}}\n",
+        cond.join(" || ")
+    )
+}
+
+/// Index-cursor span.
+fn skip_set_index(chars: &[char]) -> String {
+    let cond: Vec<String> = chars
+        .iter()
+        .map(|c| format!("s[i] == '{}'", esc(*c)))
+        .collect();
+    format!(
+        "char* loopFunction(char* s) {{\n    int i = 0;\n    while ({})\n        i++;\n    return s + i;\n}}\n",
+        cond.join(" || ")
+    )
+}
+
+/// NULL-guarded span (the bash Figure 1 shape).
+fn skip_set_guarded(chars: &[char]) -> String {
+    let cond: Vec<String> = chars
+        .iter()
+        .map(|c| format!("(*p) == '{}'", esc(*c)))
+        .collect();
+    format!(
+        "char* loopFunction(char* line) {{\n    char *p;\n    for (p = line; p && *p && ({}); p++)\n        ;\n    return p;\n}}\n",
+        cond.join(" || ")
+    )
+}
+
+/// Span via an object-like macro (whitespace(c) style).
+fn skip_macro(macro_name: &str, chars: &[char]) -> String {
+    let cond: Vec<String> = chars
+        .iter()
+        .map(|c| format!("((c) == '{}')", esc(*c)))
+        .collect();
+    format!(
+        "#define {macro_name}(c) ({})\nchar* loopFunction(char* line) {{\n    char *p;\n    for (p = line; p && *p && {macro_name}(*p); p++)\n        ;\n    return p;\n}}\n",
+        cond.join(" || ")
+    )
+}
+
+/// `<ctype.h>` predicate span.
+fn skip_ctype(pred: &str) -> String {
+    format!(
+        "char* loopFunction(char* s) {{\n    while ({pred}(*s))\n        s++;\n    return s;\n}}\n"
+    )
+}
+
+/// Range-comparison digit span.
+fn skip_digits_range() -> String {
+    "char* loopFunction(char* s) {\n    while (*s >= '0' && *s <= '9')\n        s++;\n    return s;\n}\n"
+        .to_string()
+}
+
+/// `while (*s && *s != a …) s++;` — strcspn/strchr shape.
+fn find_set(chars: &[char]) -> String {
+    let cond: Vec<String> = chars
+        .iter()
+        .map(|c| format!("*s != '{}'", esc(*c)))
+        .collect();
+    format!(
+        "char* loopFunction(char* s) {{\n    while (*s != 0 && {})\n        s++;\n    return s;\n}}\n",
+        cond.join(" && ")
+    )
+}
+
+/// Find with a `for` and pointer cursor.
+fn find_set_for(chars: &[char]) -> String {
+    let cond: Vec<String> = chars
+        .iter()
+        .map(|c| format!("*p != '{}'", esc(*c)))
+        .collect();
+    format!(
+        "char* loopFunction(char* s) {{\n    char *p;\n    for (p = s; *p && {}; p++)\n        ;\n    return p;\n}}\n",
+        cond.join(" && ")
+    )
+}
+
+/// Unterminated scan (`rawmemchr` shape, §3 "Unterminated Loops").
+fn find_unterminated(c: char) -> String {
+    format!(
+        "char* loopFunction(char* s) {{\n    while (*s != '{}')\n        s++;\n    return s;\n}}\n",
+        esc(c)
+    )
+}
+
+/// strlen via `while`.
+fn strlen_while() -> String {
+    "char* loopFunction(char* s) {\n    while (*s)\n        s++;\n    return s;\n}\n".to_string()
+}
+
+/// strlen via `for` with a separate cursor.
+fn strlen_for() -> String {
+    "char* loopFunction(char* s) {\n    char *e;\n    for (e = s; *e; e++)\n        ;\n    return e;\n}\n"
+        .to_string()
+}
+
+/// Backward scan: find the last occurrence of `c` (strrchr shape).
+fn find_last(c: char) -> String {
+    format!(
+        "char* loopFunction(char* s) {{\n    char *end = s;\n    while (*end)\n        end++;\n    while (end > s && *end != '{}')\n        end--;\n    return end;\n}}\n",
+        esc(c)
+    )
+}
+
+/// Backward scan: trim trailing characters in the set.
+fn trim_trailing(chars: &[char]) -> String {
+    let cond: Vec<String> = chars
+        .iter()
+        .map(|c| format!("end[-1] == '{}'", esc(*c)))
+        .collect();
+    format!(
+        "char* loopFunction(char* s) {{\n    char *end = s;\n    while (*end)\n        end++;\n    while (end > s && ({}))\n        end--;\n    return end;\n}}\n",
+        cond.join(" || ")
+    )
+}
+
+/// Case-folded span: `tolower(*s) == c` (expressible as a 2-char strspn).
+fn skip_folded(c: char) -> String {
+    format!(
+        "char* loopFunction(char* s) {{\n    while (tolower(*s) == '{}')\n        s++;\n    return s;\n}}\n",
+        esc(c)
+    )
+}
+
+/// do-while span after a guaranteed first character (skip leading marker
+/// then span) — synthesises to an increment-plus-span.
+fn skip_after_marker(chars: &[char]) -> String {
+    let cond: Vec<String> = chars
+        .iter()
+        .map(|c| format!("*s == '{}'", esc(*c)))
+        .collect();
+    format!(
+        "char* loopFunction(char* s) {{\n    s++;\n    while ({})\n        s++;\n    return s;\n}}\n",
+        cond.join(" || ")
+    )
+}
+
+fn esc(c: char) -> String {
+    match c {
+        '\t' => "\\t".to_string(),
+        '\n' => "\\n".to_string(),
+        '\r' => "\\r".to_string(),
+        '\'' => "\\'".to_string(),
+        '\\' => "\\\\".to_string(),
+        c => c.to_string(),
+    }
+}
+
+/// Builds the full 115-loop corpus.
+pub fn corpus() -> Vec<LoopEntry> {
+    let mut b = Builder {
+        entries: Vec::new(),
+        app: App::Bash,
+        n: 0,
+    };
+
+    // --- bash: 14 loops ----------------------------------------------------
+    b.app(App::Bash);
+    b.push(
+        "Figure 1: skip leading blanks via whitespace() macro",
+        skip_macro("whitespace", &[' ', '\t']),
+    );
+    b.push("skip leading spaces", skip_set_while(&[' ']));
+    b.push(
+        "skip $IFS-like separators",
+        skip_set_for(&[' ', '\t', '\n']),
+    );
+    b.push("find '=' in an assignment word", find_set(&['=']));
+    b.push("find end of line", strlen_while());
+    b.push("scan to ':' in $PATH", find_set(&[':']));
+    b.push("skip digits of a job spec", skip_digits_range());
+    b.push("skip digits via isdigit()", skip_ctype("isdigit"));
+    b.push("unterminated scan for '`'", find_unterminated('`'));
+    b.push("trim trailing slashes", trim_trailing(&['/']));
+    b.push("find last '/' of a path", find_last('/'));
+    b.push("guarded whitespace skip", skip_set_guarded(&[' ', '\t']));
+    b.push(
+        "alphabetic identifier span (beyond vocabulary)",
+        skip_ctype("isalpha"),
+    );
+    b.push(
+        "4-char whitespace span incl. CR",
+        skip_set_while(&[' ', '\t', '\n', '\r']),
+    );
+
+    // --- diff: 5 loops -------------------------------------------------------
+    b.app(App::Diff);
+    b.push("skip blanks in a hunk line", skip_set_for(&[' ', '\t']));
+    b.push("scan to end of line text", find_set(&['\n']));
+    b.push("strlen of a file name", strlen_for());
+    b.push("skip digits of a line number", skip_digits_range());
+    b.push("alnum word span (beyond vocabulary)", skip_ctype("isalnum"));
+
+    // --- awk: 3 loops --------------------------------------------------------
+    b.app(App::Awk);
+    b.push("skip record separators", skip_set_while(&[' ', '\t', '\n']));
+    b.push("find field separator", find_set(&[':']));
+    b.push("skip digits of a field index", skip_ctype("isdigit"));
+
+    // --- git: 33 loops -------------------------------------------------------
+    b.app(App::Git);
+    b.push(
+        "skip leading whitespace of a config line",
+        skip_set_for(&[' ', '\t']),
+    );
+    b.push("skip spaces", skip_set_while(&[' ']));
+    b.push("index-cursor blank skip", skip_set_index(&[' ', '\t']));
+    b.push("guarded blank skip", skip_set_guarded(&[' ', '\t']));
+    b.push("find ':' in object spec", find_set(&[':']));
+    b.push("find '/' in a ref name", find_set_for(&['/']));
+    b.push("find '=' in a config key", find_set(&['=']));
+    b.push("find NUL (strlen)", strlen_while());
+    b.push("strlen via for", strlen_for());
+    b.push("scan to newline", find_set(&['\n']));
+    b.push("scan to space or tab", find_set(&[' ', '\t']));
+    b.push("scan to dot or slash", find_set(&['.', '/']));
+    b.push("skip digits of an abbrev length", skip_digits_range());
+    b.push("skip digits via isdigit", skip_ctype("isdigit"));
+    b.push(
+        "hex digit span of an oid (beyond vocabulary)",
+        skip_ctype("isxdigit"),
+    );
+    b.push("find last '/' of a path", find_last('/'));
+    b.push("find last '.' of a file name", find_last('.'));
+    b.push("trim trailing whitespace", trim_trailing(&[' ', '\t']));
+    b.push("trim trailing newlines", trim_trailing(&['\n']));
+    b.push(
+        "unterminated scan for NUL-marker ';'",
+        find_unterminated(';'),
+    );
+    b.push("skip '*' glob chars", skip_set_while(&['*']));
+    b.push("skip '-' option dashes", skip_set_while(&['-']));
+    b.push(
+        "macro-based separator skip",
+        skip_macro("issep", &[' ', ',']),
+    );
+    b.push("skip comment '#' markers", skip_set_while(&['#']));
+    b.push("find '<' of an email", find_set(&['<']));
+    b.push("find '>' of an email", find_set(&['>']));
+    b.push("skip 'refs/' dashes and dots", skip_set_while(&['.', '-']));
+    b.push(
+        "skip quoted pad spaces after marker",
+        skip_after_marker(&[' ']),
+    );
+    b.push("case-folded 'x' span", skip_folded('x'));
+    b.push(
+        "alpha identifier span (beyond vocabulary)",
+        skip_ctype("isalpha"),
+    );
+    b.push(
+        "alnum token span (beyond vocabulary)",
+        skip_ctype("isalnum"),
+    );
+    b.push("upper-case span (beyond vocabulary)", skip_ctype("isupper"));
+    b.push(
+        "4-char whitespace span",
+        skip_set_for(&[' ', '\t', '\n', '\r']),
+    );
+
+    // --- grep: 3 loops --------------------------------------------------------
+    b.app(App::Grep);
+    b.push("skip blanks before a pattern", skip_set_while(&[' ', '\t']));
+    b.push("scan to line end", find_set(&['\n']));
+    b.push(
+        "alpha span of a class name (beyond vocabulary)",
+        skip_ctype("isalpha"),
+    );
+
+    // --- m4: 5 loops -----------------------------------------------------------
+    b.app(App::M4);
+    b.push("skip macro-name blanks", skip_set_for(&[' ', '\t']));
+    b.push("find '(' of an invocation", find_set(&['(']));
+    b.push("find ',' or ')' of arguments", find_set(&[',', ')']));
+    b.push(
+        "alnum macro-name span (beyond vocabulary)",
+        skip_ctype("isalnum"),
+    );
+    b.push("lower-case span (beyond vocabulary)", skip_ctype("islower"));
+
+    // --- make: 3 loops -----------------------------------------------------------
+    b.app(App::Make);
+    b.push(
+        "punctuated target span (beyond vocabulary)",
+        skip_ctype("ispunct"),
+    );
+    b.push(
+        "alpha variable-name span (beyond vocabulary)",
+        skip_ctype("isalpha"),
+    );
+    b.push("alnum word span (beyond vocabulary)", skip_ctype("isalnum"));
+
+    // --- patch: 13 loops -----------------------------------------------------------
+    b.app(App::Patch);
+    b.push("skip hunk blanks", skip_set_while(&[' ', '\t']));
+    b.push("skip '+' markers", skip_set_while(&['+']));
+    b.push("skip '-' markers", skip_set_while(&['-']));
+    b.push("skip '@' markers", skip_set_while(&['@']));
+    b.push("find ',' in a range", find_set(&[',']));
+    b.push("find '@' terminator", find_set(&['@']));
+    b.push("skip digits of a line count", skip_digits_range());
+    b.push("skip digits via isdigit", skip_ctype("isdigit"));
+    b.push("strlen of a file name", strlen_while());
+    b.push("scan to tab or newline", find_set(&['\t', '\n']));
+    b.push("find last '/' of a path", find_last('/'));
+    b.push("index-cursor space skip", skip_set_index(&[' ']));
+    b.push("guarded blank skip", skip_set_guarded(&[' ', '\t']));
+
+    // --- sed: 0 loops (Table 3: 0/0) --------------------------------------------
+
+    // --- ssh: 2 loops --------------------------------------------------------------
+    b.app(App::Ssh);
+    b.push("skip option whitespace", skip_set_for(&[' ', '\t']));
+    b.push("find '=' of an option value", find_set(&['=']));
+
+    // --- tar: 15 loops ---------------------------------------------------------------
+    b.app(App::Tar);
+    b.push("skip header padding spaces", skip_set_while(&[' ']));
+    b.push("skip NUL-padding guard blanks", skip_set_for(&[' ', '\t']));
+    b.push("skip octal digits", skip_digits_range());
+    b.push("skip digits via isdigit", skip_ctype("isdigit"));
+    b.push("find '/' of a member path", find_set(&['/']));
+    b.push("find '=' of a pax keyword", find_set(&['=']));
+    b.push("scan to ',' or ':'", find_set(&[',', ':']));
+    b.push("strlen of a name field", strlen_while());
+    b.push("strlen via for", strlen_for());
+    b.push("trim trailing slashes", trim_trailing(&['/']));
+    b.push("trim trailing blanks", trim_trailing(&[' ', '\t']));
+    b.push("find last '/' of a path", find_last('/'));
+    b.push("unterminated scan for '%'", find_unterminated('%'));
+    b.push(
+        "macro-based blank skip",
+        skip_macro("isblankc", &[' ', '\t']),
+    );
+    b.push(
+        "alpha keyword span (beyond vocabulary)",
+        skip_ctype("isalpha"),
+    );
+
+    // --- libosip: 13 loops --------------------------------------------------------------
+    b.app(App::Libosip);
+    b.push("skip SIP header LWS", skip_set_for(&[' ', '\t']));
+    b.push("index-cursor LWS skip", skip_set_index(&[' ', '\t']));
+    b.push("find ':' of a header name", find_set(&[':']));
+    b.push("find ';' of a parameter", find_set_for(&[';']));
+    b.push("find '@' of a URI", find_set(&['@']));
+    b.push("scan to '>' of an address", find_set(&['>']));
+    b.push("skip digits of a status code", skip_digits_range());
+    b.push("strlen of a header value", strlen_while());
+    b.push(
+        "skip 4-char SIP separators (slow span)",
+        skip_set_while(&[' ', '\t', ',', ';']),
+    );
+    b.push(
+        "skip 4-char URI pause set (slow span)",
+        skip_set_for(&['.', '-', '_', '~']),
+    );
+    b.push("trim trailing LWS", trim_trailing(&[' ', '\t']));
+    b.push("case-folded 'v' span", skip_folded('v'));
+    b.push(
+        "alnum token span (beyond vocabulary)",
+        skip_ctype("isalnum"),
+    );
+
+    // --- wget: 6 loops -------------------------------------------------------------------
+    b.app(App::Wget);
+    b.push("skip URL spaces", skip_set_while(&[' ']));
+    b.push("find ':' of a scheme", find_set(&[':']));
+    b.push("find '/' of a path", find_set(&['/']));
+    b.push("find '#' of a fragment", find_set(&['#', '?']));
+    b.push("skip digits of a port", skip_digits_range());
+    b.push("strlen of a URL", strlen_while());
+
+    assert_eq!(
+        b.entries.len(),
+        115,
+        "corpus must contain exactly 115 loops"
+    );
+    b.entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_loop_is_first_bash_entry() {
+        let c = corpus();
+        assert!(c[0].source.contains("whitespace"));
+        assert_eq!(c[0].app, App::Bash);
+    }
+
+    #[test]
+    fn all_apps_have_expected_presence() {
+        let c = corpus();
+        assert!(
+            c.iter().all(|e| e.app != App::Sed),
+            "sed has 0/0 in Table 3"
+        );
+    }
+
+    #[test]
+    fn sources_have_loop_function_shape() {
+        for e in corpus() {
+            assert!(
+                e.source.contains("char* loopFunction(char*"),
+                "{} lacks the extraction signature",
+                e.id
+            );
+        }
+    }
+}

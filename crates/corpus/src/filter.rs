@@ -1,0 +1,246 @@
+//! The automatic loop-filter pipeline of §4.1.1 (Table 2).
+//!
+//! After `mem2reg`, four filters run in order: loops with inner loops,
+//! loops calling functions that take or return pointers, loops writing to
+//! arrays, and loops reading through more than one pointer. What remains
+//! are the candidate memoryless loops that go to manual inspection.
+
+use std::collections::HashSet;
+use strsum_ir::{Func, Instr, InstrId, LoopInfo, Operand, Ty};
+
+/// The pipeline stages, in filter order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FilterStage {
+    /// Counted in the initial loop harvest.
+    Initial,
+    /// Survives the inner-loop filter.
+    NoInnerLoops,
+    /// Survives the pointer-call filter.
+    NoPointerCalls,
+    /// Survives the array-write filter.
+    NoArrayWrites,
+    /// Survives the multiple-pointer-read filter (a candidate loop).
+    SinglePointerRead,
+}
+
+/// Returns the furthest stage `func` survives to.
+pub fn classify(func: &Func) -> FilterStage {
+    let li = LoopInfo::new(func);
+    if li.has_nested_loops() {
+        return FilterStage::Initial;
+    }
+    if has_pointer_call(func) {
+        return FilterStage::NoInnerLoops;
+    }
+    if has_array_write(func) {
+        return FilterStage::NoPointerCalls;
+    }
+    if !reads_single_pointer(func) {
+        return FilterStage::NoArrayWrites;
+    }
+    FilterStage::SinglePointerRead
+}
+
+/// Whether `func` survives the full automatic pipeline.
+pub fn passes_automatic_filters(func: &Func) -> bool {
+    classify(func) == FilterStage::SinglePointerRead
+}
+
+fn live_instrs(func: &Func) -> impl Iterator<Item = &Instr> {
+    func.blocks
+        .iter()
+        .flat_map(move |b| b.instrs.iter().map(move |&iid| func.instr(iid)))
+}
+
+/// Calls with pointer-typed arguments or results (ctype builtins are
+/// integer-only and pass).
+fn has_pointer_call(func: &Func) -> bool {
+    live_instrs(func).any(|i| match i {
+        Instr::Call {
+            arg_tys, ret_ty, ..
+        } => arg_tys.contains(&Ty::Ptr) || *ret_ty == Some(Ty::Ptr),
+        _ => false,
+    })
+}
+
+/// Any remaining store after `mem2reg` writes through a pointer into an
+/// array (the paper's assumption, §4.1.1).
+fn has_array_write(func: &Func) -> bool {
+    live_instrs(func).any(|i| matches!(i, Instr::Store { .. }))
+}
+
+/// A root of a pointer expression: a parameter, an un-promoted slot, a
+/// loaded pointer, or a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Root {
+    Param(u32),
+    Instr(InstrId),
+    Null,
+    Const,
+}
+
+/// All byte loads must trace (through gep/phi/select/cast chains) to a
+/// single pointer root — the `p0 + i` shape of Definitions 1/2.
+fn reads_single_pointer(func: &Func) -> bool {
+    let mut roots: HashSet<Root> = HashSet::new();
+    for block in &func.blocks {
+        for &iid in &block.instrs {
+            if let Instr::Load { ptr, ty: Ty::I8 } = func.instr(iid) {
+                collect_roots(func, *ptr, &mut roots, &mut HashSet::new());
+            }
+        }
+    }
+    roots.len() <= 1
+}
+
+fn collect_roots(
+    func: &Func,
+    op: Operand,
+    roots: &mut HashSet<Root>,
+    visiting: &mut HashSet<InstrId>,
+) {
+    match op {
+        Operand::Param(i) => {
+            roots.insert(Root::Param(i));
+        }
+        Operand::NullPtr => {
+            roots.insert(Root::Null);
+        }
+        Operand::Const(..) => {
+            roots.insert(Root::Const);
+        }
+        Operand::Value(iid) => {
+            if !visiting.insert(iid) {
+                return; // phi cycle
+            }
+            match func.instr(iid) {
+                Instr::Gep { base, .. } => collect_roots(func, *base, roots, visiting),
+                Instr::Cast { value, .. } => collect_roots(func, *value, roots, visiting),
+                Instr::Phi { incomings, .. } => {
+                    for (_, v) in incomings {
+                        collect_roots(func, *v, roots, visiting);
+                    }
+                }
+                Instr::Select { then_v, else_v, .. } => {
+                    collect_roots(func, *then_v, roots, visiting);
+                    collect_roots(func, *else_v, roots, visiting);
+                }
+                _ => {
+                    roots.insert(Root::Instr(iid));
+                }
+            }
+        }
+    }
+}
+
+/// One row of Table 2: loop counts surviving each stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterCounts {
+    /// Initial loops.
+    pub initial: usize,
+    /// After removing loops with inner loops.
+    pub inner: usize,
+    /// After removing loops with pointer calls.
+    pub calls: usize,
+    /// After removing loops with array writes.
+    pub writes: usize,
+    /// After removing loops with multiple pointer reads.
+    pub reads: usize,
+}
+
+/// Runs the pipeline over compiled loops and tallies survivors per stage.
+pub fn filter_report<'a>(funcs: impl Iterator<Item = &'a Func>) -> FilterCounts {
+    let mut c = FilterCounts::default();
+    for f in funcs {
+        let stage = classify(f);
+        c.initial += 1;
+        if stage >= FilterStage::NoInnerLoops {
+            c.inner += 1;
+        }
+        if stage >= FilterStage::NoPointerCalls {
+            c.calls += 1;
+        }
+        if stage >= FilterStage::NoArrayWrites {
+            c.writes += 1;
+        }
+        if stage >= FilterStage::SinglePointerRead {
+            c.reads += 1;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strsum_cfront::compile_one;
+
+    #[test]
+    fn memoryless_loop_passes() {
+        let f = compile_one("char* f(char* s) { while (*s == ' ') s++; return s; }").unwrap();
+        assert_eq!(classify(&f), FilterStage::SinglePointerRead);
+    }
+
+    #[test]
+    fn nested_loops_fail_first() {
+        let f = compile_one(
+            "char* f(char* s) { while (*s) { while (*s == ' ') s++; if (*s) s++; } return s; }",
+        )
+        .unwrap();
+        assert_eq!(classify(&f), FilterStage::Initial);
+    }
+
+    #[test]
+    fn pointer_call_fails_second() {
+        let f = compile_one("char* f(char* s) { while (*s && check(s)) s++; return s; }").unwrap();
+        assert_eq!(classify(&f), FilterStage::NoInnerLoops);
+    }
+
+    #[test]
+    fn ctype_call_is_not_a_pointer_call() {
+        let f = compile_one("char* f(char* s) { while (isdigit(*s)) s++; return s; }").unwrap();
+        assert_eq!(classify(&f), FilterStage::SinglePointerRead);
+    }
+
+    #[test]
+    fn array_write_fails_third() {
+        let f =
+            compile_one("char* f(char* s) { while (*s) { *s = ' '; s++; } return s; }").unwrap();
+        assert_eq!(classify(&f), FilterStage::NoPointerCalls);
+    }
+
+    #[test]
+    fn two_pointer_reads_fail_fourth() {
+        let f = compile_one(
+            "int f(char* a, char* b) { int n = 0; while (*a && *a == *b) { a++; b++; n++; } return n; }",
+        )
+        .unwrap();
+        assert_eq!(classify(&f), FilterStage::NoArrayWrites);
+    }
+
+    #[test]
+    fn bounded_cursor_is_single_read() {
+        // Reads only through p; the bound `end` is never dereferenced.
+        let f = compile_one(
+            "char* f(char* p, char* end) { while (p < end && *p == ' ') p++; return p; }",
+        )
+        .unwrap();
+        assert_eq!(classify(&f), FilterStage::SinglePointerRead);
+    }
+
+    #[test]
+    fn report_counts_stages() {
+        let sources = [
+            "char* a(char* s) { while (*s == ' ') s++; return s; }",
+            "char* b(char* s) { while (*s) { while (*s == ' ') s++; if (*s) s++; } return s; }",
+            "char* c(char* s) { while (*s) { *s = '_'; s++; } return s; }",
+        ];
+        let funcs: Vec<_> = sources.iter().map(|s| compile_one(s).unwrap()).collect();
+        let r = filter_report(funcs.iter());
+        assert_eq!(r.initial, 3);
+        assert_eq!(r.inner, 2);
+        assert_eq!(r.calls, 2);
+        assert_eq!(r.writes, 1);
+        assert_eq!(r.reads, 1);
+    }
+}

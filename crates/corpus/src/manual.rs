@@ -1,0 +1,325 @@
+//! The manual inspection step of §4.1.2, as a programmatic classifier.
+//!
+//! The paper's authors hand-inspected the 323 automatic-filter survivors
+//! and recorded one exclusion reason per rejected loop. This module
+//! reproduces that judgement with syntactic/AST rules applied in the
+//! paper's order: goto → I/O → no pointer return → return in loop body →
+//! too many arguments → multiple outputs → memoryless.
+
+use strsum_cfront::{parse, CTy, Expr, FuncDef, Stmt};
+use strsum_ir::{Func, Instr, Operand};
+
+/// Why a candidate loop is excluded (or kept).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ManualCategory {
+    /// Contains `goto` jumping around the loop (2 loops in the paper).
+    Goto,
+    /// Performs I/O such as `putc` (3 loops).
+    Io,
+    /// Does not return a pointer (74 loops).
+    NoPointerReturn,
+    /// Has a `return` inside the loop body (70 loops).
+    ReturnInBody,
+    /// Needs more inputs than the single string (28 loops).
+    TooManyArguments,
+    /// Produces more than one output (31 loops).
+    MultipleOutputs,
+    /// Survives manual inspection: a memoryless loop.
+    Memoryless,
+}
+
+impl ManualCategory {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ManualCategory::Goto => "goto",
+            ManualCategory::Io => "I/O side effects",
+            ManualCategory::NoPointerReturn => "no pointer return",
+            ManualCategory::ReturnInBody => "return in body",
+            ManualCategory::TooManyArguments => "too many arguments",
+            ManualCategory::MultipleOutputs => "multiple outputs",
+            ManualCategory::Memoryless => "memoryless",
+        }
+    }
+}
+
+const IO_FUNCTIONS: &[&str] = &["putc", "putchar", "fputc", "getchar", "printf"];
+
+/// Classifies a candidate loop (C source + compiled IR) the way the manual
+/// inspection would.
+pub fn manual_category(source: &str, func: &Func) -> ManualCategory {
+    // AST-level checks first (goto, I/O, return-in-body).
+    if let Ok(defs) = parse(source) {
+        if let Some(def) = defs.first() {
+            if contains_goto(&def.body) {
+                return ManualCategory::Goto;
+            }
+            if contains_io_call(&def.body) {
+                return ManualCategory::Io;
+            }
+            if !matches!(def.ret, CTy::Ptr(_)) {
+                return ManualCategory::NoPointerReturn;
+            }
+            if return_inside_loop(&def.body, false) {
+                return ManualCategory::ReturnInBody;
+            }
+            if def.params.len() > 1 {
+                return ManualCategory::TooManyArguments;
+            }
+            if has_multiple_outputs(def, func) {
+                return ManualCategory::MultipleOutputs;
+            }
+            return ManualCategory::Memoryless;
+        }
+    }
+    ManualCategory::Memoryless
+}
+
+fn walk_stmts(body: &[Stmt], f: &mut dyn FnMut(&Stmt)) {
+    for s in body {
+        f(s);
+        match s {
+            Stmt::Block(inner) => walk_stmts(inner, f),
+            Stmt::If { then_s, else_s, .. } => {
+                walk_stmts(std::slice::from_ref(then_s), f);
+                if let Some(e) = else_s {
+                    walk_stmts(std::slice::from_ref(e), f);
+                }
+            }
+            Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => {
+                walk_stmts(std::slice::from_ref(body), f);
+            }
+            Stmt::For { body, init, .. } => {
+                if let Some(i) = init {
+                    walk_stmts(std::slice::from_ref(i), f);
+                }
+                walk_stmts(std::slice::from_ref(body), f);
+            }
+            Stmt::Label(_, inner) => walk_stmts(std::slice::from_ref(inner), f),
+            _ => {}
+        }
+    }
+}
+
+fn contains_goto(body: &[Stmt]) -> bool {
+    let mut found = false;
+    walk_stmts(body, &mut |s| {
+        if matches!(s, Stmt::Goto(..)) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn expr_calls_io(e: &Expr) -> bool {
+    let mut found = false;
+    walk_expr(e, &mut |x| {
+        if let Expr::Call { name, .. } = x {
+            if IO_FUNCTIONS.contains(&name.as_str()) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+fn walk_expr(e: &Expr, f: &mut dyn FnMut(&Expr)) {
+    f(e);
+    match e {
+        Expr::Unary { expr, .. } | Expr::Postfix { expr, .. } | Expr::Cast { expr, .. } => {
+            walk_expr(expr, f)
+        }
+        Expr::Binary { lhs, rhs, .. } | Expr::Assign { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        Expr::Ternary {
+            cond,
+            then_e,
+            else_e,
+            ..
+        } => {
+            walk_expr(cond, f);
+            walk_expr(then_e, f);
+            walk_expr(else_e, f);
+        }
+        Expr::Index { base, index, .. } => {
+            walk_expr(base, f);
+            walk_expr(index, f);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Comma(a, b, _) => {
+            walk_expr(a, f);
+            walk_expr(b, f);
+        }
+        _ => {}
+    }
+}
+
+fn contains_io_call(body: &[Stmt]) -> bool {
+    let mut found = false;
+    walk_stmts(body, &mut |s| {
+        let exprs: Vec<&Expr> = match s {
+            Stmt::Expr(e) | Stmt::Return(Some(e), _) => vec![e],
+            Stmt::If { cond, .. } | Stmt::While { cond, .. } | Stmt::DoWhile { cond, .. } => {
+                vec![cond]
+            }
+            Stmt::For { cond, step, .. } => cond.iter().chain(step.iter()).collect(),
+            Stmt::Decl { vars, .. } => vars.iter().filter_map(|(_, _, i)| i.as_ref()).collect(),
+            _ => vec![],
+        };
+        for e in exprs {
+            if expr_calls_io(e) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+fn return_inside_loop(body: &[Stmt], in_loop: bool) -> bool {
+    for s in body {
+        match s {
+            Stmt::Return(..) if in_loop => return true,
+            Stmt::Block(inner) if return_inside_loop(inner, in_loop) => {
+                return true;
+            }
+            Stmt::If { then_s, else_s, .. } => {
+                if return_inside_loop(std::slice::from_ref(then_s), in_loop) {
+                    return true;
+                }
+                if let Some(e) = else_s {
+                    if return_inside_loop(std::slice::from_ref(e), in_loop) {
+                        return true;
+                    }
+                }
+            }
+            Stmt::While { body, .. } | Stmt::DoWhile { body, .. }
+                if return_inside_loop(std::slice::from_ref(body), true) =>
+            {
+                return true;
+            }
+            Stmt::For { body, .. } if return_inside_loop(std::slice::from_ref(body), true) => {
+                return true;
+            }
+            Stmt::Label(_, inner) if return_inside_loop(std::slice::from_ref(inner), in_loop) => {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// "Multiple outputs": the returned value depends on two or more
+/// loop-carried φ-nodes *of the same loop header* (e.g. both a cursor and
+/// a count survive one loop, as in `return p + n`). Sequential loops that
+/// each carry one value — the strlen-then-scan-back idiom — do not count.
+fn has_multiple_outputs(_def: &FuncDef, func: &Func) -> bool {
+    // Map instruction → containing block.
+    let mut block_of = std::collections::HashMap::new();
+    for (bi, block) in func.blocks.iter().enumerate() {
+        for &iid in &block.instrs {
+            block_of.insert(iid, bi);
+        }
+    }
+    let mut ret_ops: Vec<Operand> = Vec::new();
+    for block in &func.blocks {
+        if let strsum_ir::Terminator::Ret(Some(op)) = &block.term {
+            ret_ops.push(*op);
+        }
+    }
+    let mut phis = std::collections::HashSet::new();
+    let mut visited = std::collections::HashSet::new();
+    let mut stack = ret_ops;
+    while let Some(op) = stack.pop() {
+        if let Operand::Value(iid) = op {
+            if !visited.insert(iid) {
+                continue;
+            }
+            if matches!(func.instr(iid), Instr::Phi { .. }) {
+                phis.insert(iid);
+                continue; // do not traverse through the φ
+            }
+            for inner in func.instr(iid).operands() {
+                stack.push(inner);
+            }
+        }
+    }
+    // Two or more result-feeding φs in one header block ⇒ multiple outputs.
+    let mut per_block = std::collections::HashMap::new();
+    for phi in phis {
+        *per_block.entry(block_of[&phi]).or_insert(0usize) += 1;
+    }
+    per_block.values().any(|&n| n >= 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strsum_cfront::compile_one;
+
+    fn cat(src: &str) -> ManualCategory {
+        let f = compile_one(src).unwrap();
+        manual_category(src, &f)
+    }
+
+    #[test]
+    fn goto_detected() {
+        let src = "char* loopFunction(char* s) {\nagain:\n    if (*s) { s++; goto again; }\n    return s;\n}\n";
+        assert_eq!(cat(src), ManualCategory::Goto);
+    }
+
+    #[test]
+    fn io_detected() {
+        let src = "char* loopFunction(char* s) { while (*s) { putc(*s); s++; } return s; }";
+        assert_eq!(cat(src), ManualCategory::Io);
+    }
+
+    #[test]
+    fn no_pointer_return_detected() {
+        let src = "int loopFunction(char* s) { int n = 0; while (*s) { n++; s++; } return n; }";
+        assert_eq!(cat(src), ManualCategory::NoPointerReturn);
+    }
+
+    #[test]
+    fn return_in_body_detected() {
+        let src = "char* loopFunction(char* s) { while (*s) { if (*s == ':') return s; s++; } return 0; }";
+        assert_eq!(cat(src), ManualCategory::ReturnInBody);
+    }
+
+    #[test]
+    fn too_many_arguments_detected() {
+        let src = "char* loopFunction(char* p, char* end) { while (p < end && *p == ' ') p++; return p; }";
+        assert_eq!(cat(src), ManualCategory::TooManyArguments);
+    }
+
+    #[test]
+    fn multiple_outputs_detected() {
+        let src = "char* loopFunction(char* s) { char *p = s; int n = 0; while (*p == '.') { p++; n = n + 2; } return p + n; }";
+        assert_eq!(cat(src), ManualCategory::MultipleOutputs);
+    }
+
+    #[test]
+    fn memoryless_kept() {
+        let src = "char* loopFunction(char* s) { while (*s == ' ') s++; return s; }";
+        assert_eq!(cat(src), ManualCategory::Memoryless);
+    }
+
+    #[test]
+    fn whole_corpus_is_memoryless_category() {
+        for e in crate::db::corpus() {
+            let f = compile_one(&e.source).unwrap();
+            assert_eq!(
+                manual_category(&e.source, &f),
+                ManualCategory::Memoryless,
+                "{}",
+                e.id
+            );
+        }
+    }
+}

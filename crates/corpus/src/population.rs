@@ -1,0 +1,280 @@
+//! Generator for the full loop population behind Table 2.
+//!
+//! For each application we generate exactly the paper's per-filter deltas:
+//! so-many nested loops, so-many loops with pointer calls, and so on, plus
+//! the surviving candidates (the 115 database loops and the 208 loops that
+//! the manual filter later rejects). Running the real pipeline of
+//! [`crate::filter`] over this population regenerates Table 2 row by row.
+
+use crate::db::{corpus, App};
+use crate::manual::ManualCategory;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Paper Table 2: (initial, after-inner, after-calls, after-writes,
+/// after-reads) per application.
+pub const POPULATION_SPEC: [(App, [usize; 5]); 13] = [
+    (App::Bash, [1085, 944, 438, 264, 45]),
+    (App::Diff, [186, 140, 60, 40, 14]),
+    (App::Awk, [608, 502, 210, 105, 17]),
+    (App::Git, [2904, 2598, 725, 495, 108]),
+    (App::Grep, [222, 172, 72, 42, 9]),
+    (App::M4, [328, 286, 126, 78, 12]),
+    (App::Make, [334, 262, 129, 102, 13]),
+    (App::Patch, [207, 172, 88, 67, 20]),
+    (App::Sed, [125, 104, 35, 19, 1]),
+    (App::Ssh, [604, 544, 227, 84, 12]),
+    (App::Tar, [492, 432, 155, 106, 33]),
+    (App::Libosip, [100, 95, 39, 30, 25]),
+    (App::Wget, [228, 197, 115, 83, 14]),
+];
+
+/// What the generator intended a loop to be (used to validate the real
+/// pipeline against the construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intent {
+    /// Contains a nested loop.
+    Nested,
+    /// Calls a function taking or returning a pointer.
+    PointerCall,
+    /// Writes through a pointer.
+    ArrayWrite,
+    /// Reads through more than one pointer.
+    MultiRead,
+    /// Survives the automatic pipeline; the manual category says what the
+    /// human inspection decides.
+    Candidate(ManualCategory),
+}
+
+/// A generated population loop.
+#[derive(Debug, Clone)]
+pub struct PopulationLoop {
+    /// Application bucket.
+    pub app: App,
+    /// Construction intent.
+    pub intent: Intent,
+    /// C source.
+    pub source: String,
+}
+
+const PALETTE: &[char] = &[':', ';', ',', '/', '=', '.', '#', '@', '-', '+', '?', '!'];
+
+fn pick(rng: &mut StdRng) -> char {
+    PALETTE[rng.random_range(0..PALETTE.len())]
+}
+
+fn nested_loop(rng: &mut StdRng) -> String {
+    let c = pick(rng);
+    let d = pick(rng);
+    match rng.random_range(0..3) {
+        0 => format!(
+            "char* loopFunction(char* s) {{\n    while (*s) {{\n        while (*s == '{c}')\n            s++;\n        if (*s)\n            s++;\n    }}\n    return s;\n}}\n"
+        ),
+        1 => format!(
+            "int loopFunction(char* s) {{\n    int n = 0;\n    while (*s) {{\n        int k = 0;\n        while (*s == '{c}') {{ s++; k++; }}\n        if (k > n) n = k;\n        if (*s) s++;\n    }}\n    return n;\n}}\n"
+        ),
+        _ => format!(
+            "char* loopFunction(char* s) {{\n    for (; *s; s++) {{\n        char *q = s;\n        while (*q == '{d}')\n            q++;\n        if (*q == 0)\n            return q;\n    }}\n    return s;\n}}\n"
+        ),
+    }
+}
+
+fn pointer_call_loop(rng: &mut StdRng) -> String {
+    let c = pick(rng);
+    match rng.random_range(0..3) {
+        0 => "char* loopFunction(char* s) {\n    while (*s && lookup(s) == 0)\n        s++;\n    return s;\n}\n".to_string(),
+        1 => format!(
+            "char* loopFunction(char* s) {{\n    while (*s != '{c}' && valid(s))\n        s++;\n    return s;\n}}\n"
+        ),
+        _ => "char* loopFunction(char* s) {\n    while (*s)\n        s = advance(s);\n    return s;\n}\n"
+            .to_string(),
+    }
+}
+
+fn array_write_loop(rng: &mut StdRng) -> String {
+    let c = pick(rng);
+    let d = pick(rng);
+    match rng.random_range(0..3) {
+        0 => format!(
+            "char* loopFunction(char* s) {{\n    while (*s == '{c}') {{\n        *s = '{d}';\n        s++;\n    }}\n    return s;\n}}\n"
+        ),
+        1 => format!(
+            "char* loopFunction(char* s) {{\n    int i = 0;\n    while (s[i]) {{\n        if (s[i] == '{c}')\n            s[i] = '{d}';\n        i++;\n    }}\n    return s + i;\n}}\n"
+        ),
+        _ => "char* loopFunction(char* s) {\n    while (*s) {\n        *s = tolower(*s);\n        s++;\n    }\n    return s;\n}\n"
+            .to_string(),
+    }
+}
+
+fn multi_read_loop(rng: &mut StdRng) -> String {
+    let c = pick(rng);
+    match rng.random_range(0..3) {
+        0 => "int loopFunction(char* a, char* b) {\n    int n = 0;\n    while (*a && *a == *b) {\n        a++;\n        b++;\n        n++;\n    }\n    return n;\n}\n"
+            .to_string(),
+        1 => format!(
+            "char* loopFunction(char* s, char* set) {{\n    while (*s && *set && *s != '{c}') {{\n        s++;\n        set++;\n    }}\n    return s;\n}}\n"
+        ),
+        _ => "char* loopFunction(char* a, char* b) {\n    while (*a && *b) {\n        if (*a != *b)\n            return a;\n        a++;\n        b++;\n    }\n    return a;\n}\n"
+            .to_string(),
+    }
+}
+
+/// Candidate loops that the manual step will reject, one source shape per
+/// [`ManualCategory`].
+fn manual_reject_loop(cat: ManualCategory, rng: &mut StdRng) -> String {
+    let c = pick(rng);
+    match cat {
+        ManualCategory::Goto => format!(
+            "char* loopFunction(char* s) {{\nagain:\n    if (*s && *s != '{c}') {{\n        s++;\n        goto again;\n    }}\n    return s;\n}}\n"
+        ),
+        ManualCategory::Io => format!(
+            "char* loopFunction(char* s) {{\n    while (*s && *s != '{c}') {{\n        putc(*s);\n        s++;\n    }}\n    return s;\n}}\n"
+        ),
+        ManualCategory::NoPointerReturn => match rng.random_range(0..2) {
+            0 => format!(
+                "int loopFunction(char* s) {{\n    int n = 0;\n    while (*s == '{c}') {{\n        s++;\n        n++;\n    }}\n    return n;\n}}\n"
+            ),
+            _ => "int loopFunction(char* s) {\n    int n = 0;\n    while (*s) {\n        n++;\n        s++;\n    }\n    return n;\n}\n"
+                .to_string(),
+        },
+        ManualCategory::ReturnInBody => format!(
+            "char* loopFunction(char* s) {{\n    while (*s) {{\n        if (*s == '{c}')\n            return s;\n        s++;\n    }}\n    return 0;\n}}\n"
+        ),
+        ManualCategory::TooManyArguments => format!(
+            "char* loopFunction(char* p, char* end) {{\n    while (p < end && *p == '{c}')\n        p++;\n    return p;\n}}\n"
+        ),
+        ManualCategory::MultipleOutputs => format!(
+            "char* loopFunction(char* s) {{\n    char *p = s;\n    int n = 0;\n    while (*p == '{c}') {{\n        p++;\n        n = n + 2;\n    }}\n    return p + n;\n}}\n"
+        ),
+        ManualCategory::Memoryless => unreachable!("memoryless loops come from the database"),
+    }
+}
+
+/// The paper's manual-rejection tallies (§4.1.2), summing to 208.
+pub const MANUAL_REJECT_SPEC: [(ManualCategory, usize); 6] = [
+    (ManualCategory::Goto, 2),
+    (ManualCategory::Io, 3),
+    (ManualCategory::NoPointerReturn, 74),
+    (ManualCategory::ReturnInBody, 70),
+    (ManualCategory::TooManyArguments, 28),
+    (ManualCategory::MultipleOutputs, 31),
+];
+
+/// Generates the full 7423-loop population, deterministically from `seed`.
+pub fn generate_population(seed: u64) -> Vec<PopulationLoop> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(7423);
+
+    // Global deck of manual-reject categories, dealt across apps.
+    let mut reject_deck: Vec<ManualCategory> = Vec::new();
+    for (cat, count) in MANUAL_REJECT_SPEC {
+        reject_deck.extend(std::iter::repeat_n(cat, count));
+    }
+    let mut reject_idx = 0;
+
+    let corpus_loops = corpus();
+    for (app, [initial, inner, calls, writes, reads]) in POPULATION_SPEC {
+        let nested = initial - inner;
+        let ptr_calls = inner - calls;
+        let arr_writes = calls - writes;
+        let multi = writes - reads;
+        for _ in 0..nested {
+            out.push(PopulationLoop {
+                app,
+                intent: Intent::Nested,
+                source: nested_loop(&mut rng),
+            });
+        }
+        for _ in 0..ptr_calls {
+            out.push(PopulationLoop {
+                app,
+                intent: Intent::PointerCall,
+                source: pointer_call_loop(&mut rng),
+            });
+        }
+        for _ in 0..arr_writes {
+            out.push(PopulationLoop {
+                app,
+                intent: Intent::ArrayWrite,
+                source: array_write_loop(&mut rng),
+            });
+        }
+        for _ in 0..multi {
+            out.push(PopulationLoop {
+                app,
+                intent: Intent::MultiRead,
+                source: multi_read_loop(&mut rng),
+            });
+        }
+        // Candidates: the database loops for this app…
+        let db: Vec<_> = corpus_loops.iter().filter(|e| e.app == app).collect();
+        for e in &db {
+            out.push(PopulationLoop {
+                app,
+                intent: Intent::Candidate(ManualCategory::Memoryless),
+                source: e.source.clone(),
+            });
+        }
+        // …plus this app's share of manual rejects.
+        let manual_count = reads - db.len();
+        for _ in 0..manual_count {
+            let cat = reject_deck[reject_idx % reject_deck.len()];
+            reject_idx += 1;
+            out.push(PopulationLoop {
+                app,
+                intent: Intent::Candidate(cat),
+                source: manual_reject_loop(cat, &mut rng),
+            });
+        }
+    }
+    debug_assert_eq!(reject_idx, 208);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{classify, FilterStage};
+
+    #[test]
+    fn population_has_table2_total() {
+        let pop = generate_population(42);
+        assert_eq!(pop.len(), 7423);
+        let candidates = pop
+            .iter()
+            .filter(|p| matches!(p.intent, Intent::Candidate(_)))
+            .count();
+        assert_eq!(candidates, 323);
+    }
+
+    #[test]
+    fn sample_of_each_intent_classifies_correctly() {
+        let pop = generate_population(7);
+        let mut seen = std::collections::HashSet::new();
+        for p in &pop {
+            let key = std::mem::discriminant(&p.intent);
+            if !seen.insert(key) {
+                continue; // one sample per intent kind
+            }
+            let func = strsum_cfront::compile_one(&p.source)
+                .unwrap_or_else(|e| panic!("{:?} failed to compile: {e}\n{}", p.intent, p.source));
+            let stage = classify(&func);
+            let expected = match p.intent {
+                Intent::Nested => FilterStage::Initial,
+                Intent::PointerCall => FilterStage::NoInnerLoops,
+                Intent::ArrayWrite => FilterStage::NoPointerCalls,
+                Intent::MultiRead => FilterStage::NoArrayWrites,
+                Intent::Candidate(_) => FilterStage::SinglePointerRead,
+            };
+            assert_eq!(stage, expected, "{:?}\n{}", p.intent, p.source);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = generate_population(1);
+        let b = generate_population(1);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.source == y.source));
+    }
+}

@@ -1,0 +1,121 @@
+//! Character-set arguments and meta-characters.
+//!
+//! Meta-characters (§2.2) let the synthesiser express common classes with a
+//! single byte: `\a` (0x07) expands to the ten digits, `\b` (0x08) to the
+//! whitespace class `" \t\n"`. They shrink programs — `isdigit` loops
+//! synthesise with one argument byte instead of ten — but are semantically
+//! redundant.
+
+use strsum_smt::ByteSet;
+
+/// The digits meta-character (`'\a'`).
+pub const META_DIGITS: u8 = 0x07;
+
+/// The whitespace meta-character (expands to `" \t\n"`).
+pub const META_WHITESPACE: u8 = 0x08;
+
+/// A set argument for `strspn`/`strcspn`/`strpbrk`: raw encoding bytes,
+/// possibly containing meta-characters, never containing NUL.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CharSet {
+    bytes: Vec<u8>,
+}
+
+impl CharSet {
+    /// Creates a set argument from raw (possibly meta) bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is empty or contains NUL (the encoding terminator).
+    pub fn new(bytes: &[u8]) -> CharSet {
+        assert!(!bytes.is_empty(), "set argument must be non-empty");
+        assert!(!bytes.contains(&0), "set argument cannot contain NUL");
+        CharSet {
+            bytes: bytes.to_vec(),
+        }
+    }
+
+    /// The raw encoding bytes (metas unexpanded).
+    pub fn raw(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Expands metas into the concrete byte set.
+    pub fn expand(&self) -> ByteSet {
+        expand_set(&self.bytes)
+    }
+
+    /// Whether the raw encoding uses any meta-character.
+    pub fn uses_meta(&self) -> bool {
+        self.bytes
+            .iter()
+            .any(|&b| b == META_DIGITS || b == META_WHITESPACE)
+    }
+}
+
+/// Expands raw set bytes (with metas) into a concrete [`ByteSet`].
+pub fn expand_set(raw: &[u8]) -> ByteSet {
+    let mut set = ByteSet::new();
+    for &b in raw {
+        match b {
+            META_DIGITS => {
+                for d in b'0'..=b'9' {
+                    set.insert(d);
+                }
+            }
+            META_WHITESPACE => {
+                set.insert(b' ');
+                set.insert(b'\t');
+                set.insert(b'\n');
+            }
+            other => set.insert(other),
+        }
+    }
+    set
+}
+
+/// Whether concrete byte `c` matches raw encoding byte `raw` (meta-aware).
+pub fn byte_matches(raw: u8, c: u8) -> bool {
+    match raw {
+        META_DIGITS => c.is_ascii_digit(),
+        META_WHITESPACE => matches!(c, b' ' | b'\t' | b'\n'),
+        other => other == c,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_expansion() {
+        let s = CharSet::new(&[META_DIGITS, b'x']);
+        let e = s.expand();
+        assert!(e.contains(b'0') && e.contains(b'9') && e.contains(b'x'));
+        assert!(!e.contains(b'a'));
+        assert_eq!(e.len(), 11);
+        assert!(s.uses_meta());
+    }
+
+    #[test]
+    fn literal_set() {
+        let s = CharSet::new(b" \t");
+        assert_eq!(s.expand().len(), 2);
+        assert!(!s.uses_meta());
+    }
+
+    #[test]
+    fn byte_matching() {
+        assert!(byte_matches(META_DIGITS, b'5'));
+        assert!(!byte_matches(META_DIGITS, b'a'));
+        assert!(byte_matches(META_WHITESPACE, b'\n'));
+        assert!(byte_matches(b'q', b'q'));
+        assert!(!byte_matches(b'q', b'r'));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_set_rejected() {
+        CharSet::new(b"");
+    }
+}

@@ -1,0 +1,194 @@
+//! Translating gadget programs back to C — the refactoring direction
+//! (§4.5) and the "simple compiler" of the native-optimisation experiment
+//! (§4.4).
+
+use crate::charset::{CharSet, META_DIGITS, META_WHITESPACE};
+use crate::gadget::Gadget;
+use crate::program::Program;
+use std::fmt::Write as _;
+
+/// Escapes a byte for a C string literal.
+fn c_escape(b: u8) -> String {
+    match b {
+        b'\t' => "\\t".to_string(),
+        b'\n' => "\\n".to_string(),
+        b'\r' => "\\r".to_string(),
+        b'"' => "\\\"".to_string(),
+        b'\\' => "\\\\".to_string(),
+        0x20..=0x7e => (b as char).to_string(),
+        other => format!("\\x{other:02x}"),
+    }
+}
+
+/// Escapes a byte for a C character literal.
+fn c_char(b: u8) -> String {
+    match b {
+        b'\t' => "'\\t'".to_string(),
+        b'\n' => "'\\n'".to_string(),
+        b'\r' => "'\\r'".to_string(),
+        b'\'' => "'\\''".to_string(),
+        b'\\' => "'\\\\'".to_string(),
+        0 => "'\\0'".to_string(),
+        0x20..=0x7e => format!("'{}'", b as char),
+        other => format!("'\\x{other:02x}'"),
+    }
+}
+
+/// Renders a set argument as a C string literal, expanding metas.
+fn set_literal(set: &CharSet) -> String {
+    let mut s = String::from("\"");
+    for &b in set.raw() {
+        match b {
+            META_DIGITS => s.push_str("0123456789"),
+            META_WHITESPACE => s.push_str(" \\t\\n"),
+            other => s.push_str(&c_escape(other)),
+        }
+    }
+    s.push('"');
+    s
+}
+
+/// Compiles `prog` to a C statement sequence over the pointer variable
+/// `var`. The output is what our refactoring patches splice in place of the
+/// original loop.
+pub fn to_c(prog: &Program, var: &str) -> String {
+    let mut body = String::new();
+    let mut pending_guard: Option<String> = None;
+    let result = "__res";
+    // Track whether result is still aliased to `var` (no separate variable
+    // needed for straight-line single-return programs).
+    let gadgets = prog.gadgets();
+    let straightline = !gadgets
+        .iter()
+        .any(|g| matches!(g, Gadget::IsNullPtr | Gadget::IsStart | Gadget::Reverse))
+        && gadgets
+            .iter()
+            .filter(|g| matches!(g, Gadget::Return))
+            .count()
+            == 1
+        && matches!(gadgets.last(), Some(Gadget::Return));
+
+    if straightline {
+        // Compose a single expression where possible.
+        let mut expr = var.to_string();
+        for g in gadgets {
+            match g {
+                Gadget::RawMemchr(c) => expr = format!("rawmemchr({expr}, {})", c_char(*c)),
+                Gadget::Strchr(c) => expr = format!("strchr({expr}, {})", c_char(*c)),
+                Gadget::Strrchr(c) => expr = format!("strrchr({expr}, {})", c_char(*c)),
+                Gadget::Strpbrk(s) => expr = format!("strpbrk({expr}, {})", set_literal(s)),
+                Gadget::Strspn(s) => {
+                    expr = format!("{expr} + strspn({expr}, {})", set_literal(s));
+                }
+                Gadget::Strcspn(s) => {
+                    expr = format!("{expr} + strcspn({expr}, {})", set_literal(s));
+                }
+                Gadget::Increment => expr = format!("{expr} + 1"),
+                Gadget::SetToEnd => expr = format!("{var} + strlen({var})"),
+                Gadget::SetToStart => expr = var.to_string(),
+                Gadget::Return => return format!("return {expr};"),
+                Gadget::IsNullPtr | Gadget::IsStart | Gadget::Reverse => unreachable!(),
+            }
+            // Avoid pathological nesting: if the expression mentions `expr`
+            // twice (strspn composition), materialise it.
+            if expr.matches(var).count() > 4 {
+                break;
+            }
+        }
+    }
+
+    // General form: explicit result variable and guarded statements.
+    let _ = writeln!(body, "char *{result} = {var};");
+    let mut reversed = false;
+    for g in gadgets {
+        let stmt = match g {
+            Gadget::RawMemchr(c) => format!("{result} = rawmemchr({result}, {});", c_char(*c)),
+            Gadget::Strchr(c) => format!("{result} = strchr({result}, {});", c_char(*c)),
+            Gadget::Strrchr(c) => format!("{result} = strrchr({result}, {});", c_char(*c)),
+            Gadget::Strpbrk(s) => {
+                format!("{result} = strpbrk({result}, {});", set_literal(s))
+            }
+            Gadget::Strspn(s) => {
+                format!("{result} += strspn({result}, {});", set_literal(s))
+            }
+            Gadget::Strcspn(s) => {
+                format!("{result} += strcspn({result}, {});", set_literal(s))
+            }
+            Gadget::IsNullPtr => {
+                pending_guard = Some(format!("if ({result} == NULL)"));
+                continue;
+            }
+            Gadget::IsStart => {
+                pending_guard = Some(format!("if ({result} == {var})"));
+                continue;
+            }
+            Gadget::Increment => format!("{result}++;"),
+            Gadget::SetToEnd => format!("{result} = {var} + strlen({var});"),
+            Gadget::SetToStart => format!("{result} = {var};"),
+            Gadget::Reverse => {
+                reversed = true;
+                format!("{result} = strrev_copy({var}); /* see note */")
+            }
+            Gadget::Return => {
+                if reversed {
+                    format!("return {var} + (strlen({var}) - 1 - ({result} - __rev));")
+                } else {
+                    format!("return {result};")
+                }
+            }
+        };
+        match pending_guard.take() {
+            Some(guard) => {
+                let _ = writeln!(body, "{guard} {stmt}");
+            }
+            None => {
+                let _ = writeln!(body, "{stmt}");
+            }
+        }
+    }
+    body.trim_end().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straightline_strspn() {
+        let p = Program::decode(b"P \t\0F").unwrap();
+        assert_eq!(p.to_c("line"), "return line + strspn(line, \" \\t\");");
+    }
+
+    #[test]
+    fn straightline_strchr() {
+        let p = Program::decode(b"C:F").unwrap();
+        assert_eq!(p.to_c("s"), "return strchr(s, ':');");
+    }
+
+    #[test]
+    fn strlen_shape() {
+        let p = Program::decode(b"EF").unwrap();
+        assert_eq!(p.to_c("s"), "return s + strlen(s);");
+    }
+
+    #[test]
+    fn meta_expansion_in_literal() {
+        let p = Program::decode(&[b'P', META_DIGITS, 0, b'F']).unwrap();
+        assert_eq!(p.to_c("s"), "return s + strspn(s, \"0123456789\");");
+    }
+
+    #[test]
+    fn guarded_program_produces_statements() {
+        let p = Program::decode(b"ZFP \0F").unwrap();
+        let c = p.to_c("s");
+        assert!(c.contains("if (__res == NULL) return __res;"), "{c}");
+        assert!(c.contains("strspn"));
+    }
+
+    #[test]
+    fn composition() {
+        let p = Program::decode(b"P \0N=\0F").unwrap();
+        let c = p.to_c("s");
+        assert!(c.contains("strspn") && c.contains("strcspn"), "{c}");
+    }
+}

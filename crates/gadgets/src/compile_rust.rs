@@ -1,0 +1,187 @@
+//! Compiling gadget programs to executable Rust closures over
+//! [`strsum_libcstr`] — the native-optimisation experiment's two sides.
+//!
+//! [`Impl::Naive`] dispatches every string gadget to the byte-at-a-time
+//! routines (the stand-in for the original compiled loop), [`Impl::Opt`] to
+//! the SWAR/bitmap routines (the stand-in for calling the tuned C library).
+//! Both sides share the same driver, so a benchmark comparing them isolates
+//! exactly the scanning strategy — the effect §4.4 measures.
+
+use crate::charset::expand_set;
+use crate::gadget::Gadget;
+use crate::interp::Outcome;
+use crate::program::Program;
+use strsum_libcstr::{naive, opt};
+
+/// Which string-routine tier to dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Impl {
+    /// Byte-at-a-time loops (the "original loop" side).
+    Naive,
+    /// SWAR/bitmap routines (the "libc" side).
+    Opt,
+}
+
+/// A compiled program: call it with a NUL-terminated buffer.
+pub type Compiled = Box<dyn Fn(&[u8]) -> Outcome + Send + Sync>;
+
+/// Compiles `prog` into a closure over NUL-terminated buffers.
+///
+/// Set arguments are meta-expanded once at compile time; `Impl::Opt`
+/// additionally precomputes membership bitmaps, mirroring how a real
+/// summary call site would pass a constant set string to the C library.
+pub fn compile(prog: &Program, imp: Impl) -> Compiled {
+    // Pre-expand sets so per-call work is only the scan itself.
+    let gadgets: Vec<Gadget> = prog.gadgets().to_vec();
+    let sets: Vec<Vec<u8>> = gadgets
+        .iter()
+        .map(|g| match g {
+            Gadget::Strpbrk(s) | Gadget::Strspn(s) | Gadget::Strcspn(s) => {
+                expand_set(s.raw()).iter().collect()
+            }
+            _ => Vec::new(),
+        })
+        .collect();
+
+    Box::new(move |buf: &[u8]| -> Outcome {
+        let total_len = match imp {
+            Impl::Naive => naive::strlen(buf),
+            Impl::Opt => opt::strlen(buf),
+        };
+        // The active buffer: the original, or an owned reversed copy.
+        let mut owned: Option<Vec<u8>> = None;
+        let mut reversed = false;
+        let mut result: Option<usize> = Some(0); // None = NULL
+        let mut skip = false;
+
+        let mut pc = 0;
+        while pc < gadgets.len() {
+            let g = &gadgets[pc];
+            if skip {
+                skip = false;
+                pc += 1;
+                continue;
+            }
+            match g {
+                Gadget::Return => {
+                    return match result {
+                        None => Outcome::Null,
+                        Some(o) => {
+                            if reversed {
+                                if o >= total_len {
+                                    Outcome::Invalid
+                                } else {
+                                    Outcome::Ptr(total_len - 1 - o)
+                                }
+                            } else {
+                                Outcome::Ptr(o)
+                            }
+                        }
+                    };
+                }
+                Gadget::IsNullPtr => skip = result.is_some(),
+                Gadget::IsStart => skip = result != Some(0),
+                Gadget::Increment => match result {
+                    None => return Outcome::Invalid,
+                    Some(o) => {
+                        if o + 1 > total_len {
+                            return Outcome::Invalid;
+                        }
+                        result = Some(o + 1);
+                    }
+                },
+                Gadget::SetToEnd => result = Some(total_len),
+                Gadget::SetToStart => result = Some(0),
+                Gadget::Reverse => {
+                    if pc != 0 {
+                        return Outcome::Invalid;
+                    }
+                    let mut reversed_buf: Vec<u8> =
+                        buf[..total_len].iter().rev().copied().collect();
+                    reversed_buf.push(0);
+                    owned = Some(reversed_buf);
+                    reversed = true;
+                }
+                Gadget::RawMemchr(c) | Gadget::Strchr(c) | Gadget::Strrchr(c) => {
+                    let Some(o) = result else {
+                        return Outcome::Invalid;
+                    };
+                    let view: &[u8] = owned.as_deref().unwrap_or(buf);
+                    let tail = &view[o..];
+                    let found = match (g, imp) {
+                        (Gadget::RawMemchr(_), Impl::Naive) => naive::rawmemchr(tail, *c),
+                        (Gadget::RawMemchr(_), Impl::Opt) => opt::rawmemchr(tail, *c),
+                        (Gadget::Strchr(_), Impl::Naive) => naive::strchr(tail, *c),
+                        (Gadget::Strchr(_), Impl::Opt) => opt::strchr(tail, *c),
+                        (Gadget::Strrchr(_), Impl::Naive) => naive::strrchr(tail, *c),
+                        (Gadget::Strrchr(_), Impl::Opt) => opt::strrchr(tail, *c),
+                        _ => unreachable!(),
+                    };
+                    match found {
+                        Some(i) => result = Some(o + i),
+                        None if matches!(g, Gadget::RawMemchr(_)) => return Outcome::Invalid,
+                        None => result = None,
+                    }
+                }
+                Gadget::Strpbrk(_) => {
+                    let Some(o) = result else {
+                        return Outcome::Invalid;
+                    };
+                    let set = &sets[pc];
+                    let view: &[u8] = owned.as_deref().unwrap_or(buf);
+                    let tail = &view[o..];
+                    let found = match imp {
+                        Impl::Naive => naive::strpbrk(tail, set),
+                        Impl::Opt => opt::strpbrk(tail, set),
+                    };
+                    result = found.map(|i| o + i);
+                }
+                Gadget::Strspn(_) | Gadget::Strcspn(_) => {
+                    let Some(o) = result else {
+                        return Outcome::Invalid;
+                    };
+                    let set = &sets[pc];
+                    let view: &[u8] = owned.as_deref().unwrap_or(buf);
+                    let tail = &view[o..];
+                    let d = match (g, imp) {
+                        (Gadget::Strspn(_), Impl::Naive) => naive::strspn(tail, set),
+                        (Gadget::Strspn(_), Impl::Opt) => opt::strspn(tail, set),
+                        (Gadget::Strcspn(_), Impl::Naive) => naive::strcspn(tail, set),
+                        (Gadget::Strcspn(_), Impl::Opt) => opt::strcspn(tail, set),
+                        _ => unreachable!(),
+                    };
+                    result = Some(o + d);
+                }
+            }
+            pc += 1;
+        }
+        Outcome::Invalid
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_bytes;
+
+    #[test]
+    fn compiled_matches_interpreter() {
+        let progs: &[&[u8]] = &[b"P \t\0F", b"C:F", b"EF", b"N;\0F", b"R/F", b"IF"];
+        let inputs: &[&[u8]] = &[b"", b" x", b"ab:cd;e", b"a/b/c", b"   \t\t"];
+        for &pb in progs {
+            let prog = Program::decode(pb).unwrap();
+            for imp in [Impl::Naive, Impl::Opt] {
+                let f = compile(&prog, imp);
+                for &s in inputs {
+                    let mut buf = s.to_vec();
+                    buf.push(0);
+                    assert_eq!(
+                        f(&buf),
+                        run_bytes(pb, Some(s)),
+                        "prog {pb:?} input {s:?} ({imp:?})"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Individual gadgets (Table 1 of the paper).
+
+use crate::charset::CharSet;
+use std::fmt;
+
+/// The kind of a gadget, without arguments — the unit of vocabulary
+/// selection (§4.2.3 represents a vocabulary as a bit per kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GadgetKind {
+    /// `M` — `rawmemchr`
+    RawMemchr,
+    /// `C` — `strchr`
+    Strchr,
+    /// `R` — `strrchr`
+    Strrchr,
+    /// `B` — `strpbrk`
+    Strpbrk,
+    /// `P` — `strspn`
+    Strspn,
+    /// `N` — `strcspn`
+    Strcspn,
+    /// `Z` — is-nullptr guard
+    IsNullPtr,
+    /// `X` — is-start guard
+    IsStart,
+    /// `I` — increment
+    Increment,
+    /// `E` — set to end
+    SetToEnd,
+    /// `S` — set to start
+    SetToStart,
+    /// `V` — reverse
+    Reverse,
+    /// `F` — return
+    Return,
+}
+
+/// All 13 kinds in Table 1 order.
+pub const ALL_KINDS: [GadgetKind; 13] = [
+    GadgetKind::RawMemchr,
+    GadgetKind::Strchr,
+    GadgetKind::Strrchr,
+    GadgetKind::Strpbrk,
+    GadgetKind::Strspn,
+    GadgetKind::Strcspn,
+    GadgetKind::IsNullPtr,
+    GadgetKind::IsStart,
+    GadgetKind::Increment,
+    GadgetKind::SetToEnd,
+    GadgetKind::SetToStart,
+    GadgetKind::Reverse,
+    GadgetKind::Return,
+];
+
+impl GadgetKind {
+    /// The single-byte opcode of this kind.
+    pub fn opcode(self) -> u8 {
+        match self {
+            GadgetKind::RawMemchr => b'M',
+            GadgetKind::Strchr => b'C',
+            GadgetKind::Strrchr => b'R',
+            GadgetKind::Strpbrk => b'B',
+            GadgetKind::Strspn => b'P',
+            GadgetKind::Strcspn => b'N',
+            GadgetKind::IsNullPtr => b'Z',
+            GadgetKind::IsStart => b'X',
+            GadgetKind::Increment => b'I',
+            GadgetKind::SetToEnd => b'E',
+            GadgetKind::SetToStart => b'S',
+            GadgetKind::Reverse => b'V',
+            GadgetKind::Return => b'F',
+        }
+    }
+
+    /// Looks up a kind by opcode byte.
+    pub fn from_opcode(b: u8) -> Option<GadgetKind> {
+        ALL_KINDS.iter().copied().find(|k| k.opcode() == b)
+    }
+
+    /// Human-readable gadget name (Table 1, first column).
+    pub fn name(self) -> &'static str {
+        match self {
+            GadgetKind::RawMemchr => "rawmemchr",
+            GadgetKind::Strchr => "strchr",
+            GadgetKind::Strrchr => "strrchr",
+            GadgetKind::Strpbrk => "strpbrk",
+            GadgetKind::Strspn => "strspn",
+            GadgetKind::Strcspn => "strcspn",
+            GadgetKind::IsNullPtr => "is nullptr",
+            GadgetKind::IsStart => "is start",
+            GadgetKind::Increment => "increment",
+            GadgetKind::SetToEnd => "set to end",
+            GadgetKind::SetToStart => "set to start",
+            GadgetKind::Reverse => "reverse",
+            GadgetKind::Return => "return",
+        }
+    }
+
+    /// Whether this kind takes a single character argument.
+    pub fn takes_char(self) -> bool {
+        matches!(
+            self,
+            GadgetKind::RawMemchr | GadgetKind::Strchr | GadgetKind::Strrchr
+        )
+    }
+
+    /// Whether this kind takes a NUL-terminated set argument.
+    pub fn takes_set(self) -> bool {
+        matches!(
+            self,
+            GadgetKind::Strpbrk | GadgetKind::Strspn | GadgetKind::Strcspn
+        )
+    }
+}
+
+impl fmt::Display for GadgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A gadget with its arguments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Gadget {
+    /// `result = rawmemchr(result, c)`
+    RawMemchr(u8),
+    /// `result = strchr(result, c)`
+    Strchr(u8),
+    /// `result = strrchr(result, c)`
+    Strrchr(u8),
+    /// `result = strpbrk(result, set)`
+    Strpbrk(CharSet),
+    /// `result += strspn(result, set)`
+    Strspn(CharSet),
+    /// `result += strcspn(result, set)`
+    Strcspn(CharSet),
+    /// `skipInstruction = result != NULL`
+    IsNullPtr,
+    /// `skipInstruction = result != s`
+    IsStart,
+    /// `result++`
+    Increment,
+    /// `result = s + strlen(s)`
+    SetToEnd,
+    /// `result = s`
+    SetToStart,
+    /// Reverses the string (first instruction only).
+    Reverse,
+    /// Returns `result` and terminates.
+    Return,
+}
+
+impl Gadget {
+    /// The kind of this gadget.
+    pub fn kind(&self) -> GadgetKind {
+        match self {
+            Gadget::RawMemchr(_) => GadgetKind::RawMemchr,
+            Gadget::Strchr(_) => GadgetKind::Strchr,
+            Gadget::Strrchr(_) => GadgetKind::Strrchr,
+            Gadget::Strpbrk(_) => GadgetKind::Strpbrk,
+            Gadget::Strspn(_) => GadgetKind::Strspn,
+            Gadget::Strcspn(_) => GadgetKind::Strcspn,
+            Gadget::IsNullPtr => GadgetKind::IsNullPtr,
+            Gadget::IsStart => GadgetKind::IsStart,
+            Gadget::Increment => GadgetKind::Increment,
+            Gadget::SetToEnd => GadgetKind::SetToEnd,
+            Gadget::SetToStart => GadgetKind::SetToStart,
+            Gadget::Reverse => GadgetKind::Reverse,
+            Gadget::Return => GadgetKind::Return,
+        }
+    }
+
+    /// Encoded length in bytes (opcode + arguments + terminator).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Gadget::RawMemchr(_) | Gadget::Strchr(_) | Gadget::Strrchr(_) => 2,
+            Gadget::Strpbrk(s) | Gadget::Strspn(s) | Gadget::Strcspn(s) => 2 + s.raw().len(),
+            _ => 1,
+        }
+    }
+
+    /// Appends this gadget's encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.kind().opcode());
+        match self {
+            Gadget::RawMemchr(c) | Gadget::Strchr(c) | Gadget::Strrchr(c) => out.push(*c),
+            Gadget::Strpbrk(s) | Gadget::Strspn(s) | Gadget::Strcspn(s) => {
+                out.extend_from_slice(s.raw());
+                out.push(0);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_roundtrip() {
+        for k in ALL_KINDS {
+            assert_eq!(GadgetKind::from_opcode(k.opcode()), Some(k));
+        }
+        assert_eq!(GadgetKind::from_opcode(b'?'), None);
+    }
+
+    #[test]
+    fn encoded_lengths() {
+        assert_eq!(Gadget::Return.encoded_len(), 1);
+        assert_eq!(Gadget::Strchr(b'x').encoded_len(), 2);
+        assert_eq!(Gadget::Strspn(CharSet::new(b" \t")).encoded_len(), 4);
+    }
+
+    #[test]
+    fn table1_opcodes() {
+        // The exact opcode letters from Table 1.
+        let expect: &[(GadgetKind, u8)] = &[
+            (GadgetKind::RawMemchr, b'M'),
+            (GadgetKind::Strchr, b'C'),
+            (GadgetKind::Strrchr, b'R'),
+            (GadgetKind::Strpbrk, b'B'),
+            (GadgetKind::Strspn, b'P'),
+            (GadgetKind::Strcspn, b'N'),
+            (GadgetKind::IsNullPtr, b'Z'),
+            (GadgetKind::IsStart, b'X'),
+            (GadgetKind::Increment, b'I'),
+            (GadgetKind::SetToEnd, b'E'),
+            (GadgetKind::SetToStart, b'S'),
+            (GadgetKind::Reverse, b'V'),
+            (GadgetKind::Return, b'F'),
+        ];
+        for (k, b) in expect {
+            assert_eq!(k.opcode(), *b);
+        }
+    }
+}

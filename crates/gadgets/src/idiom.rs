@@ -1,0 +1,182 @@
+//! Loop-idiom recognition over summaries (§4.4).
+//!
+//! LLVM's `LoopIdiomRecognize` pattern-matches a few hard-coded loop shapes
+//! (memset/memcpy/strlen-ish) to replace them with intrinsic calls. The
+//! paper argues synthesis generalises that: once a loop has a summary,
+//! mapping it to a library idiom is a lookup on the *program*, not on the
+//! loop syntax. This module performs that lookup: it classifies a summary
+//! program as a single well-known `string.h` idiom when possible.
+
+use crate::charset::CharSet;
+use crate::gadget::Gadget;
+use crate::program::Program;
+use std::fmt;
+
+/// A recognised single-call library idiom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Idiom {
+    /// `s + strlen(s)`
+    Strlen,
+    /// `strchr(s, c)` (result may be NULL)
+    Strchr(u8),
+    /// `strrchr(s, c)`
+    Strrchr(u8),
+    /// `rawmemchr(s, c)`
+    RawMemchr(u8),
+    /// `s + strspn(s, set)`
+    Strspn(CharSet),
+    /// `s + strcspn(s, set)`
+    Strcspn(CharSet),
+    /// `strpbrk(s, set)`
+    Strpbrk(CharSet),
+    /// `strchr(s, c)` with a non-NULL result guaranteed by falling back to
+    /// the terminator — i.e. `strcspn` followed by no guard; recognised
+    /// from `C c` + `ZEF`-style repair sequences.
+    StrchrOrEnd(u8),
+}
+
+impl Idiom {
+    /// The C expression of this idiom over variable `var`.
+    pub fn to_c(&self, var: &str) -> String {
+        match self {
+            Idiom::Strlen => format!("{var} + strlen({var})"),
+            Idiom::Strchr(c) => format!("strchr({var}, {})", char_lit(*c)),
+            Idiom::Strrchr(c) => format!("strrchr({var}, {})", char_lit(*c)),
+            Idiom::RawMemchr(c) => format!("rawmemchr({var}, {})", char_lit(*c)),
+            Idiom::Strspn(set) => {
+                format!("{var} + strspn({var}, {})", set_lit(set))
+            }
+            Idiom::Strcspn(set) => {
+                format!("{var} + strcspn({var}, {})", set_lit(set))
+            }
+            Idiom::Strpbrk(set) => format!("strpbrk({var}, {})", set_lit(set)),
+            Idiom::StrchrOrEnd(c) => {
+                format!("{var} + strcspn({var}, (char[]){{{}, 0}})", char_lit(*c))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Idiom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_c("s"))
+    }
+}
+
+fn char_lit(c: u8) -> String {
+    match c {
+        0 => "'\\0'".to_string(),
+        b'\t' => "'\\t'".to_string(),
+        b'\n' => "'\\n'".to_string(),
+        0x20..=0x7e => format!("'{}'", c as char),
+        other => format!("'\\x{other:02x}'"),
+    }
+}
+
+fn set_lit(set: &CharSet) -> String {
+    let mut out = String::from("\"");
+    for b in set.expand().iter() {
+        match b {
+            b'\t' => out.push_str("\\t"),
+            b'\n' => out.push_str("\\n"),
+            b'"' => out.push_str("\\\""),
+            b'\\' => out.push_str("\\\\"),
+            0x20..=0x7e => out.push(b as char),
+            other => out.push_str(&format!("\\x{other:02x}")),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Recognises `prog` as a single library idiom, if it is one.
+///
+/// Handles the canonical one-gadget forms plus the common `B…\0ZEF`
+/// repair pattern (`strpbrk`-then-end ≡ `strcspn`) that synthesis often
+/// produces for find-or-end loops.
+pub fn recognize(prog: &Program) -> Option<Idiom> {
+    match prog.gadgets() {
+        [Gadget::SetToEnd, Gadget::Return] => Some(Idiom::Strlen),
+        [Gadget::Strchr(c), Gadget::Return] => Some(Idiom::Strchr(*c)),
+        [Gadget::Strrchr(c), Gadget::Return] => Some(Idiom::Strrchr(*c)),
+        [Gadget::RawMemchr(c), Gadget::Return] => Some(Idiom::RawMemchr(*c)),
+        [Gadget::Strspn(set), Gadget::Return] => Some(Idiom::Strspn(set.clone())),
+        [Gadget::Strcspn(set), Gadget::Return] => Some(Idiom::Strcspn(set.clone())),
+        [Gadget::Strpbrk(set), Gadget::Return] => Some(Idiom::Strpbrk(set.clone())),
+        // strpbrk + "if NULL then end" ≡ strcspn: B set \0 Z E F.
+        [Gadget::Strpbrk(set), Gadget::IsNullPtr, Gadget::SetToEnd, Gadget::Return] => {
+            Some(Idiom::Strcspn(set.clone()))
+        }
+        // strchr(c) + "if NULL then end" ≡ strcspn over {c}.
+        [Gadget::Strchr(c), Gadget::IsNullPtr, Gadget::SetToEnd, Gadget::Return] => {
+            Some(Idiom::StrchrOrEnd(*c))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog(bytes: &[u8]) -> Program {
+        Program::decode(bytes).expect("valid program")
+    }
+
+    #[test]
+    fn recognises_single_gadget_idioms() {
+        assert_eq!(recognize(&prog(b"EF")), Some(Idiom::Strlen));
+        assert_eq!(recognize(&prog(b"C:F")), Some(Idiom::Strchr(b':')));
+        assert_eq!(recognize(&prog(b"R/F")), Some(Idiom::Strrchr(b'/')));
+        assert_eq!(recognize(&prog(b"M;F")), Some(Idiom::RawMemchr(b';')));
+        assert!(matches!(
+            recognize(&prog(b"P \t\0F")),
+            Some(Idiom::Strspn(_))
+        ));
+        assert!(matches!(
+            recognize(&prog(b"N=\0F")),
+            Some(Idiom::Strcspn(_))
+        ));
+        assert!(matches!(
+            recognize(&prog(b"B,;\0F")),
+            Some(Idiom::Strpbrk(_))
+        ));
+    }
+
+    #[test]
+    fn recognises_repair_patterns() {
+        // The find-or-end shape synthesis produces for `while (*s && *s != c)`.
+        assert!(matches!(
+            recognize(&prog(b"B=\0ZEF")),
+            Some(Idiom::Strcspn(_))
+        ));
+        assert_eq!(recognize(&prog(b"C=ZEF")), Some(Idiom::StrchrOrEnd(b'=')));
+    }
+
+    #[test]
+    fn rejects_compound_programs() {
+        assert_eq!(recognize(&prog(b"P \0N:\0F")), None);
+        assert_eq!(recognize(&prog(b"ZFP \0F")), None);
+        assert_eq!(recognize(&prog(b"IF")), None);
+    }
+
+    #[test]
+    fn idiom_c_rendering() {
+        assert_eq!(recognize(&prog(b"EF")).unwrap().to_c("p"), "p + strlen(p)");
+        // Expanded sets render in byte order ('\t' = 9 before ' ' = 32).
+        assert_eq!(
+            recognize(&prog(b"P \t\0F")).unwrap().to_c("line"),
+            "line + strspn(line, \"\\t \")"
+        );
+    }
+
+    #[test]
+    fn meta_sets_render_expanded() {
+        use crate::charset::META_DIGITS;
+        let p = prog(&[b'P', META_DIGITS, 0, b'F']);
+        assert_eq!(
+            recognize(&p).unwrap().to_c("s"),
+            "s + strspn(s, \"0123456789\")"
+        );
+    }
+}

@@ -1,0 +1,363 @@
+//! The concrete interpreter of Algorithm 1, operating on raw program bytes.
+//!
+//! Semantics notes (documented deviations are substitutions for C UB):
+//!
+//! * Malformed programs (unknown opcode, truncated argument, trailing
+//!   instructions without `F`, `V` not first) yield [`Outcome::Invalid`],
+//!   which never equals a loop's output — exactly the paper's device for
+//!   keeping malformed candidates out of the synthesis space.
+//! * Operations that would be undefined behaviour in C — string ops on a
+//!   NULL result, `rawmemchr` running past the buffer, incrementing past
+//!   the terminator — also yield `Invalid`.
+//! * After `V` (reverse), `F` maps offset `o` in the reversed buffer back
+//!   to `len-1-o` in the original; mapping the NUL position (`o == len`)
+//!   is `Invalid` (there is no corresponding original character).
+
+use crate::charset::byte_matches;
+
+/// Result of running a program on an input string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// A pointer `input + offset` (offset ≤ `strlen(input)`).
+    Ptr(usize),
+    /// The NULL pointer.
+    Null,
+    /// Undefined behaviour or a malformed program.
+    Invalid,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Result_ {
+    Null,
+    Off(usize),
+}
+
+/// Runs raw program bytes on `input` (`None` models a NULL `char*`).
+///
+/// `input` must be the string contents *without* the terminating NUL and
+/// must not contain interior NULs.
+pub fn run_bytes(prog: &[u8], input: Option<&[u8]>) -> Outcome {
+    if let Some(s) = input {
+        debug_assert!(!s.contains(&0), "input must not contain NUL");
+    }
+    let len = input.map(<[u8]>::len);
+    // char at position i of the (possibly reversed) view; i == len is NUL.
+    let char_at = |i: usize, reversed: bool| -> u8 {
+        let s = input.expect("char_at only called with a valid string");
+        let n = s.len();
+        if i >= n {
+            0
+        } else if reversed {
+            s[n - 1 - i]
+        } else {
+            s[i]
+        }
+    };
+
+    let mut result = match input {
+        None => Result_::Null,
+        Some(_) => Result_::Off(0),
+    };
+    let mut skip = false;
+    let mut reversed = false;
+    let mut pc = 0usize;
+
+    while pc < prog.len() {
+        let op = prog[pc];
+        // Determine the full extent of this instruction first (so that the
+        // skip flag can jump over arguments too).
+        let arg_end = match op {
+            b'M' | b'C' | b'R' => {
+                if pc + 1 >= prog.len() {
+                    return Outcome::Invalid;
+                }
+                pc + 2
+            }
+            b'B' | b'P' | b'N' => {
+                let start = pc + 1;
+                match prog[start..].iter().position(|&b| b == 0) {
+                    Some(0) | None => return Outcome::Invalid, // empty or unterminated set
+                    Some(rel) => start + rel + 1,
+                }
+            }
+            b'Z' | b'X' | b'I' | b'E' | b'S' | b'V' | b'F' => pc + 1,
+            _ => return Outcome::Invalid,
+        };
+        if skip {
+            skip = false;
+            pc = arg_end;
+            continue;
+        }
+        match op {
+            b'M' | b'C' | b'R' | b'B' | b'P' | b'N' => {
+                let Some(n) = len else {
+                    return Outcome::Invalid;
+                };
+                let Result_::Off(o) = result else {
+                    return Outcome::Invalid;
+                };
+                match op {
+                    b'M' => {
+                        // rawmemchr: no NUL check; not finding c within the
+                        // buffer is an unsafe read.
+                        let c = prog[pc + 1];
+                        let mut i = o;
+                        loop {
+                            if i > n {
+                                return Outcome::Invalid;
+                            }
+                            if char_at(i, reversed) == c {
+                                result = Result_::Off(i);
+                                break;
+                            }
+                            i += 1;
+                        }
+                    }
+                    b'C' => {
+                        let c = prog[pc + 1];
+                        let mut i = o;
+                        result = loop {
+                            if char_at(i, reversed) == c {
+                                break Result_::Off(i);
+                            }
+                            if i >= n {
+                                break Result_::Null;
+                            }
+                            i += 1;
+                        };
+                    }
+                    b'R' => {
+                        let c = prog[pc + 1];
+                        let mut found = None;
+                        for i in o..=n {
+                            if char_at(i, reversed) == c {
+                                found = Some(i);
+                            }
+                        }
+                        result = match found {
+                            Some(i) => Result_::Off(i),
+                            None => Result_::Null,
+                        };
+                    }
+                    b'B' | b'P' | b'N' => {
+                        let set = &prog[pc + 1..arg_end - 1];
+                        let in_set = |c: u8| set.iter().any(|&raw| byte_matches(raw, c));
+                        match op {
+                            b'B' => {
+                                // strpbrk
+                                let mut i = o;
+                                result = loop {
+                                    if i >= n {
+                                        break Result_::Null;
+                                    }
+                                    if in_set(char_at(i, reversed)) {
+                                        break Result_::Off(i);
+                                    }
+                                    i += 1;
+                                };
+                            }
+                            b'P' => {
+                                // result += strspn(result, set)
+                                let mut i = o;
+                                while i < n && in_set(char_at(i, reversed)) {
+                                    i += 1;
+                                }
+                                result = Result_::Off(i);
+                            }
+                            b'N' => {
+                                let mut i = o;
+                                while i < n && !in_set(char_at(i, reversed)) {
+                                    i += 1;
+                                }
+                                result = Result_::Off(i);
+                            }
+                            _ => unreachable!(),
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            b'Z' => skip = result != Result_::Null,
+            b'X' => {
+                let start = match input {
+                    None => Result_::Null,
+                    Some(_) => Result_::Off(0),
+                };
+                skip = result != start;
+            }
+            b'I' => match result {
+                Result_::Null => return Outcome::Invalid,
+                Result_::Off(o) => {
+                    let n = len.expect("Off implies valid string");
+                    if o + 1 > n {
+                        return Outcome::Invalid;
+                    }
+                    result = Result_::Off(o + 1);
+                }
+            },
+            b'E' => match len {
+                None => return Outcome::Invalid,
+                Some(n) => result = Result_::Off(n),
+            },
+            b'S' => {
+                result = match input {
+                    None => Result_::Null,
+                    Some(_) => Result_::Off(0),
+                }
+            }
+            b'V' => {
+                if pc != 0 {
+                    return Outcome::Invalid;
+                }
+                if input.is_none() {
+                    return Outcome::Invalid;
+                }
+                reversed = true;
+                result = Result_::Off(0);
+            }
+            b'F' => {
+                return match result {
+                    Result_::Null => Outcome::Null,
+                    Result_::Off(o) => {
+                        if reversed {
+                            let n = len.expect("reversed implies valid string");
+                            if o >= n.max(1) && n == 0 {
+                                return Outcome::Invalid;
+                            }
+                            if o >= n {
+                                // Offset of the NUL in the reversed buffer
+                                // has no original counterpart.
+                                return Outcome::Invalid;
+                            }
+                            Outcome::Ptr(n - 1 - o)
+                        } else {
+                            Outcome::Ptr(o)
+                        }
+                    }
+                };
+            }
+            _ => return Outcome::Invalid,
+        }
+        pc = arg_end;
+    }
+    Outcome::Invalid // ran out of instructions without F
+}
+
+/// Runs a structured [`crate::Program`].
+pub fn run(prog: &crate::Program, input: Option<&[u8]>) -> Outcome {
+    run_bytes(&prog.encode(), input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strspn_program() {
+        // P␣\t\0F — the bash whitespace loop summary.
+        let p = b"P \t\0F";
+        assert_eq!(run_bytes(p, Some(b"  \thello")), Outcome::Ptr(3));
+        assert_eq!(run_bytes(p, Some(b"hello")), Outcome::Ptr(0));
+        assert_eq!(run_bytes(p, Some(b"   ")), Outcome::Ptr(3));
+        assert_eq!(run_bytes(p, Some(b"")), Outcome::Ptr(0));
+        assert_eq!(run_bytes(p, None), Outcome::Invalid);
+    }
+
+    #[test]
+    fn null_guard_program() {
+        // ZFP␣\t\0F from the paper: return NULL when input is NULL.
+        let p = b"ZFP \t\0F";
+        assert_eq!(run_bytes(p, None), Outcome::Null);
+        assert_eq!(run_bytes(p, Some(b" x")), Outcome::Ptr(1));
+    }
+
+    #[test]
+    fn strchr_and_null() {
+        let p = b"C:F";
+        assert_eq!(run_bytes(p, Some(b"ab:cd")), Outcome::Ptr(2));
+        assert_eq!(run_bytes(p, Some(b"abcd")), Outcome::Null);
+        // strchr for NUL finds the terminator (strlen-like EF too).
+        assert_eq!(run_bytes(b"C\0F", Some(b"abc")), Outcome::Ptr(3));
+    }
+
+    #[test]
+    fn ef_is_strlen() {
+        // EF: iterate to the NUL and return (paper §4.2.2: the only size-2
+        // program).
+        assert_eq!(run_bytes(b"EF", Some(b"hello")), Outcome::Ptr(5));
+        assert_eq!(run_bytes(b"EF", Some(b"")), Outcome::Ptr(0));
+    }
+
+    #[test]
+    fn reverse_strchr_is_strrchr() {
+        // VC/F ≡ strrchr(s, '/').
+        let p = b"VC/F";
+        assert_eq!(run_bytes(p, Some(b"a/b/c")), Outcome::Ptr(3));
+        assert_eq!(run_bytes(p, Some(b"/abc")), Outcome::Ptr(0));
+        assert_eq!(run_bytes(p, Some(b"abc")), Outcome::Null);
+        // Direct strrchr gadget agrees.
+        let q = b"R/F";
+        assert_eq!(run_bytes(q, Some(b"a/b/c")), Outcome::Ptr(3));
+        assert_eq!(run_bytes(q, Some(b"abc")), Outcome::Null);
+    }
+
+    #[test]
+    fn reverse_strspn_trims_trailing() {
+        // VP␣\0F: skip trailing spaces from the end; returns a pointer to
+        // the last non-space character.
+        let p = b"VP \0F";
+        assert_eq!(run_bytes(p, Some(b"hi   ")), Outcome::Ptr(1));
+        assert_eq!(run_bytes(p, Some(b"hi")), Outcome::Ptr(1));
+        // All-space string: span runs to the reversed NUL — invalid mapping.
+        assert_eq!(run_bytes(p, Some(b"   ")), Outcome::Invalid);
+    }
+
+    #[test]
+    fn increment_bounds() {
+        assert_eq!(run_bytes(b"IF", Some(b"ab")), Outcome::Ptr(1));
+        assert_eq!(run_bytes(b"IIF", Some(b"ab")), Outcome::Ptr(2));
+        assert_eq!(run_bytes(b"IIIF", Some(b"ab")), Outcome::Invalid);
+        assert_eq!(run_bytes(b"IF", None), Outcome::Invalid);
+    }
+
+    #[test]
+    fn rawmemchr_unsafe_scan() {
+        assert_eq!(run_bytes(b"M;F", Some(b"a;b")), Outcome::Ptr(1));
+        assert_eq!(run_bytes(b"M\0F", Some(b"ab")), Outcome::Ptr(2)); // finds NUL
+        assert_eq!(run_bytes(b"M;F", Some(b"ab")), Outcome::Invalid); // off the end
+    }
+
+    #[test]
+    fn skip_covers_arguments() {
+        // X skips the next instruction (with its argument) when result
+        // moved; here result is still at start so strspn runs.
+        assert_eq!(run_bytes(b"XP \0F", Some(b" a")), Outcome::Ptr(1));
+        // IXP...: after I, result ≠ start, so the strspn is skipped.
+        assert_eq!(run_bytes(b"IXP \0F", Some(b"  a")), Outcome::Ptr(1));
+    }
+
+    #[test]
+    fn malformed_programs_invalid() {
+        assert_eq!(run_bytes(b"", Some(b"x")), Outcome::Invalid);
+        assert_eq!(run_bytes(b"P", Some(b"x")), Outcome::Invalid);
+        assert_eq!(run_bytes(b"P\0F", Some(b"x")), Outcome::Invalid);
+        assert_eq!(run_bytes(b"Q", Some(b"x")), Outcome::Invalid);
+        assert_eq!(run_bytes(b"I", Some(b"x")), Outcome::Invalid); // no F
+        assert_eq!(run_bytes(b"FV", Some(b"x")), Outcome::Ptr(0)); // F first wins
+        assert_eq!(run_bytes(b"IV F", Some(b"x")), Outcome::Invalid); // V not first
+    }
+
+    #[test]
+    fn meta_characters() {
+        use crate::charset::META_DIGITS;
+        let p = vec![b'P', META_DIGITS, 0, b'F'];
+        assert_eq!(run_bytes(&p, Some(b"123x")), Outcome::Ptr(3));
+        assert_eq!(run_bytes(&p, Some(b"x")), Outcome::Ptr(0));
+    }
+
+    #[test]
+    fn strpbrk_gadget() {
+        assert_eq!(run_bytes(b"B,;\0F", Some(b"ab;cd")), Outcome::Ptr(2));
+        assert_eq!(run_bytes(b"B,;\0F", Some(b"abcd")), Outcome::Null);
+    }
+}

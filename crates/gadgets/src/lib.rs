@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! The gadget vocabulary of Table 1: programs, encodings, interpreters and
+//! code generation.
+//!
+//! A synthesised *program* is a byte string over 13 gadget opcodes
+//! (`strspn` is `P`, `return` is `F`, …). This crate provides:
+//!
+//! * [`Gadget`] / [`Program`] — the structured view, with the byte
+//!   [`encoding`](Program::encode) used by synthesis;
+//! * [`interp`] — the concrete interpreter of Algorithm 1, operating
+//!   directly on raw bytes (malformed programs yield
+//!   [`Outcome::Invalid`], never a valid pointer);
+//! * [`symbolic`] — the two symbolic encodings CEGIS needs: a *symbolic
+//!   program* run on a concrete counterexample string (candidate search)
+//!   and a *concrete program* run on a symbolic string (bounded
+//!   verification), the latter expressed as string-solver constraints;
+//! * [`compile_c`] / [`compile_rust`] — translation of programs back to C
+//!   statements (refactoring, §4.5) and to Rust closures over the
+//!   optimised [`strsum_libcstr`] routines (native optimisation, §4.4).
+//!
+//! # Example
+//!
+//! ```
+//! use strsum_gadgets::{Program, interp::{run_bytes, Outcome}};
+//!
+//! // P␣\t\0F — `line += strspn(line, " \t"); return line;`
+//! let prog = Program::decode(b"P \t\0F").unwrap();
+//! assert_eq!(run_bytes(&prog.encode(), Some(b"  \tword")), Outcome::Ptr(3));
+//! assert_eq!(prog.to_c("line"), "return line + strspn(line, \" \\t\");");
+//! ```
+
+pub mod charset;
+pub mod compile_c;
+pub mod compile_rust;
+pub mod gadget;
+pub mod idiom;
+pub mod interp;
+pub mod program;
+pub mod symbolic;
+
+pub use charset::{expand_set, CharSet, META_DIGITS, META_WHITESPACE};
+pub use gadget::{Gadget, GadgetKind, ALL_KINDS};
+pub use idiom::{recognize, Idiom};
+pub use interp::Outcome;
+pub use program::{DecodeError, Program};

@@ -1,0 +1,203 @@
+//! Programs: sequences of gadgets with a byte encoding.
+
+use crate::charset::CharSet;
+use crate::gadget::{Gadget, GadgetKind};
+use std::fmt;
+
+/// Failure to decode a byte string into a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// An opcode byte that names no gadget.
+    UnknownOpcode(u8, usize),
+    /// A character/set argument was cut off by the end of the buffer.
+    TruncatedArgument(usize),
+    /// A set argument was empty (`P\0`).
+    EmptySet(usize),
+    /// `V` (reverse) appeared after the first instruction.
+    MisplacedReverse(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(b, i) => write!(f, "unknown opcode {b:#x} at byte {i}"),
+            DecodeError::TruncatedArgument(i) => write!(f, "truncated argument at byte {i}"),
+            DecodeError::EmptySet(i) => write!(f, "empty set argument at byte {i}"),
+            DecodeError::MisplacedReverse(i) => write!(f, "reverse not first (byte {i})"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A synthesised program: a sequence of gadgets.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Program {
+    gadgets: Vec<Gadget>,
+}
+
+impl Program {
+    /// Creates a program from gadgets.
+    pub fn new(gadgets: Vec<Gadget>) -> Program {
+        Program { gadgets }
+    }
+
+    /// The gadget sequence.
+    pub fn gadgets(&self) -> &[Gadget] {
+        &self.gadgets
+    }
+
+    /// Encodes to the byte-string form used by synthesis (`P \t\0F`).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for g in &self.gadgets {
+            g.encode_into(&mut out);
+        }
+        out
+    }
+
+    /// Program size = encoded length in bytes (the paper's
+    /// `max_prog_size` counts these characters).
+    pub fn size(&self) -> usize {
+        self.gadgets.iter().map(Gadget::encoded_len).sum()
+    }
+
+    /// Decodes a byte string. Trailing bytes after a full instruction
+    /// sequence are not permitted here (use the raw interpreter for
+    /// partially-valid buffers).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DecodeError`].
+    pub fn decode(bytes: &[u8]) -> Result<Program, DecodeError> {
+        let mut gadgets = Vec::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            let op = bytes[i];
+            let kind = GadgetKind::from_opcode(op).ok_or(DecodeError::UnknownOpcode(op, i))?;
+            if kind == GadgetKind::Reverse && i != 0 {
+                return Err(DecodeError::MisplacedReverse(i));
+            }
+            let g = if kind.takes_char() {
+                let c = *bytes.get(i + 1).ok_or(DecodeError::TruncatedArgument(i))?;
+                i += 2;
+                match kind {
+                    GadgetKind::RawMemchr => Gadget::RawMemchr(c),
+                    GadgetKind::Strchr => Gadget::Strchr(c),
+                    GadgetKind::Strrchr => Gadget::Strrchr(c),
+                    _ => unreachable!(),
+                }
+            } else if kind.takes_set() {
+                let start = i + 1;
+                let rel = bytes[start..]
+                    .iter()
+                    .position(|&b| b == 0)
+                    .ok_or(DecodeError::TruncatedArgument(i))?;
+                if rel == 0 {
+                    return Err(DecodeError::EmptySet(i));
+                }
+                let set = CharSet::new(&bytes[start..start + rel]);
+                i = start + rel + 1;
+                match kind {
+                    GadgetKind::Strpbrk => Gadget::Strpbrk(set),
+                    GadgetKind::Strspn => Gadget::Strspn(set),
+                    GadgetKind::Strcspn => Gadget::Strcspn(set),
+                    _ => unreachable!(),
+                }
+            } else {
+                i += 1;
+                match kind {
+                    GadgetKind::IsNullPtr => Gadget::IsNullPtr,
+                    GadgetKind::IsStart => Gadget::IsStart,
+                    GadgetKind::Increment => Gadget::Increment,
+                    GadgetKind::SetToEnd => Gadget::SetToEnd,
+                    GadgetKind::SetToStart => Gadget::SetToStart,
+                    GadgetKind::Reverse => Gadget::Reverse,
+                    GadgetKind::Return => Gadget::Return,
+                    _ => unreachable!(),
+                }
+            };
+            gadgets.push(g);
+        }
+        Ok(Program { gadgets })
+    }
+
+    /// Renders the program as C code over variable `var` (see
+    /// [`crate::compile_c`]).
+    pub fn to_c(&self, var: &str) -> String {
+        crate::compile_c::to_c(self, var)
+    }
+}
+
+impl fmt::Display for Program {
+    /// Displays in the paper's compact notation, escaping non-printables.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.encode() {
+            match b {
+                0 => write!(f, "\\0")?,
+                b'\t' => write!(f, "\\t")?,
+                b'\n' => write!(f, "\\n")?,
+                crate::charset::META_DIGITS => write!(f, "\\d")?,
+                crate::charset::META_WHITESPACE => write!(f, "\\w")?,
+                0x20..=0x7e => write!(f, "{}", b as char)?,
+                other => write!(f, "\\x{other:02x}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = Program::new(vec![
+            Gadget::IsNullPtr,
+            Gadget::Return,
+            Gadget::Strspn(CharSet::new(b" \t")),
+            Gadget::Return,
+        ]);
+        let bytes = p.encode();
+        assert_eq!(bytes, b"ZFP \t\0F");
+        assert_eq!(Program::decode(&bytes).unwrap(), p);
+        assert_eq!(p.size(), 7);
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert!(matches!(
+            Program::decode(b"Q"),
+            Err(DecodeError::UnknownOpcode(b'Q', 0))
+        ));
+        assert!(matches!(
+            Program::decode(b"C"),
+            Err(DecodeError::TruncatedArgument(0))
+        ));
+        assert!(matches!(
+            Program::decode(b"P\0"),
+            Err(DecodeError::EmptySet(0))
+        ));
+        assert!(matches!(
+            Program::decode(b"P a"),
+            Err(DecodeError::TruncatedArgument(0))
+        ));
+        assert!(matches!(
+            Program::decode(b"FV"),
+            Err(DecodeError::MisplacedReverse(1))
+        ));
+    }
+
+    #[test]
+    fn reverse_first_is_fine() {
+        let p = Program::decode(b"VC/F").unwrap();
+        assert_eq!(p.gadgets().len(), 3);
+    }
+
+    #[test]
+    fn display_escapes() {
+        let p = Program::decode(b"P \t\0F").unwrap();
+        assert_eq!(p.to_string(), "P \\t\\0F");
+    }
+}

@@ -1,0 +1,1309 @@
+//! Symbolic semantics of gadget programs — the three encodings that power
+//! the paper's pipeline:
+//!
+//! 1. [`outcome_term_symbolic_prog`]: a **symbolic program** run on a
+//!    **concrete** counterexample string, as one bit-vector term over the
+//!    program bytes. This realises line 5 of Algorithm 2,
+//!    `Assume(Original(cex) = Interpreter(cex, prog))`.
+//! 2. [`outcomes_on_symbolic_string`]: a **concrete program** run on a
+//!    **symbolic** string of bounded length, as guarded outcomes. This is
+//!    the bounded-equivalence check (lines 10–16 of Algorithm 2).
+//! 3. [`string_solver_models`]: a **concrete program** solved directly by
+//!    the constructive string solver ([`strsum_smt::strings`]) — the
+//!    `str.KLEE` configuration of §4.3, which sidesteps per-character path
+//!    explosion entirely.
+
+use crate::charset::{META_DIGITS, META_WHITESPACE};
+use crate::interp::Outcome;
+use crate::program::Program;
+use crate::Gadget;
+use strsum_smt::{ByteSet, StringAbstraction, TermId, TermPool};
+
+/// 64-bit sentinel encoding a NULL return (matches
+/// `strsum_symex::engine::NULL_SENTINEL`).
+pub const NULL_SENTINEL: u64 = 0xffff_ffff_ffff_fff7;
+
+/// 64-bit sentinel encoding an invalid (UB/malformed) outcome.
+pub const INVALID_SENTINEL: u64 = 0xffff_ffff_ffff_fff3;
+
+// ---------------------------------------------------------------------------
+// Encoding 1: symbolic program × concrete string (BMC-style step circuit).
+// ---------------------------------------------------------------------------
+
+/// 8-bit sentinel for a NULL result inside the symbolic-program circuit
+/// (counterexample strings are far shorter than 0xF0 bytes).
+pub const NULL_SENTINEL8: u64 = 0xf7;
+
+/// 8-bit sentinel for an invalid outcome inside the circuit.
+pub const INVALID_SENTINEL8: u64 = 0xf3;
+
+/// All 13 opcode bytes in Table 1 order.
+pub const ALL_OPCODES: &[u8] = b"MCRBPNZXIESVF";
+
+/// Encodes `Interpreter(input, prog)` where `prog` is a vector of symbolic
+/// byte terms, returning an **8-bit** outcome term over the domain
+/// offset / [`NULL_SENTINEL8`] / [`INVALID_SENTINEL8`].
+pub fn outcome_term_symbolic_prog(
+    pool: &mut TermPool,
+    prog: &[TermId],
+    input: Option<&[u8]>,
+) -> TermId {
+    outcome_term_symbolic_prog_vocab(pool, prog, input, ALL_OPCODES)
+}
+
+/// Like [`outcome_term_symbolic_prog`] but restricted to the opcodes in
+/// `allowed` — any other byte in opcode position makes the program invalid,
+/// which is how a vocabulary subset (§4.2.3) is enforced during synthesis.
+///
+/// The encoding unrolls Algorithm 1 for `prog.len()` steps as a transition
+/// circuit over the state (result, pc, skip, reversed, done, out). Every
+/// step merges all opcode/pc cases into single state terms, so the circuit
+/// is polynomial in `prog.len() × |input|` — this is what keeps candidate
+/// search tractable even at `max_prog_size = 9`.
+pub fn outcome_term_symbolic_prog_vocab(
+    pool: &mut TermPool,
+    prog: &[TermId],
+    input: Option<&[u8]>,
+    allowed: &[u8],
+) -> TermId {
+    let n = input.map_or(0usize, <[u8]>::len);
+    assert!(
+        n < 0xf0,
+        "counterexample string too long for the 8-bit circuit"
+    );
+    let mut enc = Circuit {
+        pool,
+        prog,
+        input,
+        allowed,
+    };
+    enc.run()
+}
+
+/// Interpreter state as terms: `r`/`out` are 8-bit, the flags boolean.
+#[derive(Clone, Copy)]
+struct CState {
+    r: TermId,
+    pc: TermId,
+    skip: TermId,
+    rev: TermId,
+    done: TermId,
+    out: TermId,
+}
+
+struct Circuit<'a> {
+    pool: &'a mut TermPool,
+    prog: &'a [TermId],
+    input: Option<&'a [u8]>,
+    allowed: &'a [u8],
+}
+
+impl<'a> Circuit<'a> {
+    fn n(&self) -> usize {
+        self.input.map_or(0, <[u8]>::len)
+    }
+
+    fn c8(&mut self, v: u64) -> TermId {
+        self.pool.bv_const(v, 8)
+    }
+
+    fn inv8(&mut self) -> TermId {
+        self.c8(INVALID_SENTINEL8)
+    }
+
+    fn null8(&mut self) -> TermId {
+        self.c8(NULL_SENTINEL8)
+    }
+
+    fn ite_state(&mut self, g: TermId, a: CState, b: CState) -> CState {
+        CState {
+            r: self.pool.ite(g, a.r, b.r),
+            pc: self.pool.ite(g, a.pc, b.pc),
+            skip: self.pool.ite(g, a.skip, b.skip),
+            rev: self.pool.ite(g, a.rev, b.rev),
+            done: self.pool.ite(g, a.done, b.done),
+            out: self.pool.ite(g, a.out, b.out),
+        }
+    }
+
+    fn halt_invalid(&mut self, st: CState) -> CState {
+        CState {
+            done: self.pool.bool_const(true),
+            out: self.inv8(),
+            skip: self.pool.bool_const(false),
+            ..st
+        }
+    }
+
+    /// Character constants at logical position `i` under both views:
+    /// `(forward, reversed)`; `i == n` is the NUL in both.
+    fn char_pair(&self, i: usize) -> (u8, u8) {
+        let s = self.input.expect("string ops guarded by input presence");
+        let n = s.len();
+        let fwd = if i >= n { 0 } else { s[i] };
+        let rv = if i >= n { 0 } else { s[n - 1 - i] };
+        (fwd, rv)
+    }
+
+    /// `arg` (a symbolic byte) literally equals the character at `i` under
+    /// the current view.
+    fn char_eq(&mut self, arg: TermId, i: usize, rev: TermId) -> TermId {
+        let (f, r) = self.char_pair(i);
+        let fe = {
+            let c = self.c8(u64::from(f));
+            self.pool.eq(arg, c)
+        };
+        if f == r {
+            return fe;
+        }
+        let re = {
+            let c = self.c8(u64::from(r));
+            self.pool.eq(arg, c)
+        };
+        self.pool.ite(rev, re, fe)
+    }
+
+    /// Meta-aware set membership: character at `i` matches raw set byte
+    /// `arg`.
+    fn set_match(&mut self, arg: TermId, i: usize, rev: TermId) -> TermId {
+        let lit = self.char_eq(arg, i, rev);
+        let (f, r) = self.char_pair(i);
+        let mut acc = lit;
+        // Digits meta.
+        let fd = f.is_ascii_digit();
+        let rd = r.is_ascii_digit();
+        if fd || rd {
+            let meta = self.c8(u64::from(META_DIGITS));
+            let is_meta = self.pool.eq(arg, meta);
+            let applies = if fd && rd {
+                self.pool.bool_const(true)
+            } else {
+                let ft = self.pool.bool_const(fd);
+                let rt = self.pool.bool_const(rd);
+                self.pool.ite(rev, rt, ft)
+            };
+            let m = self.pool.and(is_meta, applies);
+            acc = self.pool.or(acc, m);
+        }
+        // Whitespace meta.
+        let is_ws = |c: u8| matches!(c, b' ' | b'\t' | b'\n');
+        let (fw, rw) = (is_ws(f), is_ws(r));
+        if fw || rw {
+            let meta = self.c8(u64::from(META_WHITESPACE));
+            let is_meta = self.pool.eq(arg, meta);
+            let applies = if fw && rw {
+                self.pool.bool_const(true)
+            } else {
+                let ft = self.pool.bool_const(fw);
+                let rt = self.pool.bool_const(rw);
+                self.pool.ite(rev, rt, ft)
+            };
+            let m = self.pool.and(is_meta, applies);
+            acc = self.pool.or(acc, m);
+        }
+        acc
+    }
+
+    /// Membership of position `i`'s character in the symbolic set `args`.
+    fn in_set(&mut self, args: &[TermId], i: usize, rev: TermId) -> TermId {
+        let mut acc = self.pool.bool_const(false);
+        for &a in args {
+            let m = self.set_match(a, i, rev);
+            acc = self.pool.or(acc, m);
+        }
+        acc
+    }
+
+    /// `ite(r = 0, f(0), ite(r = 1, f(1), …))` over offsets `0..=n`, with
+    /// NULL flowing to `null_case` and anything else (invalid) to INVALID.
+    fn dispatch_r(
+        &mut self,
+        r: TermId,
+        mut f: impl FnMut(&mut Self, usize) -> TermId,
+        null_case: TermId,
+    ) -> TermId {
+        let inv = self.inv8();
+        let null_s = self.null8();
+        let mut acc = inv;
+        for o in (0..=self.n()).rev() {
+            let ov = self.c8(o as u64);
+            let here = self.pool.eq(r, ov);
+            let val = f(self, o);
+            acc = self.pool.ite(here, val, acc);
+        }
+        let is_null = self.pool.eq(r, null_s);
+        self.pool.ite(is_null, null_case, acc)
+    }
+
+    fn run(&mut self) -> TermId {
+        let max = self.prog.len();
+        let inv = self.inv8();
+        let null_s = self.null8();
+        let t_false = self.pool.bool_const(false);
+        let r0 = match self.input {
+            None => null_s,
+            Some(_) => self.c8(0),
+        };
+        let mut st = CState {
+            r: r0,
+            pc: self.c8(0),
+            skip: t_false,
+            rev: t_false,
+            done: t_false,
+            out: inv,
+        };
+        for t in 0..max {
+            // Executed-instruction successor: dispatch over pc ∈ t..max
+            // (each step consumes at least one byte, so pc_t ≥ t).
+            let mut exec = self.halt_invalid(st); // pc out of range
+            for p in (t..max).rev() {
+                let pv = self.c8(p as u64);
+                let at_p = self.pool.eq(st.pc, pv);
+                let case = self.step_at(st, p);
+                exec = self.ite_state(at_p, case, exec);
+            }
+            // Skipped-instruction successor: advance past the instruction.
+            let mut skipped = self.halt_invalid(st);
+            for p in (t..max).rev() {
+                let pv = self.c8(p as u64);
+                let at_p = self.pool.eq(st.pc, pv);
+                let case = self.skip_at(st, p);
+                skipped = self.ite_state(at_p, case, skipped);
+            }
+            let active = self.ite_state(st.skip, skipped, exec);
+            st = self.ite_state(st.done, st, active);
+        }
+        // A program that never returned is invalid.
+        self.pool.ite(st.done, st.out, inv)
+    }
+
+    /// Successor when the instruction at concrete position `p` is skipped.
+    fn skip_at(&mut self, st: CState, p: usize) -> CState {
+        let max = self.prog.len();
+        let t_false = self.pool.bool_const(false);
+        let mut acc = self.halt_invalid(st); // unknown opcode
+        for &op in self.allowed {
+            let opv = self.c8(u64::from(op));
+            let g = self.pool.eq(self.prog[p], opv);
+            let case = match op {
+                b'M' | b'C' | b'R' => {
+                    if p + 2 <= max {
+                        CState {
+                            pc: self.c8((p + 2) as u64),
+                            skip: t_false,
+                            ..st
+                        }
+                    } else {
+                        self.halt_invalid(st)
+                    }
+                }
+                b'B' | b'P' | b'N' => {
+                    let mut inner = self.halt_invalid(st); // no terminator
+                    for e in (p + 2..max).rev() {
+                        let ge = self.set_guard(p, e);
+                        let next = CState {
+                            pc: self.c8((e + 1) as u64),
+                            skip: t_false,
+                            ..st
+                        };
+                        inner = self.ite_state(ge, next, inner);
+                    }
+                    inner
+                }
+                _ => CState {
+                    pc: self.c8((p + 1) as u64),
+                    skip: t_false,
+                    ..st
+                },
+            };
+            acc = self.ite_state(g, case, acc);
+        }
+        acc
+    }
+
+    /// Guard: the set argument of the instruction at `p` spans `p+1..e`
+    /// with the NUL terminator at `e`.
+    fn set_guard(&mut self, p: usize, e: usize) -> TermId {
+        let zero = self.c8(0);
+        let mut g = self.pool.eq(self.prog[e], zero);
+        for j in p + 1..e {
+            let nz = self.pool.ne(self.prog[j], zero);
+            g = self.pool.and(g, nz);
+        }
+        g
+    }
+
+    /// Successor when the instruction at concrete position `p` executes.
+    fn step_at(&mut self, st: CState, p: usize) -> CState {
+        let max = self.prog.len();
+        let n = self.n();
+        let inv = self.inv8();
+        let null_s = self.null8();
+        let t_true = self.pool.bool_const(true);
+        let t_false = self.pool.bool_const(false);
+        let mut acc = self.halt_invalid(st); // unknown opcode
+        for &op in self.allowed {
+            let opv = self.c8(u64::from(op));
+            let g = self.pool.eq(self.prog[p], opv);
+            let case = match op {
+                b'F' => {
+                    let rev = st.rev;
+                    let out = self.dispatch_r(
+                        st.r,
+                        |c, o| {
+                            let fwd = c.c8(o as u64);
+                            if c.input.is_none() {
+                                return fwd; // unreachable: r is NULL then
+                            }
+                            let rv = if o < c.n() {
+                                c.c8((c.n() - 1 - o) as u64)
+                            } else {
+                                c.inv8()
+                            };
+                            c.pool.ite(rev, rv, fwd)
+                        },
+                        null_s,
+                    );
+                    CState {
+                        done: t_true,
+                        out,
+                        skip: t_false,
+                        ..st
+                    }
+                }
+                b'Z' => {
+                    let skip = self.pool.ne(st.r, null_s);
+                    CState {
+                        pc: self.c8((p + 1) as u64),
+                        skip,
+                        ..st
+                    }
+                }
+                b'X' => {
+                    let start = match self.input {
+                        None => null_s,
+                        Some(_) => self.c8(0),
+                    };
+                    let skip = self.pool.ne(st.r, start);
+                    CState {
+                        pc: self.c8((p + 1) as u64),
+                        skip,
+                        ..st
+                    }
+                }
+                b'I' => {
+                    let r = self.dispatch_r(
+                        st.r,
+                        |c, o| {
+                            if o < c.n() {
+                                c.c8((o + 1) as u64)
+                            } else {
+                                c.inv8()
+                            }
+                        },
+                        inv, // I on NULL
+                    );
+                    CState {
+                        r,
+                        pc: self.c8((p + 1) as u64),
+                        skip: t_false,
+                        ..st
+                    }
+                }
+                b'E' => match self.input {
+                    None => self.halt_invalid(st),
+                    Some(_) => {
+                        let is_inv = self.pool.eq(st.r, inv);
+                        let end = self.c8(n as u64);
+                        let r = self.pool.ite(is_inv, inv, end);
+                        CState {
+                            r,
+                            pc: self.c8((p + 1) as u64),
+                            skip: t_false,
+                            ..st
+                        }
+                    }
+                },
+                b'S' => {
+                    let fresh = match self.input {
+                        None => null_s,
+                        Some(_) => self.c8(0),
+                    };
+                    let is_inv = self.pool.eq(st.r, inv);
+                    let r = self.pool.ite(is_inv, inv, fresh);
+                    CState {
+                        r,
+                        pc: self.c8((p + 1) as u64),
+                        skip: t_false,
+                        ..st
+                    }
+                }
+                b'V' => {
+                    if p != 0 || self.input.is_none() {
+                        self.halt_invalid(st)
+                    } else {
+                        CState {
+                            r: self.c8(0),
+                            pc: self.c8(1),
+                            skip: t_false,
+                            rev: t_true,
+                            ..st
+                        }
+                    }
+                }
+                b'M' | b'C' | b'R' => {
+                    if p + 1 >= max || self.input.is_none() {
+                        self.halt_invalid(st)
+                    } else {
+                        let arg = self.prog[p + 1];
+                        let rev = st.rev;
+                        let r = self.dispatch_r(
+                            st.r,
+                            |c, o| c.scan_char(op, arg, o, rev),
+                            inv, // string op on NULL result
+                        );
+                        CState {
+                            r,
+                            pc: self.c8((p + 2) as u64),
+                            skip: t_false,
+                            ..st
+                        }
+                    }
+                }
+                b'B' | b'P' | b'N' => {
+                    if self.input.is_none() {
+                        self.halt_invalid(st)
+                    } else {
+                        let mut inner = self.halt_invalid(st); // unterminated set
+                        for e in (p + 2..max).rev() {
+                            let ge = self.set_guard(p, e);
+                            let args: Vec<TermId> = (p + 1..e).map(|j| self.prog[j]).collect();
+                            let rev = st.rev;
+                            let r =
+                                self.dispatch_r(st.r, |c, o| c.scan_set(op, &args, o, rev), inv);
+                            let next = CState {
+                                r,
+                                pc: self.c8((e + 1) as u64),
+                                skip: t_false,
+                                ..st
+                            };
+                            inner = self.ite_state(ge, next, inner);
+                        }
+                        inner
+                    }
+                }
+                _ => self.halt_invalid(st),
+            };
+            acc = self.ite_state(g, case, acc);
+        }
+        acc
+    }
+
+    /// `strchr`/`strrchr`/`rawmemchr` from concrete offset `o` with a
+    /// symbolic character argument.
+    fn scan_char(&mut self, op: u8, arg: TermId, o: usize, rev: TermId) -> TermId {
+        let n = self.n();
+        let null_s = self.null8();
+        let inv = self.inv8();
+        match op {
+            b'C' | b'M' => {
+                // First match in o..=n (position n is the NUL); for C a
+                // miss is NULL, for M an unsafe read.
+                let mut acc = if op == b'C' { null_s } else { inv };
+                for i in (o..=n).rev() {
+                    let m = self.char_eq(arg, i, rev);
+                    let here = self.c8(i as u64);
+                    acc = self.pool.ite(m, here, acc);
+                }
+                acc
+            }
+            b'R' => {
+                // Last match = first match scanning from the end.
+                let mut acc = null_s;
+                for i in o..=n {
+                    let m = self.char_eq(arg, i, rev);
+                    let here = self.c8(i as u64);
+                    acc = self.pool.ite(m, here, acc);
+                }
+                acc
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// `strpbrk`/`strspn`/`strcspn` from concrete offset `o` with symbolic
+    /// set argument bytes.
+    fn scan_set(&mut self, op: u8, args: &[TermId], o: usize, rev: TermId) -> TermId {
+        let n = self.n();
+        let null_s = self.null8();
+        match op {
+            b'B' => {
+                let mut acc = null_s;
+                for i in (o..n).rev() {
+                    let m = self.in_set(args, i, rev);
+                    let here = self.c8(i as u64);
+                    acc = self.pool.ite(m, here, acc);
+                }
+                acc
+            }
+            b'P' => {
+                // First position not in the set (the NUL stops the span).
+                let mut acc = self.c8(n as u64);
+                for i in (o..n).rev() {
+                    let m = self.in_set(args, i, rev);
+                    let stop = self.pool.not(m);
+                    let here = self.c8(i as u64);
+                    acc = self.pool.ite(stop, here, acc);
+                }
+                acc
+            }
+            b'N' => {
+                let mut acc = self.c8(n as u64);
+                for i in (o..n).rev() {
+                    let m = self.in_set(args, i, rev);
+                    let here = self.c8(i as u64);
+                    acc = self.pool.ite(m, here, acc);
+                }
+                acc
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding 2: concrete program × symbolic string.
+// ---------------------------------------------------------------------------
+
+/// A program outcome under a guard over the string characters.
+#[derive(Debug, Clone)]
+pub struct GuardedOutcome {
+    /// Condition on the symbolic characters.
+    pub guard: TermId,
+    /// Outcome when the guard holds. `Ptr` offsets refer to the original
+    /// (unreversed) string.
+    pub outcome: Outcome,
+}
+
+/// Runs a concrete program on a symbolic string (`chars` are 8-bit terms;
+/// the buffer is `chars` followed by NUL, and characters may themselves be
+/// NUL, so this covers all lengths ≤ `chars.len()`), returning guarded
+/// outcomes whose guards partition the input space.
+pub fn outcomes_on_symbolic_string(
+    pool: &mut TermPool,
+    prog: &Program,
+    chars: &[TermId],
+    input_null: bool,
+) -> Vec<GuardedOutcome> {
+    if input_null {
+        let o = crate::interp::run(prog, None);
+        return vec![GuardedOutcome {
+            guard: pool.bool_const(true),
+            outcome: o,
+        }];
+    }
+    let mut out = Vec::new();
+    let cap = chars.len();
+    // Split on the string length k: chars[0..k] ≠ 0, chars[k] = 0.
+    for k in 0..=cap {
+        let mut guard = pool.bool_const(true);
+        let zero = pool.bv_const(0, 8);
+        for &c in &chars[..k] {
+            let nz = pool.ne(c, zero);
+            guard = pool.and(guard, nz);
+        }
+        if k < cap {
+            let z = pool.eq(chars[k], zero);
+            guard = pool.and(guard, z);
+        }
+        let mut exec = FixedLenExec {
+            pool,
+            chars: &chars[..k],
+        };
+        exec.run(prog, guard, &mut out);
+    }
+    out
+}
+
+/// Executor for a fixed string length with symbolic characters.
+struct FixedLenExec<'a> {
+    pool: &'a mut TermPool,
+    chars: &'a [TermId], // exactly the non-NUL characters
+}
+
+#[derive(Clone, Copy)]
+struct FState {
+    off: Option<usize>, // None = NULL result
+    skip: bool,
+    reversed: bool,
+}
+
+impl<'a> FixedLenExec<'a> {
+    fn run(&mut self, prog: &Program, guard: TermId, out: &mut Vec<GuardedOutcome>) {
+        let st = FState {
+            off: Some(0),
+            skip: false,
+            reversed: false,
+        };
+        self.step(prog.gadgets(), 0, st, guard, out);
+    }
+
+    fn n(&self) -> usize {
+        self.chars.len()
+    }
+
+    /// Character term at logical position `i` (`i == n` is the NUL).
+    fn char_term(&mut self, i: usize, reversed: bool) -> Option<TermId> {
+        let n = self.n();
+        if i >= n {
+            None // NUL
+        } else if reversed {
+            Some(self.chars[n - 1 - i])
+        } else {
+            Some(self.chars[i])
+        }
+    }
+
+    /// Guard for "char at i equals literal c". Characters are known non-NUL.
+    fn char_eq(&mut self, i: usize, c: u8, reversed: bool) -> TermId {
+        match self.char_term(i, reversed) {
+            None => self.pool.bool_const(c == 0),
+            Some(t) => {
+                if c == 0 {
+                    self.pool.bool_const(false)
+                } else {
+                    let lit = self.pool.bv_const(u64::from(c), 8);
+                    self.pool.eq(t, lit)
+                }
+            }
+        }
+    }
+
+    /// Guard for "char at i ∈ set" (NUL is never in a set).
+    fn char_in_set(&mut self, i: usize, set: &ByteSet, reversed: bool) -> TermId {
+        match self.char_term(i, reversed) {
+            None => self.pool.bool_const(false),
+            Some(t) => {
+                let mut acc = self.pool.bool_const(false);
+                for (lo, hi) in byte_ranges_of(set) {
+                    let cond = if lo == hi {
+                        let c = self.pool.bv_const(u64::from(lo), 8);
+                        self.pool.eq(t, c)
+                    } else {
+                        let l = self.pool.bv_const(u64::from(lo), 8);
+                        let h = self.pool.bv_const(u64::from(hi), 8);
+                        let ge = self.pool.bv_ule(l, t);
+                        let le = self.pool.bv_ule(t, h);
+                        self.pool.and(ge, le)
+                    };
+                    acc = self.pool.or(acc, cond);
+                }
+                acc
+            }
+        }
+    }
+
+    fn emit(&mut self, guard: TermId, outcome: Outcome, out: &mut Vec<GuardedOutcome>) {
+        if self.pool.as_bool_const(guard) != Some(false) {
+            out.push(GuardedOutcome { guard, outcome });
+        }
+    }
+
+    fn step(
+        &mut self,
+        gs: &[Gadget],
+        pc: usize,
+        mut st: FState,
+        guard: TermId,
+        out: &mut Vec<GuardedOutcome>,
+    ) {
+        if self.pool.as_bool_const(guard) == Some(false) {
+            return; // dead branch
+        }
+        let Some(g) = gs.get(pc) else {
+            self.emit(guard, Outcome::Invalid, out);
+            return;
+        };
+        if st.skip {
+            st.skip = false;
+            self.step(gs, pc + 1, st, guard, out);
+            return;
+        }
+        let n = self.n();
+        match g {
+            Gadget::Return => {
+                let outcome = match st.off {
+                    None => Outcome::Null,
+                    Some(o) => {
+                        if st.reversed {
+                            if o >= n {
+                                Outcome::Invalid
+                            } else {
+                                Outcome::Ptr(n - 1 - o)
+                            }
+                        } else {
+                            Outcome::Ptr(o)
+                        }
+                    }
+                };
+                self.emit(guard, outcome, out);
+            }
+            Gadget::IsNullPtr => {
+                st.skip = st.off.is_some();
+                self.step(gs, pc + 1, st, guard, out);
+            }
+            Gadget::IsStart => {
+                st.skip = st.off != Some(0);
+                self.step(gs, pc + 1, st, guard, out);
+            }
+            Gadget::Increment => match st.off {
+                None => self.emit(guard, Outcome::Invalid, out),
+                Some(o) if o + 1 > n => self.emit(guard, Outcome::Invalid, out),
+                Some(o) => {
+                    st.off = Some(o + 1);
+                    self.step(gs, pc + 1, st, guard, out);
+                }
+            },
+            Gadget::SetToEnd => {
+                st.off = Some(n);
+                self.step(gs, pc + 1, st, guard, out);
+            }
+            Gadget::SetToStart => {
+                st.off = Some(0);
+                self.step(gs, pc + 1, st, guard, out);
+            }
+            Gadget::Reverse => {
+                if pc != 0 {
+                    self.emit(guard, Outcome::Invalid, out);
+                } else {
+                    st.reversed = true;
+                    st.off = Some(0);
+                    self.step(gs, pc + 1, st, guard, out);
+                }
+            }
+            Gadget::Strchr(c) | Gadget::RawMemchr(c) => {
+                let raw = matches!(g, Gadget::RawMemchr(_));
+                let Some(o) = st.off else {
+                    self.emit(guard, Outcome::Invalid, out);
+                    return;
+                };
+                let mut none_guard = guard;
+                for i in o..=n {
+                    let eq = self.char_eq(i, *c, st.reversed);
+                    let found = self.pool.and(none_guard, eq);
+                    let mut st2 = st;
+                    st2.off = Some(i);
+                    self.step(gs, pc + 1, st2, found, out);
+                    let ne = self.pool.not(eq);
+                    none_guard = self.pool.and(none_guard, ne);
+                }
+                if raw {
+                    // Not found before/at the NUL: unsafe read.
+                    self.emit(none_guard, Outcome::Invalid, out);
+                } else {
+                    let mut st2 = st;
+                    st2.off = None;
+                    self.step(gs, pc + 1, st2, none_guard, out);
+                }
+            }
+            Gadget::Strrchr(c) => {
+                let Some(o) = st.off else {
+                    self.emit(guard, Outcome::Invalid, out);
+                    return;
+                };
+                // Last occurrence: branch on it directly.
+                let mut acc_after: Vec<TermId> = Vec::new(); // "≠ c" guards per position
+                for i in o..=n {
+                    acc_after.push({
+                        let eq = self.char_eq(i, *c, st.reversed);
+                        self.pool.not(eq)
+                    });
+                }
+                for i in (o..=n).rev() {
+                    let eq = self.char_eq(i, *c, st.reversed);
+                    let mut gd = self.pool.and(guard, eq);
+                    for &ne in &acc_after[i - o + 1..] {
+                        gd = self.pool.and(gd, ne);
+                    }
+                    let mut st2 = st;
+                    st2.off = Some(i);
+                    self.step(gs, pc + 1, st2, gd, out);
+                }
+                let mut gd = guard;
+                for &ne in &acc_after {
+                    gd = self.pool.and(gd, ne);
+                }
+                let mut st2 = st;
+                st2.off = None;
+                self.step(gs, pc + 1, st2, gd, out);
+            }
+            Gadget::Strpbrk(set) => {
+                let set = set.expand();
+                let Some(o) = st.off else {
+                    self.emit(guard, Outcome::Invalid, out);
+                    return;
+                };
+                let mut none_guard = guard;
+                for i in o..n {
+                    let m = self.char_in_set(i, &set, st.reversed);
+                    let found = self.pool.and(none_guard, m);
+                    let mut st2 = st;
+                    st2.off = Some(i);
+                    self.step(gs, pc + 1, st2, found, out);
+                    let nm = self.pool.not(m);
+                    none_guard = self.pool.and(none_guard, nm);
+                }
+                let mut st2 = st;
+                st2.off = None;
+                self.step(gs, pc + 1, st2, none_guard, out);
+            }
+            Gadget::Strspn(set) | Gadget::Strcspn(set) => {
+                let want_in = matches!(g, Gadget::Strspn(_));
+                let set = set.expand();
+                let Some(o) = st.off else {
+                    self.emit(guard, Outcome::Invalid, out);
+                    return;
+                };
+                let mut run_guard = guard;
+                for i in o..=n {
+                    // Stop at i: all of o..i continue, i stops.
+                    let stop = if i < n {
+                        let m = self.char_in_set(i, &set, st.reversed);
+                        if want_in {
+                            self.pool.not(m)
+                        } else {
+                            m
+                        }
+                    } else {
+                        self.pool.bool_const(true)
+                    };
+                    let here = self.pool.and(run_guard, stop);
+                    let mut st2 = st;
+                    st2.off = Some(i);
+                    self.step(gs, pc + 1, st2, here, out);
+                    let cont = self.pool.not(stop);
+                    run_guard = self.pool.and(run_guard, cont);
+                }
+            }
+        }
+    }
+}
+
+fn byte_ranges_of(set: &ByteSet) -> Vec<(u8, u8)> {
+    let mut out: Vec<(u8, u8)> = Vec::new();
+    for b in set.iter() {
+        match out.last_mut() {
+            Some((_, hi)) if *hi as u16 + 1 == b as u16 => *hi = b,
+            _ => out.push((b, b)),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Encoding 3: concrete program solved by the string solver (str.KLEE).
+// ---------------------------------------------------------------------------
+
+/// Enumerates the feasible outcomes of a concrete program on strings of
+/// length ≤ `max_len`, producing one constructive model string per
+/// outcome branch via the string solver. No SAT search is involved —
+/// this is the paper's §4.3 mechanism for scaling symbolic execution.
+pub fn string_solver_models(prog: &Program, max_len: usize) -> Vec<(Vec<u8>, Outcome)> {
+    let mut out = Vec::new();
+    for k in 0..=max_len {
+        let absn = StringAbstraction::with_exact_len(k);
+        let st = FState {
+            off: Some(0),
+            skip: false,
+            reversed: false,
+        };
+        solve_step(prog.gadgets(), 0, st, absn, k, &mut out);
+    }
+    out
+}
+
+fn view(i: usize, n: usize, reversed: bool) -> usize {
+    if reversed {
+        n - 1 - i
+    } else {
+        i
+    }
+}
+
+fn solve_step(
+    gs: &[Gadget],
+    pc: usize,
+    mut st: FState,
+    absn: StringAbstraction,
+    n: usize,
+    out: &mut Vec<(Vec<u8>, Outcome)>,
+) {
+    let Some(g) = gs.get(pc) else {
+        emit_model(&absn, n, Outcome::Invalid, out);
+        return;
+    };
+    if st.skip {
+        st.skip = false;
+        solve_step(gs, pc + 1, st, absn, n, out);
+        return;
+    }
+    match g {
+        Gadget::Return => {
+            let outcome = match st.off {
+                None => Outcome::Null,
+                Some(o) => {
+                    if st.reversed {
+                        if o >= n {
+                            Outcome::Invalid
+                        } else {
+                            Outcome::Ptr(n - 1 - o)
+                        }
+                    } else {
+                        Outcome::Ptr(o)
+                    }
+                }
+            };
+            emit_model(&absn, n, outcome, out);
+        }
+        Gadget::IsNullPtr => {
+            st.skip = st.off.is_some();
+            solve_step(gs, pc + 1, st, absn, n, out);
+        }
+        Gadget::IsStart => {
+            st.skip = st.off != Some(0);
+            solve_step(gs, pc + 1, st, absn, n, out);
+        }
+        Gadget::Increment => match st.off {
+            None => emit_model(&absn, n, Outcome::Invalid, out),
+            Some(o) if o + 1 > n => emit_model(&absn, n, Outcome::Invalid, out),
+            Some(o) => {
+                st.off = Some(o + 1);
+                solve_step(gs, pc + 1, st, absn, n, out);
+            }
+        },
+        Gadget::SetToEnd => {
+            st.off = Some(n);
+            solve_step(gs, pc + 1, st, absn, n, out);
+        }
+        Gadget::SetToStart => {
+            st.off = Some(0);
+            solve_step(gs, pc + 1, st, absn, n, out);
+        }
+        Gadget::Reverse => {
+            if pc != 0 {
+                emit_model(&absn, n, Outcome::Invalid, out);
+            } else {
+                st.reversed = true;
+                st.off = Some(0);
+                solve_step(gs, pc + 1, st, absn, n, out);
+            }
+        }
+        Gadget::Strchr(c) | Gadget::RawMemchr(c) => {
+            let raw = matches!(g, Gadget::RawMemchr(_));
+            let Some(o) = st.off else {
+                emit_model(&absn, n, Outcome::Invalid, out);
+                return;
+            };
+            let target = ByteSet::single(*c);
+            let avoid = target.complement();
+            for i in o..=n {
+                // Found at i: positions o..i avoid c, position i == c.
+                let mut a = absn.clone();
+                let mut ok = true;
+                for j in o..i {
+                    if j < n && !a.constrain(view(j, n, st.reversed), avoid) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                if i < n {
+                    if !a.constrain(view(i, n, st.reversed), target) {
+                        continue;
+                    }
+                } else if *c != 0 {
+                    continue; // the NUL position only matches c == 0
+                }
+                let mut st2 = st;
+                st2.off = Some(i);
+                solve_step(gs, pc + 1, st2, a, n, out);
+            }
+            // Not found before the NUL.
+            if *c != 0 {
+                let mut a = absn.clone();
+                let mut ok = true;
+                for j in o..n {
+                    if !a.constrain(view(j, n, st.reversed), avoid) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    if raw {
+                        emit_model(&a, n, Outcome::Invalid, out);
+                    } else {
+                        let mut st2 = st;
+                        st2.off = None;
+                        solve_step(gs, pc + 1, st2, a, n, out);
+                    }
+                }
+            }
+        }
+        Gadget::Strrchr(c) => {
+            let Some(o) = st.off else {
+                emit_model(&absn, n, Outcome::Invalid, out);
+                return;
+            };
+            let target = ByteSet::single(*c);
+            let avoid = target.complement();
+            for i in (o..=n).rev() {
+                // Last at i: i == c, positions i+1..=n avoid c.
+                let mut a = absn.clone();
+                let mut ok = true;
+                if i < n {
+                    ok = a.constrain(view(i, n, st.reversed), target);
+                } else if *c != 0 {
+                    ok = false;
+                }
+                for j in i + 1..n {
+                    if !ok {
+                        break;
+                    }
+                    ok = a.constrain(view(j, n, st.reversed), avoid);
+                }
+                if ok && (i == n || *c != 0 || i < n) {
+                    let mut st2 = st;
+                    st2.off = Some(i);
+                    solve_step(gs, pc + 1, st2, a, n, out);
+                }
+            }
+            if *c != 0 {
+                let mut a = absn.clone();
+                let mut ok = true;
+                for j in o..n {
+                    if !a.constrain(view(j, n, st.reversed), avoid) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    let mut st2 = st;
+                    st2.off = None;
+                    solve_step(gs, pc + 1, st2, a, n, out);
+                }
+            }
+        }
+        Gadget::Strpbrk(set) => {
+            let Some(o) = st.off else {
+                emit_model(&absn, n, Outcome::Invalid, out);
+                return;
+            };
+            let target = set.expand();
+            let avoid = target.complement();
+            for i in o..n {
+                let mut a = absn.clone();
+                let mut ok = true;
+                for j in o..i {
+                    if !a.constrain(view(j, n, st.reversed), avoid) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok && a.constrain(view(i, n, st.reversed), target) {
+                    let mut st2 = st;
+                    st2.off = Some(i);
+                    solve_step(gs, pc + 1, st2, a, n, out);
+                }
+            }
+            let mut a = absn.clone();
+            let mut ok = true;
+            for j in o..n {
+                if !a.constrain(view(j, n, st.reversed), avoid) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                let mut st2 = st;
+                st2.off = None;
+                solve_step(gs, pc + 1, st2, a, n, out);
+            }
+        }
+        Gadget::Strspn(set) | Gadget::Strcspn(set) => {
+            let want_in = matches!(g, Gadget::Strspn(_));
+            let Some(o) = st.off else {
+                emit_model(&absn, n, Outcome::Invalid, out);
+                return;
+            };
+            let expanded = set.expand();
+            let (cont_set, stop_set) = if want_in {
+                (expanded, expanded.complement())
+            } else {
+                (expanded.complement(), expanded)
+            };
+            for i in o..=n {
+                let mut a = absn.clone();
+                let mut ok = true;
+                for j in o..i {
+                    if !a.constrain(view(j, n, st.reversed), cont_set) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok && i < n {
+                    ok = a.constrain(view(i, n, st.reversed), stop_set);
+                }
+                if ok {
+                    let mut st2 = st;
+                    st2.off = Some(i);
+                    solve_step(gs, pc + 1, st2, a, n, out);
+                }
+            }
+        }
+    }
+}
+
+fn emit_model(
+    absn: &StringAbstraction,
+    n: usize,
+    outcome: Outcome,
+    out: &mut Vec<(Vec<u8>, Outcome)>,
+) {
+    if let Some(model) = absn.model() {
+        out.push((model[..n].to_vec(), outcome));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_bytes;
+    use strsum_smt::{CheckResult, Solver};
+
+    /// Brute-force all strings over a tiny alphabet up to length `n`.
+    fn all_strings(alpha: &[u8], n: usize) -> Vec<Vec<u8>> {
+        let mut out = vec![vec![]];
+        let mut cur = vec![vec![]];
+        for _ in 0..n {
+            let mut next = Vec::new();
+            for s in &cur {
+                for &c in alpha {
+                    let mut t = s.clone();
+                    t.push(c);
+                    next.push(t);
+                }
+            }
+            out.extend(next.iter().cloned());
+            cur = next;
+        }
+        out
+    }
+
+    #[test]
+    fn symbolic_prog_matches_concrete_interp() {
+        // For a handful of concrete programs, the symbolic-program encoding
+        // evaluated at those concrete bytes must equal the interpreter.
+        let mut pool = TermPool::new();
+        let progs: &[&[u8]] = &[b"P \t\0F", b"C:F", b"EF", b"ZFP \0F", b"IF", b"VC/F"];
+        let inputs: &[Option<&[u8]>] = &[Some(b" :x"), Some(b"ab"), Some(b""), None, Some(b" \t:")];
+        const MAX: usize = 7;
+        for &input in inputs {
+            let vars: Vec<TermId> = (0..MAX).map(|i| pool.var(&format!("p{i}"), 8)).collect();
+            let term = outcome_term_symbolic_prog(&mut pool, &vars, input);
+            for &pb in progs {
+                if pb.len() > MAX {
+                    continue;
+                }
+                let mut padded = pb.to_vec();
+                padded.resize(MAX, 0xee); // trailing junk after F is ignored
+                let lookup = |v: TermId| -> u64 {
+                    let idx = vars.iter().position(|&x| x == v).expect("prog var");
+                    u64::from(padded[idx])
+                };
+                let got = strsum_smt::eval_bv(&pool, term, &lookup);
+                let expect = match run_bytes(&padded, input) {
+                    Outcome::Ptr(o) => o as u64,
+                    Outcome::Null => NULL_SENTINEL8,
+                    Outcome::Invalid => INVALID_SENTINEL8,
+                };
+                assert_eq!(got, expect, "prog {:?} on {:?}", pb, input);
+            }
+        }
+    }
+
+    #[test]
+    fn guarded_outcomes_partition_and_agree() {
+        let mut pool = TermPool::new();
+        let prog = Program::decode(b"P \0C:F").unwrap();
+        let chars: Vec<TermId> = (0..3).map(|i| pool.var(&format!("c{i}"), 8)).collect();
+        let gos = outcomes_on_symbolic_string(&mut pool, &prog, &chars, false);
+        // Every concrete string over a small alphabet must satisfy exactly
+        // one guard, and that guard's outcome must match the interpreter.
+        for s in all_strings(b" :a", 3) {
+            let mut padded = s.clone();
+            padded.resize(3, 0);
+            let lookup = |v: TermId| -> u64 {
+                let idx = chars.iter().position(|&x| x == v).expect("char var");
+                u64::from(padded[idx])
+            };
+            let mut matched = 0;
+            for go in &gos {
+                if strsum_smt::eval_bool(&pool, go.guard, &lookup) {
+                    matched += 1;
+                    assert_eq!(go.outcome, run_bytes(&prog.encode(), Some(&s)), "s={s:?}");
+                }
+            }
+            assert_eq!(matched, 1, "guards must partition; s={s:?}");
+        }
+    }
+
+    #[test]
+    fn guards_are_satisfiable() {
+        let mut pool = TermPool::new();
+        let prog = Program::decode(b"N;\0F").unwrap();
+        let chars: Vec<TermId> = (0..2).map(|i| pool.var(&format!("d{i}"), 8)).collect();
+        let gos = outcomes_on_symbolic_string(&mut pool, &prog, &chars, false);
+        assert!(!gos.is_empty());
+        for go in &gos {
+            match Solver::new().check(&mut pool, &[go.guard]) {
+                CheckResult::Sat(_) => {}
+                _ => panic!("guard should be satisfiable"),
+            }
+        }
+    }
+
+    #[test]
+    fn string_solver_models_agree_with_interp() {
+        for prog_bytes in [&b"P \t\0F"[..], b"C:F", b"EF", b"VC/F", b"N\x07\0F"] {
+            let prog = Program::decode(prog_bytes).unwrap();
+            let models = string_solver_models(&prog, 4);
+            assert!(!models.is_empty(), "{prog_bytes:?}");
+            for (s, outcome) in &models {
+                assert_eq!(
+                    run_bytes(&prog.encode(), Some(s)),
+                    *outcome,
+                    "prog {prog_bytes:?} model {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn string_solver_covers_all_outcomes() {
+        // strspn over spaces on strings ≤ 3: offsets 0..=3 all reachable.
+        let prog = Program::decode(b"P \0F").unwrap();
+        let models = string_solver_models(&prog, 3);
+        let mut offsets: Vec<usize> = models
+            .iter()
+            .filter_map(|(_, o)| match o {
+                Outcome::Ptr(k) => Some(*k),
+                _ => None,
+            })
+            .collect();
+        offsets.sort_unstable();
+        offsets.dedup();
+        assert_eq!(offsets, vec![0, 1, 2, 3]);
+    }
+}

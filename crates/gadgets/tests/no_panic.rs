@@ -1,0 +1,49 @@
+//! Robustness of the Algorithm 1 interpreter: arbitrary program bytes on
+//! arbitrary inputs must yield an outcome (usually `Invalid`), never panic
+//! — the CEGIS candidate search feeds it raw solver models.
+
+use proptest::prelude::*;
+use strsum_gadgets::interp::{run_bytes, Outcome};
+use strsum_gadgets::Program;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Fully random byte programs never panic, and any `Ptr` they return is
+    /// a valid offset into the input.
+    #[test]
+    fn random_bytes_never_panic(
+        prog in proptest::collection::vec(any::<u8>(), 0..12),
+        input in proptest::collection::vec(1u8.., 0..8),
+    ) {
+        match run_bytes(&prog, Some(&input)) {
+            Outcome::Ptr(o) => prop_assert!(o <= input.len()),
+            Outcome::Null | Outcome::Invalid => {}
+        }
+        // NULL input too.
+        let _ = run_bytes(&prog, None);
+    }
+
+    /// Decodable random programs round-trip through encode/decode.
+    #[test]
+    fn decode_encode_roundtrip(prog in proptest::collection::vec(any::<u8>(), 0..12)) {
+        if let Ok(p) = Program::decode(&prog) {
+            prop_assert_eq!(p.size(), prog.len());
+            prop_assert_eq!(p.encode(), prog);
+        }
+    }
+
+    /// The interpreter agrees between raw bytes and the decoded program.
+    #[test]
+    fn raw_and_decoded_agree(
+        prog in proptest::collection::vec(any::<u8>(), 0..12),
+        input in proptest::collection::vec(1u8.., 0..6),
+    ) {
+        if let Ok(p) = Program::decode(&prog) {
+            prop_assert_eq!(
+                strsum_gadgets::interp::run(&p, Some(&input)),
+                run_bytes(&prog, Some(&input))
+            );
+        }
+    }
+}

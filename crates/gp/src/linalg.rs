@@ -1,0 +1,159 @@
+//! Minimal dense linear algebra: symmetric positive-definite solves via
+//! Cholesky decomposition.
+
+/// A dense row-major square matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of size `n × n`.
+    pub fn zeros(n: usize) -> Matrix {
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Dimension.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Element mutator.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Cholesky factorisation `A = L·Lᵀ` for symmetric positive-definite
+    /// `A`; returns the lower-triangular factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` when the matrix is not (numerically) positive
+    /// definite.
+    pub fn cholesky(&self) -> Option<Matrix> {
+        let n = self.n;
+        let mut l = Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return None;
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Some(l)
+    }
+
+    /// Solves `L·y = b` (forward substitution) for lower-triangular `L`.
+    pub fn forward_solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for (k, yk) in y.iter().enumerate().take(i) {
+                sum -= self.get(i, k) * yk;
+            }
+            y[i] = sum / self.get(i, i);
+        }
+        y
+    }
+
+    /// Solves `Lᵀ·x = y` (backward substitution) for lower-triangular `L`.
+    pub fn backward_solve_transposed(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for (k, xk) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum -= self.get(k, i) * xk;
+            }
+            x[i] = sum / self.get(i, i);
+        }
+        x
+    }
+
+    /// Solves `A·x = b` via the Cholesky factor `L` of `A`.
+    pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
+        let y = l.forward_solve(b);
+        l.backward_solve_transposed(&y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = Bᵀ·B + I for B = [[1,2,0],[0,1,1],[1,0,1]].
+        let b = [[1.0, 2.0, 0.0], [0.0, 1.0, 1.0], [1.0, 0.0, 1.0]];
+        let mut a = Matrix::zeros(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut v = if i == j { 1.0 } else { 0.0 };
+                for (_, row) in b.iter().enumerate() {
+                    v += row[i] * row[j];
+                }
+                a.set(i, j, v);
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_roundtrip() {
+        let a = spd3();
+        let l = a.cholesky().expect("SPD");
+        // L·Lᵀ == A
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut v = 0.0;
+                for k in 0..3 {
+                    v += l.get(i, k) * l.get(j, k);
+                }
+                assert!((v - a.get(i, j)).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_vector() {
+        let a = spd3();
+        let x_true = [1.0, -2.0, 0.5];
+        let mut b = [0.0; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                b[i] += a.get(i, j) * x_true[j];
+            }
+        }
+        let l = a.cholesky().unwrap();
+        let x = Matrix::cholesky_solve(&l, &b);
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn non_spd_rejected() {
+        let mut a = Matrix::zeros(2);
+        a.set(0, 0, 1.0);
+        a.set(1, 1, -1.0);
+        assert!(a.cholesky().is_none());
+    }
+}

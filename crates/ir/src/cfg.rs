@@ -1,0 +1,130 @@
+//! Control-flow-graph utilities: predecessors, successors, traversal orders.
+
+use crate::func::{BlockId, Func};
+
+/// Precomputed CFG adjacency and a reverse-postorder numbering.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successors per block.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessors per block.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Blocks in reverse postorder from the entry (unreachable blocks absent).
+    pub rpo: Vec<BlockId>,
+    /// Position of each block in `rpo` (`usize::MAX` if unreachable).
+    pub rpo_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Computes the CFG for `func`.
+    pub fn new(func: &Func) -> Cfg {
+        let n = func.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for bid in func.block_ids() {
+            for s in func.block(bid).term.successors() {
+                succs[bid.0 as usize].push(s);
+                preds[s.0 as usize].push(bid);
+            }
+        }
+        // Iterative postorder DFS from the entry.
+        let mut post = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        // Stack entries: (block, next-successor-index)
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        visited[0] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let ss = &succs[b.0 as usize];
+            if *i < ss.len() {
+                let next = ss[*i];
+                *i += 1;
+                if !visited[next.0 as usize] {
+                    visited[next.0 as usize] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.0 as usize] = i;
+        }
+        Cfg {
+            succs,
+            preds,
+            rpo,
+            rpo_index,
+        }
+    }
+
+    /// Whether `block` is reachable from the entry.
+    pub fn is_reachable(&self, block: BlockId) -> bool {
+        self.rpo_index[block.0 as usize] != usize::MAX
+    }
+
+    /// Predecessors of `block`.
+    pub fn preds(&self, block: BlockId) -> &[BlockId] {
+        &self.preds[block.0 as usize]
+    }
+
+    /// Successors of `block`.
+    pub fn succs(&self, block: BlockId) -> &[BlockId] {
+        &self.succs[block.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::FuncBuilder;
+    use crate::instr::Operand;
+    use crate::types::Ty;
+
+    fn diamond() -> Func {
+        let mut b = FuncBuilder::new("d", &[("c", Ty::I1)], Some(Ty::I32));
+        let t = b.new_block("t");
+        let e = b.new_block("e");
+        let j = b.new_block("j");
+        b.cond_br(Operand::Param(0), t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        b.ret(Some(Operand::i32(0)));
+        b.finish()
+    }
+
+    #[test]
+    fn preds_succs() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(3)), &[BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_all() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.rpo[0], BlockId(0));
+        assert_eq!(cfg.rpo.len(), 4);
+        assert_eq!(*cfg.rpo.last().unwrap(), BlockId(3));
+    }
+
+    #[test]
+    fn unreachable_block_excluded() {
+        let mut b = FuncBuilder::new("u", &[], None);
+        let dead = b.new_block("dead");
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.rpo.len(), 1);
+    }
+}

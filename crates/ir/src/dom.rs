@@ -1,0 +1,183 @@
+//! Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm, plus
+//! dominance frontiers for SSA construction.
+
+use crate::cfg::Cfg;
+use crate::func::BlockId;
+
+/// Immediate-dominator tree and dominance frontiers.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator per block (`None` for the entry and unreachable
+    /// blocks).
+    pub idom: Vec<Option<BlockId>>,
+    /// Dominance frontier per block.
+    pub frontier: Vec<Vec<BlockId>>,
+}
+
+impl DomTree {
+    /// Computes dominators over a CFG.
+    pub fn new(cfg: &Cfg) -> DomTree {
+        let n = cfg.preds.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if cfg.rpo.is_empty() {
+            return DomTree {
+                idom,
+                frontier: vec![Vec::new(); n],
+            };
+        }
+        idom[cfg.rpo[0].0 as usize] = Some(cfg.rpo[0]); // entry: self, fixed up later
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while cfg.rpo_index[a.0 as usize] > cfg.rpo_index[b.0 as usize] {
+                    a = idom[a.0 as usize].expect("processed block has idom");
+                }
+                while cfg.rpo_index[b.0 as usize] > cfg.rpo_index[a.0 as usize] {
+                    b = idom[b.0 as usize].expect("processed block has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.0 as usize].is_none() {
+                        continue; // unprocessed or unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if new_idom != idom[b.0 as usize] {
+                    idom[b.0 as usize] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        // Dominance frontiers (Cooper et al.).
+        let mut frontier = vec![Vec::new(); n];
+        for &b in &cfg.rpo {
+            let preds = cfg.preds(b);
+            if preds.len() < 2 {
+                continue;
+            }
+            let b_idom = idom[b.0 as usize];
+            for &p in preds {
+                if idom[p.0 as usize].is_none() {
+                    continue;
+                }
+                let mut runner = p;
+                while Some(runner) != b_idom {
+                    let fr = &mut frontier[runner.0 as usize];
+                    if !fr.contains(&b) {
+                        fr.push(b);
+                    }
+                    match idom[runner.0 as usize] {
+                        Some(d) if d != runner => runner = d,
+                        _ => break,
+                    }
+                }
+            }
+        }
+
+        // Entry has no idom.
+        idom[cfg.rpo[0].0 as usize] = None;
+        DomTree { idom, frontier }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.0 as usize] {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{Func, FuncBuilder};
+    use crate::instr::Operand;
+    use crate::types::Ty;
+
+    /// entry → (t | e) → join → back? builds a loop-free diamond.
+    fn diamond() -> Func {
+        let mut b = FuncBuilder::new("d", &[("c", Ty::I1)], Some(Ty::I32));
+        let t = b.new_block("t");
+        let e = b.new_block("e");
+        let j = b.new_block("j");
+        b.cond_br(Operand::Param(0), t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        b.ret(Some(Operand::i32(0)));
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&cfg);
+        assert_eq!(dom.idom[0], None);
+        assert_eq!(dom.idom[1], Some(BlockId(0)));
+        assert_eq!(dom.idom[2], Some(BlockId(0)));
+        assert_eq!(dom.idom[3], Some(BlockId(0)));
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+    }
+
+    #[test]
+    fn diamond_frontiers() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&cfg);
+        assert_eq!(dom.frontier[1], vec![BlockId(3)]);
+        assert_eq!(dom.frontier[2], vec![BlockId(3)]);
+        assert!(dom.frontier[0].is_empty());
+    }
+
+    /// entry → header; header → body | exit; body → header.
+    fn simple_loop() -> Func {
+        let mut b = FuncBuilder::new("l", &[("c", Ty::I1)], None);
+        let header = b.new_block("header");
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        b.br(header);
+        b.switch_to(header);
+        b.cond_br(Operand::Param(0), body, exit);
+        b.switch_to(body);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn loop_dominators_and_frontier() {
+        let f = simple_loop();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&cfg);
+        let header = BlockId(1);
+        let body = BlockId(2);
+        assert_eq!(dom.idom[body.0 as usize], Some(header));
+        // The header is in its own dominance frontier (loop).
+        assert!(dom.frontier[body.0 as usize].contains(&header));
+        assert!(dom.dominates(header, body));
+    }
+}

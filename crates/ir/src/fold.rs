@@ -1,0 +1,244 @@
+//! Constant folding over straight-line uses.
+//!
+//! A deliberately small clean-up pass: folds binary operations, comparisons
+//! and casts whose operands are constants, then simplifies `CondBr` on a
+//! constant condition into `Br`. Runs to a fixed point.
+
+use crate::func::Func;
+use crate::instr::{BinOp, CastKind, CmpOp, Instr, Operand, Terminator};
+use crate::interp::norm;
+use crate::types::Ty;
+use std::collections::HashMap;
+
+/// Folds constants in `func`; returns the number of instructions folded.
+pub fn run(func: &mut Func) -> usize {
+    let mut folded: HashMap<u32, Operand> = HashMap::new();
+    let mut total = 0;
+    loop {
+        let mut changed = false;
+        for (idx, instr) in func.instrs.iter().enumerate() {
+            if folded.contains_key(&(idx as u32)) {
+                continue;
+            }
+            if let Some(c) = try_fold(instr, &folded) {
+                folded.insert(idx as u32, c);
+                changed = true;
+                total += 1;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    if total == 0 {
+        return 0;
+    }
+    // Rewrite uses and drop folded instructions from block bodies.
+    let resolve = |op: Operand| -> Operand {
+        match op {
+            Operand::Value(v) => folded.get(&v.0).copied().unwrap_or(op),
+            _ => op,
+        }
+    };
+    for instr in &mut func.instrs {
+        rewrite(instr, &resolve);
+    }
+    for block in &mut func.blocks {
+        block.instrs.retain(|iid| !folded.contains_key(&iid.0));
+        match &mut block.term {
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                *cond = resolve(*cond);
+                if let Operand::Const(c, _) = *cond {
+                    block.term = Terminator::Br(if c != 0 { *then_bb } else { *else_bb });
+                }
+            }
+            Terminator::Ret(Some(v)) => *v = resolve(*v),
+            _ => {}
+        }
+    }
+    func.validate();
+    total
+}
+
+fn const_of(op: Operand, folded: &HashMap<u32, Operand>) -> Option<(i64, Ty)> {
+    match op {
+        Operand::Const(v, ty) => Some((v, ty)),
+        Operand::Value(v) => match folded.get(&v.0) {
+            Some(Operand::Const(c, ty)) => Some((*c, *ty)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn try_fold(instr: &Instr, folded: &HashMap<u32, Operand>) -> Option<Operand> {
+    match instr {
+        Instr::Bin { op, lhs, rhs, ty } => {
+            let (a, _) = const_of(*lhs, folded)?;
+            let (b, _) = const_of(*rhs, folded)?;
+            let v = match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::And => a & b,
+                BinOp::Or => a | b,
+                BinOp::Xor => a ^ b,
+                BinOp::Shl | BinOp::LShr | BinOp::AShr => return None, // rare; keep simple
+            };
+            Some(Operand::Const(norm(v, *ty), *ty))
+        }
+        Instr::Cmp { op, lhs, rhs, ty } => {
+            let (a, _) = const_of(*lhs, folded)?;
+            let (b, _) = const_of(*rhs, folded)?;
+            let bits = ty.bits();
+            let m = if bits >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
+            let (ua, ub) = ((a as u64) & m, (b as u64) & m);
+            let r = match op {
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+                CmpOp::Ult => ua < ub,
+                CmpOp::Ule => ua <= ub,
+                CmpOp::Slt => a < b,
+                CmpOp::Sle => a <= b,
+            };
+            Some(Operand::Const(i64::from(r), Ty::I1))
+        }
+        Instr::Cast {
+            kind,
+            value,
+            from,
+            to,
+        } => {
+            let (v, _) = const_of(*value, folded)?;
+            let r = match kind {
+                CastKind::Zext => {
+                    let bits = from.bits();
+                    let m = if bits >= 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << bits) - 1
+                    };
+                    ((v as u64) & m) as i64
+                }
+                CastKind::Sext => {
+                    let shift = 64 - from.bits();
+                    (v << shift) >> shift
+                }
+                CastKind::Trunc => v,
+                CastKind::PtrToInt | CastKind::IntToPtr => return None,
+            };
+            Some(Operand::Const(norm(r, *to), *to))
+        }
+        Instr::Select {
+            cond,
+            then_v,
+            else_v,
+            ..
+        } => {
+            let (c, _) = const_of(*cond, folded)?;
+            let branch = if c != 0 { then_v } else { else_v };
+            const_of(*branch, folded).map(|(v, ty)| Operand::Const(v, ty))
+        }
+        Instr::CallBuiltin { builtin, arg } => {
+            let (v, _) = const_of(*arg, folded)?;
+            Some(Operand::Const(builtin.apply(v), Ty::I32))
+        }
+        _ => None,
+    }
+}
+
+fn rewrite(instr: &mut Instr, f: &dyn Fn(Operand) -> Operand) {
+    match instr {
+        Instr::Alloca { .. } => {}
+        Instr::Load { ptr, .. } => *ptr = f(*ptr),
+        Instr::Store { ptr, value } => {
+            *ptr = f(*ptr);
+            *value = f(*value);
+        }
+        Instr::Bin { lhs, rhs, .. } | Instr::Cmp { lhs, rhs, .. } => {
+            *lhs = f(*lhs);
+            *rhs = f(*rhs);
+        }
+        Instr::Gep { base, offset } => {
+            *base = f(*base);
+            *offset = f(*offset);
+        }
+        Instr::Cast { value, .. } => *value = f(*value),
+        Instr::CallBuiltin { arg, .. } => *arg = f(*arg),
+        Instr::Call { args, .. } => {
+            for a in args {
+                *a = f(*a);
+            }
+        }
+        Instr::Phi { incomings, .. } => {
+            for (_, v) in incomings {
+                *v = f(*v);
+            }
+        }
+        Instr::Select {
+            cond,
+            then_v,
+            else_v,
+            ..
+        } => {
+            *cond = f(*cond);
+            *then_v = f(*then_v);
+            *else_v = f(*else_v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::FuncBuilder;
+
+    #[test]
+    fn folds_arithmetic_chain() {
+        // return (2 + 3) * 4;
+        let mut b = FuncBuilder::new("f", &[], Some(Ty::I32));
+        let s = b.bin(BinOp::Add, Operand::i32(2), Operand::i32(3), Ty::I32);
+        let m = b.bin(BinOp::Mul, s, Operand::i32(4), Ty::I32);
+        b.ret(Some(m));
+        let mut f = b.finish();
+        assert_eq!(run(&mut f), 2);
+        assert!(f.block(crate::func::BlockId(0)).instrs.is_empty());
+        match f.block(crate::func::BlockId(0)).term {
+            Terminator::Ret(Some(Operand::Const(20, Ty::I32))) => {}
+            ref other => panic!("unexpected terminator {other:?}"),
+        }
+    }
+
+    #[test]
+    fn folds_constant_branch() {
+        let mut b = FuncBuilder::new("f", &[], Some(Ty::I32));
+        let t = b.new_block("t");
+        let e = b.new_block("e");
+        let c = b.cmp(CmpOp::Slt, Operand::i32(1), Operand::i32(2), Ty::I32);
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.ret(Some(Operand::i32(1)));
+        b.switch_to(e);
+        b.ret(Some(Operand::i32(0)));
+        let mut f = b.finish();
+        run(&mut f);
+        assert!(matches!(f.block(crate::func::BlockId(0)).term, Terminator::Br(b) if b.0 == 1));
+    }
+
+    #[test]
+    fn leaves_dynamic_code_alone() {
+        let mut b = FuncBuilder::new("f", &[("x", Ty::I32)], Some(Ty::I32));
+        let s = b.bin(BinOp::Add, Operand::Param(0), Operand::i32(3), Ty::I32);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        assert_eq!(run(&mut f), 0);
+    }
+}

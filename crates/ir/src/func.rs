@@ -1,0 +1,350 @@
+//! Functions, basic blocks, and the function builder.
+
+use crate::instr::{BinOp, Builtin, CastKind, CmpOp, Instr, Operand, Terminator};
+use crate::types::Ty;
+
+/// Identifier of a basic block within a function (entry is block 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// Identifier of an instruction within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstrId(pub u32);
+
+/// A basic block: a label, a straight-line instruction list, a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Label for printing.
+    pub name: String,
+    /// Instructions in execution order.
+    pub instrs: Vec<InstrId>,
+    /// Block terminator.
+    pub term: Terminator,
+}
+
+/// A function in the IR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Func {
+    /// Function name.
+    pub name: String,
+    /// Parameter names and types.
+    pub params: Vec<(String, Ty)>,
+    /// Return type, or `None` for `void`.
+    pub ret_ty: Option<Ty>,
+    /// All blocks; `BlockId(0)` is the entry.
+    pub blocks: Vec<Block>,
+    /// Instruction arena, indexed by [`InstrId`].
+    pub instrs: Vec<Instr>,
+}
+
+impl Func {
+    /// Looks up an instruction.
+    pub fn instr(&self, id: InstrId) -> &Instr {
+        &self.instrs[id.0 as usize]
+    }
+
+    /// Looks up a block.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// The entry block id.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Iterates over all block ids.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// The type of an operand in the context of this function.
+    pub fn operand_ty(&self, op: Operand) -> Ty {
+        match op {
+            Operand::Const(_, ty) => ty,
+            Operand::NullPtr => Ty::Ptr,
+            Operand::Param(i) => self.params[i as usize].1,
+            Operand::Value(id) => self
+                .instr(id)
+                .result_ty()
+                .expect("operand refers to a void instruction"),
+        }
+    }
+
+    /// Runs basic structural sanity checks (used by tests and after passes):
+    /// every referenced block exists, every operand refers to a real
+    /// instruction with a result, φ-nodes are at block starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description on the first violation.
+    pub fn validate(&self) {
+        for (bi, block) in self.blocks.iter().enumerate() {
+            for succ in block.term.successors() {
+                assert!(
+                    (succ.0 as usize) < self.blocks.len(),
+                    "{}: block b{bi} branches to missing b{}",
+                    self.name,
+                    succ.0
+                );
+            }
+            let mut seen_non_phi = false;
+            for &iid in &block.instrs {
+                let instr = self.instr(iid);
+                if matches!(instr, Instr::Phi { .. }) {
+                    assert!(!seen_non_phi, "{}: φ after non-φ in b{bi}", self.name);
+                } else {
+                    seen_non_phi = true;
+                }
+                for op in instr.operands() {
+                    if let Operand::Value(v) = op {
+                        assert!(
+                            (v.0 as usize) < self.instrs.len(),
+                            "{}: dangling value %{}",
+                            self.name,
+                            v.0
+                        );
+                        assert!(
+                            self.instr(v).result_ty().is_some(),
+                            "{}: %{} used but has no result",
+                            self.name,
+                            v.0
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Incrementally builds a [`Func`], one block at a time.
+///
+/// The builder starts with an entry block selected. Instructions append to
+/// the *current* block; `br`/`cond_br`/`ret` seal it.
+#[derive(Debug)]
+pub struct FuncBuilder {
+    func: Func,
+    current: BlockId,
+}
+
+impl FuncBuilder {
+    /// Starts a function with the given name, parameters and return type.
+    pub fn new(name: &str, params: &[(&str, Ty)], ret_ty: Option<Ty>) -> FuncBuilder {
+        let func = Func {
+            name: name.to_string(),
+            params: params.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
+            ret_ty,
+            blocks: vec![Block {
+                name: "entry".to_string(),
+                instrs: vec![],
+                term: Terminator::Unreachable,
+            }],
+            instrs: vec![],
+        };
+        FuncBuilder {
+            func,
+            current: BlockId(0),
+        }
+    }
+
+    /// Creates a new (empty, unreachable-terminated) block.
+    pub fn new_block(&mut self, name: &str) -> BlockId {
+        let id = BlockId(self.func.blocks.len() as u32);
+        self.func.blocks.push(Block {
+            name: name.to_string(),
+            instrs: vec![],
+            term: Terminator::Unreachable,
+        });
+        id
+    }
+
+    /// Switches the insertion point to `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.current = block;
+    }
+
+    /// The current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Whether the current block is already terminated.
+    pub fn is_terminated(&self) -> bool {
+        !matches!(
+            self.func.blocks[self.current.0 as usize].term,
+            Terminator::Unreachable
+        )
+    }
+
+    fn push(&mut self, instr: Instr) -> InstrId {
+        let id = InstrId(self.func.instrs.len() as u32);
+        self.func.instrs.push(instr);
+        self.func.blocks[self.current.0 as usize].instrs.push(id);
+        id
+    }
+
+    /// Emits `alloca` and returns the slot pointer.
+    pub fn alloca(&mut self, ty: Ty, name: &str) -> Operand {
+        let id = self.push(Instr::Alloca {
+            ty,
+            name: name.to_string(),
+        });
+        Operand::Value(id)
+    }
+
+    /// Emits a typed load.
+    pub fn load(&mut self, ptr: Operand, ty: Ty) -> Operand {
+        Operand::Value(self.push(Instr::Load { ptr, ty }))
+    }
+
+    /// Emits a store.
+    pub fn store(&mut self, ptr: Operand, value: Operand) {
+        self.push(Instr::Store { ptr, value });
+    }
+
+    /// Emits a binary operation.
+    pub fn bin(&mut self, op: BinOp, lhs: Operand, rhs: Operand, ty: Ty) -> Operand {
+        Operand::Value(self.push(Instr::Bin { op, lhs, rhs, ty }))
+    }
+
+    /// Emits a comparison (`ty` is the operand type).
+    pub fn cmp(&mut self, op: CmpOp, lhs: Operand, rhs: Operand, ty: Ty) -> Operand {
+        Operand::Value(self.push(Instr::Cmp { op, lhs, rhs, ty }))
+    }
+
+    /// Emits pointer arithmetic (`base + offset` bytes).
+    pub fn gep(&mut self, base: Operand, offset: Operand) -> Operand {
+        Operand::Value(self.push(Instr::Gep { base, offset }))
+    }
+
+    /// Emits a cast.
+    pub fn cast(&mut self, kind: CastKind, value: Operand, from: Ty, to: Ty) -> Operand {
+        Operand::Value(self.push(Instr::Cast {
+            kind,
+            value,
+            from,
+            to,
+        }))
+    }
+
+    /// Emits a `<ctype.h>` builtin call.
+    pub fn call_builtin(&mut self, builtin: Builtin, arg: Operand) -> Operand {
+        Operand::Value(self.push(Instr::CallBuiltin { builtin, arg }))
+    }
+
+    /// Emits an opaque call.
+    pub fn call(
+        &mut self,
+        callee: &str,
+        args: Vec<Operand>,
+        arg_tys: Vec<Ty>,
+        ret_ty: Option<Ty>,
+    ) -> Option<Operand> {
+        let id = self.push(Instr::Call {
+            callee: callee.to_string(),
+            args,
+            arg_tys,
+            ret_ty,
+        });
+        ret_ty.map(|_| Operand::Value(id))
+    }
+
+    /// Emits a φ-node (must come before non-φ instructions of the block).
+    pub fn phi(&mut self, incomings: Vec<(BlockId, Operand)>, ty: Ty) -> Operand {
+        Operand::Value(self.push(Instr::Phi { incomings, ty }))
+    }
+
+    /// Emits a select.
+    pub fn select(&mut self, cond: Operand, then_v: Operand, else_v: Operand, ty: Ty) -> Operand {
+        Operand::Value(self.push(Instr::Select {
+            cond,
+            then_v,
+            else_v,
+            ty,
+        }))
+    }
+
+    /// Terminates the current block with an unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.terminate(Terminator::Br(target));
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn cond_br(&mut self, cond: Operand, then_bb: BlockId, else_bb: BlockId) {
+        self.terminate(Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        });
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.terminate(Terminator::Ret(value));
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        let block = &mut self.func.blocks[self.current.0 as usize];
+        if matches!(block.term, Terminator::Unreachable) {
+            block.term = term;
+        }
+        // Silently ignore double termination: lowering of `return` inside
+        // loops can produce dead trailing branches.
+    }
+
+    /// Finishes and returns the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if validation fails.
+    pub fn finish(self) -> Func {
+        self.func.validate();
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_diamond() {
+        // int f(int x) { return x < 0 ? -x : x; } via control flow.
+        let mut b = FuncBuilder::new("abs", &[("x", Ty::I32)], Some(Ty::I32));
+        let x = Operand::Param(0);
+        let neg_bb = b.new_block("neg");
+        let join = b.new_block("join");
+        let zero = Operand::i32(0);
+        let cond = b.cmp(CmpOp::Slt, x, zero, Ty::I32);
+        b.cond_br(cond, neg_bb, join);
+        b.switch_to(neg_bb);
+        let negx = b.bin(BinOp::Sub, zero, x, Ty::I32);
+        b.br(join);
+        b.switch_to(join);
+        let phi = b.phi(vec![(BlockId(0), x), (neg_bb, negx)], Ty::I32);
+        b.ret(Some(phi));
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 3);
+        assert_eq!(f.block(BlockId(0)).term.successors(), vec![neg_bb, join]);
+    }
+
+    #[test]
+    #[should_panic(expected = "branches to missing")]
+    fn validate_catches_dangling_block() {
+        let mut b = FuncBuilder::new("bad", &[], None);
+        b.br(BlockId(7));
+        b.finish();
+    }
+
+    #[test]
+    fn operand_types() {
+        let mut b = FuncBuilder::new("t", &[("p", Ty::Ptr)], Some(Ty::Ptr));
+        let p = Operand::Param(0);
+        let c = b.load(p, Ty::I8);
+        b.ret(Some(p));
+        let f = b.finish();
+        assert_eq!(f.operand_ty(p), Ty::Ptr);
+        assert_eq!(f.operand_ty(c), Ty::I8);
+        assert_eq!(f.operand_ty(Operand::NullPtr), Ty::Ptr);
+    }
+}

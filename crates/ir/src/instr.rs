@@ -1,0 +1,478 @@
+//! Instructions, operands and terminators.
+
+use crate::func::{BlockId, InstrId};
+use crate::types::Ty;
+use std::fmt;
+
+/// An SSA operand: a constant, a function parameter, or the result of an
+/// instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Integer constant of the given type (pointers use `NullPtr`).
+    Const(i64, Ty),
+    /// The null pointer constant.
+    NullPtr,
+    /// The `i`-th function parameter.
+    Param(u32),
+    /// Result of the instruction `InstrId`.
+    Value(InstrId),
+}
+
+impl Operand {
+    /// Shorthand for an `i32` constant.
+    pub fn i32(v: i32) -> Operand {
+        Operand::Const(i64::from(v), Ty::I32)
+    }
+
+    /// Shorthand for an `i64` constant.
+    pub fn i64(v: i64) -> Operand {
+        Operand::Const(v, Ty::I64)
+    }
+
+    /// Shorthand for an `i8` (char) constant.
+    pub fn i8(v: u8) -> Operand {
+        Operand::Const(i64::from(v), Ty::I8)
+    }
+
+    /// Shorthand for a boolean constant.
+    pub fn bool(v: bool) -> Operand {
+        Operand::Const(i64::from(v), Ty::I1)
+    }
+}
+
+/// Binary integer operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left.
+    Shl,
+    /// Logical shift right.
+    LShr,
+    /// Arithmetic shift right.
+    AShr,
+}
+
+/// Comparison predicates, yielding `i1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Disequality.
+    Ne,
+    /// Unsigned less-than.
+    Ult,
+    /// Unsigned less-or-equal.
+    Ule,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+}
+
+impl CmpOp {
+    /// The predicate with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn swapped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Ult | CmpOp::Ule | CmpOp::Slt | CmpOp::Sle => self, // caller swaps operands
+        }
+    }
+}
+
+/// Value cast kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CastKind {
+    /// Zero extension to a wider integer.
+    Zext,
+    /// Sign extension to a wider integer.
+    Sext,
+    /// Truncation to a narrower integer.
+    Trunc,
+    /// Pointer to integer (byte address).
+    PtrToInt,
+    /// Integer to pointer.
+    IntToPtr,
+}
+
+/// Pure `int → int` builtins from `<ctype.h>`, modelled as intrinsics.
+///
+/// The paper's loop filter keeps calls whose arguments and results are
+/// integers; these are the ones that occur in real string loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    /// `isdigit`
+    IsDigit,
+    /// `isspace` (space, \t, \n, \v, \f, \r)
+    IsSpace,
+    /// `isalpha`
+    IsAlpha,
+    /// `isalnum`
+    IsAlnum,
+    /// `isupper`
+    IsUpper,
+    /// `islower`
+    IsLower,
+    /// `ispunct`
+    IsPunct,
+    /// `isxdigit`
+    IsXdigit,
+    /// `tolower`
+    ToLower,
+    /// `toupper`
+    ToUpper,
+}
+
+impl Builtin {
+    /// Looks a builtin up by its C name.
+    pub fn by_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "isdigit" => Builtin::IsDigit,
+            "isspace" => Builtin::IsSpace,
+            "isalpha" => Builtin::IsAlpha,
+            "isalnum" => Builtin::IsAlnum,
+            "isupper" => Builtin::IsUpper,
+            "islower" => Builtin::IsLower,
+            "ispunct" => Builtin::IsPunct,
+            "isxdigit" => Builtin::IsXdigit,
+            "tolower" => Builtin::ToLower,
+            "toupper" => Builtin::ToUpper,
+            _ => return None,
+        })
+    }
+
+    /// The C name of the builtin.
+    pub fn name(self) -> &'static str {
+        match self {
+            Builtin::IsDigit => "isdigit",
+            Builtin::IsSpace => "isspace",
+            Builtin::IsAlpha => "isalpha",
+            Builtin::IsAlnum => "isalnum",
+            Builtin::IsUpper => "isupper",
+            Builtin::IsLower => "islower",
+            Builtin::IsPunct => "ispunct",
+            Builtin::IsXdigit => "isxdigit",
+            Builtin::ToLower => "tolower",
+            Builtin::ToUpper => "toupper",
+        }
+    }
+
+    /// Concrete semantics on an `int` argument (C locale).
+    pub fn apply(self, c: i64) -> i64 {
+        let in_range = (0..=255).contains(&c);
+        let b = if in_range { c as u8 } else { 0 };
+        let r = match self {
+            Builtin::IsDigit => in_range && b.is_ascii_digit(),
+            Builtin::IsSpace => in_range && matches!(b, b' ' | b'\t' | b'\n' | 0x0b | 0x0c | b'\r'),
+            Builtin::IsAlpha => in_range && b.is_ascii_alphabetic(),
+            Builtin::IsAlnum => in_range && b.is_ascii_alphanumeric(),
+            Builtin::IsUpper => in_range && b.is_ascii_uppercase(),
+            Builtin::IsLower => in_range && b.is_ascii_lowercase(),
+            Builtin::IsPunct => in_range && b.is_ascii_punctuation(),
+            Builtin::IsXdigit => in_range && b.is_ascii_hexdigit(),
+            Builtin::ToLower => {
+                return if in_range {
+                    i64::from(b.to_ascii_lowercase())
+                } else {
+                    c
+                }
+            }
+            Builtin::ToUpper => {
+                return if in_range {
+                    i64::from(b.to_ascii_uppercase())
+                } else {
+                    c
+                }
+            }
+        };
+        i64::from(r)
+    }
+
+    /// For the predicate builtins: the set of bytes for which the predicate
+    /// holds. `None` for `tolower`/`toupper`.
+    pub fn char_class(self) -> Option<Vec<u8>> {
+        match self {
+            Builtin::ToLower | Builtin::ToUpper => None,
+            _ => Some(
+                (0u16..=255)
+                    .map(|b| b as u8)
+                    .filter(|&b| self.apply(i64::from(b)) != 0)
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// An IR instruction. Instructions producing no value (`Store`) still occupy
+/// an [`InstrId`] but must not be referenced as operands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Stack allocation of one slot of type `ty`; yields a pointer.
+    Alloca {
+        /// Type of the allocated slot.
+        ty: Ty,
+        /// Source-level variable name, for diagnostics.
+        name: String,
+    },
+    /// Loads a value of type `ty` from `ptr`.
+    Load {
+        /// Address operand (must be pointer-typed).
+        ptr: Operand,
+        /// Loaded type.
+        ty: Ty,
+    },
+    /// Stores `value` to `ptr`. No result.
+    Store {
+        /// Address operand.
+        ptr: Operand,
+        /// Value to store.
+        value: Operand,
+    },
+    /// Integer binary operation; both operands share the result type.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+        /// Operand/result type.
+        ty: Ty,
+    },
+    /// Comparison producing `i1`. Pointers compare as 64-bit addresses.
+    Cmp {
+        /// Predicate.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+        /// Type of the *operands*.
+        ty: Ty,
+    },
+    /// Pointer arithmetic: `base + offset` in bytes; yields a pointer.
+    Gep {
+        /// Base pointer.
+        base: Operand,
+        /// Byte offset (any integer type; sign-extended).
+        offset: Operand,
+    },
+    /// Value cast.
+    Cast {
+        /// Kind of cast.
+        kind: CastKind,
+        /// Source value.
+        value: Operand,
+        /// Source type.
+        from: Ty,
+        /// Destination type.
+        to: Ty,
+    },
+    /// Call to a `<ctype.h>` builtin (pure, `i32 → i32`).
+    CallBuiltin {
+        /// Which builtin.
+        builtin: Builtin,
+        /// Argument (an `i32`).
+        arg: Operand,
+    },
+    /// Call to an arbitrary named function. Kept opaque; the loop filters
+    /// reject loops containing pointer-typed calls, and the interpreter
+    /// reports an error if one is reached.
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Arguments.
+        args: Vec<Operand>,
+        /// Argument types.
+        arg_tys: Vec<Ty>,
+        /// Result type, if any.
+        ret_ty: Option<Ty>,
+    },
+    /// SSA φ-node; one incoming operand per predecessor block.
+    Phi {
+        /// `(predecessor, value)` pairs.
+        incomings: Vec<(BlockId, Operand)>,
+        /// Result type.
+        ty: Ty,
+    },
+    /// `cond ? then_v : else_v` without control flow.
+    Select {
+        /// Boolean selector.
+        cond: Operand,
+        /// Value when true.
+        then_v: Operand,
+        /// Value when false.
+        else_v: Operand,
+        /// Result type.
+        ty: Ty,
+    },
+}
+
+impl Instr {
+    /// The result type of this instruction, or `None` for `Store`.
+    pub fn result_ty(&self) -> Option<Ty> {
+        match self {
+            Instr::Alloca { .. } | Instr::Gep { .. } => Some(Ty::Ptr),
+            Instr::Load { ty, .. } => Some(*ty),
+            Instr::Store { .. } => None,
+            Instr::Bin { ty, .. } => Some(*ty),
+            Instr::Cmp { .. } => Some(Ty::I1),
+            Instr::Cast { to, .. } => Some(*to),
+            Instr::CallBuiltin { .. } => Some(Ty::I32),
+            Instr::Call { ret_ty, .. } => *ret_ty,
+            Instr::Phi { ty, .. } => Some(*ty),
+            Instr::Select { ty, .. } => Some(*ty),
+        }
+    }
+
+    /// All operands read by this instruction.
+    pub fn operands(&self) -> Vec<Operand> {
+        match self {
+            Instr::Alloca { .. } => vec![],
+            Instr::Load { ptr, .. } => vec![*ptr],
+            Instr::Store { ptr, value } => vec![*ptr, *value],
+            Instr::Bin { lhs, rhs, .. } | Instr::Cmp { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Instr::Gep { base, offset } => vec![*base, *offset],
+            Instr::Cast { value, .. } => vec![*value],
+            Instr::CallBuiltin { arg, .. } => vec![*arg],
+            Instr::Call { args, .. } => args.clone(),
+            Instr::Phi { incomings, .. } => incomings.iter().map(|(_, v)| *v).collect(),
+            Instr::Select {
+                cond,
+                then_v,
+                else_v,
+                ..
+            } => vec![*cond, *then_v, *else_v],
+        }
+    }
+}
+
+/// Block terminators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional branch.
+    Br(BlockId),
+    /// Two-way conditional branch on an `i1` operand.
+    CondBr {
+        /// Branch condition.
+        cond: Operand,
+        /// Target when true.
+        then_bb: BlockId,
+        /// Target when false.
+        else_bb: BlockId,
+    },
+    /// Function return.
+    Ret(Option<Operand>),
+    /// Placeholder while a block is under construction.
+    Unreachable,
+}
+
+impl Terminator {
+    /// Successor blocks in order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Br(b) => vec![*b],
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Terminator::Ret(_) | Terminator::Unreachable => vec![],
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::LShr => "lshr",
+            BinOp::AShr => "ashr",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Ult => "ult",
+            CmpOp::Ule => "ule",
+            CmpOp::Slt => "slt",
+            CmpOp::Sle => "sle",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_semantics() {
+        assert_eq!(Builtin::IsDigit.apply(i64::from(b'7')), 1);
+        assert_eq!(Builtin::IsDigit.apply(i64::from(b'a')), 0);
+        assert_eq!(Builtin::IsSpace.apply(i64::from(b'\t')), 1);
+        assert_eq!(Builtin::ToUpper.apply(i64::from(b'q')), i64::from(b'Q'));
+        assert_eq!(Builtin::ToLower.apply(i64::from(b'Q')), i64::from(b'q'));
+        assert_eq!(Builtin::IsAlpha.apply(-5), 0);
+    }
+
+    #[test]
+    fn builtin_char_class() {
+        let digits = Builtin::IsDigit.char_class().unwrap();
+        assert_eq!(digits, (b'0'..=b'9').collect::<Vec<_>>());
+        assert!(Builtin::ToLower.char_class().is_none());
+    }
+
+    #[test]
+    fn builtin_roundtrip_names() {
+        for b in [
+            Builtin::IsDigit,
+            Builtin::IsSpace,
+            Builtin::IsAlpha,
+            Builtin::IsAlnum,
+            Builtin::IsUpper,
+            Builtin::IsLower,
+            Builtin::IsPunct,
+            Builtin::IsXdigit,
+            Builtin::ToLower,
+            Builtin::ToUpper,
+        ] {
+            assert_eq!(Builtin::by_name(b.name()), Some(b));
+        }
+        assert_eq!(Builtin::by_name("strlen"), None);
+    }
+
+    #[test]
+    fn instr_result_types() {
+        let gep = Instr::Gep {
+            base: Operand::Param(0),
+            offset: Operand::i32(1),
+        };
+        assert_eq!(gep.result_ty(), Some(Ty::Ptr));
+        let st = Instr::Store {
+            ptr: Operand::Param(0),
+            value: Operand::i8(0),
+        };
+        assert_eq!(st.result_ty(), None);
+    }
+}

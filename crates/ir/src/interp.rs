@@ -1,0 +1,679 @@
+//! A concrete interpreter for the IR.
+//!
+//! Serves three roles: a ground-truth oracle in tests, the `Original(cex)`
+//! executor inside the CEGIS loop (running the extracted loop function on
+//! candidate counterexample strings), and the byte-at-a-time "original loop"
+//! side of the native-performance experiment (Figure 5).
+
+use crate::func::{BlockId, Func, InstrId};
+use crate::instr::{BinOp, CastKind, CmpOp, Instr, Operand, Terminator};
+use crate::types::Ty;
+use std::fmt;
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtVal {
+    /// An integer (canonically sign-extended to 64 bits at type width).
+    Int(i64),
+    /// A pointer: object id plus byte offset.
+    Ptr {
+        /// Memory object identifier.
+        obj: u32,
+        /// Byte offset, may be out of bounds until dereferenced.
+        off: i64,
+    },
+    /// The null pointer.
+    Null,
+}
+
+impl RtVal {
+    /// The integer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value is a pointer.
+    pub fn as_int(self) -> i64 {
+        match self {
+            RtVal::Int(v) => v,
+            other => panic!("expected integer, got {other:?}"),
+        }
+    }
+}
+
+/// Errors surfaced by concrete execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Load or store outside an object's bounds.
+    OutOfBounds {
+        /// Object identifier.
+        obj: u32,
+        /// Offending offset.
+        off: i64,
+        /// Object size in bytes.
+        size: usize,
+    },
+    /// Dereference of the null pointer.
+    NullDeref,
+    /// A call to a function the interpreter cannot execute.
+    UnknownCall(String),
+    /// The step budget was exhausted (likely non-termination).
+    StepLimit,
+    /// A φ-node had no incoming entry for the executed edge.
+    MissingPhiEdge,
+    /// Pointer arithmetic on incompatible values (e.g. int + ptr mix-ups).
+    TypeConfusion(&'static str),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfBounds { obj, off, size } => {
+                write!(
+                    f,
+                    "out-of-bounds access: object {obj} offset {off} size {size}"
+                )
+            }
+            ExecError::NullDeref => write!(f, "null pointer dereference"),
+            ExecError::UnknownCall(name) => write!(f, "call to unknown function `{name}`"),
+            ExecError::StepLimit => write!(f, "step limit exceeded"),
+            ExecError::MissingPhiEdge => write!(f, "phi node missing incoming edge"),
+            ExecError::TypeConfusion(msg) => write!(f, "type confusion: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A flat memory of byte objects.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    objects: Vec<Vec<u8>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Allocates an object of `size` zero bytes, returning its id.
+    pub fn alloc(&mut self, size: usize) -> u32 {
+        self.objects.push(vec![0; size]);
+        (self.objects.len() - 1) as u32
+    }
+
+    /// Allocates an object initialised with `bytes`.
+    pub fn alloc_bytes(&mut self, bytes: &[u8]) -> u32 {
+        self.objects.push(bytes.to_vec());
+        (self.objects.len() - 1) as u32
+    }
+
+    /// Allocates a NUL-terminated copy of `s`.
+    pub fn alloc_cstr(&mut self, s: &[u8]) -> u32 {
+        let mut v = s.to_vec();
+        v.push(0);
+        self.objects.push(v);
+        (self.objects.len() - 1) as u32
+    }
+
+    /// Read-only view of an object's bytes.
+    pub fn bytes(&self, obj: u32) -> &[u8] {
+        &self.objects[obj as usize]
+    }
+
+    fn check(&self, obj: u32, off: i64, len: usize) -> Result<usize, ExecError> {
+        // `obj` may be a dangling sentinel (e.g. pointer arithmetic on NULL).
+        let data = self
+            .objects
+            .get(obj as usize)
+            .ok_or(ExecError::OutOfBounds { obj, off, size: 0 })?;
+        if off < 0 || (off as usize) + len > data.len() {
+            return Err(ExecError::OutOfBounds {
+                obj,
+                off,
+                size: data.len(),
+            });
+        }
+        Ok(off as usize)
+    }
+
+    /// Loads `ty.size()` bytes little-endian.
+    pub fn load(&self, obj: u32, off: i64, ty: Ty) -> Result<i64, ExecError> {
+        let size = ty.size();
+        let start = self.check(obj, off, size)?;
+        let data = &self.objects[obj as usize];
+        let mut v: u64 = 0;
+        for i in 0..size {
+            v |= u64::from(data[start + i]) << (8 * i);
+        }
+        Ok(norm(v as i64, ty))
+    }
+
+    /// Stores `ty.size()` bytes little-endian.
+    pub fn store(&mut self, obj: u32, off: i64, value: i64, ty: Ty) -> Result<(), ExecError> {
+        let size = ty.size();
+        let start = self.check(obj, off, size)?;
+        let data = &mut self.objects[obj as usize];
+        for i in 0..size {
+            data[start + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+}
+
+/// Normalises an integer to `ty`'s width.
+///
+/// `i8` values are **zero-extended** (unsigned-char semantics, matching the
+/// byte view that the gadget vocabulary uses); wider types sign-extend.
+pub fn norm(v: i64, ty: Ty) -> i64 {
+    match ty {
+        Ty::I1 => v & 1,
+        Ty::I8 => v & 0xff,
+        Ty::I32 => v as i32 as i64,
+        Ty::I64 | Ty::Ptr => v,
+    }
+}
+
+/// The interpreter, borrowing a function and a memory.
+#[derive(Debug)]
+pub struct Interp<'a> {
+    func: &'a Func,
+    mem: &'a mut Memory,
+    /// Maximum number of executed instructions before [`ExecError::StepLimit`].
+    pub step_limit: u64,
+    /// Every byte-load executed, as `(object, offset)` — used by the
+    /// memorylessness checker to verify the read pattern of Definition 1.
+    pub load_trace: Vec<(u32, i64)>,
+}
+
+impl<'a> Interp<'a> {
+    /// Creates an interpreter with the default step limit (10 million).
+    pub fn new(func: &'a Func, mem: &'a mut Memory) -> Interp<'a> {
+        Interp {
+            func,
+            mem,
+            step_limit: 10_000_000,
+            load_trace: Vec::new(),
+        }
+    }
+
+    fn operand(&self, values: &[Option<RtVal>], args: &[RtVal], op: Operand) -> RtVal {
+        match op {
+            Operand::Const(v, ty) => RtVal::Int(norm(v, ty)),
+            Operand::NullPtr => RtVal::Null,
+            Operand::Param(i) => args[i as usize],
+            Operand::Value(id) => {
+                values[id.0 as usize].expect("use of undefined instruction result")
+            }
+        }
+    }
+
+    /// Runs the function on `args`, returning its result (if non-void).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] for memory violations, unknown calls, or
+    /// step-limit exhaustion.
+    pub fn run(&mut self, args: &[RtVal]) -> Result<Option<RtVal>, ExecError> {
+        let mut values: Vec<Option<RtVal>> = vec![None; self.func.instrs.len()];
+        let mut block = BlockId(0);
+        let mut prev: Option<BlockId> = None;
+        let mut steps: u64 = 0;
+
+        loop {
+            // φ-nodes first, evaluated simultaneously against `prev`.
+            let blk = self.func.block(block);
+            let mut phi_updates: Vec<(InstrId, RtVal)> = Vec::new();
+            let mut cursor = 0;
+            while cursor < blk.instrs.len() {
+                let iid = blk.instrs[cursor];
+                if let Instr::Phi { incomings, .. } = self.func.instr(iid) {
+                    let p = prev.ok_or(ExecError::MissingPhiEdge)?;
+                    let (_, op) = incomings
+                        .iter()
+                        .find(|(b, _)| *b == p)
+                        .ok_or(ExecError::MissingPhiEdge)?;
+                    phi_updates.push((iid, self.operand(&values, args, *op)));
+                    cursor += 1;
+                } else {
+                    break;
+                }
+            }
+            for (iid, v) in phi_updates {
+                values[iid.0 as usize] = Some(v);
+            }
+
+            for &iid in &blk.instrs[cursor..] {
+                steps += 1;
+                if steps > self.step_limit {
+                    return Err(ExecError::StepLimit);
+                }
+                let result = self.exec_instr(&mut values, args, iid)?;
+                values[iid.0 as usize] = result;
+            }
+
+            steps += 1;
+            if steps > self.step_limit {
+                return Err(ExecError::StepLimit);
+            }
+            match &blk.term {
+                Terminator::Br(t) => {
+                    prev = Some(block);
+                    block = *t;
+                }
+                Terminator::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let c = self.operand(&values, args, *cond).as_int();
+                    prev = Some(block);
+                    block = if c != 0 { *then_bb } else { *else_bb };
+                }
+                Terminator::Ret(v) => {
+                    return Ok(v.map(|op| self.operand(&values, args, op)));
+                }
+                Terminator::Unreachable => {
+                    return Err(ExecError::TypeConfusion("reached unreachable terminator"));
+                }
+            }
+        }
+    }
+
+    fn exec_instr(
+        &mut self,
+        values: &mut [Option<RtVal>],
+        args: &[RtVal],
+        iid: InstrId,
+    ) -> Result<Option<RtVal>, ExecError> {
+        let instr = self.func.instr(iid).clone();
+        let get = |vs: &[Option<RtVal>], op: Operand| self.operand(vs, args, op);
+        Ok(match instr {
+            Instr::Alloca { ty, .. } => {
+                let obj = self.mem.alloc(ty.size());
+                Some(RtVal::Ptr { obj, off: 0 })
+            }
+            Instr::Load { ptr, ty } => {
+                let (obj, off) = as_ptr(get(values, ptr))?;
+                if ty == Ty::I8 {
+                    self.load_trace.push((obj, off));
+                }
+                let raw = self.mem.load(obj, off, ty)?;
+                Some(if ty == Ty::Ptr {
+                    decode_ptr(raw)
+                } else {
+                    RtVal::Int(raw)
+                })
+            }
+            Instr::Store { ptr, value } => {
+                let (obj, off) = as_ptr(get(values, ptr))?;
+                let v = get(values, value);
+                let ty = self.func.operand_ty(value);
+                let raw = match v {
+                    RtVal::Int(i) => i,
+                    RtVal::Null => 0,
+                    RtVal::Ptr { obj, off } => encode_ptr(obj, off),
+                };
+                self.mem.store(obj, off, raw, ty)?;
+                None
+            }
+            Instr::Bin { op, lhs, rhs, ty } => {
+                let l = get(values, lhs);
+                let r = get(values, rhs);
+                // Pointer ± integer is routed through Gep by lowering, but be
+                // permissive: allow ptr - ptr (same object) as an integer.
+                match (l, r) {
+                    (RtVal::Int(a), RtVal::Int(b)) => {
+                        Some(RtVal::Int(norm(eval_bin(op, a, b, ty), ty)))
+                    }
+                    (RtVal::Ptr { obj: o1, off: a }, RtVal::Ptr { obj: o2, off: b })
+                        if op == BinOp::Sub && o1 == o2 =>
+                    {
+                        Some(RtVal::Int(norm(a - b, ty)))
+                    }
+                    _ => return Err(ExecError::TypeConfusion("bin op on pointers")),
+                }
+            }
+            Instr::Cmp { op, lhs, rhs, ty } => {
+                let l = get(values, lhs);
+                let r = get(values, rhs);
+                let b = cmp_vals(op, l, r, ty)?;
+                Some(RtVal::Int(i64::from(b)))
+            }
+            Instr::Gep { base, offset } => {
+                let b = get(values, base);
+                let o = get(values, offset).as_int();
+                match b {
+                    RtVal::Ptr { obj, off } => Some(RtVal::Ptr { obj, off: off + o }),
+                    RtVal::Null if o == 0 => Some(RtVal::Null),
+                    RtVal::Null => Some(RtVal::Ptr {
+                        obj: u32::MAX,
+                        off: o,
+                    }),
+                    RtVal::Int(_) => return Err(ExecError::TypeConfusion("gep on int")),
+                }
+            }
+            Instr::Cast {
+                kind,
+                value,
+                from,
+                to,
+            } => {
+                let v = get(values, value);
+                Some(match (kind, v) {
+                    (CastKind::PtrToInt, RtVal::Ptr { obj, off }) => {
+                        RtVal::Int(norm(encode_ptr(obj, off), to))
+                    }
+                    (CastKind::PtrToInt, RtVal::Null) => RtVal::Int(0),
+                    (CastKind::IntToPtr, RtVal::Int(i)) => decode_ptr(i),
+                    (_, RtVal::Int(i)) => {
+                        let normalised = match kind {
+                            CastKind::Zext => {
+                                // Zero-extend from the source width.
+                                let bits = from.bits();
+                                let m = if bits >= 64 {
+                                    u64::MAX
+                                } else {
+                                    (1u64 << bits) - 1
+                                };
+                                ((i as u64) & m) as i64
+                            }
+                            CastKind::Sext => {
+                                let bits = from.bits();
+                                let shift = 64 - bits;
+                                (i << shift) >> shift
+                            }
+                            CastKind::Trunc => i,
+                            CastKind::PtrToInt | CastKind::IntToPtr => unreachable!(),
+                        };
+                        RtVal::Int(norm(normalised, to))
+                    }
+                    (_, other) => {
+                        let _ = other;
+                        return Err(ExecError::TypeConfusion("cast on pointer"));
+                    }
+                })
+            }
+            Instr::CallBuiltin { builtin, arg } => {
+                let v = get(values, arg).as_int();
+                Some(RtVal::Int(builtin.apply(v)))
+            }
+            Instr::Call { callee, .. } => return Err(ExecError::UnknownCall(callee)),
+            Instr::Phi { .. } => unreachable!("phi handled at block entry"),
+            Instr::Select {
+                cond,
+                then_v,
+                else_v,
+                ..
+            } => {
+                let c = get(values, cond).as_int();
+                Some(if c != 0 {
+                    get(values, then_v)
+                } else {
+                    get(values, else_v)
+                })
+            }
+        })
+    }
+}
+
+fn as_ptr(v: RtVal) -> Result<(u32, i64), ExecError> {
+    match v {
+        RtVal::Ptr { obj, off } => Ok((obj, off)),
+        RtVal::Null => Err(ExecError::NullDeref),
+        RtVal::Int(_) => Err(ExecError::TypeConfusion("dereference of integer")),
+    }
+}
+
+/// Packs a pointer into an integer: `(obj+1) << 32 | off`. Survives
+/// round-trips through `PtrToInt`/`IntToPtr` and pointer-typed memory.
+fn encode_ptr(obj: u32, off: i64) -> i64 {
+    ((i64::from(obj) + 1) << 32) | (off & 0xffff_ffff)
+}
+
+fn decode_ptr(raw: i64) -> RtVal {
+    if raw == 0 {
+        return RtVal::Null;
+    }
+    let obj = ((raw >> 32) - 1) as u32;
+    let off = raw & 0xffff_ffff;
+    RtVal::Ptr { obj, off }
+}
+
+fn eval_bin(op: BinOp, a: i64, b: i64, ty: Ty) -> i64 {
+    let bits = ty.bits();
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => {
+            if (b as u64) >= u64::from(bits) {
+                0
+            } else {
+                a.wrapping_shl(b as u32)
+            }
+        }
+        BinOp::LShr => {
+            if (b as u64) >= u64::from(bits) {
+                0
+            } else {
+                let m = if bits >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bits) - 1
+                };
+                (((a as u64) & m) >> b) as i64
+            }
+        }
+        BinOp::AShr => {
+            if (b as u64) >= u64::from(bits) {
+                if a < 0 {
+                    -1
+                } else {
+                    0
+                }
+            } else {
+                a >> b
+            }
+        }
+    }
+}
+
+fn cmp_vals(op: CmpOp, l: RtVal, r: RtVal, ty: Ty) -> Result<bool, ExecError> {
+    let (a, b) = match (l, r) {
+        (RtVal::Int(a), RtVal::Int(b)) => (a, b),
+        (RtVal::Null, RtVal::Null) => (0, 0),
+        (RtVal::Null, RtVal::Ptr { obj, off }) => (0, encode_ptr(obj, off)),
+        (RtVal::Ptr { obj, off }, RtVal::Null) => (encode_ptr(obj, off), 0),
+        (RtVal::Ptr { obj: o1, off: a }, RtVal::Ptr { obj: o2, off: b }) => {
+            if o1 == o2 {
+                (a, b)
+            } else {
+                (encode_ptr(o1, a), encode_ptr(o2, b))
+            }
+        }
+        (RtVal::Int(a), RtVal::Null) => (a, 0),
+        (RtVal::Null, RtVal::Int(b)) => (0, b),
+        _ => return Err(ExecError::TypeConfusion("comparison of int with pointer")),
+    };
+    let bits = ty.bits();
+    let m = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
+    let (ua, ub) = ((a as u64) & m, (b as u64) & m);
+    Ok(match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Ult => ua < ub,
+        CmpOp::Ule => ua <= ub,
+        CmpOp::Slt => a < b,
+        CmpOp::Sle => a <= b,
+    })
+}
+
+/// Runs a `char* loopFunction(char*)`-shaped function on a C string.
+///
+/// Returns `Ok(None)` when the function returns NULL, `Ok(Some(offset))`
+/// when it returns a pointer `input + offset`, and an error otherwise
+/// (including pointers into other objects).
+///
+/// # Errors
+///
+/// Propagates interpreter errors; additionally reports
+/// [`ExecError::TypeConfusion`] if the returned pointer is not derived from
+/// the input string.
+pub fn run_loop_function(func: &Func, input: &[u8]) -> Result<Option<i64>, ExecError> {
+    let mut mem = Memory::new();
+    let obj = mem.alloc_cstr(input);
+    let out = Interp::new(func, &mut mem).run(&[RtVal::Ptr { obj, off: 0 }])?;
+    match out {
+        Some(RtVal::Null) => Ok(None),
+        Some(RtVal::Ptr { obj: o, off }) if o == obj => Ok(Some(off)),
+        other => {
+            let _ = other;
+            Err(ExecError::TypeConfusion("loop returned foreign pointer"))
+        }
+    }
+}
+
+/// Runs a loop function on a NULL input pointer.
+///
+/// # Errors
+///
+/// Propagates interpreter errors (e.g. [`ExecError::NullDeref`] when the
+/// loop is not NULL-safe).
+pub fn run_loop_function_null(func: &Func) -> Result<Option<i64>, ExecError> {
+    let mut mem = Memory::new();
+    let out = Interp::new(func, &mut mem).run(&[RtVal::Null])?;
+    match out {
+        Some(RtVal::Null) => Ok(None),
+        _ => Err(ExecError::TypeConfusion(
+            "loop returned non-null on null input",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::FuncBuilder;
+
+    /// Builds: char *skip_ws(char *p) {
+    ///   while (*p == ' ' || *p == '\t') p++; return p; }
+    /// without mem2reg (alloca-based).
+    pub(crate) fn skip_ws_func() -> Func {
+        let mut b = FuncBuilder::new("skip_ws", &[("p", Ty::Ptr)], Some(Ty::Ptr));
+        let slot = b.alloca(Ty::Ptr, "p");
+        b.store(slot, Operand::Param(0));
+        let header = b.new_block("header");
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        b.br(header);
+        b.switch_to(header);
+        let p = b.load(slot, Ty::Ptr);
+        let c = b.load(p, Ty::I8);
+        let is_sp = b.cmp(CmpOp::Eq, c, Operand::i8(b' '), Ty::I8);
+        let is_tab = b.cmp(CmpOp::Eq, c, Operand::i8(b'\t'), Ty::I8);
+        let either = b.bin(BinOp::Or, is_sp, is_tab, Ty::I1);
+        b.cond_br(either, body, exit);
+        b.switch_to(body);
+        let p2 = b.load(slot, Ty::Ptr);
+        let p3 = b.gep(p2, Operand::i64(1));
+        b.store(slot, p3);
+        b.br(header);
+        b.switch_to(exit);
+        let out = b.load(slot, Ty::Ptr);
+        b.ret(Some(out));
+        b.finish()
+    }
+
+    #[test]
+    fn skip_whitespace() {
+        let f = skip_ws_func();
+        assert_eq!(run_loop_function(&f, b"  \thello").unwrap(), Some(3));
+        assert_eq!(run_loop_function(&f, b"hello").unwrap(), Some(0));
+        assert_eq!(run_loop_function(&f, b"   ").unwrap(), Some(3));
+        assert_eq!(run_loop_function(&f, b"").unwrap(), Some(0));
+    }
+
+    #[test]
+    fn oob_detected() {
+        // for(;;) p++ with a read each time ⇒ runs off the end.
+        let mut b = FuncBuilder::new("runaway", &[("p", Ty::Ptr)], Some(Ty::Ptr));
+        let header = b.new_block("header");
+        b.br(header);
+        b.switch_to(header);
+        let p = b.phi(vec![], Ty::Ptr); // filled below
+        let _c = b.load(p, Ty::I8);
+        let p2 = b.gep(p, Operand::i64(1));
+        b.br(header);
+        let mut f = b.finish();
+        // Wire the phi manually: entry → Param(0), header → p2.
+        if let Instr::Phi { incomings, .. } = &mut f.instrs[0] {
+            incomings.push((BlockId(0), Operand::Param(0)));
+            if let Operand::Value(p2v) = p2 {
+                incomings.push((BlockId(1), Operand::Value(p2v)));
+            }
+        }
+        let err = run_loop_function(&f, b"ab").unwrap_err();
+        assert!(matches!(err, ExecError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn null_deref_detected() {
+        let f = skip_ws_func();
+        assert_eq!(run_loop_function_null(&f), Err(ExecError::NullDeref));
+    }
+
+    #[test]
+    fn ptr_roundtrip_through_memory() {
+        // char **slot = alloca; *slot = p; return *slot;
+        let mut b = FuncBuilder::new("rt", &[("p", Ty::Ptr)], Some(Ty::Ptr));
+        let slot = b.alloca(Ty::Ptr, "slot");
+        b.store(slot, Operand::Param(0));
+        let out = b.load(slot, Ty::Ptr);
+        b.ret(Some(out));
+        let f = b.finish();
+        assert_eq!(run_loop_function(&f, b"xyz").unwrap(), Some(0));
+    }
+
+    #[test]
+    fn builtin_call() {
+        // return isdigit(*p) ? p+1 : p;
+        let mut b = FuncBuilder::new("d", &[("p", Ty::Ptr)], Some(Ty::Ptr));
+        let c = b.load(Operand::Param(0), Ty::I8);
+        let ci = b.cast(CastKind::Zext, c, Ty::I8, Ty::I32);
+        let d = b.call_builtin(crate::instr::Builtin::IsDigit, ci);
+        let nz = b.cmp(CmpOp::Ne, d, Operand::i32(0), Ty::I32);
+        let p1 = b.gep(Operand::Param(0), Operand::i64(1));
+        let sel = b.select(nz, p1, Operand::Param(0), Ty::Ptr);
+        b.ret(Some(sel));
+        let f = b.finish();
+        assert_eq!(run_loop_function(&f, b"5a").unwrap(), Some(1));
+        assert_eq!(run_loop_function(&f, b"a5").unwrap(), Some(0));
+    }
+
+    #[test]
+    fn step_limit_triggers() {
+        // while(1) {} — header loops to itself.
+        let mut b = FuncBuilder::new("spin", &[("p", Ty::Ptr)], Some(Ty::Ptr));
+        let header = b.new_block("header");
+        b.br(header);
+        b.switch_to(header);
+        b.br(header);
+        let f = b.finish();
+        let mut mem = Memory::new();
+        let obj = mem.alloc_cstr(b"x");
+        let mut interp = Interp::new(&f, &mut mem);
+        interp.step_limit = 1000;
+        assert_eq!(
+            interp.run(&[RtVal::Ptr { obj, off: 0 }]),
+            Err(ExecError::StepLimit)
+        );
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! A small LLVM-like compiler IR for C string loops.
+//!
+//! This crate stands in for the slice of LLVM the paper relies on: a typed
+//! control-flow-graph IR, the `mem2reg` promotion pass, dominator-tree
+//! construction, natural-loop analysis, and a concrete interpreter used both
+//! as a testing oracle and as the "original loop" executor in CEGIS.
+//!
+//! Functions are built either programmatically via [`FuncBuilder`] or by the
+//! `strsum-cfront` crate, which lowers a C subset to this IR.
+//!
+//! # Example
+//!
+//! ```
+//! use strsum_ir::{FuncBuilder, Ty, BinOp, CmpOp, Operand};
+//!
+//! // char *id(char *s) { return s; }
+//! let mut b = FuncBuilder::new("id", &[("s", Ty::Ptr)], Some(Ty::Ptr));
+//! let s = Operand::Param(0);
+//! b.ret(Some(s));
+//! let f = b.finish();
+//! assert_eq!(f.blocks.len(), 1);
+//! ```
+
+pub mod cfg;
+pub mod dom;
+pub mod fold;
+pub mod func;
+pub mod instr;
+pub mod interp;
+pub mod loops;
+pub mod mem2reg;
+pub mod printer;
+pub mod types;
+
+pub use cfg::Cfg;
+pub use dom::DomTree;
+pub use func::{Block, BlockId, Func, FuncBuilder, InstrId};
+pub use instr::{BinOp, Builtin, CastKind, CmpOp, Instr, Operand, Terminator};
+pub use interp::{ExecError, Interp, Memory, RtVal};
+pub use loops::{Loop, LoopInfo};
+pub use types::Ty;

@@ -1,0 +1,194 @@
+//! Natural-loop detection (the analogue of LLVM's `LoopAnalysis`).
+//!
+//! Loops are discovered from back edges `latch → header` where the header
+//! dominates the latch; the loop body is every block that can reach the
+//! latch without passing through the header.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::func::{BlockId, Func};
+use std::collections::HashSet;
+
+/// A natural loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// Loop header (the unique entry).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub blocks: HashSet<BlockId>,
+    /// Blocks with a back edge to the header.
+    pub latches: Vec<BlockId>,
+    /// Blocks outside the loop that are branched to from inside.
+    pub exits: Vec<BlockId>,
+}
+
+impl Loop {
+    /// Whether `other` is nested strictly inside this loop.
+    pub fn contains_loop(&self, other: &Loop) -> bool {
+        self.header != other.header && self.blocks.contains(&other.header)
+    }
+}
+
+/// All natural loops of a function.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// Discovered loops, one per header (back edges to the same header are
+    /// merged).
+    pub loops: Vec<Loop>,
+}
+
+impl LoopInfo {
+    /// Computes loop info for `func`.
+    pub fn new(func: &Func) -> LoopInfo {
+        let cfg = Cfg::new(func);
+        let dom = DomTree::new(&cfg);
+
+        // Collect back edges per header.
+        let mut headers: Vec<BlockId> = Vec::new();
+        let mut latches_of: Vec<Vec<BlockId>> = Vec::new();
+        for &b in &cfg.rpo {
+            for &s in cfg.succs(b) {
+                if dom.dominates(s, b) {
+                    match headers.iter().position(|&h| h == s) {
+                        Some(i) => latches_of[i].push(b),
+                        None => {
+                            headers.push(s);
+                            latches_of.push(vec![b]);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut loops = Vec::new();
+        for (i, &header) in headers.iter().enumerate() {
+            let mut blocks: HashSet<BlockId> = HashSet::new();
+            blocks.insert(header);
+            let mut work: Vec<BlockId> = latches_of[i].clone();
+            while let Some(b) = work.pop() {
+                if blocks.insert(b) {
+                    for &p in cfg.preds(b) {
+                        if cfg.is_reachable(p) {
+                            work.push(p);
+                        }
+                    }
+                }
+            }
+            let mut exits: Vec<BlockId> = Vec::new();
+            for &b in &blocks {
+                for &s in cfg.succs(b) {
+                    if !blocks.contains(&s) && !exits.contains(&s) {
+                        exits.push(s);
+                    }
+                }
+            }
+            loops.push(Loop {
+                header,
+                blocks,
+                latches: latches_of[i].clone(),
+                exits,
+            });
+        }
+        LoopInfo { loops }
+    }
+
+    /// Number of loops.
+    pub fn count(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Whether any loop strictly contains another (nested loops).
+    pub fn has_nested_loops(&self) -> bool {
+        for a in &self.loops {
+            for b in &self.loops {
+                if a.contains_loop(b) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// The outermost loops (not contained in any other loop).
+    pub fn top_level(&self) -> Vec<&Loop> {
+        self.loops
+            .iter()
+            .filter(|l| !self.loops.iter().any(|outer| outer.contains_loop(l)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::FuncBuilder;
+    use crate::instr::Operand;
+    use crate::types::Ty;
+
+    fn single_loop() -> Func {
+        let mut b = FuncBuilder::new("l", &[("c", Ty::I1)], None);
+        let header = b.new_block("header");
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        b.br(header);
+        b.switch_to(header);
+        b.cond_br(Operand::Param(0), body, exit);
+        b.switch_to(body);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn finds_single_loop() {
+        let li = LoopInfo::new(&single_loop());
+        assert_eq!(li.count(), 1);
+        let l = &li.loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.blocks.len(), 2);
+        assert_eq!(l.latches, vec![BlockId(2)]);
+        assert_eq!(l.exits, vec![BlockId(3)]);
+        assert!(!li.has_nested_loops());
+    }
+
+    fn nested_loops() -> Func {
+        // outer: header1 → (header2 | exit); header2 → (body2 | latch1);
+        // body2 → header2; latch1 → header1.
+        let mut b = FuncBuilder::new("n", &[("c", Ty::I1)], None);
+        let h1 = b.new_block("h1");
+        let h2 = b.new_block("h2");
+        let body2 = b.new_block("body2");
+        let latch1 = b.new_block("latch1");
+        let exit = b.new_block("exit");
+        b.br(h1);
+        b.switch_to(h1);
+        b.cond_br(Operand::Param(0), h2, exit);
+        b.switch_to(h2);
+        b.cond_br(Operand::Param(0), body2, latch1);
+        b.switch_to(body2);
+        b.br(h2);
+        b.switch_to(latch1);
+        b.br(h1);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn finds_nested_loops() {
+        let li = LoopInfo::new(&nested_loops());
+        assert_eq!(li.count(), 2);
+        assert!(li.has_nested_loops());
+        assert_eq!(li.top_level().len(), 1);
+    }
+
+    #[test]
+    fn no_loops_in_straight_line() {
+        let mut b = FuncBuilder::new("s", &[], None);
+        b.ret(None);
+        let li = LoopInfo::new(&b.finish());
+        assert_eq!(li.count(), 0);
+        assert!(!li.has_nested_loops());
+    }
+}

@@ -1,0 +1,76 @@
+//! IR types.
+
+use std::fmt;
+
+/// The small type universe used by string loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 1-bit boolean (comparison results).
+    I1,
+    /// 8-bit integer (`char`).
+    I8,
+    /// 32-bit integer (`int`).
+    I32,
+    /// 64-bit integer (`long`, `size_t`).
+    I64,
+    /// Pointer to bytes (`char *`). All pointers are byte-addressed.
+    Ptr,
+}
+
+impl Ty {
+    /// Width in bits when viewed as a bit-vector (pointers are 64-bit).
+    pub fn bits(self) -> u32 {
+        match self {
+            Ty::I1 => 1,
+            Ty::I8 => 8,
+            Ty::I32 => 32,
+            Ty::I64 | Ty::Ptr => 64,
+        }
+    }
+
+    /// Size in bytes for loads and stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Ty::I1`], which is not a memory type.
+    pub fn size(self) -> usize {
+        match self {
+            Ty::I1 => panic!("i1 has no memory size"),
+            Ty::I8 => 1,
+            Ty::I32 => 4,
+            Ty::I64 | Ty::Ptr => 8,
+        }
+    }
+
+    /// Whether this is an integer (non-pointer) type.
+    pub fn is_int(self) -> bool {
+        !matches!(self, Ty::Ptr)
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::I1 => "i1",
+            Ty::I8 => "i8",
+            Ty::I32 => "i32",
+            Ty::I64 => "i64",
+            Ty::Ptr => "ptr",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_sizes() {
+        assert_eq!(Ty::I8.bits(), 8);
+        assert_eq!(Ty::Ptr.bits(), 64);
+        assert_eq!(Ty::I32.size(), 4);
+        assert!(Ty::I64.is_int());
+        assert!(!Ty::Ptr.is_int());
+    }
+}

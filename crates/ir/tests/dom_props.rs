@@ -1,0 +1,120 @@
+//! Property tests for the dominator analysis on random CFGs, checked
+//! against a brute-force reachability-based definition of dominance.
+
+use proptest::prelude::*;
+use strsum_ir::{BlockId, Cfg, DomTree, FuncBuilder, Operand, Ty};
+
+/// Builds a function whose CFG has `n` blocks and the given edge list
+/// (conditional branches for out-degree 2, unconditional for 1, return
+/// otherwise).
+fn build_cfg(n: usize, edges: &[(usize, usize)]) -> strsum_ir::Func {
+    let mut b = FuncBuilder::new("g", &[("c", Ty::I1)], None);
+    let blocks: Vec<BlockId> = std::iter::once(BlockId(0))
+        .chain((1..n).map(|_| b.new_block("bb")))
+        .collect();
+    for (i, &bb) in blocks.iter().enumerate() {
+        b.switch_to(bb);
+        let outs: Vec<BlockId> = edges
+            .iter()
+            .filter(|(from, _)| *from == i)
+            .map(|(_, to)| blocks[*to % n])
+            .collect();
+        match outs.as_slice() {
+            [] => b.ret(None),
+            [t] => b.br(*t),
+            [t, e, ..] => b.cond_br(Operand::Param(0), *t, *e),
+        }
+    }
+    b.finish()
+}
+
+/// Brute force: `a` dominates `b` iff removing `a` makes `b` unreachable
+/// from the entry.
+fn dominates_brute(cfg: &Cfg, a: BlockId, b: BlockId) -> bool {
+    if a == b {
+        return true;
+    }
+    let mut visited = vec![false; cfg.preds.len()];
+    let mut stack = vec![BlockId(0)];
+    visited[0] = true;
+    while let Some(x) = stack.pop() {
+        if x == a {
+            continue; // cannot pass through a
+        }
+        for &s in cfg.succs(x) {
+            if !visited[s.0 as usize] {
+                visited[s.0 as usize] = true;
+                stack.push(s);
+            }
+        }
+    }
+    // b unreachable without passing a ⇒ a dominates b. Entry is skipped
+    // when a == entry (then a dominates everything reachable).
+    if a == BlockId(0) {
+        return cfg.is_reachable(b);
+    }
+    cfg.is_reachable(b) && !visited[b.0 as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dom_tree_matches_brute_force(
+        n in 2usize..8,
+        edges in proptest::collection::vec((0usize..8, 0usize..8), 1..14),
+    ) {
+        let edges: Vec<(usize, usize)> =
+            edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        let func = build_cfg(n, &edges);
+        let cfg = Cfg::new(&func);
+        let dom = DomTree::new(&cfg);
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                let (ba, bb) = (BlockId(a), BlockId(b));
+                if !cfg.is_reachable(ba) || !cfg.is_reachable(bb) {
+                    continue;
+                }
+                prop_assert_eq!(
+                    dom.dominates(ba, bb),
+                    dominates_brute(&cfg, ba, bb),
+                    "dominates({}, {}) on edges {:?}", a, b, edges
+                );
+            }
+        }
+    }
+
+    /// The immediate dominator strictly dominates its block and is
+    /// dominated by every other dominator of it (tree property).
+    #[test]
+    fn idom_is_closest_dominator(
+        n in 2usize..8,
+        edges in proptest::collection::vec((0usize..8, 0usize..8), 1..14),
+    ) {
+        let edges: Vec<(usize, usize)> =
+            edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        let func = build_cfg(n, &edges);
+        let cfg = Cfg::new(&func);
+        let dom = DomTree::new(&cfg);
+        for b in 1..n as u32 {
+            let bb = BlockId(b);
+            if !cfg.is_reachable(bb) {
+                continue;
+            }
+            let Some(idom) = dom.idom[b as usize] else { continue };
+            prop_assert!(dom.dominates(idom, bb));
+            prop_assert_ne!(idom, bb);
+            // Any other dominator of bb dominates the idom too.
+            for a in 0..n as u32 {
+                let ba = BlockId(a);
+                if cfg.is_reachable(ba) && ba != bb && dom.dominates(ba, bb) {
+                    prop_assert!(
+                        dom.dominates(ba, idom),
+                        "dominator {} of {} does not dominate idom {}",
+                        a, b, idom.0
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Property test: `mem2reg` preserves semantics on randomly generated
+//! alloca-heavy programs (the pass every other analysis depends on).
+
+use proptest::prelude::*;
+use strsum_ir::interp::{Interp, Memory, RtVal};
+use strsum_ir::{BinOp, BlockId, CmpOp, Func, FuncBuilder, Operand, Ty};
+
+/// A tiny random-program recipe: three i32 slots, a sequence of ops on
+/// them, an optional diamond, then return slot 0.
+#[derive(Debug, Clone)]
+enum Step {
+    /// slots[d] = const
+    SetConst(usize, i32),
+    /// slots[d] = slots[a] + slots[b]
+    Add(usize, usize, usize),
+    /// slots[d] = slots[a] - slots[b]
+    Sub(usize, usize, usize),
+    /// slots[d] = param
+    SetParam(usize),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0usize..3, -20i32..20).prop_map(|(d, c)| Step::SetConst(d, c)),
+        (0usize..3, 0usize..3, 0usize..3).prop_map(|(d, a, b)| Step::Add(d, a, b)),
+        (0usize..3, 0usize..3, 0usize..3).prop_map(|(d, a, b)| Step::Sub(d, a, b)),
+        (0usize..3).prop_map(Step::SetParam),
+    ]
+}
+
+fn build(pre: &[Step], then_steps: &[Step], else_steps: &[Step], post: &[Step]) -> Func {
+    let mut b = FuncBuilder::new("gen", &[("x", Ty::I32)], Some(Ty::I32));
+    let slots: Vec<Operand> = (0..3).map(|i| b.alloca(Ty::I32, &format!("v{i}"))).collect();
+    for s in &slots {
+        b.store(*s, Operand::i32(0));
+    }
+    let emit = |b: &mut FuncBuilder, step: &Step, slots: &[Operand]| match *step {
+        Step::SetConst(d, c) => b.store(slots[d], Operand::i32(c)),
+        Step::Add(d, x, y) => {
+            let vx = b.load(slots[x], Ty::I32);
+            let vy = b.load(slots[y], Ty::I32);
+            let v = b.bin(BinOp::Add, vx, vy, Ty::I32);
+            b.store(slots[d], v);
+        }
+        Step::Sub(d, x, y) => {
+            let vx = b.load(slots[x], Ty::I32);
+            let vy = b.load(slots[y], Ty::I32);
+            let v = b.bin(BinOp::Sub, vx, vy, Ty::I32);
+            b.store(slots[d], v);
+        }
+        Step::SetParam(d) => b.store(slots[d], Operand::Param(0)),
+    };
+    for s in pre {
+        emit(&mut b, s, &slots);
+    }
+    // Diamond on `param < 0`.
+    let then_bb = b.new_block("then");
+    let else_bb = b.new_block("else");
+    let join = b.new_block("join");
+    let zero = Operand::i32(0);
+    let c = b.cmp(CmpOp::Slt, Operand::Param(0), zero, Ty::I32);
+    b.cond_br(c, then_bb, else_bb);
+    b.switch_to(then_bb);
+    for s in then_steps {
+        emit(&mut b, s, &slots);
+    }
+    b.br(join);
+    b.switch_to(else_bb);
+    for s in else_steps {
+        emit(&mut b, s, &slots);
+    }
+    b.br(join);
+    b.switch_to(join);
+    for s in post {
+        emit(&mut b, s, &slots);
+    }
+    let out = b.load(slots[0], Ty::I32);
+    b.ret(Some(out));
+    b.finish()
+}
+
+fn run(func: &Func, x: i32) -> i64 {
+    let mut mem = Memory::new();
+    Interp::new(func, &mut mem)
+        .run(&[RtVal::Int(i64::from(x))])
+        .expect("executes")
+        .expect("returns")
+        .as_int()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mem2reg_preserves_semantics(
+        pre in proptest::collection::vec(step_strategy(), 0..6),
+        then_steps in proptest::collection::vec(step_strategy(), 0..4),
+        else_steps in proptest::collection::vec(step_strategy(), 0..4),
+        post in proptest::collection::vec(step_strategy(), 0..4),
+        inputs in proptest::collection::vec(-50i32..50, 1..5),
+    ) {
+        let mut func = build(&pre, &then_steps, &else_steps, &post);
+        let before: Vec<i64> = inputs.iter().map(|&x| run(&func, x)).collect();
+        strsum_ir::mem2reg::run(&mut func);
+        // All promotable slots are gone from block bodies.
+        for bid in func.block_ids() {
+            for &iid in &func.block(bid).instrs {
+                let is_memory_op = matches!(
+                    func.instr(iid),
+                    strsum_ir::Instr::Alloca { .. }
+                        | strsum_ir::Instr::Load { .. }
+                        | strsum_ir::Instr::Store { .. }
+                );
+                prop_assert!(!is_memory_op);
+            }
+        }
+        let after: Vec<i64> = inputs.iter().map(|&x| run(&func, x)).collect();
+        prop_assert_eq!(before, after);
+        let _ = BlockId(0);
+    }
+}

@@ -1,0 +1,60 @@
+//! A 256-bit byte-membership bitmap — the table-driven trick behind fast
+//! `strspn`/`strcspn`/`strpbrk` implementations.
+
+/// Membership bitmap over all byte values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Bitmap256 {
+    words: [u64; 4],
+}
+
+impl Bitmap256 {
+    /// Empty bitmap.
+    pub const fn new() -> Bitmap256 {
+        Bitmap256 { words: [0; 4] }
+    }
+
+    /// Bitmap of the bytes in `set`.
+    pub fn from_set(set: &[u8]) -> Bitmap256 {
+        let mut m = Bitmap256::new();
+        for &b in set {
+            m.insert(b);
+        }
+        m
+    }
+
+    /// Inserts a byte.
+    #[inline]
+    pub fn insert(&mut self, b: u8) {
+        self.words[(b >> 6) as usize] |= 1u64 << (b & 63);
+    }
+
+    /// Membership test — one shift, one mask.
+    #[inline]
+    pub fn contains(&self, b: u8) -> bool {
+        self.words[(b >> 6) as usize] >> (b & 63) & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership() {
+        let m = Bitmap256::from_set(b" \t\n");
+        assert!(m.contains(b' '));
+        assert!(m.contains(b'\t'));
+        assert!(!m.contains(b'x'));
+        assert!(!m.contains(0));
+        assert!(!m.contains(255));
+    }
+
+    #[test]
+    fn full_range() {
+        let all: Vec<u8> = (0u16..256).map(|b| b as u8).collect();
+        let m = Bitmap256::from_set(&all);
+        for b in 0u16..256 {
+            assert!(m.contains(b as u8));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+#![warn(missing_docs)]
+//! C string functions over NUL-terminated byte buffers, in two tiers.
+//!
+//! The paper's §4.4 shows that replacing a hand-written loop with a call to
+//! the C library can speed native code up because the library exploits
+//! hardware-friendly implementations. This crate reproduces both sides:
+//!
+//! * [`naive`] — byte-at-a-time reference implementations, the moral
+//!   equivalent of the original loops;
+//! * [`opt`] — optimised implementations using SWAR word-at-a-time scanning
+//!   ([`swar`]) and 256-bit membership bitmaps ([`bitmap`]), the stand-in
+//!   for glibc's vectorised routines.
+//!
+//! All functions take a buffer that **must contain at least one NUL byte**;
+//! offsets index that buffer. This mirrors C pointers without `unsafe`.
+//!
+//! # Example
+//!
+//! ```
+//! use strsum_libcstr::{naive, opt};
+//! let s = b"  \thello world\0";
+//! assert_eq!(naive::strspn(s, b" \t"), 3);
+//! assert_eq!(opt::strspn(s, b" \t"), 3);
+//! assert_eq!(naive::strchr(s, b'w'), opt::strchr(s, b'w'));
+//! ```
+
+pub mod bitmap;
+pub mod naive;
+pub mod opt;
+pub mod swar;
+
+pub use bitmap::Bitmap256;
+
+/// Finds the NUL terminator index, panicking if absent.
+///
+/// # Panics
+///
+/// Panics when `s` contains no NUL byte — such a buffer is not a C string.
+pub fn nul_index(s: &[u8]) -> usize {
+    s.iter()
+        .position(|&b| b == 0)
+        .expect("buffer is not NUL-terminated")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cstr(mut v: Vec<u8>) -> Vec<u8> {
+        v.retain(|&b| b != 0);
+        v.push(0);
+        v
+    }
+
+    proptest! {
+        #[test]
+        fn naive_opt_agree_strlen(s in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let s = cstr(s);
+            prop_assert_eq!(naive::strlen(&s), opt::strlen(&s));
+        }
+
+        #[test]
+        fn naive_opt_agree_strchr(s in proptest::collection::vec(any::<u8>(), 0..64), c: u8) {
+            let s = cstr(s);
+            prop_assert_eq!(naive::strchr(&s, c), opt::strchr(&s, c));
+        }
+
+        #[test]
+        fn naive_opt_agree_strrchr(s in proptest::collection::vec(any::<u8>(), 0..64), c: u8) {
+            let s = cstr(s);
+            prop_assert_eq!(naive::strrchr(&s, c), opt::strrchr(&s, c));
+        }
+
+        #[test]
+        fn naive_opt_agree_spn(
+            s in proptest::collection::vec(any::<u8>(), 0..64),
+            set in proptest::collection::vec(1u8.., 0..8),
+        ) {
+            let s = cstr(s);
+            prop_assert_eq!(naive::strspn(&s, &set), opt::strspn(&s, &set));
+            prop_assert_eq!(naive::strcspn(&s, &set), opt::strcspn(&s, &set));
+            prop_assert_eq!(naive::strpbrk(&s, &set), opt::strpbrk(&s, &set));
+        }
+
+        #[test]
+        fn naive_opt_agree_extended(
+            a in proptest::collection::vec(any::<u8>(), 0..48),
+            b in proptest::collection::vec(any::<u8>(), 0..48),
+            c: u8,
+            n in 0usize..64,
+        ) {
+            let a = cstr(a);
+            let b = cstr(b);
+            prop_assert_eq!(naive::memrchr(&a, c, n), opt::memrchr(&a, c, n));
+            prop_assert_eq!(naive::strnlen(&a, n), opt::strnlen(&a, n));
+            prop_assert_eq!(
+                naive::strcmp(&a, &b).signum(),
+                opt::strcmp(&a, &b).signum()
+            );
+            prop_assert_eq!(
+                naive::strncmp(&a, &b, n).signum(),
+                opt::strncmp(&a, &b, n).signum()
+            );
+            prop_assert_eq!(naive::strstr(&a, &b), opt::strstr(&a, &b));
+        }
+
+        #[test]
+        fn spn_cspn_partition(
+            s in proptest::collection::vec(any::<u8>(), 0..64),
+            set in proptest::collection::vec(1u8.., 1..8),
+        ) {
+            let s = cstr(s);
+            // strspn(s, set) + strcspn(s + spn, set) stays within the string.
+            let spn = naive::strspn(&s, &set);
+            let rest = &s[spn..];
+            prop_assert!(spn + naive::strcspn(rest, &set) <= naive::strlen(&s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "NUL-terminated")]
+    fn nul_index_panics_without_nul() {
+        nul_index(b"abc");
+    }
+}

@@ -1,0 +1,236 @@
+//! Byte-at-a-time reference implementations — the shape of the original
+//! hand-written loops the paper starts from.
+//!
+//! All functions index into a NUL-terminated buffer and stop at the first
+//! NUL (except [`rawmemchr`], which deliberately mirrors the unterminated
+//! behaviour discussed in the paper's §3 "Unterminated Loops").
+
+/// Length of the C string at the start of `s`.
+///
+/// # Panics
+///
+/// Panics if `s` contains no NUL.
+pub fn strlen(s: &[u8]) -> usize {
+    let mut i = 0;
+    while s[i] != 0 {
+        i += 1;
+    }
+    i
+}
+
+/// Offset of the first occurrence of `c`, including the terminating NUL
+/// when `c == 0`; `None` if absent.
+pub fn strchr(s: &[u8], c: u8) -> Option<usize> {
+    let mut i = 0;
+    loop {
+        if s[i] == c {
+            return Some(i);
+        }
+        if s[i] == 0 {
+            return None;
+        }
+        i += 1;
+    }
+}
+
+/// Offset of the last occurrence of `c` (the NUL itself for `c == 0`).
+pub fn strrchr(s: &[u8], c: u8) -> Option<usize> {
+    let mut i = 0;
+    let mut found = None;
+    loop {
+        if s[i] == c {
+            found = Some(i);
+        }
+        if s[i] == 0 {
+            return found;
+        }
+        i += 1;
+    }
+}
+
+/// Length of the longest prefix consisting of bytes in `set`.
+pub fn strspn(s: &[u8], set: &[u8]) -> usize {
+    let mut i = 0;
+    while s[i] != 0 && set.contains(&s[i]) {
+        i += 1;
+    }
+    i
+}
+
+/// Length of the longest prefix consisting of bytes *not* in `set`.
+pub fn strcspn(s: &[u8], set: &[u8]) -> usize {
+    let mut i = 0;
+    while s[i] != 0 && !set.contains(&s[i]) {
+        i += 1;
+    }
+    i
+}
+
+/// Offset of the first byte in `set`; `None` if none occurs before the NUL.
+pub fn strpbrk(s: &[u8], set: &[u8]) -> Option<usize> {
+    let i = strcspn(s, set);
+    if s[i] == 0 {
+        None
+    } else {
+        Some(i)
+    }
+}
+
+/// Offset of the first occurrence of `c`, scanning *without honouring the
+/// NUL terminator* (like glibc's `rawmemchr`). Scanning past the buffer —
+/// C's undefined behaviour — is reported as `None`.
+pub fn rawmemchr(s: &[u8], c: u8) -> Option<usize> {
+    s.iter().position(|&b| b == c)
+}
+
+/// `memchr`: first occurrence of `c` in the first `n` bytes.
+pub fn memchr(s: &[u8], c: u8, n: usize) -> Option<usize> {
+    s.iter().take(n).position(|&b| b == c)
+}
+
+/// `memrchr`: last occurrence of `c` in the first `n` bytes.
+pub fn memrchr(s: &[u8], c: u8, n: usize) -> Option<usize> {
+    let n = n.min(s.len());
+    (0..n).rev().find(|&i| s[i] == c)
+}
+
+/// `strnlen`: length of the string, capped at `n`.
+pub fn strnlen(s: &[u8], n: usize) -> usize {
+    let mut i = 0;
+    while i < n && s[i] != 0 {
+        i += 1;
+    }
+    i
+}
+
+/// `strcmp` over NUL-terminated buffers: <0, 0, >0 like C.
+pub fn strcmp(a: &[u8], b: &[u8]) -> i32 {
+    let mut i = 0;
+    loop {
+        let (x, y) = (a[i], b[i]);
+        if x != y {
+            return i32::from(x) - i32::from(y);
+        }
+        if x == 0 {
+            return 0;
+        }
+        i += 1;
+    }
+}
+
+/// `strncmp`: like [`strcmp`] over at most `n` characters.
+pub fn strncmp(a: &[u8], b: &[u8], n: usize) -> i32 {
+    for i in 0..n {
+        let (x, y) = (a[i], b[i]);
+        if x != y {
+            return i32::from(x) - i32::from(y);
+        }
+        if x == 0 {
+            return 0;
+        }
+    }
+    0
+}
+
+/// `strcasecmp`: ASCII case-insensitive comparison.
+pub fn strcasecmp(a: &[u8], b: &[u8]) -> i32 {
+    let mut i = 0;
+    loop {
+        let (x, y) = (a[i].to_ascii_lowercase(), b[i].to_ascii_lowercase());
+        if x != y {
+            return i32::from(x) - i32::from(y);
+        }
+        if x == 0 {
+            return 0;
+        }
+        i += 1;
+    }
+}
+
+/// `strstr`: offset of the first occurrence of the string `needle` in
+/// `haystack` (both NUL-terminated). The empty needle matches at 0.
+pub fn strstr(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    let n = strlen(needle);
+    if n == 0 {
+        return Some(0);
+    }
+    let h = strlen(haystack);
+    if n > h {
+        return None;
+    }
+    (0..=h - n).find(|&i| haystack[i..i + n] == needle[..n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strlen_basic() {
+        assert_eq!(strlen(b"hello\0"), 5);
+        assert_eq!(strlen(b"\0"), 0);
+        assert_eq!(strlen(b"a\0b\0"), 1);
+    }
+
+    #[test]
+    fn strchr_family() {
+        let s = b"hello world\0";
+        assert_eq!(strchr(s, b'o'), Some(4));
+        assert_eq!(strrchr(s, b'o'), Some(7));
+        assert_eq!(strchr(s, b'z'), None);
+        assert_eq!(strchr(s, 0), Some(11));
+        assert_eq!(strrchr(s, 0), Some(11));
+    }
+
+    #[test]
+    fn spn_family() {
+        let s = b"  \tword;rest\0";
+        assert_eq!(strspn(s, b" \t"), 3);
+        assert_eq!(strcspn(s, b";"), 7);
+        assert_eq!(strpbrk(s, b";,"), Some(7));
+        assert_eq!(strpbrk(s, b"#"), None);
+        assert_eq!(strspn(b"\0", b"abc"), 0);
+    }
+
+    #[test]
+    fn rawmemchr_ignores_nul() {
+        assert_eq!(rawmemchr(b"ab\0cd\0", b'd'), Some(4));
+        assert_eq!(rawmemchr(b"ab\0", b'z'), None);
+    }
+
+    #[test]
+    fn memchr_bounded() {
+        assert_eq!(memchr(b"abcdef\0", b'd', 3), None);
+        assert_eq!(memchr(b"abcdef\0", b'c', 3), Some(2));
+    }
+
+    #[test]
+    fn memrchr_and_strnlen() {
+        assert_eq!(memrchr(b"abcabc\0", b'b', 7), Some(4));
+        assert_eq!(memrchr(b"abcabc\0", b'b', 3), Some(1));
+        assert_eq!(memrchr(b"abc\0", b'z', 4), None);
+        assert_eq!(strnlen(b"hello\0", 3), 3);
+        assert_eq!(strnlen(b"hi\0", 10), 2);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(strcmp(b"abc\0", b"abc\0"), 0);
+        assert!(strcmp(b"abc\0", b"abd\0") < 0);
+        assert!(strcmp(b"b\0", b"a\0") > 0);
+        assert!(strcmp(b"ab\0", b"abc\0") < 0);
+        assert_eq!(strncmp(b"abcX\0", b"abcY\0", 3), 0);
+        assert!(strncmp(b"abcX\0", b"abcY\0", 4) < 0);
+        assert_eq!(strcasecmp(b"HeLLo\0", b"hEllO\0"), 0);
+        assert!(strcasecmp(b"a\0", b"B\0") < 0);
+    }
+
+    #[test]
+    fn strstr_cases() {
+        assert_eq!(strstr(b"hello world\0", b"world\0"), Some(6));
+        assert_eq!(strstr(b"hello\0", b"\0"), Some(0));
+        assert_eq!(strstr(b"hello\0", b"lo\0"), Some(3));
+        assert_eq!(strstr(b"hello\0", b"xyz\0"), None);
+        assert_eq!(strstr(b"aaa\0", b"aaaa\0"), None);
+    }
+}

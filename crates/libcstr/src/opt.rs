@@ -1,0 +1,235 @@
+//! Optimised string routines: SWAR scanning and bitmap membership.
+//!
+//! These stand in for the vectorised libc implementations the paper's
+//! native-optimisation experiment (Figure 5) benchmarks against; the naive
+//! byte loops in [`crate::naive`] play the "original loop" role.
+
+use crate::bitmap::Bitmap256;
+use crate::swar;
+
+/// SWAR `strlen`.
+///
+/// # Panics
+///
+/// Panics if `s` contains no NUL.
+pub fn strlen(s: &[u8]) -> usize {
+    swar::scan(s, s.len(), swar::zero_lanes, |b| b == 0).expect("buffer is not NUL-terminated")
+}
+
+/// SWAR `strchr` (finds NUL when `c == 0`).
+pub fn strchr(s: &[u8], c: u8) -> Option<usize> {
+    let end = strlen(s);
+    if c == 0 {
+        return Some(end);
+    }
+    swar::scan(s, end, |w| swar::eq_lanes(w, c), |b| b == c)
+}
+
+/// `strrchr` via forward SWAR sweep keeping the last hit.
+pub fn strrchr(s: &[u8], c: u8) -> Option<usize> {
+    let end = strlen(s);
+    if c == 0 {
+        return Some(end);
+    }
+    // Scan words, remembering the last marked lane.
+    let mut last = None;
+    let mut i = 0;
+    while i + 8 <= end {
+        let mut mask = swar::eq_lanes(swar::load_word(s, i), c);
+        while mask != 0 {
+            let lane = swar::first_lane(mask);
+            last = Some(i + lane);
+            mask &= mask - 1; // clear the low marked bit lane flag
+                              // clear all bits of that lane
+            let lane_bits = 0xffu64 << (lane * 8);
+            mask &= !lane_bits;
+        }
+        i += 8;
+    }
+    while i < end {
+        if s[i] == c {
+            last = Some(i);
+        }
+        i += 1;
+    }
+    last
+}
+
+/// Bitmap-driven `strspn`.
+pub fn strspn(s: &[u8], set: &[u8]) -> usize {
+    let map = Bitmap256::from_set(set);
+    let mut i = 0;
+    while s[i] != 0 && map.contains(s[i]) {
+        i += 1;
+    }
+    i
+}
+
+/// Bitmap-driven `strcspn`.
+pub fn strcspn(s: &[u8], set: &[u8]) -> usize {
+    let map = Bitmap256::from_set(set);
+    let mut i = 0;
+    while s[i] != 0 && !map.contains(s[i]) {
+        i += 1;
+    }
+    i
+}
+
+/// Bitmap-driven `strpbrk`.
+pub fn strpbrk(s: &[u8], set: &[u8]) -> Option<usize> {
+    let i = strcspn(s, set);
+    if s[i] == 0 {
+        None
+    } else {
+        Some(i)
+    }
+}
+
+/// SWAR `rawmemchr` — scans the whole buffer, ignoring NULs.
+pub fn rawmemchr(s: &[u8], c: u8) -> Option<usize> {
+    swar::scan(s, s.len(), |w| swar::eq_lanes(w, c), |b| b == c)
+}
+
+/// SWAR `memchr`.
+pub fn memchr(s: &[u8], c: u8, n: usize) -> Option<usize> {
+    swar::scan(s, n.min(s.len()), |w| swar::eq_lanes(w, c), |b| b == c)
+}
+
+/// `memrchr`: SWAR forward sweep keeping the last hit (simple and fast
+/// enough for the buffer sizes we benchmark).
+pub fn memrchr(s: &[u8], c: u8, n: usize) -> Option<usize> {
+    let n = n.min(s.len());
+    let mut last = None;
+    let mut i = 0;
+    while let Some(rel) = swar::scan(&s[i..], n - i, |w| swar::eq_lanes(w, c), |b| b == c) {
+        last = Some(i + rel);
+        i += rel + 1;
+        if i >= n {
+            break;
+        }
+    }
+    last
+}
+
+/// SWAR `strnlen`.
+pub fn strnlen(s: &[u8], n: usize) -> usize {
+    swar::scan(s, n.min(s.len()), swar::zero_lanes, |b| b == 0).unwrap_or(n.min(s.len()))
+}
+
+/// Word-at-a-time `strcmp`: compares eight bytes per step until a
+/// difference or a NUL lane appears, then finishes byte-wise.
+pub fn strcmp(a: &[u8], b: &[u8]) -> i32 {
+    let mut i = 0;
+    while i + 8 <= a.len() && i + 8 <= b.len() {
+        let wa = swar::load_word(a, i);
+        let wb = swar::load_word(b, i);
+        if wa == wb && swar::zero_lanes(wa) == 0 {
+            i += 8;
+            continue;
+        }
+        break;
+    }
+    loop {
+        let (x, y) = (a[i], b[i]);
+        if x != y {
+            return i32::from(x) - i32::from(y);
+        }
+        if x == 0 {
+            return 0;
+        }
+        i += 1;
+    }
+}
+
+/// `strncmp` with the same word-at-a-time fast path.
+pub fn strncmp(a: &[u8], b: &[u8], n: usize) -> i32 {
+    let mut i = 0;
+    while i + 8 <= n && i + 8 <= a.len() && i + 8 <= b.len() {
+        let wa = swar::load_word(a, i);
+        let wb = swar::load_word(b, i);
+        if wa == wb && swar::zero_lanes(wa) == 0 {
+            i += 8;
+            continue;
+        }
+        break;
+    }
+    while i < n {
+        let (x, y) = (a[i], b[i]);
+        if x != y {
+            return i32::from(x) - i32::from(y);
+        }
+        if x == 0 {
+            return 0;
+        }
+        i += 1;
+    }
+    0
+}
+
+/// `strstr` via SWAR first-byte search plus direct comparison (the
+/// quadratic fallback only triggers on pathological inputs).
+pub fn strstr(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    let n = crate::naive::strlen(needle);
+    if n == 0 {
+        return Some(0);
+    }
+    let h = strlen(haystack);
+    if n > h {
+        return None;
+    }
+    let first = needle[0];
+    let mut i = 0;
+    while i + n <= h {
+        match swar::scan(
+            &haystack[i..],
+            h - n + 1 - i,
+            |w| swar::eq_lanes(w, first),
+            |b| b == first,
+        ) {
+            None => return None,
+            Some(rel) => {
+                let at = i + rel;
+                if haystack[at..at + n] == needle[..n] {
+                    return Some(at);
+                }
+                i = at + 1;
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    #[test]
+    fn agrees_with_naive_on_fixed_cases() {
+        let cases: &[&[u8]] = &[
+            b"\0",
+            b"a\0",
+            b"hello world, this is a longer buffer\0",
+            b"eight ch\0",
+            b"0123456789abcdef0123456789abcdef\0",
+        ];
+        for &s in cases {
+            assert_eq!(strlen(s), naive::strlen(s), "{s:?}");
+            for c in [b'a', b'e', b' ', b'9', 0u8] {
+                assert_eq!(strchr(s, c), naive::strchr(s, c), "{s:?} chr {c}");
+                assert_eq!(strrchr(s, c), naive::strrchr(s, c), "{s:?} rchr {c}");
+            }
+            for set in [&b" \t"[..], b"0123456789", b"ol"] {
+                assert_eq!(strspn(s, set), naive::strspn(s, set));
+                assert_eq!(strcspn(s, set), naive::strcspn(s, set));
+                assert_eq!(strpbrk(s, set), naive::strpbrk(s, set));
+            }
+        }
+    }
+
+    #[test]
+    fn strrchr_multiple_hits_in_one_word() {
+        let s = b"aaaaaaaa tail a\0";
+        assert_eq!(strrchr(s, b'a'), naive::strrchr(s, b'a'));
+    }
+}

@@ -1,0 +1,91 @@
+//! SWAR (SIMD-within-a-register) byte scanning, the word-at-a-time trick
+//! behind fast `strlen`/`memchr` (Mycroft, 1987).
+
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// Returns a word whose high bit is set in every byte lane that is zero.
+#[inline]
+pub fn zero_lanes(word: u64) -> u64 {
+    word.wrapping_sub(LO) & !word & HI
+}
+
+/// Returns a word whose high bit is set in every lane equal to `byte`.
+#[inline]
+pub fn eq_lanes(word: u64, byte: u8) -> u64 {
+    zero_lanes(word ^ (LO.wrapping_mul(u64::from(byte))))
+}
+
+/// Index (0..8) of the first marked lane in a `zero_lanes`-style mask.
+#[inline]
+pub fn first_lane(mask: u64) -> usize {
+    (mask.trailing_zeros() / 8) as usize
+}
+
+/// Reads an (unaligned, little-endian) word from `s` at `i`; the caller
+/// guarantees `i + 8 <= s.len()`.
+#[inline]
+pub fn load_word(s: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(s[i..i + 8].try_into().expect("8 bytes"))
+}
+
+/// Scans for the first index where `pred_mask(word)` marks a lane, falling
+/// back to a byte loop for the tail. `limit` bounds the scan.
+#[inline]
+pub fn scan<F, G>(s: &[u8], limit: usize, pred_mask: F, pred_byte: G) -> Option<usize>
+where
+    F: Fn(u64) -> u64,
+    G: Fn(u8) -> bool,
+{
+    let mut i = 0;
+    while i + 8 <= limit {
+        let mask = pred_mask(load_word(s, i));
+        if mask != 0 {
+            return Some(i + first_lane(mask));
+        }
+        i += 8;
+    }
+    while i < limit {
+        if pred_byte(s[i]) {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_lane_detection() {
+        let w = u64::from_le_bytes(*b"ab\0cdefg");
+        let m = zero_lanes(w);
+        assert_ne!(m, 0);
+        assert_eq!(first_lane(m), 2);
+        assert_eq!(zero_lanes(u64::from_le_bytes(*b"abcdefgh")), 0);
+    }
+
+    #[test]
+    fn eq_lane_detection() {
+        let w = u64::from_le_bytes(*b"abcdefgh");
+        let m = eq_lanes(w, b'e');
+        assert_eq!(first_lane(m), 4);
+        assert_eq!(eq_lanes(w, b'z'), 0);
+    }
+
+    #[test]
+    fn scan_crosses_word_boundary() {
+        let s = b"0123456789abcdefX tail\0";
+        let found = scan(s, s.len(), |w| eq_lanes(w, b'X'), |b| b == b'X');
+        assert_eq!(found, Some(16));
+    }
+
+    #[test]
+    fn scan_handles_short_tail() {
+        let s = b"abc\0";
+        let found = scan(s, s.len(), zero_lanes, |b| b == 0);
+        assert_eq!(found, Some(3));
+    }
+}

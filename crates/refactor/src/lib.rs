@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! Refactoring (§4.5): replacing a summarised loop with calls to the C
+//! standard library and emitting a reviewable patch.
+//!
+//! The paper's authors submitted such patches to bash and friends; several
+//! were accepted. This crate generates the same artefacts: given the
+//! extracted loop function and its synthesised summary, it rewrites the
+//! function body into `string.h` calls and renders a unified diff.
+//!
+//! # Example
+//!
+//! ```
+//! use strsum_gadgets::Program;
+//!
+//! let src = "char* loopFunction(char* line) {\n    char *p;\n    for (p = line; *p == ' '; p++)\n        ;\n    return p;\n}\n";
+//! let prog = Program::decode(b"P \0F").unwrap();
+//! let refactored = strsum_refactor::rewrite(src, &prog).unwrap();
+//! assert!(refactored.contains("strspn(line, \" \")"));
+//! let patch = strsum_refactor::unified_diff(src, &refactored, "general.c");
+//! assert!(patch.starts_with("--- a/general.c"));
+//! assert!(patch.contains("-    for (p = line; *p == ' '; p++)"));
+//! assert!(patch.contains("+    return line + strspn(line, \" \");"));
+//! ```
+
+pub mod patch;
+pub mod rewrite;
+
+pub use patch::unified_diff;
+pub use rewrite::rewrite;

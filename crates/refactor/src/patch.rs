@@ -1,0 +1,170 @@
+//! Unified-diff rendering (single hunk, LCS-based).
+
+/// Produces a unified diff between `old` and `new`, labelled with `file`.
+///
+/// The output follows `diff -u` conventions closely enough for review
+/// tooling: `---`/`+++` headers, one `@@` hunk per contiguous change
+/// region, three lines of context.
+pub fn unified_diff(old: &str, new: &str, file: &str) -> String {
+    let a: Vec<&str> = old.lines().collect();
+    let b: Vec<&str> = new.lines().collect();
+    let ops = diff_ops(&a, &b);
+
+    let mut out = format!("--- a/{file}\n+++ b/{file}\n");
+    // Group ops into hunks with up to 3 lines of context.
+    const CTX: usize = 3;
+    let mut i = 0;
+    while i < ops.len() {
+        if matches!(ops[i], Op::Equal(..)) {
+            i += 1;
+            continue;
+        }
+        // Find the change run [i, j).
+        let mut j = i;
+        let mut gap = 0;
+        let mut end = i;
+        while j < ops.len() {
+            match ops[j] {
+                Op::Equal(..) => gap += 1,
+                _ => {
+                    gap = 0;
+                    end = j;
+                }
+            }
+            if gap > 2 * CTX {
+                break;
+            }
+            j += 1;
+        }
+        let hunk_start = i.saturating_sub(CTX);
+        let hunk_end = (end + 1 + CTX).min(ops.len());
+
+        // Compute header positions.
+        let mut a_start = 1;
+        let mut b_start = 1;
+        for op in &ops[..hunk_start] {
+            match op {
+                Op::Equal(..) => {
+                    a_start += 1;
+                    b_start += 1;
+                }
+                Op::Delete(..) => a_start += 1,
+                Op::Insert(..) => b_start += 1,
+            }
+        }
+        let mut a_len = 0;
+        let mut b_len = 0;
+        let mut body = String::new();
+        for op in &ops[hunk_start..hunk_end] {
+            match op {
+                Op::Equal(line) => {
+                    a_len += 1;
+                    b_len += 1;
+                    body.push(' ');
+                    body.push_str(line);
+                    body.push('\n');
+                }
+                Op::Delete(line) => {
+                    a_len += 1;
+                    body.push('-');
+                    body.push_str(line);
+                    body.push('\n');
+                }
+                Op::Insert(line) => {
+                    b_len += 1;
+                    body.push('+');
+                    body.push_str(line);
+                    body.push('\n');
+                }
+            }
+        }
+        out.push_str(&format!("@@ -{a_start},{a_len} +{b_start},{b_len} @@\n"));
+        out.push_str(&body);
+        i = hunk_end;
+    }
+    out
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op<'a> {
+    Equal(&'a str),
+    Delete(&'a str),
+    Insert(&'a str),
+}
+
+/// Standard LCS diff over lines.
+fn diff_ops<'a>(a: &[&'a str], b: &[&'a str]) -> Vec<Op<'a>> {
+    let n = a.len();
+    let m = b.len();
+    // lcs[i][j] = LCS length of a[i..], b[j..].
+    let mut lcs = vec![vec![0usize; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i][j] = if a[i] == b[j] {
+                lcs[i + 1][j + 1] + 1
+            } else {
+                lcs[i + 1][j].max(lcs[i][j + 1])
+            };
+        }
+    }
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            out.push(Op::Equal(a[i]));
+            i += 1;
+            j += 1;
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            out.push(Op::Delete(a[i]));
+            i += 1;
+        } else {
+            out.push(Op::Insert(b[j]));
+            j += 1;
+        }
+    }
+    while i < n {
+        out.push(Op::Delete(a[i]));
+        i += 1;
+    }
+    while j < m {
+        out.push(Op::Insert(b[j]));
+        j += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_inputs_have_no_hunks() {
+        let d = unified_diff("a\nb\n", "a\nb\n", "f.c");
+        assert_eq!(d, "--- a/f.c\n+++ b/f.c\n");
+    }
+
+    #[test]
+    fn single_line_change() {
+        let d = unified_diff("a\nb\nc\n", "a\nX\nc\n", "f.c");
+        assert!(d.contains("-b\n"));
+        assert!(d.contains("+X\n"));
+        assert!(d.contains("@@ -1,3 +1,3 @@"), "{d}");
+    }
+
+    #[test]
+    fn pure_insertion() {
+        let d = unified_diff("a\nc\n", "a\nb\nc\n", "f.c");
+        assert!(d.contains("+b\n"));
+        let deletions = d.lines().skip(2).filter(|l| l.starts_with('-')).count();
+        assert_eq!(deletions, 0, "no deletions expected: {d}");
+    }
+
+    #[test]
+    fn loop_refactor_patch_shape() {
+        let old = "char* f(char* s) {\n    while (*s == ' ')\n        s++;\n    return s;\n}\n";
+        let new = "char* f(char* s) {\n    return s + strspn(s, \" \");\n}\n";
+        let d = unified_diff(old, new, "util.c");
+        assert!(d.contains("-    while (*s == ' ')"));
+        assert!(d.contains("+    return s + strspn(s, \" \");"));
+    }
+}

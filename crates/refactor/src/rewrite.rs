@@ -1,0 +1,86 @@
+//! Rewriting a loop function into its summary.
+
+use strsum_cfront::parse;
+use strsum_gadgets::Program;
+
+/// Rewrites the (single) function in `source` so that its body is the
+/// C rendering of `prog` over the function's parameter.
+///
+/// Preprocessor definitions that only served the loop are dropped; the
+/// signature is preserved verbatim (modulo normalised whitespace).
+///
+/// # Errors
+///
+/// Returns a message when the source does not parse as a single
+/// one-parameter function.
+pub fn rewrite(source: &str, prog: &Program) -> Result<String, String> {
+    let defs = parse(source).map_err(|e| e.to_string())?;
+    let [def] = defs.as_slice() else {
+        return Err(format!(
+            "expected exactly one function, found {}",
+            defs.len()
+        ));
+    };
+    if def.params.len() != 1 {
+        return Err("loop functions take exactly one parameter".to_string());
+    }
+    let param = &def.params[0].0;
+    let body = prog.to_c(param);
+    let indented: Vec<String> = body.lines().map(|l| format!("    {l}")).collect();
+    Ok(format!(
+        "{} {}({} {}) {{\n{}\n}}\n",
+        render_ty(&def.ret),
+        def.name,
+        render_ty(&def.params[0].1),
+        param,
+        indented.join("\n")
+    ))
+}
+
+fn render_ty(ty: &strsum_cfront::CTy) -> String {
+    ty.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rewrites_bash_loop() {
+        let src = r#"
+            #define whitespace(c) (((c) == ' ') || ((c) == '\t'))
+            char* loopFunction(char* line) {
+                char *p;
+                for (p = line; p && *p && whitespace(*p); p++)
+                    ;
+                return p;
+            }
+        "#;
+        let prog = Program::decode(b"P \t\0F").unwrap();
+        let out = rewrite(src, &prog).unwrap();
+        assert_eq!(
+            out,
+            "char* loopFunction(char* line) {\n    return line + strspn(line, \" \\t\");\n}\n"
+        );
+    }
+
+    #[test]
+    fn preserves_semantics() {
+        // The rewritten function must compile and agree with the original.
+        let src = "char* loopFunction(char* s) { while (*s != 0 && *s != ':') s++; return s; }";
+        let prog = Program::decode(b"N:\0F").unwrap();
+        let out = rewrite(src, &prog).unwrap();
+        // `s += strcspn(...)` form: check it round-trips through our own
+        // frontend… strcspn is an opaque call to the frontend, so just
+        // check shape here; semantic agreement is covered by equivalence
+        // tests in strsum-core.
+        assert!(out.contains("strcspn(s, \":\")"), "{out}");
+    }
+
+    #[test]
+    fn rejects_multi_function_sources() {
+        let src = "int a(int x) { return x; } int b(int x) { return x; }";
+        let prog = Program::decode(b"F").unwrap();
+        assert!(rewrite(src, &prog).is_err());
+    }
+}

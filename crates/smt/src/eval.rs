@@ -1,0 +1,211 @@
+//! Concrete evaluation of terms under a variable assignment.
+//!
+//! Used for model validation, for the concrete sides of the CEGIS loop, and
+//! heavily in tests as a ground-truth oracle against the bit-blaster.
+
+use crate::term::{to_signed, Op, Sort, TermId, TermPool};
+use std::collections::HashMap;
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Evaluates a term of either sort to a `u64` (booleans become 0/1).
+///
+/// `lookup` supplies values for variable terms; values are truncated to the
+/// variable's width.
+pub fn eval(pool: &TermPool, id: TermId, lookup: &dyn Fn(TermId) -> u64) -> u64 {
+    let mut memo: HashMap<TermId, u64> = HashMap::new();
+    eval_memo(pool, id, lookup, &mut memo)
+}
+
+fn eval_memo(
+    pool: &TermPool,
+    id: TermId,
+    lookup: &dyn Fn(TermId) -> u64,
+    memo: &mut HashMap<TermId, u64>,
+) -> u64 {
+    if let Some(&v) = memo.get(&id) {
+        return v;
+    }
+    let term = pool.term(id);
+    let width = match term.sort {
+        Sort::Bool => 1,
+        Sort::BitVec(w) => w,
+    };
+    let a = |i: usize| term.args[i];
+    let v = match &term.op {
+        Op::BoolConst(b) => u64::from(*b),
+        Op::BvConst { value, .. } => *value,
+        Op::Var { .. } => lookup(id) & mask(width),
+        Op::Not => {
+            let x = eval_memo(pool, a(0), lookup, memo);
+            u64::from(x == 0)
+        }
+        Op::And => {
+            let x = eval_memo(pool, a(0), lookup, memo);
+            if x == 0 {
+                0
+            } else {
+                eval_memo(pool, a(1), lookup, memo)
+            }
+        }
+        Op::Or => {
+            let x = eval_memo(pool, a(0), lookup, memo);
+            if x != 0 {
+                1
+            } else {
+                eval_memo(pool, a(1), lookup, memo)
+            }
+        }
+        Op::Eq => {
+            let x = eval_memo(pool, a(0), lookup, memo);
+            let y = eval_memo(pool, a(1), lookup, memo);
+            u64::from(x == y)
+        }
+        Op::Ite => {
+            let c = eval_memo(pool, a(0), lookup, memo);
+            if c != 0 {
+                eval_memo(pool, a(1), lookup, memo)
+            } else {
+                eval_memo(pool, a(2), lookup, memo)
+            }
+        }
+        Op::BvAdd => {
+            let x = eval_memo(pool, a(0), lookup, memo);
+            let y = eval_memo(pool, a(1), lookup, memo);
+            x.wrapping_add(y) & mask(width)
+        }
+        Op::BvSub => {
+            let x = eval_memo(pool, a(0), lookup, memo);
+            let y = eval_memo(pool, a(1), lookup, memo);
+            x.wrapping_sub(y) & mask(width)
+        }
+        Op::BvMul => {
+            let x = eval_memo(pool, a(0), lookup, memo);
+            let y = eval_memo(pool, a(1), lookup, memo);
+            x.wrapping_mul(y) & mask(width)
+        }
+        Op::BvNot => {
+            let x = eval_memo(pool, a(0), lookup, memo);
+            !x & mask(width)
+        }
+        Op::BvAnd => eval_memo(pool, a(0), lookup, memo) & eval_memo(pool, a(1), lookup, memo),
+        Op::BvOr => eval_memo(pool, a(0), lookup, memo) | eval_memo(pool, a(1), lookup, memo),
+        Op::BvXor => eval_memo(pool, a(0), lookup, memo) ^ eval_memo(pool, a(1), lookup, memo),
+        Op::BvUlt => {
+            let x = eval_memo(pool, a(0), lookup, memo);
+            let y = eval_memo(pool, a(1), lookup, memo);
+            u64::from(x < y)
+        }
+        Op::BvUle => {
+            let x = eval_memo(pool, a(0), lookup, memo);
+            let y = eval_memo(pool, a(1), lookup, memo);
+            u64::from(x <= y)
+        }
+        Op::BvSlt => {
+            let w = pool.width(a(0));
+            let x = to_signed(eval_memo(pool, a(0), lookup, memo), w);
+            let y = to_signed(eval_memo(pool, a(1), lookup, memo), w);
+            u64::from(x < y)
+        }
+        Op::BvSle => {
+            let w = pool.width(a(0));
+            let x = to_signed(eval_memo(pool, a(0), lookup, memo), w);
+            let y = to_signed(eval_memo(pool, a(1), lookup, memo), w);
+            u64::from(x <= y)
+        }
+        Op::BvShl => {
+            let x = eval_memo(pool, a(0), lookup, memo);
+            let y = eval_memo(pool, a(1), lookup, memo);
+            if y >= u64::from(width) {
+                0
+            } else {
+                (x << y) & mask(width)
+            }
+        }
+        Op::BvLshr => {
+            let x = eval_memo(pool, a(0), lookup, memo);
+            let y = eval_memo(pool, a(1), lookup, memo);
+            if y >= u64::from(width) {
+                0
+            } else {
+                x >> y
+            }
+        }
+        Op::ZeroExt(_) => eval_memo(pool, a(0), lookup, memo),
+        Op::SignExt(_) => {
+            let w = pool.width(a(0));
+            let x = eval_memo(pool, a(0), lookup, memo);
+            (to_signed(x, w) as u64) & mask(width)
+        }
+        Op::Extract { hi, lo } => {
+            let x = eval_memo(pool, a(0), lookup, memo);
+            (x >> lo) & mask(hi - lo + 1)
+        }
+        Op::Concat => {
+            let hi = eval_memo(pool, a(0), lookup, memo);
+            let lo = eval_memo(pool, a(1), lookup, memo);
+            let wl = pool.width(a(1));
+            ((hi << wl) | lo) & mask(width)
+        }
+    };
+    memo.insert(id, v);
+    v
+}
+
+/// Evaluates a bit-vector term.
+pub fn eval_bv(pool: &TermPool, id: TermId, lookup: &dyn Fn(TermId) -> u64) -> u64 {
+    debug_assert!(matches!(pool.sort(id), Sort::BitVec(_)));
+    eval(pool, id, lookup)
+}
+
+/// Evaluates a boolean term.
+pub fn eval_bool(pool: &TermPool, id: TermId, lookup: &dyn Fn(TermId) -> u64) -> bool {
+    debug_assert_eq!(pool.sort(id), Sort::Bool);
+    eval(pool, id, lookup) != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TermPool;
+
+    #[test]
+    fn eval_arith() {
+        let mut p = TermPool::new();
+        let x = p.var("x", 8);
+        let y = p.var("y", 8);
+        let expr = {
+            let s = p.bv_add(x, y);
+            let two = p.bv_const(2, 8);
+            p.bv_mul(s, two)
+        };
+        let val = eval_bv(&p, expr, &|v| if v == x { 10 } else { 20 });
+        assert_eq!(val, 60);
+    }
+
+    #[test]
+    fn eval_wraps() {
+        let mut p = TermPool::new();
+        let x = p.var("x", 8);
+        let y = p.var("y", 8);
+        let s = p.bv_add(x, y);
+        let val = eval_bv(&p, s, &|_| 200);
+        assert_eq!(val, (200 + 200) % 256);
+    }
+
+    #[test]
+    fn eval_bool_ops() {
+        let mut p = TermPool::new();
+        let x = p.var("x", 8);
+        let five = p.bv_const(5, 8);
+        let lt = p.bv_ult(x, five);
+        assert!(eval_bool(&p, lt, &|_| 3));
+        assert!(!eval_bool(&p, lt, &|_| 9));
+    }
+}

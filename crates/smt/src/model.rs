@@ -1,0 +1,124 @@
+//! Models: assignments to the free variables of a checked formula.
+
+use crate::bitblast::Blaster;
+use crate::sat::Solver as SatSolver;
+use crate::term::{Op, Sort, TermId, TermPool};
+use std::collections::HashMap;
+
+/// A satisfying assignment, keyed by variable term.
+///
+/// Variables that never reached the SAT solver (because simplification
+/// eliminated them) are absent; any value works for them, and
+/// [`Model::value_or_zero`] defaults to 0.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    values: HashMap<TermId, u64>,
+}
+
+impl Model {
+    /// Builds a model from the SAT assignment via the blaster's caches.
+    pub fn from_sat(pool: &TermPool, blaster: &Blaster, sat: &SatSolver) -> Model {
+        let mut values = HashMap::new();
+        for idx in 0..pool.len() {
+            let id = TermId(idx as u32);
+            let term = pool.term(id);
+            if !matches!(term.op, Op::Var { .. }) {
+                continue;
+            }
+            match term.sort {
+                Sort::Bool => {
+                    if let Some(lit) = blaster.bool_lit(id) {
+                        let v = sat.model_value(lit.var()) == lit.is_positive();
+                        values.insert(id, u64::from(v));
+                    }
+                }
+                Sort::BitVec(_) => {
+                    if let Some(bits) = blaster.bv_bits(id) {
+                        let mut v = 0u64;
+                        for (i, &b) in bits.iter().enumerate() {
+                            if sat.model_value(b.var()) == b.is_positive() {
+                                v |= 1 << i;
+                            }
+                        }
+                        values.insert(id, v);
+                    }
+                }
+            }
+        }
+        Model { values }
+    }
+
+    /// Builds a model directly from variable/value pairs (used by the string
+    /// solver and by tests).
+    pub fn from_values(values: HashMap<TermId, u64>) -> Model {
+        Model { values }
+    }
+
+    /// Value of a variable term, if it was constrained.
+    pub fn value(&self, var: TermId) -> Option<u64> {
+        self.values.get(&var).copied()
+    }
+
+    /// Value of a variable term, defaulting to 0 for don't-cares.
+    pub fn value_or_zero(&self, var: TermId) -> u64 {
+        self.value(var).unwrap_or(0)
+    }
+
+    /// Sets or overrides a variable's value.
+    pub fn set(&mut self, var: TermId, value: u64) {
+        self.values.insert(var, value);
+    }
+
+    /// Iterates over `(variable, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, u64)> + '_ {
+        self.values.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Evaluates an arbitrary bit-vector term under this model
+    /// (don't-care variables read as 0).
+    pub fn eval_bv(&self, pool: &TermPool, term: TermId) -> u64 {
+        crate::eval::eval_bv(pool, term, &|v| self.value_or_zero(v))
+    }
+
+    /// Evaluates an arbitrary boolean term under this model.
+    pub fn eval_bool(&self, pool: &TermPool, term: TermId) -> bool {
+        crate::eval::eval_bool(pool, term, &|v| self.value_or_zero(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CheckResult, Solver, TermPool};
+
+    #[test]
+    fn model_satisfies_formula() {
+        let mut p = TermPool::new();
+        let x = p.var("x", 16);
+        let y = p.var("y", 16);
+        let c100 = p.bv_const(100, 16);
+        let c30 = p.bv_const(30, 16);
+        let gt = p.bv_ult(c100, x); // x > 100
+        let lt = p.bv_ult(y, c30); // y < 30
+        let sum = p.bv_add(x, y);
+        let c141 = p.bv_const(141, 16);
+        let eq = p.eq(sum, c141);
+        match Solver::new().check(&mut p, &[gt, lt, eq]) {
+            CheckResult::Sat(m) => {
+                assert!(m.eval_bool(&p, gt));
+                assert!(m.eval_bool(&p, lt));
+                assert_eq!(m.eval_bv(&p, sum), 141);
+            }
+            _ => panic!("expected sat"),
+        }
+    }
+
+    #[test]
+    fn dont_care_defaults_to_zero() {
+        let mut p = TermPool::new();
+        let x = p.var("unconstrained", 8);
+        let m = Model::default();
+        assert_eq!(m.value(x), None);
+        assert_eq!(m.value_or_zero(x), 0);
+    }
+}

@@ -1,0 +1,695 @@
+//! A CDCL SAT solver in the MiniSat lineage.
+//!
+//! Features: two-watched-literal propagation, VSIDS variable activities with
+//! an indexed max-heap, first-UIP conflict analysis with clause learning,
+//! phase saving, Luby-sequence restarts, and solving under assumptions.
+//! Clause-database reduction is deliberately omitted: queries produced by the
+//! bit-blaster are short-lived, one solver per query.
+
+use std::fmt;
+
+/// A propositional variable, numbered from 0.
+pub type Var = u32;
+
+/// A literal: a variable with a polarity. Encoded as `2*var + sign`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal for `var`, positive when `positive` is true.
+    pub fn new(var: Var, positive: bool) -> Lit {
+        Lit(var << 1 | u32::from(!positive))
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        self.0 >> 1
+    }
+
+    /// Whether the literal is positive.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Integer code, usable as an array index in `0..2*num_vars`.
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}",
+            if self.is_positive() { "" } else { "~" },
+            self.var()
+        )
+    }
+}
+
+/// Result of a SAT query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment was found.
+    Sat,
+    /// The formula (under the assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict limit was reached before an answer.
+    Unknown,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Assign {
+    Unassigned,
+    True,
+    False,
+}
+
+impl Assign {
+    fn from_bool(b: bool) -> Assign {
+        if b {
+            Assign::True
+        } else {
+            Assign::False
+        }
+    }
+}
+
+type ClauseRef = u32;
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+/// Max-heap over variables ordered by VSIDS activity, with position index
+/// for O(log n) increase-key.
+#[derive(Debug, Default)]
+struct VarHeap {
+    heap: Vec<Var>,
+    pos: Vec<Option<u32>>,
+}
+
+impl VarHeap {
+    fn grow_to(&mut self, n: usize) {
+        if self.pos.len() < n {
+            self.pos.resize(n, None);
+        }
+    }
+
+    fn contains(&self, v: Var) -> bool {
+        self.pos[v as usize].is_some()
+    }
+
+    fn push(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v as usize] = Some(self.heap.len() as u32);
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn pop(&mut self, act: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().unwrap();
+        self.pos[top as usize] = None;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = Some(0);
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn update(&mut self, v: Var, act: &[f64]) {
+        if let Some(i) = self.pos[v as usize] {
+            self.sift_up(i as usize, act);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i] as usize] <= act[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l] as usize] > act[self.heap[best] as usize] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r] as usize] > act[self.heap[best] as usize] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i] as usize] = Some(i as u32);
+        self.pos[self.heap[j] as usize] = Some(j as u32);
+    }
+}
+
+/// The CDCL solver.
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<ClauseRef>>, // indexed by Lit::code of the *watched* literal
+    assigns: Vec<Assign>,
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: VarHeap,
+    seen: Vec<bool>,
+    ok: bool,
+    conflicts: u64,
+    conflict_limit: u64,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            ok: true,
+            var_inc: 1.0,
+            conflict_limit: u64::MAX,
+            ..Default::default()
+        }
+    }
+
+    /// Caps the number of conflicts before `solve` returns `Unknown`.
+    pub fn set_conflict_limit(&mut self, limit: u64) {
+        self.conflict_limit = limit;
+    }
+
+    /// Number of variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Total conflicts encountered across all `solve` calls.
+    pub fn num_conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Number of clauses (original + learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Allocates a fresh variable and returns it.
+    pub fn new_var(&mut self) -> Var {
+        let v = self.assigns.len() as Var;
+        self.assigns.push(Assign::Unassigned);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.grow_to(self.assigns.len());
+        self.heap.push(v, &self.activity);
+        v
+    }
+
+    fn value(&self, l: Lit) -> Assign {
+        match self.assigns[l.var() as usize] {
+            Assign::Unassigned => Assign::Unassigned,
+            Assign::True => Assign::from_bool(l.is_positive()),
+            Assign::False => Assign::from_bool(!l.is_positive()),
+        }
+    }
+
+    /// Value of a variable in the current (final, after `Sat`) assignment.
+    pub fn model_value(&self, v: Var) -> bool {
+        self.assigns[v as usize] == Assign::True
+    }
+
+    /// Adds a clause. Returns `false` if the solver became trivially unsat.
+    ///
+    /// Must be called at decision level 0 (i.e. before or between `solve`s).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert!(self.trail_lim.is_empty());
+        if !self.ok {
+            return false;
+        }
+        // Simplify: sort, dedup, drop false lits, detect tautologies/sat.
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort();
+        c.dedup();
+        let mut out = Vec::with_capacity(c.len());
+        let mut i = 0;
+        while i < c.len() {
+            let l = c[i];
+            if i + 1 < c.len() && c[i + 1] == !l {
+                return true; // tautology: l and ~l both present
+            }
+            match self.value(l) {
+                Assign::True => return true, // already satisfied at level 0
+                Assign::False => {}          // drop falsified literal
+                Assign::Unassigned => out.push(l),
+            }
+            i += 1;
+        }
+        match out.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(out[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach(out);
+                true
+            }
+        }
+    }
+
+    fn attach(&mut self, lits: Vec<Lit>) -> ClauseRef {
+        let cref = self.clauses.len() as ClauseRef;
+        self.watches[lits[0].code()].push(cref);
+        self.watches[lits[1].code()].push(cref);
+        self.clauses.push(Clause { lits });
+        cref
+    }
+
+    fn enqueue(&mut self, l: Lit, from: Option<ClauseRef>) {
+        debug_assert_eq!(self.value(l), Assign::Unassigned);
+        let v = l.var() as usize;
+        self.assigns[v] = Assign::from_bool(l.is_positive());
+        self.phase[v] = l.is_positive();
+        self.level[v] = self.trail_lim.len() as u32;
+        self.reason[v] = from;
+        self.trail.push(l);
+    }
+
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = !p;
+            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            'clauses: while i < ws.len() {
+                let cref = ws[i];
+                {
+                    // Normalise so lits[1] is the falsified watched literal.
+                    let lits = &mut self.clauses[cref as usize].lits;
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], false_lit);
+                }
+                let first = self.clauses[cref as usize].lits[0];
+                if self.value(first) == Assign::True {
+                    i += 1;
+                    continue;
+                }
+                // Search for a new literal to watch.
+                let len = self.clauses[cref as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref as usize].lits[k];
+                    if self.value(lk) != Assign::False {
+                        self.clauses[cref as usize].lits.swap(1, k);
+                        self.watches[lk.code()].push(cref);
+                        ws.swap_remove(i);
+                        continue 'clauses;
+                    }
+                }
+                // Clause is unit or conflicting.
+                if self.value(first) == Assign::False {
+                    self.watches[false_lit.code()] = ws;
+                    self.qhead = self.trail.len();
+                    return Some(cref);
+                }
+                self.enqueue(first, Some(cref));
+                i += 1;
+            }
+            self.watches[false_lit.code()] = ws;
+        }
+        None
+    }
+
+    fn bump(&mut self, v: Var) {
+        self.activity[v as usize] += self.var_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.update(v, &self.activity);
+    }
+
+    /// First-UIP conflict analysis; returns (learnt clause, backtrack level).
+    fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::new(0, true)]; // placeholder for UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let cur_level = self.trail_lim.len() as u32;
+
+        loop {
+            let lits: Vec<Lit> = self.clauses[confl as usize].lits.clone();
+            let start = usize::from(p.is_some());
+            for &q in &lits[start..] {
+                let v = q.var() as usize;
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump(q.var());
+                    if self.level[v] >= cur_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Pick next literal on the trail to resolve.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var() as usize] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            p = Some(lit);
+            self.seen[lit.var() as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[lit.var() as usize].expect("non-UIP literal must have a reason");
+        }
+        learnt[0] = !p.unwrap();
+
+        // Compute backtrack level: second-highest level in the clause.
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var() as usize] > self.level[learnt[max_i].var() as usize] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var() as usize]
+        };
+        for &l in &learnt {
+            self.seen[l.var() as usize] = false;
+        }
+        (learnt, bt)
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        if (self.trail_lim.len() as u32) <= level {
+            return;
+        }
+        let bound = self.trail_lim[level as usize];
+        while self.trail.len() > bound {
+            let l = self.trail.pop().unwrap();
+            let v = l.var() as usize;
+            self.assigns[v] = Assign::Unassigned;
+            self.reason[v] = None;
+            self.heap.push(l.var(), &self.activity);
+        }
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        while let Some(v) = self.heap.pop(&self.activity) {
+            if self.assigns[v as usize] == Assign::Unassigned {
+                return Some(Lit::new(v, self.phase[v as usize]));
+            }
+        }
+        None
+    }
+
+    /// Solves under the given assumption literals.
+    ///
+    /// Assumptions are tried as forced decisions at the bottom of the tree;
+    /// if an assumption conflicts, the result is `Unsat` (no core extraction).
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.backtrack_to(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SatResult::Unsat;
+        }
+
+        let mut restart_idx = 0u64;
+        let mut conflicts_since_restart = 0u64;
+        let mut restart_budget = 32 * luby(restart_idx);
+        let start_conflicts = self.conflicts;
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.trail_lim.is_empty() {
+                    self.ok = false;
+                    return SatResult::Unsat;
+                }
+                if self.conflicts - start_conflicts >= self.conflict_limit {
+                    self.backtrack_to(0);
+                    return SatResult::Unknown;
+                }
+                let (learnt, bt_level) = self.analyze(confl);
+                // Never backtrack past assumptions we still rely on.
+                self.backtrack_to(bt_level);
+                let asserting = learnt[0];
+                if learnt.len() == 1 {
+                    self.backtrack_to(0);
+                    if self.value(asserting) == Assign::False {
+                        self.ok = false;
+                        return SatResult::Unsat;
+                    }
+                    if self.value(asserting) == Assign::Unassigned {
+                        self.enqueue(asserting, None);
+                    }
+                } else {
+                    let cref = self.attach(learnt);
+                    self.enqueue(asserting, Some(cref));
+                }
+                self.var_inc /= 0.95;
+            } else {
+                // Restart?
+                if conflicts_since_restart >= restart_budget {
+                    restart_idx += 1;
+                    conflicts_since_restart = 0;
+                    restart_budget = 32 * luby(restart_idx);
+                    self.backtrack_to(0);
+                }
+                // Enforce assumptions as pseudo-decisions first.
+                let depth = self.trail_lim.len();
+                if depth < assumptions.len() {
+                    let a = assumptions[depth];
+                    match self.value(a) {
+                        Assign::True => {
+                            // Open an (empty) level so indexing stays aligned.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        Assign::False => {
+                            self.backtrack_to(0);
+                            return SatResult::Unsat;
+                        }
+                        Assign::Unassigned => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.decide() {
+                    None => return SatResult::Sat,
+                    Some(l) => {
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(l, None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence (0-indexed): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …
+fn luby(i: u64) -> u64 {
+    let mut i = i + 1;
+    loop {
+        let k = 64 - i.leading_zeros() as u64; // bit length of i
+        if i == (1u64 << k) - 1 {
+            return 1u64 << (k - 1);
+        }
+        i -= (1u64 << (k - 1)) - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: Var, pos: bool) -> Lit {
+        Lit::new(v, pos)
+    }
+
+    #[test]
+    fn lit_encoding() {
+        let l = lit(3, true);
+        assert_eq!(l.var(), 3);
+        assert!(l.is_positive());
+        assert_eq!((!l).var(), 3);
+        assert!(!(!l).is_positive());
+    }
+
+    #[test]
+    fn luby_prefix() {
+        let expect = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn simple_sat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[lit(a, true), lit(b, true)]);
+        s.add_clause(&[lit(a, false), lit(b, true)]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert!(s.model_value(b));
+    }
+
+    #[test]
+    fn simple_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[lit(a, true)]);
+        s.add_clause(&[lit(a, false)]);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn unsat_via_resolution() {
+        // (a|b) (a|~b) (~a|b) (~a|~b) is unsat.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        for (pa, pb) in [(true, true), (true, false), (false, true), (false, false)] {
+            s.add_clause(&[lit(a, pa), lit(b, pb)]);
+        }
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_flip_result() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[lit(a, false), lit(b, true)]); // a -> b
+        assert_eq!(s.solve(&[lit(a, true), lit(b, false)]), SatResult::Unsat);
+        assert_eq!(s.solve(&[lit(a, true), lit(b, true)]), SatResult::Sat);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p[i][j]: pigeon i in hole j, 3 pigeons, 2 holes.
+        let mut s = Solver::new();
+        let mut p = [[Lit::new(0, true); 2]; 3];
+        for i in 0..3 {
+            for j in 0..2 {
+                p[i][j] = Lit::new(s.new_var(), true);
+            }
+        }
+        for i in 0..3 {
+            s.add_clause(&[p[i][0], p[i][1]]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn chain_of_implications() {
+        let mut s = Solver::new();
+        let n = 50;
+        let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+        for w in vars.windows(2) {
+            s.add_clause(&[lit(w[0], false), lit(w[1], true)]);
+        }
+        s.add_clause(&[lit(vars[0], true)]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        for &v in &vars {
+            assert!(s.model_value(v));
+        }
+    }
+
+    #[test]
+    fn conflict_limit_reports_unknown() {
+        // A hard-ish pigeonhole instance with a tiny conflict budget.
+        let mut s = Solver::new();
+        let n = 6; // pigeons; n-1 holes
+        let mut p = vec![vec![Lit::new(0, true); n - 1]; n];
+        for i in 0..n {
+            for j in 0..n - 1 {
+                p[i][j] = Lit::new(s.new_var(), true);
+            }
+        }
+        for i in 0..n {
+            let row: Vec<Lit> = p[i].clone();
+            s.add_clause(&row);
+        }
+        for j in 0..n - 1 {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        s.set_conflict_limit(5);
+        assert_eq!(s.solve(&[]), SatResult::Unknown);
+    }
+}

@@ -1,0 +1,312 @@
+//! A constructive string solver for the loop-summary vocabulary.
+//!
+//! String solvers like Z3str or CVC4 accept constraints phrased in a fixed
+//! vocabulary of string operations. Loop summaries map directly onto that
+//! vocabulary (paper §4.3), so `str.KLEE` can dispatch a summarised loop to
+//! the string solver instead of unrolling it. This module implements the
+//! decision procedure we dispatch to: constraints over a bounded
+//! NUL-terminated buffer are kept as one [`ByteSet`] per position, and
+//! models are read off constructively — no search, no per-character paths.
+
+use std::fmt;
+
+/// A set of byte values (0–255) as a 256-bit bitmap.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ByteSet {
+    bits: [u64; 4],
+}
+
+impl ByteSet {
+    /// The empty set.
+    pub const EMPTY: ByteSet = ByteSet { bits: [0; 4] };
+
+    /// The set of all 256 byte values.
+    pub const FULL: ByteSet = ByteSet {
+        bits: [u64::MAX; 4],
+    };
+
+    /// Creates an empty set.
+    pub fn new() -> ByteSet {
+        Self::EMPTY
+    }
+
+    /// Set containing exactly the bytes of `bytes`.
+    pub fn from_bytes(bytes: &[u8]) -> ByteSet {
+        let mut s = Self::EMPTY;
+        for &b in bytes {
+            s.insert(b);
+        }
+        s
+    }
+
+    /// Set containing a single byte.
+    pub fn single(b: u8) -> ByteSet {
+        let mut s = Self::EMPTY;
+        s.insert(b);
+        s
+    }
+
+    /// Inserts a byte.
+    pub fn insert(&mut self, b: u8) {
+        self.bits[(b >> 6) as usize] |= 1u64 << (b & 63);
+    }
+
+    /// Removes a byte.
+    pub fn remove(&mut self, b: u8) {
+        self.bits[(b >> 6) as usize] &= !(1u64 << (b & 63));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, b: u8) -> bool {
+        self.bits[(b >> 6) as usize] >> (b & 63) & 1 == 1
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &ByteSet) -> ByteSet {
+        let mut bits = self.bits;
+        for (b, o) in bits.iter_mut().zip(&other.bits) {
+            *b |= o;
+        }
+        ByteSet { bits }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &ByteSet) -> ByteSet {
+        let mut bits = self.bits;
+        for (b, o) in bits.iter_mut().zip(&other.bits) {
+            *b &= o;
+        }
+        ByteSet { bits }
+    }
+
+    /// Complement with respect to all 256 bytes.
+    pub fn complement(&self) -> ByteSet {
+        let mut bits = self.bits;
+        for b in &mut bits {
+            *b = !*b;
+        }
+        ByteSet { bits }
+    }
+
+    /// Number of bytes in the set.
+    pub fn len(&self) -> u32 {
+        self.bits.iter().map(|b| b.count_ones()).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits == [0; 4]
+    }
+
+    /// The smallest byte in the set, if any.
+    pub fn first(&self) -> Option<u8> {
+        for (i, &word) in self.bits.iter().enumerate() {
+            if word != 0 {
+                return Some((i as u32 * 64 + word.trailing_zeros()) as u8);
+            }
+        }
+        None
+    }
+
+    /// The smallest *printable, non-NUL* byte if one exists, else any byte.
+    /// Used to make models human-readable.
+    pub fn pick(&self) -> Option<u8> {
+        for b in 0x20u8..0x7f {
+            if self.contains(b) {
+                return Some(b);
+            }
+        }
+        self.first()
+    }
+
+    /// Iterates over member bytes in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        (0u16..256)
+            .map(|b| b as u8)
+            .filter(move |&b| self.contains(b))
+    }
+}
+
+impl Default for ByteSet {
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
+
+impl fmt::Debug for ByteSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ByteSet{{")?;
+        let mut first = true;
+        for b in self.iter() {
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            if (0x20..0x7f).contains(&b) {
+                write!(f, "{:?}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<u8> for ByteSet {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Self {
+        let mut s = ByteSet::new();
+        for b in iter {
+            s.insert(b);
+        }
+        s
+    }
+}
+
+/// Per-position abstraction of a bounded buffer: position `i` may hold any
+/// byte in `cells[i]`. Constraint propagation is intersection; a model is a
+/// choice of one byte per cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StringAbstraction {
+    cells: Vec<ByteSet>,
+}
+
+impl StringAbstraction {
+    /// Fresh abstraction of a buffer with `capacity` bytes, all unconstrained.
+    pub fn new(capacity: usize) -> StringAbstraction {
+        StringAbstraction {
+            cells: vec![ByteSet::FULL; capacity],
+        }
+    }
+
+    /// Fresh abstraction of a NUL-terminated string of exactly `len`
+    /// non-NUL characters: positions `0..len` exclude NUL, position `len`
+    /// is NUL.
+    pub fn with_exact_len(len: usize) -> StringAbstraction {
+        let mut a = StringAbstraction::new(len + 1);
+        let mut non_nul = ByteSet::FULL;
+        non_nul.remove(0);
+        for i in 0..len {
+            a.cells[i] = non_nul;
+        }
+        a.cells[len] = ByteSet::single(0);
+        a
+    }
+
+    /// Buffer capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The set currently allowed at position `i`.
+    pub fn cell(&self, i: usize) -> ByteSet {
+        self.cells[i]
+    }
+
+    /// Constrains position `i` to `set`. Returns `false` on conflict
+    /// (the cell becomes empty) and `true` otherwise.
+    pub fn constrain(&mut self, i: usize, set: ByteSet) -> bool {
+        if i >= self.cells.len() {
+            // Reads past the buffer are vacuously inconsistent.
+            return false;
+        }
+        self.cells[i] = self.cells[i].intersect(&set);
+        !self.cells[i].is_empty()
+    }
+
+    /// Constrains positions `start..start+k` to lie in `set` and position
+    /// `start+k` (if within capacity bounds are required, pass
+    /// `terminate = true`) to lie outside it. This is the semantics of
+    /// `strspn(s + start, set) == k`.
+    pub fn constrain_span(
+        &mut self,
+        start: usize,
+        set: ByteSet,
+        k: usize,
+        terminate: bool,
+    ) -> bool {
+        for i in 0..k {
+            if !self.constrain(start + i, set) {
+                return false;
+            }
+        }
+        if terminate {
+            return self.constrain(start + k, set.complement());
+        }
+        true
+    }
+
+    /// Whether every cell still admits at least one byte.
+    pub fn is_consistent(&self) -> bool {
+        self.cells.iter().all(|c| !c.is_empty())
+    }
+
+    /// Reads off a model, preferring printable bytes. `None` on conflict.
+    pub fn model(&self) -> Option<Vec<u8>> {
+        self.cells.iter().map(|c| c.pick()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byteset_basics() {
+        let mut s = ByteSet::new();
+        assert!(s.is_empty());
+        s.insert(b'a');
+        s.insert(b'z');
+        assert!(s.contains(b'a'));
+        assert!(!s.contains(b'b'));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.first(), Some(b'a'));
+        s.remove(b'a');
+        assert_eq!(s.first(), Some(b'z'));
+    }
+
+    #[test]
+    fn byteset_algebra() {
+        let a = ByteSet::from_bytes(b"abc");
+        let b = ByteSet::from_bytes(b"bcd");
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(a.intersect(&b).len(), 2);
+        assert_eq!(a.complement().len(), 253);
+        assert_eq!(a.complement().complement(), a);
+    }
+
+    #[test]
+    fn byteset_iter_sorted() {
+        let s = ByteSet::from_bytes(b"zax");
+        let v: Vec<u8> = s.iter().collect();
+        assert_eq!(v, vec![b'a', b'x', b'z']);
+    }
+
+    #[test]
+    fn span_constraint_builds_model() {
+        // strspn(s, " \t") == 2 on a string of exactly length 4.
+        let mut a = StringAbstraction::with_exact_len(4);
+        let ws = ByteSet::from_bytes(b" \t");
+        assert!(a.constrain_span(0, ws, 2, true));
+        let m = a.model().unwrap();
+        assert!(ws.contains(m[0]) && ws.contains(m[1]));
+        assert!(!ws.contains(m[2]));
+        assert_ne!(m[2], 0);
+        assert_eq!(m[4], 0);
+    }
+
+    #[test]
+    fn conflicting_span_detected() {
+        // strspn(s, "x") == 2 but the string has length 1: position 1 is NUL,
+        // which cannot be 'x'.
+        let mut a = StringAbstraction::with_exact_len(1);
+        let xs = ByteSet::single(b'x');
+        assert!(!a.constrain_span(0, xs, 2, true));
+        assert!(!a.is_consistent());
+    }
+
+    #[test]
+    fn out_of_bounds_is_conflict() {
+        let mut a = StringAbstraction::new(3);
+        assert!(!a.constrain(5, ByteSet::FULL));
+    }
+}

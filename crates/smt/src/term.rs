@@ -1,0 +1,829 @@
+//! Hash-consed terms over booleans and fixed-width bit-vectors.
+//!
+//! Terms are created through [`TermPool`] constructor methods, which apply
+//! lightweight algebraic simplification (constant folding, neutral/absorbing
+//! elements, double negation, …) before interning. Structurally equal terms
+//! therefore always share one [`TermId`], which keeps downstream encodings
+//! (bit-blasting, evaluation) linear in the number of *distinct* subterms.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of an interned term inside its [`TermPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+/// The sort (type) of a term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sort {
+    /// Propositional sort.
+    Bool,
+    /// Bit-vectors of the given width, `1..=64`.
+    BitVec(u32),
+}
+
+impl Sort {
+    /// Width of a bit-vector sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics when applied to [`Sort::Bool`].
+    pub fn width(self) -> u32 {
+        match self {
+            Sort::BitVec(w) => w,
+            Sort::Bool => panic!("Bool has no width"),
+        }
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => write!(f, "Bool"),
+            Sort::BitVec(w) => write!(f, "BV{w}"),
+        }
+    }
+}
+
+/// Operator of a term node. Leaves carry their payload inline.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Boolean literal.
+    BoolConst(bool),
+    /// Bit-vector literal; `value` is truncated to `width` bits.
+    BvConst {
+        /// Literal value (already masked to `width` bits).
+        value: u64,
+        /// Bit width, `1..=64`.
+        width: u32,
+    },
+    /// Free variable of the given sort.
+    Var {
+        /// Variable name; `(name, sort)` identifies the variable.
+        name: String,
+        /// Variable sort.
+        sort: Sort,
+    },
+    /// Boolean negation.
+    Not,
+    /// Binary conjunction.
+    And,
+    /// Binary disjunction.
+    Or,
+    /// Polymorphic equality (both arguments share a sort).
+    Eq,
+    /// If-then-else over bit-vectors (boolean ITE is rewritten at build time).
+    Ite,
+    /// Two's-complement addition.
+    BvAdd,
+    /// Two's-complement subtraction.
+    BvSub,
+    /// Low-half multiplication.
+    BvMul,
+    /// Bitwise complement.
+    BvNot,
+    /// Bitwise and.
+    BvAnd,
+    /// Bitwise or.
+    BvOr,
+    /// Bitwise xor.
+    BvXor,
+    /// Unsigned less-than.
+    BvUlt,
+    /// Unsigned less-or-equal.
+    BvUle,
+    /// Signed less-than.
+    BvSlt,
+    /// Signed less-or-equal.
+    BvSle,
+    /// Logical shift left (shift amount is the second operand).
+    BvShl,
+    /// Logical shift right.
+    BvLshr,
+    /// Zero extension to the given target width.
+    ZeroExt(u32),
+    /// Sign extension to the given target width.
+    SignExt(u32),
+    /// Bit-field extraction, inclusive `hi..=lo`.
+    Extract {
+        /// Most significant extracted bit.
+        hi: u32,
+        /// Least significant extracted bit.
+        lo: u32,
+    },
+    /// Concatenation; first operand becomes the high bits.
+    Concat,
+}
+
+/// An interned term: operator, children, and cached sort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Term {
+    /// Node operator.
+    pub op: Op,
+    /// Child terms, in operator order.
+    pub args: Vec<TermId>,
+    /// Sort of the whole term.
+    pub sort: Sort,
+}
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Sign-extends `value` (of `width` bits) into an `i64`.
+pub fn to_signed(value: u64, width: u32) -> i64 {
+    debug_assert!((1..=64).contains(&width));
+    let shift = 64 - width;
+    ((value << shift) as i64) >> shift
+}
+
+/// Arena of hash-consed terms with simplifying constructors.
+///
+/// All term construction goes through this pool; see the crate-level example.
+#[derive(Debug, Default, Clone)]
+pub struct TermPool {
+    terms: Vec<Term>,
+    intern: HashMap<(Op, Vec<TermId>), TermId>,
+    fresh: u64,
+}
+
+impl TermPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct terms interned so far.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether no terms have been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Looks up an interned term.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.0 as usize]
+    }
+
+    /// Sort of a term.
+    pub fn sort(&self, id: TermId) -> Sort {
+        self.terms[id.0 as usize].sort
+    }
+
+    /// Bit-width of a bit-vector term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is boolean-sorted.
+    pub fn width(&self, id: TermId) -> u32 {
+        self.sort(id).width()
+    }
+
+    fn mk(&mut self, op: Op, args: Vec<TermId>, sort: Sort) -> TermId {
+        if let Some(&id) = self.intern.get(&(op.clone(), args.clone())) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.intern.insert((op.clone(), args.clone()), id);
+        self.terms.push(Term { op, args, sort });
+        id
+    }
+
+    /// Returns the boolean value if `id` is a boolean constant.
+    pub fn as_bool_const(&self, id: TermId) -> Option<bool> {
+        match self.term(id).op {
+            Op::BoolConst(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns `(value, width)` if `id` is a bit-vector constant.
+    pub fn as_bv_const(&self, id: TermId) -> Option<(u64, u32)> {
+        match self.term(id).op {
+            Op::BvConst { value, width } => Some((value, width)),
+            _ => None,
+        }
+    }
+
+    // ----- leaves ---------------------------------------------------------
+
+    /// Boolean constant.
+    pub fn bool_const(&mut self, b: bool) -> TermId {
+        self.mk(Op::BoolConst(b), vec![], Sort::Bool)
+    }
+
+    /// Bit-vector constant of `width` bits; `value` is truncated.
+    pub fn bv_const(&mut self, value: u64, width: u32) -> TermId {
+        assert!((1..=64).contains(&width), "unsupported width {width}");
+        let value = value & mask(width);
+        self.mk(Op::BvConst { value, width }, vec![], Sort::BitVec(width))
+    }
+
+    /// Free bit-vector variable. Same `(name, width)` yields the same term.
+    pub fn var(&mut self, name: &str, width: u32) -> TermId {
+        assert!((1..=64).contains(&width), "unsupported width {width}");
+        let sort = Sort::BitVec(width);
+        self.mk(
+            Op::Var {
+                name: name.to_string(),
+                sort,
+            },
+            vec![],
+            sort,
+        )
+    }
+
+    /// Free boolean variable.
+    pub fn bool_var(&mut self, name: &str) -> TermId {
+        self.mk(
+            Op::Var {
+                name: name.to_string(),
+                sort: Sort::Bool,
+            },
+            vec![],
+            Sort::Bool,
+        )
+    }
+
+    /// A fresh bit-vector variable with a unique generated name.
+    pub fn fresh_var(&mut self, prefix: &str, width: u32) -> TermId {
+        self.fresh += 1;
+        let name = format!("{prefix}!{}", self.fresh);
+        self.var(&name, width)
+    }
+
+    // ----- boolean connectives -------------------------------------------
+
+    /// Boolean negation with double-negation and constant folding.
+    pub fn not(&mut self, a: TermId) -> TermId {
+        debug_assert_eq!(self.sort(a), Sort::Bool);
+        if let Some(b) = self.as_bool_const(a) {
+            return self.bool_const(!b);
+        }
+        if self.term(a).op == Op::Not {
+            return self.term(a).args[0];
+        }
+        self.mk(Op::Not, vec![a], Sort::Bool)
+    }
+
+    /// Binary conjunction with folding and idempotence.
+    pub fn and(&mut self, a: TermId, b: TermId) -> TermId {
+        debug_assert_eq!(self.sort(a), Sort::Bool);
+        debug_assert_eq!(self.sort(b), Sort::Bool);
+        match (self.as_bool_const(a), self.as_bool_const(b)) {
+            (Some(false), _) | (_, Some(false)) => return self.bool_const(false),
+            (Some(true), _) => return b,
+            (_, Some(true)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        if self.is_negation_of(a, b) {
+            return self.bool_const(false);
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.mk(Op::And, vec![a, b], Sort::Bool)
+    }
+
+    /// Binary disjunction with folding and idempotence.
+    pub fn or(&mut self, a: TermId, b: TermId) -> TermId {
+        debug_assert_eq!(self.sort(a), Sort::Bool);
+        debug_assert_eq!(self.sort(b), Sort::Bool);
+        match (self.as_bool_const(a), self.as_bool_const(b)) {
+            (Some(true), _) | (_, Some(true)) => return self.bool_const(true),
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        if self.is_negation_of(a, b) {
+            return self.bool_const(true);
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.mk(Op::Or, vec![a, b], Sort::Bool)
+    }
+
+    fn is_negation_of(&self, a: TermId, b: TermId) -> bool {
+        let ta = self.term(a);
+        let tb = self.term(b);
+        (ta.op == Op::Not && ta.args[0] == b) || (tb.op == Op::Not && tb.args[0] == a)
+    }
+
+    /// Exclusive or, rewritten to and/or/not.
+    pub fn xor(&mut self, a: TermId, b: TermId) -> TermId {
+        let nb = self.not(b);
+        let na = self.not(a);
+        let l = self.and(a, nb);
+        let r = self.and(na, b);
+        self.or(l, r)
+    }
+
+    /// Implication `a → b`, rewritten to `¬a ∨ b`.
+    pub fn implies(&mut self, a: TermId, b: TermId) -> TermId {
+        let na = self.not(a);
+        self.or(na, b)
+    }
+
+    /// Conjunction of many terms.
+    pub fn and_many(&mut self, terms: &[TermId]) -> TermId {
+        let mut acc = self.bool_const(true);
+        for &t in terms {
+            acc = self.and(acc, t);
+        }
+        acc
+    }
+
+    /// Disjunction of many terms.
+    pub fn or_many(&mut self, terms: &[TermId]) -> TermId {
+        let mut acc = self.bool_const(false);
+        for &t in terms {
+            acc = self.or(acc, t);
+        }
+        acc
+    }
+
+    // ----- equality & ite --------------------------------------------------
+
+    /// Polymorphic equality with reflexivity and constant folding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands' sorts differ.
+    pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
+        assert_eq!(self.sort(a), self.sort(b), "eq over mismatched sorts");
+        if a == b {
+            return self.bool_const(true);
+        }
+        if let (Some(x), Some(y)) = (self.as_bv_const(a), self.as_bv_const(b)) {
+            return self.bool_const(x == y);
+        }
+        if let (Some(x), Some(y)) = (self.as_bool_const(a), self.as_bool_const(b)) {
+            return self.bool_const(x == y);
+        }
+        // Boolean equality becomes an iff.
+        if self.sort(a) == Sort::Bool {
+            if let Some(x) = self.as_bool_const(a) {
+                return if x { b } else { self.not(b) };
+            }
+            if let Some(y) = self.as_bool_const(b) {
+                return if y { a } else { self.not(a) };
+            }
+            let imp1 = self.implies(a, b);
+            let imp2 = self.implies(b, a);
+            return self.and(imp1, imp2);
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.mk(Op::Eq, vec![a, b], Sort::Bool)
+    }
+
+    /// Disequality `¬(a = b)`.
+    pub fn ne(&mut self, a: TermId, b: TermId) -> TermId {
+        let e = self.eq(a, b);
+        self.not(e)
+    }
+
+    /// If-then-else. Boolean ITE is rewritten into connectives; bit-vector
+    /// ITE is kept as a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cond` is not boolean or the branches' sorts differ.
+    pub fn ite(&mut self, cond: TermId, then_t: TermId, else_t: TermId) -> TermId {
+        assert_eq!(self.sort(cond), Sort::Bool);
+        assert_eq!(
+            self.sort(then_t),
+            self.sort(else_t),
+            "ite branch sorts differ"
+        );
+        if let Some(c) = self.as_bool_const(cond) {
+            return if c { then_t } else { else_t };
+        }
+        if then_t == else_t {
+            return then_t;
+        }
+        if self.sort(then_t) == Sort::Bool {
+            let pos = self.and(cond, then_t);
+            let nc = self.not(cond);
+            let neg = self.and(nc, else_t);
+            return self.or(pos, neg);
+        }
+        let sort = self.sort(then_t);
+        self.mk(Op::Ite, vec![cond, then_t, else_t], sort)
+    }
+
+    // ----- bit-vector arithmetic -------------------------------------------
+
+    fn bv_binop(
+        &mut self,
+        op: Op,
+        a: TermId,
+        b: TermId,
+        fold: impl Fn(u64, u64, u32) -> u64,
+    ) -> TermId {
+        let w = self.width(a);
+        assert_eq!(w, self.width(b), "width mismatch in {op:?}");
+        if let (Some((x, _)), Some((y, _))) = (self.as_bv_const(a), self.as_bv_const(b)) {
+            let v = fold(x, y, w) & mask(w);
+            return self.bv_const(v, w);
+        }
+        self.mk(op, vec![a, b], Sort::BitVec(w))
+    }
+
+    /// Addition modulo 2^w, with `x + 0 = x`.
+    pub fn bv_add(&mut self, a: TermId, b: TermId) -> TermId {
+        if self.as_bv_const(a).map(|(v, _)| v) == Some(0) {
+            return b;
+        }
+        if self.as_bv_const(b).map(|(v, _)| v) == Some(0) {
+            return a;
+        }
+        self.bv_binop(Op::BvAdd, a, b, |x, y, _| x.wrapping_add(y))
+    }
+
+    /// Subtraction modulo 2^w, with `x - 0 = x` and `x - x = 0`.
+    pub fn bv_sub(&mut self, a: TermId, b: TermId) -> TermId {
+        if a == b {
+            let w = self.width(a);
+            return self.bv_const(0, w);
+        }
+        if self.as_bv_const(b).map(|(v, _)| v) == Some(0) {
+            return a;
+        }
+        self.bv_binop(Op::BvSub, a, b, |x, y, _| x.wrapping_sub(y))
+    }
+
+    /// Low-half multiplication, with `x*0 = 0` and `x*1 = x`.
+    pub fn bv_mul(&mut self, a: TermId, b: TermId) -> TermId {
+        for (c, o) in [(a, b), (b, a)] {
+            match self.as_bv_const(c).map(|(v, _)| v) {
+                Some(0) => {
+                    let w = self.width(c);
+                    return self.bv_const(0, w);
+                }
+                Some(1) => return o,
+                _ => {}
+            }
+        }
+        self.bv_binop(Op::BvMul, a, b, |x, y, _| x.wrapping_mul(y))
+    }
+
+    /// Two's-complement negation, `0 - a`.
+    pub fn bv_neg(&mut self, a: TermId) -> TermId {
+        let w = self.width(a);
+        let zero = self.bv_const(0, w);
+        self.bv_sub(zero, a)
+    }
+
+    /// Bitwise complement.
+    pub fn bv_not(&mut self, a: TermId) -> TermId {
+        let w = self.width(a);
+        if let Some((v, _)) = self.as_bv_const(a) {
+            return self.bv_const(!v, w);
+        }
+        if self.term(a).op == Op::BvNot {
+            return self.term(a).args[0];
+        }
+        self.mk(Op::BvNot, vec![a], Sort::BitVec(w))
+    }
+
+    /// Bitwise and, with absorbing/neutral folds.
+    pub fn bv_and(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.width(a);
+        for (c, o) in [(a, b), (b, a)] {
+            match self.as_bv_const(c).map(|(v, _)| v) {
+                Some(0) => return self.bv_const(0, w),
+                Some(v) if v == mask(w) => return o,
+                _ => {}
+            }
+        }
+        if a == b {
+            return a;
+        }
+        self.bv_binop(Op::BvAnd, a, b, |x, y, _| x & y)
+    }
+
+    /// Bitwise or, with absorbing/neutral folds.
+    pub fn bv_or(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.width(a);
+        for (c, o) in [(a, b), (b, a)] {
+            match self.as_bv_const(c).map(|(v, _)| v) {
+                Some(0) => return o,
+                Some(v) if v == mask(w) => return self.bv_const(mask(w), w),
+                _ => {}
+            }
+        }
+        if a == b {
+            return a;
+        }
+        self.bv_binop(Op::BvOr, a, b, |x, y, _| x | y)
+    }
+
+    /// Bitwise xor, with `x ^ x = 0` and `x ^ 0 = x`.
+    pub fn bv_xor(&mut self, a: TermId, b: TermId) -> TermId {
+        if a == b {
+            let w = self.width(a);
+            return self.bv_const(0, w);
+        }
+        for (c, o) in [(a, b), (b, a)] {
+            if self.as_bv_const(c).map(|(v, _)| v) == Some(0) {
+                return o;
+            }
+        }
+        self.bv_binop(Op::BvXor, a, b, |x, y, _| x ^ y)
+    }
+
+    /// Logical shift left; shifts ≥ width produce zero.
+    pub fn bv_shl(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(
+            Op::BvShl,
+            a,
+            b,
+            |x, y, w| {
+                if y >= w as u64 {
+                    0
+                } else {
+                    x << y
+                }
+            },
+        )
+    }
+
+    /// Logical shift right; shifts ≥ width produce zero.
+    pub fn bv_lshr(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(Op::BvLshr, a, b, |x, y, w| {
+            if y >= w as u64 {
+                0
+            } else {
+                (x & mask(w)) >> y
+            }
+        })
+    }
+
+    // ----- comparisons ------------------------------------------------------
+
+    /// Unsigned less-than with constant and reflexive folds.
+    pub fn bv_ult(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.width(a);
+        assert_eq!(w, self.width(b));
+        if a == b {
+            return self.bool_const(false);
+        }
+        if let (Some((x, _)), Some((y, _))) = (self.as_bv_const(a), self.as_bv_const(b)) {
+            return self.bool_const(x < y);
+        }
+        if self.as_bv_const(b).map(|(v, _)| v) == Some(0) {
+            return self.bool_const(false);
+        }
+        self.mk(Op::BvUlt, vec![a, b], Sort::Bool)
+    }
+
+    /// Unsigned less-or-equal.
+    pub fn bv_ule(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.width(a);
+        assert_eq!(w, self.width(b));
+        if a == b {
+            return self.bool_const(true);
+        }
+        if let (Some((x, _)), Some((y, _))) = (self.as_bv_const(a), self.as_bv_const(b)) {
+            return self.bool_const(x <= y);
+        }
+        if self.as_bv_const(a).map(|(v, _)| v) == Some(0) {
+            return self.bool_const(true);
+        }
+        self.mk(Op::BvUle, vec![a, b], Sort::Bool)
+    }
+
+    /// Signed less-than.
+    pub fn bv_slt(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.width(a);
+        assert_eq!(w, self.width(b));
+        if a == b {
+            return self.bool_const(false);
+        }
+        if let (Some((x, _)), Some((y, _))) = (self.as_bv_const(a), self.as_bv_const(b)) {
+            return self.bool_const(to_signed(x, w) < to_signed(y, w));
+        }
+        self.mk(Op::BvSlt, vec![a, b], Sort::Bool)
+    }
+
+    /// Signed less-or-equal.
+    pub fn bv_sle(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.width(a);
+        assert_eq!(w, self.width(b));
+        if a == b {
+            return self.bool_const(true);
+        }
+        if let (Some((x, _)), Some((y, _))) = (self.as_bv_const(a), self.as_bv_const(b)) {
+            return self.bool_const(to_signed(x, w) <= to_signed(y, w));
+        }
+        self.mk(Op::BvSle, vec![a, b], Sort::Bool)
+    }
+
+    /// Unsigned greater-than, `b < a`.
+    pub fn bv_ugt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_ult(b, a)
+    }
+
+    /// Signed greater-than, `b < a`.
+    pub fn bv_sgt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_slt(b, a)
+    }
+
+    // ----- width changes ------------------------------------------------------
+
+    /// Zero-extends `a` to `width` bits (no-op when widths match).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is smaller than the operand's width.
+    pub fn zero_ext(&mut self, a: TermId, width: u32) -> TermId {
+        let w = self.width(a);
+        assert!(width >= w, "zero_ext to narrower width");
+        if width == w {
+            return a;
+        }
+        if let Some((v, _)) = self.as_bv_const(a) {
+            return self.bv_const(v, width);
+        }
+        self.mk(Op::ZeroExt(width), vec![a], Sort::BitVec(width))
+    }
+
+    /// Sign-extends `a` to `width` bits (no-op when widths match).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is smaller than the operand's width.
+    pub fn sign_ext(&mut self, a: TermId, width: u32) -> TermId {
+        let w = self.width(a);
+        assert!(width >= w, "sign_ext to narrower width");
+        if width == w {
+            return a;
+        }
+        if let Some((v, _)) = self.as_bv_const(a) {
+            return self.bv_const(to_signed(v, w) as u64, width);
+        }
+        self.mk(Op::SignExt(width), vec![a], Sort::BitVec(width))
+    }
+
+    /// Extracts bits `hi..=lo` of `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range or inverted bit range.
+    pub fn extract(&mut self, a: TermId, hi: u32, lo: u32) -> TermId {
+        let w = self.width(a);
+        assert!(hi < w && lo <= hi, "bad extract range {hi}..={lo} on BV{w}");
+        if lo == 0 && hi == w - 1 {
+            return a;
+        }
+        let new_w = hi - lo + 1;
+        if let Some((v, _)) = self.as_bv_const(a) {
+            return self.bv_const(v >> lo, new_w);
+        }
+        self.mk(Op::Extract { hi, lo }, vec![a], Sort::BitVec(new_w))
+    }
+
+    /// Concatenates `hi` (high bits) with `lo` (low bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the combined width exceeds 64 bits.
+    pub fn concat(&mut self, hi: TermId, lo: TermId) -> TermId {
+        let wh = self.width(hi);
+        let wl = self.width(lo);
+        assert!(wh + wl <= 64, "concat exceeds 64 bits");
+        if let (Some((h, _)), Some((l, _))) = (self.as_bv_const(hi), self.as_bv_const(lo)) {
+            return self.bv_const((h << wl) | l, wh + wl);
+        }
+        self.mk(Op::Concat, vec![hi, lo], Sort::BitVec(wh + wl))
+    }
+
+    /// Truncates or zero-extends `a` to exactly `width` bits.
+    pub fn resize_zext(&mut self, a: TermId, width: u32) -> TermId {
+        let w = self.width(a);
+        if width == w {
+            a
+        } else if width < w {
+            self.extract(a, width - 1, 0)
+        } else {
+            self.zero_ext(a, width)
+        }
+    }
+
+    /// Renders `id` as an S-expression, for debugging and error messages.
+    pub fn display(&self, id: TermId) -> String {
+        let t = self.term(id);
+        match &t.op {
+            Op::BoolConst(b) => b.to_string(),
+            Op::BvConst { value, width } => format!("#x{value:x}[{width}]"),
+            Op::Var { name, .. } => name.clone(),
+            op => {
+                let args: Vec<String> = t.args.iter().map(|&a| self.display(a)).collect();
+                format!("({op:?} {})", args.join(" "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_dedups() {
+        let mut p = TermPool::new();
+        let a = p.var("a", 8);
+        let b = p.var("b", 8);
+        let s1 = p.bv_add(a, b);
+        let s2 = p.bv_add(a, b);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn constant_folding_add() {
+        let mut p = TermPool::new();
+        let x = p.bv_const(250, 8);
+        let y = p.bv_const(10, 8);
+        let s = p.bv_add(x, y);
+        assert_eq!(p.as_bv_const(s), Some((4, 8)));
+    }
+
+    #[test]
+    fn neutral_elements() {
+        let mut p = TermPool::new();
+        let a = p.var("a", 8);
+        let zero = p.bv_const(0, 8);
+        let ones = p.bv_const(0xff, 8);
+        assert_eq!(p.bv_add(a, zero), a);
+        assert_eq!(p.bv_or(a, zero), a);
+        assert_eq!(p.bv_and(a, ones), a);
+        assert_eq!(p.bv_and(a, zero), zero);
+    }
+
+    #[test]
+    fn double_negation() {
+        let mut p = TermPool::new();
+        let a = p.bool_var("a");
+        let na = p.not(a);
+        assert_eq!(p.not(na), a);
+    }
+
+    #[test]
+    fn contradiction_and_excluded_middle() {
+        let mut p = TermPool::new();
+        let a = p.bool_var("a");
+        let na = p.not(a);
+        assert_eq!(p.and(a, na), p.bool_const(false));
+        assert_eq!(p.or(a, na), p.bool_const(true));
+    }
+
+    #[test]
+    fn ite_folds() {
+        let mut p = TermPool::new();
+        let a = p.var("a", 8);
+        let b = p.var("b", 8);
+        let t = p.bool_const(true);
+        let c = p.bool_var("c");
+        assert_eq!(p.ite(t, a, b), a);
+        assert_eq!(p.ite(c, a, a), a);
+    }
+
+    #[test]
+    fn signed_helpers() {
+        assert_eq!(to_signed(0xff, 8), -1);
+        assert_eq!(to_signed(0x7f, 8), 127);
+        assert_eq!(to_signed(0x80, 8), -128);
+    }
+
+    #[test]
+    fn extract_concat_roundtrip_consts() {
+        let mut p = TermPool::new();
+        let v = p.bv_const(0xabcd, 16);
+        let hi = p.extract(v, 15, 8);
+        let lo = p.extract(v, 7, 0);
+        assert_eq!(p.as_bv_const(hi), Some((0xab, 8)));
+        assert_eq!(p.as_bv_const(lo), Some((0xcd, 8)));
+        let back = p.concat(hi, lo);
+        assert_eq!(p.as_bv_const(back), Some((0xabcd, 16)));
+    }
+
+    #[test]
+    fn eq_reflexive_and_bool_iff() {
+        let mut p = TermPool::new();
+        let a = p.var("a", 8);
+        assert_eq!(p.eq(a, a), p.bool_const(true));
+        let x = p.bool_var("x");
+        let t = p.bool_const(true);
+        assert_eq!(p.eq(x, t), x);
+    }
+}

@@ -1,0 +1,144 @@
+//! Fuzzing the solving stack: random term trees are checked with the CDCL
+//! solver and cross-validated against the concrete evaluator (SAT models
+//! must satisfy the formula; UNSAT verdicts must survive brute force).
+
+use proptest::prelude::*;
+use strsum_smt::{eval_bool, CheckResult, Solver, TermId, TermPool};
+
+/// A recipe for building a random boolean term over two 8-bit variables.
+#[derive(Debug, Clone)]
+enum Node {
+    VarCmp { which: bool, op: u8, constant: u8 },
+    ArithCmp { op: u8, constant: u8 },
+    Not(Box<Node>),
+    And(Box<Node>, Box<Node>),
+    Or(Box<Node>, Box<Node>),
+    Ite(Box<Node>, Box<Node>, Box<Node>),
+}
+
+fn node_strategy() -> impl Strategy<Value = Node> {
+    let leaf = prop_oneof![
+        (any::<bool>(), 0u8..6, any::<u8>()).prop_map(|(which, op, constant)| Node::VarCmp {
+            which,
+            op,
+            constant
+        }),
+        (0u8..4, any::<u8>()).prop_map(|(op, constant)| Node::ArithCmp { op, constant }),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|n| Node::Not(Box::new(n))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Node::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Node::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| Node::Ite(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
+        ]
+    })
+}
+
+fn build(pool: &mut TermPool, x: TermId, y: TermId, node: &Node) -> TermId {
+    match node {
+        Node::VarCmp {
+            which,
+            op,
+            constant,
+        } => {
+            let v = if *which { x } else { y };
+            let c = pool.bv_const(u64::from(*constant), 8);
+            match op {
+                0 => pool.eq(v, c),
+                1 => pool.ne(v, c),
+                2 => pool.bv_ult(v, c),
+                3 => pool.bv_ule(c, v),
+                4 => pool.bv_slt(v, c),
+                _ => pool.bv_sle(c, v),
+            }
+        }
+        Node::ArithCmp { op, constant } => {
+            let c = pool.bv_const(u64::from(*constant), 8);
+            let combined = match op {
+                0 => pool.bv_add(x, y),
+                1 => pool.bv_sub(x, y),
+                2 => pool.bv_and(x, y),
+                _ => pool.bv_xor(x, y),
+            };
+            pool.eq(combined, c)
+        }
+        Node::Not(a) => {
+            let t = build(pool, x, y, a);
+            pool.not(t)
+        }
+        Node::And(a, b) => {
+            let ta = build(pool, x, y, a);
+            let tb = build(pool, x, y, b);
+            pool.and(ta, tb)
+        }
+        Node::Or(a, b) => {
+            let ta = build(pool, x, y, a);
+            let tb = build(pool, x, y, b);
+            pool.or(ta, tb)
+        }
+        Node::Ite(c, a, b) => {
+            let tc = build(pool, x, y, c);
+            let ta = build(pool, x, y, a);
+            let tb = build(pool, x, y, b);
+            pool.ite(tc, ta, tb)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// SAT models satisfy the formula; UNSAT verdicts agree with a sampled
+    /// brute force over the two 8-bit variables.
+    #[test]
+    fn solver_matches_evaluator(node in node_strategy()) {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 8);
+        let y = pool.var("y", 8);
+        let formula = build(&mut pool, x, y, &node);
+        match Solver::new().check(&mut pool, &[formula]) {
+            CheckResult::Sat(model) => {
+                let xv = model.value_or_zero(x);
+                let yv = model.value_or_zero(y);
+                let lookup = |v: TermId| if v == x { xv } else { yv };
+                prop_assert!(
+                    eval_bool(&pool, formula, &lookup),
+                    "model ({xv},{yv}) does not satisfy the formula"
+                );
+            }
+            CheckResult::Unsat => {
+                // Exhaustive check on a coarse grid + boundary values.
+                let grid: Vec<u64> =
+                    (0..=255u64).step_by(17).chain([1, 127, 128, 254, 255]).collect();
+                for &xv in &grid {
+                    for &yv in &grid {
+                        let lookup = |v: TermId| if v == x { xv } else { yv };
+                        prop_assert!(
+                            !eval_bool(&pool, formula, &lookup),
+                            "solver said UNSAT but ({xv},{yv}) satisfies it"
+                        );
+                    }
+                }
+            }
+            CheckResult::Unknown => unreachable!("no limits configured"),
+        }
+    }
+
+    /// `is_always_true(f)` agrees with checking `¬f` for satisfiability.
+    #[test]
+    fn validity_duality(node in node_strategy()) {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", 8);
+        let y = pool.var("y", 8);
+        let formula = build(&mut pool, x, y, &node);
+        let valid = Solver::new().is_always_true(&mut pool, &[], formula);
+        let neg = pool.not(formula);
+        let neg_sat = Solver::new().check(&mut pool, &[neg]).is_sat();
+        prop_assert_eq!(valid, !neg_sat);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for the constructive string solver: every model it
+//! builds satisfies the constraints it was given, and it is complete for
+//! satisfiable span constraints (brute-force cross-check on tiny domains).
+
+use proptest::prelude::*;
+use strsum_smt::{ByteSet, StringAbstraction};
+
+fn small_set() -> impl Strategy<Value = ByteSet> {
+    proptest::collection::vec(proptest::sample::select(&b" \t:;abc"[..]), 0..4)
+        .prop_map(|v| ByteSet::from_bytes(&v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A satisfiable span constraint yields a model that satisfies it.
+    #[test]
+    fn span_models_satisfy(set in small_set(), len in 0usize..5, k in 0usize..5) {
+        let mut a = StringAbstraction::with_exact_len(len);
+        if a.constrain_span(0, set, k, true) {
+            let m = a.model().expect("consistent abstraction has a model");
+            // Positions 0..k in the set, position k outside it.
+            for (i, &b) in m.iter().take(k).enumerate() {
+                prop_assert!(set.contains(b), "position {i} = {b} not in set");
+            }
+            prop_assert!(!set.contains(m[k]));
+            // And the buffer still looks like a length-`len` C string.
+            for &b in m.iter().take(len) {
+                prop_assert_ne!(b, 0);
+            }
+            prop_assert_eq!(m[len], 0);
+        }
+    }
+
+    /// Agreement with brute force on whether a span constraint is
+    /// satisfiable at all (over the full byte alphabet).
+    #[test]
+    fn span_satisfiability_matches_brute_force(
+        set in small_set(),
+        len in 0usize..4,
+        k in 0usize..4,
+    ) {
+        let mut a = StringAbstraction::with_exact_len(len);
+        let solver_sat = a.constrain_span(0, set, k, true) && a.is_consistent();
+        // Brute force: does any string of exactly `len` non-NUL chars have
+        // strspn == k? Only set membership matters, so reason by counts:
+        // need k ≤ len, a non-NUL set byte to fill 0..k (or k == 0), and a
+        // stopper at k: either the NUL (k == len) or a non-NUL byte outside
+        // the set.
+        let mut nonnul_in_set = set;
+        nonnul_in_set.remove(0);
+        let has_filler = !nonnul_in_set.is_empty();
+        let mut outside = set.complement();
+        outside.remove(0);
+        let has_stopper = !outside.is_empty();
+        let brute = k <= len
+            && (k == 0 || has_filler)
+            && (k == len || has_stopper);
+        prop_assert_eq!(solver_sat, brute, "set {:?} len {} k {}", set, len, k);
+    }
+
+    /// Constraining is monotone: a cell only ever shrinks.
+    #[test]
+    fn constrain_is_monotone(set in small_set(), pos in 0usize..4) {
+        let mut a = StringAbstraction::new(4);
+        let before = a.cell(pos).len();
+        a.constrain(pos, set);
+        prop_assert!(a.cell(pos).len() <= before);
+        // Idempotent.
+        let once = a.cell(pos);
+        a.constrain(pos, set);
+        prop_assert_eq!(a.cell(pos), once);
+    }
+}

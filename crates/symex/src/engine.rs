@@ -1,0 +1,789 @@
+//! The symbolic executor.
+
+use crate::memory::SymMemory;
+use crate::value::SymVal;
+use std::time::{Duration, Instant};
+use strsum_ir::{BinOp, BlockId, Builtin, CastKind, CmpOp, Func, Instr, Operand, Terminator, Ty};
+use strsum_smt::{Solver, Sort, TermId, TermPool};
+
+/// How a path ended.
+#[derive(Debug, Clone)]
+pub enum SymOutcome {
+    /// Normal return with an optional value.
+    Ret(Option<SymVal>),
+    /// The path aborted (memory violation, unsupported operation, budget).
+    Abort(String),
+}
+
+/// One fully-explored path.
+#[derive(Debug, Clone)]
+pub struct PathResult {
+    /// Path constraints accumulated along the way.
+    pub constraints: Vec<TermId>,
+    /// Terminal outcome.
+    pub outcome: SymOutcome,
+}
+
+/// Counters for an engine run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Completed paths.
+    pub paths: usize,
+    /// Solver feasibility queries issued.
+    pub solver_queries: u64,
+    /// Wall-clock time inside the solver.
+    pub solver_time: Duration,
+    /// Fork events (both branch sides feasible).
+    pub forks: u64,
+}
+
+/// The result of symbolically executing a function.
+#[derive(Debug, Clone)]
+pub struct SymbolicRun {
+    /// One entry per explored path.
+    pub paths: Vec<PathResult>,
+    /// Execution counters.
+    pub stats: RunStats,
+    /// The input string object (for string-shaped runs), else `u32::MAX`.
+    pub input_obj: u32,
+    /// The symbolic character variables of the input string.
+    pub chars: Vec<TermId>,
+    /// False when a budget (paths, steps, deadline) interrupted exploration.
+    pub complete: bool,
+}
+
+#[derive(Debug, Clone)]
+struct State {
+    block: BlockId,
+    prev: Option<BlockId>,
+    values: Vec<Option<SymVal>>,
+    constraints: Vec<TermId>,
+    mem: SymMemory,
+    steps: u64,
+}
+
+/// The symbolic execution engine. Borrows the term pool so that terms remain
+/// valid after the run (for equivalence checks and model queries).
+#[derive(Debug)]
+pub struct Engine<'p> {
+    pool: &'p mut TermPool,
+    solver: Solver,
+    /// Maximum number of paths to complete before giving up.
+    pub max_paths: usize,
+    /// Per-path executed-instruction budget.
+    pub step_limit: u64,
+    /// Optional wall-clock deadline for the whole run.
+    pub deadline: Option<Instant>,
+}
+
+impl<'p> Engine<'p> {
+    /// Creates an engine with generous default budgets.
+    pub fn new(pool: &'p mut TermPool) -> Engine<'p> {
+        Engine {
+            pool,
+            solver: Solver::new(),
+            max_paths: 100_000,
+            step_limit: 1_000_000,
+            deadline: None,
+        }
+    }
+
+    /// Access to the underlying pool (e.g. to build equivalence queries).
+    pub fn pool(&mut self) -> &mut TermPool {
+        self.pool
+    }
+
+    /// Runs `func` on a fresh symbolic NUL-terminated string of exactly
+    /// `len` symbolic characters (which may themselves be NUL, giving all
+    /// strings of length ≤ `len`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if the function does not have the
+    /// `char* f(char*)` shape.
+    pub fn run_on_symbolic_string(
+        &mut self,
+        func: &Func,
+        len: usize,
+    ) -> Result<SymbolicRun, String> {
+        if func.params.len() != 1 || func.params[0].1 != Ty::Ptr {
+            return Err(format!("{} does not take a single pointer", func.name));
+        }
+        let mut mem = SymMemory::new();
+        let (obj, chars) = mem.alloc_symbolic_cstr(self.pool, "c", len);
+        let arg = SymVal::ptr(self.pool, obj, 0);
+        let mut run = self.run(func, vec![arg], mem);
+        run.input_obj = obj;
+        run.chars = chars;
+        Ok(run)
+    }
+
+    /// Runs `func` on the given arguments and initial memory, exploring all
+    /// feasible paths (subject to budgets).
+    pub fn run(&mut self, func: &Func, args: Vec<SymVal>, mem: SymMemory) -> SymbolicRun {
+        let mut paths = Vec::new();
+        let mut stats = RunStats::default();
+        let mut complete = true;
+        let initial = State {
+            block: func.entry(),
+            prev: None,
+            values: vec![None; func.instrs.len()],
+            constraints: Vec::new(),
+            mem,
+            steps: 0,
+        };
+        let mut stack = vec![initial];
+        while let Some(state) = stack.pop() {
+            if paths.len() >= self.max_paths {
+                complete = false;
+                break;
+            }
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    complete = false;
+                    break;
+                }
+            }
+            // A forked/pruned state leaves its successors on the stack.
+            if let Some(result) = self.step_path(func, &args, state, &mut stack, &mut stats) {
+                paths.push(result);
+            }
+        }
+        stats.paths = paths.len();
+        SymbolicRun {
+            paths,
+            stats,
+            input_obj: u32::MAX,
+            chars: vec![],
+            complete,
+        }
+    }
+
+    /// Executes `state` until it terminates, forks, or is pruned.
+    /// Termination yields `Some(PathResult)`; forks push onto `stack`.
+    fn step_path(
+        &mut self,
+        func: &Func,
+        args: &[SymVal],
+        mut state: State,
+        stack: &mut Vec<State>,
+        stats: &mut RunStats,
+    ) -> Option<PathResult> {
+        loop {
+            let block = func.block(state.block);
+            // φ-nodes (simultaneous, against prev).
+            let mut cursor = 0;
+            let mut phi_vals: Vec<(usize, SymVal)> = Vec::new();
+            while cursor < block.instrs.len() {
+                let iid = block.instrs[cursor];
+                if let Instr::Phi { incomings, .. } = func.instr(iid) {
+                    let prev = match state.prev {
+                        Some(p) => p,
+                        None => {
+                            return Some(self.abort(state, "phi in entry block"));
+                        }
+                    };
+                    let Some((_, op)) = incomings.iter().find(|(b, _)| *b == prev) else {
+                        return Some(self.abort(state, "phi missing incoming edge"));
+                    };
+                    let v = match self.operand(func, &state, args, *op) {
+                        Ok(v) => v,
+                        Err(e) => return Some(self.abort(state, &e)),
+                    };
+                    phi_vals.push((iid.0 as usize, v));
+                    cursor += 1;
+                } else {
+                    break;
+                }
+            }
+            for (idx, v) in phi_vals {
+                state.values[idx] = Some(v);
+            }
+
+            for &iid in &block.instrs[cursor..] {
+                state.steps += 1;
+                if state.steps > self.step_limit {
+                    return Some(self.abort(state, "step limit exceeded"));
+                }
+                match self.exec(func, &mut state, args, func.instr(iid).clone()) {
+                    Ok(v) => state.values[iid.0 as usize] = v,
+                    Err(e) => return Some(self.abort(state, &e)),
+                }
+            }
+
+            match block.term.clone() {
+                Terminator::Br(t) => {
+                    state.prev = Some(state.block);
+                    state.block = t;
+                }
+                Terminator::Ret(v) => {
+                    let out = match v {
+                        None => None,
+                        Some(op) => match self.operand(func, &state, args, op) {
+                            Ok(val) => Some(val),
+                            Err(e) => return Some(self.abort(state, &e)),
+                        },
+                    };
+                    return Some(PathResult {
+                        constraints: state.constraints,
+                        outcome: SymOutcome::Ret(out),
+                    });
+                }
+                Terminator::Unreachable => {
+                    return Some(self.abort(state, "reached unreachable"));
+                }
+                Terminator::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let c = match self.operand(func, &state, args, cond) {
+                        Ok(SymVal::Int(t)) => t,
+                        Ok(other) => {
+                            let _ = other;
+                            return Some(self.abort(state, "non-boolean branch condition"));
+                        }
+                        Err(e) => return Some(self.abort(state, &e)),
+                    };
+                    debug_assert_eq!(self.pool.sort(c), Sort::Bool);
+                    if let Some(b) = self.pool.as_bool_const(c) {
+                        state.prev = Some(state.block);
+                        state.block = if b { then_bb } else { else_bb };
+                        continue;
+                    }
+                    let not_c = self.pool.not(c);
+                    let then_feasible = self.feasible(&state.constraints, c, stats);
+                    let else_feasible = self.feasible(&state.constraints, not_c, stats);
+                    match (then_feasible, else_feasible) {
+                        (true, true) => {
+                            stats.forks += 1;
+                            let mut other = state.clone();
+                            other.constraints.push(not_c);
+                            other.prev = Some(other.block);
+                            other.block = else_bb;
+                            stack.push(other);
+                            state.constraints.push(c);
+                            state.prev = Some(state.block);
+                            state.block = then_bb;
+                        }
+                        (true, false) => {
+                            state.constraints.push(c);
+                            state.prev = Some(state.block);
+                            state.block = then_bb;
+                        }
+                        (false, true) => {
+                            state.constraints.push(not_c);
+                            state.prev = Some(state.block);
+                            state.block = else_bb;
+                        }
+                        (false, false) => return None, // infeasible path; prune
+                    }
+                }
+            }
+        }
+    }
+
+    fn abort(&self, state: State, msg: &str) -> PathResult {
+        PathResult {
+            constraints: state.constraints,
+            outcome: SymOutcome::Abort(msg.to_string()),
+        }
+    }
+
+    fn feasible(&mut self, constraints: &[TermId], extra: TermId, stats: &mut RunStats) -> bool {
+        let mut q: Vec<TermId> = constraints.to_vec();
+        q.push(extra);
+        let start = Instant::now();
+        stats.solver_queries += 1;
+        let r = self.solver.check(self.pool, &q);
+        stats.solver_time += start.elapsed();
+        !r.is_unsat()
+    }
+
+    fn operand(
+        &mut self,
+        _func: &Func,
+        state: &State,
+        args: &[SymVal],
+        op: Operand,
+    ) -> Result<SymVal, String> {
+        Ok(match op {
+            Operand::Const(v, Ty::I1) => SymVal::Int(self.pool.bool_const(v != 0)),
+            Operand::Const(v, ty) => SymVal::Int(self.pool.bv_const(v as u64, ty.bits())),
+            Operand::NullPtr => SymVal::Null,
+            Operand::Param(i) => args[i as usize],
+            Operand::Value(id) => state.values[id.0 as usize]
+                .ok_or_else(|| format!("use of undefined value %{}", id.0))?,
+        })
+    }
+
+    fn exec(
+        &mut self,
+        func: &Func,
+        state: &mut State,
+        args: &[SymVal],
+        instr: Instr,
+    ) -> Result<Option<SymVal>, String> {
+        Ok(match instr {
+            Instr::Alloca { ty, .. } => {
+                let obj = state.mem.alloc_slot(ty);
+                Some(SymVal::ptr(self.pool, obj, 0))
+            }
+            Instr::Load { ptr, ty } => {
+                let (obj, off) = self.concrete_ptr(func, state, args, ptr)?;
+                Some(state.mem.load(obj, off, ty)?)
+            }
+            Instr::Store { ptr, value } => {
+                let (obj, off) = self.concrete_ptr(func, state, args, ptr)?;
+                let v = self.operand(func, state, args, value)?;
+                let ty = func.operand_ty(value);
+                state.mem.store(obj, off, v, ty)?;
+                None
+            }
+            Instr::Bin { op, lhs, rhs, ty } => {
+                let l = self.operand(func, state, args, lhs)?;
+                let r = self.operand(func, state, args, rhs)?;
+                Some(self.bin(op, l, r, ty)?)
+            }
+            Instr::Cmp { op, lhs, rhs, ty } => {
+                let l = self.operand(func, state, args, lhs)?;
+                let r = self.operand(func, state, args, rhs)?;
+                Some(SymVal::Int(self.cmp(op, l, r, ty)?))
+            }
+            Instr::Gep { base, offset } => {
+                let b = self.operand(func, state, args, base)?;
+                let o = self.operand(func, state, args, offset)?;
+                let off_ty = func.operand_ty(offset);
+                let o64 = self.resize_term(o.as_int(), off_ty, 64, true);
+                match b {
+                    SymVal::Ptr { obj, off } => {
+                        let new_off = self.pool.bv_add(off, o64);
+                        Some(SymVal::Ptr { obj, off: new_off })
+                    }
+                    SymVal::Null => return Err("pointer arithmetic on null".to_string()),
+                    SymVal::Int(_) => return Err("gep on integer".to_string()),
+                }
+            }
+            Instr::Cast {
+                kind,
+                value,
+                from,
+                to,
+            } => {
+                let v = self.operand(func, state, args, value)?;
+                Some(self.cast(kind, v, from, to)?)
+            }
+            Instr::CallBuiltin { builtin, arg } => {
+                let a = self.operand(func, state, args, arg)?.as_int();
+                Some(SymVal::Int(builtin_term(self.pool, builtin, a)))
+            }
+            Instr::Call { callee, .. } => {
+                return Err(format!("call to unknown function `{callee}`"));
+            }
+            Instr::Phi { .. } => unreachable!("phi handled at block entry"),
+            Instr::Select {
+                cond,
+                then_v,
+                else_v,
+                ty,
+            } => {
+                let c = self.operand(func, state, args, cond)?.as_int();
+                let t = self.operand(func, state, args, then_v)?;
+                let e = self.operand(func, state, args, else_v)?;
+                if let Some(b) = self.pool.as_bool_const(c) {
+                    return Ok(Some(if b { t } else { e }));
+                }
+                match (t, e) {
+                    (SymVal::Int(a), SymVal::Int(b)) => Some(SymVal::Int(self.pool.ite(c, a, b))),
+                    (SymVal::Ptr { obj: o1, off: f1 }, SymVal::Ptr { obj: o2, off: f2 })
+                        if o1 == o2 =>
+                    {
+                        let off = self.pool.ite(c, f1, f2);
+                        Some(SymVal::Ptr { obj: o1, off })
+                    }
+                    _ => {
+                        let _ = ty;
+                        return Err("select over mixed pointer objects".to_string());
+                    }
+                }
+            }
+        })
+    }
+
+    /// Resolves a pointer operand to `(object, concrete offset)`.
+    fn concrete_ptr(
+        &mut self,
+        func: &Func,
+        state: &State,
+        args: &[SymVal],
+        op: Operand,
+    ) -> Result<(u32, i64), String> {
+        match self.operand(func, state, args, op)? {
+            SymVal::Ptr { obj, off } => match self.pool.as_bv_const(off) {
+                Some((v, _)) => Ok((obj, v as i64)),
+                None => Err("symbolic address (offset not decided by path)".to_string()),
+            },
+            SymVal::Null => Err("null pointer dereference".to_string()),
+            SymVal::Int(_) => Err("dereference of integer".to_string()),
+        }
+    }
+
+    fn resize_term(&mut self, t: TermId, from: Ty, to_bits: u32, signed: bool) -> TermId {
+        if from == Ty::I1 {
+            let one = self.pool.bv_const(1, to_bits);
+            let zero = self.pool.bv_const(0, to_bits);
+            return self.pool.ite(t, one, zero);
+        }
+        let w = from.bits();
+        if w == to_bits {
+            t
+        } else if w < to_bits {
+            if signed {
+                self.pool.sign_ext(t, to_bits)
+            } else {
+                self.pool.zero_ext(t, to_bits)
+            }
+        } else {
+            self.pool.extract(t, to_bits - 1, 0)
+        }
+    }
+
+    fn bin(&mut self, op: BinOp, l: SymVal, r: SymVal, ty: Ty) -> Result<SymVal, String> {
+        // Pointer difference.
+        if let (SymVal::Ptr { obj: o1, off: f1 }, SymVal::Ptr { obj: o2, off: f2 }) = (l, r) {
+            if op == BinOp::Sub && o1 == o2 {
+                let d = self.pool.bv_sub(f1, f2);
+                let d = if ty.bits() == 64 {
+                    d
+                } else {
+                    self.pool.extract(d, ty.bits() - 1, 0)
+                };
+                return Ok(SymVal::Int(d));
+            }
+            return Err("unsupported pointer arithmetic".to_string());
+        }
+        let (a, b) = match (l, r) {
+            (SymVal::Int(a), SymVal::Int(b)) => (a, b),
+            _ => return Err("binary op mixing pointer and integer".to_string()),
+        };
+        // Boolean (i1) logic.
+        if ty == Ty::I1 {
+            return Ok(SymVal::Int(match op {
+                BinOp::And => self.pool.and(a, b),
+                BinOp::Or => self.pool.or(a, b),
+                BinOp::Xor => self.pool.xor(a, b),
+                _ => return Err(format!("{op} on i1")),
+            }));
+        }
+        Ok(SymVal::Int(match op {
+            BinOp::Add => self.pool.bv_add(a, b),
+            BinOp::Sub => self.pool.bv_sub(a, b),
+            BinOp::Mul => self.pool.bv_mul(a, b),
+            BinOp::And => self.pool.bv_and(a, b),
+            BinOp::Or => self.pool.bv_or(a, b),
+            BinOp::Xor => self.pool.bv_xor(a, b),
+            BinOp::Shl => self.pool.bv_shl(a, b),
+            BinOp::LShr => self.pool.bv_lshr(a, b),
+            BinOp::AShr => {
+                // ashr via sign-extend → shift → truncate on 64 bits.
+                let w = ty.bits();
+                let wide_a = self.pool.sign_ext(a, 64);
+                let wide_b = self.pool.zero_ext(b, 64);
+                let shifted = self.pool.bv_lshr(wide_a, wide_b);
+                // This is a logical shift of the sign-extended value, which
+                // equals arithmetic shift for shifts < w; loops in the corpus
+                // only use in-range shifts.
+                if w == 64 {
+                    shifted
+                } else {
+                    self.pool.extract(shifted, w - 1, 0)
+                }
+            }
+        }))
+    }
+
+    fn cmp(&mut self, op: CmpOp, l: SymVal, r: SymVal, ty: Ty) -> Result<TermId, String> {
+        match (l, r) {
+            (SymVal::Int(a), SymVal::Int(b)) => Ok(match op {
+                CmpOp::Eq => self.pool.eq(a, b),
+                CmpOp::Ne => self.pool.ne(a, b),
+                CmpOp::Ult => self.pool.bv_ult(a, b),
+                CmpOp::Ule => self.pool.bv_ule(a, b),
+                CmpOp::Slt => {
+                    if ty == Ty::I8 {
+                        // unsigned-char semantics: bytes are unsigned
+                        self.pool.bv_ult(a, b)
+                    } else {
+                        self.pool.bv_slt(a, b)
+                    }
+                }
+                CmpOp::Sle => {
+                    if ty == Ty::I8 {
+                        self.pool.bv_ule(a, b)
+                    } else {
+                        self.pool.bv_sle(a, b)
+                    }
+                }
+            }),
+            (SymVal::Null, SymVal::Null) => Ok(self
+                .pool
+                .bool_const(matches!(op, CmpOp::Eq | CmpOp::Ule | CmpOp::Sle))),
+            (SymVal::Ptr { .. }, SymVal::Null) => Ok(match op {
+                CmpOp::Eq => self.pool.bool_const(false),
+                CmpOp::Ne => self.pool.bool_const(true),
+                _ => self.pool.bool_const(false), // p < null etc.: never
+            }),
+            (SymVal::Null, SymVal::Ptr { .. }) => Ok(match op {
+                CmpOp::Eq => self.pool.bool_const(false),
+                CmpOp::Ne | CmpOp::Ult | CmpOp::Ule | CmpOp::Slt | CmpOp::Sle => {
+                    self.pool.bool_const(true)
+                }
+            }),
+            (SymVal::Ptr { obj: o1, off: f1 }, SymVal::Ptr { obj: o2, off: f2 }) => {
+                if o1 != o2 {
+                    return Ok(self.pool.bool_const(matches!(op, CmpOp::Ne)));
+                }
+                Ok(match op {
+                    CmpOp::Eq => self.pool.eq(f1, f2),
+                    CmpOp::Ne => self.pool.ne(f1, f2),
+                    CmpOp::Ult => self.pool.bv_ult(f1, f2),
+                    CmpOp::Ule => self.pool.bv_ule(f1, f2),
+                    CmpOp::Slt => self.pool.bv_slt(f1, f2),
+                    CmpOp::Sle => self.pool.bv_sle(f1, f2),
+                })
+            }
+            _ => Err("comparison mixing integer and pointer".to_string()),
+        }
+    }
+
+    fn cast(&mut self, kind: CastKind, v: SymVal, from: Ty, to: Ty) -> Result<SymVal, String> {
+        match (kind, v) {
+            (CastKind::Zext, SymVal::Int(t)) => {
+                Ok(SymVal::Int(self.resize_term(t, from, to.bits(), false)))
+            }
+            (CastKind::Sext, SymVal::Int(t)) => {
+                Ok(SymVal::Int(self.resize_term(t, from, to.bits(), true)))
+            }
+            (CastKind::Trunc, SymVal::Int(t)) => {
+                if to == Ty::I1 {
+                    // i1 is Bool-sorted: truncate-to-bool is (t & 1) == 1.
+                    let one = self.pool.bv_const(1, from.bits());
+                    let and = self.pool.bv_and(t, one);
+                    Ok(SymVal::Int(self.pool.eq(and, one)))
+                } else {
+                    Ok(SymVal::Int(self.resize_term(t, from, to.bits(), false)))
+                }
+            }
+            (CastKind::PtrToInt, SymVal::Null) => Ok(SymVal::Int(self.pool.bv_const(0, to.bits()))),
+            (CastKind::IntToPtr, SymVal::Int(t)) => {
+                if self.pool.as_bv_const(t) == Some((0, from.bits())) {
+                    Ok(SymVal::Null)
+                } else {
+                    Err("int-to-pointer cast of non-zero value".to_string())
+                }
+            }
+            (CastKind::PtrToInt, SymVal::Ptr { .. }) => {
+                Err("pointer-to-int cast is not supported symbolically".to_string())
+            }
+            _ => Err("invalid cast operands".to_string()),
+        }
+    }
+}
+
+/// Encodes a `<ctype.h>` builtin over a 32-bit term, returning a 32-bit
+/// 0/1 (or mapped character) term.
+pub fn builtin_term(pool: &mut TermPool, builtin: Builtin, arg: TermId) -> TermId {
+    match builtin {
+        Builtin::ToLower => {
+            let lo = pool.bv_const(u64::from(b'A'), 32);
+            let hi = pool.bv_const(u64::from(b'Z'), 32);
+            let ge = pool.bv_ule(lo, arg);
+            let le = pool.bv_ule(arg, hi);
+            let in_range = pool.and(ge, le);
+            let delta = pool.bv_const(0x20, 32);
+            let mapped = pool.bv_add(arg, delta);
+            pool.ite(in_range, mapped, arg)
+        }
+        Builtin::ToUpper => {
+            let lo = pool.bv_const(u64::from(b'a'), 32);
+            let hi = pool.bv_const(u64::from(b'z'), 32);
+            let ge = pool.bv_ule(lo, arg);
+            let le = pool.bv_ule(arg, hi);
+            let in_range = pool.and(ge, le);
+            let delta = pool.bv_const(0x20, 32);
+            let mapped = pool.bv_sub(arg, delta);
+            pool.ite(in_range, mapped, arg)
+        }
+        _ => {
+            let class = builtin.char_class().expect("predicate builtin");
+            let b = class_membership_term(pool, arg, &class);
+            let one = pool.bv_const(1, 32);
+            let zero = pool.bv_const(0, 32);
+            pool.ite(b, one, zero)
+        }
+    }
+}
+
+/// Builds a membership test of a 32-bit term in a byte class, as compressed
+/// range checks.
+pub fn class_membership_term(pool: &mut TermPool, arg: TermId, class: &[u8]) -> TermId {
+    let mut result = pool.bool_const(false);
+    for (lo, hi) in byte_ranges(class) {
+        let cond = if lo == hi {
+            let c = pool.bv_const(u64::from(lo), 32);
+            pool.eq(arg, c)
+        } else {
+            let l = pool.bv_const(u64::from(lo), 32);
+            let h = pool.bv_const(u64::from(hi), 32);
+            let ge = pool.bv_ule(l, arg);
+            let le = pool.bv_ule(arg, h);
+            pool.and(ge, le)
+        };
+        result = pool.or(result, cond);
+    }
+    result
+}
+
+/// Compresses a sorted byte set into inclusive ranges.
+pub fn byte_ranges(class: &[u8]) -> Vec<(u8, u8)> {
+    let mut sorted: Vec<u8> = class.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut out: Vec<(u8, u8)> = Vec::new();
+    for b in sorted {
+        match out.last_mut() {
+            Some((_, hi)) if *hi + 1 == b => *hi = b,
+            _ => out.push((b, b)),
+        }
+    }
+    out
+}
+
+/// Encodes a loop outcome as a 64-bit term: the offset into the input
+/// string, or [`NULL_SENTINEL`] for a NULL return. Returns `None` for
+/// aborted paths or pointers into foreign objects.
+pub fn encode_outcome(pool: &mut TermPool, path: &PathResult, input_obj: u32) -> Option<TermId> {
+    match &path.outcome {
+        SymOutcome::Ret(Some(SymVal::Ptr { obj, off })) if *obj == input_obj => Some(*off),
+        SymOutcome::Ret(Some(SymVal::Null)) => Some(pool.bv_const(NULL_SENTINEL, 64)),
+        _ => None,
+    }
+}
+
+/// Sentinel offset value encoding a NULL pointer return.
+pub const NULL_SENTINEL: u64 = 0xffff_ffff_ffff_fff7;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strsum_cfront::compile_one;
+    use strsum_smt::{CheckResult, Solver as Smt};
+
+    fn skip_spaces() -> Func {
+        compile_one("char* f(char* s) { while (*s == ' ') s++; return s; }").unwrap()
+    }
+
+    #[test]
+    fn explores_all_paths() {
+        let f = skip_spaces();
+        let mut pool = TermPool::new();
+        let mut eng = Engine::new(&mut pool);
+        let run = eng.run_on_symbolic_string(&f, 3).unwrap();
+        assert!(run.complete);
+        // 0,1,2,3 spaces → 4 return paths.
+        let rets = run
+            .paths
+            .iter()
+            .filter(|p| matches!(p.outcome, SymOutcome::Ret(_)))
+            .count();
+        assert_eq!(rets, 4);
+    }
+
+    #[test]
+    fn paths_have_consistent_models() {
+        let f = skip_spaces();
+        let mut pool = TermPool::new();
+        let mut eng = Engine::new(&mut pool);
+        let run = eng.run_on_symbolic_string(&f, 2).unwrap();
+        for p in &run.paths {
+            let enc = encode_outcome(&mut pool, p, run.input_obj).expect("encodable");
+            match Smt::new().check(&mut pool, &p.constraints) {
+                CheckResult::Sat(model) => {
+                    // Reconstruct the concrete input and check against the
+                    // concrete interpreter.
+                    let bytes: Vec<u8> = run
+                        .chars
+                        .iter()
+                        .map(|&c| model.eval_bv(&pool, c) as u8)
+                        .collect();
+                    let s: Vec<u8> = bytes.iter().copied().take_while(|&b| b != 0).collect();
+                    let expect = strsum_ir::interp::run_loop_function(&f, &s)
+                        .expect("concrete run succeeds")
+                        .expect("non-null");
+                    assert_eq!(model.eval_bv(&pool, enc), expect as u64);
+                }
+                _ => panic!("path constraints must be satisfiable"),
+            }
+        }
+    }
+
+    #[test]
+    fn null_safe_guard_short_circuits() {
+        // *s never dereferenced when s is NULL — but with a symbolic string
+        // object the pointer is non-null, so the guard folds away.
+        let f = compile_one("char* f(char* s) { if (s && *s) return s + 1; return s; }").unwrap();
+        let mut pool = TermPool::new();
+        let mut eng = Engine::new(&mut pool);
+        let run = eng.run_on_symbolic_string(&f, 1).unwrap();
+        let rets = run
+            .paths
+            .iter()
+            .filter(|p| matches!(p.outcome, SymOutcome::Ret(_)))
+            .count();
+        assert_eq!(rets, 2);
+    }
+
+    #[test]
+    fn ctype_builtin_symbolic() {
+        let f = compile_one("char* f(char* s) { while (isdigit(*s)) s++; return s; }").unwrap();
+        let mut pool = TermPool::new();
+        let mut eng = Engine::new(&mut pool);
+        let run = eng.run_on_symbolic_string(&f, 2).unwrap();
+        let rets = run
+            .paths
+            .iter()
+            .filter(|p| matches!(p.outcome, SymOutcome::Ret(_)))
+            .count();
+        assert_eq!(rets, 3);
+    }
+
+    #[test]
+    fn byte_ranges_compress() {
+        assert_eq!(byte_ranges(b"0123456789"), vec![(b'0', b'9')]);
+        assert_eq!(byte_ranges(b"az"), vec![(b'a', b'a'), (b'z', b'z')]);
+        assert_eq!(
+            byte_ranges(&Builtin::IsAlpha.char_class().unwrap()),
+            vec![(b'A', b'Z'), (b'a', b'z')]
+        );
+    }
+
+    #[test]
+    fn stats_track_queries() {
+        let f = skip_spaces();
+        let mut pool = TermPool::new();
+        let mut eng = Engine::new(&mut pool);
+        let run = eng.run_on_symbolic_string(&f, 2).unwrap();
+        assert!(run.stats.solver_queries > 0);
+        assert!(run.stats.forks >= 2);
+    }
+
+    #[test]
+    fn path_limit_reports_incomplete() {
+        let f = skip_spaces();
+        let mut pool = TermPool::new();
+        let mut eng = Engine::new(&mut pool);
+        eng.max_paths = 1;
+        let run = eng.run_on_symbolic_string(&f, 5).unwrap();
+        assert!(!run.complete);
+    }
+}

@@ -1,0 +1,190 @@
+//! Symbolic memory: byte-array objects for string buffers, scalar slots for
+//! promoted-away locals that survive lowering (short-circuit temporaries,
+//! `?:` temporaries).
+
+use crate::value::SymVal;
+use strsum_ir::Ty;
+use strsum_smt::{TermId, TermPool};
+
+/// One memory object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SymObject {
+    /// An array of byte terms (e.g. the input string buffer).
+    Bytes(Vec<TermId>),
+    /// A single-value slot created by `alloca`; `None` until first store.
+    Slot(Option<SymVal>, Ty),
+}
+
+/// Symbolic memory as a list of objects addressed by `(obj, offset)`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SymMemory {
+    objects: Vec<SymObject>,
+}
+
+impl SymMemory {
+    /// Creates an empty memory.
+    pub fn new() -> SymMemory {
+        SymMemory::default()
+    }
+
+    /// Allocates a byte-array object from existing terms.
+    pub fn alloc_bytes(&mut self, bytes: Vec<TermId>) -> u32 {
+        self.objects.push(SymObject::Bytes(bytes));
+        (self.objects.len() - 1) as u32
+    }
+
+    /// Allocates a fresh symbolic NUL-terminated string buffer of `len`
+    /// characters (each an 8-bit variable named `{prefix}{i}`) plus the
+    /// terminating NUL. Returns `(object, character variables)`.
+    pub fn alloc_symbolic_cstr(
+        &mut self,
+        pool: &mut TermPool,
+        prefix: &str,
+        len: usize,
+    ) -> (u32, Vec<TermId>) {
+        let mut chars = Vec::with_capacity(len);
+        for i in 0..len {
+            chars.push(pool.var(&format!("{prefix}{i}"), 8));
+        }
+        let mut bytes = chars.clone();
+        bytes.push(pool.bv_const(0, 8));
+        (self.alloc_bytes(bytes), chars)
+    }
+
+    /// Allocates a concrete NUL-terminated string.
+    pub fn alloc_concrete_cstr(&mut self, pool: &mut TermPool, s: &[u8]) -> u32 {
+        let mut bytes: Vec<TermId> = s.iter().map(|&b| pool.bv_const(u64::from(b), 8)).collect();
+        bytes.push(pool.bv_const(0, 8));
+        self.alloc_bytes(bytes)
+    }
+
+    /// Allocates a scalar slot of type `ty`.
+    pub fn alloc_slot(&mut self, ty: Ty) -> u32 {
+        self.objects.push(SymObject::Slot(None, ty));
+        (self.objects.len() - 1) as u32
+    }
+
+    /// Looks up an object.
+    pub fn object(&self, obj: u32) -> &SymObject {
+        &self.objects[obj as usize]
+    }
+
+    /// Size in bytes of a byte-array object (slots report their type size).
+    pub fn size_of(&self, obj: u32) -> usize {
+        match &self.objects[obj as usize] {
+            SymObject::Bytes(b) => b.len(),
+            SymObject::Slot(_, ty) => ty.size(),
+        }
+    }
+
+    /// Loads from `(obj, off)`. Byte arrays only support `i8` loads at
+    /// concrete offsets; slots only support whole-slot loads at offset 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violation (out of bounds, unsupported
+    /// access shape, load before store from a slot).
+    pub fn load(&self, obj: u32, off: i64, ty: Ty) -> Result<SymVal, String> {
+        match &self.objects[obj as usize] {
+            SymObject::Bytes(bytes) => {
+                if ty != Ty::I8 {
+                    return Err(format!("non-byte load ({ty}) from byte object"));
+                }
+                if off < 0 || off as usize >= bytes.len() {
+                    return Err(format!(
+                        "out-of-bounds load at offset {off} (size {})",
+                        bytes.len()
+                    ));
+                }
+                Ok(SymVal::Int(bytes[off as usize]))
+            }
+            SymObject::Slot(v, slot_ty) => {
+                if off != 0 {
+                    return Err(format!("offset {off} load from scalar slot"));
+                }
+                if ty != *slot_ty {
+                    return Err(format!("slot type mismatch: {ty} vs {slot_ty}"));
+                }
+                v.ok_or_else(|| "load from uninitialised slot".to_string())
+            }
+        }
+    }
+
+    /// Stores to `(obj, off)`; same shape restrictions as [`SymMemory::load`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violation.
+    pub fn store(&mut self, obj: u32, off: i64, value: SymVal, ty: Ty) -> Result<(), String> {
+        match &mut self.objects[obj as usize] {
+            SymObject::Bytes(bytes) => {
+                if ty != Ty::I8 {
+                    return Err(format!("non-byte store ({ty}) to byte object"));
+                }
+                if off < 0 || off as usize >= bytes.len() {
+                    return Err(format!(
+                        "out-of-bounds store at offset {off} (size {})",
+                        bytes.len()
+                    ));
+                }
+                match value {
+                    SymVal::Int(t) => {
+                        bytes[off as usize] = t;
+                        Ok(())
+                    }
+                    _ => Err("pointer store into byte object".to_string()),
+                }
+            }
+            SymObject::Slot(v, slot_ty) => {
+                if off != 0 {
+                    return Err(format!("offset {off} store to scalar slot"));
+                }
+                if ty != *slot_ty {
+                    return Err(format!("slot type mismatch: {ty} vs {slot_ty}"));
+                }
+                *v = Some(value);
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbolic_cstr_layout() {
+        let mut pool = TermPool::new();
+        let mut mem = SymMemory::new();
+        let (obj, chars) = mem.alloc_symbolic_cstr(&mut pool, "s", 3);
+        assert_eq!(chars.len(), 3);
+        assert_eq!(mem.size_of(obj), 4);
+        // Last byte is the NUL constant.
+        match mem.load(obj, 3, Ty::I8).unwrap() {
+            SymVal::Int(t) => assert_eq!(pool.as_bv_const(t), Some((0, 8))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slot_roundtrip() {
+        let mut pool = TermPool::new();
+        let mut mem = SymMemory::new();
+        let slot = mem.alloc_slot(Ty::Ptr);
+        assert!(mem.load(slot, 0, Ty::Ptr).is_err()); // uninitialised
+        let p = SymVal::ptr(&mut pool, 7, 2);
+        mem.store(slot, 0, p, Ty::Ptr).unwrap();
+        assert_eq!(mem.load(slot, 0, Ty::Ptr).unwrap(), p);
+    }
+
+    #[test]
+    fn oob_rejected() {
+        let mut pool = TermPool::new();
+        let mut mem = SymMemory::new();
+        let obj = mem.alloc_concrete_cstr(&mut pool, b"ab");
+        assert!(mem.load(obj, 3, Ty::I8).is_err());
+        assert!(mem.load(obj, -1, Ty::I8).is_err());
+        assert!(mem.load(obj, 2, Ty::I8).is_ok()); // the NUL
+    }
+}

@@ -1,0 +1,181 @@
+//! A session facade exposing the symbolic-execution primitives of the
+//! paper's Algorithm 2 under their original names.
+//!
+//! The CEGIS driver in `strsum-core` uses the underlying pieces directly,
+//! but for readers following the paper — and for embedding the engine in
+//! other synthesis loops — this type names each operation the way
+//! Algorithm 2 does:
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | `SymbolicMemObj(N)` | [`SymbolicSession::symbolic_mem_obj`] |
+//! | `Assume(cond)` | [`SymbolicSession::assume`] |
+//! | `Concretize(x)` | [`SymbolicSession::concretize`] |
+//! | `IsAlwaysTrue(cond)` | [`SymbolicSession::is_always_true`] |
+//! | `StartMerge()`/`EndMerge()` | [`SymbolicSession::merge`] |
+//! | `KillAllOthers()` | dropping the other [`PathResult`]s of a run |
+
+use crate::engine::PathResult;
+use strsum_smt::{CheckResult, Model, Solver, TermId, TermPool};
+
+/// A stateful wrapper over a term pool, an assumption set, and a solver.
+#[derive(Debug, Default)]
+pub struct SymbolicSession {
+    pool: TermPool,
+    assumptions: Vec<TermId>,
+    solver: Solver,
+}
+
+impl SymbolicSession {
+    /// Creates an empty session.
+    pub fn new() -> SymbolicSession {
+        SymbolicSession::default()
+    }
+
+    /// Mutable access to the term pool (for building conditions).
+    pub fn pool(&mut self) -> &mut TermPool {
+        &mut self.pool
+    }
+
+    /// The current assumption set (the paper's path constraints).
+    pub fn assumptions(&self) -> &[TermId] {
+        &self.assumptions
+    }
+
+    /// `SymbolicMemObj(N)`: a fresh symbolic memory object of `n` bytes,
+    /// returned as its byte variables.
+    pub fn symbolic_mem_obj(&mut self, prefix: &str, n: usize) -> Vec<TermId> {
+        (0..n)
+            .map(|i| self.pool.fresh_var(&format!("{prefix}[{i}]"), 8))
+            .collect()
+    }
+
+    /// `Assume(cond)`: adds `cond` to the current path constraints.
+    pub fn assume(&mut self, cond: TermId) {
+        self.assumptions.push(cond);
+    }
+
+    /// `Concretize(x)`: asks the solver for a possible value of `x` under
+    /// the current assumptions. `None` when the assumptions are
+    /// unsatisfiable.
+    pub fn concretize(&mut self, x: TermId) -> Option<u64> {
+        self.model().map(|m| m.eval_bv(&self.pool, x))
+    }
+
+    /// Concretizes several terms against one model, so the values are
+    /// mutually consistent (e.g. all bytes of one counterexample string).
+    pub fn concretize_all(&mut self, xs: &[TermId]) -> Option<Vec<u64>> {
+        let model = self.model()?;
+        Some(xs.iter().map(|&x| model.eval_bv(&self.pool, x)).collect())
+    }
+
+    fn model(&mut self) -> Option<Model> {
+        match self.solver.check(&mut self.pool, &self.assumptions) {
+            CheckResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// `IsAlwaysTrue(cond)`: whether `cond` holds under every assignment
+    /// satisfying the current assumptions.
+    pub fn is_always_true(&mut self, cond: TermId) -> bool {
+        self.solver
+            .is_always_true(&mut self.pool, &self.assumptions, cond)
+    }
+
+    /// `StartMerge()`…`EndMerge()`: folds the guarded values of several
+    /// paths into a single if-then-else term (the big disjunction the
+    /// paper describes). `default` is used when no guard fires.
+    pub fn merge(&mut self, branches: &[(TermId, TermId)], default: TermId) -> TermId {
+        let mut acc = default;
+        for &(guard, value) in branches.iter().rev() {
+            acc = self.pool.ite(guard, value, acc);
+        }
+        acc
+    }
+
+    /// Folds a set of engine paths into `(guard, encoded outcome)` pairs
+    /// ready for [`SymbolicSession::merge`]; un-encodable paths become the
+    /// provided `invalid` value.
+    pub fn merge_paths(&mut self, paths: &[PathResult], input_obj: u32, invalid: TermId) -> TermId {
+        let mut branches = Vec::with_capacity(paths.len());
+        for p in paths {
+            let enc =
+                crate::engine::encode_outcome(&mut self.pool, p, input_obj).unwrap_or(invalid);
+            let guard = self.pool.and_many(&p.constraints);
+            branches.push((guard, enc));
+        }
+        self.merge(&branches, invalid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assume_then_concretize() {
+        let mut s = SymbolicSession::new();
+        let bytes = s.symbolic_mem_obj("s", 2);
+        let ten = s.pool().bv_const(10, 8);
+        let gt = s.pool().bv_ult(ten, bytes[0]);
+        s.assume(gt);
+        let v = s.concretize(bytes[0]).expect("satisfiable");
+        assert!(v > 10);
+    }
+
+    #[test]
+    fn contradiction_has_no_model() {
+        let mut s = SymbolicSession::new();
+        let x = s.symbolic_mem_obj("x", 1)[0];
+        let zero = s.pool().bv_const(0, 8);
+        let one = s.pool().bv_const(1, 8);
+        let a = s.pool().eq(x, zero);
+        let b = s.pool().eq(x, one);
+        s.assume(a);
+        s.assume(b);
+        assert_eq!(s.concretize(x), None);
+    }
+
+    #[test]
+    fn is_always_true_uses_assumptions() {
+        let mut s = SymbolicSession::new();
+        let x = s.symbolic_mem_obj("x", 1)[0];
+        let c100 = s.pool().bv_const(100, 8);
+        let c50 = s.pool().bv_const(50, 8);
+        let gt100 = s.pool().bv_ult(c100, x);
+        let gt50 = s.pool().bv_ult(c50, x);
+        assert!(!s.is_always_true(gt50));
+        s.assume(gt100);
+        assert!(s.is_always_true(gt50));
+    }
+
+    #[test]
+    fn merge_selects_by_guard() {
+        let mut s = SymbolicSession::new();
+        let x = s.symbolic_mem_obj("x", 1)[0];
+        let zero = s.pool().bv_const(0, 8);
+        let is_zero = s.pool().eq(x, zero);
+        let a = s.pool().bv_const(7, 8);
+        let b = s.pool().bv_const(9, 8);
+        let not_zero = s.pool().not(is_zero);
+        let merged = s.merge(&[(is_zero, a), (not_zero, b)], zero);
+        // Under x = 0 the merged term must be 7.
+        s.assume(is_zero);
+        let seven = s.pool().bv_const(7, 8);
+        let eq7 = s.pool().eq(merged, seven);
+        assert!(s.is_always_true(eq7));
+    }
+
+    #[test]
+    fn concretize_all_is_consistent() {
+        let mut s = SymbolicSession::new();
+        let bytes = s.symbolic_mem_obj("s", 2);
+        let sum = s.pool().bv_add(bytes[0], bytes[1]);
+        let target = s.pool().bv_const(100, 8);
+        let eq = s.pool().eq(sum, target);
+        s.assume(eq);
+        let vals = s.concretize_all(&bytes).expect("satisfiable");
+        assert_eq!((vals[0] + vals[1]) & 0xff, 100);
+    }
+}

@@ -1,0 +1,46 @@
+//! Symbolic runtime values.
+
+use strsum_smt::{TermId, TermPool};
+
+/// A value during symbolic execution.
+///
+/// Pointers keep a *concrete* object identity with a (possibly symbolic)
+/// byte offset: string loops never manufacture pointers to unknown objects,
+/// so this representation is complete for the workloads of the paper while
+/// keeping alias reasoning trivial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymVal {
+    /// An integer, as a bit-vector term of its type's width.
+    Int(TermId),
+    /// A pointer into object `obj` at 64-bit term offset `off`.
+    Ptr {
+        /// Concrete object identity.
+        obj: u32,
+        /// Byte offset term (width 64).
+        off: TermId,
+    },
+    /// The null pointer.
+    Null,
+}
+
+impl SymVal {
+    /// The integer term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a pointer.
+    pub fn as_int(self) -> TermId {
+        match self {
+            SymVal::Int(t) => t,
+            other => panic!("expected integer, got {other:?}"),
+        }
+    }
+
+    /// A pointer with a concrete offset.
+    pub fn ptr(pool: &mut TermPool, obj: u32, off: i64) -> SymVal {
+        SymVal::Ptr {
+            obj,
+            off: pool.bv_const(off as u64, 64),
+        }
+    }
+}

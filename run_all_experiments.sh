@@ -1,0 +1,20 @@
+#!/bin/sh
+# Regenerates every table and figure of the paper into results/.
+# Budget knobs: TIMEOUT (table3 per-loop seconds), SCALE (fig2 ladder).
+set -e
+TIMEOUT="${TIMEOUT:-45}"
+SCALE="${SCALE:-0.25}"
+
+cargo build --release --workspace
+
+cargo run --release -p strsum-bench --bin table2
+cargo run --release -p strsum-bench --bin table3 -- --timeout-secs "$TIMEOUT"
+cargo run --release -p strsum-bench --bin memoryless
+cargo run --release -p strsum-bench --bin fig2 -- --scale "$SCALE"
+cargo run --release -p strsum-bench --bin fig3
+cargo run --release -p strsum-bench --bin fig4
+cargo run --release -p strsum-bench --bin fig5
+cargo run --release -p strsum-bench --bin table4
+cargo run --release -p strsum-bench --bin appendix
+
+echo "all experiment outputs are in results/"

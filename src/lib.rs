@@ -1,0 +1,20 @@
+//! # strsum — summaries of C string loops
+//!
+//! Facade crate re-exporting the full `strsum` workspace: a reproduction of
+//! *Computing Summaries of String Loops in C for Better Testing and
+//! Refactoring* (Kapus, Ish-Shalom, Itzhaky, Rinetzky, Cadar — PLDI 2019).
+//!
+//! See the `examples/` directory for end-to-end walkthroughs and
+//! `DESIGN.md`/`EXPERIMENTS.md` for the system inventory and the
+//! reproduction of every table and figure.
+
+pub use strsum_cfront as cfront;
+pub use strsum_core as core;
+pub use strsum_corpus as corpus;
+pub use strsum_gadgets as gadgets;
+pub use strsum_gp as gp;
+pub use strsum_ir as ir;
+pub use strsum_libcstr as libcstr;
+pub use strsum_refactor as refactor;
+pub use strsum_smt as smt;
+pub use strsum_symex as symex;

@@ -1,0 +1,233 @@
+//! The `strsum` command-line tool: summarise, check, and refactor string
+//! loops in C files.
+//!
+//! ```text
+//! strsum summarize <file.c> [--timeout-secs N] [--vocab LETTERS] [--deepen]
+//! strsum check     <file.c>                 # §3.3 memorylessness report
+//! strsum filter    <file.c>                 # §4.1 filter classification
+//! strsum refactor  <file.c> [--timeout-secs N]   # unified-diff patch
+//! strsum ir        <file.c>                 # dump the lowered IR
+//! ```
+//!
+//! Files may contain several functions; each is processed independently.
+
+use std::process::ExitCode;
+use std::time::Duration;
+use strsum::core::{
+    check_memoryless, synthesize, synthesize_deepening, DeepeningConfig, SynthesisConfig, Vocab,
+};
+use strsum::corpus::{filter::classify, manual_category, ManualCategory};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r.to_vec()),
+        None => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd {
+        "summarize" => cmd_summarize(&rest),
+        "check" => cmd_check(&rest),
+        "filter" => cmd_filter(&rest),
+        "refactor" => cmd_refactor(&rest),
+        "ir" => cmd_ir(&rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+strsum — summaries of C string loops (PLDI 2019 reproduction)
+
+USAGE:
+    strsum summarize <file.c> [--timeout-secs N] [--vocab LETTERS] [--deepen]
+    strsum check     <file.c>
+    strsum filter    <file.c>
+    strsum refactor  <file.c> [--timeout-secs N]
+    strsum ir        <file.c>
+
+COMMANDS:
+    summarize   synthesise a standard-library summary for each loop function
+    check       report memorylessness (bounded verification, strings ≤ 3)
+    filter      classify each function through the Table 2 filter pipeline
+    refactor    print a unified diff replacing each summarisable loop
+    ir          dump the lowered (post-mem2reg) IR
+
+OPTIONS:
+    --timeout-secs N   synthesis budget per loop (default 30)
+    --vocab LETTERS    restrict gadgets, e.g. MPNIFV (default: all 13)
+    --deepen           iterative deepening over program size (smallest summary)";
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn file_arg(args: &[String]) -> Result<String, String> {
+    args.iter()
+        .find(|a| !a.starts_with("--") && a.ends_with(".c"))
+        .or_else(|| args.iter().find(|a| !a.starts_with("--")))
+        .cloned()
+        .ok_or_else(|| "missing input file".to_string())
+}
+
+fn read_source(args: &[String]) -> Result<String, String> {
+    let path = file_arg(args)?;
+    std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn synth_config(args: &[String]) -> Result<SynthesisConfig, String> {
+    let timeout = flag_value(args, "--timeout-secs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+    let vocab = match flag_value(args, "--vocab") {
+        None => Vocab::full(),
+        Some(letters) => {
+            Vocab::parse(&letters).map_err(|c| format!("unknown gadget letter `{c}`"))?
+        }
+    };
+    Ok(SynthesisConfig {
+        timeout: Duration::from_secs(timeout),
+        vocab,
+        ..Default::default()
+    })
+}
+
+/// Splits a multi-function translation unit into per-function sources, so
+/// that each can be lowered, summarised and refactored independently.
+fn functions_of(source: &str) -> Result<Vec<(String, strsum::ir::Func)>, String> {
+    let defs = strsum::cfront::parse(source).map_err(|e| e.to_string())?;
+    let mut out = Vec::new();
+    for def in defs {
+        let mut func = strsum::cfront::lower(&def).map_err(|e| e.to_string())?;
+        strsum::ir::mem2reg::run(&mut func);
+        out.push((def.name.clone(), func));
+    }
+    Ok(out)
+}
+
+fn cmd_summarize(args: &[String]) -> Result<(), String> {
+    let source = read_source(args)?;
+    let cfg = synth_config(args)?;
+    let deepen = args.iter().any(|a| a == "--deepen");
+    for (name, func) in functions_of(&source)? {
+        if func.params.len() != 1 || func.params[0].1 != strsum::ir::Ty::Ptr {
+            println!("{name}: skipped (not char*(char*))");
+            continue;
+        }
+        let program = if deepen {
+            let dcfg = DeepeningConfig {
+                base: cfg.clone(),
+                total_timeout: cfg.timeout,
+                ..Default::default()
+            };
+            synthesize_deepening(&func, &dcfg).1.program
+        } else {
+            synthesize(&func, &cfg).program
+        };
+        match program {
+            Some(p) => {
+                println!("{name}: {p}");
+                let var = &func.params[0].0;
+                if let Some(idiom) = strsum::gadgets::recognize(&p) {
+                    println!("    idiom: {}", idiom.to_c(var));
+                }
+                for line in p.to_c(var).lines() {
+                    println!("    {line}");
+                }
+            }
+            None => println!("{name}: no summary within the budget"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let source = read_source(args)?;
+    for (name, func) in functions_of(&source)? {
+        let report = check_memoryless(&func, 3);
+        if report.memoryless {
+            println!(
+                "{name}: memoryless ({:?}, {} strings checked)",
+                report.direction.expect("direction set"),
+                report.strings_checked
+            );
+        } else {
+            println!("{name}: NOT memoryless");
+            for v in report.violations.iter().take(3) {
+                println!("    {v}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_filter(args: &[String]) -> Result<(), String> {
+    let source = read_source(args)?;
+    for (name, func) in functions_of(&source)? {
+        let stage = classify(&func);
+        let manual = if stage == strsum::corpus::FilterStage::SinglePointerRead {
+            let cat = manual_category(&source, &func);
+            if cat == ManualCategory::Memoryless {
+                " → candidate memoryless loop".to_string()
+            } else {
+                format!(" → manually excluded: {}", cat.label())
+            }
+        } else {
+            String::new()
+        };
+        println!("{name}: survives to {stage:?}{manual}");
+    }
+    Ok(())
+}
+
+fn cmd_refactor(args: &[String]) -> Result<(), String> {
+    let source = read_source(args)?;
+    let path = file_arg(args)?;
+    let cfg = synth_config(args)?;
+    // Refactoring applies to single-function files (the extraction shape).
+    let funcs = functions_of(&source)?;
+    let [(name, func)] = funcs.as_slice() else {
+        return Err("refactor expects a file with exactly one function".to_string());
+    };
+    // Deepening yields the smallest (most reviewable) summary.
+    let dcfg = DeepeningConfig {
+        base: cfg.clone(),
+        total_timeout: cfg.timeout,
+        ..Default::default()
+    };
+    let program = synthesize_deepening(func, &dcfg)
+        .1
+        .program
+        .or_else(|| synthesize(func, &cfg).program);
+    let Some(program) = program else {
+        return Err(format!("{name}: no summary within the budget"));
+    };
+    let refactored = strsum::refactor::rewrite(&source, &program)?;
+    print!(
+        "{}",
+        strsum::refactor::unified_diff(&source, &refactored, &path)
+    );
+    Ok(())
+}
+
+fn cmd_ir(args: &[String]) -> Result<(), String> {
+    let source = read_source(args)?;
+    for (_, func) in functions_of(&source)? {
+        print!("{}", strsum::ir::printer::print(&func));
+    }
+    Ok(())
+}

@@ -1,0 +1,147 @@
+//! Cross-crate integration tests: the full pipeline from C source through
+//! filtering, memorylessness checking, synthesis, equivalence, refactoring.
+
+use std::time::Duration;
+use strsum::core::{
+    check_equivalence, check_memoryless, synthesize, EquivalenceResult, SynthesisConfig,
+};
+use strsum::corpus::{filter::passes_automatic_filters, manual_category, ManualCategory};
+use strsum::gadgets::interp::{run_bytes, Outcome};
+use strsum::ir::interp::run_loop_function;
+
+fn cfg(secs: u64) -> SynthesisConfig {
+    SynthesisConfig {
+        timeout: Duration::from_secs(secs),
+        ..Default::default()
+    }
+}
+
+/// The complete pipeline on the paper's Figure 1 loop.
+#[test]
+fn figure1_full_pipeline() {
+    let source = r#"
+        #define whitespace(c) (((c) == ' ') || ((c) == '\t'))
+        char* loopFunction(char* line) {
+            char *p;
+            for (p = line; p && *p && whitespace(*p); p++)
+                ;
+            return p;
+        }
+    "#;
+    // 1. Frontend.
+    let func = strsum::cfront::compile_one(source).expect("compiles");
+    // 2. Automatic + manual filters keep it.
+    assert!(passes_automatic_filters(&func));
+    assert_eq!(manual_category(source, &func), ManualCategory::Memoryless);
+    // 3. Memoryless on strings ≤ 3.
+    assert!(check_memoryless(&func, 3).memoryless);
+    // 4. CEGIS finds a summary.
+    let program = synthesize(&func, &cfg(90)).program.expect("synthesises");
+    // 5. Bounded equivalence (idempotent re-check).
+    assert_eq!(
+        check_equivalence(&func, &program, 3),
+        EquivalenceResult::Equivalent
+    );
+    // 6. The summary matches the loop on strings way beyond the bound.
+    for s in [&b""[..], b" ", b"\t\t  x", b"word", b"  \t mixed \t "] {
+        let expect = run_loop_function(&func, s).unwrap().unwrap() as usize;
+        assert_eq!(run_bytes(&program.encode(), Some(s)), Outcome::Ptr(expect));
+    }
+    // NULL safety is preserved (the loop guards with `p &&`).
+    assert_eq!(run_bytes(&program.encode(), None), Outcome::Null);
+    // 7. Refactor to a patch.
+    let refactored = strsum::refactor::rewrite(source, &program).expect("rewrites");
+    assert!(refactored.contains("strspn"));
+    let patch = strsum::refactor::unified_diff(source, &refactored, "general.c");
+    assert!(patch.contains("+") && patch.contains("-"));
+}
+
+/// Every synthesised summary must agree with its loop on a brute-force set
+/// of strings up to length 6 — double the CEGIS bound, exercising the
+/// small-model transfer (§3).
+#[test]
+fn synthesis_agrees_beyond_the_bound() {
+    let sources = [
+        "char* f(char* s) { while (*s == ';') s++; return s; }",
+        "char* f(char* s) { while (*s != 0 && *s != '/') s++; return s; }",
+        "char* f(char* s) { while (*s) s++; return s; }",
+        "char* f(char* s) { int i = 0; while (s[i] == ' ') i++; return s + i; }",
+    ];
+    let alphabet: &[u8] = b" ;/x";
+    for source in sources {
+        let func = strsum::cfront::compile_one(source).expect("compiles");
+        let program = synthesize(&func, &cfg(60))
+            .program
+            .unwrap_or_else(|| panic!("synthesises: {source}"));
+        // Exhaustive strings over the alphabet, lengths 0..=6.
+        let mut stack: Vec<Vec<u8>> = vec![vec![]];
+        while let Some(s) = stack.pop() {
+            let oracle = run_loop_function(&func, &s)
+                .expect("safe")
+                .expect("non-null");
+            assert_eq!(
+                run_bytes(&program.encode(), Some(&s)),
+                Outcome::Ptr(oracle as usize),
+                "{source} differs on {s:?}"
+            );
+            if s.len() < 6 {
+                for &c in alphabet {
+                    let mut t = s.clone();
+                    t.push(c);
+                    stack.push(t);
+                }
+            }
+        }
+    }
+}
+
+/// Backward loops synthesise to reverse/strrchr-style programs and agree
+/// with the original.
+#[test]
+fn backward_loop_pipeline() {
+    let source = r#"
+        char* loopFunction(char* s) {
+            char *end = s;
+            while (*end)
+                end++;
+            while (end > s && *end != '/')
+                end--;
+            return end;
+        }
+    "#;
+    let func = strsum::cfront::compile_one(source).expect("compiles");
+    let report = check_memoryless(&func, 3);
+    assert!(report.memoryless, "{:?}", report.violations);
+    let program = synthesize(&func, &cfg(120)).program.expect("synthesises");
+    for s in [&b"a/b/c"[..], b"/x", b"nope", b""] {
+        let expect = run_loop_function(&func, s).unwrap().unwrap() as usize;
+        assert_eq!(
+            run_bytes(&program.encode(), Some(s)),
+            Outcome::Ptr(expect),
+            "on {s:?}"
+        );
+    }
+}
+
+/// A loop outside the vocabulary fails cleanly, not wrongly.
+#[test]
+fn inexpressible_loop_fails_cleanly() {
+    // Returns a pointer one *past* the last trailing '/', which is not a
+    // memoryless return value (p0+(len−1)−c+1): provably unsynthesisable.
+    let source = r#"
+        char* loopFunction(char* s) {
+            char *end = s;
+            while (*end)
+                end++;
+            while (end > s && end[-1] == '/')
+                end--;
+            return end;
+        }
+    "#;
+    let func = strsum::cfront::compile_one(source).expect("compiles");
+    let mut config = cfg(25);
+    config.max_prog_size = 6; // keep the UNSAT proof cheap
+    let result = synthesize(&func, &config);
+    assert!(result.program.is_none());
+    assert!(result.stats.failure.is_some());
+}

@@ -1,0 +1,125 @@
+//! Cross-crate property-based tests: the concrete interpreter, the
+//! symbolic encodings, and the string solver must all tell the same story.
+
+use proptest::prelude::*;
+use strsum::gadgets::interp::{run_bytes, Outcome};
+use strsum::gadgets::symbolic::{
+    outcome_term_symbolic_prog, outcomes_on_symbolic_string, string_solver_models,
+    INVALID_SENTINEL8, NULL_SENTINEL8,
+};
+use strsum::gadgets::Program;
+use strsum::smt::{eval_bool, eval_bv, TermId, TermPool};
+
+/// Random *valid* gadget programs over a small argument alphabet.
+fn program_strategy() -> impl Strategy<Value = Vec<u8>> {
+    let gadget = prop_oneof![
+        proptest::sample::select(&b" :;x"[..]).prop_map(|c| vec![b'C', c]),
+        proptest::sample::select(&b" :;x"[..]).prop_map(|c| vec![b'R', c]),
+        proptest::collection::vec(proptest::sample::select(&b" :;x"[..]), 1..3).prop_map(|set| {
+            let mut v = vec![b'P'];
+            v.extend(set);
+            v.push(0);
+            v
+        }),
+        proptest::collection::vec(proptest::sample::select(&b" :;x"[..]), 1..3).prop_map(|set| {
+            let mut v = vec![b'N'];
+            v.extend(set);
+            v.push(0);
+            v
+        }),
+        Just(vec![b'I']),
+        Just(vec![b'E']),
+        Just(vec![b'S']),
+        Just(vec![b'Z']),
+        Just(vec![b'X']),
+    ];
+    proptest::collection::vec(gadget, 0..4).prop_map(|gs| {
+        let mut bytes: Vec<u8> = gs.into_iter().flatten().collect();
+        bytes.push(b'F');
+        bytes
+    })
+}
+
+fn input_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(&b" :;xy"[..]), 0..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The BMC circuit over symbolic program bytes, evaluated at concrete
+    /// bytes, equals the concrete interpreter (Algorithm 1).
+    #[test]
+    fn circuit_matches_interpreter(prog in program_strategy(), input in input_strategy()) {
+        let mut pool = TermPool::new();
+        let vars: Vec<TermId> =
+            (0..prog.len()).map(|i| pool.var(&format!("p{i}"), 8)).collect();
+        let term = outcome_term_symbolic_prog(&mut pool, &vars, Some(&input));
+        let lookup = |v: TermId| -> u64 {
+            let idx = vars.iter().position(|&x| x == v).expect("prog var");
+            u64::from(prog[idx])
+        };
+        let got = eval_bv(&pool, term, &lookup);
+        let expect = match run_bytes(&prog, Some(&input)) {
+            Outcome::Ptr(o) => o as u64,
+            Outcome::Null => NULL_SENTINEL8,
+            Outcome::Invalid => INVALID_SENTINEL8,
+        };
+        prop_assert_eq!(got, expect, "prog {:?} input {:?}", prog, input);
+    }
+
+    /// Guarded outcomes on a symbolic string partition the input space and
+    /// agree with the interpreter pointwise.
+    #[test]
+    fn guarded_outcomes_partition(prog in program_strategy(), input in input_strategy()) {
+        let Ok(program) = Program::decode(&prog) else { return Ok(()); };
+        let mut pool = TermPool::new();
+        let cap = 3usize;
+        let chars: Vec<TermId> = (0..cap).map(|i| pool.var(&format!("c{i}"), 8)).collect();
+        let gos = outcomes_on_symbolic_string(&mut pool, &program, &chars, false);
+        let mut padded = input.clone();
+        padded.truncate(cap);
+        let s: Vec<u8> = padded.clone();
+        padded.resize(cap, 0);
+        let lookup = |v: TermId| -> u64 {
+            let idx = chars.iter().position(|&x| x == v).expect("char var");
+            u64::from(padded[idx])
+        };
+        let mut hits = 0;
+        for go in &gos {
+            if eval_bool(&pool, go.guard, &lookup) {
+                hits += 1;
+                prop_assert_eq!(go.outcome, run_bytes(&prog, Some(&s)));
+            }
+        }
+        prop_assert_eq!(hits, 1, "guards must partition");
+    }
+
+    /// Every model the string solver constructs reproduces its predicted
+    /// outcome in the concrete interpreter.
+    #[test]
+    fn string_solver_models_are_faithful(prog in program_strategy()) {
+        let Ok(program) = Program::decode(&prog) else { return Ok(()); };
+        for (model, outcome) in string_solver_models(&program, 3) {
+            prop_assert_eq!(
+                run_bytes(&prog, Some(&model)),
+                outcome,
+                "prog {:?} model {:?}", prog, model
+            );
+        }
+    }
+
+    /// Naive and optimised libcstr agree on program execution (the two
+    /// sides of Figure 5 compute the same outcomes).
+    #[test]
+    fn compiled_tiers_agree(prog in program_strategy(), input in input_strategy()) {
+        use strsum::gadgets::compile_rust::{compile, Impl};
+        let Ok(program) = Program::decode(&prog) else { return Ok(()); };
+        let naive = compile(&program, Impl::Naive);
+        let opt = compile(&program, Impl::Opt);
+        let mut buf = input.clone();
+        buf.push(0);
+        prop_assert_eq!(naive(&buf), opt(&buf));
+        prop_assert_eq!(naive(&buf), run_bytes(&prog, Some(&input)));
+    }
+}

@@ -1,0 +1,93 @@
+//! Round-trip of the refactoring artefacts: for known loop→summary pairs,
+//! the rewritten C is well-formed, the patch is coherent, and — for
+//! summaries whose C uses only the identity-shaped helpers the frontend
+//! knows — the rewritten function still parses.
+
+use strsum::gadgets::Program;
+use strsum::refactor::{rewrite, unified_diff};
+
+const CASES: &[(&str, &[u8])] = &[
+    (
+        "char* f(char* s) { while (*s == ' ') s++; return s; }",
+        b"P \0F",
+    ),
+    (
+        "char* f(char* s) { while (*s) s++; return s; }",
+        b"EF",
+    ),
+    (
+        "char* f(char* s) { while (*s != 0 && *s != ':') s++; return s; }",
+        b"N:\0F",
+    ),
+    (
+        "char* f(char* line) { char *p; for (p = line; *p == '\\t'; p++) ; return p; }",
+        b"P\t\0F",
+    ),
+];
+
+#[test]
+fn rewrites_are_well_formed() {
+    for (src, prog_bytes) in CASES {
+        let prog = Program::decode(prog_bytes).expect("valid program");
+        let out = rewrite(src, &prog).expect("rewrites");
+        // Single function, balanced braces, one return.
+        assert_eq!(out.matches('{').count(), out.matches('}').count(), "{out}");
+        assert!(out.contains("return "), "{out}");
+        assert!(out.starts_with("char*"), "{out}");
+        // The original parameter name is preserved.
+        let def = strsum::cfront::parse(src).expect("parses")[0].clone();
+        assert!(out.contains(&def.params[0].0), "{out}");
+    }
+}
+
+#[test]
+fn patches_are_coherent() {
+    for (src, prog_bytes) in CASES {
+        let prog = Program::decode(prog_bytes).expect("valid program");
+        let out = rewrite(src, &prog).expect("rewrites");
+        let patch = unified_diff(src, &out, "loop.c");
+        assert!(patch.starts_with("--- a/loop.c\n+++ b/loop.c\n"));
+        // Every original line is accounted for: context or deletion.
+        for line in src.lines() {
+            let ctx = format!(" {line}");
+            let del = format!("-{line}");
+            assert!(
+                patch.lines().any(|l| l == ctx || l == del),
+                "line {line:?} missing from patch:\n{patch}"
+            );
+        }
+        // Applying the patch conceptually: deletions ∪ insertions recreate
+        // old and new exactly.
+        let reconstructed_old: Vec<&str> = patch
+            .lines()
+            .skip(2)
+            .filter(|l| l.starts_with(' ') || l.starts_with('-'))
+            .map(|l| &l[1..])
+            .collect();
+        let reconstructed_new: Vec<&str> = patch
+            .lines()
+            .skip(2)
+            .filter(|l| l.starts_with(' ') || l.starts_with('+'))
+            .map(|l| &l[1..])
+            .collect();
+        // Hunks include all lines here (small files, 3 lines of context).
+        assert_eq!(reconstructed_old, src.lines().collect::<Vec<_>>());
+        assert_eq!(reconstructed_new, out.lines().collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn idioms_match_expected_calls() {
+    let expectations: &[(&[u8], &str)] = &[
+        (b"P \0F", "strspn"),
+        (b"EF", "strlen"),
+        (b"N:\0F", "strcspn"),
+        (b"C/F", "strchr"),
+        (b"R.F", "strrchr"),
+    ];
+    for (bytes, call) in expectations {
+        let prog = Program::decode(bytes).expect("valid");
+        let idiom = strsum::gadgets::recognize(&prog).expect("recognised");
+        assert!(idiom.to_c("s").contains(call), "{bytes:?} → {idiom}");
+    }
+}

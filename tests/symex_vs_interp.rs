@@ -1,0 +1,89 @@
+//! Oracle test: for every corpus loop, the symbolic executor's guarded
+//! paths must agree pointwise with the concrete interpreter — each concrete
+//! input satisfies exactly one path condition, and that path's outcome
+//! matches the concrete run.
+
+use strsum::ir::interp::{Interp, Memory, RtVal};
+use strsum::smt::{eval_bool, TermId, TermPool};
+use strsum::symex::{engine::encode_outcome, engine::NULL_SENTINEL, Engine, SymOutcome};
+
+/// Runs the loop on an explicit buffer (same capacity as the symbolic one),
+/// returning Ok(None)=NULL, Ok(Some(offset)), or Err(reason).
+fn run_on_buffer(func: &strsum::ir::Func, buf: &[u8]) -> Result<Option<i64>, String> {
+    let mut mem = Memory::new();
+    let obj = mem.alloc_bytes(buf);
+    let mut interp = Interp::new(func, &mut mem);
+    match interp.run(&[RtVal::Ptr { obj, off: 0 }]) {
+        Ok(Some(RtVal::Null)) => Ok(None),
+        Ok(Some(RtVal::Ptr { obj: o, off })) if o == obj => Ok(Some(off)),
+        Ok(other) => Err(format!("unexpected result {other:?}")),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+#[test]
+fn corpus_paths_agree_with_concrete_runs() {
+    let alphabet: &[u8] = b" /:q";
+    // All canonical buffers of capacity 2 (chars after the first NUL are 0).
+    let mut buffers: Vec<[u8; 2]> = vec![[0, 0]];
+    for &a in alphabet {
+        buffers.push([a, 0]);
+        for &b in alphabet {
+            buffers.push([a, b]);
+        }
+    }
+
+    for entry in strsum::corpus::corpus() {
+        let func = strsum::cfront::compile_one(&entry.source).expect("corpus compiles");
+        let mut pool = TermPool::new();
+        let mut engine = Engine::new(&mut pool);
+        let run = engine.run_on_symbolic_string(&func, 2).expect("loop shape");
+        assert!(run.complete, "{}: exploration incomplete", entry.id);
+
+        for buf in &buffers {
+            let lookup = |v: TermId| -> u64 {
+                let idx = run.chars.iter().position(|&c| c == v).expect("char var");
+                u64::from(buf[idx])
+            };
+            let mut matching = 0;
+            for path in &run.paths {
+                let holds = path
+                    .constraints
+                    .iter()
+                    .all(|&c| eval_bool(&pool, c, &lookup));
+                if !holds {
+                    continue;
+                }
+                matching += 1;
+                // Compare against the concrete interpreter on the *same*
+                // buffer (2 chars + terminating NUL, like the symbolic one).
+                let mut full = buf.to_vec();
+                full.push(0);
+                let concrete = run_on_buffer(&func, &full);
+                let s: Vec<u8> = buf.iter().copied().take_while(|&b| b != 0).collect();
+                match (&path.outcome, concrete) {
+                    (SymOutcome::Ret(_), Ok(res)) => {
+                        let enc = encode_outcome(&mut pool, path, run.input_obj)
+                            .unwrap_or_else(|| panic!("{}: un-encodable return", entry.id));
+                        let got = strsum::smt::eval_bv(&pool, enc, &lookup);
+                        let expect = match res {
+                            None => NULL_SENTINEL,
+                            Some(off) => off as u64,
+                        };
+                        assert_eq!(got, expect, "{} differs on {:?}", entry.id, s);
+                    }
+                    (SymOutcome::Abort(_), Err(_)) => {} // both unsafe
+                    (sym, conc) => panic!(
+                        "{} on {:?}: symbolic {:?} vs concrete {:?}",
+                        entry.id, s, sym, conc
+                    ),
+                }
+            }
+            assert_eq!(
+                matching, 1,
+                "{}: input {:?} must satisfy exactly one path",
+                entry.id, buf
+            );
+        }
+    }
+}
