@@ -32,6 +32,34 @@ fn bench_interpreter_circuit(c: &mut Criterion) {
     });
 }
 
+/// Incremental session vs from-scratch reference on the same CEGIS run:
+/// both synthesise the identical summary (guaranteed by canonical model
+/// extraction), so the timing difference is purely the value of keeping
+/// solver state — learnt clauses, cached encodings, one-time
+/// counterexample constraints — across iterations.
+fn bench_incremental_vs_scratch(c: &mut Criterion) {
+    let func = strsum_cfront::compile_one(
+        "char* f(char* s) { while (*s != 0 && *s != ':') s++; return s; }",
+    )
+    .expect("compiles");
+    let mut group = c.benchmark_group("cegis");
+    group.sample_size(10);
+    for (name, incremental) in [("incremental", true), ("from_scratch", false)] {
+        let cfg = strsum_core::SynthesisConfig {
+            incremental,
+            ..Default::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = strsum_core::synthesize(black_box(&func), &cfg);
+                assert!(r.program.is_some(), "strchr-like loop synthesises");
+                black_box(r)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_equivalence(c: &mut Criterion) {
     let func = strsum_cfront::compile_one(
         "char* f(char* s) { while (*s == ' ' || *s == '\\t') s++; return s; }",
@@ -47,6 +75,7 @@ criterion_group!(
     benches,
     bench_bitvector_query,
     bench_interpreter_circuit,
+    bench_incremental_vs_scratch,
     bench_equivalence
 );
 criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Incremental-session ablation: synthesise a corpus slice twice — once
+//! with the persistent solver session (the default) and once with the
+//! from-scratch reference path — and record wall-clock, iteration counts
+//! and solver telemetry side by side.
+//!
+//! Canonical model extraction makes the two paths synthesise byte-identical
+//! programs, so any divergence in outcomes is reported as a determinism
+//! violation (exit code 1).
+//!
+//! Usage: `cargo run --release -p strsum-bench --bin bench_incremental
+//!         [--limit N] [--timeout-secs N] [--threads N]`
+
+use std::fmt::Write as _;
+use std::time::Duration;
+use strsum_bench::{
+    aggregate_telemetry, arg_value, default_threads, synthesize_corpus, telemetry_json,
+    write_result, LoopSynth,
+};
+use strsum_core::SynthesisConfig;
+use strsum_corpus::corpus;
+
+fn run(
+    entries: &[strsum_corpus::LoopEntry],
+    incremental: bool,
+    timeout: f64,
+    threads: usize,
+) -> Vec<LoopSynth> {
+    let cfg = SynthesisConfig {
+        timeout: Duration::from_secs_f64(timeout),
+        incremental,
+        ..Default::default()
+    };
+    synthesize_corpus(entries, &cfg, threads)
+}
+
+fn mode_json(results: &[LoopSynth]) -> String {
+    let ok = results.iter().filter(|r| r.program.is_some()).count();
+    let secs: f64 = results.iter().map(|r| r.elapsed.as_secs_f64()).sum();
+    let iterations: usize = results.iter().map(|r| r.stats.iterations).sum();
+    format!(
+        "{{\"synthesised\":{ok},\"wall_clock_secs\":{secs:.3},\"iterations\":{iterations},\"telemetry\":{}}}",
+        telemetry_json(&aggregate_telemetry(results))
+    )
+}
+
+fn main() {
+    let limit: usize = arg_value("--limit")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24);
+    let timeout: f64 = arg_value("--timeout-secs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0);
+    if !timeout.is_finite() || timeout <= 0.0 {
+        eprintln!("error: --timeout-secs must be a positive number of seconds");
+        std::process::exit(2);
+    }
+    let threads = arg_value("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(default_threads);
+
+    let mut entries = corpus();
+    entries.truncate(limit);
+    println!(
+        "incremental-vs-scratch ablation: {} loops, {timeout}s/loop, {threads} threads",
+        entries.len()
+    );
+
+    println!("pass 1/2: incremental sessions…");
+    let inc = run(&entries, true, timeout, threads);
+    println!("pass 2/2: from-scratch reference…");
+    let scratch = run(&entries, false, timeout, threads);
+
+    // Determinism audit: identical programs, identical failure kinds.
+    // (Timeout-bounded runs can legitimately diverge only when a loop's
+    // verdict raced the clock; count those separately.)
+    let mut mismatches = Vec::new();
+    let mut timing_races = 0usize;
+    for (a, b) in inc.iter().zip(&scratch) {
+        let pa = a.program.as_ref().map(strsum_gadgets::Program::encode);
+        let pb = b.program.as_ref().map(strsum_gadgets::Program::encode);
+        if pa == pb {
+            continue;
+        }
+        let timeout_involved = [&a.failure, &b.failure].iter().any(|f| {
+            matches!(
+                f.as_deref(),
+                Some("timeout" | "solver gave up on candidate search")
+            )
+        });
+        if timeout_involved {
+            timing_races += 1;
+        } else {
+            mismatches.push(format!(
+                "{}: incremental {:?} vs from-scratch {:?}",
+                a.entry.id, pa, pb
+            ));
+        }
+    }
+
+    let inc_secs: f64 = inc.iter().map(|r| r.elapsed.as_secs_f64()).sum();
+    let scratch_secs: f64 = scratch.iter().map(|r| r.elapsed.as_secs_f64()).sum();
+    let it = aggregate_telemetry(&inc).total();
+    let st = aggregate_telemetry(&scratch).total();
+    println!(
+        "incremental : {:>8.2}s wall-clock, {} conflicts, {} propagations, {} blast misses",
+        inc_secs, it.conflicts, it.propagations, it.blast_misses
+    );
+    println!(
+        "from-scratch: {:>8.2}s wall-clock, {} conflicts, {} propagations, {} blast misses",
+        scratch_secs, st.conflicts, st.propagations, st.blast_misses
+    );
+    println!(
+        "speedup ×{:.2}; identical outcomes on {}/{} loops ({} timing races)",
+        scratch_secs / inc_secs.max(1e-9),
+        entries.len() - mismatches.len() - timing_races,
+        entries.len(),
+        timing_races
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"loops\":{},\"timeout_secs\":{timeout},\"threads\":{threads}}},",
+        entries.len()
+    );
+    let _ = writeln!(json, "  \"incremental\": {},", mode_json(&inc));
+    let _ = writeln!(json, "  \"from_scratch\": {},", mode_json(&scratch));
+    let _ = writeln!(
+        json,
+        "  \"speedup\": {:.4},",
+        scratch_secs / inc_secs.max(1e-9)
+    );
+    let _ = writeln!(json, "  \"timing_races\": {timing_races},");
+    let _ = writeln!(json, "  \"determinism_violations\": {}", mismatches.len());
+    let _ = writeln!(json, "}}");
+    write_result("BENCH_incremental.json", &json);
+
+    if !mismatches.is_empty() {
+        eprintln!("DETERMINISM VIOLATIONS:");
+        for m in &mismatches {
+            eprintln!("  {m}");
+        }
+        std::process::exit(1);
+    }
+}

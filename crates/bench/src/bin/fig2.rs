@@ -14,8 +14,10 @@
 
 use std::fmt::Write as _;
 use std::time::Duration;
-use strsum_bench::{arg_value, bar, default_threads, synthesize_corpus, write_result};
-use strsum_core::SynthesisConfig;
+use strsum_bench::{
+    aggregate_telemetry, arg_value, bar, default_threads, synthesize_corpus, write_result,
+};
+use strsum_core::{SolverTelemetry, SynthesisConfig};
 use strsum_corpus::corpus;
 
 fn main() {
@@ -33,6 +35,7 @@ fn main() {
 
     let entries = corpus();
     let mut table: Vec<[usize; 4]> = Vec::new();
+    let mut effort: Vec<SolverTelemetry> = Vec::new();
     for size in 1..=max_size {
         let cfg = SynthesisConfig {
             max_prog_size: size,
@@ -51,8 +54,14 @@ fn main() {
                 }
             }
         }
-        println!("size {size}: {row:?}");
+        let t = aggregate_telemetry(&results);
+        let total = t.total();
+        println!(
+            "size {size}: {row:?} ({} solver queries, {} conflicts)",
+            total.queries, total.conflicts
+        );
         table.push(row);
+        effort.push(t);
     }
 
     let mut out = String::new();
@@ -88,9 +97,41 @@ fn main() {
         );
     }
 
-    let mut csv = String::from("size,t30s,t3min,t10min,t1h\n");
-    for (i, row) in table.iter().enumerate() {
-        let _ = writeln!(csv, "{},{},{},{},{}", i + 1, row[0], row[1], row[2], row[3]);
+    let _ = writeln!(out, "\nSolver effort per size (search+verify):");
+    let _ = writeln!(
+        out,
+        "  {:>4} {:>10} {:>12} {:>11} {:>18}",
+        "size", "queries", "conflicts", "learnt", "blast hit/miss"
+    );
+    for (i, t) in effort.iter().enumerate() {
+        let s = t.total();
+        let _ = writeln!(
+            out,
+            "  {:>4} {:>10} {:>12} {:>11} {:>11}/{:<6}",
+            i + 1,
+            s.queries,
+            s.conflicts,
+            s.learnts,
+            s.blast_hits,
+            s.blast_misses
+        );
+    }
+
+    let mut csv = String::from("size,t30s,t3min,t10min,t1h,queries,conflicts,blast_hits\n");
+    for (i, (row, t)) in table.iter().zip(&effort).enumerate() {
+        let s = t.total();
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{},{},{},{}",
+            i + 1,
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            s.queries,
+            s.conflicts,
+            s.blast_hits
+        );
     }
 
     print!("{out}");

@@ -11,7 +11,8 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 use strsum_bench::{
-    arg_flag, arg_value, default_threads, median, minutes, synthesize_corpus, write_result,
+    aggregate_telemetry, arg_flag, arg_value, default_threads, median, minutes, synthesize_corpus,
+    telemetry_json, telemetry_report, write_result,
 };
 use strsum_core::SynthesisConfig;
 use strsum_corpus::{corpus, APPS};
@@ -119,8 +120,17 @@ fn main() {
         );
     }
 
+    let _ = writeln!(out, "\n{}", telemetry_report(&results));
+
     print!("{out}");
     write_result("table3.txt", &out);
+    write_result(
+        "table3_solver.json",
+        &format!(
+            "{{\"timeout_secs\":{timeout},\"synthesised\":{total_ok},\"loops\":{total_n},\"telemetry\":{}}}\n",
+            telemetry_json(&aggregate_telemetry(&results))
+        ),
+    );
 
     // Refresh the summaries cache for the downstream figure binaries.
     let cache = strsum_bench::results_dir().join("summaries.tsv");

@@ -11,8 +11,10 @@
 
 use std::fmt::Write as _;
 use std::time::Duration;
-use strsum_bench::{arg_value, default_threads, synthesize_corpus, write_result};
-use strsum_core::{SynthesisConfig, Vocab};
+use strsum_bench::{
+    aggregate_telemetry, arg_value, default_threads, synthesize_corpus, write_result,
+};
+use strsum_core::{SolverTelemetry, SynthesisConfig, Vocab};
 use strsum_corpus::corpus;
 use strsum_gp::{BayesOpt, Observation};
 
@@ -31,31 +33,42 @@ fn main() {
         .unwrap_or(2019);
 
     let entries = corpus();
-    let success = |vocab: Vocab| -> usize {
+    let success = |vocab: Vocab| -> (usize, SolverTelemetry) {
         let cfg = SynthesisConfig {
             vocab,
             max_prog_size: 7,
             timeout: Duration::from_secs_f64(timeout),
             ..Default::default()
         };
-        synthesize_corpus(&entries, &cfg, threads)
-            .iter()
-            .filter(|r| r.program.is_some())
-            .count()
+        let results = synthesize_corpus(&entries, &cfg, threads);
+        let ok = results.iter().filter(|r| r.program.is_some()).count();
+        (ok, aggregate_telemetry(&results))
     };
 
     // Baseline: the full vocabulary at the same budget (the analogue of the
     // §4.2.1 2-hour experiment to beat).
     println!("baseline: full vocabulary, size 7, {timeout}s/loop…");
-    let baseline = success(Vocab::full());
+    let (baseline, _) = success(Vocab::full());
     println!("baseline synthesises {baseline} loops");
 
     let mut opt = BayesOpt::new(13, seed);
+    let mut effort = SolverTelemetry::default();
     for i in 0..evals {
         let bits = opt.suggest();
         let vocab = Vocab::from_bits(bits);
-        let y = success(vocab) as f64;
-        println!("eval {:>2}/{evals}: {vocab:13} → {y}", i + 1);
+        let (ok, t) = success(vocab);
+        let y = ok as f64;
+        effort = SolverTelemetry {
+            search: effort.search.plus(&t.search),
+            verify: effort.verify.plus(&t.verify),
+        };
+        let s = t.total();
+        println!(
+            "eval {:>2}/{evals}: {vocab:13} → {y} ({} queries, {} conflicts)",
+            i + 1,
+            s.queries,
+            s.conflicts
+        );
         opt.observe(Observation { x: bits, y });
     }
 
@@ -89,6 +102,12 @@ fn main() {
             by as usize
         );
     }
+    let s = effort.total();
+    let _ = writeln!(
+        out,
+        "\nSolver effort across the {evals} GP evaluations: {} queries, {} conflicts, {} propagations, {} learnt clauses, {} blast-cache hits.",
+        s.queries, s.conflicts, s.propagations, s.learnts, s.blast_hits
+    );
 
     print!("{out}");
     write_result("table4.txt", &out);

@@ -2,13 +2,17 @@
 //! table and figure of the paper (see `DESIGN.md` §4 for the index and
 //! `EXPERIMENTS.md` for paper-vs-measured numbers).
 
+use std::fmt::Write as _;
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
-use std::time::Duration;
-use strsum_core::{synthesize, SynthesisConfig, SynthesisResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+use strsum_core::{synthesize, SolverTelemetry, SynthStats, SynthesisConfig, SynthesisResult};
 use strsum_corpus::LoopEntry;
 use strsum_gadgets::Program;
+use strsum_smt::SessionStats;
 
 /// Result of synthesising one corpus loop.
 #[derive(Debug, Clone)]
@@ -19,52 +23,141 @@ pub struct LoopSynth {
     pub program: Option<Program>,
     /// Wall-clock time spent.
     pub elapsed: Duration,
-    /// Failure reason when unsynthesised.
+    /// Failure reason when unsynthesised (including C frontend rejections).
     pub failure: Option<String>,
+    /// Full run statistics, including solver telemetry.
+    pub stats: SynthStats,
+}
+
+/// Synthesises one corpus entry, mapping every failure mode — including a
+/// source that the C frontend rejects — to a per-loop `failure`, so one bad
+/// entry can never tear down a whole experiment run.
+fn synthesize_entry(entry: LoopEntry, cfg: &SynthesisConfig) -> LoopSynth {
+    let start = Instant::now();
+    match strsum_cfront::compile_one(&entry.source) {
+        Ok(func) => {
+            let SynthesisResult { program, stats } = synthesize(&func, cfg);
+            LoopSynth {
+                entry,
+                program,
+                elapsed: start.elapsed(),
+                failure: stats.failure.clone(),
+                stats,
+            }
+        }
+        Err(e) => LoopSynth {
+            entry,
+            program: None,
+            elapsed: start.elapsed(),
+            failure: Some(format!("does not compile: {e}")),
+            stats: SynthStats::default(),
+        },
+    }
 }
 
 /// Runs synthesis over `entries` in parallel using `threads` workers.
+///
+/// Workers steal indices from a shared counter and stream results back over
+/// a channel; entries that fail (to compile or to synthesise) come back as
+/// `LoopSynth { failure: Some(..) }` rather than panicking the worker.
 pub fn synthesize_corpus(
     entries: &[LoopEntry],
     cfg: &SynthesisConfig,
     threads: usize,
 ) -> Vec<LoopSynth> {
-    let threads = threads.max(1);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<LoopSynth>>> = entries
-        .iter()
-        .map(|_| std::sync::Mutex::new(None))
-        .collect();
-    crossbeam::scope(|scope| {
+    let threads = threads.clamp(1, entries.len().max(1));
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, LoopSynth)>();
+    let mut slots: Vec<Option<LoopSynth>> = entries.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
                 if i >= entries.len() {
                     break;
                 }
-                let entry = entries[i].clone();
-                let func = strsum_cfront::compile_one(&entry.source)
-                    .unwrap_or_else(|e| panic!("{} does not compile: {e}", entry.id));
-                let start = std::time::Instant::now();
-                let SynthesisResult { program, stats } = synthesize(&func, cfg);
-                *results[i].lock().expect("no poisoned lock") = Some(LoopSynth {
-                    entry,
-                    program,
-                    elapsed: start.elapsed(),
-                    failure: stats.failure,
-                });
+                let result = synthesize_entry(entries[i].clone(), cfg);
+                if tx.send((i, result)).is_err() {
+                    break;
+                }
             });
         }
-    })
-    .expect("worker threads do not panic");
-    results
+        drop(tx);
+        for (i, result) in rx {
+            slots[i] = Some(result);
+        }
+    });
+    slots
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("no poisoned lock")
-                .expect("all jobs ran")
-        })
+        .map(|s| s.expect("every index is claimed exactly once"))
         .collect()
+}
+
+/// Sums per-loop solver telemetry over a whole run.
+pub fn aggregate_telemetry(results: &[LoopSynth]) -> SolverTelemetry {
+    results
+        .iter()
+        .fold(SolverTelemetry::default(), |acc, r| SolverTelemetry {
+            search: acc.search.plus(&r.stats.solver.search),
+            verify: acc.verify.plus(&r.stats.solver.verify),
+        })
+}
+
+/// Human-readable aggregate solver-effort block for a run's stdout/report.
+pub fn telemetry_report(results: &[LoopSynth]) -> String {
+    let t = aggregate_telemetry(results);
+    let total = t.total();
+    let iterations: usize = results.iter().map(|r| r.stats.iterations).sum();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Solver effort ({} loops, {} CEGIS iterations):",
+        results.len(),
+        iterations
+    );
+    for (name, s) in [
+        ("search", &t.search),
+        ("verify", &t.verify),
+        ("total", &total),
+    ] {
+        let _ = writeln!(
+            out,
+            "  {name:6} queries {:>9}  conflicts {:>11}  propagations {:>13}  learnt {:>9}",
+            s.queries, s.conflicts, s.propagations, s.learnts
+        );
+    }
+    let encodes = total.blast_hits + total.blast_misses;
+    let rate = if encodes == 0 {
+        0.0
+    } else {
+        100.0 * total.blast_hits as f64 / encodes as f64
+    };
+    let _ = writeln!(
+        out,
+        "  blast cache: {} hits / {} misses ({rate:.1}% reuse)",
+        total.blast_hits, total.blast_misses
+    );
+    out
+}
+
+/// One [`SessionStats`] as a flat JSON object (the tree has no serde).
+pub fn session_stats_json(s: &SessionStats) -> String {
+    format!(
+        "{{\"queries\":{},\"conflicts\":{},\"propagations\":{},\"learnts\":{},\"clauses\":{},\"vars\":{},\"blast_hits\":{},\"blast_misses\":{}}}",
+        s.queries, s.conflicts, s.propagations, s.learnts, s.clauses, s.vars, s.blast_hits, s.blast_misses
+    )
+}
+
+/// A [`SolverTelemetry`] as a JSON object with search/verify/total keys.
+pub fn telemetry_json(t: &SolverTelemetry) -> String {
+    format!(
+        "{{\"search\":{},\"verify\":{},\"total\":{}}}",
+        session_stats_json(&t.search),
+        session_stats_json(&t.verify),
+        session_stats_json(&t.total())
+    )
 }
 
 /// The results directory (`results/` at the workspace root).

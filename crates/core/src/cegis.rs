@@ -2,12 +2,11 @@
 
 use crate::equivalence::{BoundedChecker, EquivalenceResult};
 use crate::oracle::LoopOracle;
+use crate::session::{SolverTelemetry, SynthSession};
 use crate::vocab::Vocab;
 use std::time::{Duration, Instant};
-use strsum_gadgets::charset::{META_DIGITS, META_WHITESPACE};
-use strsum_gadgets::symbolic::outcome_term_symbolic_prog_vocab;
 use strsum_gadgets::Program;
-use strsum_smt::{CheckResult, Solver, TermId, TermPool};
+use strsum_smt::TermPool;
 
 /// Configuration of one synthesis attempt.
 #[derive(Debug, Clone)]
@@ -27,6 +26,10 @@ pub struct SynthesisConfig {
     /// SAT conflict budget per candidate-search query; `Unknown` beyond it
     /// counts as a failed attempt (keeps wall-clock near `timeout`).
     pub solver_conflict_limit: u64,
+    /// Keep one solver alive across CEGIS iterations (the default). When
+    /// false, every query runs from scratch — the reference path used to
+    /// validate that persistence never changes the synthesised program.
+    pub incremental: bool,
 }
 
 impl Default for SynthesisConfig {
@@ -40,6 +43,7 @@ impl Default for SynthesisConfig {
             use_meta_chars: true,
             seed_examples: vec![Some(b"".to_vec()), Some(b"ab".to_vec())],
             solver_conflict_limit: 200_000,
+            incremental: true,
         }
     }
 }
@@ -55,6 +59,8 @@ pub struct SynthStats {
     pub elapsed: Duration,
     /// Why synthesis stopped, when it failed.
     pub failure: Option<String>,
+    /// Solver-effort counters (cumulative over the owning session).
+    pub solver: SolverTelemetry,
 }
 
 /// Result of a synthesis attempt.
@@ -73,146 +79,23 @@ pub struct SynthesisResult {
 /// on inexpressible loops.
 pub fn synthesize(func: &strsum_ir::Func, cfg: &SynthesisConfig) -> SynthesisResult {
     let start = Instant::now();
-    let mut stats = SynthStats::default();
-    let mut pool = TermPool::new();
-
-    // One-time: the loop's symbolic behaviour on strings ≤ max_ex_size.
-    let checker = match BoundedChecker::new(&mut pool, func, cfg.max_ex_size) {
-        Ok(c) => c,
-        Err(e) => {
-            stats.failure = Some(e);
-            stats.elapsed = start.elapsed();
-            return SynthesisResult {
-                program: None,
-                stats,
-            };
-        }
-    };
-    let mut oracle = LoopOracle::new(func);
-    let mut counterexamples: Vec<Option<Vec<u8>>> = Vec::new();
-    for seed in &cfg.seed_examples {
-        if let Some(s) = seed {
-            if s.len() <= cfg.max_ex_size && !counterexamples.contains(seed) {
-                counterexamples.push(seed.clone());
-            }
-        } else if !counterexamples.contains(seed) {
-            counterexamples.push(None);
-        }
-    }
-    let allowed = cfg.vocab.opcodes();
-
-    loop {
-        if start.elapsed() >= cfg.timeout {
-            stats.failure = Some("timeout".to_string());
-            break;
-        }
-        stats.iterations += 1;
-
-        // 1. Fresh symbolic program bytes (line 3).
-        let prog_vars: Vec<TermId> = (0..cfg.max_prog_size)
-            .map(|i| pool.fresh_var(&format!("prog{i}"), 8))
-            .collect();
-
-        // 2. Constrain the program to match the oracle on every known
-        //    counterexample (lines 4–6).
-        let mut constraints: Vec<TermId> = Vec::new();
-        if !cfg.use_meta_chars {
-            for &v in &prog_vars {
-                let d = pool.bv_const(u64::from(META_DIGITS), 8);
-                let w = pool.bv_const(u64::from(META_WHITESPACE), 8);
-                let nd = pool.ne(v, d);
-                let nw = pool.ne(v, w);
-                constraints.push(nd);
-                constraints.push(nw);
-            }
-        }
-        for cex in &counterexamples {
-            let expected = oracle.run(cex.as_deref());
-            let term =
-                outcome_term_symbolic_prog_vocab(&mut pool, &prog_vars, cex.as_deref(), &allowed);
-            let expected_t = pool.bv_const(expected.encode8(), 8);
-            constraints.push(pool.eq(term, expected_t));
-        }
-
-        // 3. Concretise a candidate (lines 7–8).
-        let solver = Solver::with_conflict_limit(cfg.solver_conflict_limit);
-        let model = match solver.check(&mut pool, &constraints) {
-            CheckResult::Sat(m) => m,
-            CheckResult::Unsat => {
-                stats.failure = Some(format!(
-                    "no program of size ≤ {} in vocabulary {} matches the examples",
-                    cfg.max_prog_size, cfg.vocab
-                ));
-                break;
-            }
-            CheckResult::Unknown => {
-                stats.failure = Some("solver gave up on candidate search".to_string());
-                break;
-            }
-        };
-        let bytes: Vec<u8> = prog_vars
-            .iter()
-            .map(|&v| model.value_or_zero(v) as u8)
-            .collect();
-
-        // 4. Bounded verification (lines 10–18). Candidate bytes may be
-        //    malformed; the checker treats them through Program::decode —
-        //    if undecodable, fall back to direct interpretation on the
-        //    counterexample search below.
-        let candidate = decode_prefix(&bytes);
-        match candidate {
-            Some(prog) if cfg.vocab.admits(&prog) => match checker.check(&mut pool, &prog) {
-                EquivalenceResult::Equivalent => {
-                    let minimal = minimize(&mut pool, &checker, &prog);
-                    stats.counterexamples = counterexamples;
-                    stats.elapsed = start.elapsed();
-                    return SynthesisResult {
-                        program: Some(minimal),
-                        stats,
-                    };
-                }
-                EquivalenceResult::Counterexample(cex) => {
-                    if counterexamples.contains(&cex) {
-                        stats.failure =
-                            Some(format!("duplicate counterexample {cex:?} (soundness bug?)"));
-                        break;
-                    }
-                    counterexamples.push(cex);
-                }
-                EquivalenceResult::Unknown(e) => {
-                    stats.failure = Some(e);
-                    break;
-                }
+    match SynthSession::new(func, cfg.clone()) {
+        Ok(mut session) => session.run_size(cfg.max_prog_size, cfg.timeout),
+        Err(e) => SynthesisResult {
+            program: None,
+            stats: SynthStats {
+                failure: Some(e),
+                elapsed: start.elapsed(),
+                ..SynthStats::default()
             },
-            _ => {
-                // Malformed candidate: any string on which it differs from
-                // the oracle will do; the empty string always distinguishes
-                // (a malformed program is Invalid everywhere). Find a fresh
-                // counterexample by brute force over tiny strings.
-                match fresh_distinguishing_input(&mut oracle, &bytes, &counterexamples, cfg) {
-                    Some(cex) => counterexamples.push(cex),
-                    None => {
-                        stats.failure = Some(format!(
-                            "malformed candidate {bytes:?} with no distinguishing input"
-                        ));
-                        break;
-                    }
-                }
-            }
-        }
-    }
-    stats.counterexamples = counterexamples;
-    stats.elapsed = start.elapsed();
-    SynthesisResult {
-        program: None,
-        stats,
+        },
     }
 }
 
-/// Greedily removes gadgets that do not affect bounded equivalence,
-/// yielding a (locally) minimal summary — candidates often carry redundant
-/// guard prefixes that the SAT model happened to pick.
-pub fn minimize(pool: &mut TermPool, checker: &BoundedChecker, prog: &Program) -> Program {
+/// Greedily removes gadgets that do not affect equivalence (per the given
+/// predicate), yielding a (locally) minimal summary — candidates often
+/// carry redundant guard prefixes that the SAT model happened to pick.
+pub fn minimize_with(prog: &Program, mut equivalent: impl FnMut(&Program) -> bool) -> Program {
     let mut gadgets = prog.gadgets().to_vec();
     loop {
         let mut changed = false;
@@ -224,7 +107,7 @@ pub fn minimize(pool: &mut TermPool, checker: &BoundedChecker, prog: &Program) -
             let mut shorter = gadgets.clone();
             shorter.remove(i);
             let candidate = Program::new(shorter);
-            if checker.check(pool, &candidate) == EquivalenceResult::Equivalent {
+            if equivalent(&candidate) {
                 gadgets.remove(i);
                 changed = true;
             } else {
@@ -237,11 +120,18 @@ pub fn minimize(pool: &mut TermPool, checker: &BoundedChecker, prog: &Program) -
     }
 }
 
+/// [`minimize_with`] against a [`BoundedChecker`]'s bounded equivalence.
+pub fn minimize(pool: &mut TermPool, checker: &BoundedChecker, prog: &Program) -> Program {
+    minimize_with(prog, |p| {
+        checker.check(pool, p) == EquivalenceResult::Equivalent
+    })
+}
+
 /// Decodes the longest valid instruction prefix, truncated after the
 /// *last* `F` (guards such as `Z` can skip earlier `F`s at run time, so
 /// truncating at the first one — e.g. in `ZFP \t\0F` — would lose the
 /// program body). Trailing bytes after the last `F` never execute.
-fn decode_prefix(bytes: &[u8]) -> Option<Program> {
+pub(crate) fn decode_prefix(bytes: &[u8]) -> Option<Program> {
     let mut i = 0;
     let mut last_f_end = None;
     while i < bytes.len() {
@@ -276,7 +166,7 @@ fn decode_prefix(bytes: &[u8]) -> Option<Program> {
 
 /// Brute-force search for a small input distinguishing raw candidate bytes
 /// from the oracle.
-fn fresh_distinguishing_input(
+pub(crate) fn fresh_distinguishing_input(
     oracle: &mut LoopOracle<'_>,
     bytes: &[u8],
     known: &[Option<Vec<u8>>],
@@ -405,9 +295,9 @@ mod tests {
         let mut pool = TermPool::new();
         let checker = BoundedChecker::new(&mut pool, &f, 3).unwrap();
         // XX is a no-op prefix; minimisation should remove it.
-        let bloated = Program::decode(b"XXP  F").unwrap();
+        let bloated = Program::decode(b"XXP \0F").unwrap();
         let minimal = minimize(&mut pool, &checker, &bloated);
-        assert_eq!(minimal.encode(), b"P  F");
+        assert_eq!(minimal.encode(), b"P \0F");
     }
 
     #[test]

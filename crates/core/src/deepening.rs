@@ -3,8 +3,15 @@
 //! The paper advocates growing `max_prog_size` from 1 upwards: the search
 //! space stays small, the synthesised program is the *shortest* one, and
 //! the per-size timeout bounds the overhead.
+//!
+//! The whole ladder runs inside one [`SynthSession`]: the loop is executed
+//! symbolically once, counterexamples found at a small size carry over to
+//! larger ones (they are facts about the loop), and the solver keeps its
+//! learnt clauses and cached encodings while each abandoned size's
+//! constraints are retired through an activation literal.
 
-use crate::cegis::{synthesize, SynthesisConfig, SynthesisResult};
+use crate::cegis::{SynthStats, SynthesisConfig, SynthesisResult};
+use crate::session::SynthSession;
 use std::time::{Duration, Instant};
 
 /// Configuration for the deepening driver.
@@ -40,7 +47,15 @@ pub fn synthesize_deepening(
     let start = Instant::now();
     let mut last = SynthesisResult {
         program: None,
-        stats: crate::cegis::SynthStats::default(),
+        stats: SynthStats::default(),
+    };
+    let mut session = match SynthSession::new(func, cfg.base.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            last.stats.failure = Some(e);
+            last.stats.elapsed = start.elapsed();
+            return (None, last);
+        }
     };
     for size in cfg.min_size..=cfg.max_size {
         let remaining = cfg.total_timeout.saturating_sub(start.elapsed());
@@ -48,10 +63,7 @@ pub fn synthesize_deepening(
             last.stats.failure = Some("deepening budget exhausted".to_string());
             break;
         }
-        let mut step = cfg.base.clone();
-        step.max_prog_size = size;
-        step.timeout = remaining.min(cfg.base.timeout);
-        let result = synthesize(func, &step);
+        let result = session.run_size(size, remaining.min(cfg.base.timeout));
         if result.program.is_some() {
             return (Some(size), result);
         }

@@ -9,7 +9,7 @@
 use crate::oracle::{LoopOracle, OracleOutcome};
 use strsum_gadgets::symbolic::{outcomes_on_symbolic_string, INVALID_SENTINEL};
 use strsum_gadgets::{Outcome, Program};
-use strsum_smt::{CheckResult, Solver, TermId, TermPool};
+use strsum_smt::{CheckResult, Session, TermId, TermPool};
 use strsum_symex::{engine::encode_outcome, Engine, SymbolicRun};
 
 /// Result of a bounded equivalence check.
@@ -84,8 +84,30 @@ impl BoundedChecker {
         &self.run.chars
     }
 
-    /// Checks a candidate program for equivalence up to the bound.
-    pub fn check(&self, pool: &mut TermPool, prog: &Program) -> EquivalenceResult {
+    /// Asserts the checker's standing constraints (canonical buffers) into
+    /// a session, once per session, before any [`BoundedChecker::check_in`].
+    pub fn assert_canonical(&self, pool: &mut TermPool, session: &mut Session) {
+        for &c in &self.canon {
+            session.assert_term(pool, c);
+        }
+    }
+
+    /// Checks a candidate program for equivalence up to the bound, inside
+    /// an incremental session prepared with
+    /// [`BoundedChecker::assert_canonical`].
+    ///
+    /// The loop's merged outcome term and the string's shared guard
+    /// sub-terms are encoded into the session once and reused by every
+    /// later candidate; the candidate's disequality enters only as an
+    /// assumption. On `Sat` the counterexample is the *canonical* (lex
+    /// least) distinguishing string, so the answer is independent of
+    /// solver history.
+    pub fn check_in(
+        &self,
+        pool: &mut TermPool,
+        session: &mut Session,
+        prog: &Program,
+    ) -> EquivalenceResult {
         // NULL input first (concrete, cheap).
         if let Some(expected) = self.null_expected {
             let got = OracleOutcome::from_gadget(strsum_gadgets::interp::run(prog, None));
@@ -106,22 +128,29 @@ impl BoundedChecker {
             prog_term = pool.ite(go.guard, enc, prog_term);
         }
         let neq = pool.ne(self.orig_term, prog_term);
-        let mut query = self.canon.clone();
-        query.push(neq);
-        match Solver::new().check(pool, &query) {
+        let differ = session.lit(pool, neq);
+        match session.canonical_check(pool, &[differ], &self.run.chars) {
             CheckResult::Unsat => EquivalenceResult::Equivalent,
             CheckResult::Sat(model) => {
                 let bytes: Vec<u8> = self
                     .run
                     .chars
                     .iter()
-                    .map(|&c| model.eval_bv(pool, c) as u8)
+                    .map(|&c| model.value_or_zero(c) as u8)
                     .take_while(|&b| b != 0)
                     .collect();
                 EquivalenceResult::Counterexample(Some(bytes))
             }
             CheckResult::Unknown => EquivalenceResult::Unknown("solver limit".to_string()),
         }
+    }
+
+    /// Checks a candidate program for equivalence up to the bound (one
+    /// throwaway session; see [`BoundedChecker::check_in`] for reuse).
+    pub fn check(&self, pool: &mut TermPool, prog: &Program) -> EquivalenceResult {
+        let mut session = Session::new();
+        self.assert_canonical(pool, &mut session);
+        self.check_in(pool, &mut session, prog)
     }
 }
 

@@ -1,0 +1,423 @@
+//! Incremental synthesis sessions: Algorithm 2 with persistent solver
+//! state.
+//!
+//! A [`SynthSession`] owns everything one synthesis attempt accumulates —
+//! the term pool, the loop's symbolic execution ([`BoundedChecker`]), the
+//! concrete oracle, the counterexample set, and two incremental
+//! [`strsum_smt::Session`]s:
+//!
+//! * the **search** session holds the candidate-space constraints. Each
+//!   counterexample's oracle constraint is encoded exactly once when the
+//!   counterexample is discovered (the naive loop re-encodes every
+//!   counterexample every iteration, O(iterations × counterexamples) term
+//!   work); rejected candidates get blocking clauses; constraints for one
+//!   program size are guarded by an activation literal so iterative
+//!   deepening can retire a size wholesale and move on without discarding
+//!   learnt clauses or cached encodings;
+//! * the **verify** session holds the loop-vs-candidate equivalence
+//!   encoding. The loop's merged symbolic outcome and the canonical-buffer
+//!   constraints are asserted once; each candidate contributes only its own
+//!   guarded-outcome term, queried as an assumption.
+//!
+//! Both sessions draw candidate models and counterexample strings through
+//! canonical (lexicographically-least) model extraction, which makes the
+//! whole run a pure function of the constraint sets: a warm incremental
+//! session and the from-scratch reference path (`incremental: false` in
+//! [`SynthesisConfig`]) synthesise byte-identical programs and report
+//! identical UNSAT verdicts, differing only in solver effort.
+
+use crate::cegis::{
+    decode_prefix, fresh_distinguishing_input, minimize_with, SynthStats, SynthesisConfig,
+    SynthesisResult,
+};
+use crate::equivalence::{BoundedChecker, EquivalenceResult};
+use crate::oracle::LoopOracle;
+use std::time::{Duration, Instant};
+use strsum_gadgets::symbolic::outcome_term_symbolic_prog_vocab;
+use strsum_gadgets::Program;
+use strsum_smt::{CheckResult, Lit, Session, SessionStats, TermId, TermPool};
+
+/// Solver-effort counters for one synthesis attempt, split by role.
+///
+/// Counters are cumulative over the owning [`SynthSession`] — across CEGIS
+/// iterations and, under iterative deepening, across program sizes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverTelemetry {
+    /// Effort spent finding candidate programs.
+    pub search: SessionStats,
+    /// Effort spent checking candidates against the loop.
+    pub verify: SessionStats,
+}
+
+impl SolverTelemetry {
+    /// Combined search + verify counters.
+    pub fn total(&self) -> SessionStats {
+        self.search.plus(&self.verify)
+    }
+}
+
+/// Persistent state for one synthesis attempt (one loop, any number of
+/// CEGIS iterations and program sizes).
+#[derive(Debug)]
+pub struct SynthSession<'f> {
+    func: &'f strsum_ir::Func,
+    cfg: SynthesisConfig,
+    pool: TermPool,
+    checker: BoundedChecker,
+    oracle: LoopOracle<'f>,
+    search: Session,
+    verify: Session,
+    verify_prepared: bool,
+    counterexamples: Vec<Option<Vec<u8>>>,
+    /// Accumulated stats of throwaway solvers (from-scratch mode only).
+    scratch_search: SessionStats,
+    scratch_verify: SessionStats,
+}
+
+impl<'f> SynthSession<'f> {
+    /// Prepares a session for `func`: runs the loop symbolically once and
+    /// seeds the counterexample set from the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when symbolic execution cannot fully explore the
+    /// loop (budget exhaustion, wrong signature).
+    pub fn new(
+        func: &'f strsum_ir::Func,
+        cfg: SynthesisConfig,
+    ) -> Result<SynthSession<'f>, String> {
+        let mut pool = TermPool::new();
+        let checker = BoundedChecker::new(&mut pool, func, cfg.max_ex_size)?;
+        let oracle = LoopOracle::new(func);
+        let mut counterexamples: Vec<Option<Vec<u8>>> = Vec::new();
+        for seed in &cfg.seed_examples {
+            if let Some(s) = seed {
+                if s.len() <= cfg.max_ex_size && !counterexamples.contains(seed) {
+                    counterexamples.push(seed.clone());
+                }
+            } else if !counterexamples.contains(seed) {
+                counterexamples.push(None);
+            }
+        }
+        let search = Session::with_conflict_limit(cfg.solver_conflict_limit);
+        Ok(SynthSession {
+            func,
+            cfg,
+            pool,
+            checker,
+            oracle,
+            search,
+            verify: Session::new(),
+            verify_prepared: false,
+            counterexamples,
+            scratch_search: SessionStats::default(),
+            scratch_verify: SessionStats::default(),
+        })
+    }
+
+    /// The counterexamples accumulated so far (seeds included).
+    pub fn counterexamples(&self) -> &[Option<Vec<u8>>] {
+        &self.counterexamples
+    }
+
+    /// The function being summarised.
+    pub fn func(&self) -> &strsum_ir::Func {
+        self.func
+    }
+
+    /// Runs the CEGIS loop at one program size within `timeout`.
+    ///
+    /// Counterexamples discovered here persist into later calls (they are
+    /// facts about the loop, not about the size), as do the solver's learnt
+    /// clauses and cached term encodings; the size-specific constraints are
+    /// retired when the call returns.
+    pub fn run_size(&mut self, size: usize, timeout: Duration) -> SynthesisResult {
+        let start = Instant::now();
+        let mut stats = SynthStats::default();
+        let allowed = self.cfg.vocab.opcodes();
+
+        // Symbolic program bytes, allocated once for the whole size (the
+        // naive loop allocated fresh bytes every iteration).
+        let prog_vars: Vec<TermId> = (0..size)
+            .map(|i| self.pool.fresh_var(&format!("prog{i}"), 8))
+            .collect();
+        let act = if self.cfg.incremental {
+            Some(self.search.new_activation())
+        } else {
+            None
+        };
+        // Every constraint of this size, in assertion order — the
+        // from-scratch path replays the list each iteration.
+        let mut constraints: Vec<TermId> = Vec::new();
+        if !self.cfg.use_meta_chars {
+            use strsum_gadgets::charset::{META_DIGITS, META_WHITESPACE};
+            for &v in &prog_vars {
+                let d = self.pool.bv_const(u64::from(META_DIGITS), 8);
+                let w = self.pool.bv_const(u64::from(META_WHITESPACE), 8);
+                let nd = self.pool.ne(v, d);
+                let nw = self.pool.ne(v, w);
+                self.add_constraint(act, &mut constraints, nd);
+                self.add_constraint(act, &mut constraints, nw);
+            }
+        }
+        let mut encoded = 0usize;
+
+        let outcome = loop {
+            if start.elapsed() >= timeout {
+                break Err("timeout".to_string());
+            }
+            stats.iterations += 1;
+
+            // Encode counterexamples not yet seen by this size's program
+            // bytes — each exactly once (lines 4–6 of Algorithm 2).
+            while encoded < self.counterexamples.len() {
+                let cex = self.counterexamples[encoded].clone();
+                let expected = self.oracle.run(cex.as_deref());
+                let term = outcome_term_symbolic_prog_vocab(
+                    &mut self.pool,
+                    &prog_vars,
+                    cex.as_deref(),
+                    &allowed,
+                );
+                let expected_t = self.pool.bv_const(expected.encode8(), 8);
+                let c = self.pool.eq(term, expected_t);
+                self.add_constraint(act, &mut constraints, c);
+                encoded += 1;
+            }
+
+            // Concretise the canonical candidate (lines 7–8).
+            let model = match self.solve_candidate(act, &constraints, &prog_vars) {
+                CheckResult::Sat(m) => m,
+                CheckResult::Unsat => {
+                    break Err(format!(
+                        "no program of size ≤ {size} in vocabulary {} matches the examples",
+                        self.cfg.vocab
+                    ));
+                }
+                CheckResult::Unknown => {
+                    break Err("solver gave up on candidate search".to_string());
+                }
+            };
+            let bytes: Vec<u8> = prog_vars
+                .iter()
+                .map(|&v| model.value_or_zero(v) as u8)
+                .collect();
+
+            // Bounded verification (lines 10–18).
+            match decode_prefix(&bytes) {
+                Some(prog) if self.cfg.vocab.admits(&prog) => match self.check_prog(&prog) {
+                    EquivalenceResult::Equivalent => {
+                        let minimal = minimize_with(&prog, |p| {
+                            self.check_prog(p) == EquivalenceResult::Equivalent
+                        });
+                        break Ok(minimal);
+                    }
+                    EquivalenceResult::Counterexample(cex) => {
+                        if self.counterexamples.contains(&cex) {
+                            break Err(format!(
+                                "duplicate counterexample {cex:?} (soundness bug?)"
+                            ));
+                        }
+                        self.counterexamples.push(cex);
+                        self.block_candidate(act, &mut constraints, &prog_vars, &bytes);
+                    }
+                    EquivalenceResult::Unknown(e) => break Err(e),
+                },
+                _ => {
+                    // Malformed candidate: find any input distinguishing the
+                    // raw bytes from the oracle by brute force over tiny
+                    // strings, and block the exact byte vector.
+                    match fresh_distinguishing_input(
+                        &mut self.oracle,
+                        &bytes,
+                        &self.counterexamples,
+                        &self.cfg,
+                    ) {
+                        Some(cex) => {
+                            self.counterexamples.push(cex);
+                            self.block_candidate(act, &mut constraints, &prog_vars, &bytes);
+                        }
+                        None => {
+                            break Err(format!(
+                                "malformed candidate {bytes:?} with no distinguishing input"
+                            ));
+                        }
+                    }
+                }
+            }
+        };
+
+        // Retire this size's constraint group; the next size starts clean
+        // while keeping learnt clauses and cached encodings.
+        if let Some(a) = act {
+            self.search.retire(a);
+        }
+        stats.counterexamples = self.counterexamples.clone();
+        stats.elapsed = start.elapsed();
+        stats.solver = self.telemetry();
+        match outcome {
+            Ok(program) => SynthesisResult {
+                program: Some(program),
+                stats,
+            },
+            Err(failure) => {
+                stats.failure = Some(failure);
+                SynthesisResult {
+                    program: None,
+                    stats,
+                }
+            }
+        }
+    }
+
+    /// Asserts `c` into the search space: guarded by the size's activation
+    /// literal when incremental, and always recorded for replay.
+    fn add_constraint(&mut self, act: Option<Lit>, constraints: &mut Vec<TermId>, c: TermId) {
+        if let Some(a) = act {
+            self.search.assert_implied(&mut self.pool, a, c);
+        }
+        constraints.push(c);
+    }
+
+    /// Excludes an exact rejected byte vector from the search space.
+    fn block_candidate(
+        &mut self,
+        act: Option<Lit>,
+        constraints: &mut Vec<TermId>,
+        prog_vars: &[TermId],
+        bytes: &[u8],
+    ) {
+        let diffs: Vec<TermId> = prog_vars
+            .iter()
+            .zip(bytes)
+            .map(|(&v, &b)| {
+                let c = self.pool.bv_const(u64::from(b), 8);
+                self.pool.ne(v, c)
+            })
+            .collect();
+        let c = self.pool.or_many(&diffs);
+        self.add_constraint(act, constraints, c);
+    }
+
+    /// One candidate-search query, canonicalised so the answer depends only
+    /// on the constraint set, never on solver history.
+    fn solve_candidate(
+        &mut self,
+        act: Option<Lit>,
+        constraints: &[TermId],
+        prog_vars: &[TermId],
+    ) -> CheckResult {
+        match act {
+            Some(a) => self.search.canonical_check(&mut self.pool, &[a], prog_vars),
+            None => {
+                let mut solo = Session::with_conflict_limit(self.cfg.solver_conflict_limit);
+                for &c in constraints {
+                    solo.assert_term(&mut self.pool, c);
+                }
+                let r = solo.canonical_check(&mut self.pool, &[], prog_vars);
+                self.scratch_search = self.scratch_search.plus(&solo.stats());
+                r
+            }
+        }
+    }
+
+    /// Bounded equivalence of one candidate against the loop, through the
+    /// persistent verify session (or a throwaway one when from-scratch).
+    fn check_prog(&mut self, prog: &Program) -> EquivalenceResult {
+        if self.cfg.incremental {
+            if !self.verify_prepared {
+                self.checker
+                    .assert_canonical(&mut self.pool, &mut self.verify);
+                self.verify_prepared = true;
+            }
+            self.checker
+                .check_in(&mut self.pool, &mut self.verify, prog)
+        } else {
+            let mut solo = Session::new();
+            self.checker.assert_canonical(&mut self.pool, &mut solo);
+            let r = self.checker.check_in(&mut self.pool, &mut solo, prog);
+            self.scratch_verify = self.scratch_verify.plus(&solo.stats());
+            r
+        }
+    }
+
+    /// Cumulative solver telemetry for this session.
+    pub fn telemetry(&self) -> SolverTelemetry {
+        if self.cfg.incremental {
+            SolverTelemetry {
+                search: self.search.stats(),
+                verify: self.verify.stats(),
+            }
+        } else {
+            SolverTelemetry {
+                search: self.scratch_search,
+                verify: self.scratch_verify,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strsum_cfront::compile_one;
+    use strsum_gadgets::interp::{run_bytes, Outcome};
+
+    fn cfg(incremental: bool) -> SynthesisConfig {
+        SynthesisConfig {
+            timeout: Duration::from_secs(120),
+            incremental,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn incremental_session_reuses_state_across_iterations() {
+        let f = compile_one("char* f(char* s) { while (*s != 0 && *s != ':') s++; return s; }")
+            .unwrap();
+        let mut sess = SynthSession::new(&f, cfg(true)).unwrap();
+        let r = sess.run_size(9, Duration::from_secs(120));
+        let prog = r.program.expect("strchr-like loop synthesises");
+        assert_eq!(run_bytes(&prog.encode(), Some(b"ab:c")), Outcome::Ptr(2));
+        let t = r.stats.solver;
+        assert!(t.search.queries > 0, "search telemetry recorded");
+        assert!(t.verify.queries > 0, "verify telemetry recorded");
+        // Encodings are shared across iterations: later queries hit the
+        // blaster cache.
+        assert!(t.search.blast_hits > 0, "persistent encoder reused");
+    }
+
+    #[test]
+    fn from_scratch_matches_incremental() {
+        let f = compile_one("char* f(char* s) { while (*s == ' ' || *s == '\\t') s++; return s; }")
+            .unwrap();
+        let inc = SynthSession::new(&f, cfg(true))
+            .unwrap()
+            .run_size(9, Duration::from_secs(120));
+        let scratch = SynthSession::new(&f, cfg(false))
+            .unwrap()
+            .run_size(9, Duration::from_secs(120));
+        let a = inc.program.expect("incremental synthesises");
+        let b = scratch.program.expect("from-scratch synthesises");
+        assert_eq!(a.encode(), b.encode(), "paths must agree byte-for-byte");
+        assert_eq!(
+            inc.stats.counterexamples, scratch.stats.counterexamples,
+            "same counterexample trajectory"
+        );
+    }
+
+    #[test]
+    fn counterexamples_persist_across_sizes() {
+        let f = compile_one("char* f(char* s) { while (*s) s++; return s; }").unwrap();
+        let mut sess = SynthSession::new(&f, cfg(true)).unwrap();
+        let r1 = sess.run_size(1, Duration::from_secs(30));
+        assert!(r1.program.is_none(), "strlen has no size-1 summary");
+        let seen = sess.counterexamples().len();
+        let r2 = sess.run_size(2, Duration::from_secs(60));
+        assert_eq!(r2.program.expect("EF at size 2").encode(), b"EF");
+        assert!(
+            sess.counterexamples().len() >= seen,
+            "facts survive the size change"
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! The incremental session must be invisible in the results: for every
+//! loop, the persistent-solver path and the from-scratch reference path
+//! synthesise byte-identical programs (or fail with the identical verdict)
+//! and walk the identical counterexample trajectory.
+//!
+//! Canonical (lexicographically-least) model extraction is what makes this
+//! hold — candidate choice and counterexample choice depend only on the
+//! constraint sets, never on retained learnt clauses, phases or activity.
+
+use std::time::Duration;
+use strsum_core::{synthesize, SynthesisConfig};
+
+/// Wall-clock-dependent verdicts, the only legitimate divergence source.
+fn timing_dependent(failure: &Option<String>) -> bool {
+    matches!(
+        failure.as_deref(),
+        Some("timeout" | "solver gave up on candidate search")
+    )
+}
+
+#[test]
+fn incremental_matches_from_scratch_on_corpus_loops() {
+    let per_loop = Duration::from_secs(8);
+    let mut compared = 0usize;
+    let mut skipped = Vec::new();
+    for entry in strsum_corpus::corpus().into_iter().take(30) {
+        if compared >= 10 {
+            break;
+        }
+        let Ok(func) = strsum_cfront::compile_one(&entry.source) else {
+            continue;
+        };
+        let run = |incremental: bool| {
+            synthesize(
+                &func,
+                &SynthesisConfig {
+                    timeout: per_loop,
+                    incremental,
+                    ..Default::default()
+                },
+            )
+        };
+        let inc = run(true);
+        let scratch = run(false);
+        if timing_dependent(&inc.stats.failure) || timing_dependent(&scratch.stats.failure) {
+            skipped.push(entry.id.clone());
+            continue;
+        }
+        let a = inc.program.as_ref().map(|p| p.encode());
+        let b = scratch.program.as_ref().map(|p| p.encode());
+        assert_eq!(
+            a, b,
+            "{}: incremental and from-scratch synthesised different programs",
+            entry.id
+        );
+        assert_eq!(
+            inc.stats.failure, scratch.stats.failure,
+            "{}: paths failed differently",
+            entry.id
+        );
+        assert_eq!(
+            inc.stats.counterexamples, scratch.stats.counterexamples,
+            "{}: paths took different counterexample trajectories",
+            entry.id
+        );
+        compared += 1;
+    }
+    assert!(
+        compared >= 10,
+        "only {compared} loops compared deterministically (skipped on timing: {skipped:?})"
+    );
+}

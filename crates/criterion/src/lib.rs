@@ -1,0 +1,266 @@
+//! A vendored, dependency-free stand-in for the subset of the `criterion`
+//! crate this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! replaces the registry `criterion` with this path crate. It keeps the
+//! bench-author API (`Criterion::bench_function`, `benchmark_group`,
+//! `bench_with_input`, `BenchmarkId`, `criterion_group!`/`criterion_main!`,
+//! `Bencher::iter`) and swaps the statistics engine for plain wall-clock
+//! sampling: warm up, pick a batch size, take N timed samples, report
+//! min/median/max per iteration. No plots, no saved baselines — the
+//! numbers print to stdout, which is what the experiment scripts capture.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement budget per benchmark (split across samples).
+const MEASUREMENT: Duration = Duration::from_millis(1000);
+/// Warm-up budget per benchmark, also used to size batches.
+const WARMUP: Duration = Duration::from_millis(250);
+
+/// Identifies a benchmark within a group: rendered `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id for `function_name` at input `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Collects timing samples inside `Bencher::iter`.
+pub struct Bencher {
+    sample_size: usize,
+    /// Per-iteration times, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`: warms up, then records `sample_size` batched samples.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up, counting iterations to size the measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = MEASUREMENT.as_secs_f64() / self.sample_size as f64;
+        let batch = ((budget / per_iter.max(1e-9)) as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    benches_run: usize,
+}
+
+impl Criterion {
+    /// Builds a driver from CLI args: flags are ignored (this shim has no
+    /// baselines or plots), the first free argument is a substring filter.
+    pub fn from_args() -> Criterion {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion {
+            filter,
+            benches_run: 0,
+        }
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(&mut self, id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.selected(id) {
+            return;
+        }
+        let mut b = Bencher {
+            sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        self.benches_run += 1;
+        if b.samples.is_empty() {
+            println!("{id:<48} (no samples)");
+            return;
+        }
+        let mut s = b.samples;
+        s.sort_by(|a, b| a.total_cmp(b));
+        let (min, med, max) = (s[0], s[s.len() / 2], s[s.len() - 1]);
+        println!(
+            "{id:<48} time: [{} {} {}]",
+            format_time(min),
+            format_time(med),
+            format_time(max)
+        );
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(id, 20, &mut f);
+        self
+    }
+
+    /// Opens a named group; benchmark ids are prefixed `name/`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Prints the closing line (`criterion_main!` calls this).
+    pub fn final_summary(&self) {
+        println!("benchmarks complete: {} run", self.benches_run);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `name/id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `name/id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion
+            .run_one(&full, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Bundles bench functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        // Tiny budget not needed: the closure is near-free, batching keeps
+        // this test fast regardless of the 1 s measurement target.
+        let mut group = c.benchmark_group("t");
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert_eq!(c.benches_run, 1);
+    }
+
+    #[test]
+    fn filter_skips_unmatched() {
+        let mut c = Criterion {
+            filter: Some("wanted".into()),
+            benches_run: 0,
+        };
+        c.bench_function("other/name", |b| b.iter(|| ()));
+        assert_eq!(c.benches_run, 0);
+    }
+
+    #[test]
+    fn id_formats_with_parameter() {
+        let id = BenchmarkId::new("naive", "strlen");
+        assert_eq!(id.id, "naive/strlen");
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_time(2.5), "2.500 s");
+        assert_eq!(format_time(0.0025), "2.500 ms");
+        assert_eq!(format_time(2.5e-6), "2.500 µs");
+        assert_eq!(format_time(2.5e-8), "25.0 ns");
+    }
+}

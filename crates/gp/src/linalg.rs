@@ -107,7 +107,7 @@ mod tests {
         for i in 0..3 {
             for j in 0..3 {
                 let mut v = if i == j { 1.0 } else { 0.0 };
-                for (_, row) in b.iter().enumerate() {
+                for row in &b {
                     v += row[i] * row[j];
                 }
                 a.set(i, j, v);
@@ -137,9 +137,9 @@ mod tests {
         let a = spd3();
         let x_true = [1.0, -2.0, 0.5];
         let mut b = [0.0; 3];
-        for i in 0..3 {
-            for j in 0..3 {
-                b[i] += a.get(i, j) * x_true[j];
+        for (i, bi) in b.iter_mut().enumerate() {
+            for (j, xj) in x_true.iter().enumerate() {
+                *bi += a.get(i, j) * xj;
             }
         }
         let l = a.cholesky().unwrap();

@@ -30,7 +30,9 @@ fn step_strategy() -> impl Strategy<Value = Step> {
 
 fn build(pre: &[Step], then_steps: &[Step], else_steps: &[Step], post: &[Step]) -> Func {
     let mut b = FuncBuilder::new("gen", &[("x", Ty::I32)], Some(Ty::I32));
-    let slots: Vec<Operand> = (0..3).map(|i| b.alloca(Ty::I32, &format!("v{i}"))).collect();
+    let slots: Vec<Operand> = (0..3)
+        .map(|i| b.alloca(Ty::I32, &format!("v{i}")))
+        .collect();
     for s in &slots {
         b.store(*s, Operand::i32(0));
     }

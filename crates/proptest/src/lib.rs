@@ -1,0 +1,721 @@
+//! A vendored, dependency-free stand-in for the subset of the `proptest`
+//! crate this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! replaces the registry `proptest` with this path crate. It keeps the
+//! public surface the tests rely on — `proptest!`, `prop_assert*!`,
+//! `prop_oneof!`, `Strategy` with `prop_map`/`prop_recursive`/`boxed`,
+//! `any::<T>()`, `collection::vec`, `sample::select`, integer-range and
+//! tuple strategies, and a crude `".{lo,hi}"` string pattern — while
+//! swapping the engine for a small deterministic random tester:
+//!
+//! * every test gets a fixed seed derived from its fully-qualified name,
+//!   so failures reproduce across runs and machines;
+//! * there is no shrinking — a failing case panics with the `Debug`
+//!   rendering of every generated input instead.
+
+use rand::rngs::StdRng;
+
+/// Strategy trait and combinators (`prop_map`, `prop_recursive`, tuples…).
+pub mod strategy {
+    use super::StdRng;
+    use rand::RngExt;
+    use std::fmt;
+    use std::sync::Arc;
+
+    /// A source of random values of type [`Strategy::Value`].
+    ///
+    /// Mirrors `proptest::strategy::Strategy` minus shrinking: `new_value`
+    /// draws one value from the given deterministic generator.
+    pub trait Strategy {
+        /// The type of values produced.
+        type Value: fmt::Debug;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            U: fmt::Debug,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds recursive values: `recurse` receives a strategy for the
+        /// current depth and returns one for the next. `depth` bounds the
+        /// nesting; the size hints are accepted for API compatibility but
+        /// unused (there is no shrinking to steer).
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(strat).boxed();
+                strat = OneOf {
+                    arms: vec![leaf.clone(), deeper],
+                }
+                .boxed();
+            }
+            strat
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// Object-safe core of [`Strategy`], used behind [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn dyn_new_value(&self, rng: &mut StdRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_new_value(&self, rng: &mut StdRng) -> S::Value {
+            self.new_value(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            self.0.dyn_new_value(rng)
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        U: fmt::Debug,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn new_value(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    #[derive(Clone)]
+    pub struct OneOf<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Builds a choice over `arms` (must be non-empty).
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { arms }
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for OneOf<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            let i = rng.random_range(0..self.arms.len());
+            self.arms[i].new_value(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    sample_inclusive(rng, self.start as i128, self.end as i128 - 1) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    sample_inclusive(rng, *self.start() as i128, *self.end() as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeFrom<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    sample_inclusive(rng, self.start as i128, <$t>::MAX as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Uniform draw from the inclusive range `[lo, hi]` (every integer type
+    /// the workspace samples embeds in `i128`).
+    fn sample_inclusive(rng: &mut StdRng, lo: i128, hi: i128) -> i128 {
+        assert!(lo <= hi, "empty range");
+        let span = (hi - lo + 1) as u128;
+        lo + (rng.next_u64() as u128 % span) as i128
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($n:ident $idx:tt),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+
+    /// A `&str` used as a strategy is a generation *pattern*. Full regex
+    /// support is out of scope offline; `".{lo,hi}"` (any text of length
+    /// `lo..=hi`) is recognised, anything else falls back to short
+    /// arbitrary text.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn new_value(&self, rng: &mut StdRng) -> String {
+            let (lo, hi) = parse_dot_repeat(self).unwrap_or((0, 32));
+            let len = if lo == hi {
+                lo
+            } else {
+                rng.random_range(lo..hi + 1)
+            };
+            // Mostly printable ASCII with occasional control and non-ASCII
+            // characters — enough to exercise lexers without shrinking.
+            const EXOTIC: &[char] = &['é', 'λ', '中', '\u{80}', '\u{2028}', '🦀'];
+            (0..len)
+                .map(|_| match rng.random_range(0..100u32) {
+                    0..=84 => char::from(rng.random_range(0x20u8..0x7f)),
+                    85..=92 => ['\t', '\n', '\r', '\x00', '\x1b'][rng.random_range(0..5usize)],
+                    _ => EXOTIC[rng.random_range(0..EXOTIC.len())],
+                })
+                .collect()
+        }
+    }
+
+    /// Parses `".{lo,hi}"`, the one pattern the workspace uses.
+    fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+        let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+        let (lo, hi) = body.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for a type.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::RngExt;
+    use std::fmt;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized + fmt::Debug {
+        /// The strategy type returned by [`any`].
+        type Strategy: Strategy<Value = Self>;
+        /// The canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `T` (full domain).
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = std::ops::RangeInclusive<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    <$t>::MIN..=<$t>::MAX
+                }
+            }
+        )*};
+    }
+
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Full-domain `bool` strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn new_value(&self, rng: &mut StdRng) -> bool {
+            rng.random()
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+}
+
+/// Collection strategies (`vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::RngExt;
+
+    /// A length range for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// `Vec` strategy: `size` elements drawn from `element`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.min == self.size.max {
+                self.size.min
+            } else {
+                rng.random_range(self.size.min..self.size.max + 1)
+            };
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Generates `Vec`s with lengths in `size` and elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Sampling strategies (`select`).
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::RngExt;
+    use std::fmt;
+
+    /// Uniform choice from a fixed set of values.
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            self.items[rng.random_range(0..self.items.len())].clone()
+        }
+    }
+
+    /// Picks uniformly from `items` (must be non-empty).
+    pub fn select<T: Clone + fmt::Debug>(items: &[T]) -> Select<T> {
+        assert!(!items.is_empty(), "select over an empty slice");
+        Select {
+            items: items.to_vec(),
+        }
+    }
+}
+
+/// Test configuration and the case runner backing `proptest!`.
+pub mod test_runner {
+    use super::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// Per-block configuration (`#![proptest_config(..)]`).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property check (carried by `prop_assert*!` early returns).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Wraps a failure message.
+        pub fn fail(msg: String) -> TestCaseError {
+            TestCaseError(msg)
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// FNV-1a over the test name: a stable per-test base seed so failures
+    /// reproduce across runs, builds, and machines.
+    fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `cases` deterministic cases of `f`; panics with the generated
+    /// inputs on the first failure (no shrinking).
+    pub fn run(
+        name: &str,
+        cases: u32,
+        mut f: impl FnMut(&mut StdRng) -> (String, Result<(), TestCaseError>),
+    ) {
+        let base = seed_for(name);
+        for case in 0..cases as u64 {
+            let mut rng = StdRng::seed_from_u64(base ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let (desc, outcome) = f(&mut rng);
+            if let Err(e) = outcome {
+                panic!("property `{name}` failed at case {case}/{cases}\n  inputs: {desc}\n  {e}");
+            }
+        }
+    }
+}
+
+/// The `use proptest::prelude::*;` surface.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Supports an optional
+/// `#![proptest_config(expr)]` header and, per test, parameters written
+/// either as `pattern in strategy` or `name: Type` (meaning
+/// `any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $crate::__proptest_case!(($cfg) $(#[$meta])* fn $name; []; [$($params)*]; $body);
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // All parameters munched: emit the test function.
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident; [$([$p:pat][$s:expr])*]; []; $body:block) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::test_runner::run(
+                concat!(module_path!(), "::", stringify!($name)),
+                __config.cases,
+                |__rng| {
+                    #[allow(unused_imports)]
+                    use ::std::fmt::Write as _;
+                    #[allow(unused_imports)]
+                    use $crate::strategy::Strategy as _;
+                    #[allow(unused_mut)]
+                    let mut __desc = ::std::string::String::new();
+                    $(
+                        let __value = ($s).new_value(__rng);
+                        let _ = ::std::write!(__desc, "{} = {:?}; ", stringify!($p), &__value);
+                        let $p = __value;
+                    )*
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    (__desc, __outcome)
+                },
+            );
+        }
+    };
+    // Trailing comma.
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident; [$($acc:tt)*]; [,]; $body:block) => {
+        $crate::__proptest_case!(($cfg) $(#[$meta])* fn $name; [$($acc)*]; []; $body);
+    };
+    // `name: Type` — an `any::<Type>()` draw.
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident; [$($acc:tt)*]; [$id:ident : $t:ty, $($rest:tt)*]; $body:block) => {
+        $crate::__proptest_case!(
+            ($cfg) $(#[$meta])* fn $name;
+            [$($acc)* [$id][$crate::arbitrary::any::<$t>()]]; [$($rest)*]; $body
+        );
+    };
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident; [$($acc:tt)*]; [$id:ident : $t:ty]; $body:block) => {
+        $crate::__proptest_case!(
+            ($cfg) $(#[$meta])* fn $name;
+            [$($acc)* [$id][$crate::arbitrary::any::<$t>()]]; []; $body
+        );
+    };
+    // `pattern in strategy`.
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident; [$($acc:tt)*]; [$p:pat in $s:expr, $($rest:tt)*]; $body:block) => {
+        $crate::__proptest_case!(
+            ($cfg) $(#[$meta])* fn $name;
+            [$($acc)* [$p][$s]]; [$($rest)*]; $body
+        );
+    };
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident; [$($acc:tt)*]; [$p:pat in $s:expr]; $body:block) => {
+        $crate::__proptest_case!(
+            ($cfg) $(#[$meta])* fn $name;
+            [$($acc)* [$p][$s]]; []; $body
+        );
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n    left: {:?}\n   right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n    left: {:?}\n   right: {:?}\n  {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n    both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n    both: {:?}\n  {}",
+            stringify!($left), stringify!($right), l, format!($($fmt)*)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn ranges_and_vec_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let strat = crate::collection::vec(3u8..9, 2..5);
+        for _ in 0..200 {
+            let v = strat.new_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|b| (3..9).contains(b)));
+        }
+    }
+
+    #[test]
+    fn select_and_oneof_cover_their_arms() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let strat = prop_oneof![Just(1u8), Just(2u8), crate::sample::select(&[7u8, 9][..])];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            seen.insert(strat.new_value(&mut rng));
+        }
+        assert_eq!(seen, [1u8, 2, 7, 9].into_iter().collect());
+    }
+
+    #[test]
+    fn string_pattern_respects_length() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let s = ".{0,20}".new_value(&mut rng);
+            assert!(s.chars().count() <= 20);
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        fn first_leaf(t: &Tree) -> u8 {
+            match t {
+                Tree::Leaf(b) => *b,
+                Tree::Node(a, _) => first_leaf(a),
+            }
+        }
+        let strat = (0u8..255)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let t = strat.new_value(&mut rng);
+            assert!(depth(&t) <= 3);
+            assert!(first_leaf(&t) < 255);
+        }
+    }
+
+    // The macro itself, exercised end to end (mixed param forms, config,
+    // early `return Ok(())`).
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_roundtrip(v in crate::collection::vec(any::<u8>(), 0..8), flip: bool, n in 1usize..5) {
+            if v.is_empty() {
+                return Ok(());
+            }
+            prop_assert!(n >= 1);
+            prop_assert_eq!(v.len(), v.iter().filter(|_| true).count());
+            if flip {
+                prop_assert_ne!(n, 0, "n was {}", n);
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+#![warn(missing_docs)]
+//! A vendored, dependency-free stand-in for the subset of the `rand` crate
+//! this workspace uses (`StdRng::seed_from_u64`, `random`, `random_range`).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! replaces the registry `rand` with this path crate. The generator is
+//! xoshiro256** seeded through SplitMix64 — statistically strong for test
+//! and experiment workloads, deterministic for a given seed, and entirely
+//! local. It is **not** cryptographically secure, which matches how the
+//! workspace uses randomness (population generation, GP initial design).
+
+/// Seedable generators, mirroring `rand::SeedableRng` for the methods used.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The sampling interface, mirroring `rand::Rng`/`RngExt` methods used here.
+pub trait RngExt {
+    /// The next 64 raw bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value of `T`.
+    fn random<T: FromRandom>(&mut self) -> T {
+        T::from_random(self.next_u64())
+    }
+
+    /// A uniformly random value in `range` (half-open, non-empty).
+    fn random_range<T: RangeSample>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self.next_u64(), range)
+    }
+}
+
+/// Types constructible from 64 uniformly random bits.
+pub trait FromRandom {
+    /// Derives the value from raw bits.
+    fn from_random(bits: u64) -> Self;
+}
+
+impl FromRandom for u64 {
+    fn from_random(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl FromRandom for u32 {
+    fn from_random(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl FromRandom for u16 {
+    fn from_random(bits: u64) -> u16 {
+        (bits >> 48) as u16
+    }
+}
+
+impl FromRandom for u8 {
+    fn from_random(bits: u64) -> u8 {
+        (bits >> 56) as u8
+    }
+}
+
+impl FromRandom for bool {
+    fn from_random(bits: u64) -> bool {
+        bits >> 63 == 1
+    }
+}
+
+impl FromRandom for f64 {
+    fn from_random(bits: u64) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types samplable from a half-open range.
+pub trait RangeSample: Sized {
+    /// Uniform draw from `range` given 64 random bits.
+    fn sample(bits: u64, range: std::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_range_sample {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample(bits: u64, range: std::ops::Range<$t>) -> $t {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                (range.start as i128 + (bits as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_sample!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 stream to fill the state (never all-zero).
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            let (mut n2, mut n3) = (s2 ^ s0, s3 ^ s1);
+            let n1 = s1 ^ n2;
+            let n0 = s0 ^ n3;
+            n2 ^= t;
+            n3 = n3.rotate_left(45);
+            self.s = [n0, n1, n2, n3];
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i32 = rng.random_range(-20..20);
+            assert!((-20..20).contains(&w));
+        }
+    }
+
+    #[test]
+    fn random_types() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _: u32 = rng.random();
+        let _: bool = rng.random();
+        let f: f64 = rng.random();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn not_obviously_constant() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let draws: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert!(draws.windows(2).any(|w| w[0] != w[1]));
+    }
+}

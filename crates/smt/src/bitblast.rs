@@ -8,17 +8,33 @@ use crate::term::{Op, Sort, TermId, TermPool};
 use std::collections::HashMap;
 
 /// Encoder state: term → literal caches plus the constant-true literal.
+///
+/// A `Blaster` is designed to persist across queries: gate clauses are
+/// Tseitin *definitions* (full biconditionals), so an encoding cached for
+/// one query remains sound for every later query on the same SAT solver.
 #[derive(Debug, Default)]
 pub struct Blaster {
     bool_cache: HashMap<TermId, Lit>,
     bv_cache: HashMap<TermId, Vec<Lit>>,
     true_lit: Option<Lit>,
+    hits: u64,
+    misses: u64,
 }
 
 impl Blaster {
     /// Creates an empty encoder.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Encoding requests answered from the term→CNF cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Encoding requests that had to blast a new term.
+    pub fn cache_misses(&self) -> u64 {
+        self.misses
     }
 
     /// Literal bits previously allocated for a bit-vector term, if any.
@@ -176,8 +192,10 @@ impl Blaster {
     pub fn encode_bool(&mut self, pool: &TermPool, sat: &mut Solver, id: TermId) -> Lit {
         assert_eq!(pool.sort(id), Sort::Bool);
         if let Some(&l) = self.bool_cache.get(&id) {
+            self.hits += 1;
             return l;
         }
+        self.misses += 1;
         let term = pool.term(id).clone();
         let lit = match &term.op {
             Op::BoolConst(true) => self.lit_true(sat),
@@ -250,8 +268,10 @@ impl Blaster {
     /// Panics if `id` is boolean-sorted.
     pub fn encode_bv(&mut self, pool: &TermPool, sat: &mut Solver, id: TermId) -> Vec<Lit> {
         if let Some(bits) = self.bv_cache.get(&id) {
+            self.hits += 1;
             return bits.clone();
         }
+        self.misses += 1;
         let term = pool.term(id).clone();
         let width = pool.width(id) as usize;
         let bits: Vec<Lit> = match &term.op {

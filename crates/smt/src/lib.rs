@@ -14,6 +14,10 @@
 //! * a CDCL SAT solver ([`sat::Solver`]) with two-watched-literal
 //!   propagation, VSIDS branching, first-UIP clause learning, phase saving
 //!   and Luby restarts;
+//! * incremental solving sessions ([`Session`]) that keep one SAT instance
+//!   and one encoder alive across queries — assertions after a solve,
+//!   assumption-scoped checks, activation-literal groups, per-query
+//!   conflict budgets and canonical (history-independent) models;
 //! * model extraction and a concrete term evaluator ([`Model`], [`eval`]);
 //! * a constructive string solver ([`strings`]) for span/search constraints
 //!   over bounded NUL-terminated buffers — the engine behind the `str.KLEE`
@@ -47,13 +51,15 @@ pub mod bitblast;
 pub mod eval;
 pub mod model;
 pub mod sat;
+pub mod session;
 pub mod strings;
 pub mod term;
 
 pub use bitblast::Blaster;
 pub use eval::{eval_bool, eval_bv};
 pub use model::Model;
-pub use sat::{SatResult, Solver as SatSolver};
+pub use sat::{Lit, SatResult, Solver as SatSolver};
+pub use session::{Session, SessionStats};
 pub use strings::{ByteSet, StringAbstraction};
 pub use term::{Op, Sort, Term, TermId, TermPool};
 
@@ -90,8 +96,9 @@ impl CheckResult {
 
 /// A bit-vector SMT solver: bit-blasts assertions and runs CDCL SAT.
 ///
-/// Each call to [`Solver::check`] is independent (the encoder is rebuilt),
-/// mirroring how KLEE issues stand-alone queries per path.
+/// Each call to [`Solver::check`] is independent — it runs a throwaway
+/// [`Session`] — mirroring how KLEE issues stand-alone queries per path.
+/// Callers with many related queries should hold a [`Session`] instead.
 #[derive(Debug, Default, Clone)]
 pub struct Solver {
     /// Optional cap on SAT conflicts before giving up with `Unknown`.
@@ -129,20 +136,14 @@ impl Solver {
                 None => pending.push(a),
             }
         }
-        let mut sat = sat::Solver::new();
+        let mut session = Session::new();
         if let Some(limit) = self.conflict_limit {
-            sat.set_conflict_limit(limit);
+            session.set_conflict_limit(limit);
         }
-        let mut blaster = Blaster::new();
         for a in pending {
-            let lit = blaster.encode_bool(pool, &mut sat, a);
-            sat.add_clause(&[lit]);
+            session.assert_term(pool, a);
         }
-        match sat.solve(&[]) {
-            SatResult::Sat => CheckResult::Sat(Model::from_sat(pool, &blaster, &sat)),
-            SatResult::Unsat => CheckResult::Unsat,
-            SatResult::Unknown => CheckResult::Unknown,
-        }
+        session.check(pool, &[])
     }
 
     /// Returns `true` iff `cond` holds under every assignment satisfying

@@ -3,8 +3,14 @@
 //! Features: two-watched-literal propagation, VSIDS variable activities with
 //! an indexed max-heap, first-UIP conflict analysis with clause learning,
 //! phase saving, Luby-sequence restarts, and solving under assumptions.
-//! Clause-database reduction is deliberately omitted: queries produced by the
-//! bit-blaster are short-lived, one solver per query.
+//!
+//! The solver is **incremental**: clauses may be added between (and after)
+//! `solve` calls, learned clauses, VSIDS activity and saved phases are
+//! retained across queries, and the conflict budget set via
+//! [`Solver::set_conflict_limit`] applies to each `solve` call separately.
+//! Clause-database reduction is deliberately omitted: the CEGIS sessions
+//! that drive the solver issue many small, closely-related queries, and
+//! every learned clause stays relevant to the next one.
 
 use std::fmt;
 
@@ -192,6 +198,9 @@ pub struct Solver {
     ok: bool,
     conflicts: u64,
     conflict_limit: u64,
+    propagations: u64,
+    learnts: u64,
+    queries: u64,
 }
 
 impl Solver {
@@ -225,6 +234,21 @@ impl Solver {
         self.clauses.len()
     }
 
+    /// Total literals propagated across all queries.
+    pub fn num_propagations(&self) -> u64 {
+        self.propagations
+    }
+
+    /// Learnt clauses kept in the database (never reduced away).
+    pub fn num_learnts(&self) -> u64 {
+        self.learnts
+    }
+
+    /// Number of `solve` calls issued so far.
+    pub fn num_queries(&self) -> u64 {
+        self.queries
+    }
+
     /// Allocates a fresh variable and returns it.
     pub fn new_var(&mut self) -> Var {
         let v = self.assigns.len() as Var;
@@ -256,9 +280,11 @@ impl Solver {
 
     /// Adds a clause. Returns `false` if the solver became trivially unsat.
     ///
-    /// Must be called at decision level 0 (i.e. before or between `solve`s).
+    /// May be called at any point — including after a `Sat` answer, whose
+    /// model the call invalidates: the solver first backtracks to decision
+    /// level 0 so level-0 simplification below stays sound.
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
-        debug_assert!(self.trail_lim.is_empty());
+        self.backtrack_to(0);
         if !self.ok {
             return false;
         }
@@ -321,6 +347,7 @@ impl Solver {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
+            self.propagations += 1;
             let false_lit = !p;
             let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
             let mut i = 0;
@@ -465,6 +492,7 @@ impl Solver {
     /// Assumptions are tried as forced decisions at the bottom of the tree;
     /// if an assumption conflicts, the result is `Unsat` (no core extraction).
     pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.queries += 1;
         if !self.ok {
             return SatResult::Unsat;
         }
@@ -492,6 +520,7 @@ impl Solver {
                     return SatResult::Unknown;
                 }
                 let (learnt, bt_level) = self.analyze(confl);
+                self.learnts += 1;
                 // Never backtrack past assumptions we still rely on.
                 self.backtrack_to(bt_level);
                 let asserting = learnt[0];
@@ -633,19 +662,16 @@ mod tests {
     fn pigeonhole_3_into_2_unsat() {
         // p[i][j]: pigeon i in hole j, 3 pigeons, 2 holes.
         let mut s = Solver::new();
-        let mut p = [[Lit::new(0, true); 2]; 3];
-        for i in 0..3 {
-            for j in 0..2 {
-                p[i][j] = Lit::new(s.new_var(), true);
-            }
+        let p: Vec<Vec<Lit>> = (0..3)
+            .map(|_| (0..2).map(|_| Lit::new(s.new_var(), true)).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row);
         }
-        for i in 0..3 {
-            s.add_clause(&[p[i][0], p[i][1]]);
-        }
-        for j in 0..2 {
-            for i1 in 0..3 {
-                for i2 in (i1 + 1)..3 {
-                    s.add_clause(&[!p[i1][j], !p[i2][j]]);
+        for (i1, r1) in p.iter().enumerate() {
+            for r2 in &p[i1 + 1..] {
+                for (&l1, &l2) in r1.iter().zip(r2) {
+                    s.add_clause(&[!l1, !l2]);
                 }
             }
         }
@@ -672,20 +698,16 @@ mod tests {
         // A hard-ish pigeonhole instance with a tiny conflict budget.
         let mut s = Solver::new();
         let n = 6; // pigeons; n-1 holes
-        let mut p = vec![vec![Lit::new(0, true); n - 1]; n];
-        for i in 0..n {
-            for j in 0..n - 1 {
-                p[i][j] = Lit::new(s.new_var(), true);
-            }
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| Lit::new(s.new_var(), true)).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row);
         }
-        for i in 0..n {
-            let row: Vec<Lit> = p[i].clone();
-            s.add_clause(&row);
-        }
-        for j in 0..n - 1 {
-            for i1 in 0..n {
-                for i2 in (i1 + 1)..n {
-                    s.add_clause(&[!p[i1][j], !p[i2][j]]);
+        for (i1, r1) in p.iter().enumerate() {
+            for r2 in &p[i1 + 1..] {
+                for (&l1, &l2) in r1.iter().zip(r2) {
+                    s.add_clause(&[!l1, !l2]);
                 }
             }
         }

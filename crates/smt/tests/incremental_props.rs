@@ -1,0 +1,86 @@
+//! Property tests for incremental sessions.
+//!
+//! The load-bearing one: a session that has answered `Unsat` for its
+//! asserted constraints can never answer `Sat` again after *more*
+//! assertions arrive — assertion sets only shrink the solution space, and
+//! retained learnt clauses must stay logical consequences of the database.
+
+use proptest::prelude::*;
+use strsum_smt::{Session, TermId, TermPool};
+
+/// Small constraint alphabet over four 8-bit variables. Constants are kept
+/// tiny so that random conjunctions go unsatisfiable often enough to
+/// exercise the interesting branch.
+fn mk_constraint(
+    pool: &mut TermPool,
+    vars: &[TermId],
+    (i, j, op, k): (usize, usize, u8, u8),
+) -> TermId {
+    let a = vars[i % vars.len()];
+    let b = vars[j % vars.len()];
+    let c = pool.bv_const(u64::from(k), 8);
+    match op % 5 {
+        0 => pool.eq(a, c),
+        1 => pool.ne(a, c),
+        2 => pool.bv_ult(a, c),
+        3 => pool.eq(a, b),
+        _ => pool.bv_ult(a, b),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn post_solve_assertions_never_flip_unsat_to_sat(
+        first in proptest::collection::vec((0usize..4, 0usize..4, 0u8..5, 0u8..4), 1..12),
+        extra in proptest::collection::vec((0usize..4, 0usize..4, 0u8..5, 0u8..4), 1..8),
+    ) {
+        let mut pool = TermPool::new();
+        let vars: Vec<TermId> = (0..4).map(|i| pool.var(&format!("x{i}"), 8)).collect();
+        let mut session = Session::new();
+        for &c in &first {
+            let t = mk_constraint(&mut pool, &vars, c);
+            session.assert_term(&mut pool, t);
+        }
+        let was_unsat = session.check(&mut pool, &[]).is_unsat();
+        for &c in &extra {
+            let t = mk_constraint(&mut pool, &vars, c);
+            session.assert_term(&mut pool, t);
+        }
+        let after = session.check(&mut pool, &[]);
+        if was_unsat {
+            prop_assert!(
+                after.is_unsat(),
+                "UNSAT flipped after adding assertions: first={first:?} extra={extra:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_verdict_matches_one_shot(
+        constraints in proptest::collection::vec((0usize..4, 0usize..4, 0u8..5, 0u8..4), 1..10),
+    ) {
+        // Asserting one-by-one with a solve between each must agree with
+        // asserting everything up front.
+        let mut pool = TermPool::new();
+        let vars: Vec<TermId> = (0..4).map(|i| pool.var(&format!("x{i}"), 8)).collect();
+        let terms: Vec<TermId> = constraints
+            .iter()
+            .map(|&c| mk_constraint(&mut pool, &vars, c))
+            .collect();
+
+        let mut stepwise = Session::new();
+        let mut step_verdict = true;
+        for &t in &terms {
+            stepwise.assert_term(&mut pool, t);
+            step_verdict = stepwise.check(&mut pool, &[]).is_sat();
+        }
+
+        let mut oneshot = Session::new();
+        for &t in &terms {
+            oneshot.assert_term(&mut pool, t);
+        }
+        let oneshot_verdict = oneshot.check(&mut pool, &[]).is_sat();
+        prop_assert_eq!(step_verdict, oneshot_verdict);
+    }
+}

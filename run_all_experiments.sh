@@ -1,6 +1,8 @@
 #!/bin/sh
 # Regenerates every table and figure of the paper into results/.
 # Budget knobs: TIMEOUT (table3 per-loop seconds), SCALE (fig2 ladder).
+# set -e makes the run fail fast: any bench binary exiting non-zero
+# (including bench_incremental's determinism audit) aborts the script.
 set -e
 TIMEOUT="${TIMEOUT:-45}"
 SCALE="${SCALE:-0.25}"
@@ -16,5 +18,6 @@ cargo run --release -p strsum-bench --bin fig4
 cargo run --release -p strsum-bench --bin fig5
 cargo run --release -p strsum-bench --bin table4
 cargo run --release -p strsum-bench --bin appendix
+cargo run --release -p strsum-bench --bin bench_incremental
 
 echo "all experiment outputs are in results/"

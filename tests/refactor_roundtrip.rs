@@ -11,10 +11,7 @@ const CASES: &[(&str, &[u8])] = &[
         "char* f(char* s) { while (*s == ' ') s++; return s; }",
         b"P \0F",
     ),
-    (
-        "char* f(char* s) { while (*s) s++; return s; }",
-        b"EF",
-    ),
+    ("char* f(char* s) { while (*s) s++; return s; }", b"EF"),
     (
         "char* f(char* s) { while (*s != 0 && *s != ':') s++; return s; }",
         b"N:\0F",

@@ -1,0 +1,52 @@
+//! Every Rust source file in the workspace must read as text to grep and
+//! friends: valid UTF-8 with no raw control bytes. (GNU grep flags a file
+//! as binary on the first NUL and then refuses to print matches — which is
+//! how a stray `\x00` inside a byte-string literal once made `cegis.rs`
+//! invisible to text searches.)
+
+use std::fs;
+use std::path::Path;
+
+fn scan(dir: &Path, offenders: &mut Vec<String>) {
+    for entry in fs::read_dir(dir).expect("readable dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name != "target" && name != ".git" {
+                scan(&path, offenders);
+            }
+            continue;
+        }
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        let bytes = fs::read(&path).expect("readable file");
+        let reason = if bytes.contains(&0) {
+            Some("contains NUL bytes")
+        } else if bytes
+            .iter()
+            .any(|&b| b < 0x20 && b != b'\t' && b != b'\n' && b != b'\r')
+        {
+            Some("contains raw control bytes")
+        } else if String::from_utf8(bytes).is_err() {
+            Some("is not valid UTF-8")
+        } else {
+            None
+        };
+        if let Some(r) = reason {
+            offenders.push(format!("{} {r}", path.display()));
+        }
+    }
+}
+
+#[test]
+fn no_rust_source_is_binary_to_text_tools() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut offenders = Vec::new();
+    scan(root, &mut offenders);
+    assert!(
+        offenders.is_empty(),
+        "source files that text tools would treat as binary:\n  {}",
+        offenders.join("\n  ")
+    );
+}
