@@ -1,11 +1,25 @@
-//! Incremental-session ablation: synthesise a corpus slice twice — once
-//! with the persistent solver session (the default) and once with the
-//! from-scratch reference path — and record wall-clock, iteration counts
-//! and solver telemetry side by side.
+//! Concrete-first ablation and determinism audit over a corpus slice.
 //!
-//! Canonical model extraction makes the two paths synthesise byte-identical
-//! programs, so any divergence in outcomes is reported as a determinism
-//! violation (exit code 1).
+//! Three passes:
+//!
+//! 1. **screened** — the default pipeline: concrete-first screening +
+//!    OE-class blocking inside incremental sessions, behind the
+//!    cross-loop summary cache (every hit re-verified).
+//! 2. **baseline** — screening and cache off, incremental sessions on:
+//!    the PR-1 pipeline, i.e. the ablation reference for "how many solver
+//!    queries does concrete-first screening remove?".
+//! 3. **screened from-scratch** — pass 1 with throwaway solvers. Canonical
+//!    model extraction makes passes 1 and 3 synthesise byte-identical
+//!    programs; any divergence is a determinism violation.
+//!
+//! The run fails (exit 1) on any determinism violation and on any
+//! screen-layer/solver disagreement — a candidate the symbolic circuit
+//! and the gadget interpreter judge differently, or a solver re-entry
+//! into a blocked OE class (`oe_class_hits > 0`). Both audits are wired
+//! into CI.
+//!
+//! Results land in `BENCH_pr2.json` (ablation + audit counters) and
+//! `BENCH_incremental.json` (the PR-1 incremental-vs-scratch shape).
 //!
 //! Usage: `cargo run --release -p strsum-bench --bin bench_incremental
 //!         [--limit N] [--timeout-secs N] [--threads N]`
@@ -13,34 +27,53 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 use strsum_bench::{
-    aggregate_telemetry, arg_value, default_threads, synthesize_corpus, telemetry_json,
-    write_result, LoopSynth,
+    aggregate_screen, aggregate_telemetry, arg_value, cache_json, default_threads, screen_json,
+    synthesize_corpus, synthesize_corpus_cached, telemetry_json, write_result, LoopSynth,
 };
 use strsum_core::SynthesisConfig;
-use strsum_corpus::corpus;
+use strsum_corpus::{corpus, CacheStats};
 
-fn run(
-    entries: &[strsum_corpus::LoopEntry],
-    incremental: bool,
-    timeout: f64,
-    threads: usize,
-) -> Vec<LoopSynth> {
-    let cfg = SynthesisConfig {
+fn config(screen: bool, incremental: bool, timeout: f64) -> SynthesisConfig {
+    SynthesisConfig {
         timeout: Duration::from_secs_f64(timeout),
         incremental,
+        screen,
         ..Default::default()
-    };
-    synthesize_corpus(entries, &cfg, threads)
+    }
 }
 
-fn mode_json(results: &[LoopSynth]) -> String {
+fn mode_json(results: &[LoopSynth], cache: Option<&CacheStats>) -> String {
     let ok = results.iter().filter(|r| r.program.is_some()).count();
     let secs: f64 = results.iter().map(|r| r.elapsed.as_secs_f64()).sum();
     let iterations: usize = results.iter().map(|r| r.stats.iterations).sum();
+    let cache_hits = results.iter().filter(|r| r.cache_hit).count();
     format!(
-        "{{\"synthesised\":{ok},\"wall_clock_secs\":{secs:.3},\"iterations\":{iterations},\"telemetry\":{}}}",
+        "{{\"synthesised\":{ok},\"wall_clock_secs\":{secs:.3},\"iterations\":{iterations},\"solver_queries\":{},\"cache_hits\":{cache_hits},\"cache\":{},\"screen\":{},\"telemetry\":{}}}",
+        aggregate_telemetry(results).total().queries,
+        cache.map_or("null".to_string(), cache_json),
+        screen_json(&aggregate_screen(results)),
         telemetry_json(&aggregate_telemetry(results))
     )
+}
+
+/// Screen-layer/solver disagreements in one pass: hard failures flagged by
+/// the session plus any solver re-entry into a blocked OE class.
+fn disagreements(results: &[LoopSynth]) -> Vec<String> {
+    let mut out = Vec::new();
+    for r in results {
+        if let Some(f) = &r.failure {
+            if f.contains("screen/solver disagreement") {
+                out.push(format!("{}: {f}", r.entry.id));
+            }
+        }
+        if r.stats.screen.oe_class_hits > 0 {
+            out.push(format!(
+                "{}: solver re-explored {} blocked OE class(es)",
+                r.entry.id, r.stats.screen.oe_class_hits
+            ));
+        }
+    }
+    out
 }
 
 fn main() {
@@ -49,7 +82,7 @@ fn main() {
         .unwrap_or(24);
     let timeout: f64 = arg_value("--timeout-secs")
         .and_then(|v| v.parse().ok())
-        .unwrap_or(5.0);
+        .unwrap_or(10.0);
     if !timeout.is_finite() || timeout <= 0.0 {
         eprintln!("error: --timeout-secs must be a positive number of seconds");
         std::process::exit(2);
@@ -57,25 +90,31 @@ fn main() {
     let threads = arg_value("--threads")
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(default_threads);
+    let verbose = std::env::args().any(|a| a == "--verbose");
 
     let mut entries = corpus();
     entries.truncate(limit);
     println!(
-        "incremental-vs-scratch ablation: {} loops, {timeout}s/loop, {threads} threads",
+        "concrete-first ablation: {} loops, {timeout}s/loop, {threads} threads",
         entries.len()
     );
 
-    println!("pass 1/2: incremental sessions…");
-    let inc = run(&entries, true, timeout, threads);
-    println!("pass 2/2: from-scratch reference…");
-    let scratch = run(&entries, false, timeout, threads);
+    println!("pass 1/3: screened + cached, incremental sessions…");
+    let (screened, cache) =
+        synthesize_corpus_cached(&entries, &config(true, true, timeout), threads);
+    println!("pass 2/3: baseline (no screen, no cache), incremental sessions…");
+    let baseline = synthesize_corpus(&entries, &config(false, true, timeout), threads);
+    println!("pass 3/3: screened + cached, from-scratch reference…");
+    let (scratch, scratch_cache) =
+        synthesize_corpus_cached(&entries, &config(true, false, timeout), threads);
 
-    // Determinism audit: identical programs, identical failure kinds.
+    // Determinism audit: identical programs, identical failure kinds,
+    // between the screened incremental and from-scratch passes.
     // (Timeout-bounded runs can legitimately diverge only when a loop's
     // verdict raced the clock; count those separately.)
     let mut mismatches = Vec::new();
     let mut timing_races = 0usize;
-    for (a, b) in inc.iter().zip(&scratch) {
+    for (a, b) in screened.iter().zip(&scratch) {
         let pa = a.program.as_ref().map(strsum_gadgets::Program::encode);
         let pb = b.program.as_ref().map(strsum_gadgets::Program::encode);
         if pa == pb {
@@ -96,25 +135,62 @@ fn main() {
             ));
         }
     }
+    if verbose {
+        for (s, b) in screened.iter().zip(&baseline) {
+            let show = |r: &LoopSynth| match (&r.program, &r.failure) {
+                (Some(p), _) => format!("{:?}", String::from_utf8_lossy(&p.encode())),
+                (None, Some(f)) => format!("FAIL({f})"),
+                (None, None) => "FAIL(?)".to_string(),
+            };
+            println!(
+                "  {:>28}  screened {:>6.2}s {:<28} baseline {:>6.2}s {}",
+                s.entry.id,
+                s.elapsed.as_secs_f64(),
+                show(s),
+                b.elapsed.as_secs_f64(),
+                show(b)
+            );
+        }
+    }
+    let mut disagreed = disagreements(&screened);
+    disagreed.extend(disagreements(&baseline));
+    disagreed.extend(disagreements(&scratch));
 
-    let inc_secs: f64 = inc.iter().map(|r| r.elapsed.as_secs_f64()).sum();
+    let count_ok = |rs: &[LoopSynth]| rs.iter().filter(|r| r.program.is_some()).count();
+    let screened_q = aggregate_telemetry(&screened).total().queries;
+    let baseline_q = aggregate_telemetry(&baseline).total().queries;
+    let reduction = 100.0 * (1.0 - screened_q as f64 / baseline_q.max(1) as f64);
+    let screened_secs: f64 = screened.iter().map(|r| r.elapsed.as_secs_f64()).sum();
+    let baseline_secs: f64 = baseline.iter().map(|r| r.elapsed.as_secs_f64()).sum();
     let scratch_secs: f64 = scratch.iter().map(|r| r.elapsed.as_secs_f64()).sum();
-    let it = aggregate_telemetry(&inc).total();
-    let st = aggregate_telemetry(&scratch).total();
+    let sstats = aggregate_screen(&screened);
     println!(
-        "incremental : {:>8.2}s wall-clock, {} conflicts, {} propagations, {} blast misses",
-        inc_secs, it.conflicts, it.propagations, it.blast_misses
+        "screened : {:>8.2}s wall-clock, {:>8} solver queries, {}/{} synthesised, {} cache hits, {} screen rejects",
+        screened_secs,
+        screened_q,
+        count_ok(&screened),
+        entries.len(),
+        cache.hits - cache.rejected,
+        sstats.screen_rejects
     );
     println!(
-        "from-scratch: {:>8.2}s wall-clock, {} conflicts, {} propagations, {} blast misses",
-        scratch_secs, st.conflicts, st.propagations, st.blast_misses
+        "baseline : {:>8.2}s wall-clock, {:>8} solver queries, {}/{} synthesised",
+        baseline_secs,
+        baseline_q,
+        count_ok(&baseline),
+        entries.len()
     );
     println!(
-        "speedup ×{:.2}; identical outcomes on {}/{} loops ({} timing races)",
-        scratch_secs / inc_secs.max(1e-9),
+        "ablation : {reduction:.1}% fewer solver queries with concrete-first screening \
+         (target ≥ 30%)"
+    );
+    println!(
+        "audit    : identical outcomes on {}/{} loops vs from-scratch ({} timing races), \
+         {} disagreements",
         entries.len() - mismatches.len() - timing_races,
         entries.len(),
-        timing_races
+        timing_races,
+        disagreed.len()
     );
 
     let mut json = String::new();
@@ -124,23 +200,81 @@ fn main() {
         "  \"config\": {{\"loops\":{},\"timeout_secs\":{timeout},\"threads\":{threads}}},",
         entries.len()
     );
-    let _ = writeln!(json, "  \"incremental\": {},", mode_json(&inc));
-    let _ = writeln!(json, "  \"from_scratch\": {},", mode_json(&scratch));
+    let _ = writeln!(
+        json,
+        "  \"screened\": {},",
+        mode_json(&screened, Some(&cache))
+    );
+    let _ = writeln!(
+        json,
+        "  \"baseline_no_screen\": {},",
+        mode_json(&baseline, None)
+    );
+    let _ = writeln!(
+        json,
+        "  \"screened_from_scratch\": {},",
+        mode_json(&scratch, Some(&scratch_cache))
+    );
+    let _ = writeln!(
+        json,
+        "  \"ablation\": {{\"baseline_queries\":{baseline_q},\"screened_queries\":{screened_q},\"query_reduction_percent\":{reduction:.2},\"synthesised_baseline\":{},\"synthesised_screened\":{}}},",
+        count_ok(&baseline),
+        count_ok(&screened)
+    );
+    let _ = writeln!(json, "  \"timing_races\": {timing_races},");
+    let _ = writeln!(json, "  \"determinism_violations\": {},", mismatches.len());
+    let _ = writeln!(
+        json,
+        "  \"screen_solver_disagreements\": {}",
+        disagreed.len()
+    );
+    let _ = writeln!(json, "}}");
+    write_result("BENCH_pr2.json", &json);
+
+    // The PR-1 report shape, now over the screened pipeline.
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"loops\":{},\"timeout_secs\":{timeout},\"threads\":{threads}}},",
+        entries.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"incremental\": {},",
+        mode_json(&screened, Some(&cache))
+    );
+    let _ = writeln!(
+        json,
+        "  \"from_scratch\": {},",
+        mode_json(&scratch, Some(&scratch_cache))
+    );
     let _ = writeln!(
         json,
         "  \"speedup\": {:.4},",
-        scratch_secs / inc_secs.max(1e-9)
+        scratch_secs / screened_secs.max(1e-9)
     );
     let _ = writeln!(json, "  \"timing_races\": {timing_races},");
     let _ = writeln!(json, "  \"determinism_violations\": {}", mismatches.len());
     let _ = writeln!(json, "}}");
     write_result("BENCH_incremental.json", &json);
 
+    let mut failed = false;
     if !mismatches.is_empty() {
         eprintln!("DETERMINISM VIOLATIONS:");
         for m in &mismatches {
             eprintln!("  {m}");
         }
+        failed = true;
+    }
+    if !disagreed.is_empty() {
+        eprintln!("SCREEN/SOLVER DISAGREEMENTS:");
+        for d in &disagreed {
+            eprintln!("  {d}");
+        }
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

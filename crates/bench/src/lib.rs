@@ -9,8 +9,11 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
-use strsum_core::{synthesize, SolverTelemetry, SynthStats, SynthesisConfig, SynthesisResult};
-use strsum_corpus::LoopEntry;
+use strsum_core::{
+    loop_fingerprint, synthesize, verify_summary, ScreenStats, SolverTelemetry, SynthStats,
+    SynthesisConfig, SynthesisResult,
+};
+use strsum_corpus::{CacheStats, LoopEntry, SummaryCache};
 use strsum_gadgets::Program;
 use strsum_smt::SessionStats;
 
@@ -27,6 +30,9 @@ pub struct LoopSynth {
     pub failure: Option<String>,
     /// Full run statistics, including solver telemetry.
     pub stats: SynthStats,
+    /// Whether the program came from the cross-loop summary cache (and
+    /// passed re-verification) rather than from fresh synthesis.
+    pub cache_hit: bool,
 }
 
 /// Synthesises one corpus entry, mapping every failure mode — including a
@@ -43,6 +49,7 @@ fn synthesize_entry(entry: LoopEntry, cfg: &SynthesisConfig) -> LoopSynth {
                 elapsed: start.elapsed(),
                 failure: stats.failure.clone(),
                 stats,
+                cache_hit: false,
             }
         }
         Err(e) => LoopSynth {
@@ -51,35 +58,32 @@ fn synthesize_entry(entry: LoopEntry, cfg: &SynthesisConfig) -> LoopSynth {
             elapsed: start.elapsed(),
             failure: Some(format!("does not compile: {e}")),
             stats: SynthStats::default(),
+            cache_hit: false,
         },
     }
 }
 
-/// Runs synthesis over `entries` in parallel using `threads` workers.
+/// Maps `f` over `items` on `threads` workers, preserving order.
 ///
-/// Workers steal indices from a shared counter and stream results back over
-/// a channel; entries that fail (to compile or to synthesise) come back as
-/// `LoopSynth { failure: Some(..) }` rather than panicking the worker.
-pub fn synthesize_corpus(
-    entries: &[LoopEntry],
-    cfg: &SynthesisConfig,
-    threads: usize,
-) -> Vec<LoopSynth> {
-    let threads = threads.clamp(1, entries.len().max(1));
+/// Workers steal indices from a shared counter and stream results back
+/// over a channel, so the output order — and everything computed from it —
+/// is independent of thread scheduling.
+fn par_map<T: Sync, R: Send>(items: &[T], threads: usize, f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let threads = threads.clamp(1, items.len().max(1));
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, LoopSynth)>();
-    let mut slots: Vec<Option<LoopSynth>> = entries.iter().map(|_| None).collect();
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = items.iter().map(|_| None).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
             let next = &next;
+            let f = &f;
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::SeqCst);
-                if i >= entries.len() {
+                if i >= items.len() {
                     break;
                 }
-                let result = synthesize_entry(entries[i].clone(), cfg);
-                if tx.send((i, result)).is_err() {
+                if tx.send((i, f(&items[i]))).is_err() {
                     break;
                 }
             });
@@ -93,6 +97,168 @@ pub fn synthesize_corpus(
         .into_iter()
         .map(|s| s.expect("every index is claimed exactly once"))
         .collect()
+}
+
+/// Runs synthesis over `entries` in parallel using `threads` workers.
+///
+/// Entries that fail (to compile or to synthesise) come back as
+/// `LoopSynth { failure: Some(..) }` rather than panicking the worker.
+pub fn synthesize_corpus(
+    entries: &[LoopEntry],
+    cfg: &SynthesisConfig,
+    threads: usize,
+) -> Vec<LoopSynth> {
+    par_map(entries, threads, |e| synthesize_entry(e.clone(), cfg))
+}
+
+/// [`synthesize_corpus`] behind a cross-loop summary cache.
+///
+/// Loops are grouped by semantic fingerprint
+/// ([`strsum_core::loop_fingerprint`]: outcomes over the bounded
+/// small-model input set). Only the first loop of each group — in corpus
+/// order — is synthesised; the others take the cached program and
+/// re-verify it against *their own* loop with the full bounded checker
+/// ([`strsum_core::verify_summary`]), falling back to fresh synthesis when
+/// re-verification rejects it (fingerprint collision or poisoned entry).
+///
+/// The phases are deterministic by construction: grouping follows corpus
+/// order and each phase is a [`par_map`] whose output is order-preserving,
+/// so cache-hit patterns never depend on thread scheduling — the
+/// incremental-vs-scratch determinism audit holds with the cache on.
+pub fn synthesize_corpus_cached(
+    entries: &[LoopEntry],
+    cfg: &SynthesisConfig,
+    threads: usize,
+) -> (Vec<LoopSynth>, CacheStats) {
+    let mut cache = SummaryCache::new();
+
+    // Phase A: fingerprint every loop (concrete evaluation, no solver).
+    let fingerprints: Vec<Result<Vec<u64>, String>> = par_map(entries, threads, |e| {
+        strsum_cfront::compile_one(&e.source)
+            .map(|func| loop_fingerprint(&func, cfg.max_ex_size))
+            .map_err(|err| format!("does not compile: {err}"))
+    });
+
+    // Phase B: synthesise one representative per fingerprint group, in
+    // corpus order (the first loop of each group).
+    let mut seen: std::collections::HashSet<&[u64]> = std::collections::HashSet::new();
+    let mut rep_indices: Vec<usize> = Vec::new();
+    for (i, fp) in fingerprints.iter().enumerate() {
+        if let Ok(fp) = fp {
+            if seen.insert(fp.as_slice()) {
+                rep_indices.push(i);
+            }
+        }
+    }
+    let rep_results: Vec<LoopSynth> = par_map(&rep_indices, threads, |&i| {
+        synthesize_entry(entries[i].clone(), cfg)
+    });
+    let mut slots: Vec<Option<LoopSynth>> = entries.iter().map(|_| None).collect();
+    for (&i, result) in rep_indices.iter().zip(rep_results) {
+        let fp = fingerprints[i].as_ref().expect("reps have fingerprints");
+        assert!(cache.lookup(fp).is_none(), "representative misses");
+        if let Some(p) = &result.program {
+            cache.insert(fp.clone(), p.encode());
+        }
+        slots[i] = Some(result);
+    }
+
+    // Phase C: remaining loops — compile failures fail as usual; members
+    // of a group with a cached summary re-verify it; groups whose
+    // representative failed fall back to fresh synthesis.
+    enum Plan {
+        Verify { idx: usize, bytes: Vec<u8> },
+        Synthesize { idx: usize },
+    }
+    let mut plans: Vec<Plan> = Vec::new();
+    for (i, fp) in fingerprints.iter().enumerate() {
+        if slots[i].is_some() {
+            continue;
+        }
+        match fp {
+            Err(e) => {
+                slots[i] = Some(LoopSynth {
+                    entry: entries[i].clone(),
+                    program: None,
+                    elapsed: Duration::ZERO,
+                    failure: Some(e.clone()),
+                    stats: SynthStats::default(),
+                    cache_hit: false,
+                });
+            }
+            Ok(fp) => match cache.lookup(fp) {
+                Some(bytes) => plans.push(Plan::Verify { idx: i, bytes }),
+                None => plans.push(Plan::Synthesize { idx: i }),
+            },
+        }
+    }
+    let verified: Vec<(usize, Option<LoopSynth>, SessionStats)> =
+        par_map(&plans, threads, |plan| match plan {
+            Plan::Synthesize { idx } => (
+                *idx,
+                Some(synthesize_entry(entries[*idx].clone(), cfg)),
+                SessionStats::default(),
+            ),
+            Plan::Verify { idx, bytes } => {
+                let start = Instant::now();
+                let func = strsum_cfront::compile_one(&entries[*idx].source)
+                    .expect("fingerprinted in phase A");
+                let (ok, effort) = verify_summary(&func, bytes, cfg.max_ex_size);
+                if !ok {
+                    return (*idx, None, effort);
+                }
+                let program = Program::decode(bytes).expect("cache holds encoded programs");
+                (
+                    *idx,
+                    Some(LoopSynth {
+                        entry: entries[*idx].clone(),
+                        program: Some(program),
+                        elapsed: start.elapsed(),
+                        failure: None,
+                        stats: SynthStats {
+                            solver: SolverTelemetry {
+                                verify: effort,
+                                ..SolverTelemetry::default()
+                            },
+                            ..SynthStats::default()
+                        },
+                        cache_hit: true,
+                    }),
+                    effort,
+                )
+            }
+        });
+
+    // Phase D: full synthesis for loops whose cached summary was rejected
+    // (collision or poison); the wasted verification effort stays on their
+    // books so totals remain honest.
+    let mut fallback: Vec<(usize, SessionStats)> = Vec::new();
+    for (idx, result, effort) in verified {
+        match result {
+            Some(r) => slots[idx] = Some(r),
+            None => {
+                let fp = fingerprints[idx]
+                    .as_ref()
+                    .expect("verified ⇒ fingerprinted");
+                cache.reject(fp);
+                fallback.push((idx, effort));
+            }
+        }
+    }
+    let fallback_results: Vec<LoopSynth> = par_map(&fallback, threads, |&(i, wasted)| {
+        let mut r = synthesize_entry(entries[i].clone(), cfg);
+        r.stats.solver.verify = r.stats.solver.verify.plus(&wasted);
+        r
+    });
+    for (&(i, _), result) in fallback.iter().zip(fallback_results) {
+        slots[i] = Some(result);
+    }
+
+    let results = slots
+        .into_iter()
+        .map(|s| s.expect("every loop is resolved by one phase"))
+        .collect();
+    (results, cache.stats())
 }
 
 /// Sums per-loop solver telemetry over a whole run.
@@ -157,6 +323,33 @@ pub fn telemetry_json(t: &SolverTelemetry) -> String {
         session_stats_json(&t.search),
         session_stats_json(&t.verify),
         session_stats_json(&t.total())
+    )
+}
+
+/// Sums per-loop concrete-screening counters over a whole run.
+pub fn aggregate_screen(results: &[LoopSynth]) -> ScreenStats {
+    results
+        .iter()
+        .fold(ScreenStats::default(), |acc, r| acc.plus(&r.stats.screen))
+}
+
+/// A [`ScreenStats`] as a flat JSON object.
+pub fn screen_json(s: &ScreenStats) -> String {
+    format!(
+        "{{\"screen_rejects\":{},\"oe_class_hits\":{},\"promoted\":{},\"minimize_screen_rejects\":{},\"verify_checks_avoided\":{}}}",
+        s.screen_rejects,
+        s.oe_class_hits,
+        s.promoted,
+        s.minimize_screen_rejects,
+        s.verify_checks_avoided()
+    )
+}
+
+/// A [`CacheStats`] as a flat JSON object.
+pub fn cache_json(s: &CacheStats) -> String {
+    format!(
+        "{{\"hits\":{},\"misses\":{},\"rejected\":{}}}",
+        s.hits, s.misses, s.rejected
     )
 }
 

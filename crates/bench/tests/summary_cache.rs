@@ -1,0 +1,116 @@
+//! The cross-loop summary cache's soundness contract: a cache hit is
+//! *never* trusted — it must pass the full bounded checker against the
+//! looked-up loop, and a poisoned (or fingerprint-colliding) entry is
+//! rejected and replaced by fresh synthesis.
+
+use std::time::Duration;
+use strsum_bench::synthesize_corpus_cached;
+use strsum_core::{loop_fingerprint, verify_summary, SynthesisConfig};
+use strsum_corpus::{App, LoopEntry, SummaryCache};
+use strsum_gadgets::interp::{run_bytes, Outcome};
+
+const SKIP_SPACES: &str = "char* loopFunction(char* s) { while (*s == ' ') s++; return s; }";
+
+fn entry(id: &str, source: &str) -> LoopEntry {
+    LoopEntry {
+        id: id.to_string(),
+        app: App::Bash,
+        description: "test loop".to_string(),
+        source: source.to_string(),
+    }
+}
+
+fn cfg() -> SynthesisConfig {
+    SynthesisConfig {
+        timeout: Duration::from_secs(120),
+        ..Default::default()
+    }
+}
+
+/// End-to-end poisoning: plant a wrong program under the loop's own
+/// fingerprint; the mandatory re-verification must reject it, the cache
+/// must count the rejection, and synthesis must still produce a correct
+/// summary from scratch.
+#[test]
+fn poisoned_entry_is_rejected_and_resynthesized() {
+    let func = strsum_cfront::compile_one(SKIP_SPACES).unwrap();
+    let fp = loop_fingerprint(&func, 3);
+    let mut cache = SummaryCache::new();
+    // `C:F` (strchr for ':') is a well-formed summary of a *different*
+    // loop — exactly what a poisoned or colliding entry looks like.
+    cache.insert(fp.clone(), b"C:F".to_vec());
+
+    let hit = cache.lookup(&fp).expect("poisoned entry is found");
+    let (ok, _) = verify_summary(&func, &hit, 3);
+    assert!(!ok, "re-verification must reject the poisoned entry");
+    cache.reject(&fp);
+    assert_eq!(cache.stats().rejected, 1);
+    assert_eq!(cache.stats().hits, 1);
+
+    // The fallback path: full synthesis still gets the right answer.
+    let result = strsum_core::synthesize(&func, &cfg());
+    let prog = result.program.expect("fallback synthesis succeeds");
+    assert_eq!(run_bytes(&prog.encode(), Some(b"  x")), Outcome::Ptr(2));
+}
+
+/// The grid pre-screen is not what makes re-verification sound: a poison
+/// that agrees with the loop on the whole concrete grid (it differs only
+/// on characters outside the abstract alphabet) must still be caught by
+/// the bounded checker's symbolic sweep over all 256 characters.
+#[test]
+fn grid_evading_poison_caught_by_bounded_checker() {
+    let func = strsum_cfront::compile_one(SKIP_SPACES).unwrap();
+    // Skips ' ' and 'q'; 'q' is outside the loop's abstract alphabet, so
+    // no grid string distinguishes this from the correct summary.
+    let (ok, effort) = verify_summary(&func, b"P q\0F", 3);
+    assert!(!ok, "checker must reject the grid-evading poison");
+    assert!(effort.queries > 0, "rejection must come from the solver");
+
+    // The correct summary is accepted — also through the solver.
+    let (ok, effort) = verify_summary(&func, b"P \0F", 3);
+    assert!(ok);
+    assert!(effort.queries > 0, "acceptance must come from the solver");
+
+    // Undecodable bytes can never verify.
+    let (ok, _) = verify_summary(&func, &[0x11, 0x22], 3);
+    assert!(!ok);
+}
+
+/// `synthesize_corpus_cached` synthesises one representative per semantic
+/// fingerprint and re-verifies the cached summary for every clone.
+#[test]
+fn semantically_identical_loops_hit_the_cache() {
+    let entries = vec![
+        entry("a_01", SKIP_SPACES),
+        // Same loop, renamed cursor and different idiom: same fingerprint.
+        entry(
+            "a_02",
+            "char* loopFunction(char* p) { for (; *p == ' '; p++); return p; }",
+        ),
+        // A genuinely different loop: its own group.
+        entry(
+            "a_03",
+            "char* loopFunction(char* s) { while (*s != 0 && *s != ':') s++; return s; }",
+        ),
+    ];
+    let (results, stats) = synthesize_corpus_cached(&entries, &cfg(), 2);
+    assert_eq!(results.len(), 3);
+    let progs: Vec<_> = results
+        .iter()
+        .map(|r| r.program.as_ref().expect("all three synthesise").encode())
+        .collect();
+    assert_eq!(progs[0], progs[1], "clone reuses the cached summary");
+    assert!(!results[0].cache_hit, "representative is synthesised");
+    assert!(results[1].cache_hit, "clone is a verified cache hit");
+    assert!(!results[2].cache_hit, "different loop cannot hit the cache");
+    assert!(
+        results[1].stats.solver.verify.queries > 0,
+        "the cache hit paid for bounded re-verification"
+    );
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.misses, 2);
+    // Behavioural spot-checks on the reused summary.
+    assert_eq!(run_bytes(&progs[1], Some(b"   ab")), Outcome::Ptr(3));
+    assert_eq!(run_bytes(&progs[2], Some(b"ab:c")), Outcome::Ptr(2));
+}

@@ -30,6 +30,12 @@ pub struct SynthesisConfig {
     /// false, every query runs from scratch — the reference path used to
     /// validate that persistence never changes the synthesised program.
     pub incremental: bool,
+    /// Concrete-first screening (the default): run every solver candidate
+    /// with the gadget interpreter over the small-model grid before any
+    /// verify query, and block refuted observational-equivalence classes.
+    /// When false, every candidate goes straight to the bounded checker —
+    /// the ablation baseline.
+    pub screen: bool,
 }
 
 impl Default for SynthesisConfig {
@@ -44,6 +50,7 @@ impl Default for SynthesisConfig {
             seed_examples: vec![Some(b"".to_vec()), Some(b"ab".to_vec())],
             solver_conflict_limit: 200_000,
             incremental: true,
+            screen: true,
         }
     }
 }
@@ -61,6 +68,9 @@ pub struct SynthStats {
     pub failure: Option<String>,
     /// Solver-effort counters (cumulative over the owning session).
     pub solver: SolverTelemetry,
+    /// Concrete-screening counters (cumulative over the owning session;
+    /// all zero when screening is disabled).
+    pub screen: crate::screen::ScreenStats,
 }
 
 /// Result of a synthesis attempt.
@@ -127,6 +137,25 @@ pub fn minimize(pool: &mut TermPool, checker: &BoundedChecker, prog: &Program) -
     })
 }
 
+/// Screen-first [`minimize_with`]: each shrink candidate is first run
+/// through `cheap_reject` (the interpreter bank/grid screen — concrete,
+/// zero solver work); only candidates it cannot refute fall back to the
+/// full SAT equivalence predicate. Rejections by the screen are witnessed
+/// by concrete disagreeing inputs, so the minimised program is identical
+/// to what [`minimize_with`] over `sat_equivalent` alone would produce.
+pub fn minimize_screened(
+    prog: &Program,
+    mut cheap_reject: impl FnMut(&[u8]) -> bool,
+    mut sat_equivalent: impl FnMut(&Program) -> bool,
+) -> Program {
+    minimize_with(prog, |p| {
+        if cheap_reject(&p.encode()) {
+            return false;
+        }
+        sat_equivalent(p)
+    })
+}
+
 /// Decodes the longest valid instruction prefix, truncated after the
 /// *last* `F` (guards such as `Z` can skip earlier `F`s at run time, so
 /// truncating at the first one — e.g. in `ZFP \t\0F` — would lose the
@@ -172,22 +201,13 @@ pub(crate) fn fresh_distinguishing_input(
     known: &[Option<Vec<u8>>],
     cfg: &SynthesisConfig,
 ) -> Option<Option<Vec<u8>>> {
-    // Base alphabet plus every byte the candidate mentions (its set and
-    // character arguments are where it can differ from the oracle) plus the
-    // characters the loop itself compares against.
-    let mut alphabet: Vec<u8> = b" \tab:;/0".to_vec();
+    // The loop's abstract alphabet plus every byte the candidate mentions
+    // (its set and character arguments are where it can differ from the
+    // oracle).
+    let mut alphabet: Vec<u8> = crate::screen::loop_alphabet(oracle.func());
     for &b in bytes {
         if b != 0 && !alphabet.contains(&b) {
             alphabet.push(b);
-        }
-    }
-    for instr in &oracle.func().instrs {
-        for op in instr.operands() {
-            if let strsum_ir::Operand::Const(v, strsum_ir::Ty::I8 | strsum_ir::Ty::I32) = op {
-                if (1..=255).contains(&v) && !alphabet.contains(&(v as u8)) {
-                    alphabet.push(v as u8);
-                }
-            }
         }
     }
     let alphabet = &alphabet[..];

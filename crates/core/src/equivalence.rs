@@ -168,6 +168,42 @@ fn canonical_buffer_constraints(pool: &mut TermPool, chars: &[TermId]) -> Vec<Te
     out
 }
 
+/// Re-verifies a summary (encoded program bytes, e.g. a cross-loop cache
+/// hit) against `func`, returning whether it is bounded-equivalent and
+/// the solver effort spent deciding that.
+///
+/// The bytes are first screened concretely on the loop's small-model
+/// grid ([`crate::screen::ConcreteScreen`]) — a visibly wrong summary is
+/// rejected with zero solver queries. A summary is *accepted* only by
+/// the full bounded checker: the grid is finite, so passing it proves
+/// nothing, and the small-model theorem remains the sole soundness root.
+/// Undecodable bytes and loops the checker cannot explore are rejected.
+pub fn verify_summary(
+    func: &strsum_ir::Func,
+    bytes: &[u8],
+    max_ex_size: usize,
+) -> (bool, strsum_smt::SessionStats) {
+    let no_effort = strsum_smt::SessionStats::default();
+    let Ok(prog) = Program::decode(bytes) else {
+        return (false, no_effort);
+    };
+    let mut oracle = LoopOracle::new(func);
+    let mut screen = crate::screen::ConcreteScreen::new(&mut oracle, max_ex_size);
+    if screen.grid_rejects(bytes) {
+        return (false, no_effort);
+    }
+    let mut pool = TermPool::new();
+    match BoundedChecker::new(&mut pool, func, max_ex_size) {
+        Ok(checker) => {
+            let mut session = Session::new();
+            checker.assert_canonical(&mut pool, &mut session);
+            let verdict = checker.check_in(&mut pool, &mut session, &prog);
+            (verdict == EquivalenceResult::Equivalent, session.stats())
+        }
+        Err(_) => (false, no_effort),
+    }
+}
+
 /// One-shot convenience wrapper around [`BoundedChecker`].
 pub fn check_equivalence(
     func: &strsum_ir::Func,

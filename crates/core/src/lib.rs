@@ -39,17 +39,20 @@ pub mod deepening;
 pub mod equivalence;
 pub mod memoryless;
 pub mod oracle;
+pub mod screen;
 pub mod session;
 pub mod theory;
 pub mod vocab;
 
 pub use cegis::{
-    minimize, minimize_with, synthesize, SynthStats, SynthesisConfig, SynthesisResult,
+    minimize, minimize_screened, minimize_with, synthesize, SynthStats, SynthesisConfig,
+    SynthesisResult,
 };
 pub use deepening::{synthesize_deepening, DeepeningConfig};
-pub use equivalence::{check_equivalence, EquivalenceResult};
+pub use equivalence::{check_equivalence, verify_summary, EquivalenceResult};
 pub use memoryless::{check_memoryless, Direction, MemorylessReport};
 pub use oracle::{LoopOracle, OracleOutcome};
+pub use screen::{loop_alphabet, loop_fingerprint, ConcreteScreen, ScreenStats, ScreenVerdict};
 pub use session::{SolverTelemetry, SynthSession};
 pub use theory::{MemorylessSpec, OffsetSpec};
 pub use vocab::Vocab;

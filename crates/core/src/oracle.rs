@@ -9,7 +9,7 @@ use strsum_ir::interp::{run_loop_function, run_loop_function_null};
 use strsum_ir::Func;
 
 /// Outcome of running the original loop on one input.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OracleOutcome {
     /// Returned `input + offset`.
     Ptr(usize),

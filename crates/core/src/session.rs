@@ -27,12 +27,14 @@
 //! identical UNSAT verdicts, differing only in solver effort.
 
 use crate::cegis::{
-    decode_prefix, fresh_distinguishing_input, minimize_with, SynthStats, SynthesisConfig,
-    SynthesisResult,
+    decode_prefix, fresh_distinguishing_input, minimize_screened, minimize_with, SynthStats,
+    SynthesisConfig, SynthesisResult,
 };
 use crate::equivalence::{BoundedChecker, EquivalenceResult};
-use crate::oracle::LoopOracle;
+use crate::oracle::{LoopOracle, OracleOutcome};
+use crate::screen::{ConcreteScreen, ScreenVerdict};
 use std::time::{Duration, Instant};
+use strsum_gadgets::interp::run_bytes;
 use strsum_gadgets::symbolic::outcome_term_symbolic_prog_vocab;
 use strsum_gadgets::Program;
 use strsum_smt::{CheckResult, Lit, Session, SessionStats, TermId, TermPool};
@@ -69,6 +71,8 @@ pub struct SynthSession<'f> {
     verify: Session,
     verify_prepared: bool,
     counterexamples: Vec<Option<Vec<u8>>>,
+    /// Concrete-first screening state; `None` when `cfg.screen` is off.
+    screen: Option<ConcreteScreen>,
     /// Accumulated stats of throwaway solvers (from-scratch mode only).
     scratch_search: SessionStats,
     scratch_verify: SessionStats,
@@ -88,7 +92,10 @@ impl<'f> SynthSession<'f> {
     ) -> Result<SynthSession<'f>, String> {
         let mut pool = TermPool::new();
         let checker = BoundedChecker::new(&mut pool, func, cfg.max_ex_size)?;
-        let oracle = LoopOracle::new(func);
+        let mut oracle = LoopOracle::new(func);
+        let screen = cfg
+            .screen
+            .then(|| ConcreteScreen::new(&mut oracle, cfg.max_ex_size));
         let mut counterexamples: Vec<Option<Vec<u8>>> = Vec::new();
         for seed in &cfg.seed_examples {
             if let Some(s) = seed {
@@ -110,6 +117,7 @@ impl<'f> SynthSession<'f> {
             verify: Session::new(),
             verify_prepared: false,
             counterexamples,
+            screen,
             scratch_search: SessionStats::default(),
             scratch_verify: SessionStats::default(),
         })
@@ -135,6 +143,9 @@ impl<'f> SynthSession<'f> {
         let start = Instant::now();
         let mut stats = SynthStats::default();
         let allowed = self.cfg.vocab.opcodes();
+        // Taken out of `self` so the minimisation closures can borrow the
+        // screen and the solver sessions independently; restored on exit.
+        let mut screen = self.screen.take();
 
         // Symbolic program bytes, allocated once for the whole size (the
         // naive loop allocated fresh bytes every iteration).
@@ -203,19 +214,61 @@ impl<'f> SynthSession<'f> {
                 .map(|&v| model.value_or_zero(v) as u8)
                 .collect();
 
+            // Concrete-first screening (zero solver work). The search
+            // constraints force circuit-consistency with every encoded
+            // counterexample, so a bank mismatch is not a rejection but a
+            // circuit-vs-interpreter disagreement — a soundness bug that
+            // must surface, not be papered over.
+            if screen.is_some() {
+                if let Some(cex) = self.bank_disagreement(&bytes) {
+                    break Err(format!(
+                        "screen/solver disagreement: candidate {bytes:?} violates \
+                         already-encoded counterexample {cex:?}"
+                    ));
+                }
+            }
+            if let Some(s) = screen.as_mut() {
+                match s.refute(&bytes) {
+                    ScreenVerdict::Pass => {}
+                    ScreenVerdict::Reject { refuter, class_hit } => {
+                        if class_hit || self.counterexamples.contains(&refuter) {
+                            // The class's blocking constraint is already in
+                            // the session; the solver must not have been
+                            // able to produce this candidate.
+                            break Err(format!(
+                                "screen/solver disagreement: candidate {bytes:?} re-explores \
+                                 an OE class blocked by counterexample {refuter:?}"
+                            ));
+                        }
+                        // Promote the class's refuter: once encoded (top of
+                        // the next iteration) it blocks the entire OE class
+                        // at the circuit level. The exact-byte clause keeps
+                        // progress guaranteed regardless.
+                        self.counterexamples.push(refuter);
+                        s.stats.promoted += 1;
+                        self.block_candidate(act, &mut constraints, &prog_vars, &bytes);
+                        continue;
+                    }
+                }
+            }
+
             // Bounded verification (lines 10–18).
             match decode_prefix(&bytes) {
                 Some(prog) if self.cfg.vocab.admits(&prog) => match self.check_prog(&prog) {
                     EquivalenceResult::Equivalent => {
-                        let minimal = minimize_with(&prog, |p| {
-                            self.check_prog(p) == EquivalenceResult::Equivalent
-                        });
-                        break Ok(minimal);
+                        break Ok(self.minimize_prog(&prog, screen.as_mut()));
                     }
                     EquivalenceResult::Counterexample(cex) => {
                         if self.counterexamples.contains(&cex) {
                             break Err(format!(
                                 "duplicate counterexample {cex:?} (soundness bug?)"
+                            ));
+                        }
+                        if screen.is_some() && !self.cex_distinguishes(&prog, &cex) {
+                            break Err(format!(
+                                "screen/solver disagreement: verifier counterexample {cex:?} \
+                                 does not concretely distinguish candidate {:?}",
+                                prog.encode()
                             ));
                         }
                         self.counterexamples.push(cex);
@@ -255,6 +308,8 @@ impl<'f> SynthSession<'f> {
         stats.counterexamples = self.counterexamples.clone();
         stats.elapsed = start.elapsed();
         stats.solver = self.telemetry();
+        stats.screen = screen.as_ref().map(|s| s.stats).unwrap_or_default();
+        self.screen = screen;
         match outcome {
             Ok(program) => SynthesisResult {
                 program: Some(program),
@@ -267,6 +322,60 @@ impl<'f> SynthSession<'f> {
                     stats,
                 }
             }
+        }
+    }
+
+    /// First encoded counterexample on which the interpreter's view of the
+    /// raw candidate bytes differs from the oracle. The solver's circuit
+    /// constraints make this impossible for a sound encoding, so any hit
+    /// is reported as a screen/solver disagreement.
+    fn bank_disagreement(&mut self, bytes: &[u8]) -> Option<Option<Vec<u8>>> {
+        for cex in &self.counterexamples {
+            let got = OracleOutcome::from_gadget(run_bytes(bytes, cex.as_deref()));
+            if got != self.oracle.run(cex.as_deref()) {
+                return Some(cex.clone());
+            }
+        }
+        None
+    }
+
+    /// Concrete cross-check of a verifier counterexample: the candidate
+    /// and the loop must visibly differ on it, or the SAT equivalence
+    /// encoding and the interpreter disagree.
+    fn cex_distinguishes(&mut self, prog: &Program, cex: &Option<Vec<u8>>) -> bool {
+        let got = OracleOutcome::from_gadget(strsum_gadgets::interp::run(prog, cex.as_deref()));
+        got != self.oracle.run(cex.as_deref())
+    }
+
+    /// Greedy minimisation of an accepted candidate: with screening on,
+    /// each shrink candidate is first run against the counterexample bank
+    /// and the grid (concrete, no solver work) and only survivors pay for
+    /// a SAT equivalence check.
+    fn minimize_prog(&mut self, prog: &Program, screen: Option<&mut ConcreteScreen>) -> Program {
+        match screen {
+            Some(s) => {
+                let mut bank: Vec<(Option<Vec<u8>>, OracleOutcome)> = Vec::new();
+                for cex in &self.counterexamples {
+                    bank.push((cex.clone(), self.oracle.run(cex.as_deref())));
+                }
+                minimize_screened(
+                    prog,
+                    |bytes| {
+                        let bank_reject = bank.iter().any(|(input, want)| {
+                            OracleOutcome::from_gadget(run_bytes(bytes, input.as_deref())) != *want
+                        });
+                        if bank_reject {
+                            s.stats.minimize_screen_rejects += 1;
+                            return true;
+                        }
+                        s.grid_rejects(bytes)
+                    },
+                    |p| self.check_prog(p) == EquivalenceResult::Equivalent,
+                )
+            }
+            None => minimize_with(prog, |p| {
+                self.check_prog(p) == EquivalenceResult::Equivalent
+            }),
         }
     }
 

@@ -1,0 +1,115 @@
+//! Cross-loop summary cache.
+//!
+//! Many corpus loops are semantically identical up to renaming (the same
+//! skip-whitespace idiom appears in bash, git, sed, …), so synthesising a
+//! summary for one should make the others free. The cache is keyed by the
+//! loop's *semantic fingerprint* — its return values over the bounded
+//! small-model input set, as computed by `strsum_symex::loop_signature` —
+//! and stores the encoded gadget program that was synthesised for the
+//! first loop with that fingerprint.
+//!
+//! A fingerprint match is strong evidence, not proof: the grid is finite
+//! and two different loops can agree on it. The cache therefore never
+//! vouches for a hit. Callers MUST re-verify every looked-up program with
+//! the bounded equivalence checker against the *new* loop before using it,
+//! and report failures back via [`SummaryCache::reject`] so a poisoned or
+//! colliding entry is counted and the caller falls back to full synthesis.
+//! The small-model theorem stays the sole soundness root.
+
+use std::collections::HashMap;
+
+/// Counters for cache effectiveness, reported by the benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a candidate summary (before re-verification).
+    pub hits: usize,
+    /// Lookups that found nothing.
+    pub misses: usize,
+    /// Hits whose program failed re-verification against the new loop
+    /// (fingerprint collision or poisoned entry) and were discarded.
+    pub rejected: usize,
+}
+
+/// Fingerprint-keyed store of synthesised summaries. See the module docs
+/// for the mandatory re-verification contract.
+#[derive(Debug, Default)]
+pub struct SummaryCache {
+    entries: HashMap<Vec<u64>, Vec<u8>>,
+    stats: CacheStats,
+}
+
+impl SummaryCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up the summary previously stored for `fingerprint`. The
+    /// returned bytes are *unverified* with respect to the caller's loop.
+    pub fn lookup(&mut self, fingerprint: &[u64]) -> Option<Vec<u8>> {
+        match self.entries.get(fingerprint) {
+            Some(prog) => {
+                self.stats.hits += 1;
+                Some(prog.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `program` (encoded gadget bytes) as the summary for
+    /// `fingerprint`, replacing any previous entry.
+    pub fn insert(&mut self, fingerprint: Vec<u64>, program: Vec<u8>) {
+        self.entries.insert(fingerprint, program);
+    }
+
+    /// Records that a looked-up entry failed re-verification, and evicts
+    /// it so later lookups don't keep paying for the same bad entry.
+    pub fn reject(&mut self, fingerprint: &[u64]) {
+        self.stats.rejected += 1;
+        self.entries.remove(fingerprint);
+    }
+
+    /// Effectiveness counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of distinct fingerprints currently stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_reject_accounting() {
+        let mut cache = SummaryCache::new();
+        let fp = vec![7u64, 0, 1, 2];
+        assert_eq!(cache.lookup(&fp), None);
+        cache.insert(fp.clone(), b"P \0F".to_vec());
+        assert_eq!(cache.lookup(&fp), Some(b"P \0F".to_vec()));
+        cache.reject(&fp);
+        // Rejection evicts: the next lookup is a miss again.
+        assert_eq!(cache.lookup(&fp), None);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                rejected: 1
+            }
+        );
+        assert!(cache.is_empty());
+    }
+}

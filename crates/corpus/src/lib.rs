@@ -16,11 +16,13 @@
 //! the surrounding non-memoryless loops with category counts matching the
 //! per-filter deltas of Table 2.
 
+pub mod cache;
 pub mod db;
 pub mod filter;
 pub mod manual;
 pub mod population;
 
+pub use cache::{CacheStats, SummaryCache};
 pub use db::{corpus, App, LoopEntry, APPS};
 pub use filter::{filter_report, passes_automatic_filters, FilterStage};
 pub use manual::{manual_category, ManualCategory};

@@ -922,6 +922,22 @@ pub fn string_solver_models(prog: &Program, max_len: usize) -> Vec<(Vec<u8>, Out
     out
 }
 
+/// Normalises a model list to the distinct `Ptr` offsets it reaches,
+/// sorted ascending — the summary of "which return positions are
+/// feasible" used when comparing encodings against each other.
+pub fn distinct_ptr_offsets(models: &[(Vec<u8>, Outcome)]) -> Vec<usize> {
+    let mut offsets: Vec<usize> = models
+        .iter()
+        .filter_map(|(_, o)| match o {
+            Outcome::Ptr(k) => Some(*k),
+            _ => None,
+        })
+        .collect();
+    offsets.sort_unstable();
+    offsets.dedup();
+    offsets
+}
+
 fn view(i: usize, n: usize, reversed: bool) -> usize {
     if reversed {
         n - 1 - i
@@ -1295,15 +1311,6 @@ mod tests {
         // strspn over spaces on strings ≤ 3: offsets 0..=3 all reachable.
         let prog = Program::decode(b"P \0F").unwrap();
         let models = string_solver_models(&prog, 3);
-        let mut offsets: Vec<usize> = models
-            .iter()
-            .filter_map(|(_, o)| match o {
-                Outcome::Ptr(k) => Some(*k),
-                _ => None,
-            })
-            .collect();
-        offsets.sort_unstable();
-        offsets.dedup();
-        assert_eq!(offsets, vec![0, 1, 2, 3]);
+        assert_eq!(distinct_ptr_offsets(&models), vec![0, 1, 2, 3]);
     }
 }

@@ -1,0 +1,177 @@
+//! Differential soundness guard for concrete-first screening: the gadget
+//! interpreter (`interp::run_bytes`) and the symbolic encodings must agree
+//! on **every** program up to size 3 over strings of length ≤ 3.
+//!
+//! The CEGIS screen rejects candidates purely on interpreter evidence
+//! while the solver reasons purely over the circuit encodings — any
+//! disagreement between the two would let the screen discard a program
+//! the solver considers correct (or vice versa). These tests pin the two
+//! semantics together: exhaustively at the small-model sizes the screen
+//! actually operates on, and probabilistically for larger programs.
+
+use proptest::prelude::*;
+use strsum_gadgets::interp::{run, run_bytes};
+use strsum_gadgets::symbolic::{
+    outcome_term_symbolic_prog, outcomes_on_symbolic_string, INVALID_SENTINEL8, NULL_SENTINEL8,
+};
+use strsum_gadgets::{Outcome, Program};
+use strsum_smt::{eval_bool, eval_bv, TermId, TermPool};
+
+/// Bytes program positions range over in the exhaustive tests: every
+/// opcode, an ordinary set/argument character, and the NUL terminator of
+/// set arguments. Covers well-formed, malformed, and truncated programs.
+const PROG_BYTES: &[u8] = b"MCRBPNZXIESVF \0";
+
+/// Input alphabet (a subset of the screen's abstract alphabet).
+const INPUT_BYTES: &[u8] = b" :a";
+
+fn all_strings(alpha: &[u8], max_len: usize) -> Vec<Vec<u8>> {
+    let mut out: Vec<Vec<u8>> = vec![Vec::new()];
+    let mut start = 0;
+    for _ in 0..max_len {
+        let end = out.len();
+        for i in start..end {
+            for &c in alpha {
+                let mut s = out[i].clone();
+                s.push(c);
+                out.push(s);
+            }
+        }
+        start = end;
+    }
+    out
+}
+
+fn all_programs(alpha: &[u8], len: usize) -> Vec<Vec<u8>> {
+    let mut out: Vec<Vec<u8>> = vec![Vec::new()];
+    for _ in 0..len {
+        out = out
+            .iter()
+            .flat_map(|p| {
+                alpha.iter().map(move |&b| {
+                    let mut q = p.clone();
+                    q.push(b);
+                    q
+                })
+            })
+            .collect();
+    }
+    out
+}
+
+fn outcome8(o: Outcome) -> u64 {
+    match o {
+        Outcome::Ptr(k) => k as u64,
+        Outcome::Null => NULL_SENTINEL8,
+        Outcome::Invalid => INVALID_SENTINEL8,
+    }
+}
+
+/// Encoding 1 (the candidate-search circuit) vs the interpreter, on every
+/// program of size ≤ 3 over [`PROG_BYTES`] and every input of length ≤ 3
+/// over [`INPUT_BYTES`] plus NULL.
+#[test]
+fn circuit_matches_interpreter_exhaustively() {
+    let mut inputs: Vec<Option<Vec<u8>>> = vec![None];
+    inputs.extend(all_strings(INPUT_BYTES, 3).into_iter().map(Some));
+    let mut pool = TermPool::new();
+    let mut checked = 0usize;
+    for size in 1..=3 {
+        let progs = all_programs(PROG_BYTES, size);
+        for input in &inputs {
+            let vars: Vec<TermId> = (0..size).map(|i| pool.var(&format!("p{i}"), 8)).collect();
+            let term = outcome_term_symbolic_prog(&mut pool, &vars, input.as_deref());
+            for prog in &progs {
+                let lookup = |v: TermId| -> u64 {
+                    let idx = vars.iter().position(|&x| x == v).expect("prog var");
+                    u64::from(prog[idx])
+                };
+                let circuit = eval_bv(&pool, term, &lookup);
+                let interp = outcome8(run_bytes(prog, input.as_deref()));
+                assert_eq!(
+                    circuit, interp,
+                    "encoding 1 disagrees with interpreter on prog {prog:?}, input {input:?}"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(
+        checked > 100_000,
+        "exhaustive sweep actually ran ({checked})"
+    );
+}
+
+/// Encoding 2 (guarded outcomes over a symbolic string) vs the
+/// interpreter, on every *decodable* program of size ≤ 3: for each
+/// concrete string, exactly one guard holds and its outcome matches.
+#[test]
+fn guarded_outcomes_match_interpreter_exhaustively() {
+    let strings = all_strings(INPUT_BYTES, 3);
+    let mut pool = TermPool::new();
+    let chars: Vec<TermId> = (0..3).map(|i| pool.var(&format!("c{i}"), 8)).collect();
+    let mut decodable = 0usize;
+    for size in 1..=3 {
+        for bytes in all_programs(PROG_BYTES, size) {
+            let Ok(prog) = Program::decode(&bytes) else {
+                continue;
+            };
+            decodable += 1;
+            let gos = outcomes_on_symbolic_string(&mut pool, &prog, &chars, false);
+            for s in &strings {
+                // Canonical buffer: positions past the string read NUL.
+                let lookup = |v: TermId| -> u64 {
+                    let idx = chars.iter().position(|&x| x == v).expect("char var");
+                    s.get(idx).copied().map_or(0, u64::from)
+                };
+                let holding: Vec<Outcome> = gos
+                    .iter()
+                    .filter(|go| eval_bool(&pool, go.guard, &lookup))
+                    .map(|go| go.outcome)
+                    .collect();
+                assert_eq!(
+                    holding.len(),
+                    1,
+                    "guards must partition: prog {bytes:?}, input {s:?} satisfied {holding:?}"
+                );
+                assert_eq!(
+                    holding[0],
+                    run(&prog, Some(s)),
+                    "encoding 2 disagrees with interpreter on prog {bytes:?}, input {s:?}"
+                );
+            }
+        }
+    }
+    assert!(
+        decodable > 100,
+        "sweep covered decodable programs ({decodable})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Beyond the exhaustive sizes: random programs up to the full
+    /// synthesis size (9 bytes) still agree with the circuit encoding on
+    /// random small-model inputs.
+    #[test]
+    fn circuit_matches_interpreter_random(
+        prog in proptest::collection::vec(any::<u8>(), 1..10),
+        input in proptest::collection::vec(1u8.., 0..4),
+        null_input in any::<bool>(),
+    ) {
+        let input = if null_input { None } else { Some(input.as_slice()) };
+        let mut pool = TermPool::new();
+        let vars: Vec<TermId> = (0..prog.len()).map(|i| pool.var(&format!("p{i}"), 8)).collect();
+        let term = outcome_term_symbolic_prog(&mut pool, &vars, input);
+        let lookup = |v: TermId| -> u64 {
+            let idx = vars.iter().position(|&x| x == v).expect("prog var");
+            u64::from(prog[idx])
+        };
+        prop_assert_eq!(
+            eval_bv(&pool, term, &lookup),
+            outcome8(run_bytes(&prog, input)),
+            "prog {:?}, input {:?}", prog, input
+        );
+    }
+}

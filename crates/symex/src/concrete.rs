@@ -1,0 +1,123 @@
+//! Bounded *concrete* evaluation of a loop function — the cheap
+//! counterpart of [`crate::Engine::run_on_symbolic_string`].
+//!
+//! The concrete-first synthesis pipeline needs the loop's behaviour over a
+//! small, fixed input grid twice: once to screen candidate programs without
+//! any solver work, and once to key the cross-loop summary cache by a
+//! *semantic fingerprint* (two loops that agree on the whole grid almost
+//! certainly agree everywhere, and a cache hit is re-verified by the
+//! bounded checker anyway, so fingerprint collisions cost only wasted
+//! work, never soundness).
+//!
+//! Outcomes are encoded in the same 64-bit sentinel domain the symbolic
+//! engine uses ([`crate::engine::NULL_SENTINEL`]), with unsafe executions
+//! mapped to [`UNSAFE_SENTINEL`].
+
+use crate::engine::NULL_SENTINEL;
+use strsum_ir::interp::{run_loop_function, run_loop_function_null};
+use strsum_ir::Func;
+
+/// 64-bit sentinel for an unsafe execution (out-of-bounds read, NULL
+/// dereference, non-termination budget, foreign pointer). Matches
+/// `strsum_gadgets::symbolic::INVALID_SENTINEL`.
+pub const UNSAFE_SENTINEL: u64 = 0xffff_ffff_ffff_fff3;
+
+/// Runs `func` concretely on `input` (`None` models a NULL `char*`) and
+/// encodes the result: a pointer `input + o` as `o`, a NULL return as
+/// [`NULL_SENTINEL`], anything unsafe as [`UNSAFE_SENTINEL`].
+pub fn concrete_outcome(func: &Func, input: Option<&[u8]>) -> u64 {
+    match input {
+        None => match run_loop_function_null(func) {
+            Ok(None) => NULL_SENTINEL,
+            Ok(Some(_)) | Err(_) => UNSAFE_SENTINEL,
+        },
+        Some(s) => match run_loop_function(func, s) {
+            Ok(None) => NULL_SENTINEL,
+            Ok(Some(off)) if off >= 0 && (off as usize) <= s.len() => off as u64,
+            Ok(Some(_)) | Err(_) => UNSAFE_SENTINEL,
+        },
+    }
+}
+
+/// Every string of length ≤ `max_len` over `alphabet`, in breadth-first
+/// (shortest-first, alphabet-order) order — the small-model input grid.
+///
+/// The order is a pure function of the arguments, so signatures computed
+/// from the same alphabet are comparable across loops and across runs.
+pub fn bounded_strings(alphabet: &[u8], max_len: usize) -> Vec<Vec<u8>> {
+    debug_assert!(!alphabet.contains(&0), "grid strings must be NUL-free");
+    let mut out: Vec<Vec<u8>> = vec![Vec::new()];
+    let mut start = 0;
+    for _ in 0..max_len {
+        let end = out.len();
+        for i in start..end {
+            for &c in alphabet {
+                let mut s = out[i].clone();
+                s.push(c);
+                out.push(s);
+            }
+        }
+        start = end;
+    }
+    out
+}
+
+/// The loop's semantic fingerprint: its encoded outcome on the NULL input
+/// followed by its outcome on every grid string from
+/// [`bounded_strings`]`(alphabet, max_len)`.
+///
+/// Two loops that are semantically identical up to renaming produce the
+/// same alphabet (their compared-against constants) and therefore the same
+/// signature; the converse does not hold, which is why cache hits keyed on
+/// this signature must always be re-verified.
+pub fn loop_signature(func: &Func, alphabet: &[u8], max_len: usize) -> Vec<u64> {
+    let mut sig = Vec::with_capacity(1 + alphabet.len().pow(max_len as u32));
+    sig.push(concrete_outcome(func, None));
+    for s in bounded_strings(alphabet, max_len) {
+        sig.push(concrete_outcome(func, Some(&s)));
+    }
+    sig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strsum_cfront::compile_one;
+
+    #[test]
+    fn outcome_encoding() {
+        let f = compile_one("char* f(char* s) { while (*s == ' ') s++; return s; }").unwrap();
+        assert_eq!(concrete_outcome(&f, Some(b"  x")), 2);
+        assert_eq!(concrete_outcome(&f, None), UNSAFE_SENTINEL);
+        let g = compile_one("char* f(char* s) { if (!s) return s; return s; }").unwrap();
+        assert_eq!(concrete_outcome(&g, None), NULL_SENTINEL);
+    }
+
+    #[test]
+    fn grid_is_shortest_first_and_complete() {
+        let grid = bounded_strings(b"ab", 2);
+        assert_eq!(
+            grid,
+            vec![
+                b"".to_vec(),
+                b"a".to_vec(),
+                b"b".to_vec(),
+                b"aa".to_vec(),
+                b"ab".to_vec(),
+                b"ba".to_vec(),
+                b"bb".to_vec(),
+            ]
+        );
+    }
+
+    #[test]
+    fn renamed_loops_share_a_signature() {
+        let a = compile_one("char* f(char* s) { while (*s == ' ') s++; return s; }").unwrap();
+        let b = compile_one("char* g(char* line) { while (*line == ' ') line++; return line; }")
+            .unwrap();
+        let c = compile_one("char* f(char* s) { while (*s == ':') s++; return s; }").unwrap();
+        let alpha = b" :x";
+        assert_eq!(loop_signature(&a, alpha, 3), loop_signature(&b, alpha, 3));
+        assert_ne!(loop_signature(&a, alpha, 3), loop_signature(&c, alpha, 3));
+    }
+}

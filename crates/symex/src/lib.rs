@@ -33,11 +33,13 @@
 //! assert_eq!(offsets.len(), 3);
 //! ```
 
+pub mod concrete;
 pub mod engine;
 pub mod memory;
 pub mod session;
 pub mod value;
 
+pub use concrete::{bounded_strings, concrete_outcome, loop_signature, UNSAFE_SENTINEL};
 pub use engine::{Engine, PathResult, RunStats, SymOutcome, SymbolicRun};
 pub use memory::{SymMemory, SymObject};
 pub use session::SymbolicSession;
