@@ -2,21 +2,26 @@
 //! summary, the recognised library idiom, and the refactored C — the
 //! artefact a maintainer would actually review.
 //!
-//! Usage: `cargo run --release -p strsum-bench --bin appendix`
+//! Usage: `cargo run --release -p strsum-bench --bin appendix [--trace PATH]`
 //! (uses the summaries cache produced by `table3`, synthesising it first
 //! if absent).
 
 use std::fmt::Write as _;
 use std::time::Duration;
-use strsum_bench::{default_threads, load_or_synthesize_summaries, write_result};
+use strsum_bench::{default_threads, write_result, CorpusRunner, TraceArgs};
 use strsum_core::SynthesisConfig;
 
 fn main() {
+    let trace = TraceArgs::from_args();
     let cfg = SynthesisConfig {
         timeout: Duration::from_secs(20),
         ..Default::default()
     };
-    let summaries = load_or_synthesize_summaries(&cfg, default_threads());
+    let summaries = CorpusRunner::new(cfg)
+        .threads(default_threads())
+        .reuse_summaries(true)
+        .run_corpus()
+        .summaries();
 
     let mut out = String::new();
     let _ = writeln!(
@@ -59,4 +64,5 @@ fn main() {
     );
     print!("{out}");
     write_result("appendix.txt", &out);
+    trace.finish();
 }

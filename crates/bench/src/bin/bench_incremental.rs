@@ -21,17 +21,26 @@
 //! Results land in `BENCH_pr2.json` (ablation + audit counters) and
 //! `BENCH_incremental.json` (the PR-1 incremental-vs-scratch shape).
 //!
+//! With `--trace PATH` the run also writes a Chrome `trace_event` JSON of
+//! every instrumented phase and *reconciles* it against the solver
+//! telemetry: the per-query deltas attached to `smt.check`/`smt.canonical`
+//! spans with the `search`/`verify` role tags must sum to exactly the
+//! aggregated `SolverTelemetry` query count (the symex engine's own solver
+//! queries carry the `smt` tag and are outside the telemetry by design).
+//! A mismatch fails the run.
+//!
 //! Usage: `cargo run --release -p strsum-bench --bin bench_incremental
-//!         [--limit N] [--timeout-secs N] [--threads N]`
+//!         [--limit N] [--timeout-secs N] [--threads N] [--trace PATH]`
 
 use std::fmt::Write as _;
 use std::time::Duration;
 use strsum_bench::{
-    aggregate_screen, aggregate_telemetry, arg_value, cache_json, default_threads, screen_json,
-    synthesize_corpus, synthesize_corpus_cached, telemetry_json, write_result, LoopSynth,
+    aggregate_screen, aggregate_telemetry, arg_value, default_threads, write_result, CorpusRunner,
+    LoopSynth, TraceArgs,
 };
 use strsum_core::SynthesisConfig;
 use strsum_corpus::{corpus, CacheStats};
+use strsum_obs::ToJson;
 
 fn config(screen: bool, incremental: bool, timeout: f64) -> SynthesisConfig {
     SynthesisConfig {
@@ -50,9 +59,9 @@ fn mode_json(results: &[LoopSynth], cache: Option<&CacheStats>) -> String {
     format!(
         "{{\"synthesised\":{ok},\"wall_clock_secs\":{secs:.3},\"iterations\":{iterations},\"solver_queries\":{},\"cache_hits\":{cache_hits},\"cache\":{},\"screen\":{},\"telemetry\":{}}}",
         aggregate_telemetry(results).total().queries,
-        cache.map_or("null".to_string(), cache_json),
-        screen_json(&aggregate_screen(results)),
-        telemetry_json(&aggregate_telemetry(results))
+        cache.map_or("null".to_string(), |c| c.to_json()),
+        aggregate_screen(results).to_json(),
+        aggregate_telemetry(results).to_json()
     )
 }
 
@@ -77,6 +86,7 @@ fn disagreements(results: &[LoopSynth]) -> Vec<String> {
 }
 
 fn main() {
+    let trace = TraceArgs::from_args();
     let limit: usize = arg_value("--limit")
         .and_then(|v| v.parse().ok())
         .unwrap_or(24);
@@ -99,14 +109,21 @@ fn main() {
         entries.len()
     );
 
+    let run = |cfg: SynthesisConfig, cached: bool| {
+        let mut runner = CorpusRunner::new(cfg).threads(threads).cache(cached);
+        if let Some(c) = trace.collector() {
+            runner = runner.trace(c);
+        }
+        runner.run(&entries)
+    };
     println!("pass 1/3: screened + cached, incremental sessions…");
-    let (screened, cache) =
-        synthesize_corpus_cached(&entries, &config(true, true, timeout), threads);
+    let r1 = run(config(true, true, timeout), true);
+    let (screened, cache) = (r1.results, r1.cache);
     println!("pass 2/3: baseline (no screen, no cache), incremental sessions…");
-    let baseline = synthesize_corpus(&entries, &config(false, true, timeout), threads);
+    let baseline = run(config(false, true, timeout), false).results;
     println!("pass 3/3: screened + cached, from-scratch reference…");
-    let (scratch, scratch_cache) =
-        synthesize_corpus_cached(&entries, &config(true, false, timeout), threads);
+    let r3 = run(config(true, false, timeout), true);
+    let (scratch, scratch_cache) = (r3.results, r3.cache);
 
     // Determinism audit: identical programs, identical failure kinds,
     // between the screened incremental and from-scratch passes.
@@ -260,6 +277,38 @@ fn main() {
     write_result("BENCH_incremental.json", &json);
 
     let mut failed = false;
+    // Trace ↔ telemetry reconciliation: every solver query made on behalf
+    // of synthesis flows through a `search`- or `verify`-tagged
+    // `smt.check`/`smt.canonical` span whose args carry the query delta,
+    // so the scheduling-independent span aggregate must account for
+    // exactly the telemetry totals (skipped if the ring buffer dropped
+    // events — an undercounted aggregate reconciles with nothing).
+    if let Some(collector) = trace.collector() {
+        let agg = collector.aggregate();
+        let mut trace_q: u64 = 0;
+        for tag in ["search", "verify"] {
+            for name in ["smt.check", "smt.canonical"] {
+                trace_q += agg.get(name, tag).map_or(0, |row| row.arg("queries"));
+            }
+        }
+        let telemetry_q = [&screened, &baseline, &scratch]
+            .iter()
+            .map(|rs| aggregate_telemetry(rs).total().queries)
+            .sum::<u64>();
+        if collector.dropped() > 0 {
+            println!(
+                "trace    : ring buffer dropped {} events; skipping reconciliation",
+                collector.dropped()
+            );
+        } else if trace_q == telemetry_q {
+            println!("trace    : {trace_q} span-recorded queries reconcile with telemetry");
+        } else {
+            eprintln!(
+                "TRACE/TELEMETRY MISMATCH: spans account for {trace_q} queries, telemetry {telemetry_q}"
+            );
+            failed = true;
+        }
+    }
     if !mismatches.is_empty() {
         eprintln!("DETERMINISM VIOLATIONS:");
         for m in &mismatches {
@@ -274,6 +323,9 @@ fn main() {
         }
         failed = true;
     }
+    // Write the trace before any failure exit so a bad run still leaves
+    // its timeline on disk for diagnosis.
+    trace.finish();
     if failed {
         std::process::exit(1);
     }

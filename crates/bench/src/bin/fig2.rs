@@ -10,17 +10,16 @@
 //! loop solved in 2 s is counted for every budget ≥ 2 s).
 //!
 //! Usage: `cargo run --release -p strsum-bench --bin fig2
-//!         [--scale X] [--threads N] [--max-size N]`
+//!         [--scale X] [--threads N] [--max-size N] [--trace PATH]`
 
 use std::fmt::Write as _;
 use std::time::Duration;
-use strsum_bench::{
-    aggregate_telemetry, arg_value, bar, default_threads, synthesize_corpus, write_result,
-};
+use strsum_bench::{arg_value, bar, default_threads, write_result, CorpusRunner, TraceArgs};
 use strsum_core::{SolverTelemetry, SynthesisConfig};
 use strsum_corpus::corpus;
 
 fn main() {
+    let trace = TraceArgs::from_args();
     let scale: f64 = arg_value("--scale")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.25);
@@ -42,9 +41,9 @@ fn main() {
             timeout: Duration::from_secs_f64(ladder[3]),
             ..Default::default()
         };
-        let results = synthesize_corpus(&entries, &cfg, threads);
+        let report = CorpusRunner::new(cfg).threads(threads).run(&entries);
         let mut row = [0usize; 4];
-        for r in &results {
+        for r in &report.results {
             if r.program.is_none() {
                 continue;
             }
@@ -54,7 +53,7 @@ fn main() {
                 }
             }
         }
-        let t = aggregate_telemetry(&results);
+        let t = report.telemetry;
         let total = t.total();
         println!(
             "size {size}: {row:?} ({} solver queries, {} conflicts)",
@@ -137,4 +136,5 @@ fn main() {
     print!("{out}");
     write_result("fig2.txt", &out);
     write_result("fig2.csv", &csv);
+    trace.finish();
 }

@@ -8,17 +8,18 @@
 //! per-loop timeout is 240 s; the scaled default is 5 s.
 //!
 //! Usage: `cargo run --release -p strsum-bench --bin fig3
-//!         [--timeout-secs N] [--lengths 4,6,…] [--threads N]`
+//!         [--timeout-secs N] [--lengths 4,6,…] [--threads N] [--trace PATH]`
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
-use strsum_bench::{arg_value, default_threads, load_or_synthesize_summaries, write_result};
+use strsum_bench::{arg_value, default_threads, write_result, CorpusRunner, TraceArgs};
 use strsum_core::SynthesisConfig;
 use strsum_gadgets::symbolic::string_solver_models;
 use strsum_smt::TermPool;
 use strsum_symex::Engine;
 
 fn main() {
+    let trace = TraceArgs::from_args();
     let timeout: f64 = arg_value("--timeout-secs")
         .and_then(|v| v.parse().ok())
         .unwrap_or(5.0);
@@ -33,7 +34,11 @@ fn main() {
         timeout: Duration::from_secs(20),
         ..Default::default()
     };
-    let summaries = load_or_synthesize_summaries(&cfg, threads);
+    let summaries = CorpusRunner::new(cfg)
+        .threads(threads)
+        .reuse_summaries(true)
+        .run_corpus()
+        .summaries();
     let loops: Vec<_> = summaries
         .into_iter()
         .filter_map(|(e, p)| p.map(|prog| (e, prog)))
@@ -108,4 +113,5 @@ fn main() {
     print!("{out}");
     write_result("fig3.txt", &out);
     write_result("fig3.csv", &csv);
+    trace.finish();
 }

@@ -2,12 +2,12 @@
 //! for symbolic strings of length 13, sorted by speedup.
 //!
 //! Usage: `cargo run --release -p strsum-bench --bin fig4
-//!         [--length N] [--timeout-secs N] [--threads N]`
+//!         [--length N] [--timeout-secs N] [--threads N] [--trace PATH]`
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 use strsum_bench::{
-    arg_value, bar, default_threads, load_or_synthesize_summaries, median, write_result,
+    arg_value, bar, default_threads, median, write_result, CorpusRunner, TraceArgs,
 };
 use strsum_core::SynthesisConfig;
 use strsum_gadgets::symbolic::string_solver_models;
@@ -15,6 +15,7 @@ use strsum_smt::TermPool;
 use strsum_symex::Engine;
 
 fn main() {
+    let trace = TraceArgs::from_args();
     let len: usize = arg_value("--length")
         .and_then(|v| v.parse().ok())
         .unwrap_or(13);
@@ -29,7 +30,11 @@ fn main() {
         timeout: Duration::from_secs(20),
         ..Default::default()
     };
-    let summaries = load_or_synthesize_summaries(&cfg, threads);
+    let summaries = CorpusRunner::new(cfg)
+        .threads(threads)
+        .reuse_summaries(true)
+        .run_corpus()
+        .summaries();
     let loops: Vec<_> = summaries
         .into_iter()
         .filter_map(|(e, p)| p.map(|prog| (e, prog)))
@@ -107,4 +112,5 @@ fn main() {
     print!("{out}");
     write_result("fig4.txt", &out);
     write_result("fig4.csv", &csv);
+    trace.finish();
 }

@@ -8,11 +8,11 @@
 //! Bars go up (speedup) and down (slowdown) exactly as in the paper.
 //!
 //! Usage: `cargo run --release -p strsum-bench --bin fig5
-//!         [--iters N] [--threads N]`
+//!         [--iters N] [--threads N] [--trace PATH]`
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use strsum_bench::{arg_value, default_threads, load_or_synthesize_summaries, write_result};
+use strsum_bench::{arg_value, default_threads, write_result, CorpusRunner, TraceArgs};
 use strsum_core::SynthesisConfig;
 use strsum_gadgets::compile_rust::{compile, Impl};
 
@@ -35,6 +35,7 @@ fn workload(entry_id: &str) -> [Vec<u8>; 4] {
 }
 
 fn main() {
+    let trace = TraceArgs::from_args();
     let iters: u64 = arg_value("--iters")
         .and_then(|v| v.parse().ok())
         .unwrap_or(200_000);
@@ -45,7 +46,11 @@ fn main() {
         timeout: std::time::Duration::from_secs(20),
         ..Default::default()
     };
-    let summaries = load_or_synthesize_summaries(&cfg, threads);
+    let summaries = CorpusRunner::new(cfg)
+        .threads(threads)
+        .reuse_summaries(true)
+        .run_corpus()
+        .summaries();
     let loops: Vec<_> = summaries
         .into_iter()
         .filter_map(|(e, p)| p.map(|prog| (e, prog)))
@@ -115,4 +120,5 @@ fn main() {
     print!("{out}");
     write_result("fig5.txt", &out);
     write_result("fig5.csv", &csv);
+    trace.finish();
 }

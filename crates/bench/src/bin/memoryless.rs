@@ -4,15 +4,17 @@
 //! seconds per loop on average; the others violate the easy-to-check
 //! conditions (constant offsets, early returns, …).
 //!
-//! Usage: `cargo run --release -p strsum-bench --bin memoryless [--bound N]`
+//! Usage: `cargo run --release -p strsum-bench --bin memoryless
+//!         [--bound N] [--trace PATH]`
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use strsum_bench::{arg_value, write_result};
+use strsum_bench::{arg_value, write_result, TraceArgs};
 use strsum_core::{check_memoryless, Direction};
 use strsum_corpus::corpus;
 
 fn main() {
+    let trace = TraceArgs::from_args();
     let bound: usize = arg_value("--bound")
         .and_then(|v| v.parse().ok())
         .unwrap_or(3);
@@ -67,4 +69,5 @@ fn main() {
 
     print!("{out}");
     write_result("memoryless.txt", &out);
+    trace.finish();
 }

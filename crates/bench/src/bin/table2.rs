@@ -1,16 +1,17 @@
 //! Table 2: loops remaining after each automatic filter, per application,
 //! plus the §4.1.2 manual-filter breakdown (323 → 115).
 //!
-//! Usage: `cargo run --release -p strsum-bench --bin table2 [--seed N]`
+//! Usage: `cargo run --release -p strsum-bench --bin table2 [--seed N] [--trace PATH]`
 
 use std::fmt::Write as _;
-use strsum_bench::{arg_value, write_result};
+use strsum_bench::{arg_value, write_result, TraceArgs};
 use strsum_corpus::{
     filter::{classify, FilterStage},
     generate_population, manual_category, ManualCategory, APPS,
 };
 
 fn main() {
+    let trace = TraceArgs::from_args();
     let seed: u64 = arg_value("--seed")
         .and_then(|v| v.parse().ok())
         .unwrap_or(2019);
@@ -107,4 +108,5 @@ fn main() {
 
     print!("{out}");
     write_result("table2.txt", &out);
+    trace.finish();
 }

@@ -6,18 +6,20 @@
 //! for 300 s).
 //!
 //! Usage: `cargo run --release -p strsum-bench --bin table3
-//!         [--timeout-secs N] [--threads N] [--full]`
+//!         [--timeout-secs N] [--threads N] [--full] [--trace PATH]`
 
 use std::fmt::Write as _;
 use std::time::Duration;
 use strsum_bench::{
-    aggregate_telemetry, arg_flag, arg_value, default_threads, median, minutes, synthesize_corpus,
-    telemetry_json, telemetry_report, write_result,
+    arg_flag, arg_value, default_threads, median, minutes, telemetry_report, write_result,
+    CorpusRunner, TraceArgs,
 };
 use strsum_core::SynthesisConfig;
 use strsum_corpus::{corpus, APPS};
+use strsum_obs::ToJson;
 
 fn main() {
+    let trace = TraceArgs::from_args();
     let timeout = if arg_flag("--full") {
         300
     } else {
@@ -36,7 +38,12 @@ fn main() {
         "synthesising 115 loops (full vocabulary, max_prog_size=9, max_ex_size=3, timeout={timeout}s, {threads} threads)…"
     );
     let entries = corpus();
-    let results = synthesize_corpus(&entries, &cfg, threads);
+    let mut runner = CorpusRunner::new(cfg).threads(threads);
+    if let Some(c) = trace.collector() {
+        runner = runner.trace(c);
+    }
+    let report = runner.run(&entries);
+    let results = &report.results;
 
     let mut out = String::new();
     let _ = writeln!(
@@ -107,7 +114,7 @@ fn main() {
     );
 
     let _ = writeln!(out, "\nPer-loop detail:");
-    for r in &results {
+    for r in results {
         let _ = writeln!(
             out,
             "  {:12} {:>8.1}s  {}",
@@ -120,7 +127,7 @@ fn main() {
         );
     }
 
-    let _ = writeln!(out, "\n{}", telemetry_report(&results));
+    let _ = writeln!(out, "\n{}", telemetry_report(results));
 
     print!("{out}");
     write_result("table3.txt", &out);
@@ -128,7 +135,7 @@ fn main() {
         "table3_solver.json",
         &format!(
             "{{\"timeout_secs\":{timeout},\"synthesised\":{total_ok},\"loops\":{total_n},\"telemetry\":{}}}\n",
-            telemetry_json(&aggregate_telemetry(&results))
+            report.telemetry.to_json()
         ),
     );
 
@@ -136,7 +143,7 @@ fn main() {
     let cache = strsum_bench::results_dir().join("summaries.tsv");
     let mut file = std::fs::File::create(cache).expect("cache");
     use std::io::Write as _;
-    for r in &results {
+    for r in results {
         let enc = match &r.program {
             Some(p) => p
                 .encode()
@@ -147,4 +154,5 @@ fn main() {
         };
         writeln!(file, "{}\t{}", r.entry.id, enc).expect("cache write");
     }
+    trace.finish();
 }

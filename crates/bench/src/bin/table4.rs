@@ -7,18 +7,17 @@
 //! vocabularies that beat the full-vocabulary baseline are reported.
 //!
 //! Usage: `cargo run --release -p strsum-bench --bin table4
-//!         [--timeout-secs N] [--evals N] [--threads N] [--seed N]`
+//!         [--timeout-secs N] [--evals N] [--threads N] [--seed N] [--trace PATH]`
 
 use std::fmt::Write as _;
 use std::time::Duration;
-use strsum_bench::{
-    aggregate_telemetry, arg_value, default_threads, synthesize_corpus, write_result,
-};
+use strsum_bench::{arg_value, default_threads, write_result, CorpusRunner, TraceArgs};
 use strsum_core::{SolverTelemetry, SynthesisConfig, Vocab};
 use strsum_corpus::corpus;
 use strsum_gp::{BayesOpt, Observation};
 
 fn main() {
+    let trace = TraceArgs::from_args();
     let timeout: f64 = arg_value("--timeout-secs")
         .and_then(|v| v.parse().ok())
         .unwrap_or(2.0);
@@ -40,9 +39,13 @@ fn main() {
             timeout: Duration::from_secs_f64(timeout),
             ..Default::default()
         };
-        let results = synthesize_corpus(&entries, &cfg, threads);
-        let ok = results.iter().filter(|r| r.program.is_some()).count();
-        (ok, aggregate_telemetry(&results))
+        let report = CorpusRunner::new(cfg).threads(threads).run(&entries);
+        let ok = report
+            .results
+            .iter()
+            .filter(|r| r.program.is_some())
+            .count();
+        (ok, report.telemetry)
     };
 
     // Baseline: the full vocabulary at the same budget (the analogue of the
@@ -111,4 +114,5 @@ fn main() {
 
     print!("{out}");
     write_result("table4.txt", &out);
+    trace.finish();
 }

@@ -1,0 +1,310 @@
+//! Validates a `--trace` output file against the minimal Chrome
+//! `trace_event` schema the tooling relies on — CI runs this over the
+//! trace that `bench_incremental --trace` produces before uploading it as
+//! an artifact, so a malformed trace fails the build instead of failing
+//! silently in chrome://tracing months later.
+//!
+//! Checks: the file is well-formed JSON; the top level is an object with a
+//! `traceEvents` array; every event is an object with a string `name`, a
+//! phase `ph` of `"X"` (complete span, requiring numeric `ts` and `dur`)
+//! or `"C"` (counter, requiring numeric `ts` and an `args` object); and
+//! `pid`/`tid` are numbers.
+//!
+//! Usage: `cargo run --release -p strsum-bench --bin trace_check -- <trace.json>`
+
+use std::collections::BTreeMap;
+use std::process::exit;
+
+/// A minimal JSON value — the workspace is registry-free, so the parser
+/// below stands in for serde for this one validation job. Booleans carry
+/// no payload: the validator only needs to know one was parsed.
+#[derive(Debug)]
+enum Json {
+    Null,
+    Bool,
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool),
+            Some(b'f') => self.literal("false", Json::Bool),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.error("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return String::from_utf8(out).map_err(|_| self.error("invalid UTF-8"));
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            // Surrogate pairs never appear in our traces;
+                            // map lone surrogates to U+FFFD like browsers do.
+                            let ch = char::from_u32(code).unwrap_or('\u{fffd}');
+                            out.extend_from_slice(ch.to_string().as_bytes());
+                            self.pos += 5;
+                        }
+                        Some(c) => {
+                            let decoded = match c {
+                                b'"' => b'"',
+                                b'\\' => b'\\',
+                                b'/' => b'/',
+                                b'n' => b'\n',
+                                b't' => b'\t',
+                                b'r' => b'\r',
+                                b'b' => 0x08,
+                                b'f' => 0x0c,
+                                _ => return Err(self.error("unknown escape")),
+                            };
+                            out.push(decoded);
+                            self.pos += 1;
+                        }
+                        None => return Err(self.error("truncated escape")),
+                    }
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing garbage"));
+    }
+    Ok(v)
+}
+
+fn check_event(i: usize, event: &Json) -> Result<(), String> {
+    let Json::Obj(e) = event else {
+        return Err(format!("event {i}: not an object"));
+    };
+    let field = |k: &str| e.get(k).ok_or(format!("event {i}: missing \"{k}\""));
+    let num = |k: &str| match field(k)? {
+        Json::Num(v) if v.is_finite() => Ok(()),
+        Json::Num(_) => Err(format!("event {i}: \"{k}\" is not finite")),
+        _ => Err(format!("event {i}: \"{k}\" is not a number")),
+    };
+    let Json::Str(name) = field("name")? else {
+        return Err(format!("event {i}: \"name\" is not a string"));
+    };
+    if name.is_empty() {
+        return Err(format!("event {i}: empty \"name\""));
+    }
+    num("ts")?;
+    num("pid")?;
+    num("tid")?;
+    match field("ph")? {
+        Json::Str(ph) if ph == "X" => num("dur"),
+        Json::Str(ph) if ph == "C" => match field("args")? {
+            Json::Obj(_) => Ok(()),
+            _ => Err(format!("event {i}: counter \"args\" is not an object")),
+        },
+        Json::Str(ph) => Err(format!("event {i}: unsupported phase {ph:?}")),
+        _ => Err(format!("event {i}: \"ph\" is not a string")),
+    }
+}
+
+fn run(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let Json::Obj(top) = parse(&text)? else {
+        return Err("top level is not an object".to_string());
+    };
+    let Some(Json::Arr(events)) = top.get("traceEvents") else {
+        return Err("missing \"traceEvents\" array".to_string());
+    };
+    for (i, event) in events.iter().enumerate() {
+        check_event(i, event)?;
+    }
+    Ok(events.len())
+}
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_check <trace.json>");
+        exit(2);
+    };
+    match run(&path) {
+        Ok(n) => println!("{path}: OK ({n} events)"),
+        Err(e) => {
+            eprintln!("{path}: INVALID: {e}");
+            exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_collector_output() {
+        let trace = r#"{"traceEvents":[
+            {"name":"smt.check","cat":"search","ph":"X","pid":1,"tid":2,"ts":10,"dur":5,"args":{"queries":1}},
+            {"name":"cache.hit","cat":"corpus","ph":"C","pid":1,"tid":2,"ts":11,"args":{"value":1}}
+        ],"displayTimeUnit":"ms"}"#;
+        let Json::Obj(top) = parse(trace).unwrap() else {
+            panic!("object expected");
+        };
+        let Some(Json::Arr(events)) = top.get("traceEvents") else {
+            panic!("array expected");
+        };
+        for (i, e) in events.iter().enumerate() {
+            check_event(i, e).unwrap();
+        }
+    }
+
+    #[test]
+    fn rejects_span_without_dur() {
+        let event = parse(r#"{"name":"x","ph":"X","pid":1,"tid":1,"ts":0}"#).unwrap();
+        assert!(check_event(0, &event).unwrap_err().contains("dur"));
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(parse("{\"traceEvents\":[").is_err());
+        assert!(parse("{} extra").is_err());
+    }
+}

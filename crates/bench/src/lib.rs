@@ -4,18 +4,21 @@
 
 use std::fmt::Write as _;
 use std::fs;
-use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::time::{Duration, Instant};
-use strsum_core::{
-    loop_fingerprint, synthesize, verify_summary, ScreenStats, SolverTelemetry, SynthStats,
-    SynthesisConfig, SynthesisResult,
-};
-use strsum_corpus::{CacheStats, LoopEntry, SummaryCache};
+use std::time::Duration;
+use strsum_core::{ScreenStats, SolverTelemetry, SynthStats, SynthesisConfig};
+use strsum_corpus::{CacheStats, LoopEntry};
 use strsum_gadgets::Program;
+use strsum_obs::ToJson;
 use strsum_smt::SessionStats;
+
+mod runner;
+mod trace;
+
+pub use runner::{CorpusReport, CorpusRunner};
+pub use trace::TraceArgs;
 
 /// Result of synthesising one corpus loop.
 #[derive(Debug, Clone)]
@@ -35,40 +38,18 @@ pub struct LoopSynth {
     pub cache_hit: bool,
 }
 
-/// Synthesises one corpus entry, mapping every failure mode — including a
-/// source that the C frontend rejects — to a per-loop `failure`, so one bad
-/// entry can never tear down a whole experiment run.
-fn synthesize_entry(entry: LoopEntry, cfg: &SynthesisConfig) -> LoopSynth {
-    let start = Instant::now();
-    match strsum_cfront::compile_one(&entry.source) {
-        Ok(func) => {
-            let SynthesisResult { program, stats } = synthesize(&func, cfg);
-            LoopSynth {
-                entry,
-                program,
-                elapsed: start.elapsed(),
-                failure: stats.failure.clone(),
-                stats,
-                cache_hit: false,
-            }
-        }
-        Err(e) => LoopSynth {
-            entry,
-            program: None,
-            elapsed: start.elapsed(),
-            failure: Some(format!("does not compile: {e}")),
-            stats: SynthStats::default(),
-            cache_hit: false,
-        },
-    }
-}
-
 /// Maps `f` over `items` on `threads` workers, preserving order.
 ///
 /// Workers steal indices from a shared counter and stream results back
 /// over a channel, so the output order — and everything computed from it —
-/// is independent of thread scheduling.
-fn par_map<T: Sync, R: Send>(items: &[T], threads: usize, f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+/// is independent of thread scheduling. A panic in `f` propagates out of
+/// the call (the scoped-thread join re-raises it) rather than producing a
+/// silently truncated result vector.
+pub fn par_map<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
     let threads = threads.clamp(1, items.len().max(1));
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
@@ -103,162 +84,38 @@ fn par_map<T: Sync, R: Send>(items: &[T], threads: usize, f: impl Fn(&T) -> R + 
 ///
 /// Entries that fail (to compile or to synthesise) come back as
 /// `LoopSynth { failure: Some(..) }` rather than panicking the worker.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `CorpusRunner::new(cfg).threads(n).run(entries)`"
+)]
 pub fn synthesize_corpus(
     entries: &[LoopEntry],
     cfg: &SynthesisConfig,
     threads: usize,
 ) -> Vec<LoopSynth> {
-    par_map(entries, threads, |e| synthesize_entry(e.clone(), cfg))
+    CorpusRunner::new(cfg.clone())
+        .threads(threads)
+        .run(entries)
+        .results
 }
 
-/// [`synthesize_corpus`] behind a cross-loop summary cache.
-///
-/// Loops are grouped by semantic fingerprint
-/// ([`strsum_core::loop_fingerprint`]: outcomes over the bounded
-/// small-model input set). Only the first loop of each group — in corpus
-/// order — is synthesised; the others take the cached program and
-/// re-verify it against *their own* loop with the full bounded checker
-/// ([`strsum_core::verify_summary`]), falling back to fresh synthesis when
-/// re-verification rejects it (fingerprint collision or poisoned entry).
-///
-/// The phases are deterministic by construction: grouping follows corpus
-/// order and each phase is a [`par_map`] whose output is order-preserving,
-/// so cache-hit patterns never depend on thread scheduling — the
-/// incremental-vs-scratch determinism audit holds with the cache on.
+/// [`synthesize_corpus`] behind a cross-loop summary cache — see
+/// [`CorpusRunner::cache`] for the phase structure and determinism
+/// contract.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `CorpusRunner::new(cfg).threads(n).cache(true).run(entries)`"
+)]
 pub fn synthesize_corpus_cached(
     entries: &[LoopEntry],
     cfg: &SynthesisConfig,
     threads: usize,
 ) -> (Vec<LoopSynth>, CacheStats) {
-    let mut cache = SummaryCache::new();
-
-    // Phase A: fingerprint every loop (concrete evaluation, no solver).
-    let fingerprints: Vec<Result<Vec<u64>, String>> = par_map(entries, threads, |e| {
-        strsum_cfront::compile_one(&e.source)
-            .map(|func| loop_fingerprint(&func, cfg.max_ex_size))
-            .map_err(|err| format!("does not compile: {err}"))
-    });
-
-    // Phase B: synthesise one representative per fingerprint group, in
-    // corpus order (the first loop of each group).
-    let mut seen: std::collections::HashSet<&[u64]> = std::collections::HashSet::new();
-    let mut rep_indices: Vec<usize> = Vec::new();
-    for (i, fp) in fingerprints.iter().enumerate() {
-        if let Ok(fp) = fp {
-            if seen.insert(fp.as_slice()) {
-                rep_indices.push(i);
-            }
-        }
-    }
-    let rep_results: Vec<LoopSynth> = par_map(&rep_indices, threads, |&i| {
-        synthesize_entry(entries[i].clone(), cfg)
-    });
-    let mut slots: Vec<Option<LoopSynth>> = entries.iter().map(|_| None).collect();
-    for (&i, result) in rep_indices.iter().zip(rep_results) {
-        let fp = fingerprints[i].as_ref().expect("reps have fingerprints");
-        assert!(cache.lookup(fp).is_none(), "representative misses");
-        if let Some(p) = &result.program {
-            cache.insert(fp.clone(), p.encode());
-        }
-        slots[i] = Some(result);
-    }
-
-    // Phase C: remaining loops — compile failures fail as usual; members
-    // of a group with a cached summary re-verify it; groups whose
-    // representative failed fall back to fresh synthesis.
-    enum Plan {
-        Verify { idx: usize, bytes: Vec<u8> },
-        Synthesize { idx: usize },
-    }
-    let mut plans: Vec<Plan> = Vec::new();
-    for (i, fp) in fingerprints.iter().enumerate() {
-        if slots[i].is_some() {
-            continue;
-        }
-        match fp {
-            Err(e) => {
-                slots[i] = Some(LoopSynth {
-                    entry: entries[i].clone(),
-                    program: None,
-                    elapsed: Duration::ZERO,
-                    failure: Some(e.clone()),
-                    stats: SynthStats::default(),
-                    cache_hit: false,
-                });
-            }
-            Ok(fp) => match cache.lookup(fp) {
-                Some(bytes) => plans.push(Plan::Verify { idx: i, bytes }),
-                None => plans.push(Plan::Synthesize { idx: i }),
-            },
-        }
-    }
-    let verified: Vec<(usize, Option<LoopSynth>, SessionStats)> =
-        par_map(&plans, threads, |plan| match plan {
-            Plan::Synthesize { idx } => (
-                *idx,
-                Some(synthesize_entry(entries[*idx].clone(), cfg)),
-                SessionStats::default(),
-            ),
-            Plan::Verify { idx, bytes } => {
-                let start = Instant::now();
-                let func = strsum_cfront::compile_one(&entries[*idx].source)
-                    .expect("fingerprinted in phase A");
-                let (ok, effort) = verify_summary(&func, bytes, cfg.max_ex_size);
-                if !ok {
-                    return (*idx, None, effort);
-                }
-                let program = Program::decode(bytes).expect("cache holds encoded programs");
-                (
-                    *idx,
-                    Some(LoopSynth {
-                        entry: entries[*idx].clone(),
-                        program: Some(program),
-                        elapsed: start.elapsed(),
-                        failure: None,
-                        stats: SynthStats {
-                            solver: SolverTelemetry {
-                                verify: effort,
-                                ..SolverTelemetry::default()
-                            },
-                            ..SynthStats::default()
-                        },
-                        cache_hit: true,
-                    }),
-                    effort,
-                )
-            }
-        });
-
-    // Phase D: full synthesis for loops whose cached summary was rejected
-    // (collision or poison); the wasted verification effort stays on their
-    // books so totals remain honest.
-    let mut fallback: Vec<(usize, SessionStats)> = Vec::new();
-    for (idx, result, effort) in verified {
-        match result {
-            Some(r) => slots[idx] = Some(r),
-            None => {
-                let fp = fingerprints[idx]
-                    .as_ref()
-                    .expect("verified ⇒ fingerprinted");
-                cache.reject(fp);
-                fallback.push((idx, effort));
-            }
-        }
-    }
-    let fallback_results: Vec<LoopSynth> = par_map(&fallback, threads, |&(i, wasted)| {
-        let mut r = synthesize_entry(entries[i].clone(), cfg);
-        r.stats.solver.verify = r.stats.solver.verify.plus(&wasted);
-        r
-    });
-    for (&(i, _), result) in fallback.iter().zip(fallback_results) {
-        slots[i] = Some(result);
-    }
-
-    let results = slots
-        .into_iter()
-        .map(|s| s.expect("every loop is resolved by one phase"))
-        .collect();
-    (results, cache.stats())
+    let report = CorpusRunner::new(cfg.clone())
+        .threads(threads)
+        .cache(true)
+        .run(entries);
+    (report.results, report.cache)
 }
 
 /// Sums per-loop solver telemetry over a whole run.
@@ -308,22 +165,16 @@ pub fn telemetry_report(results: &[LoopSynth]) -> String {
     out
 }
 
-/// One [`SessionStats`] as a flat JSON object (the tree has no serde).
+/// One [`SessionStats`] as a flat JSON object.
+#[deprecated(since = "0.1.0", note = "use `strsum_obs::ToJson`: `s.to_json()`")]
 pub fn session_stats_json(s: &SessionStats) -> String {
-    format!(
-        "{{\"queries\":{},\"conflicts\":{},\"propagations\":{},\"learnts\":{},\"clauses\":{},\"vars\":{},\"blast_hits\":{},\"blast_misses\":{}}}",
-        s.queries, s.conflicts, s.propagations, s.learnts, s.clauses, s.vars, s.blast_hits, s.blast_misses
-    )
+    s.to_json()
 }
 
 /// A [`SolverTelemetry`] as a JSON object with search/verify/total keys.
+#[deprecated(since = "0.1.0", note = "use `strsum_obs::ToJson`: `t.to_json()`")]
 pub fn telemetry_json(t: &SolverTelemetry) -> String {
-    format!(
-        "{{\"search\":{},\"verify\":{},\"total\":{}}}",
-        session_stats_json(&t.search),
-        session_stats_json(&t.verify),
-        session_stats_json(&t.total())
-    )
+    t.to_json()
 }
 
 /// Sums per-loop concrete-screening counters over a whole run.
@@ -334,23 +185,15 @@ pub fn aggregate_screen(results: &[LoopSynth]) -> ScreenStats {
 }
 
 /// A [`ScreenStats`] as a flat JSON object.
+#[deprecated(since = "0.1.0", note = "use `strsum_obs::ToJson`: `s.to_json()`")]
 pub fn screen_json(s: &ScreenStats) -> String {
-    format!(
-        "{{\"screen_rejects\":{},\"oe_class_hits\":{},\"promoted\":{},\"minimize_screen_rejects\":{},\"verify_checks_avoided\":{}}}",
-        s.screen_rejects,
-        s.oe_class_hits,
-        s.promoted,
-        s.minimize_screen_rejects,
-        s.verify_checks_avoided()
-    )
+    s.to_json()
 }
 
 /// A [`CacheStats`] as a flat JSON object.
+#[deprecated(since = "0.1.0", note = "use `strsum_obs::ToJson`: `s.to_json()`")]
 pub fn cache_json(s: &CacheStats) -> String {
-    format!(
-        "{{\"hits\":{},\"misses\":{},\"rejected\":{}}}",
-        s.hits, s.misses, s.rejected
-    )
+    s.to_json()
 }
 
 /// The results directory (`results/` at the workspace root).
@@ -370,50 +213,26 @@ pub fn write_result(name: &str, content: &str) {
 /// Loads cached summaries (`results/summaries.tsv`) or synthesises the full
 /// corpus and caches it. The cache keeps the Figure 3–5 binaries
 /// independent of a fresh multi-minute synthesis run.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `CorpusRunner::new(cfg).threads(n).reuse_summaries(true).run_corpus().summaries()`"
+)]
 pub fn load_or_synthesize_summaries(
     cfg: &SynthesisConfig,
     threads: usize,
 ) -> Vec<(LoopEntry, Option<Program>)> {
-    let cache = results_dir().join("summaries.tsv");
-    let entries = strsum_corpus::corpus();
-    if let Ok(text) = fs::read_to_string(&cache) {
-        let mut map = std::collections::HashMap::new();
-        for line in text.lines() {
-            if let Some((id, hexstr)) = line.split_once('\t') {
-                map.insert(id.to_string(), hexstr.to_string());
-            }
-        }
-        if entries.iter().all(|e| map.contains_key(&e.id)) {
-            return entries
-                .into_iter()
-                .map(|e| {
-                    let prog = match map[&e.id].as_str() {
-                        "-" => None,
-                        hexstr => Program::decode(&unhex(hexstr)).ok(),
-                    };
-                    (e, prog)
-                })
-                .collect();
-        }
-    }
-    println!("(no summary cache; synthesising the corpus first — this takes a while)");
-    let results = synthesize_corpus(&entries, cfg, threads);
-    let mut file = fs::File::create(&cache).expect("can create summary cache");
-    for r in &results {
-        let enc = match &r.program {
-            Some(p) => hex(&p.encode()),
-            None => "-".to_string(),
-        };
-        writeln!(file, "{}\t{}", r.entry.id, enc).expect("cache write");
-    }
-    results.into_iter().map(|r| (r.entry, r.program)).collect()
+    CorpusRunner::new(cfg.clone())
+        .threads(threads)
+        .reuse_summaries(true)
+        .run_corpus()
+        .summaries()
 }
 
-fn hex(bytes: &[u8]) -> String {
+pub(crate) fn hex(bytes: &[u8]) -> String {
     bytes.iter().map(|b| format!("{b:02x}")).collect()
 }
 
-fn unhex(s: &str) -> Vec<u8> {
+pub(crate) fn unhex(s: &str) -> Vec<u8> {
     (0..s.len() / 2)
         .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).expect("valid hex"))
         .collect()

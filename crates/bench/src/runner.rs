@@ -1,0 +1,427 @@
+//! The one entry point over the synthesis stack: [`CorpusRunner`].
+//!
+//! Earlier revisions grew three parallel entry points (`synthesize_corpus`,
+//! `synthesize_corpus_cached`, `load_or_synthesize_summaries`) whose
+//! signatures drifted apart as options accumulated. The runner collapses
+//! them behind one builder: configure threads / cross-loop cache /
+//! summary reuse / tracing, then [`CorpusRunner::run`] (or
+//! [`CorpusRunner::run_corpus`]) returns a single [`CorpusReport`] holding
+//! the per-loop results plus every aggregate the binaries report.
+//!
+//! Determinism contract: every parallel phase is an order-preserving
+//! [`crate::par_map`], grouping follows corpus order, and trace aggregation
+//! merges by span key — so results, cache-hit patterns, and the aggregated
+//! metrics table are all independent of thread scheduling.
+
+use std::fs;
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use strsum_core::{
+    loop_fingerprint, synthesize, verify_summary, SolverTelemetry, SynthStats, SynthesisConfig,
+    SynthesisResult,
+};
+use strsum_corpus::{CacheStats, LoopEntry, SummaryCache};
+use strsum_gadgets::Program;
+use strsum_obs::{Aggregate, Collector};
+use strsum_smt::SessionStats;
+
+use crate::{
+    aggregate_screen, aggregate_telemetry, default_threads, hex, par_map, results_dir, unhex,
+    LoopSynth,
+};
+
+/// Everything a corpus run produces: per-loop results plus the aggregates
+/// every experiment binary reports.
+#[derive(Debug, Default)]
+pub struct CorpusReport {
+    /// Per-loop outcomes, in corpus order.
+    pub results: Vec<LoopSynth>,
+    /// Cross-loop summary-cache counters (all zero when the cache was off).
+    pub cache: CacheStats,
+    /// Concrete-screening counters summed over the run.
+    pub screen: strsum_core::ScreenStats,
+    /// Solver effort summed over the run.
+    pub telemetry: SolverTelemetry,
+    /// Scheduling-independent aggregate of the trace spans recorded during
+    /// the run (empty unless a [`CorpusRunner::trace`] sink was attached).
+    pub spans: Aggregate,
+}
+
+impl CorpusReport {
+    /// The `(entry, program)` view used by the coverage/testing figures.
+    pub fn summaries(self) -> Vec<(LoopEntry, Option<Program>)> {
+        self.results
+            .into_iter()
+            .map(|r| (r.entry, r.program))
+            .collect()
+    }
+}
+
+/// Builder for corpus synthesis runs. See the module docs.
+///
+/// ```no_run
+/// use strsum_bench::CorpusRunner;
+/// use strsum_core::SynthesisConfig;
+///
+/// let report = CorpusRunner::new(SynthesisConfig::default())
+///     .threads(4)
+///     .cache(true)
+///     .run_corpus();
+/// println!("{} loops", report.results.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CorpusRunner {
+    cfg: SynthesisConfig,
+    threads: usize,
+    cache: bool,
+    reuse_summaries: bool,
+    trace: Option<Arc<Collector>>,
+}
+
+impl CorpusRunner {
+    /// A runner with `cfg`, all threads, no cache, no tracing.
+    pub fn new(cfg: SynthesisConfig) -> CorpusRunner {
+        CorpusRunner {
+            cfg,
+            threads: default_threads(),
+            cache: false,
+            reuse_summaries: false,
+            trace: None,
+        }
+    }
+
+    /// Worker-thread count (clamped to ≥ 1 at run time).
+    pub fn threads(mut self, n: usize) -> CorpusRunner {
+        self.threads = n;
+        self
+    }
+
+    /// Enables the cross-loop summary cache (fingerprint grouping with
+    /// mandatory re-verification of every hit).
+    pub fn cache(mut self, on: bool) -> CorpusRunner {
+        self.cache = on;
+        self
+    }
+
+    /// Per-loop synthesis timeout (overrides the config's).
+    pub fn timeout(mut self, d: Duration) -> CorpusRunner {
+        self.cfg.timeout = d;
+        self
+    }
+
+    /// Attaches a trace collector: it is installed as the process sink for
+    /// the run, and the report's `spans` field carries its aggregate.
+    ///
+    /// The aggregate snapshots the collector at the end of the run, so a
+    /// collector shared across several runs accumulates across them.
+    pub fn trace(mut self, sink: Arc<Collector>) -> CorpusRunner {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// For [`CorpusRunner::run_corpus`]: load `results/summaries.tsv` when
+    /// it covers the whole corpus, otherwise synthesise once and write it.
+    /// Keeps the Figure 3–5 binaries independent of a fresh multi-minute
+    /// synthesis run.
+    pub fn reuse_summaries(mut self, on: bool) -> CorpusRunner {
+        self.reuse_summaries = on;
+        self
+    }
+
+    /// The effective synthesis configuration.
+    pub fn config(&self) -> &SynthesisConfig {
+        &self.cfg
+    }
+
+    /// Runs synthesis over `entries`, honouring every builder option
+    /// except [`CorpusRunner::reuse_summaries`] (the summaries file is
+    /// keyed by the full corpus, so reuse only applies to `run_corpus`).
+    pub fn run(&self, entries: &[LoopEntry]) -> CorpusReport {
+        if let Some(sink) = &self.trace {
+            strsum_obs::install(sink.clone());
+        }
+        let (results, cache) = if self.cache {
+            self.run_cached(entries)
+        } else {
+            (self.run_plain(entries), CacheStats::default())
+        };
+        self.report(results, cache)
+    }
+
+    /// Runs over the full built-in corpus, honouring
+    /// [`CorpusRunner::reuse_summaries`].
+    pub fn run_corpus(&self) -> CorpusReport {
+        let entries = strsum_corpus::corpus();
+        if !self.reuse_summaries {
+            return self.run(&entries);
+        }
+        if let Some(sink) = &self.trace {
+            strsum_obs::install(sink.clone());
+        }
+        let path = results_dir().join("summaries.tsv");
+        if let Some(results) = load_summaries(&path, &entries) {
+            return self.report(results, CacheStats::default());
+        }
+        println!("(no summary cache; synthesising the corpus first — this takes a while)");
+        let (results, cache) = if self.cache {
+            self.run_cached(&entries)
+        } else {
+            (self.run_plain(&entries), CacheStats::default())
+        };
+        let mut file = fs::File::create(&path).expect("can create summary cache");
+        for r in &results {
+            let enc = match &r.program {
+                Some(p) => hex(&p.encode()),
+                None => "-".to_string(),
+            };
+            writeln!(file, "{}\t{}", r.entry.id, enc).expect("cache write");
+        }
+        self.report(results, cache)
+    }
+
+    fn report(&self, results: Vec<LoopSynth>, cache: CacheStats) -> CorpusReport {
+        let screen = aggregate_screen(&results);
+        let telemetry = aggregate_telemetry(&results);
+        let spans = self
+            .trace
+            .as_ref()
+            .map(|c| c.aggregate())
+            .unwrap_or_default();
+        CorpusReport {
+            results,
+            cache,
+            screen,
+            telemetry,
+            spans,
+        }
+    }
+
+    fn run_plain(&self, entries: &[LoopEntry]) -> Vec<LoopSynth> {
+        par_map(entries, self.threads, |e| {
+            synthesize_entry(e.clone(), &self.cfg)
+        })
+    }
+
+    /// The cached pipeline. Loops are grouped by semantic fingerprint
+    /// ([`strsum_core::loop_fingerprint`]: outcomes over the bounded
+    /// small-model input set). Only the first loop of each group — in
+    /// corpus order — is synthesised; the others take the cached program
+    /// and re-verify it against *their own* loop with the full bounded
+    /// checker ([`strsum_core::verify_summary`]), falling back to fresh
+    /// synthesis when re-verification rejects it (fingerprint collision or
+    /// poisoned entry).
+    ///
+    /// The phases are deterministic by construction: grouping follows
+    /// corpus order and each phase is a [`par_map`] whose output is
+    /// order-preserving, so cache-hit patterns never depend on thread
+    /// scheduling — the incremental-vs-scratch determinism audit holds
+    /// with the cache on.
+    fn run_cached(&self, entries: &[LoopEntry]) -> (Vec<LoopSynth>, CacheStats) {
+        let cfg = &self.cfg;
+        let threads = self.threads;
+        let mut cache = SummaryCache::new();
+
+        // Phase A: fingerprint every loop (concrete evaluation, no solver).
+        let fingerprints: Vec<Result<Vec<u64>, String>> = par_map(entries, threads, |e| {
+            let mut span = strsum_obs::span("loop.fingerprint", "corpus");
+            if span.active() {
+                span.arg_str("id", e.id.clone());
+            }
+            strsum_cfront::compile_one(&e.source)
+                .map(|func| loop_fingerprint(&func, cfg.max_ex_size))
+                .map_err(|err| format!("does not compile: {err}"))
+        });
+
+        // Phase B: synthesise one representative per fingerprint group, in
+        // corpus order (the first loop of each group).
+        let mut seen: std::collections::HashSet<&[u64]> = std::collections::HashSet::new();
+        let mut rep_indices: Vec<usize> = Vec::new();
+        for (i, fp) in fingerprints.iter().enumerate() {
+            if let Ok(fp) = fp {
+                if seen.insert(fp.as_slice()) {
+                    rep_indices.push(i);
+                }
+            }
+        }
+        let rep_results: Vec<LoopSynth> = par_map(&rep_indices, threads, |&i| {
+            synthesize_entry(entries[i].clone(), cfg)
+        });
+        let mut slots: Vec<Option<LoopSynth>> = entries.iter().map(|_| None).collect();
+        for (&i, result) in rep_indices.iter().zip(rep_results) {
+            let fp = fingerprints[i].as_ref().expect("reps have fingerprints");
+            assert!(cache.lookup(fp).is_none(), "representative misses");
+            if let Some(p) = &result.program {
+                cache.insert(fp.clone(), p.encode());
+            }
+            slots[i] = Some(result);
+        }
+
+        // Phase C: remaining loops. Compile failures fail as usual; the
+        // rest look the cache up *from the workers* — `lookup` takes
+        // `&self`, so the populated cache is shared by reference across
+        // the pool. A hit re-verifies the summary against this loop; a
+        // miss (the group's representative failed) synthesises fresh.
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, fp) in fingerprints.iter().enumerate() {
+            if slots[i].is_some() {
+                continue;
+            }
+            match fp {
+                Err(e) => {
+                    slots[i] = Some(LoopSynth {
+                        entry: entries[i].clone(),
+                        program: None,
+                        elapsed: Duration::ZERO,
+                        failure: Some(e.clone()),
+                        stats: SynthStats::default(),
+                        cache_hit: false,
+                    });
+                }
+                Ok(_) => pending.push(i),
+            }
+        }
+        let shared = &cache;
+        let verified: Vec<(usize, Option<LoopSynth>, SessionStats)> =
+            par_map(&pending, threads, |&idx| {
+                let fp = fingerprints[idx].as_ref().expect("pending ⇒ fingerprinted");
+                match shared.lookup(fp) {
+                    None => (
+                        idx,
+                        Some(synthesize_entry(entries[idx].clone(), cfg)),
+                        SessionStats::default(),
+                    ),
+                    Some(bytes) => {
+                        let mut span = strsum_obs::span("loop.reverify", "corpus");
+                        if span.active() {
+                            span.arg_str("id", entries[idx].id.clone());
+                        }
+                        let start = Instant::now();
+                        let func = strsum_cfront::compile_one(&entries[idx].source)
+                            .expect("fingerprinted in phase A");
+                        let (ok, effort) = verify_summary(&func, &bytes, cfg.max_ex_size);
+                        if !ok {
+                            return (idx, None, effort);
+                        }
+                        let program =
+                            Program::decode(&bytes).expect("cache holds encoded programs");
+                        (
+                            idx,
+                            Some(LoopSynth {
+                                entry: entries[idx].clone(),
+                                program: Some(program),
+                                elapsed: start.elapsed(),
+                                failure: None,
+                                stats: SynthStats {
+                                    solver: SolverTelemetry {
+                                        verify: effort,
+                                        ..SolverTelemetry::default()
+                                    },
+                                    ..SynthStats::default()
+                                },
+                                cache_hit: true,
+                            }),
+                            effort,
+                        )
+                    }
+                }
+            });
+
+        // Phase D: full synthesis for loops whose cached summary was
+        // rejected (collision or poison); the wasted verification effort
+        // stays on their books so totals remain honest.
+        let mut fallback: Vec<(usize, SessionStats)> = Vec::new();
+        for (idx, result, effort) in verified {
+            match result {
+                Some(r) => slots[idx] = Some(r),
+                None => {
+                    let fp = fingerprints[idx]
+                        .as_ref()
+                        .expect("verified ⇒ fingerprinted");
+                    cache.reject(fp);
+                    fallback.push((idx, effort));
+                }
+            }
+        }
+        let fallback_results: Vec<LoopSynth> = par_map(&fallback, threads, |&(i, wasted)| {
+            let mut r = synthesize_entry(entries[i].clone(), cfg);
+            r.stats.solver.verify = r.stats.solver.verify.plus(&wasted);
+            r
+        });
+        for (&(i, _), result) in fallback.iter().zip(fallback_results) {
+            slots[i] = Some(result);
+        }
+
+        let results = slots
+            .into_iter()
+            .map(|s| s.expect("every loop is resolved by one phase"))
+            .collect();
+        (results, cache.stats())
+    }
+}
+
+/// Synthesises one corpus entry, mapping every failure mode — including a
+/// source that the C frontend rejects — to a per-loop `failure`, so one bad
+/// entry can never tear down a whole experiment run.
+pub(crate) fn synthesize_entry(entry: LoopEntry, cfg: &SynthesisConfig) -> LoopSynth {
+    let mut span = strsum_obs::span("loop", "corpus");
+    if span.active() {
+        span.arg_str("id", entry.id.clone());
+    }
+    let start = Instant::now();
+    match strsum_cfront::compile_one(&entry.source) {
+        Ok(func) => {
+            let SynthesisResult { program, stats } = synthesize(&func, cfg);
+            span.arg_u64("synthesised", u64::from(program.is_some()));
+            LoopSynth {
+                entry,
+                program,
+                elapsed: start.elapsed(),
+                failure: stats.failure.clone(),
+                stats,
+                cache_hit: false,
+            }
+        }
+        Err(e) => LoopSynth {
+            entry,
+            program: None,
+            elapsed: start.elapsed(),
+            failure: Some(format!("does not compile: {e}")),
+            stats: SynthStats::default(),
+            cache_hit: false,
+        },
+    }
+}
+
+/// Parses `results/summaries.tsv` when it covers every entry.
+fn load_summaries(path: &std::path::Path, entries: &[LoopEntry]) -> Option<Vec<LoopSynth>> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut map = std::collections::HashMap::new();
+    for line in text.lines() {
+        if let Some((id, hexstr)) = line.split_once('\t') {
+            map.insert(id.to_string(), hexstr.to_string());
+        }
+    }
+    if !entries.iter().all(|e| map.contains_key(&e.id)) {
+        return None;
+    }
+    Some(
+        entries
+            .iter()
+            .map(|e| {
+                let program = match map[&e.id].as_str() {
+                    "-" => None,
+                    hexstr => Program::decode(&unhex(hexstr)).ok(),
+                };
+                LoopSynth {
+                    entry: e.clone(),
+                    program,
+                    elapsed: Duration::ZERO,
+                    failure: None,
+                    stats: SynthStats::default(),
+                    cache_hit: false,
+                }
+            })
+            .collect(),
+    )
+}

@@ -1,0 +1,80 @@
+//! Uniform `--trace <path>` support for the experiment binaries.
+//!
+//! Every binary accepts `--trace <path>`: when present, a ring-buffer
+//! [`Collector`] is installed as the process trace sink before any work
+//! runs, and [`TraceArgs::finish`] writes the Chrome `trace_event` JSON to
+//! `<path>` (load it in `chrome://tracing` or Perfetto) and prints the
+//! scheduling-independent per-phase aggregate table to stdout. Without the
+//! flag every probe stays on its disabled fast path (one relaxed atomic
+//! load, no clock reads, no allocation).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use strsum_obs::Collector;
+
+/// Ring-buffer capacity for `--trace` runs: large enough for a full-corpus
+/// run with every phase instrumented, bounded so a runaway loop can't
+/// exhaust memory (drops are counted in the exported trace).
+const TRACE_CAPACITY: usize = 1 << 20;
+
+/// The `--trace <path>` option: parsed once at startup, finalised once at
+/// exit.
+#[derive(Debug)]
+pub struct TraceArgs {
+    path: Option<PathBuf>,
+    collector: Option<Arc<Collector>>,
+}
+
+impl TraceArgs {
+    /// Parses `--trace <path>` from `std::env::args` and, when present,
+    /// installs a fresh collector as the process sink.
+    pub fn from_args() -> TraceArgs {
+        match crate::arg_value("--trace") {
+            Some(path) => {
+                let collector = Collector::new(TRACE_CAPACITY);
+                strsum_obs::install(collector.clone());
+                TraceArgs {
+                    path: Some(PathBuf::from(path)),
+                    collector: Some(collector),
+                }
+            }
+            None => TraceArgs {
+                path: None,
+                collector: None,
+            },
+        }
+    }
+
+    /// The installed collector, for threading into
+    /// [`crate::CorpusRunner::trace`] so reports carry span aggregates.
+    pub fn collector(&self) -> Option<Arc<Collector>> {
+        self.collector.clone()
+    }
+
+    /// Whether tracing was requested.
+    pub fn enabled(&self) -> bool {
+        self.collector.is_some()
+    }
+
+    /// Writes the Chrome trace and prints the aggregate table. Call once,
+    /// after the experiment's real output.
+    pub fn finish(self) {
+        let (Some(path), Some(collector)) = (self.path, self.collector) else {
+            return;
+        };
+        strsum_obs::uninstall();
+        std::fs::write(&path, collector.chrome_trace()).expect("can write trace file");
+        let agg = collector.aggregate();
+        if !agg.is_empty() {
+            println!("\nTrace aggregate (per span name/tag):");
+            print!("{}", agg.table());
+        }
+        if collector.dropped() > 0 {
+            println!("(ring buffer dropped {} events)", collector.dropped());
+        }
+        println!(
+            "[trace written to {} — open in chrome://tracing]",
+            path.display()
+        );
+    }
+}

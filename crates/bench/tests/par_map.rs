@@ -1,0 +1,63 @@
+//! Contract tests for [`strsum_bench::par_map`]: the experiment pipeline
+//! builds determinism on top of it, so output order must be input order
+//! for every thread count, and a worker panic must surface rather than
+//! silently truncate results.
+
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use strsum_bench::par_map;
+
+proptest! {
+    /// Output order is input order regardless of thread count, including
+    /// when per-item work is deliberately skewed so fast items finish far
+    /// ahead of slow ones.
+    #[test]
+    fn preserves_order_for_every_thread_count(
+        items in proptest::collection::vec(0u64..1000, 0..40),
+        threads in 1usize..=8,
+    ) {
+        let out = par_map(&items, threads, |&x| {
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            x * 2 + 1
+        });
+        let expected: Vec<u64> = items.iter().map(|&x| x * 2 + 1).collect();
+        prop_assert_eq!(out, expected);
+    }
+}
+
+#[test]
+fn applies_f_exactly_once_per_item() {
+    let items: Vec<usize> = (0..100).collect();
+    let calls = AtomicUsize::new(0);
+    let out = par_map(&items, 4, |&i| {
+        calls.fetch_add(1, Ordering::SeqCst);
+        i
+    });
+    assert_eq!(out, items);
+    assert_eq!(calls.load(Ordering::SeqCst), items.len());
+}
+
+/// Pins the panic behaviour: a panicking worker propagates out of
+/// `par_map` (via the scoped-thread join) instead of returning a
+/// truncated or reordered vector. The experiment harness relies on this —
+/// a swallowed panic would silently drop loops from a run. Note the
+/// payload is `std::thread::scope`'s generic one, not the worker's: the
+/// original message reaches stderr via the panic hook only.
+#[test]
+fn worker_panic_propagates() {
+    let items: Vec<u32> = (0..16).collect();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        par_map(&items, 4, |&x| {
+            if x == 11 {
+                panic!("worker died on item {x}");
+            }
+            x
+        })
+    }));
+    let err = result.expect_err("panic must propagate");
+    let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert_eq!(msg, "a scoped thread panicked");
+}

@@ -4,7 +4,7 @@
 //! rejected and replaced by fresh synthesis.
 
 use std::time::Duration;
-use strsum_bench::synthesize_corpus_cached;
+use strsum_bench::CorpusRunner;
 use strsum_core::{loop_fingerprint, verify_summary, SynthesisConfig};
 use strsum_corpus::{App, LoopEntry, SummaryCache};
 use strsum_gadgets::interp::{run_bytes, Outcome};
@@ -76,7 +76,7 @@ fn grid_evading_poison_caught_by_bounded_checker() {
     assert!(!ok);
 }
 
-/// `synthesize_corpus_cached` synthesises one representative per semantic
+/// The cached pipeline synthesises one representative per semantic
 /// fingerprint and re-verifies the cached summary for every clone.
 #[test]
 fn semantically_identical_loops_hit_the_cache() {
@@ -93,7 +93,11 @@ fn semantically_identical_loops_hit_the_cache() {
             "char* loopFunction(char* s) { while (*s != 0 && *s != ':') s++; return s; }",
         ),
     ];
-    let (results, stats) = synthesize_corpus_cached(&entries, &cfg(), 2);
+    let report = CorpusRunner::new(cfg())
+        .threads(2)
+        .cache(true)
+        .run(&entries);
+    let (results, stats) = (report.results, report.cache);
     assert_eq!(results.len(), 3);
     let progs: Vec<_> = results
         .iter()

@@ -187,6 +187,7 @@ pub fn verify_summary(
     let Ok(prog) = Program::decode(bytes) else {
         return (false, no_effort);
     };
+    let _span = strsum_obs::span("corpus.reverify", "verify");
     let mut oracle = LoopOracle::new(func);
     let mut screen = crate::screen::ConcreteScreen::new(&mut oracle, max_ex_size);
     if screen.grid_rejects(bytes) {
@@ -196,6 +197,7 @@ pub fn verify_summary(
     match BoundedChecker::new(&mut pool, func, max_ex_size) {
         Ok(checker) => {
             let mut session = Session::new();
+            session.set_role("verify");
             checker.assert_canonical(&mut pool, &mut session);
             let verdict = checker.check_in(&mut pool, &mut session, &prog);
             (verdict == EquivalenceResult::Equivalent, session.stats())

@@ -56,6 +56,21 @@ pub struct ScreenStats {
     pub minimize_screen_rejects: usize,
 }
 
+impl strsum_obs::ToJson for ScreenStats {
+    /// Flat object, field order fixed — the byte-identical replacement for
+    /// the old hand-rolled `screen_json` emitter in `strsum-bench`.
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"screen_rejects\":{},\"oe_class_hits\":{},\"promoted\":{},\"minimize_screen_rejects\":{},\"verify_checks_avoided\":{}}}",
+            self.screen_rejects,
+            self.oe_class_hits,
+            self.promoted,
+            self.minimize_screen_rejects,
+            self.verify_checks_avoided()
+        )
+    }
+}
+
 impl ScreenStats {
     /// Bounded-equivalence checks that concrete screening made
     /// unnecessary (each reject replaced one `check_prog` call).
@@ -153,6 +168,7 @@ impl ConcreteScreen {
     /// on every grid input. The NULL input participates only when the
     /// loop is NULL-safe, mirroring the bounded checker's input space.
     pub fn new(oracle: &mut LoopOracle<'_>, max_ex_size: usize) -> ConcreteScreen {
+        let mut span = strsum_obs::span("screen.build", "screen");
         let alphabet = loop_alphabet(oracle.func());
         let mut grid: Vec<Option<Vec<u8>>> = Vec::new();
         if oracle.null_safe() {
@@ -164,6 +180,7 @@ impl ConcreteScreen {
                 .map(Some),
         );
         let expected = grid.iter().map(|i| oracle.run(i.as_deref())).collect();
+        span.arg_u64("grid", grid.len() as u64);
         ConcreteScreen {
             grid,
             expected,
@@ -186,6 +203,7 @@ impl ConcreteScreen {
     /// `screen_rejects`/`oe_class_hits` counters; the caller promotes the
     /// refuter and counts `promoted`.
     pub fn refute(&mut self, bytes: &[u8]) -> ScreenVerdict {
+        let _span = strsum_obs::span("screen.refute", "screen");
         let fp = self.fingerprint(bytes);
         let first_diff = fp
             .iter()

@@ -58,6 +58,19 @@ impl SolverTelemetry {
     }
 }
 
+impl strsum_obs::ToJson for SolverTelemetry {
+    /// Object with `search`/`verify`/`total` sub-objects — the
+    /// byte-identical replacement for the old `telemetry_json` emitter.
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"search\":{},\"verify\":{},\"total\":{}}}",
+            self.search.to_json(),
+            self.verify.to_json(),
+            self.total().to_json()
+        )
+    }
+}
+
 /// Persistent state for one synthesis attempt (one loop, any number of
 /// CEGIS iterations and program sizes).
 #[derive(Debug)]
@@ -106,7 +119,10 @@ impl<'f> SynthSession<'f> {
                 counterexamples.push(None);
             }
         }
-        let search = Session::with_conflict_limit(cfg.solver_conflict_limit);
+        let mut search = Session::with_conflict_limit(cfg.solver_conflict_limit);
+        search.set_role("search");
+        let mut verify = Session::new();
+        verify.set_role("verify");
         Ok(SynthSession {
             func,
             cfg,
@@ -114,7 +130,7 @@ impl<'f> SynthSession<'f> {
             checker,
             oracle,
             search,
-            verify: Session::new(),
+            verify,
             verify_prepared: false,
             counterexamples,
             screen,
@@ -141,6 +157,8 @@ impl<'f> SynthSession<'f> {
     /// retired when the call returns.
     pub fn run_size(&mut self, size: usize, timeout: Duration) -> SynthesisResult {
         let start = Instant::now();
+        let mut size_span = strsum_obs::span("cegis.run_size", "cegis");
+        size_span.arg_u64("size", size as u64);
         let mut stats = SynthStats::default();
         let allowed = self.cfg.vocab.opcodes();
         // Taken out of `self` so the minimisation closures can borrow the
@@ -178,26 +196,39 @@ impl<'f> SynthSession<'f> {
                 break Err("timeout".to_string());
             }
             stats.iterations += 1;
+            // One span per CEGIS iteration; the phase spans below (encode →
+            // search → screen → decode/verify) nest inside it, so a trace
+            // shows exactly where each iteration's time went.
+            let mut iter_span = strsum_obs::span("cegis.iteration", "cegis");
+            iter_span.arg_u64("size", size as u64);
+            iter_span.arg_u64("iteration", stats.iterations as u64);
 
             // Encode counterexamples not yet seen by this size's program
             // bytes — each exactly once (lines 4–6 of Algorithm 2).
-            while encoded < self.counterexamples.len() {
-                let cex = self.counterexamples[encoded].clone();
-                let expected = self.oracle.run(cex.as_deref());
-                let term = outcome_term_symbolic_prog_vocab(
-                    &mut self.pool,
-                    &prog_vars,
-                    cex.as_deref(),
-                    &allowed,
-                );
-                let expected_t = self.pool.bv_const(expected.encode8(), 8);
-                let c = self.pool.eq(term, expected_t);
-                self.add_constraint(act, &mut constraints, c);
-                encoded += 1;
+            if encoded < self.counterexamples.len() {
+                let mut encode_span = strsum_obs::span("cegis.encode", "cegis");
+                encode_span.arg_u64("new", (self.counterexamples.len() - encoded) as u64);
+                while encoded < self.counterexamples.len() {
+                    let cex = self.counterexamples[encoded].clone();
+                    let expected = self.oracle.run(cex.as_deref());
+                    let term = outcome_term_symbolic_prog_vocab(
+                        &mut self.pool,
+                        &prog_vars,
+                        cex.as_deref(),
+                        &allowed,
+                    );
+                    let expected_t = self.pool.bv_const(expected.encode8(), 8);
+                    let c = self.pool.eq(term, expected_t);
+                    self.add_constraint(act, &mut constraints, c);
+                    encoded += 1;
+                }
             }
 
             // Concretise the canonical candidate (lines 7–8).
-            let model = match self.solve_candidate(act, &constraints, &prog_vars) {
+            let search_span = strsum_obs::span("cegis.search", "cegis");
+            let solved = self.solve_candidate(act, &constraints, &prog_vars);
+            drop(search_span);
+            let model = match solved {
                 CheckResult::Sat(m) => m,
                 CheckResult::Unsat => {
                     break Err(format!(
@@ -219,6 +250,7 @@ impl<'f> SynthSession<'f> {
             // counterexample, so a bank mismatch is not a rejection but a
             // circuit-vs-interpreter disagreement — a soundness bug that
             // must surface, not be papered over.
+            let screen_span = strsum_obs::span("cegis.screen", "cegis");
             if screen.is_some() {
                 if let Some(cex) = self.bank_disagreement(&bytes) {
                     break Err(format!(
@@ -251,31 +283,41 @@ impl<'f> SynthSession<'f> {
                     }
                 }
             }
+            drop(screen_span);
 
             // Bounded verification (lines 10–18).
-            match decode_prefix(&bytes) {
-                Some(prog) if self.cfg.vocab.admits(&prog) => match self.check_prog(&prog) {
-                    EquivalenceResult::Equivalent => {
-                        break Ok(self.minimize_prog(&prog, screen.as_mut()));
-                    }
-                    EquivalenceResult::Counterexample(cex) => {
-                        if self.counterexamples.contains(&cex) {
-                            break Err(format!(
-                                "duplicate counterexample {cex:?} (soundness bug?)"
-                            ));
+            let decode_span = strsum_obs::span("cegis.decode", "cegis");
+            let decoded = decode_prefix(&bytes);
+            drop(decode_span);
+            match decoded {
+                Some(prog) if self.cfg.vocab.admits(&prog) => {
+                    let verify_span = strsum_obs::span("cegis.verify", "cegis");
+                    let verdict = self.check_prog(&prog);
+                    drop(verify_span);
+                    match verdict {
+                        EquivalenceResult::Equivalent => {
+                            let _minimize_span = strsum_obs::span("cegis.minimize", "cegis");
+                            break Ok(self.minimize_prog(&prog, screen.as_mut()));
                         }
-                        if screen.is_some() && !self.cex_distinguishes(&prog, &cex) {
-                            break Err(format!(
-                                "screen/solver disagreement: verifier counterexample {cex:?} \
+                        EquivalenceResult::Counterexample(cex) => {
+                            if self.counterexamples.contains(&cex) {
+                                break Err(format!(
+                                    "duplicate counterexample {cex:?} (soundness bug?)"
+                                ));
+                            }
+                            if screen.is_some() && !self.cex_distinguishes(&prog, &cex) {
+                                break Err(format!(
+                                    "screen/solver disagreement: verifier counterexample {cex:?} \
                                  does not concretely distinguish candidate {:?}",
-                                prog.encode()
-                            ));
+                                    prog.encode()
+                                ));
+                            }
+                            self.counterexamples.push(cex);
+                            self.block_candidate(act, &mut constraints, &prog_vars, &bytes);
                         }
-                        self.counterexamples.push(cex);
-                        self.block_candidate(act, &mut constraints, &prog_vars, &bytes);
+                        EquivalenceResult::Unknown(e) => break Err(e),
                     }
-                    EquivalenceResult::Unknown(e) => break Err(e),
-                },
+                }
                 _ => {
                     // Malformed candidate: find any input distinguishing the
                     // raw bytes from the oracle by brute force over tiny
@@ -310,6 +352,8 @@ impl<'f> SynthSession<'f> {
         stats.solver = self.telemetry();
         stats.screen = screen.as_ref().map(|s| s.stats).unwrap_or_default();
         self.screen = screen;
+        size_span.arg_u64("iterations", stats.iterations as u64);
+        size_span.arg_u64("synthesised", u64::from(outcome.is_ok()));
         match outcome {
             Ok(program) => SynthesisResult {
                 program: Some(program),
@@ -420,6 +464,7 @@ impl<'f> SynthSession<'f> {
             Some(a) => self.search.canonical_check(&mut self.pool, &[a], prog_vars),
             None => {
                 let mut solo = Session::with_conflict_limit(self.cfg.solver_conflict_limit);
+                solo.set_role("search");
                 for &c in constraints {
                     solo.assert_term(&mut self.pool, c);
                 }
@@ -443,6 +488,7 @@ impl<'f> SynthSession<'f> {
                 .check_in(&mut self.pool, &mut self.verify, prog)
         } else {
             let mut solo = Session::new();
+            solo.set_role("verify");
             self.checker.assert_canonical(&mut self.pool, &mut solo);
             let r = self.checker.check_in(&mut self.pool, &mut solo, prog);
             self.scratch_verify = self.scratch_verify.plus(&solo.stats());

@@ -17,6 +17,7 @@
 //! The small-model theorem stays the sole soundness root.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Counters for cache effectiveness, reported by the benchmarks.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -30,12 +31,30 @@ pub struct CacheStats {
     pub rejected: usize,
 }
 
+impl strsum_obs::ToJson for CacheStats {
+    /// Flat object, field order fixed — the byte-identical replacement for
+    /// the old hand-rolled `cache_json` emitter in `strsum-bench`.
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"rejected\":{}}}",
+            self.hits, self.misses, self.rejected
+        )
+    }
+}
+
 /// Fingerprint-keyed store of synthesised summaries. See the module docs
 /// for the mandatory re-verification contract.
+///
+/// Hit/miss accounting uses atomic counters so [`SummaryCache::lookup`]
+/// takes `&self`: a populated cache can be shared by reference across
+/// `par_map` workers, with mutation (`insert`/`reject`) confined to the
+/// single-threaded phase boundaries.
 #[derive(Debug, Default)]
 pub struct SummaryCache {
     entries: HashMap<Vec<u64>, Vec<u8>>,
-    stats: CacheStats,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    rejected: AtomicUsize,
 }
 
 impl SummaryCache {
@@ -46,14 +65,16 @@ impl SummaryCache {
 
     /// Looks up the summary previously stored for `fingerprint`. The
     /// returned bytes are *unverified* with respect to the caller's loop.
-    pub fn lookup(&mut self, fingerprint: &[u64]) -> Option<Vec<u8>> {
+    pub fn lookup(&self, fingerprint: &[u64]) -> Option<Vec<u8>> {
         match self.entries.get(fingerprint) {
             Some(prog) => {
-                self.stats.hits += 1;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                strsum_obs::counter("cache.hit", "corpus", 1);
                 Some(prog.clone())
             }
             None => {
-                self.stats.misses += 1;
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                strsum_obs::counter("cache.miss", "corpus", 1);
                 None
             }
         }
@@ -68,13 +89,18 @@ impl SummaryCache {
     /// Records that a looked-up entry failed re-verification, and evicts
     /// it so later lookups don't keep paying for the same bad entry.
     pub fn reject(&mut self, fingerprint: &[u64]) {
-        self.stats.rejected += 1;
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        strsum_obs::counter("cache.reject", "corpus", 1);
         self.entries.remove(fingerprint);
     }
 
     /// Effectiveness counters accumulated so far.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of distinct fingerprints currently stored.

@@ -1,0 +1,353 @@
+//! The ring-buffer collector, Chrome `trace_event` export, and the
+//! scheduling-independent per-phase aggregation.
+
+use crate::json::{escape, fmt_f64, ToJson};
+use crate::trace::{ArgValue, Event, EventKind, Sink};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A bounded in-memory event store. When full, the *oldest* events are
+/// dropped (and counted), so a runaway trace degrades into a suffix window
+/// rather than unbounded memory growth.
+#[derive(Debug)]
+pub struct Collector {
+    capacity: usize,
+    buf: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+impl Collector {
+    /// A collector holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Arc<Collector> {
+        Arc::new(Collector {
+            capacity: capacity.max(1),
+            buf: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// A snapshot of the buffered events, in arrival order.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf
+            .lock()
+            .expect("collector lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Merges the buffered events into per-phase rows (see [`Aggregate`]).
+    pub fn aggregate(&self) -> Aggregate {
+        Aggregate::from_events(&self.events())
+    }
+
+    /// The buffered events as Chrome `trace_event` JSON: an object with a
+    /// `traceEvents` array of complete (`"ph":"X"`) and counter
+    /// (`"ph":"C"`) events, loadable in `chrome://tracing` and Perfetto.
+    pub fn chrome_trace(&self) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(events.len() * 96 + 64);
+        out.push_str("{\"traceEvents\":[");
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  ");
+            out.push_str(&chrome_event(ev));
+        }
+        let _ = write!(
+            out,
+            "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"dropped_events\":{}}}}}\n",
+            self.dropped()
+        );
+        out
+    }
+}
+
+impl Sink for Collector {
+    fn record(&self, event: Event) {
+        let mut buf = self.buf.lock().expect("collector lock");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(event);
+    }
+}
+
+fn chrome_args(args: &[(&'static str, ArgValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":", escape(k));
+        match v {
+            ArgValue::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            ArgValue::F64(f) => out.push_str(&fmt_f64(*f)),
+            ArgValue::Str(s) => {
+                let _ = write!(out, "\"{}\"", escape(s));
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn chrome_event(ev: &Event) -> String {
+    match &ev.kind {
+        EventKind::Span { start_us, dur_us } => format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{}}}",
+            escape(ev.name),
+            escape(ev.tag),
+            ev.tid,
+            start_us,
+            dur_us,
+            chrome_args(&ev.args)
+        ),
+        EventKind::Counter { ts_us, value } => format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"C\",\"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{\"value\":{}}}}}",
+            escape(ev.name),
+            escape(ev.tag),
+            ev.tid,
+            ts_us,
+            value
+        ),
+    }
+}
+
+/// Aggregated measurements for one span/counter key.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Spans completed (or counter events recorded) under this key.
+    pub count: u64,
+    /// Total span duration in µs (zero for counters).
+    pub total_us: u64,
+    /// Sums of the integer arguments, keyed by argument name. Counter
+    /// increments are summed under `"value"`.
+    pub args: BTreeMap<&'static str, u64>,
+}
+
+impl PhaseRow {
+    /// The summed value of integer argument `key` (0 when absent).
+    pub fn arg(&self, key: &str) -> u64 {
+        self.args.get(key).copied().unwrap_or(0)
+    }
+}
+
+/// Per-phase totals merged by span key `(name, tag)`.
+///
+/// The merge is a fold of commutative sums into a sorted map, so two
+/// traces holding the same multiset of events aggregate identically no
+/// matter how threads interleaved them — the property the determinism
+/// audit checks. Wall-clock durations still vary run to run, but *counts
+/// and argument sums* (queries, conflicts, rejects, hits) are exact and
+/// reconcile with the solver-telemetry counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Aggregate {
+    /// Rows sorted by `(name, tag)`.
+    pub rows: BTreeMap<(&'static str, &'static str), PhaseRow>,
+}
+
+impl Aggregate {
+    /// Merges `events` by span key.
+    pub fn from_events(events: &[Event]) -> Aggregate {
+        let mut rows: BTreeMap<(&'static str, &'static str), PhaseRow> = BTreeMap::new();
+        for ev in events {
+            let row = rows.entry((ev.name, ev.tag)).or_default();
+            row.count += 1;
+            match &ev.kind {
+                EventKind::Span { dur_us, .. } => {
+                    row.total_us += dur_us;
+                    for (k, v) in &ev.args {
+                        if let ArgValue::U64(n) = v {
+                            *row.args.entry(k).or_insert(0) += n;
+                        }
+                    }
+                }
+                EventKind::Counter { value, .. } => {
+                    *row.args.entry("value").or_insert(0) += value;
+                }
+            }
+        }
+        Aggregate { rows }
+    }
+
+    /// The row for `(name, tag)`, if any events matched it.
+    pub fn get(&self, name: &str, tag: &str) -> Option<&PhaseRow> {
+        self.rows
+            .iter()
+            .find(|((n, t), _)| *n == name && *t == tag)
+            .map(|(_, row)| row)
+    }
+
+    /// Sum of one integer argument across every row whose name matches
+    /// `name` (any tag) — e.g. total `"queries"` over all `smt.*` spans.
+    pub fn arg_sum(&self, name: &str, arg: &str) -> u64 {
+        self.rows
+            .iter()
+            .filter(|((n, _), _)| *n == name)
+            .map(|(_, row)| row.arg(arg))
+            .sum()
+    }
+
+    /// Whether no events were aggregated.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// A human-readable per-phase table (sorted by key, so byte-stable for
+    /// a given multiset of events up to durations).
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:<10} {:>9} {:>12}  args",
+            "span", "tag", "count", "total (ms)"
+        );
+        for ((name, tag), row) in &self.rows {
+            let mut args = String::new();
+            for (k, v) in &row.args {
+                let _ = write!(args, "{k}={v} ");
+            }
+            let _ = writeln!(
+                out,
+                "{:<24} {:<10} {:>9} {:>12.3}  {}",
+                name,
+                tag,
+                row.count,
+                row.total_us as f64 / 1000.0,
+                args.trim_end()
+            );
+        }
+        out
+    }
+}
+
+impl ToJson for Aggregate {
+    fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, ((name, tag), row)) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}/{}\":{{\"count\":{},\"total_us\":{}",
+                escape(name),
+                escape(tag),
+                row.count,
+                row.total_us
+            );
+            for (k, v) in &row.args {
+                let _ = write!(out, ",\"{}\":{}", escape(k), v);
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_ev(name: &'static str, tag: &'static str, dur: u64, q: u64) -> Event {
+        Event {
+            name,
+            tag,
+            tid: 0,
+            kind: EventKind::Span {
+                start_us: 0,
+                dur_us: dur,
+            },
+            args: vec![("queries", ArgValue::U64(q))],
+        }
+    }
+
+    #[test]
+    fn aggregation_is_order_independent() {
+        let events = vec![
+            span_ev("smt.check", "search", 10, 2),
+            span_ev("smt.check", "verify", 30, 1),
+            span_ev("smt.check", "search", 5, 4),
+            Event {
+                name: "cache.hit",
+                tag: "corpus",
+                tid: 3,
+                kind: EventKind::Counter { ts_us: 7, value: 2 },
+                args: vec![],
+            },
+        ];
+        let mut shuffled = events.clone();
+        shuffled.reverse();
+        shuffled.rotate_left(1);
+        let a = Aggregate::from_events(&events);
+        let b = Aggregate::from_events(&shuffled);
+        assert_eq!(a, b, "merge must not depend on arrival order");
+        let row = a.get("smt.check", "search").unwrap();
+        assert_eq!(row.count, 2);
+        assert_eq!(row.total_us, 15);
+        assert_eq!(row.arg("queries"), 6);
+        assert_eq!(a.arg_sum("smt.check", "queries"), 7);
+        assert_eq!(a.get("cache.hit", "corpus").unwrap().arg("value"), 2);
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_and_counts() {
+        let c = Collector::new(2);
+        for i in 0..5u64 {
+            c.record(span_ev("s", "t", i, 0));
+        }
+        let events = c.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(c.dropped(), 3);
+        // The survivors are the newest two.
+        assert!(matches!(events[0].kind, EventKind::Span { dur_us: 3, .. }));
+        assert!(matches!(events[1].kind, EventKind::Span { dur_us: 4, .. }));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let c = Collector::new(8);
+        c.record(span_ev("solve", "search", 12, 3));
+        c.record(Event {
+            name: "cache.hit",
+            tag: "corpus",
+            tid: 1,
+            kind: EventKind::Counter { ts_us: 9, value: 1 },
+            args: vec![],
+        });
+        let json = c.chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"dur\":12"));
+        assert!(json.contains("\"dropped_events\":0"));
+        // Balanced braces/brackets — the cheap structural sanity check the
+        // CI schema validator repeats on real traces.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn aggregate_json_is_sorted_and_escaped() {
+        let a = Aggregate::from_events(&[span_ev("b", "t", 1, 0), span_ev("a", "t", 2, 5)]);
+        let json = a.to_json();
+        let ia = json.find("\"a/t\"").unwrap();
+        let ib = json.find("\"b/t\"").unwrap();
+        assert!(ia < ib, "rows sorted by key: {json}");
+        assert!(json.contains("\"queries\":5"));
+    }
+}

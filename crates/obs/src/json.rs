@@ -1,0 +1,68 @@
+//! Minimal JSON emission shared by every stat struct in the workspace.
+//!
+//! The tree has no serde (registry-free build), so each crate's stat
+//! structs implement [`ToJson`] by hand. This module centralises the two
+//! things hand-rolled emitters historically get wrong — string escaping
+//! and float formatting — so they are written once and the per-struct
+//! impls are pure field lists.
+
+/// Hand-rolled JSON serialisation. Implementations must emit one complete
+/// JSON value (usually an object) with **stable key order**, so report
+/// files diff cleanly across runs.
+pub trait ToJson {
+    /// The value as compact JSON.
+    fn to_json(&self) -> String;
+}
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included). Handles the two mandatory classes — `"` `\` and control
+/// characters — per RFC 8259.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON number: the shortest round-trip form for
+/// finite values, `null` for NaN/infinity (which JSON cannot represent).
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("tab\there"), "tab\\there");
+        assert_eq!(escape("nl\n"), "nl\\n");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn floats_format_as_json_numbers() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+}

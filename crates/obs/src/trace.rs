@@ -1,0 +1,283 @@
+//! Events, the pluggable sink, and the span/counter recording API.
+//!
+//! The global sink is process-wide: [`install`] flips an atomic flag that
+//! every [`span`]/[`counter`] call checks first, so the disabled path does
+//! no clock reads, no allocation, and no locking.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// A recorded argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer (counters, query counts, sizes).
+    U64(u64),
+    /// Floating-point (rates, seconds).
+    F64(f64),
+    /// Free-form label (loop ids, failure kinds).
+    Str(String),
+}
+
+/// What an [`Event`] measured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed span: start offset and duration, both in microseconds
+    /// since the sink was installed.
+    Span {
+        /// Start, µs since the trace epoch.
+        start_us: u64,
+        /// Duration in µs.
+        dur_us: u64,
+    },
+    /// A counter increment at one instant.
+    Counter {
+        /// Timestamp, µs since the trace epoch.
+        ts_us: u64,
+        /// The increment (counters are monotonic; deltas are recorded).
+        value: u64,
+    },
+}
+
+/// One recorded observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Span or counter name, e.g. `"smt.check"`.
+    pub name: &'static str,
+    /// Grouping tag (Chrome trace "category"), e.g. `"search"`/`"verify"`.
+    pub tag: &'static str,
+    /// Small stable thread id (allocation order, not the OS id).
+    pub tid: u64,
+    /// Timing or counter payload.
+    pub kind: EventKind,
+    /// Extra key/value arguments (summed per key by [`crate::Aggregate`]
+    /// when numeric).
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// Where events go. Implementations must be cheap and non-blocking-ish:
+/// they are called from solver inner loops (though only per *query*, never
+/// per propagation) and from every bench worker thread.
+pub trait Sink: Send + Sync {
+    /// Records one event. Called concurrently from many threads.
+    fn record(&self, event: Event);
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Installs `sink` as the process-wide event sink and enables recording.
+/// The trace epoch (timestamp zero) is fixed at the first install.
+pub fn install(sink: Arc<dyn Sink>) {
+    EPOCH.get_or_init(Instant::now);
+    *SINK.write().expect("obs sink lock") = Some(sink);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Disables recording and drops the sink reference. Spans already open
+/// keep their handle-free fast path: they record only if a sink is still
+/// installed when they drop.
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::Release);
+    *SINK.write().expect("obs sink lock") = None;
+}
+
+/// Whether a sink is installed (the fast-path check every probe makes).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn now_us() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().duration_since(epoch).as_micros() as u64
+}
+
+fn tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+fn record(event: Event) {
+    if let Some(sink) = SINK.read().expect("obs sink lock").as_ref() {
+        sink.record(event);
+    }
+}
+
+/// An RAII span guard: created by [`span`], records one
+/// [`EventKind::Span`] event when dropped. Inactive (and free) when no
+/// sink is installed.
+#[must_use = "a span measures the scope it is alive for"]
+#[derive(Debug)]
+pub struct Span(Option<ActiveSpan>);
+
+#[derive(Debug)]
+struct ActiveSpan {
+    name: &'static str,
+    tag: &'static str,
+    start_us: u64,
+    start: Instant,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+impl Span {
+    /// Whether this span will record (i.e. a sink was installed when it
+    /// was opened). Gate any non-trivial argument computation on this.
+    #[inline]
+    pub fn active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Attaches an integer argument (no-op when inactive).
+    pub fn arg_u64(&mut self, key: &'static str, value: u64) {
+        if let Some(a) = self.0.as_mut() {
+            a.args.push((key, ArgValue::U64(value)));
+        }
+    }
+
+    /// Attaches a float argument (no-op when inactive).
+    pub fn arg_f64(&mut self, key: &'static str, value: f64) {
+        if let Some(a) = self.0.as_mut() {
+            a.args.push((key, ArgValue::F64(value)));
+        }
+    }
+
+    /// Attaches a string argument (no-op when inactive; the conversion is
+    /// only evaluated lazily by callers that check [`Span::active`]).
+    pub fn arg_str(&mut self, key: &'static str, value: impl Into<String>) {
+        if let Some(a) = self.0.as_mut() {
+            a.args.push((key, ArgValue::Str(value.into())));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(a) = self.0.take() {
+            let dur_us = a.start.elapsed().as_micros() as u64;
+            record(Event {
+                name: a.name,
+                tag: a.tag,
+                tid: tid(),
+                kind: EventKind::Span {
+                    start_us: a.start_us,
+                    dur_us,
+                },
+                args: a.args,
+            });
+        }
+    }
+}
+
+/// Opens a span named `name` under grouping tag `tag`. When no sink is
+/// installed this is one atomic load and returns an inert guard.
+#[inline]
+pub fn span(name: &'static str, tag: &'static str) -> Span {
+    if !enabled() {
+        return Span(None);
+    }
+    Span(Some(ActiveSpan {
+        name,
+        tag,
+        start_us: now_us(),
+        start: Instant::now(),
+        args: Vec::new(),
+    }))
+}
+
+/// Records a monotonic-counter increment. When no sink is installed this
+/// is one atomic load.
+#[inline]
+pub fn counter(name: &'static str, tag: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    record(Event {
+        name,
+        tag,
+        tid: tid(),
+        kind: EventKind::Counter {
+            ts_us: now_us(),
+            value,
+        },
+        args: Vec::new(),
+    });
+}
+
+#[cfg(test)]
+pub(crate) mod test_lock {
+    //! The sink is process-global, so tests that install one must not run
+    //! concurrently with each other.
+    use std::sync::{Mutex, MutexGuard};
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn hold() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Collector;
+
+    #[test]
+    fn disabled_probes_record_nothing() {
+        let _guard = test_lock::hold();
+        uninstall();
+        let mut s = span("noop", "test");
+        assert!(!s.active());
+        s.arg_u64("ignored", 1);
+        drop(s);
+        counter("noop", "test", 1);
+        // Nothing to assert against — the point is no panic and no sink.
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn spans_and_counters_reach_the_sink() {
+        let _guard = test_lock::hold();
+        let c = Collector::new(16);
+        install(c.clone());
+        {
+            let mut s = span("work", "phase");
+            s.arg_u64("items", 7);
+            s.arg_str("label", "abc");
+        }
+        counter("ticks", "phase", 3);
+        uninstall();
+        let events = c.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "work");
+        assert!(matches!(events[0].kind, EventKind::Span { .. }));
+        assert_eq!(
+            events[0].args,
+            vec![
+                ("items", ArgValue::U64(7)),
+                ("label", ArgValue::Str("abc".to_string()))
+            ]
+        );
+        assert!(matches!(
+            events[1].kind,
+            EventKind::Counter { value: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn spans_opened_before_uninstall_do_not_record_after() {
+        let _guard = test_lock::hold();
+        let c = Collector::new(16);
+        install(c.clone());
+        let s = span("late", "test");
+        assert!(s.active());
+        uninstall();
+        drop(s);
+        assert_eq!(c.events().len(), 0, "sink was gone at drop time");
+    }
+}

@@ -53,6 +53,24 @@ pub struct SessionStats {
     pub blast_misses: u64,
 }
 
+impl strsum_obs::ToJson for SessionStats {
+    /// Flat object, field order fixed — the byte-identical replacement for
+    /// the old hand-rolled `session_stats_json` emitter in `strsum-bench`.
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"queries\":{},\"conflicts\":{},\"propagations\":{},\"learnts\":{},\"clauses\":{},\"vars\":{},\"blast_hits\":{},\"blast_misses\":{}}}",
+            self.queries,
+            self.conflicts,
+            self.propagations,
+            self.learnts,
+            self.clauses,
+            self.vars,
+            self.blast_hits,
+            self.blast_misses
+        )
+    }
+}
+
 impl SessionStats {
     /// Counter-wise difference `self - earlier` (saturating).
     pub fn since(&self, earlier: &SessionStats) -> SessionStats {
@@ -88,6 +106,9 @@ impl SessionStats {
 pub struct Session {
     sat: SatSolver,
     blaster: Blaster,
+    /// Observability tag carried by every solve span ("search", "verify",
+    /// …); `"smt"` until [`Session::set_role`] is called.
+    role: Option<&'static str>,
 }
 
 impl Session {
@@ -96,6 +117,29 @@ impl Session {
         Session {
             sat: SatSolver::new(),
             blaster: Blaster::new(),
+            role: None,
+        }
+    }
+
+    /// Tags this session's trace spans with `role` (e.g. `"search"` or
+    /// `"verify"`), so a trace attributes solver effort by pipeline phase.
+    pub fn set_role(&mut self, role: &'static str) {
+        self.role = Some(role);
+    }
+
+    /// The observability tag spans carry ( `"smt"` when never set).
+    pub fn role(&self) -> &'static str {
+        self.role.unwrap_or("smt")
+    }
+
+    /// Attaches this query's effort deltas to an active span so aggregated
+    /// span args reconcile exactly with [`Session::stats`] totals.
+    fn finish_solve_span(&self, span: &mut strsum_obs::Span, before: Option<SessionStats>) {
+        if let Some(before) = before {
+            let d = self.stats().since(&before);
+            span.arg_u64("queries", d.queries);
+            span.arg_u64("conflicts", d.conflicts);
+            span.arg_u64("propagations", d.propagations);
         }
     }
 
@@ -157,11 +201,15 @@ impl Session {
     /// Checks the asserted constraints under `assumptions`, returning a
     /// model over every encoded variable on `Sat`.
     pub fn check(&mut self, pool: &mut TermPool, assumptions: &[Lit]) -> CheckResult {
-        match self.sat.solve(assumptions) {
+        let mut span = strsum_obs::span("smt.check", self.role());
+        let before = span.active().then(|| self.stats());
+        let result = match self.sat.solve(assumptions) {
             SatResult::Sat => CheckResult::Sat(Model::from_sat(pool, &self.blaster, &self.sat)),
             SatResult::Unsat => CheckResult::Unsat,
             SatResult::Unknown => CheckResult::Unknown,
-        }
+        };
+        self.finish_solve_span(&mut span, before);
+        result
     }
 
     /// Like [`Session::check`], but on `Sat` the returned model maps each
@@ -182,49 +230,61 @@ impl Session {
         assumptions: &[Lit],
         terms: &[TermId],
     ) -> CheckResult {
+        let mut span = strsum_obs::span("smt.canonical", self.role());
+        let before = span.active().then(|| self.stats());
         let term_bits: Vec<Vec<Lit>> = terms.iter().map(|&t| self.bv_lits(pool, t)).collect();
         let mut fixed: Vec<Lit> = assumptions.to_vec();
         match self.sat.solve(&fixed) {
-            SatResult::Unsat => return CheckResult::Unsat,
-            SatResult::Unknown => return CheckResult::Unknown,
+            SatResult::Unsat => {
+                self.finish_solve_span(&mut span, before);
+                return CheckResult::Unsat;
+            }
+            SatResult::Unknown => {
+                self.finish_solve_span(&mut span, before);
+                return CheckResult::Unknown;
+            }
             SatResult::Sat => {}
         }
         // Invariant: `snap` is a satisfying assignment of the asserted
         // clauses ∧ `fixed`. A bit the snapshot already sets to 0 is
         // optimal without solving; a 1-bit needs one probe, and an Unsat
         // probe keeps the invariant because `snap` itself sets the bit.
-        let mut snap = self.snapshot();
-        let mut values: HashMap<TermId, u64> = HashMap::new();
-        for (&t, bits) in terms.iter().zip(&term_bits) {
-            let mut v = 0u64;
-            for bi in (0..bits.len()).rev() {
-                let l = bits[bi];
-                let snap_one = snap[l.var() as usize] == l.is_positive();
-                let one = if !snap_one {
-                    fixed.push(!l);
-                    false
-                } else {
-                    fixed.push(!l);
-                    match self.sat.solve(&fixed) {
-                        SatResult::Sat => {
-                            snap = self.snapshot();
-                            false
+        let result = 'probe: {
+            let mut snap = self.snapshot();
+            let mut values: HashMap<TermId, u64> = HashMap::new();
+            for (&t, bits) in terms.iter().zip(&term_bits) {
+                let mut v = 0u64;
+                for bi in (0..bits.len()).rev() {
+                    let l = bits[bi];
+                    let snap_one = snap[l.var() as usize] == l.is_positive();
+                    let one = if !snap_one {
+                        fixed.push(!l);
+                        false
+                    } else {
+                        fixed.push(!l);
+                        match self.sat.solve(&fixed) {
+                            SatResult::Sat => {
+                                snap = self.snapshot();
+                                false
+                            }
+                            SatResult::Unsat => {
+                                fixed.pop();
+                                fixed.push(l);
+                                true
+                            }
+                            SatResult::Unknown => break 'probe CheckResult::Unknown,
                         }
-                        SatResult::Unsat => {
-                            fixed.pop();
-                            fixed.push(l);
-                            true
-                        }
-                        SatResult::Unknown => return CheckResult::Unknown,
+                    };
+                    if one {
+                        v |= 1 << bi;
                     }
-                };
-                if one {
-                    v |= 1 << bi;
                 }
+                values.insert(t, v);
             }
-            values.insert(t, v);
-        }
-        CheckResult::Sat(Model::from_values(values))
+            CheckResult::Sat(Model::from_values(values))
+        };
+        self.finish_solve_span(&mut span, before);
+        result
     }
 
     fn snapshot(&self) -> Vec<bool> {

@@ -121,6 +121,10 @@ impl<'p> Engine<'p> {
     /// Runs `func` on the given arguments and initial memory, exploring all
     /// feasible paths (subject to budgets).
     pub fn run(&mut self, func: &Func, args: Vec<SymVal>, mem: SymMemory) -> SymbolicRun {
+        let mut span = strsum_obs::span("symex.run", "symex");
+        if span.active() {
+            span.arg_str("func", func.name.clone());
+        }
         let mut paths = Vec::new();
         let mut stats = RunStats::default();
         let mut complete = true;
@@ -150,6 +154,12 @@ impl<'p> Engine<'p> {
             }
         }
         stats.paths = paths.len();
+        if span.active() {
+            span.arg_u64("paths", stats.paths as u64);
+            span.arg_u64("forks", stats.forks);
+            span.arg_u64("solver_queries", stats.solver_queries);
+            span.arg_u64("complete", u64::from(complete));
+        }
         SymbolicRun {
             paths,
             stats,
