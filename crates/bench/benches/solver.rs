@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use strsum_gadgets::symbolic::outcome_term_symbolic_prog;
-use strsum_smt::{Solver, TermId, TermPool};
+use strsum_smt::{CheckResult, Session, Solver, TermId, TermPool};
 
 fn bench_bitvector_query(c: &mut Criterion) {
     c.bench_function("smt/add_mul_equality", |b| {
@@ -18,6 +18,48 @@ fn bench_bitvector_query(c: &mut Criterion) {
             let five = pool.bv_const(5, 16);
             let gt = pool.bv_ult(five, x);
             black_box(Solver::new().check(&mut pool, &[eq, gt]).is_sat())
+        })
+    });
+}
+
+/// The SAT hot path pinned: a real bit-blasted CEGIS candidate query —
+/// the strchr-like loop's counterexample constraints over 5 symbolic
+/// program bytes, encoded once into a persistent session — re-solved from
+/// a fork every iteration. Each iteration pays exactly what one cube
+/// worker pays in the parallel search (`Session::fork` + canonical model
+/// extraction), and the work inside is pure CDCL propagate/decide/learn
+/// on a fixed clause database, so this is the benchmark to watch when
+/// touching `Solver::propagate`/`solve` or the fork path.
+fn bench_sat_hot_path(c: &mut Criterion) {
+    let func = strsum_cfront::compile_one(
+        "char* f(char* s) { while (*s != 0 && *s != ':') s++; return s; }",
+    )
+    .expect("compiles");
+    let mut pool = TermPool::new();
+    let mut oracle = strsum_core::LoopOracle::new(&func);
+    let prog_vars: Vec<TermId> = (0..5)
+        .map(|i| pool.fresh_var(&format!("prog{i}"), 8))
+        .collect();
+    let mut session = Session::new();
+    session.set_role("search");
+    let inputs: [Option<&[u8]>; 4] = [None, Some(b""), Some(b":"), Some(b"a:")];
+    for cex in inputs {
+        let term = outcome_term_symbolic_prog(&mut pool, &prog_vars, cex);
+        let expected = pool.bv_const(oracle.run(cex).encode8(), 8);
+        let eq = pool.eq(term, expected);
+        session.assert_term(&mut pool, eq);
+    }
+    // One warm-up solve so every term is blasted into the parent's caches
+    // before measurement starts.
+    let warm = session
+        .fork()
+        .canonical_check(&mut pool.clone(), &[], &prog_vars);
+    assert!(matches!(warm, CheckResult::Sat(_)), "query is satisfiable");
+    c.bench_function("smt/cegis_candidate_query_pinned", |b| {
+        b.iter(|| {
+            let mut p = pool.clone();
+            let mut worker = session.fork();
+            black_box(worker.canonical_check(&mut p, &[], &prog_vars))
         })
     });
 }
@@ -74,6 +116,7 @@ fn bench_equivalence(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_bitvector_query,
+    bench_sat_hot_path,
     bench_interpreter_circuit,
     bench_incremental_vs_scratch,
     bench_equivalence

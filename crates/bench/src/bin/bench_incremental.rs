@@ -1,6 +1,7 @@
-//! Concrete-first ablation and determinism audit over a corpus slice.
+//! Concrete-first + parallel-search ablations and determinism audits over
+//! a corpus slice.
 //!
-//! Three passes:
+//! Five passes:
 //!
 //! 1. **screened** — the default pipeline: concrete-first screening +
 //!    OE-class blocking inside incremental sessions, behind the
@@ -11,6 +12,13 @@
 //! 3. **screened from-scratch** — pass 1 with throwaway solvers. Canonical
 //!    model extraction makes passes 1 and 3 synthesise byte-identical
 //!    programs; any divergence is a determinism violation.
+//! 4. **serial reference** — pass 1 pinned to 1 thread and 1 cube with
+//!    cost-aware scheduling on, populating the per-loop cost book
+//!    (`results/costs.tsv`) and measuring the serial makespan.
+//! 5. **parallel** — pass 4 with ≥ 2 corpus threads, 4 candidate-search
+//!    cubes per query, and longest-job-first dispatch from pass 4's cost
+//!    book. The deterministic cube merge makes passes 4 and 5 synthesise
+//!    byte-identical programs; any divergence is a determinism violation.
 //!
 //! The run fails (exit 1) on any determinism violation and on any
 //! screen-layer/solver disagreement — a candidate the symbolic circuit
@@ -18,8 +26,10 @@
 //! into a blocked OE class (`oe_class_hits > 0`). Both audits are wired
 //! into CI.
 //!
-//! Results land in `BENCH_pr2.json` (ablation + audit counters) and
-//! `BENCH_incremental.json` (the PR-1 incremental-vs-scratch shape).
+//! Results land in `BENCH_pr2.json` (ablation + audit counters),
+//! `BENCH_incremental.json` (the PR-1 incremental-vs-scratch shape), and
+//! `BENCH_pr4.json` (serial-vs-parallel makespans, per-loop speedups, and
+//! the parallel determinism audit).
 //!
 //! With `--trace PATH` the run also writes a Chrome `trace_event` JSON of
 //! every instrumented phase and *reconciles* it against the solver
@@ -33,7 +43,7 @@
 //!         [--limit N] [--timeout-secs N] [--threads N] [--trace PATH]`
 
 use std::fmt::Write as _;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use strsum_bench::{
     aggregate_screen, aggregate_telemetry, arg_value, default_threads, write_result, CorpusRunner,
     LoopSynth, TraceArgs,
@@ -109,49 +119,74 @@ fn main() {
         entries.len()
     );
 
-    let run = |cfg: SynthesisConfig, cached: bool| {
-        let mut runner = CorpusRunner::new(cfg).threads(threads).cache(cached);
+    // Passes 1–3 pin `cost_schedule(false)` so the screening ablation and
+    // its audit stay independent of whatever cost book is on disk; passes
+    // 4–5 turn it on (pass 4 populates the book pass 5 schedules from).
+    let run = |cfg: SynthesisConfig, cached: bool, n: usize, intra: usize, cost: bool| {
+        let mut runner = CorpusRunner::new(cfg)
+            .threads(n)
+            .cache(cached)
+            .intra_loop(intra)
+            .cost_schedule(cost);
         if let Some(c) = trace.collector() {
             runner = runner.trace(c);
         }
-        runner.run(&entries)
+        let start = Instant::now();
+        let report = runner.run(&entries);
+        (report, start.elapsed())
     };
-    println!("pass 1/3: screened + cached, incremental sessions…");
-    let r1 = run(config(true, true, timeout), true);
+    println!("pass 1/5: screened + cached, incremental sessions…");
+    let (r1, _) = run(config(true, true, timeout), true, threads, 1, false);
     let (screened, cache) = (r1.results, r1.cache);
-    println!("pass 2/3: baseline (no screen, no cache), incremental sessions…");
-    let baseline = run(config(false, true, timeout), false).results;
-    println!("pass 3/3: screened + cached, from-scratch reference…");
-    let r3 = run(config(true, false, timeout), true);
+    println!("pass 2/5: baseline (no screen, no cache), incremental sessions…");
+    let baseline = run(config(false, true, timeout), false, threads, 1, false)
+        .0
+        .results;
+    println!("pass 3/5: screened + cached, from-scratch reference…");
+    let (r3, _) = run(config(true, false, timeout), true, threads, 1, false);
     let (scratch, scratch_cache) = (r3.results, r3.cache);
+    println!("pass 4/5: serial reference (1 thread, 1 cube, recording costs)…");
+    let (r4, serial_makespan) = run(config(true, true, timeout), true, 1, 1, true);
+    let (serial, serial_cache) = (r4.results, r4.cache);
+    let threads_parallel = threads.max(2);
+    println!(
+        "pass 5/5: parallel ({threads_parallel} threads, 4 cubes/query, cost-aware dispatch)…"
+    );
+    let (r5, parallel_makespan) = run(config(true, true, timeout), true, threads_parallel, 4, true);
+    let (parallel, parallel_cache) = (r5.results, r5.cache);
 
-    // Determinism audit: identical programs, identical failure kinds,
-    // between the screened incremental and from-scratch passes.
-    // (Timeout-bounded runs can legitimately diverge only when a loop's
-    // verdict raced the clock; count those separately.)
-    let mut mismatches = Vec::new();
-    let mut timing_races = 0usize;
-    for (a, b) in screened.iter().zip(&scratch) {
-        let pa = a.program.as_ref().map(strsum_gadgets::Program::encode);
-        let pb = b.program.as_ref().map(strsum_gadgets::Program::encode);
-        if pa == pb {
-            continue;
+    // Determinism audits: identical programs, identical failure kinds,
+    // between two passes that must agree byte-for-byte. (Timeout-bounded
+    // runs can legitimately diverge only when a loop's verdict raced the
+    // clock; count those separately.)
+    let audit = |xs: &[LoopSynth], ys: &[LoopSynth], label_x: &str, label_y: &str| {
+        let mut mismatches = Vec::new();
+        let mut timing_races = 0usize;
+        for (a, b) in xs.iter().zip(ys) {
+            let pa = a.program.as_ref().map(strsum_gadgets::Program::encode);
+            let pb = b.program.as_ref().map(strsum_gadgets::Program::encode);
+            if pa == pb {
+                continue;
+            }
+            let timeout_involved = [&a.failure, &b.failure].iter().any(|f| {
+                matches!(
+                    f.as_deref(),
+                    Some("timeout" | "solver gave up on candidate search")
+                )
+            });
+            if timeout_involved {
+                timing_races += 1;
+            } else {
+                mismatches.push(format!(
+                    "{}: {label_x} {:?} vs {label_y} {:?}",
+                    a.entry.id, pa, pb
+                ));
+            }
         }
-        let timeout_involved = [&a.failure, &b.failure].iter().any(|f| {
-            matches!(
-                f.as_deref(),
-                Some("timeout" | "solver gave up on candidate search")
-            )
-        });
-        if timeout_involved {
-            timing_races += 1;
-        } else {
-            mismatches.push(format!(
-                "{}: incremental {:?} vs from-scratch {:?}",
-                a.entry.id, pa, pb
-            ));
-        }
-    }
+        (mismatches, timing_races)
+    };
+    let (mismatches, timing_races) = audit(&screened, &scratch, "incremental", "from-scratch");
+    let (par_mismatches, par_races) = audit(&serial, &parallel, "serial", "parallel");
     if verbose {
         for (s, b) in screened.iter().zip(&baseline) {
             let show = |r: &LoopSynth| match (&r.program, &r.failure) {
@@ -172,6 +207,8 @@ fn main() {
     let mut disagreed = disagreements(&screened);
     disagreed.extend(disagreements(&baseline));
     disagreed.extend(disagreements(&scratch));
+    disagreed.extend(disagreements(&serial));
+    disagreed.extend(disagreements(&parallel));
 
     let count_ok = |rs: &[LoopSynth]| rs.iter().filter(|r| r.program.is_some()).count();
     let screened_q = aggregate_telemetry(&screened).total().queries;
@@ -208,6 +245,21 @@ fn main() {
         entries.len(),
         timing_races,
         disagreed.len()
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let makespan_speedup =
+        serial_makespan.as_secs_f64() / parallel_makespan.as_secs_f64().max(1e-9);
+    println!(
+        "parallel : {:>8.2}s serial makespan vs {:>8.2}s parallel ({makespan_speedup:.2}x on \
+         {cores} core(s), {threads_parallel} threads × 4 cubes)",
+        serial_makespan.as_secs_f64(),
+        parallel_makespan.as_secs_f64()
+    );
+    println!(
+        "audit    : identical outcomes on {}/{} loops serial-vs-parallel ({} timing races)",
+        entries.len() - par_mismatches.len() - par_races,
+        entries.len(),
+        par_races
     );
 
     let mut json = String::new();
@@ -276,6 +328,60 @@ fn main() {
     let _ = writeln!(json, "}}");
     write_result("BENCH_incremental.json", &json);
 
+    // The parallel-search ablation: serial and parallel makespans over the
+    // same slice, plus per-loop speedups. Speedup is informational on a
+    // 1-core host (the `cores` field says which kind of run this was); the
+    // determinism audit is the hard gate everywhere.
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"loops\":{},\"timeout_secs\":{timeout},\"threads_parallel\":{threads_parallel},\"intra_loop\":4,\"cores\":{cores}}},",
+        entries.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"serial\": {},",
+        mode_json(&serial, Some(&serial_cache))
+    );
+    let _ = writeln!(
+        json,
+        "  \"parallel\": {},",
+        mode_json(&parallel, Some(&parallel_cache))
+    );
+    let _ = writeln!(
+        json,
+        "  \"serial_makespan_secs\": {:.3},",
+        serial_makespan.as_secs_f64()
+    );
+    let _ = writeln!(
+        json,
+        "  \"parallel_makespan_secs\": {:.3},",
+        parallel_makespan.as_secs_f64()
+    );
+    let _ = writeln!(json, "  \"makespan_speedup\": {makespan_speedup:.4},");
+    let _ = writeln!(json, "  \"per_loop\": [");
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        let ss = s.elapsed.as_secs_f64();
+        let ps = p.elapsed.as_secs_f64();
+        let _ = writeln!(
+            json,
+            "    {{\"id\":\"{}\",\"serial_secs\":{ss:.3},\"parallel_secs\":{ps:.3},\"speedup\":{:.4}}}{}",
+            s.entry.id,
+            ss / ps.max(1e-9),
+            if i + 1 < serial.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"timing_races\": {par_races},");
+    let _ = writeln!(
+        json,
+        "  \"determinism_violations\": {}",
+        par_mismatches.len()
+    );
+    let _ = writeln!(json, "}}");
+    write_result("BENCH_pr4.json", &json);
+
     let mut failed = false;
     // Trace ↔ telemetry reconciliation: every solver query made on behalf
     // of synthesis flows through a `search`- or `verify`-tagged
@@ -291,7 +397,7 @@ fn main() {
                 trace_q += agg.get(name, tag).map_or(0, |row| row.arg("queries"));
             }
         }
-        let telemetry_q = [&screened, &baseline, &scratch]
+        let telemetry_q = [&screened, &baseline, &scratch, &serial, &parallel]
             .iter()
             .map(|rs| aggregate_telemetry(rs).total().queries)
             .sum::<u64>();
@@ -309,9 +415,9 @@ fn main() {
             failed = true;
         }
     }
-    if !mismatches.is_empty() {
+    if !mismatches.is_empty() || !par_mismatches.is_empty() {
         eprintln!("DETERMINISM VIOLATIONS:");
-        for m in &mismatches {
+        for m in mismatches.iter().chain(&par_mismatches) {
             eprintln!("  {m}");
         }
         failed = true;

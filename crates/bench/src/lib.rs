@@ -8,16 +8,16 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Duration;
-use strsum_core::{ScreenStats, SolverTelemetry, SynthStats, SynthesisConfig};
-use strsum_corpus::{CacheStats, LoopEntry};
+use strsum_core::{ScreenStats, SolverTelemetry, SynthStats};
+use strsum_corpus::LoopEntry;
 use strsum_gadgets::Program;
-use strsum_obs::ToJson;
-use strsum_smt::SessionStats;
 
 mod runner;
+mod schedule;
 mod trace;
 
 pub use runner::{CorpusReport, CorpusRunner};
+pub use schedule::ljf_order;
 pub use trace::TraceArgs;
 
 /// Result of synthesising one corpus loop.
@@ -50,6 +50,34 @@ pub fn par_map<T: Sync, R: Send>(
     threads: usize,
     f: impl Fn(&T) -> R + Sync,
 ) -> Vec<R> {
+    par_map_inner(items, threads, None, f)
+}
+
+/// [`par_map`], but workers claim items in the order given by the
+/// `order` permutation (a cost-aware schedule, say) instead of corpus
+/// order. The *output* is still indexed by the items' original positions:
+/// `result[i]` is `f(&items[i])` regardless of `order`, so a schedule can
+/// only change wall clock, never what callers compute from the results.
+///
+/// # Panics
+///
+/// Panics when `order` is not a permutation of `0..items.len()`.
+pub fn par_map_ordered<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    order: &[usize],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    assert_eq!(order.len(), items.len(), "order must cover every item");
+    par_map_inner(items, threads, Some(order), f)
+}
+
+fn par_map_inner<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    order: Option<&[usize]>,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
     let threads = threads.clamp(1, items.len().max(1));
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
@@ -60,10 +88,19 @@ pub fn par_map<T: Sync, R: Send>(
             let next = &next;
             let f = &f;
             scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::SeqCst);
-                if i >= items.len() {
+                // Relaxed suffices for the ticket counter: fetch_add is a
+                // single atomic read-modify-write, so every worker still
+                // draws a unique ticket; no other memory is published
+                // through this counter, and each result's payload is
+                // ordered by the channel's own send/recv synchronisation.
+                let ticket = next.fetch_add(1, Ordering::Relaxed);
+                if ticket >= items.len() {
                     break;
                 }
+                let i = match order {
+                    Some(o) => o[ticket],
+                    None => ticket,
+                };
                 if tx.send((i, f(&items[i]))).is_err() {
                     break;
                 }
@@ -78,44 +115,6 @@ pub fn par_map<T: Sync, R: Send>(
         .into_iter()
         .map(|s| s.expect("every index is claimed exactly once"))
         .collect()
-}
-
-/// Runs synthesis over `entries` in parallel using `threads` workers.
-///
-/// Entries that fail (to compile or to synthesise) come back as
-/// `LoopSynth { failure: Some(..) }` rather than panicking the worker.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `CorpusRunner::new(cfg).threads(n).run(entries)`"
-)]
-pub fn synthesize_corpus(
-    entries: &[LoopEntry],
-    cfg: &SynthesisConfig,
-    threads: usize,
-) -> Vec<LoopSynth> {
-    CorpusRunner::new(cfg.clone())
-        .threads(threads)
-        .run(entries)
-        .results
-}
-
-/// [`synthesize_corpus`] behind a cross-loop summary cache — see
-/// [`CorpusRunner::cache`] for the phase structure and determinism
-/// contract.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `CorpusRunner::new(cfg).threads(n).cache(true).run(entries)`"
-)]
-pub fn synthesize_corpus_cached(
-    entries: &[LoopEntry],
-    cfg: &SynthesisConfig,
-    threads: usize,
-) -> (Vec<LoopSynth>, CacheStats) {
-    let report = CorpusRunner::new(cfg.clone())
-        .threads(threads)
-        .cache(true)
-        .run(entries);
-    (report.results, report.cache)
 }
 
 /// Sums per-loop solver telemetry over a whole run.
@@ -165,35 +164,11 @@ pub fn telemetry_report(results: &[LoopSynth]) -> String {
     out
 }
 
-/// One [`SessionStats`] as a flat JSON object.
-#[deprecated(since = "0.1.0", note = "use `strsum_obs::ToJson`: `s.to_json()`")]
-pub fn session_stats_json(s: &SessionStats) -> String {
-    s.to_json()
-}
-
-/// A [`SolverTelemetry`] as a JSON object with search/verify/total keys.
-#[deprecated(since = "0.1.0", note = "use `strsum_obs::ToJson`: `t.to_json()`")]
-pub fn telemetry_json(t: &SolverTelemetry) -> String {
-    t.to_json()
-}
-
 /// Sums per-loop concrete-screening counters over a whole run.
 pub fn aggregate_screen(results: &[LoopSynth]) -> ScreenStats {
     results
         .iter()
         .fold(ScreenStats::default(), |acc, r| acc.plus(&r.stats.screen))
-}
-
-/// A [`ScreenStats`] as a flat JSON object.
-#[deprecated(since = "0.1.0", note = "use `strsum_obs::ToJson`: `s.to_json()`")]
-pub fn screen_json(s: &ScreenStats) -> String {
-    s.to_json()
-}
-
-/// A [`CacheStats`] as a flat JSON object.
-#[deprecated(since = "0.1.0", note = "use `strsum_obs::ToJson`: `s.to_json()`")]
-pub fn cache_json(s: &CacheStats) -> String {
-    s.to_json()
 }
 
 /// The results directory (`results/` at the workspace root).
@@ -208,24 +183,6 @@ pub fn write_result(name: &str, content: &str) {
     let path = results_dir().join(name);
     fs::write(&path, content).expect("can write result file");
     println!("\n[written to {}]", path.display());
-}
-
-/// Loads cached summaries (`results/summaries.tsv`) or synthesises the full
-/// corpus and caches it. The cache keeps the Figure 3–5 binaries
-/// independent of a fresh multi-minute synthesis run.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `CorpusRunner::new(cfg).threads(n).reuse_summaries(true).run_corpus().summaries()`"
-)]
-pub fn load_or_synthesize_summaries(
-    cfg: &SynthesisConfig,
-    threads: usize,
-) -> Vec<(LoopEntry, Option<Program>)> {
-    CorpusRunner::new(cfg.clone())
-        .threads(threads)
-        .reuse_summaries(true)
-        .run_corpus()
-        .summaries()
 }
 
 pub(crate) fn hex(bytes: &[u8]) -> String {

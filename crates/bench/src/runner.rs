@@ -1,17 +1,19 @@
 //! The one entry point over the synthesis stack: [`CorpusRunner`].
 //!
-//! Earlier revisions grew three parallel entry points (`synthesize_corpus`,
-//! `synthesize_corpus_cached`, `load_or_synthesize_summaries`) whose
-//! signatures drifted apart as options accumulated. The runner collapses
-//! them behind one builder: configure threads / cross-loop cache /
-//! summary reuse / tracing, then [`CorpusRunner::run`] (or
-//! [`CorpusRunner::run_corpus`]) returns a single [`CorpusReport`] holding
-//! the per-loop results plus every aggregate the binaries report.
+//! Earlier revisions grew three parallel entry points (since removed)
+//! whose signatures drifted apart as options accumulated. The runner
+//! collapses them behind one builder: configure threads / intra-loop
+//! cubes / cross-loop cache / cost-aware scheduling / summary reuse /
+//! tracing, then [`CorpusRunner::run`] (or [`CorpusRunner::run_corpus`])
+//! returns a single [`CorpusReport`] holding the per-loop results plus
+//! every aggregate the binaries report.
 //!
 //! Determinism contract: every parallel phase is an order-preserving
-//! [`crate::par_map`], grouping follows corpus order, and trace aggregation
-//! merges by span key — so results, cache-hit patterns, and the aggregated
-//! metrics table are all independent of thread scheduling.
+//! [`crate::par_map`] (or a [`crate::par_map_ordered`] whose output is
+//! still slotted by original index), grouping follows corpus order, and
+//! trace aggregation merges by span key — so results, cache-hit patterns,
+//! and the aggregated metrics table are all independent of thread
+//! scheduling *and* of the dispatch schedule.
 
 use std::fs;
 use std::io::Write as _;
@@ -21,14 +23,14 @@ use strsum_core::{
     loop_fingerprint, synthesize, verify_summary, SolverTelemetry, SynthStats, SynthesisConfig,
     SynthesisResult,
 };
-use strsum_corpus::{CacheStats, LoopEntry, SummaryCache};
+use strsum_corpus::{fingerprint_hash, CacheStats, CostBook, CostStat, LoopEntry, SummaryCache};
 use strsum_gadgets::Program;
 use strsum_obs::{Aggregate, Collector};
 use strsum_smt::SessionStats;
 
 use crate::{
-    aggregate_screen, aggregate_telemetry, default_threads, hex, par_map, results_dir, unhex,
-    LoopSynth,
+    aggregate_screen, aggregate_telemetry, default_threads, hex, ljf_order, par_map,
+    par_map_ordered, results_dir, unhex, LoopSynth,
 };
 
 /// Everything a corpus run produces: per-loop results plus the aggregates
@@ -75,17 +77,20 @@ pub struct CorpusRunner {
     cfg: SynthesisConfig,
     threads: usize,
     cache: bool,
+    cost_schedule: bool,
     reuse_summaries: bool,
     trace: Option<Arc<Collector>>,
 }
 
 impl CorpusRunner {
-    /// A runner with `cfg`, all threads, no cache, no tracing.
+    /// A runner with `cfg`, all threads, no cache, cost-aware scheduling
+    /// on, no tracing.
     pub fn new(cfg: SynthesisConfig) -> CorpusRunner {
         CorpusRunner {
             cfg,
             threads: default_threads(),
             cache: false,
+            cost_schedule: true,
             reuse_summaries: false,
             trace: None,
         }
@@ -94,6 +99,25 @@ impl CorpusRunner {
     /// Worker-thread count (clamped to ≥ 1 at run time).
     pub fn threads(mut self, n: usize) -> CorpusRunner {
         self.threads = n;
+        self
+    }
+
+    /// Intra-loop search parallelism: each candidate query is split into
+    /// `k` disjoint cubes solved on worker threads (see
+    /// [`strsum_core::cubes`]). `1` keeps the per-loop search serial. Any
+    /// value yields byte-identical summaries — only wall clock changes.
+    pub fn intra_loop(mut self, k: usize) -> CorpusRunner {
+        self.cfg.intra_loop = k;
+        self
+    }
+
+    /// Cost-aware dispatch (the default): order loops longest-job-first
+    /// from last run's per-loop solver costs, persisted at
+    /// `results/costs.tsv`, so tail loops start on a worker early instead
+    /// of stretching the makespan from the back of the queue. Results are
+    /// slotted by original index, so the schedule never changes them.
+    pub fn cost_schedule(mut self, on: bool) -> CorpusRunner {
+        self.cost_schedule = on;
         self
     }
 
@@ -198,9 +222,25 @@ impl CorpusRunner {
     }
 
     fn run_plain(&self, entries: &[LoopEntry]) -> Vec<LoopSynth> {
-        par_map(entries, self.threads, |e| {
-            synthesize_entry(e.clone(), &self.cfg)
-        })
+        if !self.cost_schedule {
+            return par_map(entries, self.threads, |e| {
+                synthesize_entry(e.clone(), &self.cfg)
+            });
+        }
+        let cfg = &self.cfg;
+        // Fingerprint every loop (concrete evaluation, no solver) to key
+        // its cost record; a compile failure keys as `None` (unknown cost).
+        let keys: Vec<Option<u64>> = par_map(entries, self.threads, |e| {
+            strsum_cfront::compile_one(&e.source)
+                .ok()
+                .map(|func| fingerprint_hash(&loop_fingerprint(&func, cfg.max_ex_size)))
+        });
+        let order = ljf_order(&keys, &load_cost_book());
+        let results = par_map_ordered(entries, self.threads, &order, |e| {
+            synthesize_entry(e.clone(), cfg)
+        });
+        record_costs(&keys, &results);
+        results
     }
 
     /// The cached pipeline. Loops are grouped by semantic fingerprint
@@ -244,9 +284,23 @@ impl CorpusRunner {
                 }
             }
         }
-        let rep_results: Vec<LoopSynth> = par_map(&rep_indices, threads, |&i| {
-            synthesize_entry(entries[i].clone(), cfg)
-        });
+        // The representatives carry all the solver work, so they are the
+        // phase worth scheduling: reuse phase A's fingerprints to dispatch
+        // them longest-job-first when cost scheduling is on.
+        let rep_results: Vec<LoopSynth> = if self.cost_schedule {
+            let rep_keys: Vec<Option<u64>> = rep_indices
+                .iter()
+                .map(|&i| fingerprints[i].as_ref().ok().map(|fp| fingerprint_hash(fp)))
+                .collect();
+            let order = ljf_order(&rep_keys, &load_cost_book());
+            par_map_ordered(&rep_indices, threads, &order, |&i| {
+                synthesize_entry(entries[i].clone(), cfg)
+            })
+        } else {
+            par_map(&rep_indices, threads, |&i| {
+                synthesize_entry(entries[i].clone(), cfg)
+            })
+        };
         let mut slots: Vec<Option<LoopSynth>> = entries.iter().map(|_| None).collect();
         for (&i, result) in rep_indices.iter().zip(rep_results) {
             let fp = fingerprints[i].as_ref().expect("reps have fingerprints");
@@ -352,12 +406,53 @@ impl CorpusRunner {
             slots[i] = Some(result);
         }
 
-        let results = slots
+        let results: Vec<LoopSynth> = slots
             .into_iter()
             .map(|s| s.expect("every loop is resolved by one phase"))
             .collect();
+        if self.cost_schedule {
+            let keys: Vec<Option<u64>> = fingerprints
+                .iter()
+                .map(|fp| fp.as_ref().ok().map(|fp| fingerprint_hash(fp)))
+                .collect();
+            record_costs(&keys, &results);
+        }
         (results, cache.stats())
     }
+}
+
+/// Loads the persisted per-loop cost book (`results/costs.tsv`); a
+/// missing or partially written file degrades to fewer records, never to
+/// an error — the book is a scheduling hint, not a correctness input.
+fn load_cost_book() -> CostBook {
+    match fs::read_to_string(results_dir().join("costs.tsv")) {
+        Ok(text) => CostBook::parse(&text),
+        Err(_) => CostBook::new(),
+    }
+}
+
+/// Merges this run's freshly observed costs into the persisted book.
+/// Cache hits are skipped — a re-verification's cost says nothing about
+/// what synthesising the loop would cost — but failures are recorded:
+/// a loop that burnt its whole timeout is exactly the tail the scheduler
+/// must start early next run.
+fn record_costs(keys: &[Option<u64>], results: &[LoopSynth]) {
+    let mut book = load_cost_book();
+    for (key, r) in keys.iter().zip(results) {
+        let Some(k) = *key else { continue };
+        if r.cache_hit {
+            continue;
+        }
+        let total = r.stats.solver.total();
+        book.record(
+            k,
+            CostStat {
+                conflicts: total.conflicts,
+                wall_micros: r.elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+            },
+        );
+    }
+    let _ = fs::write(results_dir().join("costs.tsv"), book.dump());
 }
 
 /// Synthesises one corpus entry, mapping every failure mode — including a

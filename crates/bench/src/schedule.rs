@@ -1,0 +1,101 @@
+//! Cost-aware corpus scheduling.
+//!
+//! The corpus runner's shared-counter dispatch ([`crate::par_map`]) claims
+//! loops in corpus order, so whichever expensive tail loop happens to sit
+//! last can start on the final free worker and stretch the makespan far
+//! past the average. [`ljf_order`] instead computes a longest-job-first
+//! permutation from last run's per-loop solver costs (the [`CostBook`]
+//! persisted at `results/costs.tsv`), and the runner dispatches through
+//! [`crate::par_map_ordered`] — which slots every result back at the
+//! loop's original index, so a schedule can only change wall clock, never
+//! the report.
+
+use strsum_corpus::{CostBook, CostStat};
+
+/// Longest-job-first dispatch permutation for loops identified by their
+/// fingerprint-hash `keys` (`None` for loops that could not be
+/// fingerprinted, e.g. compile failures).
+///
+/// Loops with no cost record come first, in corpus order: an unrecorded
+/// loop has unknown cost and might be the tail, so deferring it is the one
+/// mistake longest-job-first cannot afford. Recorded loops follow, by
+/// descending wall time, then descending conflicts (a machine-independent
+/// tiebreak when wall clocks collide), then original index — every
+/// comparison is on persisted data, so the permutation is deterministic
+/// for a given book.
+pub fn ljf_order(keys: &[Option<u64>], book: &CostBook) -> Vec<usize> {
+    let mut span = strsum_obs::span("sched.ljf", "bench");
+    let mut unknown: Vec<usize> = Vec::new();
+    let mut known: Vec<(usize, CostStat)> = Vec::new();
+    for (i, &k) in keys.iter().enumerate() {
+        match k.and_then(|k| book.get(k)) {
+            Some(cost) => known.push((i, cost)),
+            None => unknown.push(i),
+        }
+    }
+    known.sort_by(|a, b| {
+        b.1.wall_micros
+            .cmp(&a.1.wall_micros)
+            .then(b.1.conflicts.cmp(&a.1.conflicts))
+            .then(a.0.cmp(&b.0))
+    });
+    span.arg_u64("known", known.len() as u64);
+    span.arg_u64("unknown", unknown.len() as u64);
+    unknown
+        .into_iter()
+        .chain(known.into_iter().map(|(i, _)| i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(conflicts: u64, wall_micros: u64) -> CostStat {
+        CostStat {
+            conflicts,
+            wall_micros,
+        }
+    }
+
+    #[test]
+    fn empty_book_preserves_corpus_order() {
+        let keys = [Some(10), Some(11), Some(12)];
+        assert_eq!(ljf_order(&keys, &CostBook::new()), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn longest_recorded_job_goes_first_after_unknowns() {
+        let mut book = CostBook::new();
+        book.record(10, cost(5, 100));
+        book.record(12, cost(9, 9_000));
+        book.record(13, cost(2, 100));
+        // key 11 is unrecorded and the `None` loop never fingerprinted, so
+        // both dispatch first in corpus order; then 12 (longest), then the
+        // two 100µs loops: 10 beats 13 on conflicts.
+        let keys = [Some(10), Some(11), Some(12), Some(13), None];
+        assert_eq!(ljf_order(&keys, &book), vec![1, 4, 2, 0, 3]);
+    }
+
+    #[test]
+    fn full_tie_falls_back_to_index() {
+        let mut book = CostBook::new();
+        book.record(20, cost(1, 50));
+        book.record(21, cost(1, 50));
+        assert_eq!(ljf_order(&[Some(20), Some(21)], &book), vec![0, 1]);
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let mut book = CostBook::new();
+        for k in 0..7u64 {
+            if k % 2 == 0 {
+                book.record(k, cost(k, 1000 - k));
+            }
+        }
+        let keys: Vec<Option<u64>> = (0..7).map(Some).collect();
+        let mut order = ljf_order(&keys, &book);
+        order.sort_unstable();
+        assert_eq!(order, (0..7).collect::<Vec<usize>>());
+    }
+}

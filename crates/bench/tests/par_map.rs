@@ -6,7 +6,8 @@
 use proptest::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use strsum_bench::par_map;
+use std::sync::Mutex;
+use strsum_bench::{par_map, par_map_ordered};
 
 proptest! {
     /// Output order is input order regardless of thread count, including
@@ -26,6 +27,46 @@ proptest! {
         let expected: Vec<u64> = items.iter().map(|&x| x * 2 + 1).collect();
         prop_assert_eq!(out, expected);
     }
+
+    /// A dispatch permutation only changes which worker claims an item
+    /// when: `result[i]` is always `f(&items[i])`, matching `par_map`.
+    #[test]
+    fn schedule_never_changes_results(
+        items in proptest::collection::vec(0u64..1000, 1..40),
+        threads in 1usize..=8,
+        seed in 0u64..1000,
+    ) {
+        // An arbitrary but valid permutation derived from the seed.
+        let n = items.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            order.swap(i, (seed as usize * 31 + i * 7) % (i + 1));
+        }
+        let out = par_map_ordered(&items, threads, &order, |&x| x * 2 + 1);
+        prop_assert_eq!(out, par_map(&items, threads, |&x| x * 2 + 1));
+    }
+}
+
+/// With one worker, dispatch follows the given permutation exactly — the
+/// scheduler's whole point — while the output stays in input order.
+#[test]
+fn single_worker_claims_in_schedule_order() {
+    let items: Vec<u32> = (0..6).collect();
+    let order = [3usize, 5, 0, 1, 4, 2];
+    let claimed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    let out = par_map_ordered(&items, 1, &order, |&x| {
+        claimed.lock().unwrap().push(x as usize);
+        x
+    });
+    assert_eq!(out, items);
+    assert_eq!(claimed.into_inner().unwrap(), order);
+}
+
+#[test]
+#[should_panic(expected = "order must cover every item")]
+fn short_schedule_is_rejected() {
+    let items = [1, 2, 3];
+    par_map_ordered(&items, 2, &[0, 1], |&x: &i32| x);
 }
 
 #[test]

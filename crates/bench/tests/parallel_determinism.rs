@@ -1,0 +1,85 @@
+//! Parallelism must be invisible in the results: a corpus run with worker
+//! threads, intra-loop search cubes, and cost-aware dispatch all enabled
+//! produces byte-identical `LoopSynth` outcomes to a fully serial run —
+//! same programs, same failure verdicts, same counterexample trajectories.
+//!
+//! Two layers guarantee this. Across loops, `par_map`/`par_map_ordered`
+//! slot every result at the loop's original index, so neither thread
+//! scheduling nor the dispatch permutation can reorder or change results.
+//! Within a loop, the cube portfolio's deterministic merge (lowest SAT
+//! cube wins, `Unknown` below it poisons the answer) returns exactly the
+//! serial canonical model. The only legitimate divergence is a verdict
+//! that raced the per-loop timeout, which this test skips rather than
+//! compares.
+
+use std::time::Duration;
+use strsum_bench::CorpusRunner;
+use strsum_core::SynthesisConfig;
+
+/// Wall-clock-dependent verdicts, the only legitimate divergence source.
+fn timing_dependent(failure: &Option<String>) -> bool {
+    matches!(
+        failure.as_deref(),
+        Some("timeout" | "solver gave up on candidate search")
+    )
+}
+
+#[test]
+fn parallel_run_matches_serial_run_byte_for_byte() {
+    let entries: Vec<_> = strsum_corpus::corpus().into_iter().take(12).collect();
+    // The timeout only decides when a loop is cut off, never which
+    // candidate or counterexample comes next, so the parallel run may get
+    // a larger budget: on a host with fewer cores than workers the
+    // oversubscribed run needs more wall clock to reach the same verdicts,
+    // and every loop that finishes on both sides must still agree
+    // byte-for-byte.
+    let cfg = |timeout: u64| SynthesisConfig {
+        timeout: Duration::from_secs(timeout),
+        ..Default::default()
+    };
+    let serial = CorpusRunner::new(cfg(8))
+        .threads(1)
+        .intra_loop(1)
+        .cost_schedule(false)
+        .run(&entries)
+        .results;
+    let threads = strsum_bench::default_threads().max(2);
+    let parallel = CorpusRunner::new(cfg(24))
+        .threads(threads)
+        .intra_loop(4)
+        .cost_schedule(true)
+        .run(&entries)
+        .results;
+
+    let mut compared = 0usize;
+    let mut skipped = Vec::new();
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.entry.id, p.entry.id, "results stay in corpus order");
+        if timing_dependent(&s.failure) || timing_dependent(&p.failure) {
+            skipped.push(s.entry.id.clone());
+            continue;
+        }
+        let a = s.program.as_ref().map(|prog| prog.encode());
+        let b = p.program.as_ref().map(|prog| prog.encode());
+        assert_eq!(
+            a, b,
+            "{}: serial and parallel synthesised different programs",
+            s.entry.id
+        );
+        assert_eq!(
+            s.failure, p.failure,
+            "{}: serial and parallel failed differently",
+            s.entry.id
+        );
+        assert_eq!(
+            s.stats.counterexamples, p.stats.counterexamples,
+            "{}: serial and parallel took different counterexample trajectories",
+            s.entry.id
+        );
+        compared += 1;
+    }
+    assert!(
+        compared >= 6,
+        "only {compared} loops compared deterministically (skipped on timing: {skipped:?})"
+    );
+}

@@ -36,6 +36,13 @@ pub struct SynthesisConfig {
     /// When false, every candidate goes straight to the bounded checker —
     /// the ablation baseline.
     pub screen: bool,
+    /// Disjoint candidate-space cubes solved on worker threads per search
+    /// query (cube and conquer over the top gadget-selector byte, see
+    /// [`crate::cubes`]); 1 (the default) keeps the search serial. Any
+    /// value produces byte-identical candidates and summaries — only wall
+    /// clock and solver effort change. Applies to incremental sessions;
+    /// the from-scratch reference path always searches serially.
+    pub intra_loop: usize,
 }
 
 impl Default for SynthesisConfig {
@@ -51,6 +58,7 @@ impl Default for SynthesisConfig {
             solver_conflict_limit: 200_000,
             incremental: true,
             screen: true,
+            intra_loop: 1,
         }
     }
 }

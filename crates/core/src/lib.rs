@@ -35,6 +35,7 @@
 //! ```
 
 pub mod cegis;
+pub mod cubes;
 pub mod deepening;
 pub mod equivalence;
 pub mod memoryless;
@@ -48,6 +49,7 @@ pub use cegis::{
     minimize, minimize_screened, minimize_with, synthesize, SynthStats, SynthesisConfig,
     SynthesisResult,
 };
+pub use cubes::cube_ranges;
 pub use deepening::{synthesize_deepening, DeepeningConfig};
 pub use equivalence::{check_equivalence, verify_summary, EquivalenceResult};
 pub use memoryless::{check_memoryless, Direction, MemorylessReport};

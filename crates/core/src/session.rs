@@ -89,6 +89,10 @@ pub struct SynthSession<'f> {
     /// Accumulated stats of throwaway solvers (from-scratch mode only).
     scratch_search: SessionStats,
     scratch_verify: SessionStats,
+    /// Accumulated effort of cube workers (`cfg.intra_loop > 1`): forked
+    /// sessions never report back into `search`, so their deltas are summed
+    /// here and folded into [`SynthSession::telemetry`].
+    cube_effort: SessionStats,
 }
 
 impl<'f> SynthSession<'f> {
@@ -136,6 +140,7 @@ impl<'f> SynthSession<'f> {
             screen,
             scratch_search: SessionStats::default(),
             scratch_verify: SessionStats::default(),
+            cube_effort: SessionStats::default(),
         })
     }
 
@@ -461,6 +466,17 @@ impl<'f> SynthSession<'f> {
         prog_vars: &[TermId],
     ) -> CheckResult {
         match act {
+            Some(a) if self.cfg.intra_loop > 1 => {
+                let (r, effort) = crate::cubes::solve_partitioned(
+                    &self.search,
+                    &self.pool,
+                    a,
+                    prog_vars,
+                    self.cfg.intra_loop,
+                );
+                self.cube_effort = self.cube_effort.plus(&effort);
+                r
+            }
             Some(a) => self.search.canonical_check(&mut self.pool, &[a], prog_vars),
             None => {
                 let mut solo = Session::with_conflict_limit(self.cfg.solver_conflict_limit);
@@ -500,7 +516,7 @@ impl<'f> SynthSession<'f> {
     pub fn telemetry(&self) -> SolverTelemetry {
         if self.cfg.incremental {
             SolverTelemetry {
-                search: self.search.stats(),
+                search: self.search.stats().plus(&self.cube_effort),
                 verify: self.verify.stats(),
             }
         } else {
@@ -558,6 +574,35 @@ mod tests {
         assert_eq!(
             inc.stats.counterexamples, scratch.stats.counterexamples,
             "same counterexample trajectory"
+        );
+    }
+
+    #[test]
+    fn cube_portfolio_matches_serial_search() {
+        let f = compile_one("char* f(char* s) { while (*s != 0 && *s != ':') s++; return s; }")
+            .unwrap();
+        let serial = SynthSession::new(&f, cfg(true))
+            .unwrap()
+            .run_size(9, Duration::from_secs(120));
+        let cubed = SynthSession::new(
+            &f,
+            SynthesisConfig {
+                intra_loop: 4,
+                ..cfg(true)
+            },
+        )
+        .unwrap()
+        .run_size(9, Duration::from_secs(120));
+        let a = serial.program.expect("serial synthesises");
+        let b = cubed.program.expect("cube portfolio synthesises");
+        assert_eq!(a.encode(), b.encode(), "cubes must not change the answer");
+        assert_eq!(
+            serial.stats.counterexamples, cubed.stats.counterexamples,
+            "same counterexample trajectory"
+        );
+        assert!(
+            cubed.stats.solver.search.queries > serial.stats.solver.search.queries,
+            "cube workers' effort is folded into search telemetry"
         );
     }
 

@@ -114,6 +114,110 @@ impl SummaryCache {
     }
 }
 
+/// Solver cost observed when a loop was last synthesised from scratch.
+///
+/// Persisted across runs (see [`CostBook`]) so the corpus scheduler can
+/// dispatch expensive loops first — longest-job-first needs last run's
+/// tail, and the fingerprint keys make the record survive loop renames.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostStat {
+    /// Total SAT conflicts spent on the loop (search + verify). Machine
+    /// independent, so it orders loops stably across hosts.
+    pub conflicts: u64,
+    /// Wall-clock microseconds the synthesis took on the recording host.
+    pub wall_micros: u64,
+}
+
+/// Collapses a semantic fingerprint to a stable 64-bit key (FNV-1a over
+/// the words). The full fingerprint is hundreds of words; the cost book
+/// only needs a stable identity, and a 64-bit key keeps its on-disk form
+/// one short line per loop. Collisions merely misestimate one loop's cost.
+pub fn fingerprint_hash(fingerprint: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &w in fingerprint {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Persistent per-loop solver-cost records, keyed by
+/// [`fingerprint_hash`].
+///
+/// Serialised as sorted tab-separated lines (`hash<TAB>conflicts<TAB>
+/// wall_micros`) so the on-disk book is deterministic, diffable, and
+/// mergeable by hand. Parsing is tolerant: unreadable lines are skipped,
+/// because the book is a performance hint, never a correctness input —
+/// a missing or stale record only changes dispatch order, and results
+/// are slotted by original index regardless of schedule.
+#[derive(Debug, Clone, Default)]
+pub struct CostBook {
+    entries: std::collections::BTreeMap<u64, CostStat>,
+}
+
+impl CostBook {
+    /// An empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses a book from its on-disk text form, skipping malformed lines.
+    pub fn parse(text: &str) -> Self {
+        let mut entries = std::collections::BTreeMap::new();
+        for line in text.lines() {
+            let mut parts = line.split('\t');
+            let (Some(k), Some(c), Some(w)) = (parts.next(), parts.next(), parts.next()) else {
+                continue;
+            };
+            let (Ok(k), Ok(conflicts), Ok(wall_micros)) =
+                (k.parse::<u64>(), c.parse::<u64>(), w.parse::<u64>())
+            else {
+                continue;
+            };
+            entries.insert(
+                k,
+                CostStat {
+                    conflicts,
+                    wall_micros,
+                },
+            );
+        }
+        CostBook { entries }
+    }
+
+    /// The on-disk text form: one sorted `hash<TAB>conflicts<TAB>
+    /// wall_micros` line per loop.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for (k, s) in &self.entries {
+            out.push_str(&format!("{k}\t{}\t{}\n", s.conflicts, s.wall_micros));
+        }
+        out
+    }
+
+    /// Last recorded cost for a fingerprint hash.
+    pub fn get(&self, key: u64) -> Option<CostStat> {
+        self.entries.get(&key).copied()
+    }
+
+    /// Records (or overwrites) the cost observed for a fingerprint hash.
+    pub fn record(&mut self, key: u64, cost: CostStat) {
+        self.entries.insert(key, cost);
+    }
+
+    /// Number of loops with a recorded cost.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the book holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +241,67 @@ mod tests {
             }
         );
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cost_book_round_trips_sorted() {
+        let mut book = CostBook::new();
+        book.record(
+            42,
+            CostStat {
+                conflicts: 900,
+                wall_micros: 1_500_000,
+            },
+        );
+        book.record(
+            7,
+            CostStat {
+                conflicts: 10,
+                wall_micros: 2_000,
+            },
+        );
+        let text = book.dump();
+        assert_eq!(text, "7\t10\t2000\n42\t900\t1500000\n");
+        let back = CostBook::parse(&text);
+        assert_eq!(back.len(), 2);
+        assert_eq!(
+            back.get(42),
+            Some(CostStat {
+                conflicts: 900,
+                wall_micros: 1_500_000
+            })
+        );
+        assert_eq!(back.get(1), None);
+    }
+
+    #[test]
+    fn cost_book_parse_skips_garbage() {
+        let text = "not a line\n5\t1\n9\t3\t4\textra ok\n8\tx\t2\n11\t6\t7\n";
+        let book = CostBook::parse(text);
+        // "9" has a valid 3-field prefix; "5" is short and "8" non-numeric.
+        assert_eq!(book.len(), 2);
+        assert_eq!(
+            book.get(9),
+            Some(CostStat {
+                conflicts: 3,
+                wall_micros: 4
+            })
+        );
+        assert_eq!(
+            book.get(11),
+            Some(CostStat {
+                conflicts: 6,
+                wall_micros: 7
+            })
+        );
+    }
+
+    #[test]
+    fn fingerprint_hash_is_stable_and_discriminating() {
+        let a = fingerprint_hash(&[1, 2, 3]);
+        assert_eq!(a, fingerprint_hash(&[1, 2, 3]));
+        assert_ne!(a, fingerprint_hash(&[1, 2, 4]));
+        assert_ne!(a, fingerprint_hash(&[1, 2]));
+        assert_ne!(fingerprint_hash(&[]), fingerprint_hash(&[0]));
     }
 }

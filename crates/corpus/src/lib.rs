@@ -22,7 +22,7 @@ pub mod filter;
 pub mod manual;
 pub mod population;
 
-pub use cache::{CacheStats, SummaryCache};
+pub use cache::{fingerprint_hash, CacheStats, CostBook, CostStat, SummaryCache};
 pub use db::{corpus, App, LoopEntry, APPS};
 pub use filter::{filter_report, passes_automatic_filters, FilterStage};
 pub use manual::{manual_category, ManualCategory};

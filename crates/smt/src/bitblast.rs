@@ -12,7 +12,10 @@ use std::collections::HashMap;
 /// A `Blaster` is designed to persist across queries: gate clauses are
 /// Tseitin *definitions* (full biconditionals), so an encoding cached for
 /// one query remains sound for every later query on the same SAT solver.
-#[derive(Debug, Default)]
+///
+/// `Clone` copies the term→literal caches verbatim; a clone is only
+/// meaningful next to a clone of the SAT solver its literals live in.
+#[derive(Debug, Default, Clone)]
 pub struct Blaster {
     bool_cache: HashMap<TermId, Lit>,
     bv_cache: HashMap<TermId, Vec<Lit>>,

@@ -91,14 +91,14 @@ impl Assign {
 
 type ClauseRef = u32;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Clause {
     lits: Vec<Lit>,
 }
 
 /// Max-heap over variables ordered by VSIDS activity, with position index
 /// for O(log n) increase-key.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct VarHeap {
     heap: Vec<Var>,
     pos: Vec<Option<u32>>,
@@ -180,7 +180,13 @@ impl VarHeap {
 }
 
 /// The CDCL solver.
-#[derive(Debug, Default)]
+///
+/// `Clone` copies the complete solver state — clause database (learnt
+/// clauses included), trail, activities, saved phases and counters — so a
+/// clone continues exactly where the original stands while the two evolve
+/// independently afterwards. Cube-and-conquer search relies on this to hand
+/// each worker its own solver seeded with the shared constraints.
+#[derive(Debug, Default, Clone)]
 pub struct Solver {
     clauses: Vec<Clause>,
     watches: Vec<Vec<ClauseRef>>, // indexed by Lit::code of the *watched* literal

@@ -143,6 +143,27 @@ impl Session {
         }
     }
 
+    /// An independent copy of this session: same clause database (learnt
+    /// clauses included), same activation groups, same cached encodings,
+    /// same conflict budget and same cumulative counters. Work done on
+    /// either side afterwards is invisible to the other.
+    ///
+    /// This is the cube-and-conquer primitive: a portfolio search forks
+    /// one worker per cube off the shared encode-once session, each worker
+    /// solves under its own cube assumptions, and the parent session is
+    /// never touched — so the parent's constraint set (the thing canonical
+    /// models are a pure function of) evolves exactly as in a serial run.
+    /// Forked counters start at the parent's totals; use
+    /// [`SessionStats::since`] against a snapshot taken right after the
+    /// fork to attribute effort to the fork alone.
+    pub fn fork(&self) -> Session {
+        Session {
+            sat: self.sat.clone(),
+            blaster: self.blaster.clone(),
+            role: self.role,
+        }
+    }
+
     /// Creates a session whose every `check` gives up after `conflicts`
     /// conflicts (the budget resets per query, not per session).
     pub fn with_conflict_limit(conflicts: u64) -> Session {
@@ -432,6 +453,84 @@ mod tests {
 
         assert_eq!(cold_model.value(x), warm_model.value(x));
         assert_eq!(cold_model.value(y), warm_model.value(y));
+    }
+
+    #[test]
+    fn fork_shares_constraints_then_diverges() {
+        let mut pool = TermPool::new();
+        let mut parent = Session::new();
+        let x = pool.var("x", 8);
+        let ten = pool.bv_const(10, 8);
+        let lt = pool.bv_ult(x, ten);
+        parent.assert_term(&mut pool, lt);
+        assert!(parent.check(&mut pool, &[]).is_sat());
+
+        let mut fork = parent.fork();
+        // The fork sees the parent's constraints…
+        let nine = pool.bv_const(9, 8);
+        let gt9 = pool.bv_ult(nine, x);
+        let l = fork.lit(&mut pool, gt9);
+        assert!(fork.check(&mut pool, &[l]).is_unsat());
+        // …and asserting into the fork never narrows the parent.
+        let five = pool.bv_const(5, 8);
+        let gt5 = pool.bv_ult(five, x);
+        fork.assert_term(&mut pool, gt5);
+        let zero = pool.bv_const(0, 8);
+        let is0 = pool.eq(x, zero);
+        let z = fork.lit(&mut pool, is0);
+        assert!(fork.check(&mut pool, &[z]).is_unsat());
+        let pz = parent.lit(&mut pool, is0);
+        assert!(parent.check(&mut pool, &[pz]).is_sat());
+    }
+
+    #[test]
+    fn disjoint_cube_forks_reconstruct_the_canonical_model() {
+        // Cube-and-conquer shape: partition x's byte range into four
+        // contiguous cubes, solve each in its own fork, and check that the
+        // lowest SAT cube's canonical model equals the parent's global
+        // canonical model — the winner rule the parallel search relies on.
+        let mut pool = TermPool::new();
+        let mut parent = Session::new();
+        let x = pool.var("x", 8);
+        let y = pool.var("y", 8);
+        let sum = pool.bv_add(x, y);
+        let target = pool.bv_const(200, 8);
+        let eq = pool.eq(sum, target);
+        parent.assert_term(&mut pool, eq);
+        let c100 = pool.bv_const(100, 8);
+        let xgt = pool.bv_ult(c100, x); // forces x ≥ 101 → cubes 0/1 unsat
+        parent.assert_term(&mut pool, xgt);
+        let global = parent
+            .canonical_check(&mut pool, &[], &[x, y])
+            .model()
+            .expect("sat");
+
+        let mut first_sat: Option<(usize, crate::Model)> = None;
+        for (i, (lo, hi)) in [(0, 63), (64, 127), (128, 191), (192, 255)]
+            .iter()
+            .enumerate()
+        {
+            let mut worker = parent.fork();
+            let lo_c = pool.bv_const(*lo, 8);
+            let hi_c = pool.bv_const(*hi, 8);
+            let ge = pool.bv_ule(lo_c, x);
+            let le = pool.bv_ule(x, hi_c);
+            let a = worker.lit(&mut pool, ge);
+            let b = worker.lit(&mut pool, le);
+            match worker.canonical_check(&mut pool, &[a, b], &[x, y]) {
+                CheckResult::Sat(m) => {
+                    if first_sat.is_none() {
+                        first_sat = Some((i, m));
+                    }
+                }
+                CheckResult::Unsat => assert!(first_sat.is_none(), "cubes above the winner"),
+                CheckResult::Unknown => panic!("no budget set, Unknown impossible"),
+            }
+        }
+        let (winner, model) = first_sat.expect("some cube is satisfiable");
+        assert_eq!(winner, 1, "x = 101 lives in cube [64,127]");
+        assert_eq!(model.value(x), global.value(x));
+        assert_eq!(model.value(y), global.value(y));
     }
 
     #[test]
