@@ -29,7 +29,7 @@ fn bench_meta_chars(c: &mut Criterion) {
                 let cfg = SynthesisConfig {
                     use_meta_chars: metas,
                     max_prog_size: 14,
-                    timeout: Duration::from_secs(3),
+                    budget: strsum_core::Budget::default().with_wall(Duration::from_secs(3)),
                     ..Default::default()
                 };
                 black_box(synthesize(&func, &cfg).program)
@@ -56,10 +56,7 @@ fn bench_deepening(c: &mut Criterion) {
     });
     group.bench_function("fixed_size9", |b| {
         b.iter(|| {
-            let cfg = SynthesisConfig {
-                timeout: Duration::from_secs(60),
-                ..Default::default()
-            };
+            let cfg = SynthesisConfig::with_timeout(Duration::from_secs(60));
             black_box(synthesize(&func, &cfg).program)
         })
     });

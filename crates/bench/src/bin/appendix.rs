@@ -8,17 +8,19 @@
 
 use std::fmt::Write as _;
 use std::time::Duration;
-use strsum_bench::{default_threads, write_result, CorpusRunner, TraceArgs};
+use strsum_bench::write_result;
+use strsum_bench::{Cli, CorpusRunner};
 use strsum_core::SynthesisConfig;
 
 fn main() {
-    let trace = TraceArgs::from_args();
+    let cli = Cli::from_env();
+    let trace = cli.trace();
     let cfg = SynthesisConfig {
-        timeout: Duration::from_secs(20),
+        budget: cli.budget(strsum_core::Budget::default().with_wall(Duration::from_secs(20))),
         ..Default::default()
     };
     let summaries = CorpusRunner::new(cfg)
-        .threads(default_threads())
+        .threads(cli.threads())
         .reuse_summaries(true)
         .run_corpus()
         .summaries();

@@ -45,16 +45,15 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 use strsum_bench::{
-    aggregate_screen, aggregate_telemetry, arg_value, default_threads, write_result, CorpusRunner,
-    LoopSynth, TraceArgs,
+    aggregate_screen, aggregate_telemetry, write_result, Cli, CorpusRunner, LoopSynth,
 };
-use strsum_core::SynthesisConfig;
+use strsum_core::{Budget, SynthesisConfig};
 use strsum_corpus::{corpus, CacheStats};
 use strsum_obs::ToJson;
 
 fn config(screen: bool, incremental: bool, timeout: f64) -> SynthesisConfig {
     SynthesisConfig {
-        timeout: Duration::from_secs_f64(timeout),
+        budget: Budget::default().with_wall(Duration::from_secs_f64(timeout)),
         incremental,
         screen,
         ..Default::default()
@@ -96,21 +95,16 @@ fn disagreements(results: &[LoopSynth]) -> Vec<String> {
 }
 
 fn main() {
-    let trace = TraceArgs::from_args();
-    let limit: usize = arg_value("--limit")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(24);
-    let timeout: f64 = arg_value("--timeout-secs")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(10.0);
+    let cli = Cli::from_env();
+    let trace = cli.trace();
+    let limit: usize = cli.parsed("--limit", 24);
+    let timeout: f64 = cli.timeout_secs(10.0);
     if !timeout.is_finite() || timeout <= 0.0 {
         eprintln!("error: --timeout-secs must be a positive number of seconds");
         std::process::exit(2);
     }
-    let threads = arg_value("--threads")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(default_threads);
-    let verbose = std::env::args().any(|a| a == "--verbose");
+    let threads = cli.threads();
+    let verbose = cli.flag("--verbose");
 
     let mut entries = corpus();
     entries.truncate(limit);
@@ -168,11 +162,14 @@ fn main() {
             if pa == pb {
                 continue;
             }
-            let timeout_involved = [&a.failure, &b.failure].iter().any(|f| {
-                matches!(
-                    f.as_deref(),
-                    Some("timeout" | "solver gave up on candidate search")
-                )
+            // Structured check first (any tripped budget axis), with the
+            // legacy failure strings kept as a belt-and-braces fallback.
+            let timeout_involved = [a, b].iter().any(|r| {
+                r.stats.exhausted.is_some()
+                    || matches!(
+                        r.failure.as_deref(),
+                        Some("timeout" | "solver gave up on candidate search")
+                    )
             });
             if timeout_involved {
                 timing_races += 1;

@@ -10,25 +10,21 @@
 //! loop solved in 2 s is counted for every budget ≥ 2 s).
 //!
 //! Usage: `cargo run --release -p strsum-bench --bin fig2
-//!         [--scale X] [--threads N] [--max-size N] [--trace PATH]`
+//!         [--scale X] [--threads N] [--max-size N] [--fault-plan PATH]
+//!         [--trace PATH]`
 
 use std::fmt::Write as _;
 use std::time::Duration;
-use strsum_bench::{arg_value, bar, default_threads, write_result, CorpusRunner, TraceArgs};
+use strsum_bench::{bar, write_result, Cli, CorpusRunner};
 use strsum_core::{SolverTelemetry, SynthesisConfig};
 use strsum_corpus::corpus;
 
 fn main() {
-    let trace = TraceArgs::from_args();
-    let scale: f64 = arg_value("--scale")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.25);
-    let threads = arg_value("--threads")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(default_threads);
-    let max_size: usize = arg_value("--max-size")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(10);
+    let cli = Cli::from_env();
+    let trace = cli.trace();
+    let scale: f64 = cli.parsed("--scale", 0.25);
+    let threads = cli.threads();
+    let max_size: usize = cli.parsed("--max-size", 10);
     // Scaled ladder (seconds): paper 30s/3min/10min/1h → 0.5/3/10/60 × scale.
     let ladder: [f64; 4] = [0.5 * scale, 3.0 * scale, 10.0 * scale, 60.0 * scale];
 
@@ -38,10 +34,15 @@ fn main() {
     for size in 1..=max_size {
         let cfg = SynthesisConfig {
             max_prog_size: size,
-            timeout: Duration::from_secs_f64(ladder[3]),
+            budget: cli.budget(
+                strsum_core::Budget::default().with_wall(Duration::from_secs_f64(ladder[3])),
+            ),
             ..Default::default()
         };
-        let report = CorpusRunner::new(cfg).threads(threads).run(&entries);
+        let report = CorpusRunner::new(cfg)
+            .threads(threads)
+            .fault_plan(cli.fault_plan())
+            .run(&entries);
         let mut row = [0usize; 4];
         for r in &report.results {
             if r.program.is_none() {

@@ -12,26 +12,24 @@
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
-use strsum_bench::{arg_value, default_threads, write_result, CorpusRunner, TraceArgs};
+use strsum_bench::{write_result, Cli, CorpusRunner};
 use strsum_core::SynthesisConfig;
 use strsum_gadgets::symbolic::string_solver_models;
 use strsum_smt::TermPool;
 use strsum_symex::Engine;
 
 fn main() {
-    let trace = TraceArgs::from_args();
-    let timeout: f64 = arg_value("--timeout-secs")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(5.0);
-    let threads = arg_value("--threads")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(default_threads);
-    let lengths: Vec<usize> = arg_value("--lengths")
+    let cli = Cli::from_env();
+    let trace = cli.trace();
+    let timeout: f64 = cli.timeout_secs(5.0);
+    let threads = cli.threads();
+    let lengths: Vec<usize> = cli
+        .value("--lengths")
         .map(|v| v.split(',').filter_map(|x| x.parse().ok()).collect())
         .unwrap_or_else(|| vec![4, 6, 8, 10, 13, 16, 20]);
 
     let cfg = SynthesisConfig {
-        timeout: Duration::from_secs(20),
+        budget: strsum_core::Budget::default().with_wall(Duration::from_secs(20)),
         ..Default::default()
     };
     let summaries = CorpusRunner::new(cfg)

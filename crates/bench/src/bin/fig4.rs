@@ -6,28 +6,21 @@
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
-use strsum_bench::{
-    arg_value, bar, default_threads, median, write_result, CorpusRunner, TraceArgs,
-};
+use strsum_bench::{bar, median, write_result, Cli, CorpusRunner};
 use strsum_core::SynthesisConfig;
 use strsum_gadgets::symbolic::string_solver_models;
 use strsum_smt::TermPool;
 use strsum_symex::Engine;
 
 fn main() {
-    let trace = TraceArgs::from_args();
-    let len: usize = arg_value("--length")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(13);
-    let timeout: f64 = arg_value("--timeout-secs")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(5.0);
-    let threads = arg_value("--threads")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(default_threads);
+    let cli = Cli::from_env();
+    let trace = cli.trace();
+    let len: usize = cli.parsed("--length", 13);
+    let timeout: f64 = cli.timeout_secs(5.0);
+    let threads = cli.threads();
 
     let cfg = SynthesisConfig {
-        timeout: Duration::from_secs(20),
+        budget: strsum_core::Budget::default().with_wall(Duration::from_secs(20)),
         ..Default::default()
     };
     let summaries = CorpusRunner::new(cfg)

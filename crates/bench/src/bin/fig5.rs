@@ -12,7 +12,7 @@
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use strsum_bench::{arg_value, default_threads, write_result, CorpusRunner, TraceArgs};
+use strsum_bench::{write_result, Cli, CorpusRunner};
 use strsum_core::SynthesisConfig;
 use strsum_gadgets::compile_rust::{compile, Impl};
 
@@ -35,15 +35,12 @@ fn workload(entry_id: &str) -> [Vec<u8>; 4] {
 }
 
 fn main() {
-    let trace = TraceArgs::from_args();
-    let iters: u64 = arg_value("--iters")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(200_000);
-    let threads = arg_value("--threads")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(default_threads);
+    let cli = Cli::from_env();
+    let trace = cli.trace();
+    let iters: u64 = cli.parsed("--iters", 200_000);
+    let threads = cli.threads();
     let cfg = SynthesisConfig {
-        timeout: std::time::Duration::from_secs(20),
+        budget: strsum_core::Budget::default().with_wall(std::time::Duration::from_secs(20)),
         ..Default::default()
     };
     let summaries = CorpusRunner::new(cfg)

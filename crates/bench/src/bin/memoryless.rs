@@ -9,15 +9,14 @@
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use strsum_bench::{arg_value, write_result, TraceArgs};
+use strsum_bench::{write_result, Cli};
 use strsum_core::{check_memoryless, Direction};
 use strsum_corpus::corpus;
 
 fn main() {
-    let trace = TraceArgs::from_args();
-    let bound: usize = arg_value("--bound")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(3);
+    let cli = Cli::from_env();
+    let trace = cli.trace();
+    let bound: usize = cli.parsed("--bound", 3);
     let mut out = String::new();
     let _ = writeln!(
         out,

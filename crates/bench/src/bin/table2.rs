@@ -4,17 +4,16 @@
 //! Usage: `cargo run --release -p strsum-bench --bin table2 [--seed N] [--trace PATH]`
 
 use std::fmt::Write as _;
-use strsum_bench::{arg_value, write_result, TraceArgs};
+use strsum_bench::{write_result, Cli};
 use strsum_corpus::{
     filter::{classify, FilterStage},
     generate_population, manual_category, ManualCategory, APPS,
 };
 
 fn main() {
-    let trace = TraceArgs::from_args();
-    let seed: u64 = arg_value("--seed")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2019);
+    let cli = Cli::from_env();
+    let trace = cli.trace();
+    let seed: u64 = cli.parsed("--seed", 2019);
     let population = generate_population(seed);
     println!(
         "generated {} loops; compiling and filtering…",

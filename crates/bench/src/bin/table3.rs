@@ -6,39 +6,38 @@
 //! for 300 s).
 //!
 //! Usage: `cargo run --release -p strsum-bench --bin table3
-//!         [--timeout-secs N] [--threads N] [--full] [--trace PATH]`
+//!         [--timeout-secs N] [--budget-ms N] [--retries N] [--threads N]
+//!         [--full] [--fault-plan PATH] [--trace PATH]`
 
 use std::fmt::Write as _;
 use std::time::Duration;
-use strsum_bench::{
-    arg_flag, arg_value, default_threads, median, minutes, telemetry_report, write_result,
-    CorpusRunner, TraceArgs,
-};
-use strsum_core::SynthesisConfig;
+use strsum_bench::{median, minutes, telemetry_report, write_result, Cli, CorpusRunner};
+use strsum_core::{Budget, SynthesisConfig};
 use strsum_corpus::{corpus, APPS};
 use strsum_obs::ToJson;
 
 fn main() {
-    let trace = TraceArgs::from_args();
-    let timeout = if arg_flag("--full") {
-        300
+    let cli = Cli::from_env();
+    let trace = cli.trace();
+    let base = if cli.flag("--full") {
+        Budget::default().with_wall(Duration::from_secs(300))
     } else {
-        arg_value("--timeout-secs")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(45)
+        Budget::default().with_wall(Duration::from_secs(45))
     };
-    let threads = arg_value("--threads")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(default_threads);
+    let budget = cli.budget(base);
+    let timeout = budget.wall.as_secs();
+    let threads = cli.threads();
     let cfg = SynthesisConfig {
-        timeout: Duration::from_secs(timeout),
+        budget,
         ..Default::default()
     };
     println!(
         "synthesising 115 loops (full vocabulary, max_prog_size=9, max_ex_size=3, timeout={timeout}s, {threads} threads)…"
     );
     let entries = corpus();
-    let mut runner = CorpusRunner::new(cfg).threads(threads);
+    let mut runner = CorpusRunner::new(cfg)
+        .threads(threads)
+        .fault_plan(cli.fault_plan());
     if let Some(c) = trace.collector() {
         runner = runner.trace(c);
     }

@@ -11,32 +11,25 @@
 
 use std::fmt::Write as _;
 use std::time::Duration;
-use strsum_bench::{arg_value, default_threads, write_result, CorpusRunner, TraceArgs};
-use strsum_core::{SolverTelemetry, SynthesisConfig, Vocab};
+use strsum_bench::{write_result, Cli, CorpusRunner};
+use strsum_core::{Budget, SolverTelemetry, SynthesisConfig, Vocab};
 use strsum_corpus::corpus;
 use strsum_gp::{BayesOpt, Observation};
 
 fn main() {
-    let trace = TraceArgs::from_args();
-    let timeout: f64 = arg_value("--timeout-secs")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2.0);
-    let evals: usize = arg_value("--evals")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(30);
-    let threads = arg_value("--threads")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(default_threads);
-    let seed: u64 = arg_value("--seed")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2019);
+    let cli = Cli::from_env();
+    let trace = cli.trace();
+    let timeout: f64 = cli.timeout_secs(2.0);
+    let evals: usize = cli.parsed("--evals", 30);
+    let threads = cli.threads();
+    let seed: u64 = cli.parsed("--seed", 2019);
 
     let entries = corpus();
     let success = |vocab: Vocab| -> (usize, SolverTelemetry) {
         let cfg = SynthesisConfig {
             vocab,
             max_prog_size: 7,
-            timeout: Duration::from_secs_f64(timeout),
+            budget: Budget::default().with_wall(Duration::from_secs_f64(timeout)),
             ..Default::default()
         };
         let report = CorpusRunner::new(cfg).threads(threads).run(&entries);

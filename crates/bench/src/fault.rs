@@ -1,0 +1,212 @@
+//! Deterministic fault injection for corpus runs.
+//!
+//! A [`FaultPlan`] maps loop ids to planned [`Fault`]s and rides into
+//! [`crate::CorpusRunner`]; the runner applies each fault inside the
+//! worker that synthesises the targeted loop. All three fault shapes are
+//! deterministic — no clocks, no RNG at injection time — so a faulted run
+//! is exactly reproducible and the degradation paths (panic isolation,
+//! budget classification, quarantine retry) can be asserted byte-for-byte
+//! in tests and CI.
+
+use std::collections::BTreeMap;
+
+/// One planned fault against one loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// The worker panics mid-synthesis (exercises `catch_unwind`
+    /// isolation → `LoopOutcome::Crashed`).
+    Panic,
+    /// The loop's `n`th SAT query (counted across its search and verify
+    /// sessions) is forced to `Unknown` (→
+    /// `LoopOutcome::BudgetExhausted(SolverConflicts)`).
+    UnknownAtQuery(u64),
+    /// The loop runs under an already-expired wall-clock budget (→
+    /// `LoopOutcome::BudgetExhausted(Wall)`).
+    DeadlineExpiry,
+}
+
+impl Fault {
+    /// Stable textual form, the inverse of [`FaultPlan::parse`]'s fault
+    /// column.
+    pub fn encode(&self) -> String {
+        match self {
+            Fault::Panic => "panic".to_string(),
+            Fault::UnknownAtQuery(n) => format!("unknown:{n}"),
+            Fault::DeadlineExpiry => "deadline".to_string(),
+        }
+    }
+}
+
+/// A deterministic set of planned faults, keyed by loop id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    by_id: BTreeMap<String, Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan (no faults; the production default).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Number of planned faults.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Adds (or replaces) the fault planned for `id`.
+    pub fn inject(&mut self, id: impl Into<String>, fault: Fault) -> &mut Self {
+        self.by_id.insert(id.into(), fault);
+        self
+    }
+
+    /// The fault planned for `id`, if any.
+    pub fn fault_for(&self, id: &str) -> Option<&Fault> {
+        self.by_id.get(id)
+    }
+
+    /// Iterates `(id, fault)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Fault)> {
+        self.by_id.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The canonical seeded plan over `ids`: one worker panic, one forced
+    /// solver `Unknown` (at the first query), one deadline expiry, on
+    /// three distinct loops picked by a tiny deterministic LCG from
+    /// `seed`. Needs at least 3 ids; extra ids widen the choice. The same
+    /// `(seed, ids)` always yields the same plan.
+    pub fn seeded(seed: u64, ids: &[&str]) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        if ids.len() < 3 {
+            return plan;
+        }
+        // Park–Miller-style LCG: cheap, stateless, reproducible.
+        let mut state = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        let mut next = |bound: usize| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((state >> 33) as usize) % bound
+        };
+        let mut picked: Vec<usize> = Vec::with_capacity(3);
+        while picked.len() < 3 {
+            let i = next(ids.len());
+            if !picked.contains(&i) {
+                picked.push(i);
+            }
+        }
+        plan.inject(ids[picked[0]], Fault::Panic);
+        plan.inject(ids[picked[1]], Fault::UnknownAtQuery(1));
+        plan.inject(ids[picked[2]], Fault::DeadlineExpiry);
+        plan
+    }
+
+    /// Parses the on-disk form: one `id<TAB>fault` line per fault, where
+    /// the fault column is `panic`, `unknown:<n>` or `deadline`. Blank
+    /// lines and `#` comments are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line — a fault plan
+    /// is a test input, so unlike the cost book it is *not* parsed
+    /// tolerantly: a typo'd fault silently not firing would pass the very
+    /// audit it was meant to exercise.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (id, fault) = line
+                .split_once('\t')
+                .ok_or_else(|| format!("fault plan line {}: missing TAB", lineno + 1))?;
+            let fault = match fault {
+                "panic" => Fault::Panic,
+                "deadline" => Fault::DeadlineExpiry,
+                other => match other.strip_prefix("unknown:") {
+                    Some(n) => Fault::UnknownAtQuery(n.parse::<u64>().map_err(|_| {
+                        format!("fault plan line {}: bad query index {n:?}", lineno + 1)
+                    })?),
+                    None => {
+                        return Err(format!(
+                            "fault plan line {}: unknown fault {other:?}",
+                            lineno + 1
+                        ));
+                    }
+                },
+            };
+            plan.inject(id, fault);
+        }
+        Ok(plan)
+    }
+
+    /// The on-disk text form accepted by [`FaultPlan::parse`].
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for (id, fault) in self.iter() {
+            out.push_str(&format!("{id}\t{}\n", fault.encode()));
+        }
+        out
+    }
+
+    /// Loads a plan from a file via [`FaultPlan::parse`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the file is unreadable or malformed.
+    pub fn load(path: &std::path::Path) -> Result<FaultPlan, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read fault plan {}: {e}", path.display()))?;
+        FaultPlan::parse(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_dump_round_trip() {
+        let text = "# comment\nloop_a\tpanic\nloop_b\tunknown:7\nloop_c\tdeadline\n";
+        let plan = FaultPlan::parse(text).unwrap();
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.fault_for("loop_b"), Some(&Fault::UnknownAtQuery(7)));
+        assert_eq!(FaultPlan::parse(&plan.dump()).unwrap(), plan);
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected() {
+        assert!(FaultPlan::parse("no_tab_here").is_err());
+        assert!(FaultPlan::parse("id\tglitch").is_err());
+        assert!(FaultPlan::parse("id\tunknown:x").is_err());
+    }
+
+    #[test]
+    fn seeded_plan_is_deterministic_and_distinct() {
+        let ids = ["a", "b", "c", "d", "e"];
+        let p1 = FaultPlan::seeded(42, &ids);
+        let p2 = FaultPlan::seeded(42, &ids);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.len(), 3, "three faults on three distinct loops");
+        let faults: Vec<&Fault> = p1.iter().map(|(_, f)| f).collect();
+        assert!(faults.contains(&&Fault::Panic));
+        assert!(faults.contains(&&Fault::UnknownAtQuery(1)));
+        assert!(faults.contains(&&Fault::DeadlineExpiry));
+        assert_ne!(
+            FaultPlan::seeded(7, &ids),
+            FaultPlan::seeded(8, &ids),
+            "different seeds pick different loops (for these seeds)"
+        );
+    }
+
+    #[test]
+    fn seeded_needs_three_ids() {
+        assert!(FaultPlan::seeded(1, &["a", "b"]).is_empty());
+    }
+}

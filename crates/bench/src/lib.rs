@@ -4,19 +4,24 @@
 
 use std::fmt::Write as _;
 use std::fs;
+use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Duration;
-use strsum_core::{ScreenStats, SolverTelemetry, SynthStats};
+use strsum_core::{LoopOutcome, ScreenStats, SolverTelemetry, SynthStats};
 use strsum_corpus::LoopEntry;
 use strsum_gadgets::Program;
 
+pub mod cli;
+mod fault;
 mod runner;
 mod schedule;
 mod trace;
 
-pub use runner::{CorpusReport, CorpusRunner};
+pub use cli::Cli;
+pub use fault::{Fault, FaultPlan};
+pub use runner::{CorpusReport, CorpusRunner, OutcomeCounts, RetryStats};
 pub use schedule::ljf_order;
 pub use trace::TraceArgs;
 
@@ -36,20 +41,26 @@ pub struct LoopSynth {
     /// Whether the program came from the cross-loop summary cache (and
     /// passed re-verification) rather than from fresh synthesis.
     pub cache_hit: bool,
+    /// How the loop resolved — exhaustive over success, cache reuse,
+    /// inexpressibility, budget exhaustion, worker crash and degraded
+    /// minimisation (see [`strsum_core::LoopOutcome`]).
+    pub outcome: LoopOutcome,
 }
 
 /// Maps `f` over `items` on `threads` workers, preserving order.
 ///
 /// Workers steal indices from a shared counter and stream results back
 /// over a channel, so the output order — and everything computed from it —
-/// is independent of thread scheduling. A panic in `f` propagates out of
-/// the call (the scoped-thread join re-raises it) rather than producing a
-/// silently truncated result vector.
+/// is independent of thread scheduling. Workers are **panic-isolated**:
+/// each call of `f` runs under `catch_unwind`, a panicking item yields
+/// `Err(payload message)` in its slot while the worker moves on to the
+/// next item, and every other item still completes. The result vector is
+/// therefore always full-length.
 pub fn par_map<T: Sync, R: Send>(
     items: &[T],
     threads: usize,
     f: impl Fn(&T) -> R + Sync,
-) -> Vec<R> {
+) -> Vec<Result<R, String>> {
     par_map_inner(items, threads, None, f)
 }
 
@@ -61,15 +72,27 @@ pub fn par_map<T: Sync, R: Send>(
 ///
 /// # Panics
 ///
-/// Panics when `order` is not a permutation of `0..items.len()`.
+/// Panics when `order` is not a permutation of `0..items.len()` (a panic
+/// *inside `f`* is isolated per item instead — see [`par_map`]).
 pub fn par_map_ordered<T: Sync, R: Send>(
     items: &[T],
     threads: usize,
     order: &[usize],
     f: impl Fn(&T) -> R + Sync,
-) -> Vec<R> {
+) -> Vec<Result<R, String>> {
     assert_eq!(order.len(), items.len(), "order must cover every item");
     par_map_inner(items, threads, Some(order), f)
+}
+
+/// Renders a `catch_unwind` payload as the panic message it carried.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic of unknown type".to_string()
+    }
 }
 
 fn par_map_inner<T: Sync, R: Send>(
@@ -77,11 +100,11 @@ fn par_map_inner<T: Sync, R: Send>(
     threads: usize,
     order: Option<&[usize]>,
     f: impl Fn(&T) -> R + Sync,
-) -> Vec<R> {
+) -> Vec<Result<R, String>> {
     let threads = threads.clamp(1, items.len().max(1));
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
-    let mut slots: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    let (tx, rx) = mpsc::channel::<(usize, Result<R, String>)>();
+    let mut slots: Vec<Option<Result<R, String>>> = items.iter().map(|_| None).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
@@ -101,7 +124,13 @@ fn par_map_inner<T: Sync, R: Send>(
                     Some(o) => o[ticket],
                     None => ticket,
                 };
-                if tx.send((i, f(&items[i]))).is_err() {
+                // Panic isolation: one poisoned loop must not take down
+                // the corpus run. AssertUnwindSafe is justified because a
+                // panicking `f` invocation's partial state dies here —
+                // only the Err slot crosses the boundary.
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(&items[i])))
+                    .map_err(panic_message);
+                if tx.send((i, result)).is_err() {
                     break;
                 }
             });
@@ -196,14 +225,13 @@ pub(crate) fn unhex(s: &str) -> Vec<u8> {
 }
 
 /// Parses `--flag value`-style arguments.
+#[deprecated(note = "use `Cli::from_env().value(name)` — one parser for all binaries")]
 pub fn arg_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
+    cli::raw_value(name)
 }
 
 /// Whether a bare `--flag` is present.
+#[deprecated(note = "use `Cli::from_env().flag(name)` — one parser for all binaries")]
 pub fn arg_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }

@@ -20,18 +20,111 @@ use std::io::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use strsum_core::{
-    loop_fingerprint, synthesize, verify_summary, SolverTelemetry, SynthStats, SynthesisConfig,
-    SynthesisResult,
+    loop_fingerprint, synthesize, verify_summary, Budget, BudgetKind, LoopOutcome, SolverTelemetry,
+    SynthStats, SynthesisConfig, SynthesisResult,
 };
 use strsum_corpus::{fingerprint_hash, CacheStats, CostBook, CostStat, LoopEntry, SummaryCache};
 use strsum_gadgets::Program;
-use strsum_obs::{Aggregate, Collector};
+use strsum_obs::{names, Aggregate, Collector, ToJson};
 use strsum_smt::SessionStats;
 
 use crate::{
     aggregate_screen, aggregate_telemetry, default_threads, hex, ljf_order, par_map,
-    par_map_ordered, results_dir, unhex, LoopSynth,
+    par_map_ordered, results_dir, unhex, Fault, FaultPlan, LoopSynth,
 };
+
+/// Aggregate counts of every [`LoopOutcome`] in a run. The six variants
+/// (budget exhaustion split by axis) always sum to the number of loops.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Loops summarised by fresh synthesis.
+    pub summarized: usize,
+    /// Loops served by the cross-loop summary cache.
+    pub cache_hits: usize,
+    /// Loops with no summary in the vocabulary (or not compiling).
+    pub not_memoryless: usize,
+    /// Loops that exhausted the wall-clock budget.
+    pub budget_wall: usize,
+    /// Loops that exhausted the SAT conflict budget.
+    pub budget_solver: usize,
+    /// Loops that exhausted the symex path budget.
+    pub budget_symex_paths: usize,
+    /// Loops that exhausted the symex step budget.
+    pub budget_symex_steps: usize,
+    /// Loops whose worker panicked (isolated by `par_map`).
+    pub crashed: usize,
+    /// Loops summarised soundly but with minimisation cut short.
+    pub degraded: usize,
+}
+
+impl OutcomeCounts {
+    /// Tallies one loop's outcome.
+    pub fn record(&mut self, outcome: &LoopOutcome) {
+        match outcome {
+            LoopOutcome::Summarized => self.summarized += 1,
+            LoopOutcome::CacheHit => self.cache_hits += 1,
+            LoopOutcome::NotMemoryless => self.not_memoryless += 1,
+            LoopOutcome::BudgetExhausted(BudgetKind::Wall) => self.budget_wall += 1,
+            LoopOutcome::BudgetExhausted(BudgetKind::SolverConflicts) => self.budget_solver += 1,
+            LoopOutcome::BudgetExhausted(BudgetKind::SymexPaths) => self.budget_symex_paths += 1,
+            LoopOutcome::BudgetExhausted(BudgetKind::SymexSteps) => self.budget_symex_steps += 1,
+            LoopOutcome::Crashed(_) => self.crashed += 1,
+            LoopOutcome::Degraded => self.degraded += 1,
+        }
+    }
+
+    /// Total loops tallied.
+    pub fn total(&self) -> usize {
+        self.summarized
+            + self.cache_hits
+            + self.not_memoryless
+            + self.budget_wall
+            + self.budget_solver
+            + self.budget_symex_paths
+            + self.budget_symex_steps
+            + self.crashed
+            + self.degraded
+    }
+}
+
+impl ToJson for OutcomeCounts {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"summarized\":{},\"cache_hits\":{},\"not_memoryless\":{},\
+             \"budget_wall\":{},\"budget_solver\":{},\"budget_symex_paths\":{},\
+             \"budget_symex_steps\":{},\"crashed\":{},\"degraded\":{}}}",
+            self.summarized,
+            self.cache_hits,
+            self.not_memoryless,
+            self.budget_wall,
+            self.budget_solver,
+            self.budget_symex_paths,
+            self.budget_symex_steps,
+            self.crashed,
+            self.degraded
+        )
+    }
+}
+
+/// What the quarantine/retry lane did in a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Retry attempts issued (loops × rounds).
+    pub retried: usize,
+    /// Loops whose retry produced a summary after a budget exhaustion.
+    pub recovered: usize,
+    /// Retry rounds actually run.
+    pub rounds: u32,
+}
+
+impl ToJson for RetryStats {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"retried\":{},\"recovered\":{},\"rounds\":{}}}",
+            self.retried, self.recovered, self.rounds
+        )
+    }
+}
 
 /// Everything a corpus run produces: per-loop results plus the aggregates
 /// every experiment binary reports.
@@ -48,6 +141,10 @@ pub struct CorpusReport {
     /// Scheduling-independent aggregate of the trace spans recorded during
     /// the run (empty unless a [`CorpusRunner::trace`] sink was attached).
     pub spans: Aggregate,
+    /// Aggregate outcome taxonomy counts (sum = number of loops).
+    pub outcomes: OutcomeCounts,
+    /// Quarantine/retry-lane accounting (all zero with `retries` = 0).
+    pub retries: RetryStats,
 }
 
 impl CorpusReport {
@@ -80,11 +177,12 @@ pub struct CorpusRunner {
     cost_schedule: bool,
     reuse_summaries: bool,
     trace: Option<Arc<Collector>>,
+    fault_plan: FaultPlan,
 }
 
 impl CorpusRunner {
     /// A runner with `cfg`, all threads, no cache, cost-aware scheduling
-    /// on, no tracing.
+    /// on, no tracing, no faults.
     pub fn new(cfg: SynthesisConfig) -> CorpusRunner {
         CorpusRunner {
             cfg,
@@ -93,6 +191,7 @@ impl CorpusRunner {
             cost_schedule: true,
             reuse_summaries: false,
             trace: None,
+            fault_plan: FaultPlan::new(),
         }
     }
 
@@ -128,9 +227,37 @@ impl CorpusRunner {
         self
     }
 
+    /// The unified resource budget every loop runs under: wall clock, SAT
+    /// conflicts, symex path/step caps, and the quarantine-lane retry
+    /// policy (see [`strsum_core::Budget`]). Overrides the config's.
+    pub fn budget(mut self, budget: Budget) -> CorpusRunner {
+        self.cfg.budget = budget;
+        self
+    }
+
+    /// Quarantine-lane retries: after the main run, loops that resolved to
+    /// [`LoopOutcome::BudgetExhausted`] are re-run longest-job-first with
+    /// an escalated budget, up to `n` rounds. `0` (the default) disables
+    /// the lane — required for byte-identity with pre-governor runs.
+    pub fn retries(mut self, n: u32) -> CorpusRunner {
+        self.cfg.budget.retries = n;
+        self
+    }
+
+    /// Installs a deterministic fault plan (see [`FaultPlan`]): planned
+    /// worker panics, forced solver `Unknown`s and expired deadlines,
+    /// keyed by loop id. Faults fire only in the main lane — the retry
+    /// lane always runs clean, so a faulted loop can recover.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> CorpusRunner {
+        self.fault_plan = plan;
+        self
+    }
+
     /// Per-loop synthesis timeout (overrides the config's).
+    #[deprecated(note = "use `budget(Budget::default().with_wall(d))`; \
+                         timeout is now one axis of the unified budget")]
     pub fn timeout(mut self, d: Duration) -> CorpusRunner {
-        self.cfg.timeout = d;
+        self.cfg.budget.wall = d;
         self
     }
 
@@ -165,12 +292,13 @@ impl CorpusRunner {
         if let Some(sink) = &self.trace {
             strsum_obs::install(sink.clone());
         }
-        let (results, cache) = if self.cache {
+        let (mut results, cache) = if self.cache {
             self.run_cached(entries)
         } else {
             (self.run_plain(entries), CacheStats::default())
         };
-        self.report(results, cache)
+        let retries = self.retry_lane(entries, &mut results);
+        self.report(results, cache, retries)
     }
 
     /// Runs over the full built-in corpus, honouring
@@ -185,14 +313,16 @@ impl CorpusRunner {
         }
         let path = results_dir().join("summaries.tsv");
         if let Some(results) = load_summaries(&path, &entries) {
-            return self.report(results, CacheStats::default());
+            return self.report(results, CacheStats::default(), RetryStats::default());
         }
         println!("(no summary cache; synthesising the corpus first — this takes a while)");
-        let (results, cache) = if self.cache {
+        let (mut results, cache) = if self.cache {
             self.run_cached(&entries)
         } else {
             (self.run_plain(&entries), CacheStats::default())
         };
+        // Retry before persisting: a recovered summary belongs in the file.
+        let retries = self.retry_lane(&entries, &mut results);
         let mut file = fs::File::create(&path).expect("can create summary cache");
         for r in &results {
             let enc = match &r.program {
@@ -201,10 +331,67 @@ impl CorpusRunner {
             };
             writeln!(file, "{}\t{}", r.entry.id, enc).expect("cache write");
         }
-        self.report(results, cache)
+        self.report(results, cache, retries)
     }
 
-    fn report(&self, results: Vec<LoopSynth>, cache: CacheStats) -> CorpusReport {
+    /// The quarantine lane: loops whose main-lane outcome was a budget
+    /// exhaustion are re-run with an escalated budget
+    /// ([`Budget::escalate`]), longest-prior-elapsed first, for up to
+    /// `budget.retries` rounds. Faults never follow a loop into the lane,
+    /// and with `retries` = 0 (the default) the lane is never entered.
+    fn retry_lane(&self, entries: &[LoopEntry], results: &mut [LoopSynth]) -> RetryStats {
+        let base = self.cfg.budget;
+        let mut stats = RetryStats::default();
+        if base.retries == 0 {
+            return stats;
+        }
+        let clean = FaultPlan::new();
+        for round in 1..=base.retries {
+            let mut idxs: Vec<usize> = results
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.outcome.retryable())
+                .map(|(i, _)| i)
+                .collect();
+            if idxs.is_empty() {
+                break;
+            }
+            // Longest-job-first by what the loop burnt in the main lane
+            // (index order on ties keeps the lane deterministic).
+            idxs.sort_by(|&a, &b| results[b].elapsed.cmp(&results[a].elapsed).then(a.cmp(&b)));
+            stats.rounds = round;
+            let escalated = SynthesisConfig {
+                budget: base.escalate(round),
+                ..self.cfg.clone()
+            };
+            let raw = par_map(&idxs, self.threads, |&i| {
+                strsum_obs::counter(names::RETRY_ATTEMPT, "corpus", 1);
+                synthesize_entry(entries[i].clone(), &escalated, &clean)
+            });
+            for (&i, r) in idxs.iter().zip(raw) {
+                let r = resolve(&entries[i], r);
+                stats.retried += 1;
+                if r.program.is_some() {
+                    stats.recovered += 1;
+                    strsum_obs::counter(names::RETRY_RECOVERED, "corpus", 1);
+                }
+                results[i] = r;
+            }
+        }
+        stats
+    }
+
+    fn report(
+        &self,
+        results: Vec<LoopSynth>,
+        cache: CacheStats,
+        retries: RetryStats,
+    ) -> CorpusReport {
+        let mut outcomes = OutcomeCounts::default();
+        for r in &results {
+            outcomes.record(&r.outcome);
+            strsum_obs::counter(outcome_counter(&r.outcome), "corpus", 1);
+        }
         let screen = aggregate_screen(&results);
         let telemetry = aggregate_telemetry(&results);
         let spans = self
@@ -218,27 +405,44 @@ impl CorpusRunner {
             screen,
             telemetry,
             spans,
+            outcomes,
+            retries,
         }
     }
 
     fn run_plain(&self, entries: &[LoopEntry]) -> Vec<LoopSynth> {
+        let plan = &self.fault_plan;
         if !self.cost_schedule {
-            return par_map(entries, self.threads, |e| {
-                synthesize_entry(e.clone(), &self.cfg)
+            let raw = par_map(entries, self.threads, |e| {
+                synthesize_entry(e.clone(), &self.cfg, plan)
             });
+            return entries
+                .iter()
+                .zip(raw)
+                .map(|(e, r)| resolve(e, r))
+                .collect();
         }
         let cfg = &self.cfg;
         // Fingerprint every loop (concrete evaluation, no solver) to key
-        // its cost record; a compile failure keys as `None` (unknown cost).
+        // its cost record; a compile failure — or a fingerprint worker
+        // crash — keys as `None` (unknown cost).
         let keys: Vec<Option<u64>> = par_map(entries, self.threads, |e| {
             strsum_cfront::compile_one(&e.source)
                 .ok()
                 .map(|func| fingerprint_hash(&loop_fingerprint(&func, cfg.max_ex_size)))
-        });
+        })
+        .into_iter()
+        .map(|r| r.ok().flatten())
+        .collect();
         let order = ljf_order(&keys, &load_cost_book());
-        let results = par_map_ordered(entries, self.threads, &order, |e| {
-            synthesize_entry(e.clone(), cfg)
+        let raw = par_map_ordered(entries, self.threads, &order, |e| {
+            synthesize_entry(e.clone(), cfg, plan)
         });
+        let results: Vec<LoopSynth> = entries
+            .iter()
+            .zip(raw)
+            .map(|(e, r)| resolve(e, r))
+            .collect();
         record_costs(&keys, &results);
         results
     }
@@ -259,10 +463,13 @@ impl CorpusRunner {
     /// with the cache on.
     fn run_cached(&self, entries: &[LoopEntry]) -> (Vec<LoopSynth>, CacheStats) {
         let cfg = &self.cfg;
+        let plan = &self.fault_plan;
         let threads = self.threads;
         let mut cache = SummaryCache::new();
 
         // Phase A: fingerprint every loop (concrete evaluation, no solver).
+        // A fingerprint worker crash folds into the same error channel as
+        // a compile failure: both mean "no fingerprint for this loop".
         let fingerprints: Vec<Result<Vec<u64>, String>> = par_map(entries, threads, |e| {
             let mut span = strsum_obs::span("loop.fingerprint", "corpus");
             if span.active() {
@@ -271,7 +478,10 @@ impl CorpusRunner {
             strsum_cfront::compile_one(&e.source)
                 .map(|func| loop_fingerprint(&func, cfg.max_ex_size))
                 .map_err(|err| format!("does not compile: {err}"))
-        });
+        })
+        .into_iter()
+        .map(|r| r.and_then(|inner| inner))
+        .collect();
 
         // Phase B: synthesise one representative per fingerprint group, in
         // corpus order (the first loop of each group).
@@ -287,22 +497,23 @@ impl CorpusRunner {
         // The representatives carry all the solver work, so they are the
         // phase worth scheduling: reuse phase A's fingerprints to dispatch
         // them longest-job-first when cost scheduling is on.
-        let rep_results: Vec<LoopSynth> = if self.cost_schedule {
+        let rep_results: Vec<Result<LoopSynth, String>> = if self.cost_schedule {
             let rep_keys: Vec<Option<u64>> = rep_indices
                 .iter()
                 .map(|&i| fingerprints[i].as_ref().ok().map(|fp| fingerprint_hash(fp)))
                 .collect();
             let order = ljf_order(&rep_keys, &load_cost_book());
             par_map_ordered(&rep_indices, threads, &order, |&i| {
-                synthesize_entry(entries[i].clone(), cfg)
+                synthesize_entry(entries[i].clone(), cfg, plan)
             })
         } else {
             par_map(&rep_indices, threads, |&i| {
-                synthesize_entry(entries[i].clone(), cfg)
+                synthesize_entry(entries[i].clone(), cfg, plan)
             })
         };
         let mut slots: Vec<Option<LoopSynth>> = entries.iter().map(|_| None).collect();
         for (&i, result) in rep_indices.iter().zip(rep_results) {
+            let result = resolve(&entries[i], result);
             let fp = fingerprints[i].as_ref().expect("reps have fingerprints");
             assert!(cache.lookup(fp).is_none(), "representative misses");
             if let Some(p) = &result.program {
@@ -330,19 +541,19 @@ impl CorpusRunner {
                         failure: Some(e.clone()),
                         stats: SynthStats::default(),
                         cache_hit: false,
+                        outcome: LoopOutcome::NotMemoryless,
                     });
                 }
                 Ok(_) => pending.push(i),
             }
         }
         let shared = &cache;
-        let verified: Vec<(usize, Option<LoopSynth>, SessionStats)> =
+        let verified: Vec<Result<(Option<LoopSynth>, SessionStats), String>> =
             par_map(&pending, threads, |&idx| {
                 let fp = fingerprints[idx].as_ref().expect("pending ⇒ fingerprinted");
                 match shared.lookup(fp) {
                     None => (
-                        idx,
-                        Some(synthesize_entry(entries[idx].clone(), cfg)),
+                        Some(synthesize_entry(entries[idx].clone(), cfg, plan)),
                         SessionStats::default(),
                     ),
                     Some(bytes) => {
@@ -355,12 +566,11 @@ impl CorpusRunner {
                             .expect("fingerprinted in phase A");
                         let (ok, effort) = verify_summary(&func, &bytes, cfg.max_ex_size);
                         if !ok {
-                            return (idx, None, effort);
+                            return (None, effort);
                         }
                         let program =
                             Program::decode(&bytes).expect("cache holds encoded programs");
                         (
-                            idx,
                             Some(LoopSynth {
                                 entry: entries[idx].clone(),
                                 program: Some(program),
@@ -374,6 +584,7 @@ impl CorpusRunner {
                                     ..SynthStats::default()
                                 },
                                 cache_hit: true,
+                                outcome: LoopOutcome::CacheHit,
                             }),
                             effort,
                         )
@@ -383,12 +594,15 @@ impl CorpusRunner {
 
         // Phase D: full synthesis for loops whose cached summary was
         // rejected (collision or poison); the wasted verification effort
-        // stays on their books so totals remain honest.
+        // stays on their books so totals remain honest. `par_map` slots
+        // results positionally, so `verified[j]` belongs to `pending[j]`
+        // even when the worker crashed and only the message survives.
         let mut fallback: Vec<(usize, SessionStats)> = Vec::new();
-        for (idx, result, effort) in verified {
+        for (&idx, result) in pending.iter().zip(verified) {
             match result {
-                Some(r) => slots[idx] = Some(r),
-                None => {
+                Err(msg) => slots[idx] = Some(crashed(entries[idx].clone(), msg)),
+                Ok((Some(r), _)) => slots[idx] = Some(r),
+                Ok((None, effort)) => {
                     let fp = fingerprints[idx]
                         .as_ref()
                         .expect("verified ⇒ fingerprinted");
@@ -397,13 +611,13 @@ impl CorpusRunner {
                 }
             }
         }
-        let fallback_results: Vec<LoopSynth> = par_map(&fallback, threads, |&(i, wasted)| {
-            let mut r = synthesize_entry(entries[i].clone(), cfg);
+        let fallback_results = par_map(&fallback, threads, |&(i, wasted)| {
+            let mut r = synthesize_entry(entries[i].clone(), cfg, plan);
             r.stats.solver.verify = r.stats.solver.verify.plus(&wasted);
             r
         });
         for (&(i, _), result) in fallback.iter().zip(fallback_results) {
-            slots[i] = Some(result);
+            slots[i] = Some(resolve(&entries[i], result));
         }
 
         let results: Vec<LoopSynth> = slots
@@ -455,10 +669,91 @@ fn record_costs(keys: &[Option<u64>], results: &[LoopSynth]) {
     let _ = fs::write(results_dir().join("costs.tsv"), book.dump());
 }
 
+/// How a fresh-synthesis [`LoopSynth`] resolved, from its structured
+/// stats. Precedence: a program is success (degraded when minimisation
+/// was cut short); no program with a tripped budget is that budget's
+/// exhaustion; anything else is inexpressible in the vocabulary.
+fn classify(stats: &SynthStats, program: bool) -> LoopOutcome {
+    if program {
+        if stats.degraded {
+            LoopOutcome::Degraded
+        } else {
+            LoopOutcome::Summarized
+        }
+    } else if let Some(kind) = stats.exhausted {
+        LoopOutcome::BudgetExhausted(kind)
+    } else {
+        LoopOutcome::NotMemoryless
+    }
+}
+
+/// The [`LoopSynth`] recorded for a loop whose worker panicked: no
+/// program, no stats, the panic payload as both failure and outcome.
+fn crashed(entry: LoopEntry, msg: String) -> LoopSynth {
+    LoopSynth {
+        entry,
+        program: None,
+        elapsed: Duration::ZERO,
+        failure: Some(msg.clone()),
+        stats: SynthStats::default(),
+        cache_hit: false,
+        outcome: LoopOutcome::Crashed(msg),
+    }
+}
+
+/// Unwraps one panic-isolated `par_map` slot into its [`LoopSynth`].
+fn resolve(entry: &LoopEntry, result: Result<LoopSynth, String>) -> LoopSynth {
+    match result {
+        Ok(r) => r,
+        Err(msg) => crashed(entry.clone(), msg),
+    }
+}
+
+/// The obs counter name for an outcome (see [`strsum_obs::names`]).
+fn outcome_counter(outcome: &LoopOutcome) -> &'static str {
+    match outcome {
+        LoopOutcome::Summarized => names::OUTCOME_SUMMARIZED,
+        LoopOutcome::CacheHit => names::OUTCOME_CACHE_HIT,
+        LoopOutcome::NotMemoryless => names::OUTCOME_NOT_MEMORYLESS,
+        LoopOutcome::BudgetExhausted(_) => names::OUTCOME_BUDGET_EXHAUSTED,
+        LoopOutcome::Crashed(_) => names::OUTCOME_CRASHED,
+        LoopOutcome::Degraded => names::OUTCOME_DEGRADED,
+    }
+}
+
 /// Synthesises one corpus entry, mapping every failure mode — including a
 /// source that the C frontend rejects — to a per-loop `failure`, so one bad
 /// entry can never tear down a whole experiment run.
-pub(crate) fn synthesize_entry(entry: LoopEntry, cfg: &SynthesisConfig) -> LoopSynth {
+///
+/// When `faults` plans a fault for this loop id it is applied here, inside
+/// the worker: a planned panic unwinds (and is caught by the caller's
+/// `par_map`); a forced `Unknown` or expired deadline runs the loop under
+/// a doctored config so the ordinary budget machinery classifies it.
+pub(crate) fn synthesize_entry(
+    entry: LoopEntry,
+    cfg: &SynthesisConfig,
+    faults: &FaultPlan,
+) -> LoopSynth {
+    let mut doctored;
+    let cfg = match faults.fault_for(&entry.id) {
+        None => cfg,
+        Some(fault) => {
+            strsum_obs::counter(names::FAULT_INJECTED, "corpus", 1);
+            match fault {
+                Fault::Panic => panic!("injected fault: worker panic for {}", entry.id),
+                Fault::UnknownAtQuery(n) => {
+                    doctored = cfg.clone();
+                    doctored.forced_unknown_at = Some(*n);
+                    &doctored
+                }
+                Fault::DeadlineExpiry => {
+                    doctored = cfg.clone();
+                    doctored.budget.wall = Duration::ZERO;
+                    &doctored
+                }
+            }
+        }
+    };
     let mut span = strsum_obs::span("loop", "corpus");
     if span.active() {
         span.arg_str("id", entry.id.clone());
@@ -468,6 +763,7 @@ pub(crate) fn synthesize_entry(entry: LoopEntry, cfg: &SynthesisConfig) -> LoopS
         Ok(func) => {
             let SynthesisResult { program, stats } = synthesize(&func, cfg);
             span.arg_u64("synthesised", u64::from(program.is_some()));
+            let outcome = classify(&stats, program.is_some());
             LoopSynth {
                 entry,
                 program,
@@ -475,6 +771,7 @@ pub(crate) fn synthesize_entry(entry: LoopEntry, cfg: &SynthesisConfig) -> LoopS
                 failure: stats.failure.clone(),
                 stats,
                 cache_hit: false,
+                outcome,
             }
         }
         Err(e) => LoopSynth {
@@ -484,6 +781,7 @@ pub(crate) fn synthesize_entry(entry: LoopEntry, cfg: &SynthesisConfig) -> LoopS
             failure: Some(format!("does not compile: {e}")),
             stats: SynthStats::default(),
             cache_hit: false,
+            outcome: LoopOutcome::NotMemoryless,
         },
     }
 }
@@ -508,6 +806,11 @@ fn load_summaries(path: &std::path::Path, entries: &[LoopEntry]) -> Option<Vec<L
                     "-" => None,
                     hexstr => Program::decode(&unhex(hexstr)).ok(),
                 };
+                let outcome = if program.is_some() {
+                    LoopOutcome::Summarized
+                } else {
+                    LoopOutcome::NotMemoryless
+                };
                 LoopSynth {
                     entry: e.clone(),
                     program,
@@ -515,8 +818,30 @@ fn load_summaries(path: &std::path::Path, entries: &[LoopEntry]) -> Option<Vec<L
                     failure: None,
                     stats: SynthStats::default(),
                     cache_hit: false,
+                    outcome,
                 }
             })
             .collect(),
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The deprecated `timeout` setter keeps working by folding into the
+    /// budget's wall clock, and the budget/retry setters layer as
+    /// documented.
+    #[test]
+    #[allow(deprecated)]
+    fn timeout_shim_and_budget_setters_update_the_budget() {
+        let runner = CorpusRunner::new(SynthesisConfig::default()).timeout(Duration::from_secs(7));
+        assert_eq!(runner.cfg.budget.wall, Duration::from_secs(7));
+
+        let runner = CorpusRunner::new(SynthesisConfig::default())
+            .budget(Budget::default().with_wall(Duration::from_secs(9)))
+            .retries(2);
+        assert_eq!(runner.cfg.budget.wall, Duration::from_secs(9));
+        assert_eq!(runner.cfg.budget.retries, 2);
+    }
 }

@@ -29,7 +29,14 @@ impl TraceArgs {
     /// Parses `--trace <path>` from `std::env::args` and, when present,
     /// installs a fresh collector as the process sink.
     pub fn from_args() -> TraceArgs {
-        match crate::arg_value("--trace") {
+        TraceArgs::from_path(crate::cli::raw_value("--trace").as_deref())
+    }
+
+    /// A capture handle for an explicit path (`None` disables capture);
+    /// when enabled, installs a fresh collector as the process sink.
+    /// [`crate::Cli::trace`] calls this with its parsed `--trace` value.
+    pub(crate) fn from_path(path: Option<&str>) -> TraceArgs {
+        match path {
             Some(path) => {
                 let collector = Collector::new(TRACE_CAPACITY);
                 strsum_obs::install(collector.clone());

@@ -1,13 +1,21 @@
 //! Contract tests for [`strsum_bench::par_map`]: the experiment pipeline
 //! builds determinism on top of it, so output order must be input order
-//! for every thread count, and a worker panic must surface rather than
-//! silently truncate results.
+//! for every thread count, and a worker panic must be isolated to its
+//! item's slot rather than truncate the run or kill other items.
 
 use proptest::prelude::*;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use strsum_bench::{par_map, par_map_ordered};
+
+/// Unwraps a full-success result vector (most tests exercise non-panicking
+/// closures, where every slot is `Ok`).
+fn oks<R>(results: Vec<Result<R, String>>) -> Vec<R> {
+    results
+        .into_iter()
+        .map(|r| r.expect("no worker panicked"))
+        .collect()
+}
 
 proptest! {
     /// Output order is input order regardless of thread count, including
@@ -18,12 +26,12 @@ proptest! {
         items in proptest::collection::vec(0u64..1000, 0..40),
         threads in 1usize..=8,
     ) {
-        let out = par_map(&items, threads, |&x| {
+        let out = oks(par_map(&items, threads, |&x| {
             if x % 7 == 0 {
                 std::thread::sleep(std::time::Duration::from_micros(200));
             }
             x * 2 + 1
-        });
+        }));
         let expected: Vec<u64> = items.iter().map(|&x| x * 2 + 1).collect();
         prop_assert_eq!(out, expected);
     }
@@ -54,10 +62,10 @@ fn single_worker_claims_in_schedule_order() {
     let items: Vec<u32> = (0..6).collect();
     let order = [3usize, 5, 0, 1, 4, 2];
     let claimed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
-    let out = par_map_ordered(&items, 1, &order, |&x| {
+    let out = oks(par_map_ordered(&items, 1, &order, |&x| {
         claimed.lock().unwrap().push(x as usize);
         x
-    });
+    }));
     assert_eq!(out, items);
     assert_eq!(claimed.into_inner().unwrap(), order);
 }
@@ -73,32 +81,48 @@ fn short_schedule_is_rejected() {
 fn applies_f_exactly_once_per_item() {
     let items: Vec<usize> = (0..100).collect();
     let calls = AtomicUsize::new(0);
-    let out = par_map(&items, 4, |&i| {
+    let out = oks(par_map(&items, 4, |&i| {
         calls.fetch_add(1, Ordering::SeqCst);
         i
-    });
+    }));
     assert_eq!(out, items);
     assert_eq!(calls.load(Ordering::SeqCst), items.len());
 }
 
-/// Pins the panic behaviour: a panicking worker propagates out of
-/// `par_map` (via the scoped-thread join) instead of returning a
-/// truncated or reordered vector. The experiment harness relies on this —
-/// a swallowed panic would silently drop loops from a run. Note the
-/// payload is `std::thread::scope`'s generic one, not the worker's: the
-/// original message reaches stderr via the panic hook only.
+/// Pins the panic-isolation behaviour: a panicking item yields `Err` with
+/// the original payload message in *its own slot*, every other item still
+/// completes, and the vector keeps full length and order. The corpus
+/// runner relies on this — one poisoned loop becomes `Crashed`, never a
+/// lost run.
 #[test]
-fn worker_panic_propagates() {
+fn worker_panic_is_isolated_to_its_slot() {
     let items: Vec<u32> = (0..16).collect();
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        par_map(&items, 4, |&x| {
-            if x == 11 {
-                panic!("worker died on item {x}");
-            }
-            x
-        })
-    }));
-    let err = result.expect_err("panic must propagate");
-    let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
-    assert_eq!(msg, "a scoped thread panicked");
+    let results = par_map(&items, 4, |&x| {
+        if x == 11 {
+            panic!("worker died on item {x}");
+        }
+        x
+    });
+    assert_eq!(results.len(), items.len(), "no slot is lost");
+    for (i, r) in results.iter().enumerate() {
+        if i == 11 {
+            assert_eq!(r, &Err("worker died on item 11".to_string()));
+        } else {
+            assert_eq!(r, &Ok(i as u32), "other items complete in order");
+        }
+    }
+}
+
+/// Several panics in one run are each isolated — the worker that caught a
+/// panic moves on to its next item.
+#[test]
+fn multiple_panics_leave_other_items_intact() {
+    let items: Vec<u32> = (0..32).collect();
+    let results = par_map(&items, 2, |&x| {
+        assert!(x % 5 != 0, "planned failure");
+        x
+    });
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(r.is_err(), i % 5 == 0, "slot {i}");
+    }
 }

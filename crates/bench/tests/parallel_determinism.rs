@@ -33,10 +33,7 @@ fn parallel_run_matches_serial_run_byte_for_byte() {
     // oversubscribed run needs more wall clock to reach the same verdicts,
     // and every loop that finishes on both sides must still agree
     // byte-for-byte.
-    let cfg = |timeout: u64| SynthesisConfig {
-        timeout: Duration::from_secs(timeout),
-        ..Default::default()
-    };
+    let cfg = |timeout: u64| SynthesisConfig::with_timeout(Duration::from_secs(timeout));
     let serial = CorpusRunner::new(cfg(8))
         .threads(1)
         .intra_loop(1)

@@ -5,7 +5,7 @@
 
 use std::time::Duration;
 use strsum_bench::CorpusRunner;
-use strsum_core::{loop_fingerprint, verify_summary, SynthesisConfig};
+use strsum_core::{loop_fingerprint, verify_summary, LoopOutcome, SynthesisConfig};
 use strsum_corpus::{App, LoopEntry, SummaryCache};
 use strsum_gadgets::interp::{run_bytes, Outcome};
 
@@ -21,10 +21,7 @@ fn entry(id: &str, source: &str) -> LoopEntry {
 }
 
 fn cfg() -> SynthesisConfig {
-    SynthesisConfig {
-        timeout: Duration::from_secs(120),
-        ..Default::default()
-    }
+    SynthesisConfig::with_timeout(Duration::from_secs(120))
 }
 
 /// End-to-end poisoning: plant a wrong program under the loop's own
@@ -107,6 +104,12 @@ fn semantically_identical_loops_hit_the_cache() {
     assert!(!results[0].cache_hit, "representative is synthesised");
     assert!(results[1].cache_hit, "clone is a verified cache hit");
     assert!(!results[2].cache_hit, "different loop cannot hit the cache");
+    // The outcome taxonomy distinguishes fresh synthesis from reuse.
+    assert_eq!(results[0].outcome, LoopOutcome::Summarized);
+    assert_eq!(results[1].outcome, LoopOutcome::CacheHit);
+    assert_eq!(results[2].outcome, LoopOutcome::Summarized);
+    assert_eq!(report.outcomes.cache_hits, 1);
+    assert_eq!(report.outcomes.summarized, 2);
     assert!(
         results[1].stats.solver.verify.queries > 0,
         "the cache hit paid for bounded re-verification"

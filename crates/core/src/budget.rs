@@ -1,0 +1,326 @@
+//! The resource governor: one [`Budget`] for every limit in the stack, a
+//! re-exported [`CancelToken`], and the [`LoopOutcome`] taxonomy that every
+//! corpus loop resolves to.
+//!
+//! Before this module, budgets were scattered — a per-call conflict limit
+//! on `smt::Session`, a one-off `deadline` on `symex::Engine`, a loose
+//! timeout on the corpus runner — and exhaustion surfaced as a bare
+//! `Unknown` or a free-form failure string. A [`Budget`] names every cap in
+//! one place, travels through `SynthesisConfig` into the search/verify
+//! sessions and the bounded checker, and every exhaustion site reports the
+//! [`BudgetKind`] that tripped. The corpus layer maps those kinds (plus
+//! worker panics and cache hits) onto [`LoopOutcome`], so a corpus run
+//! always completes and says precisely what it could not do.
+
+use std::time::Duration;
+
+pub use strsum_smt::CancelToken;
+use strsum_smt::Interrupt;
+use strsum_symex::Exhaustion;
+
+/// Every resource limit the synthesis stack honours, in one place.
+///
+/// The default budget reproduces the stack's historical limits exactly
+/// (60 s wall clock, 200 000 SAT conflicts per search query, 100 000 symex
+/// paths, 1 000 000 symex steps per path), so a default-budget run is
+/// byte-identical to a pre-governor run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock budget for one synthesis attempt.
+    pub wall: Duration,
+    /// SAT conflict cap per candidate-search query.
+    pub solver_conflicts: u64,
+    /// Completed-path cap for bounded symbolic execution.
+    pub symex_paths: usize,
+    /// Per-path instruction cap for bounded symbolic execution.
+    pub symex_steps: u64,
+    /// Extra attempts the corpus retry lane grants a `BudgetExhausted`
+    /// loop (0 disables the lane).
+    pub retries: u32,
+    /// Multiplier applied to `wall` and `solver_conflicts` per retry
+    /// round.
+    pub escalation: u32,
+    /// When false, the wall-clock deadline is *not* armed inside the
+    /// solver/symex layers (only the CEGIS loop's between-iteration check
+    /// runs). This is the pre-governor behaviour; benchmarks use it to
+    /// measure governor overhead.
+    pub governed: bool,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget {
+            wall: Duration::from_secs(60),
+            solver_conflicts: 200_000,
+            symex_paths: 100_000,
+            symex_steps: 1_000_000,
+            retries: 0,
+            escalation: 2,
+            governed: true,
+        }
+    }
+}
+
+impl Budget {
+    /// The default budget.
+    pub fn new() -> Budget {
+        Budget::default()
+    }
+
+    /// Same budget with a different wall clock.
+    pub fn with_wall(mut self, wall: Duration) -> Budget {
+        self.wall = wall;
+        self
+    }
+
+    /// Same budget with a different search conflict cap.
+    pub fn with_solver_conflicts(mut self, conflicts: u64) -> Budget {
+        self.solver_conflicts = conflicts;
+        self
+    }
+
+    /// Same budget with a retry policy: `retries` extra rounds, each
+    /// multiplying wall clock and conflict cap by `escalation`.
+    pub fn with_retries(mut self, retries: u32, escalation: u32) -> Budget {
+        self.retries = retries;
+        self.escalation = escalation.max(1);
+        self
+    }
+
+    /// The budget granted on retry `round` (1-based): wall clock and
+    /// conflict cap scaled by `escalation^round`, saturating.
+    pub fn escalate(&self, round: u32) -> Budget {
+        let factor = u64::from(self.escalation.max(1)).saturating_pow(round);
+        let mut b = *self;
+        b.wall = self
+            .wall
+            .checked_mul(factor.min(u64::from(u32::MAX)) as u32)
+            .unwrap_or(Duration::MAX);
+        b.solver_conflicts = self.solver_conflicts.saturating_mul(factor);
+        b
+    }
+}
+
+/// Which [`Budget`] axis tripped at an exhaustion site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BudgetKind {
+    /// The wall-clock budget (deadline or cancellation).
+    Wall,
+    /// The SAT conflict cap.
+    SolverConflicts,
+    /// The symbolic-execution path cap.
+    SymexPaths,
+    /// The symbolic-execution per-path step cap.
+    SymexSteps,
+}
+
+impl BudgetKind {
+    /// Stable lowercase label used in reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BudgetKind::Wall => "wall",
+            BudgetKind::SolverConflicts => "solver_conflicts",
+            BudgetKind::SymexPaths => "symex_paths",
+            BudgetKind::SymexSteps => "symex_steps",
+        }
+    }
+
+    /// The budget axis behind a solver interrupt. An injected fault
+    /// reports as the conflict cap: to every consumer it is a solver that
+    /// gave up early.
+    pub fn from_interrupt(i: Interrupt) -> BudgetKind {
+        match i {
+            Interrupt::ConflictLimit | Interrupt::Injected => BudgetKind::SolverConflicts,
+            Interrupt::Deadline | Interrupt::Cancelled => BudgetKind::Wall,
+        }
+    }
+
+    /// The budget axis behind a symex exhaustion.
+    pub fn from_exhaustion(e: Exhaustion) -> BudgetKind {
+        match e {
+            Exhaustion::Paths => BudgetKind::SymexPaths,
+            Exhaustion::Deadline | Exhaustion::Cancelled => BudgetKind::Wall,
+        }
+    }
+}
+
+impl std::fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How one corpus loop resolved. Exhaustive: every loop in a
+/// `CorpusReport` carries exactly one of these, so a run always completes
+/// with a full accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoopOutcome {
+    /// A summary was synthesised and verified.
+    Summarized,
+    /// A verified summary was reused from the cross-loop cache.
+    CacheHit,
+    /// Synthesis concluded the loop has no summary in the vocabulary
+    /// (or it fails to compile / is not memoryless).
+    NotMemoryless,
+    /// A resource budget ran out before synthesis could conclude.
+    BudgetExhausted(BudgetKind),
+    /// The worker panicked; the payload message is preserved.
+    Crashed(String),
+    /// A summary was found and verified, but a budget ran out during
+    /// minimisation — the summary is sound but may not be minimal.
+    Degraded,
+}
+
+impl LoopOutcome {
+    /// Stable lowercase label used in reports and JSON (budget kinds fold
+    /// into one `budget_exhausted.*` family).
+    pub fn label(&self) -> &'static str {
+        match self {
+            LoopOutcome::Summarized => "summarized",
+            LoopOutcome::CacheHit => "cache_hit",
+            LoopOutcome::NotMemoryless => "not_memoryless",
+            LoopOutcome::BudgetExhausted(BudgetKind::Wall) => "budget_exhausted.wall",
+            LoopOutcome::BudgetExhausted(BudgetKind::SolverConflicts) => {
+                "budget_exhausted.solver_conflicts"
+            }
+            LoopOutcome::BudgetExhausted(BudgetKind::SymexPaths) => "budget_exhausted.symex_paths",
+            LoopOutcome::BudgetExhausted(BudgetKind::SymexSteps) => "budget_exhausted.symex_steps",
+            LoopOutcome::Crashed(_) => "crashed",
+            LoopOutcome::Degraded => "degraded",
+        }
+    }
+
+    /// Whether the retry lane should re-run this loop with an escalated
+    /// budget.
+    pub fn retryable(&self) -> bool {
+        matches!(self, LoopOutcome::BudgetExhausted(_))
+    }
+}
+
+impl std::fmt::Display for LoopOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoopOutcome::Crashed(msg) => write!(f, "crashed: {msg}"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+/// A structured synthesis-stopping error: the human-readable message the
+/// stack always produced, plus the budget axis when one tripped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stop {
+    /// Human-readable reason (the legacy failure string).
+    pub message: String,
+    /// The budget axis that tripped, when exhaustion caused the stop.
+    pub budget: Option<BudgetKind>,
+}
+
+impl Stop {
+    /// A stop that is not a budget exhaustion (e.g. malformed input).
+    pub fn other(message: impl Into<String>) -> Stop {
+        Stop {
+            message: message.into(),
+            budget: None,
+        }
+    }
+
+    /// A stop caused by exhausting `kind`.
+    pub fn exhausted(message: impl Into<String>, kind: BudgetKind) -> Stop {
+        Stop {
+            message: message.into(),
+            budget: Some(kind),
+        }
+    }
+}
+
+impl std::fmt::Display for Stop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl From<Stop> for String {
+    fn from(s: Stop) -> String {
+        s.message
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_matches_historical_limits() {
+        let b = Budget::default();
+        assert_eq!(b.wall, Duration::from_secs(60));
+        assert_eq!(b.solver_conflicts, 200_000);
+        assert_eq!(b.symex_paths, 100_000);
+        assert_eq!(b.symex_steps, 1_000_000);
+        assert_eq!(b.retries, 0);
+        assert!(b.governed);
+    }
+
+    #[test]
+    fn escalation_scales_wall_and_conflicts() {
+        let b = Budget::default().with_retries(2, 3);
+        let r1 = b.escalate(1);
+        assert_eq!(r1.wall, Duration::from_secs(180));
+        assert_eq!(r1.solver_conflicts, 600_000);
+        let r2 = b.escalate(2);
+        assert_eq!(r2.wall, Duration::from_secs(540));
+        assert_eq!(r2.solver_conflicts, 1_800_000);
+        // Escalation touches only wall + conflicts.
+        assert_eq!(r2.symex_paths, b.symex_paths);
+        assert_eq!(r2.symex_steps, b.symex_steps);
+    }
+
+    #[test]
+    fn escalation_saturates() {
+        let b = Budget::default()
+            .with_solver_conflicts(u64::MAX / 2)
+            .with_retries(4, u32::MAX);
+        let r = b.escalate(4);
+        assert_eq!(r.solver_conflicts, u64::MAX);
+    }
+
+    #[test]
+    fn interrupt_and_exhaustion_map_to_kinds() {
+        assert_eq!(
+            BudgetKind::from_interrupt(Interrupt::ConflictLimit),
+            BudgetKind::SolverConflicts
+        );
+        assert_eq!(
+            BudgetKind::from_interrupt(Interrupt::Injected),
+            BudgetKind::SolverConflicts
+        );
+        assert_eq!(
+            BudgetKind::from_interrupt(Interrupt::Deadline),
+            BudgetKind::Wall
+        );
+        assert_eq!(
+            BudgetKind::from_interrupt(Interrupt::Cancelled),
+            BudgetKind::Wall
+        );
+        assert_eq!(
+            BudgetKind::from_exhaustion(Exhaustion::Paths),
+            BudgetKind::SymexPaths
+        );
+        assert_eq!(
+            BudgetKind::from_exhaustion(Exhaustion::Deadline),
+            BudgetKind::Wall
+        );
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        assert_eq!(LoopOutcome::Summarized.label(), "summarized");
+        assert_eq!(
+            LoopOutcome::BudgetExhausted(BudgetKind::Wall).label(),
+            "budget_exhausted.wall"
+        );
+        assert_eq!(LoopOutcome::Crashed("boom".into()).label(), "crashed");
+        assert!(LoopOutcome::BudgetExhausted(BudgetKind::SolverConflicts).retryable());
+        assert!(!LoopOutcome::Degraded.retryable());
+    }
+}

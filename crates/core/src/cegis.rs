@@ -1,5 +1,6 @@
 //! Algorithm 2: counterexample-guided synthesis of loop summaries.
 
+use crate::budget::{Budget, BudgetKind};
 use crate::equivalence::{BoundedChecker, EquivalenceResult};
 use crate::oracle::LoopOracle;
 use crate::session::{SolverTelemetry, SynthSession};
@@ -17,15 +18,18 @@ pub struct SynthesisConfig {
     pub max_ex_size: usize,
     /// Gadget vocabulary to synthesise over.
     pub vocab: Vocab,
-    /// Wall-clock budget.
-    pub timeout: Duration,
+    /// Every resource limit of the attempt — wall clock, SAT conflicts
+    /// per search query, symex path/step caps, retry policy — in one
+    /// governor (see [`crate::budget::Budget`]).
+    pub budget: Budget,
     /// Whether the `\a`-style meta-characters may appear in arguments.
     pub use_meta_chars: bool,
     /// Counterexamples to seed the loop with (speeds up convergence).
     pub seed_examples: Vec<Option<Vec<u8>>>,
-    /// SAT conflict budget per candidate-search query; `Unknown` beyond it
-    /// counts as a failed attempt (keeps wall-clock near `timeout`).
-    pub solver_conflict_limit: u64,
+    /// Deterministic fault hook: forces the `n`th SAT query of this
+    /// attempt (counted across its search and verify sessions) to return
+    /// `Unknown`. Test harness only; `None` in production.
+    pub forced_unknown_at: Option<u64>,
     /// Keep one solver alive across CEGIS iterations (the default). When
     /// false, every query runs from scratch — the reference path used to
     /// validate that persistence never changes the synthesised program.
@@ -52,13 +56,24 @@ impl Default for SynthesisConfig {
             max_prog_size: 9,
             max_ex_size: 3,
             vocab: Vocab::full(),
-            timeout: Duration::from_secs(60),
+            budget: Budget::default(),
             use_meta_chars: true,
             seed_examples: vec![Some(b"".to_vec()), Some(b"ab".to_vec())],
-            solver_conflict_limit: 200_000,
+            forced_unknown_at: None,
             incremental: true,
             screen: true,
             intra_loop: 1,
+        }
+    }
+}
+
+impl SynthesisConfig {
+    /// Convenience: the default config with only the wall clock changed
+    /// (the most common adjustment across the experiment binaries).
+    pub fn with_timeout(timeout: Duration) -> SynthesisConfig {
+        SynthesisConfig {
+            budget: Budget::default().with_wall(timeout),
+            ..SynthesisConfig::default()
         }
     }
 }
@@ -74,6 +89,12 @@ pub struct SynthStats {
     pub elapsed: Duration,
     /// Why synthesis stopped, when it failed.
     pub failure: Option<String>,
+    /// The budget axis that tripped, when the failure was an exhaustion
+    /// (structured companion to the `failure` string).
+    pub exhausted: Option<BudgetKind>,
+    /// True when a summary was found and verified but a budget ran out
+    /// during minimisation: the program is sound but may not be minimal.
+    pub degraded: bool,
     /// Solver-effort counters (cumulative over the owning session).
     pub solver: SolverTelemetry,
     /// Concrete-screening counters (cumulative over the owning session;
@@ -98,11 +119,12 @@ pub struct SynthesisResult {
 pub fn synthesize(func: &strsum_ir::Func, cfg: &SynthesisConfig) -> SynthesisResult {
     let start = Instant::now();
     match SynthSession::new(func, cfg.clone()) {
-        Ok(mut session) => session.run_size(cfg.max_prog_size, cfg.timeout),
+        Ok(mut session) => session.run_size(cfg.max_prog_size, cfg.budget.wall),
         Err(e) => SynthesisResult {
             program: None,
             stats: SynthStats {
-                failure: Some(e),
+                failure: Some(e.message),
+                exhausted: e.budget,
                 elapsed: start.elapsed(),
                 ..SynthStats::default()
             },
@@ -250,10 +272,7 @@ mod tests {
     use strsum_gadgets::interp::{run_bytes, Outcome};
 
     fn quick_cfg() -> SynthesisConfig {
-        SynthesisConfig {
-            timeout: Duration::from_secs(120),
-            ..Default::default()
-        }
+        SynthesisConfig::with_timeout(Duration::from_secs(120))
     }
 
     #[test]
@@ -307,7 +326,7 @@ mod tests {
             .unwrap();
         let cfg = SynthesisConfig {
             vocab: Vocab::parse("EF").unwrap(),
-            timeout: Duration::from_secs(30),
+            budget: Budget::default().with_wall(Duration::from_secs(30)),
             ..Default::default()
         };
         let r = synthesize(&f, &cfg);

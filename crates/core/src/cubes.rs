@@ -34,7 +34,7 @@
 //! triggers where a serial run is itself at the mercy of its budget — the
 //! determinism audit already classifies those verdicts as timing races.
 
-use strsum_smt::{CheckResult, Lit, Session, SessionStats, TermId, TermPool};
+use strsum_smt::{CheckResult, Interrupt, Lit, Session, SessionStats, TermId, TermPool};
 
 /// Splits the byte range `[0, 255]` of the top gadget-selector variable
 /// into `k` disjoint, exhaustive, contiguous ranges `(lo, hi)`, ordered so
@@ -53,43 +53,47 @@ pub fn cube_ranges(k: usize) -> Vec<(u8, u8)> {
 
 /// Solves the candidate query partitioned into `k` cubes on `k` worker
 /// threads, merging with the deterministic winner rule described in the
-/// module docs. Returns the merged answer plus the summed solver effort of
+/// module docs. Returns the merged answer, the summed solver effort of
 /// every cube worker (the deltas the owning session folds into its
-/// telemetry).
+/// telemetry), and — on a merged `Unknown` — the interrupt that stopped
+/// the decisive cube.
 pub(crate) fn solve_partitioned(
     search: &Session,
     pool: &TermPool,
     act: Lit,
     prog_vars: &[TermId],
     k: usize,
-) -> (CheckResult, SessionStats) {
+) -> (CheckResult, SessionStats, Option<Interrupt>) {
     let ranges = cube_ranges(k);
     let selector = prog_vars[0];
     let mut span = strsum_obs::span("cegis.cubes", "cegis");
     span.arg_u64("cubes", ranges.len() as u64);
 
-    let outcomes: Vec<(CheckResult, SessionStats)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .enumerate()
-            .map(|(i, &(lo, hi))| {
-                scope.spawn(move || solve_cube(search, pool, act, prog_vars, selector, i, lo, hi))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("cube worker panicked"))
-            .collect()
-    });
+    let outcomes: Vec<(CheckResult, SessionStats, Option<Interrupt>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .enumerate()
+                .map(|(i, &(lo, hi))| {
+                    scope.spawn(move || {
+                        solve_cube(search, pool, act, prog_vars, selector, i, lo, hi)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("cube worker panicked"))
+                .collect()
+        });
 
     let mut effort = SessionStats::default();
-    for (_, e) in &outcomes {
+    for (_, e, _) in &outcomes {
         effort = effort.plus(e);
     }
     // Winner rule: walk cubes in index order; the first SAT cube wins, but
     // only if every cube before it answered UNSAT.
     let mut winner: Option<usize> = None;
-    for (i, (r, _)) in outcomes.iter().enumerate() {
+    for (i, (r, _, interrupt)) in outcomes.iter().enumerate() {
         match r {
             CheckResult::Sat(_) => {
                 winner = Some(i);
@@ -98,17 +102,17 @@ pub(crate) fn solve_partitioned(
             CheckResult::Unsat => continue,
             CheckResult::Unknown => {
                 span.arg_u64("unknown_cube", i as u64);
-                return (CheckResult::Unknown, effort);
+                return (CheckResult::Unknown, effort, *interrupt);
             }
         }
     }
     match winner {
         Some(i) => {
             span.arg_u64("winner", i as u64);
-            let (result, _) = outcomes.into_iter().nth(i).expect("winner index in range");
-            (result, effort)
+            let (result, _, _) = outcomes.into_iter().nth(i).expect("winner index in range");
+            (result, effort, None)
         }
-        None => (CheckResult::Unsat, effort),
+        None => (CheckResult::Unsat, effort, None),
     }
 }
 
@@ -124,7 +128,7 @@ fn solve_cube(
     index: usize,
     lo: u8,
     hi: u8,
-) -> (CheckResult, SessionStats) {
+) -> (CheckResult, SessionStats, Option<Interrupt>) {
     let mut span = strsum_obs::span("cegis.cube", "cegis");
     span.arg_u64("cube", index as u64);
     let mut pool = pool.clone();
@@ -150,7 +154,8 @@ fn solve_cube(
     };
     strsum_obs::counter(verdict, "cegis", 1);
     span.arg_u64("conflicts", effort.conflicts);
-    (result, effort)
+    let interrupt = worker.interrupt();
+    (result, effort, interrupt)
 }
 
 #[cfg(test)]

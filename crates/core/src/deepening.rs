@@ -52,7 +52,8 @@ pub fn synthesize_deepening(
     let mut session = match SynthSession::new(func, cfg.base.clone()) {
         Ok(s) => s,
         Err(e) => {
-            last.stats.failure = Some(e);
+            last.stats.failure = Some(e.message);
+            last.stats.exhausted = e.budget;
             last.stats.elapsed = start.elapsed();
             return (None, last);
         }
@@ -61,9 +62,10 @@ pub fn synthesize_deepening(
         let remaining = cfg.total_timeout.saturating_sub(start.elapsed());
         if remaining.is_zero() {
             last.stats.failure = Some("deepening budget exhausted".to_string());
+            last.stats.exhausted = Some(crate::budget::BudgetKind::Wall);
             break;
         }
-        let result = session.run_size(size, remaining.min(cfg.base.timeout));
+        let result = session.run_size(size, remaining.min(cfg.base.budget.wall));
         if result.program.is_some() {
             return (Some(size), result);
         }

@@ -6,6 +6,7 @@
 //! terms (the paper's `StartMerge`/`EndMerge`) and asking the solver whether
 //! they can ever differ (`IsAlwaysTrue(isEq)`).
 
+use crate::budget::{Budget, BudgetKind, CancelToken, Stop};
 use crate::oracle::{LoopOracle, OracleOutcome};
 use strsum_gadgets::symbolic::{outcomes_on_symbolic_string, INVALID_SENTINEL};
 use strsum_gadgets::{Outcome, Program};
@@ -48,14 +49,47 @@ impl BoundedChecker {
         func: &strsum_ir::Func,
         max_ex_size: usize,
     ) -> Result<BoundedChecker, String> {
+        let engine = Engine::new(pool);
+        BoundedChecker::from_engine(engine, func, max_ex_size).map_err(|e| e.message)
+    }
+
+    /// [`BoundedChecker::new`] under an explicit [`Budget`]: the symbolic
+    /// engine takes its path/step caps from the budget, and — when the
+    /// budget is governed — a wall-clock deadline and the cancellation
+    /// token. On exhaustion the error names the budget axis that tripped.
+    pub fn with_budget(
+        pool: &mut TermPool,
+        func: &strsum_ir::Func,
+        max_ex_size: usize,
+        budget: &Budget,
+        cancel: Option<CancelToken>,
+    ) -> Result<BoundedChecker, Stop> {
         let mut engine = Engine::new(pool);
-        let run = engine.run_on_symbolic_string(func, max_ex_size)?;
+        engine.max_paths = budget.symex_paths;
+        engine.step_limit = budget.symex_steps;
+        if budget.governed {
+            engine.deadline = Some(std::time::Instant::now() + budget.wall);
+            engine.cancel = cancel;
+        }
+        BoundedChecker::from_engine(engine, func, max_ex_size)
+    }
+
+    fn from_engine(
+        mut engine: Engine<'_>,
+        func: &strsum_ir::Func,
+        max_ex_size: usize,
+    ) -> Result<BoundedChecker, Stop> {
+        let run = engine
+            .run_on_symbolic_string(func, max_ex_size)
+            .map_err(Stop::other)?;
+        let pool = engine.pool();
         let canon = canonical_buffer_constraints(pool, &run.chars);
         if !run.complete {
-            return Err(format!(
-                "symbolic execution of {} exceeded budgets",
-                func.name
-            ));
+            let message = format!("symbolic execution of {} exceeded budgets", func.name);
+            return Err(match run.exhaustion {
+                Some(e) => Stop::exhausted(message, BudgetKind::from_exhaustion(e)),
+                None => Stop::exhausted(message, BudgetKind::SymexSteps),
+            });
         }
         let inv = pool.bv_const(INVALID_SENTINEL, 64);
         let mut orig_term = inv;

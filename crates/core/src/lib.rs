@@ -34,6 +34,7 @@
 //! assert_eq!(run_bytes(&prog.encode(), Some(b"word")), Outcome::Ptr(0));
 //! ```
 
+pub mod budget;
 pub mod cegis;
 pub mod cubes;
 pub mod deepening;
@@ -45,6 +46,7 @@ pub mod session;
 pub mod theory;
 pub mod vocab;
 
+pub use budget::{Budget, BudgetKind, CancelToken, LoopOutcome, Stop};
 pub use cegis::{
     minimize, minimize_screened, minimize_with, synthesize, SynthStats, SynthesisConfig,
     SynthesisResult,

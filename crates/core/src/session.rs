@@ -26,6 +26,7 @@
 //! [`SynthesisConfig`]) synthesise byte-identical programs and report
 //! identical UNSAT verdicts, differing only in solver effort.
 
+use crate::budget::{BudgetKind, CancelToken, Stop};
 use crate::cegis::{
     decode_prefix, fresh_distinguishing_input, minimize_screened, minimize_with, SynthStats,
     SynthesisConfig, SynthesisResult,
@@ -37,7 +38,9 @@ use std::time::{Duration, Instant};
 use strsum_gadgets::interp::run_bytes;
 use strsum_gadgets::symbolic::outcome_term_symbolic_prog_vocab;
 use strsum_gadgets::Program;
-use strsum_smt::{CheckResult, Lit, Session, SessionStats, TermId, TermPool};
+use strsum_smt::{
+    CheckResult, FaultInjector, Interrupt, Lit, Session, SessionStats, TermId, TermPool,
+};
 
 /// Solver-effort counters for one synthesis attempt, split by role.
 ///
@@ -93,6 +96,21 @@ pub struct SynthSession<'f> {
     /// sessions never report back into `search`, so their deltas are summed
     /// here and folded into [`SynthSession::telemetry`].
     cube_effort: SessionStats,
+    /// The attempt's cancellation flag; handed to every solver and to the
+    /// symbolic engine, and exposed via [`SynthSession::cancel_token`].
+    cancel: CancelToken,
+    /// Shared fault injector (`cfg.forced_unknown_at`); clones share one
+    /// query counter across search, verify and from-scratch sessions.
+    fault: Option<FaultInjector>,
+    /// The wall-clock deadline of the current `run_size` call, armed on
+    /// the persistent sessions and replicated onto throwaway ones.
+    deadline: Option<Instant>,
+    /// Why the verify side last answered `Unknown` (throwaway sessions
+    /// are dropped inside `check_prog`, so the reason is latched here).
+    verify_interrupt: Option<Interrupt>,
+    /// `Unknown` verify verdicts seen so far; minimisation snapshots this
+    /// to detect budget-degraded (sound but possibly non-minimal) output.
+    verify_unknowns: u64,
 }
 
 impl<'f> SynthSession<'f> {
@@ -101,14 +119,20 @@ impl<'f> SynthSession<'f> {
     ///
     /// # Errors
     ///
-    /// Returns a message when symbolic execution cannot fully explore the
-    /// loop (budget exhaustion, wrong signature).
-    pub fn new(
-        func: &'f strsum_ir::Func,
-        cfg: SynthesisConfig,
-    ) -> Result<SynthSession<'f>, String> {
+    /// Returns a [`Stop`] when symbolic execution cannot fully explore the
+    /// loop (budget exhaustion, wrong signature); on exhaustion it names
+    /// the budget axis that tripped.
+    pub fn new(func: &'f strsum_ir::Func, cfg: SynthesisConfig) -> Result<SynthSession<'f>, Stop> {
         let mut pool = TermPool::new();
-        let checker = BoundedChecker::new(&mut pool, func, cfg.max_ex_size)?;
+        let cancel = CancelToken::new();
+        let fault = cfg.forced_unknown_at.map(FaultInjector::new);
+        let checker = BoundedChecker::with_budget(
+            &mut pool,
+            func,
+            cfg.max_ex_size,
+            &cfg.budget,
+            Some(cancel.clone()),
+        )?;
         let mut oracle = LoopOracle::new(func);
         let screen = cfg
             .screen
@@ -123,10 +147,18 @@ impl<'f> SynthSession<'f> {
                 counterexamples.push(None);
             }
         }
-        let mut search = Session::with_conflict_limit(cfg.solver_conflict_limit);
+        let mut search = Session::with_conflict_limit(cfg.budget.solver_conflicts);
         search.set_role("search");
         let mut verify = Session::new();
         verify.set_role("verify");
+        if cfg.budget.governed {
+            search.set_cancel(Some(cancel.clone()));
+            verify.set_cancel(Some(cancel.clone()));
+        }
+        if fault.is_some() {
+            search.set_fault(fault.clone());
+            verify.set_fault(fault.clone());
+        }
         Ok(SynthSession {
             func,
             cfg,
@@ -141,12 +173,24 @@ impl<'f> SynthSession<'f> {
             scratch_search: SessionStats::default(),
             scratch_verify: SessionStats::default(),
             cube_effort: SessionStats::default(),
+            cancel,
+            fault,
+            deadline: None,
+            verify_interrupt: None,
+            verify_unknowns: 0,
         })
     }
 
     /// The counterexamples accumulated so far (seeds included).
     pub fn counterexamples(&self) -> &[Option<Vec<u8>>] {
         &self.counterexamples
+    }
+
+    /// A clone of the attempt's cancellation token. Cancelling it stops
+    /// the search and verify solvers (cube forks included) and the next
+    /// between-iteration check mid-run.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// The function being summarised.
@@ -162,6 +206,13 @@ impl<'f> SynthSession<'f> {
     /// retired when the call returns.
     pub fn run_size(&mut self, size: usize, timeout: Duration) -> SynthesisResult {
         let start = Instant::now();
+        // Arm the governor: a governed budget enforces the wall clock
+        // *inside* the solvers (and their forks), not just between CEGIS
+        // iterations. Ungoverned runs keep the historical
+        // between-iteration check only.
+        self.deadline = self.cfg.budget.governed.then(|| start + timeout);
+        self.search.set_deadline(self.deadline);
+        self.verify.set_deadline(self.deadline);
         let mut size_span = strsum_obs::span("cegis.run_size", "cegis");
         size_span.arg_u64("size", size as u64);
         let mut stats = SynthStats::default();
@@ -196,9 +247,12 @@ impl<'f> SynthSession<'f> {
         }
         let mut encoded = 0usize;
 
-        let outcome = loop {
+        let outcome: Result<(Program, bool), Stop> = loop {
             if start.elapsed() >= timeout {
-                break Err("timeout".to_string());
+                break Err(Stop::exhausted("timeout", BudgetKind::Wall));
+            }
+            if self.cancel.is_cancelled() {
+                break Err(Stop::exhausted("timeout", BudgetKind::Wall));
             }
             stats.iterations += 1;
             // One span per CEGIS iteration; the phase spans below (encode →
@@ -231,18 +285,23 @@ impl<'f> SynthSession<'f> {
 
             // Concretise the canonical candidate (lines 7–8).
             let search_span = strsum_obs::span("cegis.search", "cegis");
-            let solved = self.solve_candidate(act, &constraints, &prog_vars);
+            let (solved, interrupt) = self.solve_candidate(act, &constraints, &prog_vars);
             drop(search_span);
             let model = match solved {
                 CheckResult::Sat(m) => m,
                 CheckResult::Unsat => {
-                    break Err(format!(
+                    break Err(Stop::other(format!(
                         "no program of size ≤ {size} in vocabulary {} matches the examples",
                         self.cfg.vocab
-                    ));
+                    )));
                 }
                 CheckResult::Unknown => {
-                    break Err("solver gave up on candidate search".to_string());
+                    break Err(Stop::exhausted(
+                        "solver gave up on candidate search",
+                        interrupt
+                            .map(BudgetKind::from_interrupt)
+                            .unwrap_or(BudgetKind::SolverConflicts),
+                    ));
                 }
             };
             let bytes: Vec<u8> = prog_vars
@@ -258,10 +317,10 @@ impl<'f> SynthSession<'f> {
             let screen_span = strsum_obs::span("cegis.screen", "cegis");
             if screen.is_some() {
                 if let Some(cex) = self.bank_disagreement(&bytes) {
-                    break Err(format!(
+                    break Err(Stop::other(format!(
                         "screen/solver disagreement: candidate {bytes:?} violates \
                          already-encoded counterexample {cex:?}"
-                    ));
+                    )));
                 }
             }
             if let Some(s) = screen.as_mut() {
@@ -272,10 +331,10 @@ impl<'f> SynthSession<'f> {
                             // The class's blocking constraint is already in
                             // the session; the solver must not have been
                             // able to produce this candidate.
-                            break Err(format!(
+                            break Err(Stop::other(format!(
                                 "screen/solver disagreement: candidate {bytes:?} re-explores \
                                  an OE class blocked by counterexample {refuter:?}"
-                            ));
+                            )));
                         }
                         // Promote the class's refuter: once encoded (top of
                         // the next iteration) it blocks the entire OE class
@@ -306,21 +365,32 @@ impl<'f> SynthSession<'f> {
                         }
                         EquivalenceResult::Counterexample(cex) => {
                             if self.counterexamples.contains(&cex) {
-                                break Err(format!(
+                                break Err(Stop::other(format!(
                                     "duplicate counterexample {cex:?} (soundness bug?)"
-                                ));
+                                )));
                             }
                             if screen.is_some() && !self.cex_distinguishes(&prog, &cex) {
-                                break Err(format!(
+                                break Err(Stop::other(format!(
                                     "screen/solver disagreement: verifier counterexample {cex:?} \
                                  does not concretely distinguish candidate {:?}",
                                     prog.encode()
-                                ));
+                                )));
                             }
                             self.counterexamples.push(cex);
                             self.block_candidate(act, &mut constraints, &prog_vars, &bytes);
                         }
-                        EquivalenceResult::Unknown(e) => break Err(e),
+                        EquivalenceResult::Unknown(e) => {
+                            // The verify session runs without a conflict
+                            // cap, so an `Unknown` here is the governor
+                            // (deadline/cancellation) or an injected
+                            // fault; the latched interrupt says which.
+                            break Err(Stop::exhausted(
+                                e,
+                                self.verify_interrupt
+                                    .map(BudgetKind::from_interrupt)
+                                    .unwrap_or(BudgetKind::Wall),
+                            ));
+                        }
                     }
                 }
                 _ => {
@@ -338,9 +408,9 @@ impl<'f> SynthSession<'f> {
                             self.block_candidate(act, &mut constraints, &prog_vars, &bytes);
                         }
                         None => {
-                            break Err(format!(
+                            break Err(Stop::other(format!(
                                 "malformed candidate {bytes:?} with no distinguishing input"
-                            ));
+                            )));
                         }
                     }
                 }
@@ -360,12 +430,16 @@ impl<'f> SynthSession<'f> {
         size_span.arg_u64("iterations", stats.iterations as u64);
         size_span.arg_u64("synthesised", u64::from(outcome.is_ok()));
         match outcome {
-            Ok(program) => SynthesisResult {
-                program: Some(program),
-                stats,
-            },
-            Err(failure) => {
-                stats.failure = Some(failure);
+            Ok((program, degraded)) => {
+                stats.degraded = degraded;
+                SynthesisResult {
+                    program: Some(program),
+                    stats,
+                }
+            }
+            Err(stop) => {
+                stats.failure = Some(stop.message);
+                stats.exhausted = stop.budget;
                 SynthesisResult {
                     program: None,
                     stats,
@@ -400,8 +474,19 @@ impl<'f> SynthSession<'f> {
     /// each shrink candidate is first run against the counterexample bank
     /// and the grid (concrete, no solver work) and only survivors pay for
     /// a SAT equivalence check.
-    fn minimize_prog(&mut self, prog: &Program, screen: Option<&mut ConcreteScreen>) -> Program {
-        match screen {
+    ///
+    /// Returns the minimised program and whether minimisation was
+    /// *degraded*: an `Unknown` verify verdict during minimisation means
+    /// a shrink candidate could not be decided (budget ran out), was
+    /// conservatively kept, and the — still sound, fully verified —
+    /// summary may not be minimal.
+    fn minimize_prog(
+        &mut self,
+        prog: &Program,
+        screen: Option<&mut ConcreteScreen>,
+    ) -> (Program, bool) {
+        let unknowns_before = self.verify_unknowns;
+        let minimized = match screen {
             Some(s) => {
                 let mut bank: Vec<(Option<Vec<u8>>, OracleOutcome)> = Vec::new();
                 for cex in &self.counterexamples {
@@ -425,7 +510,8 @@ impl<'f> SynthSession<'f> {
             None => minimize_with(prog, |p| {
                 self.check_prog(p) == EquivalenceResult::Equivalent
             }),
-        }
+        };
+        (minimized, self.verify_unknowns > unknowns_before)
     }
 
     /// Asserts `c` into the search space: guarded by the size's activation
@@ -458,16 +544,17 @@ impl<'f> SynthSession<'f> {
     }
 
     /// One candidate-search query, canonicalised so the answer depends only
-    /// on the constraint set, never on solver history.
+    /// on the constraint set, never on solver history. On `Unknown` the
+    /// second element says which interrupt stopped the solver.
     fn solve_candidate(
         &mut self,
         act: Option<Lit>,
         constraints: &[TermId],
         prog_vars: &[TermId],
-    ) -> CheckResult {
+    ) -> (CheckResult, Option<Interrupt>) {
         match act {
             Some(a) if self.cfg.intra_loop > 1 => {
-                let (r, effort) = crate::cubes::solve_partitioned(
+                let (r, effort, interrupt) = crate::cubes::solve_partitioned(
                     &self.search,
                     &self.pool,
                     a,
@@ -475,18 +562,28 @@ impl<'f> SynthSession<'f> {
                     self.cfg.intra_loop,
                 );
                 self.cube_effort = self.cube_effort.plus(&effort);
-                r
+                (r, interrupt)
             }
-            Some(a) => self.search.canonical_check(&mut self.pool, &[a], prog_vars),
+            Some(a) => {
+                let r = self.search.canonical_check(&mut self.pool, &[a], prog_vars);
+                let i = self.search.interrupt();
+                (r, i)
+            }
             None => {
-                let mut solo = Session::with_conflict_limit(self.cfg.solver_conflict_limit);
+                let mut solo = Session::with_conflict_limit(self.cfg.budget.solver_conflicts);
                 solo.set_role("search");
+                solo.set_deadline(self.deadline);
+                if self.cfg.budget.governed {
+                    solo.set_cancel(Some(self.cancel.clone()));
+                }
+                solo.set_fault(self.fault.clone());
                 for &c in constraints {
                     solo.assert_term(&mut self.pool, c);
                 }
                 let r = solo.canonical_check(&mut self.pool, &[], prog_vars);
+                let i = solo.interrupt();
                 self.scratch_search = self.scratch_search.plus(&solo.stats());
-                r
+                (r, i)
             }
         }
     }
@@ -494,22 +591,36 @@ impl<'f> SynthSession<'f> {
     /// Bounded equivalence of one candidate against the loop, through the
     /// persistent verify session (or a throwaway one when from-scratch).
     fn check_prog(&mut self, prog: &Program) -> EquivalenceResult {
-        if self.cfg.incremental {
+        let (r, interrupt) = if self.cfg.incremental {
             if !self.verify_prepared {
                 self.checker
                     .assert_canonical(&mut self.pool, &mut self.verify);
                 self.verify_prepared = true;
             }
-            self.checker
-                .check_in(&mut self.pool, &mut self.verify, prog)
+            let r = self
+                .checker
+                .check_in(&mut self.pool, &mut self.verify, prog);
+            let i = self.verify.interrupt();
+            (r, i)
         } else {
             let mut solo = Session::new();
             solo.set_role("verify");
+            solo.set_deadline(self.deadline);
+            if self.cfg.budget.governed {
+                solo.set_cancel(Some(self.cancel.clone()));
+            }
+            solo.set_fault(self.fault.clone());
             self.checker.assert_canonical(&mut self.pool, &mut solo);
             let r = self.checker.check_in(&mut self.pool, &mut solo, prog);
+            let i = solo.interrupt();
             self.scratch_verify = self.scratch_verify.plus(&solo.stats());
-            r
+            (r, i)
+        };
+        if matches!(r, EquivalenceResult::Unknown(_)) {
+            self.verify_interrupt = interrupt;
+            self.verify_unknowns += 1;
         }
+        r
     }
 
     /// Cumulative solver telemetry for this session.
@@ -536,9 +647,8 @@ mod tests {
 
     fn cfg(incremental: bool) -> SynthesisConfig {
         SynthesisConfig {
-            timeout: Duration::from_secs(120),
             incremental,
-            ..Default::default()
+            ..SynthesisConfig::with_timeout(Duration::from_secs(120))
         }
     }
 

@@ -34,9 +34,8 @@ fn incremental_matches_from_scratch_on_corpus_loops() {
             synthesize(
                 &func,
                 &SynthesisConfig {
-                    timeout: per_loop,
                     incremental,
-                    ..Default::default()
+                    ..SynthesisConfig::with_timeout(per_loop)
                 },
             )
         };

@@ -155,6 +155,7 @@ pub fn fingerprint_hash(fingerprint: &[u64]) -> u64 {
 #[derive(Debug, Clone, Default)]
 pub struct CostBook {
     entries: std::collections::BTreeMap<u64, CostStat>,
+    dropped: usize,
 }
 
 impl CostBook {
@@ -164,16 +165,26 @@ impl CostBook {
     }
 
     /// Parses a book from its on-disk text form, skipping malformed lines.
+    ///
+    /// Tolerance is deliberate (the book is a hint, not a correctness
+    /// input), but drops are no longer silent: the count is kept on the
+    /// book ([`CostBook::dropped`]), emitted as the
+    /// `strsum_obs::names::COSTBOOK_DROPPED` counter, and warned about
+    /// once per load — a half-garbled book degrades dispatch order, and
+    /// that deserves a trace.
     pub fn parse(text: &str) -> Self {
         let mut entries = std::collections::BTreeMap::new();
+        let mut dropped = 0usize;
         for line in text.lines() {
             let mut parts = line.split('\t');
             let (Some(k), Some(c), Some(w)) = (parts.next(), parts.next(), parts.next()) else {
+                dropped += 1;
                 continue;
             };
             let (Ok(k), Ok(conflicts), Ok(wall_micros)) =
                 (k.parse::<u64>(), c.parse::<u64>(), w.parse::<u64>())
             else {
+                dropped += 1;
                 continue;
             };
             entries.insert(
@@ -184,7 +195,24 @@ impl CostBook {
                 },
             );
         }
-        CostBook { entries }
+        if dropped > 0 {
+            strsum_obs::counter(
+                strsum_obs::names::COSTBOOK_DROPPED,
+                "corpus",
+                dropped as u64,
+            );
+            eprintln!(
+                "warning: cost book: skipped {dropped} malformed line{} \
+                 (dispatch order may be degraded)",
+                if dropped == 1 { "" } else { "s" }
+            );
+        }
+        CostBook { entries, dropped }
+    }
+
+    /// Malformed lines skipped by the parse that produced this book.
+    pub fn dropped(&self) -> usize {
+        self.dropped
     }
 
     /// The on-disk text form: one sorted `hash<TAB>conflicts<TAB>
@@ -280,6 +308,8 @@ mod tests {
         let book = CostBook::parse(text);
         // "9" has a valid 3-field prefix; "5" is short and "8" non-numeric.
         assert_eq!(book.len(), 2);
+        assert_eq!(book.dropped(), 3, "every skipped line is counted");
+        assert_eq!(CostBook::parse(book.dump().as_str()).dropped(), 0);
         assert_eq!(
             book.get(9),
             Some(CostStat {

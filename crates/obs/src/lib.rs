@@ -47,6 +47,7 @@
 
 pub mod collect;
 pub mod json;
+pub mod names;
 pub mod trace;
 
 pub use collect::{Aggregate, Collector, PhaseRow};

@@ -1,0 +1,30 @@
+//! Canonical probe names for the governor and degradation layer.
+//!
+//! Counters shared between crates live here so emitters and report
+//! builders agree on spelling — a typo'd counter silently aggregates into
+//! a separate row, which is exactly the failure mode a names module
+//! prevents.
+
+/// One loop resolved to `LoopOutcome::Summarized`.
+pub const OUTCOME_SUMMARIZED: &str = "outcome.summarized";
+/// One loop resolved to `LoopOutcome::CacheHit`.
+pub const OUTCOME_CACHE_HIT: &str = "outcome.cache_hit";
+/// One loop resolved to `LoopOutcome::NotMemoryless`.
+pub const OUTCOME_NOT_MEMORYLESS: &str = "outcome.not_memoryless";
+/// One loop resolved to `LoopOutcome::BudgetExhausted(_)`.
+pub const OUTCOME_BUDGET_EXHAUSTED: &str = "outcome.budget_exhausted";
+/// One loop resolved to `LoopOutcome::Crashed(_)`.
+pub const OUTCOME_CRASHED: &str = "outcome.crashed";
+/// One loop resolved to `LoopOutcome::Degraded`.
+pub const OUTCOME_DEGRADED: &str = "outcome.degraded";
+
+/// A planned fault was injected into a corpus worker.
+pub const FAULT_INJECTED: &str = "fault.injected";
+/// The retry lane re-ran one budget-exhausted loop.
+pub const RETRY_ATTEMPT: &str = "retry.attempt";
+/// A retry produced a summary where the first attempt exhausted its
+/// budget.
+pub const RETRY_RECOVERED: &str = "retry.recovered";
+
+/// Malformed lines dropped by one `CostBook` load.
+pub const COSTBOOK_DROPPED: &str = "costbook.dropped";

@@ -48,6 +48,7 @@
 //! ```
 
 pub mod bitblast;
+pub mod cancel;
 pub mod eval;
 pub mod model;
 pub mod sat;
@@ -56,6 +57,7 @@ pub mod strings;
 pub mod term;
 
 pub use bitblast::Blaster;
+pub use cancel::{CancelToken, FaultInjector, Interrupt};
 pub use eval::{eval_bool, eval_bv};
 pub use model::Model;
 pub use sat::{Lit, SatResult, Solver as SatSolver};
@@ -103,6 +105,10 @@ impl CheckResult {
 pub struct Solver {
     /// Optional cap on SAT conflicts before giving up with `Unknown`.
     pub conflict_limit: Option<u64>,
+    /// Optional cooperative cancellation token polled mid-solve.
+    pub cancel: Option<CancelToken>,
+    /// Optional wall-clock deadline enforced mid-solve.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Solver {
@@ -115,6 +121,7 @@ impl Solver {
     pub fn with_conflict_limit(conflicts: u64) -> Self {
         Self {
             conflict_limit: Some(conflicts),
+            ..Self::default()
         }
     }
 
@@ -139,6 +146,12 @@ impl Solver {
         let mut session = Session::new();
         if let Some(limit) = self.conflict_limit {
             session.set_conflict_limit(limit);
+        }
+        if self.cancel.is_some() {
+            session.set_cancel(self.cancel.clone());
+        }
+        if self.deadline.is_some() {
+            session.set_deadline(self.deadline);
         }
         for a in pending {
             session.assert_term(pool, a);

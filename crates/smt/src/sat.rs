@@ -13,6 +13,9 @@
 //! every learned clause stays relevant to the next one.
 
 use std::fmt;
+use std::time::Instant;
+
+use crate::cancel::{CancelToken, FaultInjector, Interrupt};
 
 /// A propositional variable, numbered from 0.
 pub type Var = u32;
@@ -207,7 +210,16 @@ pub struct Solver {
     propagations: u64,
     learnts: u64,
     queries: u64,
+    cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
+    fault: Option<FaultInjector>,
+    interrupt: Option<Interrupt>,
 }
+
+/// How many conflicts pass between deadline/cancellation polls. A stride
+/// keeps the governor off the hot path: one `Instant::now()` and one atomic
+/// load per 128 conflicts is unmeasurable next to clause propagation.
+const GOVERNOR_STRIDE: u64 = 128;
 
 impl Solver {
     /// Creates an empty solver.
@@ -223,6 +235,50 @@ impl Solver {
     /// Caps the number of conflicts before `solve` returns `Unknown`.
     pub fn set_conflict_limit(&mut self, limit: u64) {
         self.conflict_limit = limit;
+    }
+
+    /// Installs a cooperative cancellation token polled during `solve`.
+    pub fn set_cancel(&mut self, cancel: Option<CancelToken>) {
+        self.cancel = cancel;
+    }
+
+    /// Installs a wall-clock deadline checked during `solve`.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Installs a deterministic fault injector; the query on which it
+    /// fires returns `Unknown` with [`Interrupt::Injected`].
+    pub fn set_fault(&mut self, fault: Option<FaultInjector>) {
+        self.fault = fault;
+    }
+
+    /// Why the most recent `solve` returned `Unknown` (`None` after
+    /// `Sat`/`Unsat`).
+    pub fn interrupt(&self) -> Option<Interrupt> {
+        self.interrupt
+    }
+
+    /// `Unknown` exit: backtrack to the root and record the reason.
+    fn give_up(&mut self, why: Interrupt) -> SatResult {
+        self.backtrack_to(0);
+        self.interrupt = Some(why);
+        SatResult::Unknown
+    }
+
+    /// Whether the deadline has passed or the token was cancelled.
+    fn governor_tripped(&self) -> Option<Interrupt> {
+        if let Some(c) = &self.cancel {
+            if c.is_cancelled() {
+                return Some(Interrupt::Cancelled);
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Some(Interrupt::Deadline);
+            }
+        }
+        None
     }
 
     /// Number of variables allocated so far.
@@ -499,8 +555,17 @@ impl Solver {
     /// if an assumption conflicts, the result is `Unsat` (no core extraction).
     pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
         self.queries += 1;
+        self.interrupt = None;
+        if let Some(f) = &self.fault {
+            if f.fires() {
+                return self.give_up(Interrupt::Injected);
+            }
+        }
         if !self.ok {
             return SatResult::Unsat;
+        }
+        if let Some(why) = self.governor_tripped() {
+            return self.give_up(why);
         }
         self.backtrack_to(0);
         if self.propagate().is_some() {
@@ -522,8 +587,12 @@ impl Solver {
                     return SatResult::Unsat;
                 }
                 if self.conflicts - start_conflicts >= self.conflict_limit {
-                    self.backtrack_to(0);
-                    return SatResult::Unknown;
+                    return self.give_up(Interrupt::ConflictLimit);
+                }
+                if self.conflicts.is_multiple_of(GOVERNOR_STRIDE) {
+                    if let Some(why) = self.governor_tripped() {
+                        return self.give_up(why);
+                    }
                 }
                 let (learnt, bt_level) = self.analyze(confl);
                 self.learnts += 1;

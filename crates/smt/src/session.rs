@@ -177,6 +177,29 @@ impl Session {
         self.sat.set_conflict_limit(conflicts);
     }
 
+    /// Installs a cooperative cancellation token polled mid-solve.
+    /// Forked sessions inherit the token (clones share one flag).
+    pub fn set_cancel(&mut self, cancel: Option<crate::CancelToken>) {
+        self.sat.set_cancel(cancel);
+    }
+
+    /// Installs a wall-clock deadline enforced mid-solve.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.sat.set_deadline(deadline);
+    }
+
+    /// Installs a deterministic fault injector (see
+    /// [`crate::FaultInjector`]); forked sessions share its counter.
+    pub fn set_fault(&mut self, fault: Option<crate::FaultInjector>) {
+        self.sat.set_fault(fault);
+    }
+
+    /// Why the most recent check returned [`CheckResult::Unknown`]
+    /// (`None` after `Sat`/`Unsat`).
+    pub fn interrupt(&self) -> Option<crate::Interrupt> {
+        self.sat.interrupt()
+    }
+
     /// Encodes a boolean term to its literal without asserting it. Use the
     /// result as an assumption in [`Session::check`].
     pub fn lit(&mut self, pool: &mut TermPool, t: TermId) -> Lit {

@@ -4,7 +4,7 @@ use crate::memory::SymMemory;
 use crate::value::SymVal;
 use std::time::{Duration, Instant};
 use strsum_ir::{BinOp, BlockId, Builtin, CastKind, CmpOp, Func, Instr, Operand, Terminator, Ty};
-use strsum_smt::{Solver, Sort, TermId, TermPool};
+use strsum_smt::{CancelToken, Solver, Sort, TermId, TermPool};
 
 /// How a path ended.
 #[derive(Debug, Clone)]
@@ -37,6 +37,17 @@ pub struct RunStats {
     pub forks: u64,
 }
 
+/// Which budget interrupted an incomplete symbolic run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exhaustion {
+    /// The completed-path cap ([`Engine::max_paths`]) was reached.
+    Paths,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The [`CancelToken`] was cancelled.
+    Cancelled,
+}
+
 /// The result of symbolically executing a function.
 #[derive(Debug, Clone)]
 pub struct SymbolicRun {
@@ -50,6 +61,8 @@ pub struct SymbolicRun {
     pub chars: Vec<TermId>,
     /// False when a budget (paths, steps, deadline) interrupted exploration.
     pub complete: bool,
+    /// Which budget interrupted exploration (`None` when `complete`).
+    pub exhaustion: Option<Exhaustion>,
 }
 
 #[derive(Debug, Clone)]
@@ -74,6 +87,8 @@ pub struct Engine<'p> {
     pub step_limit: u64,
     /// Optional wall-clock deadline for the whole run.
     pub deadline: Option<Instant>,
+    /// Optional cooperative cancellation token checked per explored state.
+    pub cancel: Option<CancelToken>,
 }
 
 impl<'p> Engine<'p> {
@@ -85,6 +100,7 @@ impl<'p> Engine<'p> {
             max_paths: 100_000,
             step_limit: 1_000_000,
             deadline: None,
+            cancel: None,
         }
     }
 
@@ -128,6 +144,7 @@ impl<'p> Engine<'p> {
         let mut paths = Vec::new();
         let mut stats = RunStats::default();
         let mut complete = true;
+        let mut exhaustion = None;
         let initial = State {
             block: func.entry(),
             prev: None,
@@ -140,11 +157,20 @@ impl<'p> Engine<'p> {
         while let Some(state) = stack.pop() {
             if paths.len() >= self.max_paths {
                 complete = false;
+                exhaustion = Some(Exhaustion::Paths);
                 break;
+            }
+            if let Some(c) = &self.cancel {
+                if c.is_cancelled() {
+                    complete = false;
+                    exhaustion = Some(Exhaustion::Cancelled);
+                    break;
+                }
             }
             if let Some(d) = self.deadline {
                 if Instant::now() >= d {
                     complete = false;
+                    exhaustion = Some(Exhaustion::Deadline);
                     break;
                 }
             }
@@ -166,6 +192,7 @@ impl<'p> Engine<'p> {
             input_obj: u32::MAX,
             chars: vec![],
             complete,
+            exhaustion,
         }
     }
 
@@ -795,5 +822,10 @@ mod tests {
         eng.max_paths = 1;
         let run = eng.run_on_symbolic_string(&f, 5).unwrap();
         assert!(!run.complete);
+        assert_eq!(
+            run.exhaustion,
+            Some(Exhaustion::Paths),
+            "an incomplete run names the budget axis that tripped"
+        );
     }
 }

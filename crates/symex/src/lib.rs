@@ -40,7 +40,7 @@ pub mod session;
 pub mod value;
 
 pub use concrete::{bounded_strings, concrete_outcome, loop_signature, UNSAFE_SENTINEL};
-pub use engine::{Engine, PathResult, RunStats, SymOutcome, SymbolicRun};
+pub use engine::{Engine, Exhaustion, PathResult, RunStats, SymOutcome, SymbolicRun};
 pub use memory::{SymMemory, SymObject};
 pub use session::SymbolicSession;
 pub use value::SymVal;

@@ -6,13 +6,13 @@
 //! ```
 
 use std::time::Duration;
-use strsum::core::{synthesize, SynthesisConfig};
+use strsum::core::{synthesize, Budget, SynthesisConfig};
 
 fn main() {
     let ids = ["bash_01", "git_08", "wget_02", "patch_07"];
     let corpus = strsum::corpus::corpus();
     let cfg = SynthesisConfig {
-        timeout: Duration::from_secs(30),
+        budget: Budget::default().with_wall(Duration::from_secs(30)),
         ..Default::default()
     };
 

@@ -32,7 +32,7 @@ fn main() {
                 let cfg = SynthesisConfig {
                     vocab,
                     max_prog_size: 7,
-                    timeout: budget,
+                    budget: strsum::core::Budget::default().with_wall(budget),
                     ..Default::default()
                 };
                 synthesize(f, &cfg).program.is_some()

@@ -100,7 +100,7 @@ fn synth_config(args: &[String]) -> Result<SynthesisConfig, String> {
         }
     };
     Ok(SynthesisConfig {
-        timeout: Duration::from_secs(timeout),
+        budget: strsum::core::Budget::default().with_wall(Duration::from_secs(timeout)),
         vocab,
         ..Default::default()
     })
@@ -131,7 +131,7 @@ fn cmd_summarize(args: &[String]) -> Result<(), String> {
         let program = if deepen {
             let dcfg = DeepeningConfig {
                 base: cfg.clone(),
-                total_timeout: cfg.timeout,
+                total_timeout: cfg.budget.wall,
                 ..Default::default()
             };
             synthesize_deepening(&func, &dcfg).1.program
@@ -206,7 +206,7 @@ fn cmd_refactor(args: &[String]) -> Result<(), String> {
     // Deepening yields the smallest (most reviewable) summary.
     let dcfg = DeepeningConfig {
         base: cfg.clone(),
-        total_timeout: cfg.timeout,
+        total_timeout: cfg.budget.wall,
         ..Default::default()
     };
     let program = synthesize_deepening(func, &dcfg)

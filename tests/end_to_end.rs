@@ -10,10 +10,7 @@ use strsum::gadgets::interp::{run_bytes, Outcome};
 use strsum::ir::interp::run_loop_function;
 
 fn cfg(secs: u64) -> SynthesisConfig {
-    SynthesisConfig {
-        timeout: Duration::from_secs(secs),
-        ..Default::default()
-    }
+    SynthesisConfig::with_timeout(Duration::from_secs(secs))
 }
 
 /// The complete pipeline on the paper's Figure 1 loop.
