@@ -9,7 +9,7 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 use strsum_bench::write_result;
-use strsum_bench::{Cli, CorpusRunner};
+use strsum_bench::{Cli, CorpusRunner, PlanSpec};
 use strsum_core::SynthesisConfig;
 
 fn main() {
@@ -21,6 +21,7 @@ fn main() {
     };
     let summaries = CorpusRunner::new(cfg)
         .threads(cli.threads())
+        .plan(cli.plan(PlanSpec::serial()))
         .reuse_summaries(true)
         .run_corpus()
         .summaries();

@@ -1,7 +1,7 @@
-//! Concrete-first + parallel-search ablations and determinism audits over
-//! a corpus slice.
+//! Concrete-first + parallel-search + planner ablations and determinism
+//! audits over a corpus slice.
 //!
-//! Five passes:
+//! Eight passes:
 //!
 //! 1. **screened** — the default pipeline: concrete-first screening +
 //!    OE-class blocking inside incremental sessions, behind the
@@ -15,21 +15,33 @@
 //! 4. **serial reference** — pass 1 pinned to 1 thread and 1 cube with
 //!    cost-aware scheduling on, populating the per-loop cost book
 //!    (`results/costs.tsv`) and measuring the serial makespan.
-//! 5. **parallel** — pass 4 with ≥ 2 corpus threads, 4 candidate-search
+//! 5. **cubed** — pass 4 with ≥ 2 corpus threads, 4 candidate-search
 //!    cubes per query, and longest-job-first dispatch from pass 4's cost
 //!    book. The deterministic cube merge makes passes 4 and 5 synthesise
 //!    byte-identical programs; any divergence is a determinism violation.
+//! 6. **multi-worker serial** — the pure-serial plan (no cubes,
+//!    longest-job-first dispatch) at the same thread count as passes 5, 7
+//!    and 8: the strongest non-adaptive baseline, so passes 7–8 differ
+//!    from it only in per-loop strategy choice.
+//! 7. **adaptive** — the [`ExecutionPlanner`](strsum_bench::ExecutionPlanner)
+//!    picks serial/cubed/portfolio per loop from pass 4's cost book (plus
+//!    GP-predicted costs for unseen loops).
+//! 8. **portfolio** — every loop races a serial arm against a 4-cubed arm,
+//!    first finisher wins, loser cancelled.
 //!
-//! The run fails (exit 1) on any determinism violation and on any
+//! The run fails (exit 1) on any determinism violation, on any
 //! screen-layer/solver disagreement — a candidate the symbolic circuit
 //! and the gadget interpreter judge differently, or a solver re-entry
-//! into a blocked OE class (`oe_class_hits > 0`). Both audits are wired
-//! into CI.
+//! into a blocked OE class (`oe_class_hits > 0`) — and, on multi-core
+//! hosts, when the adaptive plan's makespan loses to the pure-serial
+//! pass 6 (speedup < 1.0): parallelism that does not win is a planner
+//! regression. All audits are wired into CI.
 //!
 //! Results land in `BENCH_pr2.json` (ablation + audit counters),
-//! `BENCH_incremental.json` (the PR-1 incremental-vs-scratch shape), and
+//! `BENCH_incremental.json` (the PR-1 incremental-vs-scratch shape),
 //! `BENCH_pr4.json` (serial-vs-parallel makespans, per-loop speedups, and
-//! the parallel determinism audit).
+//! the parallel determinism audit), and `BENCH_pr6.json` (per-plan
+//! makespans, the adaptive-vs-serial gate, and plan-choice counters).
 //!
 //! With `--trace PATH` the run also writes a Chrome `trace_event` JSON of
 //! every instrumented phase and *reconciles* it against the solver
@@ -40,12 +52,16 @@
 //! A mismatch fails the run.
 //!
 //! Usage: `cargo run --release -p strsum-bench --bin bench_incremental
-//!         [--limit N] [--timeout-secs N] [--threads N] [--trace PATH]`
+//!         [--limit N] [--timeout-secs N] [--threads N] [--trace PATH]
+//!         [--plan MODE] [--cubes K]`
+//!
+//! `--plan`/`--cubes` override pass 1's plan (the default pipeline); the
+//! ablation passes keep their pinned plans, which is what they ablate.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 use strsum_bench::{
-    aggregate_screen, aggregate_telemetry, write_result, Cli, CorpusRunner, LoopSynth,
+    aggregate_screen, aggregate_telemetry, write_result, Cli, CorpusRunner, LoopSynth, PlanSpec,
 };
 use strsum_core::{Budget, SynthesisConfig};
 use strsum_corpus::{corpus, CacheStats};
@@ -113,15 +129,12 @@ fn main() {
         entries.len()
     );
 
-    // Passes 1–3 pin `cost_schedule(false)` so the screening ablation and
+    // Passes 1–3 pin corpus-order dispatch so the screening ablation and
     // its audit stay independent of whatever cost book is on disk; passes
-    // 4–5 turn it on (pass 4 populates the book pass 5 schedules from).
-    let run = |cfg: SynthesisConfig, cached: bool, n: usize, intra: usize, cost: bool| {
-        let mut runner = CorpusRunner::new(cfg)
-            .threads(n)
-            .cache(cached)
-            .intra_loop(intra)
-            .cost_schedule(cost);
+    // 4–8 use cost-aware plans (pass 4 populates the book the later
+    // passes schedule and predict from).
+    let run = |cfg: SynthesisConfig, cached: bool, n: usize, plan: PlanSpec| {
+        let mut runner = CorpusRunner::new(cfg).threads(n).cache(cached).plan(plan);
         if let Some(c) = trace.collector() {
             runner = runner.trace(c);
         }
@@ -129,25 +142,71 @@ fn main() {
         let report = runner.run(&entries);
         (report, start.elapsed())
     };
-    println!("pass 1/5: screened + cached, incremental sessions…");
-    let (r1, _) = run(config(true, true, timeout), true, threads, 1, false);
+    let pass1_plan = cli.plan(PlanSpec::serial().corpus_order());
+    println!(
+        "pass 1/8: screened + cached, incremental sessions ({} plan)…",
+        pass1_plan.mode.label()
+    );
+    let (r1, _) = run(config(true, true, timeout), true, threads, pass1_plan);
     let (screened, cache) = (r1.results, r1.cache);
-    println!("pass 2/5: baseline (no screen, no cache), incremental sessions…");
-    let baseline = run(config(false, true, timeout), false, threads, 1, false)
-        .0
-        .results;
-    println!("pass 3/5: screened + cached, from-scratch reference…");
-    let (r3, _) = run(config(true, false, timeout), true, threads, 1, false);
+    println!("pass 2/8: baseline (no screen, no cache), incremental sessions…");
+    let baseline = run(
+        config(false, true, timeout),
+        false,
+        threads,
+        PlanSpec::serial().corpus_order(),
+    )
+    .0
+    .results;
+    println!("pass 3/8: screened + cached, from-scratch reference…");
+    let (r3, _) = run(
+        config(true, false, timeout),
+        true,
+        threads,
+        PlanSpec::serial().corpus_order(),
+    );
     let (scratch, scratch_cache) = (r3.results, r3.cache);
-    println!("pass 4/5: serial reference (1 thread, 1 cube, recording costs)…");
-    let (r4, serial_makespan) = run(config(true, true, timeout), true, 1, 1, true);
+    println!("pass 4/8: serial reference (1 thread, 1 cube, recording costs)…");
+    let (r4, serial_makespan) = run(config(true, true, timeout), true, 1, PlanSpec::serial());
     let (serial, serial_cache) = (r4.results, r4.cache);
     let threads_parallel = threads.max(2);
     println!(
-        "pass 5/5: parallel ({threads_parallel} threads, 4 cubes/query, cost-aware dispatch)…"
+        "pass 5/8: parallel ({threads_parallel} threads, 4 cubes/query, cost-aware dispatch)…"
     );
-    let (r5, parallel_makespan) = run(config(true, true, timeout), true, threads_parallel, 4, true);
+    let (r5, parallel_makespan) = run(
+        config(true, true, timeout),
+        true,
+        threads_parallel,
+        PlanSpec::cubed(4),
+    );
     let (parallel, parallel_cache) = (r5.results, r5.cache);
+    println!("pass 6/8: pure serial at {threads_parallel} threads (the plan to beat)…");
+    // Cost-ordered (LJF) serial is the strongest non-adaptive baseline:
+    // passes 7–8 differ from it only in *strategy* choice, so the speedup
+    // gate measures the planner's decisions, not dispatch order.
+    let (r6, serial_mw_makespan) = run(
+        config(true, true, timeout),
+        true,
+        threads_parallel,
+        PlanSpec::serial(),
+    );
+    let serial_mw = r6.results;
+    println!("pass 7/8: adaptive planner at {threads_parallel} threads…");
+    let (r7, adaptive_makespan) = run(
+        config(true, true, timeout),
+        true,
+        threads_parallel,
+        PlanSpec::adaptive(),
+    );
+    let (adaptive, adaptive_counts) = (r7.results, r7.plan);
+    println!("pass 8/8: portfolio racing at {threads_parallel} threads…");
+    let (r8, portfolio_makespan) = run(
+        config(true, true, timeout),
+        true,
+        threads_parallel,
+        PlanSpec::portfolio(4),
+    );
+    let portfolio = r8.results;
 
     // Determinism audits: identical programs, identical failure kinds,
     // between two passes that must agree byte-for-byte. (Timeout-bounded
@@ -162,10 +221,13 @@ fn main() {
             if pa == pb {
                 continue;
             }
-            // Structured check first (any tripped budget axis), with the
-            // legacy failure strings kept as a belt-and-braces fallback.
+            // Structured check first (any tripped budget axis, including a
+            // degraded success whose minimisation the budget cut short),
+            // with the legacy failure strings kept as a belt-and-braces
+            // fallback.
             let timeout_involved = [a, b].iter().any(|r| {
-                r.stats.exhausted.is_some()
+                r.stats.degraded
+                    || r.stats.exhausted.is_some()
                     || matches!(
                         r.failure.as_deref(),
                         Some("timeout" | "solver gave up on candidate search")
@@ -184,6 +246,13 @@ fn main() {
     };
     let (mismatches, timing_races) = audit(&screened, &scratch, "incremental", "from-scratch");
     let (par_mismatches, par_races) = audit(&serial, &parallel, "serial", "parallel");
+    // Planner audits: every plan must reproduce the multi-worker serial
+    // pass byte-for-byte — strategy choice may only move wall clock.
+    let (cubed_mismatches, cubed_races) = audit(&serial_mw, &parallel, "serial-mw", "cubed");
+    let (adaptive_mismatches, adaptive_races) =
+        audit(&serial_mw, &adaptive, "serial-mw", "adaptive");
+    let (portfolio_mismatches, portfolio_races) =
+        audit(&serial_mw, &portfolio, "serial-mw", "portfolio");
     if verbose {
         for (s, b) in screened.iter().zip(&baseline) {
             let show = |r: &LoopSynth| match (&r.program, &r.failure) {
@@ -206,6 +275,9 @@ fn main() {
     disagreed.extend(disagreements(&scratch));
     disagreed.extend(disagreements(&serial));
     disagreed.extend(disagreements(&parallel));
+    disagreed.extend(disagreements(&serial_mw));
+    disagreed.extend(disagreements(&adaptive));
+    disagreed.extend(disagreements(&portfolio));
 
     let count_ok = |rs: &[LoopSynth]| rs.iter().filter(|r| r.program.is_some()).count();
     let screened_q = aggregate_telemetry(&screened).total().queries;
@@ -257,6 +329,34 @@ fn main() {
         entries.len() - par_mismatches.len() - par_races,
         entries.len(),
         par_races
+    );
+    let adaptive_speedup =
+        serial_mw_makespan.as_secs_f64() / adaptive_makespan.as_secs_f64().max(1e-9);
+    let portfolio_speedup =
+        serial_mw_makespan.as_secs_f64() / portfolio_makespan.as_secs_f64().max(1e-9);
+    println!(
+        "planner  : {:>8.2}s serial vs {:>8.2}s adaptive ({adaptive_speedup:.2}x) vs {:>8.2}s \
+         portfolio ({portfolio_speedup:.2}x) at {threads_parallel} threads",
+        serial_mw_makespan.as_secs_f64(),
+        adaptive_makespan.as_secs_f64(),
+        portfolio_makespan.as_secs_f64()
+    );
+    println!(
+        "planner  : adaptive chose serial×{} cubed×{} portfolio×{} ({} GP-modelled)",
+        adaptive_counts.serial,
+        adaptive_counts.cubed,
+        adaptive_counts.portfolio,
+        adaptive_counts.modeled
+    );
+    println!(
+        "audit    : plans vs serial-mw — cubed {}+{}r, adaptive {}+{}r, portfolio {}+{}r \
+         (mismatches+timing races)",
+        cubed_mismatches.len(),
+        cubed_races,
+        adaptive_mismatches.len(),
+        adaptive_races,
+        portfolio_mismatches.len(),
+        portfolio_races
     );
 
     let mut json = String::new();
@@ -379,6 +479,84 @@ fn main() {
     let _ = writeln!(json, "}}");
     write_result("BENCH_pr4.json", &json);
 
+    // The planner ablation: one makespan per plan at the same thread
+    // count, the adaptive plan's per-strategy choices, and the
+    // adaptive-vs-serial regression gate. The gate is enforced only on
+    // multi-core hosts: on 1 core every plan's work degenerates to serial
+    // execution and the comparison measures scheduling noise, not the
+    // planner (the `cores` field says which kind of run this was). The
+    // determinism audits are the hard gate everywhere.
+    let gate_enforced = cores > 1;
+    let gate_passed = !gate_enforced || adaptive_speedup >= 1.0;
+    let count_ok_plan = |rs: &[LoopSynth]| rs.iter().filter(|r| r.program.is_some()).count();
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"loops\":{},\"timeout_secs\":{timeout},\"threads\":{threads_parallel},\"cores\":{cores}}},",
+        entries.len()
+    );
+    let _ = writeln!(json, "  \"plans\": {{");
+    let plan_row = |makespan: Duration, rs: &[LoopSynth], mism: usize, races: usize| {
+        format!(
+            "{{\"makespan_secs\":{:.3},\"synthesised\":{},\"vs_serial_speedup\":{:.4},\"determinism_violations\":{mism},\"timing_races\":{races}}}",
+            makespan.as_secs_f64(),
+            count_ok_plan(rs),
+            serial_mw_makespan.as_secs_f64() / makespan.as_secs_f64().max(1e-9)
+        )
+    };
+    let _ = writeln!(
+        json,
+        "    \"serial\": {},",
+        plan_row(serial_mw_makespan, &serial_mw, 0, 0)
+    );
+    let _ = writeln!(
+        json,
+        "    \"cubed\": {},",
+        plan_row(
+            parallel_makespan,
+            &parallel,
+            cubed_mismatches.len(),
+            cubed_races
+        )
+    );
+    let _ = writeln!(
+        json,
+        "    \"adaptive\": {},",
+        plan_row(
+            adaptive_makespan,
+            &adaptive,
+            adaptive_mismatches.len(),
+            adaptive_races
+        )
+    );
+    let _ = writeln!(
+        json,
+        "    \"portfolio\": {}",
+        plan_row(
+            portfolio_makespan,
+            &portfolio,
+            portfolio_mismatches.len(),
+            portfolio_races
+        )
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"adaptive_choices\": {},",
+        adaptive_counts.to_json()
+    );
+    let _ = writeln!(
+        json,
+        "  \"adaptive_vs_serial_speedup\": {adaptive_speedup:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"gate\": {{\"enforced\":{gate_enforced},\"passed\":{gate_passed}}}"
+    );
+    let _ = writeln!(json, "}}");
+    write_result("BENCH_pr6.json", &json);
+
     let mut failed = false;
     // Trace ↔ telemetry reconciliation: every solver query made on behalf
     // of synthesis flows through a `search`- or `verify`-tagged
@@ -394,10 +572,12 @@ fn main() {
                 trace_q += agg.get(name, tag).map_or(0, |row| row.arg("queries"));
             }
         }
-        let telemetry_q = [&screened, &baseline, &scratch, &serial, &parallel]
-            .iter()
-            .map(|rs| aggregate_telemetry(rs).total().queries)
-            .sum::<u64>();
+        let telemetry_q = [
+            &screened, &baseline, &scratch, &serial, &parallel, &serial_mw, &adaptive, &portfolio,
+        ]
+        .iter()
+        .map(|rs| aggregate_telemetry(rs).total().queries)
+        .sum::<u64>();
         if collector.dropped() > 0 {
             println!(
                 "trace    : ring buffer dropped {} events; skipping reconciliation",
@@ -412,11 +592,27 @@ fn main() {
             failed = true;
         }
     }
-    if !mismatches.is_empty() || !par_mismatches.is_empty() {
+    let all_mismatches: Vec<&String> = mismatches
+        .iter()
+        .chain(&par_mismatches)
+        .chain(&cubed_mismatches)
+        .chain(&adaptive_mismatches)
+        .chain(&portfolio_mismatches)
+        .collect();
+    if !all_mismatches.is_empty() {
         eprintln!("DETERMINISM VIOLATIONS:");
-        for m in mismatches.iter().chain(&par_mismatches) {
+        for m in all_mismatches {
             eprintln!("  {m}");
         }
+        failed = true;
+    }
+    if !gate_passed {
+        eprintln!(
+            "PLANNER REGRESSION: adaptive makespan {:.2}s lost to pure serial {:.2}s \
+             ({adaptive_speedup:.2}x < 1.0) on {cores} cores",
+            adaptive_makespan.as_secs_f64(),
+            serial_mw_makespan.as_secs_f64()
+        );
         failed = true;
     }
     if !disagreed.is_empty() {

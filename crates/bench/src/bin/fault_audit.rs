@@ -28,7 +28,7 @@
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
-use strsum_bench::{write_result, Cli, CorpusRunner, FaultPlan, LoopSynth};
+use strsum_bench::{write_result, Cli, CorpusRunner, FaultPlan, LoopSynth, PlanSpec};
 use strsum_core::{Budget, BudgetKind, LoopOutcome, SynthesisConfig};
 use strsum_obs::ToJson;
 
@@ -56,8 +56,7 @@ fn main() {
     let start = Instant::now();
     let serial = CorpusRunner::new(cfg.clone())
         .threads(1)
-        .intra_loop(1)
-        .cost_schedule(false)
+        .plan(PlanSpec::serial().corpus_order())
         .run(&entries);
     let serial_makespan = start.elapsed();
     assert_eq!(
@@ -70,8 +69,7 @@ fn main() {
     println!("pass 2/4: parallel clean (byte-identity audit)…");
     let parallel = CorpusRunner::new(cfg.clone())
         .threads(threads)
-        .intra_loop(2)
-        .cost_schedule(false)
+        .plan(PlanSpec::cubed(2).corpus_order())
         .run(&entries);
     let mut violations: Vec<String> = Vec::new();
     let mut timing_races = 0usize;
@@ -110,8 +108,7 @@ fn main() {
     let start = Instant::now();
     let ungoverned = CorpusRunner::new(ungoverned_cfg)
         .threads(1)
-        .intra_loop(1)
-        .cost_schedule(false)
+        .plan(PlanSpec::serial().corpus_order())
         .run(&entries);
     let ungoverned_makespan = start.elapsed();
     println!(
@@ -143,8 +140,7 @@ fn main() {
                 ..cfg.clone()
             })
             .threads(1)
-            .intra_loop(1)
-            .cost_schedule(false)
+            .plan(PlanSpec::serial().corpus_order())
             .run(&subset);
             for (m, r) in mins.iter_mut().zip(&report.results) {
                 *m = (*m).min(r.elapsed);
@@ -192,8 +188,8 @@ fn main() {
     // 4a: no retries — pin the classification of each injected fault.
     let faulted = CorpusRunner::new(cfg.clone())
         .threads(threads)
-        .intra_loop(1) // forced-Unknown counts queries; cubes would race the counter
-        .cost_schedule(false)
+        // forced-Unknown counts queries; cubes would race the counter
+        .plan(PlanSpec::serial().corpus_order())
         .fault_plan(plan.clone())
         .run(&entries);
     assert_eq!(
@@ -233,8 +229,7 @@ fn main() {
     // summarised cleanly in pass 1, and the retry lane runs fault-free).
     let recovered = CorpusRunner::new(cfg)
         .threads(threads)
-        .intra_loop(1)
-        .cost_schedule(false)
+        .plan(PlanSpec::serial().corpus_order())
         .fault_plan(plan.clone())
         .retries(1)
         .run(&entries);

@@ -15,7 +15,7 @@
 
 use std::fmt::Write as _;
 use std::time::Duration;
-use strsum_bench::{bar, write_result, Cli, CorpusRunner};
+use strsum_bench::{bar, write_result, Cli, CorpusRunner, PlanSpec};
 use strsum_core::{SolverTelemetry, SynthesisConfig};
 use strsum_corpus::corpus;
 
@@ -41,6 +41,7 @@ fn main() {
         };
         let report = CorpusRunner::new(cfg)
             .threads(threads)
+            .plan(cli.plan(PlanSpec::serial()))
             .fault_plan(cli.fault_plan())
             .run(&entries);
         let mut row = [0usize; 4];

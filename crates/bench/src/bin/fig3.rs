@@ -12,7 +12,7 @@
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
-use strsum_bench::{write_result, Cli, CorpusRunner};
+use strsum_bench::{write_result, Cli, CorpusRunner, PlanSpec};
 use strsum_core::SynthesisConfig;
 use strsum_gadgets::symbolic::string_solver_models;
 use strsum_smt::TermPool;
@@ -34,6 +34,7 @@ fn main() {
     };
     let summaries = CorpusRunner::new(cfg)
         .threads(threads)
+        .plan(cli.plan(PlanSpec::serial()))
         .reuse_summaries(true)
         .run_corpus()
         .summaries();

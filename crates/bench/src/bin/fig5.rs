@@ -12,7 +12,7 @@
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use strsum_bench::{write_result, Cli, CorpusRunner};
+use strsum_bench::{write_result, Cli, CorpusRunner, PlanSpec};
 use strsum_core::SynthesisConfig;
 use strsum_gadgets::compile_rust::{compile, Impl};
 
@@ -45,6 +45,7 @@ fn main() {
     };
     let summaries = CorpusRunner::new(cfg)
         .threads(threads)
+        .plan(cli.plan(PlanSpec::serial()))
         .reuse_summaries(true)
         .run_corpus()
         .summaries();

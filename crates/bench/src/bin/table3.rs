@@ -11,7 +11,7 @@
 
 use std::fmt::Write as _;
 use std::time::Duration;
-use strsum_bench::{median, minutes, telemetry_report, write_result, Cli, CorpusRunner};
+use strsum_bench::{median, minutes, telemetry_report, write_result, Cli, CorpusRunner, PlanSpec};
 use strsum_core::{Budget, SynthesisConfig};
 use strsum_corpus::{corpus, APPS};
 use strsum_obs::ToJson;
@@ -37,6 +37,7 @@ fn main() {
     let entries = corpus();
     let mut runner = CorpusRunner::new(cfg)
         .threads(threads)
+        .plan(cli.plan(PlanSpec::serial()))
         .fault_plan(cli.fault_plan());
     if let Some(c) = trace.collector() {
         runner = runner.trace(c);

@@ -11,7 +11,7 @@
 
 use std::fmt::Write as _;
 use std::time::Duration;
-use strsum_bench::{write_result, Cli, CorpusRunner};
+use strsum_bench::{write_result, Cli, CorpusRunner, PlanSpec};
 use strsum_core::{Budget, SolverTelemetry, SynthesisConfig, Vocab};
 use strsum_corpus::corpus;
 use strsum_gp::{BayesOpt, Observation};
@@ -32,7 +32,10 @@ fn main() {
             budget: Budget::default().with_wall(Duration::from_secs_f64(timeout)),
             ..Default::default()
         };
-        let report = CorpusRunner::new(cfg).threads(threads).run(&entries);
+        let report = CorpusRunner::new(cfg)
+            .threads(threads)
+            .plan(cli.plan(PlanSpec::serial()))
+            .run(&entries);
         let ok = report
             .results
             .iter()

@@ -13,11 +13,14 @@
 //! - `--retries <n>` — quarantine-lane rounds for budget-exhausted loops
 //! - `--fault-plan <path>` — a deterministic [`FaultPlan`] file to inject
 //! - `--trace <path>` — Chrome-trace span capture (see [`TraceArgs`])
+//! - `--plan {serial,cubed,adaptive,portfolio}` — per-loop execution
+//!   strategy (see [`PlanSpec`]); `--cubes <k>` sets the cube count the
+//!   fixed `cubed`/`portfolio` modes use
 
 use std::time::Duration;
 use strsum_core::Budget;
 
-use crate::{FaultPlan, TraceArgs};
+use crate::{FaultPlan, PlanSpec, TraceArgs};
 
 /// Parsed command line: a snapshot of `std::env::args` plus typed
 /// accessors over the uniform experiment flags.
@@ -102,6 +105,48 @@ impl Cli {
         budget
     }
 
+    /// `--plan <mode>` with `--cubes <k>`: the run's [`PlanSpec`],
+    /// starting from `default` (so each binary keeps its experimentally
+    /// meaningful baseline when the flags are absent). An unrecognised
+    /// mode exits with a usage error — a typo'd plan silently falling
+    /// back would invalidate a benchmark comparison. `--cubes` alone
+    /// retargets a fixed cubed/portfolio default's cube count.
+    pub fn plan(&self, default: PlanSpec) -> PlanSpec {
+        let cubes = self.parsed(
+            "--cubes",
+            match default.mode {
+                crate::PlanMode::Cubed(k) | crate::PlanMode::Portfolio(k) => k,
+                _ => 4,
+            },
+        );
+        match self.value("--plan") {
+            None => match default.mode {
+                crate::PlanMode::Cubed(_) => PlanSpec {
+                    mode: crate::PlanMode::Cubed(cubes.max(2)),
+                    ..default
+                },
+                crate::PlanMode::Portfolio(_) => PlanSpec {
+                    mode: crate::PlanMode::Portfolio(cubes.max(2)),
+                    ..default
+                },
+                _ => default,
+            },
+            Some(mode) => match PlanSpec::parse(mode, cubes) {
+                Some(spec) => PlanSpec {
+                    cost_order: default.cost_order,
+                    ..spec
+                },
+                None => {
+                    eprintln!(
+                        "error: unknown --plan {mode:?} \
+                         (expected serial, cubed, adaptive or portfolio)"
+                    );
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+
     /// `--fault-plan <path>`: loads the plan, exiting with the parse
     /// error on a malformed file; the empty plan when absent.
     pub fn fault_plan(&self) -> FaultPlan {
@@ -149,5 +194,33 @@ mod tests {
         // --budget-ms wins over --timeout-secs.
         let cli = Cli::from_args(&["prog", "--timeout-secs", "9", "--budget-ms", "250"]);
         assert_eq!(cli.budget(base).wall, Duration::from_millis(250));
+    }
+
+    #[test]
+    fn plan_flag_layers_over_the_binary_default() {
+        // No flags: the binary's default survives untouched.
+        let cli = Cli::from_args(&["prog"]);
+        assert_eq!(cli.plan(PlanSpec::serial()), PlanSpec::serial());
+        assert_eq!(
+            cli.plan(PlanSpec::cubed(4).corpus_order()),
+            PlanSpec::cubed(4).corpus_order()
+        );
+
+        // --plan switches the mode but keeps the default's ordering.
+        let cli = Cli::from_args(&["prog", "--plan", "adaptive"]);
+        assert_eq!(
+            cli.plan(PlanSpec::serial().corpus_order()),
+            PlanSpec::adaptive().corpus_order()
+        );
+
+        // --cubes feeds the fixed modes, given or defaulted.
+        let cli = Cli::from_args(&["prog", "--plan", "cubed", "--cubes", "8"]);
+        assert_eq!(cli.plan(PlanSpec::serial()), PlanSpec::cubed(8));
+        let cli = Cli::from_args(&["prog", "--plan", "portfolio"]);
+        assert_eq!(cli.plan(PlanSpec::serial()), PlanSpec::portfolio(4));
+
+        // --cubes alone retargets a fixed default's cube count.
+        let cli = Cli::from_args(&["prog", "--cubes", "2"]);
+        assert_eq!(cli.plan(PlanSpec::cubed(4)), PlanSpec::cubed(2));
     }
 }

@@ -15,12 +15,17 @@ use strsum_gadgets::Program;
 
 pub mod cli;
 mod fault;
+pub mod plan;
 mod runner;
 mod schedule;
 mod trace;
 
 pub use cli::Cli;
 pub use fault::{Fault, FaultPlan};
+pub use plan::{
+    loop_features, ExecutionPlanner, LoopFeatures, LoopPlan, Plan, PlanCounts, PlanMode, PlanSpec,
+    Strategy,
+};
 pub use runner::{CorpusReport, CorpusRunner, OutcomeCounts, RetryStats};
 pub use schedule::ljf_order;
 pub use trace::TraceArgs;

@@ -2,35 +2,50 @@
 //!
 //! Earlier revisions grew three parallel entry points (since removed)
 //! whose signatures drifted apart as options accumulated. The runner
-//! collapses them behind one builder: configure threads / intra-loop
-//! cubes / cross-loop cache / cost-aware scheduling / summary reuse /
-//! tracing, then [`CorpusRunner::run`] (or [`CorpusRunner::run_corpus`])
-//! returns a single [`CorpusReport`] holding the per-loop results plus
-//! every aggregate the binaries report.
+//! collapses them behind one builder: configure threads / execution plan
+//! / cross-loop cache / summary reuse / tracing, then
+//! [`CorpusRunner::run`] (or [`CorpusRunner::run_corpus`]) returns a
+//! single [`CorpusReport`] holding the per-loop results plus every
+//! aggregate the binaries report.
+//!
+//! Execution strategy is one knob: [`CorpusRunner::plan`] takes a
+//! [`PlanSpec`] (serial / cubed / adaptive / portfolio × cost-ordered or
+//! corpus-ordered dispatch), which the [`crate::plan::ExecutionPlanner`]
+//! turns into a per-loop [`Plan`]. The old `intra_loop`/`cost_schedule`
+//! knob pair collapsed into it — see the conversion table on
+//! [`PlanSpec`].
 //!
 //! Determinism contract: every parallel phase is an order-preserving
 //! [`crate::par_map`] (or a [`crate::par_map_ordered`] whose output is
 //! still slotted by original index), grouping follows corpus order, and
 //! trace aggregation merges by span key — so results, cache-hit patterns,
 //! and the aggregated metrics table are all independent of thread
-//! scheduling *and* of the dispatch schedule.
+//! scheduling *and* of the dispatch schedule. Per-loop strategies keep
+//! the contract: cubes return the serial answer by the deterministic
+//! merge theorem, and a portfolio race's arms are both deterministic, so
+//! the winner carries the same programs either way (budget-exhaustion
+//! verdicts remain wall-clock-dependent under *any* strategy — the
+//! audits classify those as timing races).
 
 use std::fs;
 use std::io::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use strsum_core::{
-    loop_fingerprint, synthesize, verify_summary, Budget, BudgetKind, LoopOutcome, SolverTelemetry,
-    SynthStats, SynthesisConfig, SynthesisResult,
+    loop_fingerprint, synthesize, synthesize_with_cancel, verify_summary, Budget, BudgetKind,
+    CancelToken, LoopOutcome, SolverTelemetry, SynthStats, SynthesisConfig, SynthesisResult,
 };
-use strsum_corpus::{fingerprint_hash, CacheStats, CostBook, CostStat, LoopEntry, SummaryCache};
+use strsum_corpus::{
+    fingerprint_hash, CacheStats, CostBook, CostStat, LoopEntry, RecordedOutcome, SummaryCache,
+};
 use strsum_gadgets::Program;
 use strsum_obs::{names, Aggregate, Collector, ToJson};
 use strsum_smt::SessionStats;
 
+use crate::plan::{loop_features, ExecutionPlanner, LoopFeatures, Plan, PlanCounts, Strategy};
 use crate::{
-    aggregate_screen, aggregate_telemetry, default_threads, hex, ljf_order, par_map,
-    par_map_ordered, results_dir, unhex, Fault, FaultPlan, LoopSynth,
+    aggregate_screen, aggregate_telemetry, default_threads, hex, par_map, par_map_ordered,
+    results_dir, unhex, Fault, FaultPlan, LoopSynth, PlanSpec,
 };
 
 /// Aggregate counts of every [`LoopOutcome`] in a run. The six variants
@@ -145,6 +160,9 @@ pub struct CorpusReport {
     pub outcomes: OutcomeCounts,
     /// Quarantine/retry-lane accounting (all zero with `retries` = 0).
     pub retries: RetryStats,
+    /// Per-strategy tallies of the executed plan (all zero for runs that
+    /// never planned, e.g. summaries loaded from disk).
+    pub plan: PlanCounts,
 }
 
 impl CorpusReport {
@@ -174,21 +192,28 @@ pub struct CorpusRunner {
     cfg: SynthesisConfig,
     threads: usize,
     cache: bool,
-    cost_schedule: bool,
+    plan: PlanSpec,
     reuse_summaries: bool,
     trace: Option<Arc<Collector>>,
     fault_plan: FaultPlan,
 }
 
 impl CorpusRunner {
-    /// A runner with `cfg`, all threads, no cache, cost-aware scheduling
-    /// on, no tracing, no faults.
+    /// A runner with `cfg`, all threads, no cache, the default plan
+    /// (serial strategies, cost-ordered dispatch — or fixed cubes when
+    /// `cfg.intra_loop` > 1, preserving the config's historical
+    /// meaning), no tracing, no faults.
     pub fn new(cfg: SynthesisConfig) -> CorpusRunner {
+        let plan = if cfg.intra_loop > 1 {
+            PlanSpec::cubed(cfg.intra_loop)
+        } else {
+            PlanSpec::serial()
+        };
         CorpusRunner {
             cfg,
             threads: default_threads(),
             cache: false,
-            cost_schedule: true,
+            plan,
             reuse_summaries: false,
             trace: None,
             fault_plan: FaultPlan::new(),
@@ -201,22 +226,15 @@ impl CorpusRunner {
         self
     }
 
-    /// Intra-loop search parallelism: each candidate query is split into
-    /// `k` disjoint cubes solved on worker threads (see
-    /// [`strsum_core::cubes`]). `1` keeps the per-loop search serial. Any
-    /// value yields byte-identical summaries — only wall clock changes.
-    pub fn intra_loop(mut self, k: usize) -> CorpusRunner {
-        self.cfg.intra_loop = k;
-        self
-    }
-
-    /// Cost-aware dispatch (the default): order loops longest-job-first
-    /// from last run's per-loop solver costs, persisted at
-    /// `results/costs.tsv`, so tail loops start on a worker early instead
-    /// of stretching the makespan from the back of the queue. Results are
-    /// slotted by original index, so the schedule never changes them.
-    pub fn cost_schedule(mut self, on: bool) -> CorpusRunner {
-        self.cost_schedule = on;
+    /// The execution plan: which per-loop strategy policy to run
+    /// (serial / fixed cubes / cost-model adaptive / portfolio racing)
+    /// and whether dispatch is cost-ordered (longest-job-first from
+    /// `results/costs.tsv`) or corpus-ordered. See [`PlanSpec`] for the
+    /// conversion from the retired `intra_loop`/`cost_schedule` knobs.
+    /// Any plan yields byte-identical summaries — only wall clock
+    /// changes.
+    pub fn plan(mut self, spec: PlanSpec) -> CorpusRunner {
+        self.plan = spec;
         self
     }
 
@@ -253,14 +271,6 @@ impl CorpusRunner {
         self
     }
 
-    /// Per-loop synthesis timeout (overrides the config's).
-    #[deprecated(note = "use `budget(Budget::default().with_wall(d))`; \
-                         timeout is now one axis of the unified budget")]
-    pub fn timeout(mut self, d: Duration) -> CorpusRunner {
-        self.cfg.budget.wall = d;
-        self
-    }
-
     /// Attaches a trace collector: it is installed as the process sink for
     /// the run, and the report's `spans` field carries its aggregate.
     ///
@@ -292,13 +302,14 @@ impl CorpusRunner {
         if let Some(sink) = &self.trace {
             strsum_obs::install(sink.clone());
         }
-        let (mut results, cache) = if self.cache {
+        let (mut results, cache, plan) = if self.cache {
             self.run_cached(entries)
         } else {
-            (self.run_plain(entries), CacheStats::default())
+            let (results, plan) = self.run_plain(entries);
+            (results, CacheStats::default(), plan)
         };
         let retries = self.retry_lane(entries, &mut results);
-        self.report(results, cache, retries)
+        self.report(results, cache, retries, plan)
     }
 
     /// Runs over the full built-in corpus, honouring
@@ -313,13 +324,19 @@ impl CorpusRunner {
         }
         let path = results_dir().join("summaries.tsv");
         if let Some(results) = load_summaries(&path, &entries) {
-            return self.report(results, CacheStats::default(), RetryStats::default());
+            return self.report(
+                results,
+                CacheStats::default(),
+                RetryStats::default(),
+                PlanCounts::default(),
+            );
         }
         println!("(no summary cache; synthesising the corpus first — this takes a while)");
-        let (mut results, cache) = if self.cache {
+        let (mut results, cache, plan) = if self.cache {
             self.run_cached(&entries)
         } else {
-            (self.run_plain(&entries), CacheStats::default())
+            let (results, plan) = self.run_plain(&entries);
+            (results, CacheStats::default(), plan)
         };
         // Retry before persisting: a recovered summary belongs in the file.
         let retries = self.retry_lane(&entries, &mut results);
@@ -331,7 +348,7 @@ impl CorpusRunner {
             };
             writeln!(file, "{}\t{}", r.entry.id, enc).expect("cache write");
         }
-        self.report(results, cache, retries)
+        self.report(results, cache, retries, plan)
     }
 
     /// The quarantine lane: loops whose main-lane outcome was a budget
@@ -360,8 +377,13 @@ impl CorpusRunner {
             // (index order on ties keeps the lane deterministic).
             idxs.sort_by(|&a, &b| results[b].elapsed.cmp(&results[a].elapsed).then(a.cmp(&b)));
             stats.rounds = round;
+            // The lane runs serial regardless of the main-lane plan: an
+            // escalated budget is already the recovery lever, and a
+            // near-empty retry queue has no sibling loops for cubes to
+            // steal from anyway.
             let escalated = SynthesisConfig {
                 budget: base.escalate(round),
+                intra_loop: 1,
                 ..self.cfg.clone()
             };
             let raw = par_map(&idxs, self.threads, |&i| {
@@ -386,6 +408,7 @@ impl CorpusRunner {
         results: Vec<LoopSynth>,
         cache: CacheStats,
         retries: RetryStats,
+        plan: PlanCounts,
     ) -> CorpusReport {
         let mut outcomes = OutcomeCounts::default();
         for r in &results {
@@ -407,44 +430,76 @@ impl CorpusRunner {
             spans,
             outcomes,
             retries,
+            plan,
         }
     }
 
-    fn run_plain(&self, entries: &[LoopEntry]) -> Vec<LoopSynth> {
-        let plan = &self.fault_plan;
-        if !self.cost_schedule {
-            let raw = par_map(entries, self.threads, |e| {
-                synthesize_entry(e.clone(), &self.cfg, plan)
-            });
-            return entries
-                .iter()
-                .zip(raw)
-                .map(|(e, r)| resolve(e, r))
-                .collect();
-        }
+    /// Whether the plan needs fingerprint keys (and feature vectors):
+    /// cost-ordered dispatch keys the book, and the adaptive mode also
+    /// predicts from features. A fixed-mode corpus-order run (e.g. the
+    /// fault-audit baselines) skips the whole keying pass, exactly as
+    /// the old `cost_schedule(false)` path did.
+    fn needs_keys(&self) -> bool {
+        self.plan.cost_order || self.plan.mode == crate::PlanMode::Adaptive
+    }
+
+    /// Fingerprints every loop (concrete evaluation, no solver) to key
+    /// its cost record, and extracts the planner's structural features
+    /// in the same pass; a compile failure — or a worker crash — yields
+    /// `None` for both (unknown cost, unpredictable).
+    fn key_loops(&self, entries: &[LoopEntry]) -> (Vec<Option<u64>>, Vec<Option<LoopFeatures>>) {
         let cfg = &self.cfg;
-        // Fingerprint every loop (concrete evaluation, no solver) to key
-        // its cost record; a compile failure — or a fingerprint worker
-        // crash — keys as `None` (unknown cost).
-        let keys: Vec<Option<u64>> = par_map(entries, self.threads, |e| {
-            strsum_cfront::compile_one(&e.source)
-                .ok()
-                .map(|func| fingerprint_hash(&loop_fingerprint(&func, cfg.max_ex_size)))
+        par_map(entries, self.threads, |e| {
+            strsum_cfront::compile_one(&e.source).ok().map(|func| {
+                (
+                    fingerprint_hash(&loop_fingerprint(&func, cfg.max_ex_size)),
+                    loop_features(&func, &e.source),
+                )
+            })
         })
         .into_iter()
-        .map(|r| r.ok().flatten())
-        .collect();
-        let order = ljf_order(&keys, &load_cost_book());
-        let raw = par_map_ordered(entries, self.threads, &order, |e| {
-            synthesize_entry(e.clone(), cfg, plan)
-        });
+        .map(|r| match r.ok().flatten() {
+            Some((k, f)) => (Some(k), Some(f)),
+            None => (None, None),
+        })
+        .unzip()
+    }
+
+    /// Builds the run's execution plan from the spec, the persisted cost
+    /// book and this run's keys/features.
+    fn build_plan(
+        &self,
+        keys: &[Option<u64>],
+        features: &[Option<LoopFeatures>],
+        book: &CostBook,
+    ) -> Plan {
+        ExecutionPlanner::new(self.plan, book, self.threads).plan(keys, features)
+    }
+
+    fn run_plain(&self, entries: &[LoopEntry]) -> (Vec<LoopSynth>, PlanCounts) {
+        let faults = &self.fault_plan;
+        let cfg = &self.cfg;
+        let (keys, features) = if self.needs_keys() {
+            self.key_loops(entries)
+        } else {
+            (vec![None; entries.len()], vec![None; entries.len()])
+        };
+        let plan = self.build_plan(&keys, &features, &load_cost_book());
+        let raw = par_map_ordered(
+            &(0..entries.len()).collect::<Vec<usize>>(),
+            self.threads,
+            &plan.order,
+            |&i| synthesize_planned(entries[i].clone(), cfg, faults, plan.loops[i].strategy),
+        );
         let results: Vec<LoopSynth> = entries
             .iter()
             .zip(raw)
             .map(|(e, r)| resolve(e, r))
             .collect();
-        record_costs(&keys, &results);
-        results
+        if self.needs_keys() {
+            record_costs(&keys, &results, &plan);
+        }
+        (results, plan.counts())
     }
 
     /// The cached pipeline. Loops are grouped by semantic fingerprint
@@ -461,60 +516,74 @@ impl CorpusRunner {
     /// order-preserving, so cache-hit patterns never depend on thread
     /// scheduling — the incremental-vs-scratch determinism audit holds
     /// with the cache on.
-    fn run_cached(&self, entries: &[LoopEntry]) -> (Vec<LoopSynth>, CacheStats) {
+    fn run_cached(&self, entries: &[LoopEntry]) -> (Vec<LoopSynth>, CacheStats, PlanCounts) {
         let cfg = &self.cfg;
-        let plan = &self.fault_plan;
+        let faults = &self.fault_plan;
         let threads = self.threads;
         let mut cache = SummaryCache::new();
 
-        // Phase A: fingerprint every loop (concrete evaluation, no solver).
-        // A fingerprint worker crash folds into the same error channel as
-        // a compile failure: both mean "no fingerprint for this loop".
-        let fingerprints: Vec<Result<Vec<u64>, String>> = par_map(entries, threads, |e| {
-            let mut span = strsum_obs::span("loop.fingerprint", "corpus");
-            if span.active() {
-                span.arg_str("id", e.id.clone());
-            }
-            strsum_cfront::compile_one(&e.source)
-                .map(|func| loop_fingerprint(&func, cfg.max_ex_size))
-                .map_err(|err| format!("does not compile: {err}"))
-        })
-        .into_iter()
-        .map(|r| r.and_then(|inner| inner))
-        .collect();
+        // Phase A: fingerprint every loop (concrete evaluation, no
+        // solver), extracting the planner's structural features in the
+        // same pass. A fingerprint worker crash folds into the same error
+        // channel as a compile failure: both mean "no fingerprint for
+        // this loop".
+        let fingerprints: Vec<Result<(Vec<u64>, LoopFeatures), String>> =
+            par_map(entries, threads, |e| {
+                let mut span = strsum_obs::span("loop.fingerprint", "corpus");
+                if span.active() {
+                    span.arg_str("id", e.id.clone());
+                }
+                strsum_cfront::compile_one(&e.source)
+                    .map(|func| {
+                        (
+                            loop_fingerprint(&func, cfg.max_ex_size),
+                            loop_features(&func, &e.source),
+                        )
+                    })
+                    .map_err(|err| format!("does not compile: {err}"))
+            })
+            .into_iter()
+            .map(|r| r.and_then(|inner| inner))
+            .collect();
+        let keys: Vec<Option<u64>> = fingerprints
+            .iter()
+            .map(|r| r.as_ref().ok().map(|(fp, _)| fingerprint_hash(fp)))
+            .collect();
+        let features: Vec<Option<LoopFeatures>> = fingerprints
+            .iter()
+            .map(|r| r.as_ref().ok().map(|(_, f)| *f))
+            .collect();
+        let plan = self.build_plan(&keys, &features, &load_cost_book());
 
         // Phase B: synthesise one representative per fingerprint group, in
         // corpus order (the first loop of each group).
         let mut seen: std::collections::HashSet<&[u64]> = std::collections::HashSet::new();
         let mut rep_indices: Vec<usize> = Vec::new();
         for (i, fp) in fingerprints.iter().enumerate() {
-            if let Ok(fp) = fp {
+            if let Ok((fp, _)) = fp {
                 if seen.insert(fp.as_slice()) {
                     rep_indices.push(i);
                 }
             }
         }
         // The representatives carry all the solver work, so they are the
-        // phase worth scheduling: reuse phase A's fingerprints to dispatch
-        // them longest-job-first when cost scheduling is on.
-        let rep_results: Vec<Result<LoopSynth, String>> = if self.cost_schedule {
-            let rep_keys: Vec<Option<u64>> = rep_indices
-                .iter()
-                .map(|&i| fingerprints[i].as_ref().ok().map(|fp| fingerprint_hash(fp)))
-                .collect();
-            let order = ljf_order(&rep_keys, &load_cost_book());
-            par_map_ordered(&rep_indices, threads, &order, |&i| {
-                synthesize_entry(entries[i].clone(), cfg, plan)
-            })
-        } else {
-            par_map(&rep_indices, threads, |&i| {
-                synthesize_entry(entries[i].clone(), cfg, plan)
-            })
-        };
+        // phase worth scheduling: dispatch them in the plan's order (the
+        // plan covers the full corpus; restricting its permutation to the
+        // representatives preserves their relative priorities).
+        let mut rank = vec![0usize; entries.len()];
+        for (pos, &i) in plan.order.iter().enumerate() {
+            rank[i] = pos;
+        }
+        let mut rep_order: Vec<usize> = (0..rep_indices.len()).collect();
+        rep_order.sort_by_key(|&j| rank[rep_indices[j]]);
+        let rep_results: Vec<Result<LoopSynth, String>> =
+            par_map_ordered(&rep_indices, threads, &rep_order, |&i| {
+                synthesize_planned(entries[i].clone(), cfg, faults, plan.loops[i].strategy)
+            });
         let mut slots: Vec<Option<LoopSynth>> = entries.iter().map(|_| None).collect();
         for (&i, result) in rep_indices.iter().zip(rep_results) {
             let result = resolve(&entries[i], result);
-            let fp = fingerprints[i].as_ref().expect("reps have fingerprints");
+            let (fp, _) = fingerprints[i].as_ref().expect("reps have fingerprints");
             assert!(cache.lookup(fp).is_none(), "representative misses");
             if let Some(p) = &result.program {
                 cache.insert(fp.clone(), p.encode());
@@ -548,12 +617,18 @@ impl CorpusRunner {
             }
         }
         let shared = &cache;
+        let plan_ref = &plan;
         let verified: Vec<Result<(Option<LoopSynth>, SessionStats), String>> =
             par_map(&pending, threads, |&idx| {
-                let fp = fingerprints[idx].as_ref().expect("pending ⇒ fingerprinted");
+                let (fp, _) = fingerprints[idx].as_ref().expect("pending ⇒ fingerprinted");
                 match shared.lookup(fp) {
                     None => (
-                        Some(synthesize_entry(entries[idx].clone(), cfg, plan)),
+                        Some(synthesize_planned(
+                            entries[idx].clone(),
+                            cfg,
+                            faults,
+                            plan_ref.loops[idx].strategy,
+                        )),
                         SessionStats::default(),
                     ),
                     Some(bytes) => {
@@ -603,7 +678,7 @@ impl CorpusRunner {
                 Err(msg) => slots[idx] = Some(crashed(entries[idx].clone(), msg)),
                 Ok((Some(r), _)) => slots[idx] = Some(r),
                 Ok((None, effort)) => {
-                    let fp = fingerprints[idx]
+                    let (fp, _) = fingerprints[idx]
                         .as_ref()
                         .expect("verified ⇒ fingerprinted");
                     cache.reject(fp);
@@ -612,7 +687,7 @@ impl CorpusRunner {
             }
         }
         let fallback_results = par_map(&fallback, threads, |&(i, wasted)| {
-            let mut r = synthesize_entry(entries[i].clone(), cfg, plan);
+            let mut r = synthesize_planned(entries[i].clone(), cfg, faults, plan.loops[i].strategy);
             r.stats.solver.verify = r.stats.solver.verify.plus(&wasted);
             r
         });
@@ -624,14 +699,10 @@ impl CorpusRunner {
             .into_iter()
             .map(|s| s.expect("every loop is resolved by one phase"))
             .collect();
-        if self.cost_schedule {
-            let keys: Vec<Option<u64>> = fingerprints
-                .iter()
-                .map(|fp| fp.as_ref().ok().map(|fp| fingerprint_hash(fp)))
-                .collect();
-            record_costs(&keys, &results);
+        if self.needs_keys() {
+            record_costs(&keys, &results, &plan);
         }
-        (results, cache.stats())
+        (results, cache.stats(), plan.counts())
     }
 }
 
@@ -645,24 +716,44 @@ fn load_cost_book() -> CostBook {
     }
 }
 
+/// The cost book's outcome tag for a loop's [`LoopOutcome`]. Cache hits
+/// and crashes are never recorded (see [`record_costs`]), so they have
+/// no tag.
+fn recorded_outcome(outcome: &LoopOutcome) -> RecordedOutcome {
+    match outcome {
+        LoopOutcome::Summarized => RecordedOutcome::Summarized,
+        LoopOutcome::NotMemoryless => RecordedOutcome::NotMemoryless,
+        LoopOutcome::BudgetExhausted(_) => RecordedOutcome::BudgetExhausted,
+        LoopOutcome::Degraded => RecordedOutcome::Degraded,
+        LoopOutcome::CacheHit | LoopOutcome::Crashed(_) => RecordedOutcome::Unknown,
+    }
+}
+
 /// Merges this run's freshly observed costs into the persisted book.
 /// Cache hits are skipped — a re-verification's cost says nothing about
-/// what synthesising the loop would cost — but failures are recorded:
-/// a loop that burnt its whole timeout is exactly the tail the scheduler
-/// must start early next run.
-fn record_costs(keys: &[Option<u64>], results: &[LoopSynth]) {
+/// what synthesising the loop would cost — and so are crashes, whose
+/// zeroed stats would mark the loop trusted-cheap. Budget exhaustions
+/// *are* recorded (a loop that burnt its whole budget is exactly the
+/// tail the scheduler must start early next run), but tagged as capped
+/// so neither `ljf_order`'s cost ranking nor the planner's predictor
+/// mistakes the cap for a true cost.
+fn record_costs(keys: &[Option<u64>], results: &[LoopSynth], plan: &Plan) {
     let mut book = load_cost_book();
-    for (key, r) in keys.iter().zip(results) {
+    for (i, (key, r)) in keys.iter().zip(results).enumerate() {
         let Some(k) = *key else { continue };
-        if r.cache_hit {
+        if r.cache_hit || matches!(r.outcome, LoopOutcome::Crashed(_)) {
             continue;
         }
         let total = r.stats.solver.total();
+        let strategy = plan.loops[i].strategy;
         book.record(
             k,
             CostStat {
                 conflicts: total.conflicts,
                 wall_micros: r.elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+                outcome: recorded_outcome(&r.outcome),
+                strategy: strategy.recorded(),
+                cube_k: strategy.cube_k().min(u32::MAX as usize) as u32,
             },
         );
     }
@@ -721,39 +812,41 @@ fn outcome_counter(outcome: &LoopOutcome) -> &'static str {
     }
 }
 
-/// Synthesises one corpus entry, mapping every failure mode — including a
-/// source that the C frontend rejects — to a per-loop `failure`, so one bad
-/// entry can never tear down a whole experiment run.
-///
-/// When `faults` plans a fault for this loop id it is applied here, inside
-/// the worker: a planned panic unwinds (and is caught by the caller's
-/// `par_map`); a forced `Unknown` or expired deadline runs the loop under
-/// a doctored config so the ordinary budget machinery classifies it.
-pub(crate) fn synthesize_entry(
-    entry: LoopEntry,
+/// Applies any planned fault for `entry_id`: a planned panic unwinds
+/// right here (and is caught by the dispatching `par_map`); a forced
+/// `Unknown` or expired deadline returns a doctored config (`None` when
+/// no fault is planned) so the ordinary budget machinery classifies it.
+fn apply_fault(
+    entry_id: &str,
     cfg: &SynthesisConfig,
     faults: &FaultPlan,
-) -> LoopSynth {
-    let mut doctored;
-    let cfg = match faults.fault_for(&entry.id) {
-        None => cfg,
-        Some(fault) => {
-            strsum_obs::counter(names::FAULT_INJECTED, "corpus", 1);
-            match fault {
-                Fault::Panic => panic!("injected fault: worker panic for {}", entry.id),
-                Fault::UnknownAtQuery(n) => {
-                    doctored = cfg.clone();
-                    doctored.forced_unknown_at = Some(*n);
-                    &doctored
-                }
-                Fault::DeadlineExpiry => {
-                    doctored = cfg.clone();
-                    doctored.budget.wall = Duration::ZERO;
-                    &doctored
-                }
-            }
+) -> Option<SynthesisConfig> {
+    let fault = faults.fault_for(entry_id)?;
+    strsum_obs::counter(names::FAULT_INJECTED, "corpus", 1);
+    match fault {
+        Fault::Panic => panic!("injected fault: worker panic for {entry_id}"),
+        Fault::UnknownAtQuery(n) => Some(SynthesisConfig {
+            forced_unknown_at: Some(*n),
+            ..cfg.clone()
+        }),
+        Fault::DeadlineExpiry => {
+            let mut doctored = cfg.clone();
+            doctored.budget.wall = Duration::ZERO;
+            Some(doctored)
         }
-    };
+    }
+}
+
+/// Compiles and synthesises one corpus entry under `cfg` as given (no
+/// fault handling — see [`synthesize_entry`]), mapping every failure
+/// mode — including a source the C frontend rejects — to a per-loop
+/// `failure`, so one bad entry can never tear down a whole experiment
+/// run. With a token, the attempt runs cancellably (portfolio arms).
+fn synthesize_body(
+    entry: LoopEntry,
+    cfg: &SynthesisConfig,
+    cancel: Option<CancelToken>,
+) -> LoopSynth {
     let mut span = strsum_obs::span("loop", "corpus");
     if span.active() {
         span.arg_str("id", entry.id.clone());
@@ -761,7 +854,10 @@ pub(crate) fn synthesize_entry(
     let start = Instant::now();
     match strsum_cfront::compile_one(&entry.source) {
         Ok(func) => {
-            let SynthesisResult { program, stats } = synthesize(&func, cfg);
+            let SynthesisResult { program, stats } = match cancel {
+                None => synthesize(&func, cfg),
+                Some(token) => synthesize_with_cancel(&func, cfg, token),
+            };
             span.arg_u64("synthesised", u64::from(program.is_some()));
             let outcome = classify(&stats, program.is_some());
             LoopSynth {
@@ -784,6 +880,123 @@ pub(crate) fn synthesize_entry(
             outcome: LoopOutcome::NotMemoryless,
         },
     }
+}
+
+/// Synthesises one corpus entry with fault handling, under `cfg`'s own
+/// `intra_loop` (the retry lane and the fixed-strategy paths).
+pub(crate) fn synthesize_entry(
+    entry: LoopEntry,
+    cfg: &SynthesisConfig,
+    faults: &FaultPlan,
+) -> LoopSynth {
+    let doctored = apply_fault(&entry.id, cfg, faults);
+    synthesize_body(entry, doctored.as_ref().unwrap_or(cfg), None)
+}
+
+/// Synthesises one corpus entry under its planned [`Strategy`]: serial
+/// and cubed strategies override `cfg.intra_loop`; a portfolio strategy
+/// races both (see [`run_portfolio`]).
+pub(crate) fn synthesize_planned(
+    entry: LoopEntry,
+    cfg: &SynthesisConfig,
+    faults: &FaultPlan,
+    strategy: Strategy,
+) -> LoopSynth {
+    match strategy {
+        Strategy::Portfolio { cubes } => run_portfolio(entry, cfg, faults, cubes),
+        _ => {
+            let k = strategy.cube_k();
+            if cfg.intra_loop == k {
+                synthesize_entry(entry, cfg, faults)
+            } else {
+                let cfg = SynthesisConfig {
+                    intra_loop: k,
+                    ..cfg.clone()
+                };
+                synthesize_entry(entry, &cfg, faults)
+            }
+        }
+    }
+}
+
+/// Races a serial arm against a `cubes`-cubed arm on scoped threads;
+/// the first finisher wins and both cancellation tokens fire, so the
+/// loser stops at its next governor stride instead of burning its whole
+/// budget.
+///
+/// Determinism: both arms are deterministic and byte-identical by the
+/// cube merge theorem, so *which* arm reports first changes only wall
+/// clock and telemetry attribution, never the program or (decisive)
+/// outcome — the same contract every other strategy honours. As
+/// everywhere else, budget-exhaustion verdicts remain wall-clock
+/// dependent; the determinism audits class those as timing races.
+///
+/// Faults are applied once, on the dispatching worker: a planned panic
+/// must unwind where `par_map` isolates it, and a doctored config
+/// applies to both arms alike.
+fn run_portfolio(
+    entry: LoopEntry,
+    cfg: &SynthesisConfig,
+    faults: &FaultPlan,
+    cubes: usize,
+) -> LoopSynth {
+    let doctored = apply_fault(&entry.id, cfg, faults);
+    let cfg = doctored.as_ref().unwrap_or(cfg);
+    let mut span = strsum_obs::span("loop.portfolio", "corpus");
+    if span.active() {
+        span.arg_str("id", entry.id.clone());
+    }
+    let arm_cfgs = [
+        SynthesisConfig {
+            intra_loop: 1,
+            ..cfg.clone()
+        },
+        SynthesisConfig {
+            intra_loop: cubes.max(2),
+            ..cfg.clone()
+        },
+    ];
+    let tokens = [CancelToken::new(), CancelToken::new()];
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, LoopSynth)>();
+    let ((arm, mut result), loser) = std::thread::scope(|scope| {
+        for (arm, arm_cfg) in arm_cfgs.iter().enumerate() {
+            let tx = tx.clone();
+            let token = tokens[arm].clone();
+            let entry = entry.clone();
+            scope.spawn(move || {
+                let r = synthesize_body(entry, arm_cfg, Some(token));
+                let _ = tx.send((arm, r));
+            });
+        }
+        drop(tx);
+        let first = rx.recv().expect("at least one arm reports");
+        for t in &tokens {
+            t.cancel();
+        }
+        // The loser stops at its next stride; the scope's implicit join
+        // bounds how long that takes.
+        (first, rx.recv().ok())
+    });
+    // The cancelled loser's partial solver effort was genuinely spent (and
+    // span-recorded), so fold it into the winner's telemetry: reported
+    // effort equals effort burned, and the bench trace↔telemetry
+    // reconciliation stays exact. Only telemetry merges — the program,
+    // outcome, and counterexamples are the winner's alone.
+    if let Some((_, lost)) = loser {
+        result.stats.solver.search = result.stats.solver.search.plus(&lost.stats.solver.search);
+        result.stats.solver.verify = result.stats.solver.verify.plus(&lost.stats.solver.verify);
+    }
+    strsum_obs::counter(
+        if arm == 0 {
+            names::PLAN_PORTFOLIO_SERIAL_WIN
+        } else {
+            names::PLAN_PORTFOLIO_CUBED_WIN
+        },
+        "corpus",
+        1,
+    );
+    span.arg_u64("serial_won", u64::from(arm == 0));
+    result
 }
 
 /// Parses `results/summaries.tsv` when it covers every entry.
@@ -829,19 +1042,33 @@ fn load_summaries(path: &std::path::Path, entries: &[LoopEntry]) -> Option<Vec<L
 mod tests {
     use super::*;
 
-    /// The deprecated `timeout` setter keeps working by folding into the
-    /// budget's wall clock, and the budget/retry setters layer as
-    /// documented.
+    /// The budget/retry setters layer as documented.
     #[test]
-    #[allow(deprecated)]
-    fn timeout_shim_and_budget_setters_update_the_budget() {
-        let runner = CorpusRunner::new(SynthesisConfig::default()).timeout(Duration::from_secs(7));
-        assert_eq!(runner.cfg.budget.wall, Duration::from_secs(7));
-
+    fn budget_setters_update_the_budget() {
         let runner = CorpusRunner::new(SynthesisConfig::default())
             .budget(Budget::default().with_wall(Duration::from_secs(9)))
             .retries(2);
         assert_eq!(runner.cfg.budget.wall, Duration::from_secs(9));
         assert_eq!(runner.cfg.budget.retries, 2);
+    }
+
+    /// `new` derives the plan from the config's `intra_loop` knob so
+    /// pre-planner callers keep their behaviour, and `.plan()` replaces
+    /// it wholesale.
+    #[test]
+    fn plan_defaults_follow_intra_loop_and_plan_overrides() {
+        let runner = CorpusRunner::new(SynthesisConfig::default());
+        assert_eq!(runner.plan, PlanSpec::serial());
+
+        let cfg = SynthesisConfig {
+            intra_loop: 4,
+            ..SynthesisConfig::default()
+        };
+        let runner = CorpusRunner::new(cfg);
+        assert_eq!(runner.plan, PlanSpec::cubed(4));
+
+        let runner =
+            CorpusRunner::new(SynthesisConfig::default()).plan(PlanSpec::adaptive().corpus_order());
+        assert_eq!(runner.plan, PlanSpec::adaptive().corpus_order());
     }
 }

@@ -1,82 +1,102 @@
 //! Parallelism must be invisible in the results: a corpus run with worker
-//! threads, intra-loop search cubes, and cost-aware dispatch all enabled
-//! produces byte-identical `LoopSynth` outcomes to a fully serial run —
-//! same programs, same failure verdicts, same counterexample trajectories.
+//! threads, intra-loop search cubes, cost-aware dispatch, an adaptive
+//! planner, or portfolio racing enabled produces byte-identical
+//! `LoopSynth` outcomes to a fully serial run — same programs, same
+//! failure verdicts, same counterexample trajectories.
 //!
-//! Two layers guarantee this. Across loops, `par_map`/`par_map_ordered`
+//! Three layers guarantee this. Across loops, `par_map`/`par_map_ordered`
 //! slot every result at the loop's original index, so neither thread
 //! scheduling nor the dispatch permutation can reorder or change results.
 //! Within a loop, the cube portfolio's deterministic merge (lowest SAT
 //! cube wins, `Unknown` below it poisons the answer) returns exactly the
-//! serial canonical model. The only legitimate divergence is a verdict
-//! that raced the per-loop timeout, which this test skips rather than
-//! compares.
+//! serial canonical model. Across strategies, a portfolio race only picks
+//! *which* of two deterministic, byte-identical computations reports
+//! first, so the winner's identity is invisible in the results too. The
+//! only legitimate divergence is a verdict that raced the per-loop
+//! timeout, which this test skips rather than compares.
 
 use std::time::Duration;
-use strsum_bench::CorpusRunner;
+use strsum_bench::{CorpusRunner, LoopSynth, PlanSpec};
 use strsum_core::SynthesisConfig;
 
 /// Wall-clock-dependent verdicts, the only legitimate divergence source.
-fn timing_dependent(failure: &Option<String>) -> bool {
-    matches!(
-        failure.as_deref(),
-        Some("timeout" | "solver gave up on candidate search")
-    )
+/// Besides outright exhaustion, a *degraded* success — the budget tripped
+/// during minimisation, leaving a sound but unminimised program — is also
+/// clock-raced: its byte encoding depends on how far minimisation got.
+fn timing_dependent(r: &LoopSynth) -> bool {
+    r.stats.degraded
+        || r.stats.exhausted.is_some()
+        || matches!(
+            r.failure.as_deref(),
+            Some("timeout" | "solver gave up on candidate search")
+        )
 }
 
-#[test]
-fn parallel_run_matches_serial_run_byte_for_byte() {
-    let entries: Vec<_> = strsum_corpus::corpus().into_iter().take(12).collect();
-    // The timeout only decides when a loop is cut off, never which
-    // candidate or counterexample comes next, so the parallel run may get
-    // a larger budget: on a host with fewer cores than workers the
-    // oversubscribed run needs more wall clock to reach the same verdicts,
-    // and every loop that finishes on both sides must still agree
-    // byte-for-byte.
-    let cfg = |timeout: u64| SynthesisConfig::with_timeout(Duration::from_secs(timeout));
-    let serial = CorpusRunner::new(cfg(8))
-        .threads(1)
-        .intra_loop(1)
-        .cost_schedule(false)
-        .run(&entries)
-        .results;
-    let threads = strsum_bench::default_threads().max(2);
-    let parallel = CorpusRunner::new(cfg(24))
-        .threads(threads)
-        .intra_loop(4)
-        .cost_schedule(true)
-        .run(&entries)
-        .results;
-
+/// Asserts byte-identity of every non-timing-raced loop between two runs,
+/// returning how many loops compared cleanly.
+fn assert_byte_identical(serial: &[LoopSynth], other: &[LoopSynth], label: &str) -> usize {
     let mut compared = 0usize;
-    let mut skipped = Vec::new();
-    for (s, p) in serial.iter().zip(&parallel) {
+    for (s, p) in serial.iter().zip(other) {
         assert_eq!(s.entry.id, p.entry.id, "results stay in corpus order");
-        if timing_dependent(&s.failure) || timing_dependent(&p.failure) {
-            skipped.push(s.entry.id.clone());
+        if timing_dependent(s) || timing_dependent(p) {
             continue;
         }
         let a = s.program.as_ref().map(|prog| prog.encode());
         let b = p.program.as_ref().map(|prog| prog.encode());
         assert_eq!(
             a, b,
-            "{}: serial and parallel synthesised different programs",
+            "{}: serial and {label} synthesised different programs",
             s.entry.id
         );
         assert_eq!(
             s.failure, p.failure,
-            "{}: serial and parallel failed differently",
+            "{}: serial and {label} failed differently",
             s.entry.id
         );
         assert_eq!(
             s.stats.counterexamples, p.stats.counterexamples,
-            "{}: serial and parallel took different counterexample trajectories",
+            "{}: serial and {label} took different counterexample trajectories",
             s.entry.id
         );
         compared += 1;
     }
-    assert!(
-        compared >= 6,
-        "only {compared} loops compared deterministically (skipped on timing: {skipped:?})"
-    );
+    compared
+}
+
+#[test]
+fn every_plan_matches_the_serial_run_byte_for_byte() {
+    let entries: Vec<_> = strsum_corpus::corpus().into_iter().take(12).collect();
+    // The timeout only decides when a loop is cut off, never which
+    // candidate or counterexample comes next, so the parallel runs may get
+    // a larger budget: on a host with fewer cores than workers an
+    // oversubscribed run needs more wall clock to reach the same verdicts,
+    // and every loop that finishes on both sides must still agree
+    // byte-for-byte.
+    let cfg = |timeout: u64| SynthesisConfig::with_timeout(Duration::from_secs(timeout));
+    let serial = CorpusRunner::new(cfg(8))
+        .threads(1)
+        .plan(PlanSpec::serial().corpus_order())
+        .run(&entries)
+        .results;
+    let threads = strsum_bench::default_threads().max(2);
+    let run_plan = |plan: PlanSpec| {
+        CorpusRunner::new(cfg(24))
+            .threads(threads)
+            .plan(plan)
+            .run(&entries)
+            .results
+    };
+
+    for (plan, label) in [
+        (PlanSpec::cubed(4), "cubed"),
+        (PlanSpec::adaptive(), "adaptive"),
+        (PlanSpec::portfolio(2), "portfolio"),
+    ] {
+        let other = run_plan(plan);
+        let compared = assert_byte_identical(&serial, &other, label);
+        assert!(
+            compared >= 6,
+            "only {compared} loops compared deterministically against the {label} plan"
+        );
+    }
 }

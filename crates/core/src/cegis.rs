@@ -117,8 +117,26 @@ pub struct SynthesisResult {
 /// expressed in the vocabulary/size or the budget runs out — never panics
 /// on inexpressible loops.
 pub fn synthesize(func: &strsum_ir::Func, cfg: &SynthesisConfig) -> SynthesisResult {
+    synthesize_with_cancel(func, cfg, crate::budget::CancelToken::new())
+}
+
+/// [`synthesize`] with an externally owned cancellation token.
+///
+/// The token reaches every solver and the symbolic engine of the attempt
+/// (cube forks included), so cancelling it from another thread stops the
+/// run at the next governor stride and the attempt reports wall-budget
+/// exhaustion. This is the shared entry point for portfolio racing: each
+/// arm runs under its own token, and the first finisher cancels the
+/// rest. Results are unaffected by *when* (or whether) the token fires —
+/// a run that completes before cancellation returns exactly what
+/// [`synthesize`] would.
+pub fn synthesize_with_cancel(
+    func: &strsum_ir::Func,
+    cfg: &SynthesisConfig,
+    cancel: crate::budget::CancelToken,
+) -> SynthesisResult {
     let start = Instant::now();
-    match SynthSession::new(func, cfg.clone()) {
+    match SynthSession::with_cancel(func, cfg.clone(), cancel) {
         Ok(mut session) => session.run_size(cfg.max_prog_size, cfg.budget.wall),
         Err(e) => SynthesisResult {
             program: None,

@@ -33,6 +33,15 @@
 //! serial query (forked sessions inherit it), so `Unknown` merging only
 //! triggers where a serial run is itself at the mercy of its budget — the
 //! determinism audit already classifies those verdicts as timing races.
+//!
+//! **Cancellation.** Forked sessions also inherit the parent session's
+//! [`CancelToken`](crate::budget::CancelToken) — clones share one flag —
+//! so an externally cancelled attempt
+//! ([`SynthSession::with_cancel`](crate::session::SynthSession::with_cancel)
+//! / [`synthesize_with_cancel`](crate::cegis::synthesize_with_cancel))
+//! stops all of its cube workers too. That is what lets a portfolio
+//! scheduler race a serial arm against a cubed arm and abandon the loser
+//! wholesale: one token per arm reaches every solver the arm ever forks.
 
 use strsum_smt::{CheckResult, Interrupt, Lit, Session, SessionStats, TermId, TermPool};
 

@@ -48,8 +48,8 @@ pub mod vocab;
 
 pub use budget::{Budget, BudgetKind, CancelToken, LoopOutcome, Stop};
 pub use cegis::{
-    minimize, minimize_screened, minimize_with, synthesize, SynthStats, SynthesisConfig,
-    SynthesisResult,
+    minimize, minimize_screened, minimize_with, synthesize, synthesize_with_cancel, SynthStats,
+    SynthesisConfig, SynthesisResult,
 };
 pub use cubes::cube_ranges;
 pub use deepening::{synthesize_deepening, DeepeningConfig};

@@ -123,8 +123,29 @@ impl<'f> SynthSession<'f> {
     /// loop (budget exhaustion, wrong signature); on exhaustion it names
     /// the budget axis that tripped.
     pub fn new(func: &'f strsum_ir::Func, cfg: SynthesisConfig) -> Result<SynthSession<'f>, Stop> {
+        SynthSession::with_cancel(func, cfg, CancelToken::new())
+    }
+
+    /// Like [`SynthSession::new`], but wires an externally owned
+    /// cancellation token through the whole attempt: the symbolic
+    /// engine, the search and verify solvers, every cube fork (clones
+    /// share one flag), and the between-iteration checks.
+    ///
+    /// This is the entry point portfolio racers use — each arm gets its
+    /// own token so the scheduler can stop the losing arm the moment a
+    /// winner reports, and a pre-cancelled token makes the session stop
+    /// at the first governor stride, surfacing as wall-budget
+    /// exhaustion.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SynthSession::new`].
+    pub fn with_cancel(
+        func: &'f strsum_ir::Func,
+        cfg: SynthesisConfig,
+        cancel: CancelToken,
+    ) -> Result<SynthSession<'f>, Stop> {
         let mut pool = TermPool::new();
-        let cancel = CancelToken::new();
         let fault = cfg.forced_unknown_at.map(FaultInjector::new);
         let checker = BoundedChecker::with_budget(
             &mut pool,
@@ -714,6 +735,35 @@ mod tests {
             cubed.stats.solver.search.queries > serial.stats.solver.search.queries,
             "cube workers' effort is folded into search telemetry"
         );
+    }
+
+    #[test]
+    fn external_cancel_stops_the_attempt_as_wall_exhaustion() {
+        // A pre-cancelled external token must stop the run at the first
+        // governor stride and surface as budget exhaustion — the same
+        // verdict a portfolio loser reports after the winner cancels it.
+        let f = compile_one("char* f(char* s) { while (*s != 0 && *s != ':') s++; return s; }")
+            .unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let r = crate::cegis::synthesize_with_cancel(&f, &cfg(true), token);
+        assert!(r.program.is_none(), "cancelled attempt must not answer");
+        assert!(
+            r.stats.exhausted.is_some() || r.stats.failure.is_some(),
+            "cancellation surfaces as exhaustion, not silence"
+        );
+    }
+
+    #[test]
+    fn external_token_is_shared_not_copied() {
+        // with_cancel must wire the caller's token, not a fresh one:
+        // cancelling the caller's clone mid-flight is the portfolio
+        // contract.
+        let f = compile_one("char* f(char* s) { while (*s) s++; return s; }").unwrap();
+        let token = CancelToken::new();
+        let sess = SynthSession::with_cancel(&f, cfg(true), token.clone()).unwrap();
+        token.cancel();
+        assert!(sess.cancel_token().is_cancelled(), "clones share one flag");
     }
 
     #[test]

@@ -114,18 +114,155 @@ impl SummaryCache {
     }
 }
 
+/// How the run that produced a [`CostStat`] row ended.
+///
+/// A deliberately coarse, corpus-local mirror of the synthesis
+/// `LoopOutcome` taxonomy (this crate must not depend on the synthesis
+/// core). The distinction that matters downstream is *capped vs. true*:
+/// a `BudgetExhausted` wall clock is a lower bound imposed by the
+/// governor, not the loop's real cost, and schedulers/predictors must
+/// not treat it as one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RecordedOutcome {
+    /// A summary was synthesised and verified; the cost is the true cost.
+    Summarized,
+    /// The loop was proven outside the memoryless fragment; decisive, so
+    /// the cost is the true cost of reaching that verdict.
+    NotMemoryless,
+    /// The governor stopped the run; the wall clock is the budget cap,
+    /// not the loop's cost.
+    BudgetExhausted,
+    /// A degraded (partial) result was accepted.
+    Degraded,
+    /// Recorded by a pre-v2 book, or an unrecognised label: outcome
+    /// unknown. Treated as trusted for dispatch (historical behaviour)
+    /// but excluded from predictor training.
+    #[default]
+    Unknown,
+}
+
+impl RecordedOutcome {
+    /// Stable on-disk label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecordedOutcome::Summarized => "summarized",
+            RecordedOutcome::NotMemoryless => "not_memoryless",
+            RecordedOutcome::BudgetExhausted => "budget_exhausted",
+            RecordedOutcome::Degraded => "degraded",
+            RecordedOutcome::Unknown => "unknown",
+        }
+    }
+
+    /// Inverse of [`RecordedOutcome::label`]; unrecognised labels map to
+    /// `Unknown` (the book is a hint — tolerance over rejection).
+    pub fn parse(s: &str) -> RecordedOutcome {
+        match s {
+            "summarized" => RecordedOutcome::Summarized,
+            "not_memoryless" => RecordedOutcome::NotMemoryless,
+            "budget_exhausted" => RecordedOutcome::BudgetExhausted,
+            "degraded" => RecordedOutcome::Degraded,
+            _ => RecordedOutcome::Unknown,
+        }
+    }
+}
+
+/// Which execution strategy produced a [`CostStat`] row.
+///
+/// Cost observed under cube-and-conquer or a portfolio race is not
+/// directly comparable to serial cost (cubes add setup overhead and
+/// change conflict totals), so the predictor needs to know how a number
+/// was measured before extrapolating from it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RecordedStrategy {
+    /// One incremental session, no cubes.
+    #[default]
+    Serial,
+    /// Cube-and-conquer over `cube_k` first-byte ranges.
+    Cubed,
+    /// A serial-vs-cubed race; the recorded cost is the winner's.
+    Portfolio,
+}
+
+impl RecordedStrategy {
+    /// Stable on-disk label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecordedStrategy::Serial => "serial",
+            RecordedStrategy::Cubed => "cubed",
+            RecordedStrategy::Portfolio => "portfolio",
+        }
+    }
+
+    /// Inverse of [`RecordedStrategy::label`]; unrecognised labels map to
+    /// `Serial` (the strategy is advisory metadata, not a correctness
+    /// input).
+    pub fn parse(s: &str) -> RecordedStrategy {
+        match s {
+            "cubed" => RecordedStrategy::Cubed,
+            "portfolio" => RecordedStrategy::Portfolio,
+            _ => RecordedStrategy::Serial,
+        }
+    }
+}
+
 /// Solver cost observed when a loop was last synthesised from scratch.
 ///
 /// Persisted across runs (see [`CostBook`]) so the corpus scheduler can
 /// dispatch expensive loops first — longest-job-first needs last run's
 /// tail, and the fingerprint keys make the record survive loop renames.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Since v2 each row also carries how the run ended and how it was
+/// executed, so a budget-capped wall clock is never mistaken for a true
+/// cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CostStat {
     /// Total SAT conflicts spent on the loop (search + verify). Machine
     /// independent, so it orders loops stably across hosts.
     pub conflicts: u64,
     /// Wall-clock microseconds the synthesis took on the recording host.
     pub wall_micros: u64,
+    /// How the recording run ended (v2; `Unknown` for v1 rows).
+    pub outcome: RecordedOutcome,
+    /// Execution strategy the recording run used (v2; `Serial` for v1
+    /// rows).
+    pub strategy: RecordedStrategy,
+    /// Cube count the recording run used (1 for serial; v1 rows default
+    /// to 1).
+    pub cube_k: u32,
+}
+
+impl Default for CostStat {
+    fn default() -> Self {
+        CostStat {
+            conflicts: 0,
+            wall_micros: 0,
+            outcome: RecordedOutcome::Unknown,
+            strategy: RecordedStrategy::Serial,
+            cube_k: 1,
+        }
+    }
+}
+
+impl CostStat {
+    /// Whether the wall clock is a governor-imposed cap rather than the
+    /// loop's true cost. Capped rows still mark the loop known-expensive
+    /// (its true cost is *at least* the cap), but must not be used as a
+    /// point estimate.
+    pub fn capped(self) -> bool {
+        self.outcome == RecordedOutcome::BudgetExhausted
+    }
+
+    /// Whether the row is a true, decisive measurement suitable for
+    /// predictor training: the run finished on its own (summarised,
+    /// proven not-memoryless, or degraded-but-complete) rather than
+    /// being cut off or recorded by a pre-v2 book.
+    pub fn trusted(self) -> bool {
+        matches!(
+            self.outcome,
+            RecordedOutcome::Summarized
+                | RecordedOutcome::NotMemoryless
+                | RecordedOutcome::Degraded
+        )
+    }
 }
 
 /// Collapses a semantic fingerprint to a stable 64-bit key (FNV-1a over
@@ -143,15 +280,25 @@ pub fn fingerprint_hash(fingerprint: &[u64]) -> u64 {
     h
 }
 
+/// Header line written at the top of a v2 book. Lines starting with `#`
+/// are comments: skipped on parse without counting as drops, so a v2
+/// book read by hand (or by a hypothetical v1 parser that tolerates
+/// drops) stays self-describing.
+pub const COST_BOOK_HEADER: &str =
+    "# strsum costs v2: hash\tconflicts\twall_micros\toutcome\tstrategy\tcube_k";
+
 /// Persistent per-loop solver-cost records, keyed by
 /// [`fingerprint_hash`].
 ///
-/// Serialised as sorted tab-separated lines (`hash<TAB>conflicts<TAB>
-/// wall_micros`) so the on-disk book is deterministic, diffable, and
-/// mergeable by hand. Parsing is tolerant: unreadable lines are skipped,
-/// because the book is a performance hint, never a correctness input —
-/// a missing or stale record only changes dispatch order, and results
-/// are slotted by original index regardless of schedule.
+/// Serialised as sorted tab-separated lines (v2: `hash<TAB>conflicts
+/// <TAB>wall_micros<TAB>outcome<TAB>strategy<TAB>cube_k`, preceded by a
+/// `#`-prefixed header) so the on-disk book is deterministic, diffable,
+/// and mergeable by hand. Parsing is tolerant: v1 three-field rows are
+/// still accepted (outcome/strategy default to `Unknown`/`Serial`), and
+/// unreadable lines are skipped, because the book is a performance hint,
+/// never a correctness input — a missing or stale record only changes
+/// dispatch order, and results are slotted by original index regardless
+/// of schedule.
 #[derive(Debug, Clone, Default)]
 pub struct CostBook {
     entries: std::collections::BTreeMap<u64, CostStat>,
@@ -176,6 +323,10 @@ impl CostBook {
         let mut entries = std::collections::BTreeMap::new();
         let mut dropped = 0usize;
         for line in text.lines() {
+            if line.starts_with('#') {
+                // Header / comment line — not data, not a drop.
+                continue;
+            }
             let mut parts = line.split('\t');
             let (Some(k), Some(c), Some(w)) = (parts.next(), parts.next(), parts.next()) else {
                 dropped += 1;
@@ -187,11 +338,28 @@ impl CostBook {
                 dropped += 1;
                 continue;
             };
+            // v2 fields are optional and individually lenient: a v1 row
+            // (or a garbled suffix) falls back to defaults rather than
+            // discarding a valid cost prefix.
+            let outcome = parts
+                .next()
+                .map_or(RecordedOutcome::Unknown, RecordedOutcome::parse);
+            let strategy = parts
+                .next()
+                .map_or(RecordedStrategy::Serial, RecordedStrategy::parse);
+            let cube_k = parts
+                .next()
+                .and_then(|s| s.parse::<u32>().ok())
+                .unwrap_or(1)
+                .max(1);
             entries.insert(
                 k,
                 CostStat {
                     conflicts,
                     wall_micros,
+                    outcome,
+                    strategy,
+                    cube_k,
                 },
             );
         }
@@ -215,12 +383,21 @@ impl CostBook {
         self.dropped
     }
 
-    /// The on-disk text form: one sorted `hash<TAB>conflicts<TAB>
-    /// wall_micros` line per loop.
+    /// The on-disk text form: the v2 header, then one sorted `hash<TAB>
+    /// conflicts<TAB>wall_micros<TAB>outcome<TAB>strategy<TAB>cube_k`
+    /// line per loop.
     pub fn dump(&self) -> String {
-        let mut out = String::new();
+        let mut out = String::from(COST_BOOK_HEADER);
+        out.push('\n');
         for (k, s) in &self.entries {
-            out.push_str(&format!("{k}\t{}\t{}\n", s.conflicts, s.wall_micros));
+            out.push_str(&format!(
+                "{k}\t{}\t{}\t{}\t{}\t{}\n",
+                s.conflicts,
+                s.wall_micros,
+                s.outcome.label(),
+                s.strategy.label(),
+                s.cube_k
+            ));
         }
         out
     }
@@ -279,6 +456,9 @@ mod tests {
             CostStat {
                 conflicts: 900,
                 wall_micros: 1_500_000,
+                outcome: RecordedOutcome::BudgetExhausted,
+                strategy: RecordedStrategy::Cubed,
+                cube_k: 4,
             },
         );
         book.record(
@@ -286,20 +466,53 @@ mod tests {
             CostStat {
                 conflicts: 10,
                 wall_micros: 2_000,
+                outcome: RecordedOutcome::Summarized,
+                strategy: RecordedStrategy::Serial,
+                cube_k: 1,
             },
         );
         let text = book.dump();
-        assert_eq!(text, "7\t10\t2000\n42\t900\t1500000\n");
+        assert_eq!(
+            text,
+            format!(
+                "{COST_BOOK_HEADER}\n\
+                 7\t10\t2000\tsummarized\tserial\t1\n\
+                 42\t900\t1500000\tbudget_exhausted\tcubed\t4\n"
+            )
+        );
         let back = CostBook::parse(&text);
         assert_eq!(back.len(), 2);
+        assert_eq!(back.dropped(), 0, "the header is not a drop");
         assert_eq!(
             back.get(42),
             Some(CostStat {
                 conflicts: 900,
-                wall_micros: 1_500_000
+                wall_micros: 1_500_000,
+                outcome: RecordedOutcome::BudgetExhausted,
+                strategy: RecordedStrategy::Cubed,
+                cube_k: 4,
             })
         );
+        assert!(back.get(42).unwrap().capped());
+        assert!(!back.get(42).unwrap().trusted());
+        assert!(back.get(7).unwrap().trusted());
         assert_eq!(back.get(1), None);
+    }
+
+    #[test]
+    fn cost_book_reads_v1_rows() {
+        // A pre-v2 book: bare hash/conflicts/wall rows, no header.
+        let book = CostBook::parse("7\t10\t2000\n42\t900\t1500000\n");
+        assert_eq!(book.len(), 2);
+        assert_eq!(book.dropped(), 0);
+        let s = book.get(42).unwrap();
+        assert_eq!((s.conflicts, s.wall_micros), (900, 1_500_000));
+        assert_eq!(s.outcome, RecordedOutcome::Unknown);
+        assert_eq!(s.strategy, RecordedStrategy::Serial);
+        assert_eq!(s.cube_k, 1);
+        // Unknown provenance: not capped, but not trusted for training.
+        assert!(!s.capped());
+        assert!(!s.trusted());
     }
 
     #[test]
@@ -312,18 +525,44 @@ mod tests {
         assert_eq!(CostBook::parse(book.dump().as_str()).dropped(), 0);
         assert_eq!(
             book.get(9),
+            // The unrecognised fourth field degrades to Unknown rather
+            // than dropping the row's valid cost prefix.
             Some(CostStat {
                 conflicts: 3,
-                wall_micros: 4
+                wall_micros: 4,
+                ..CostStat::default()
             })
         );
         assert_eq!(
             book.get(11),
             Some(CostStat {
                 conflicts: 6,
-                wall_micros: 7
+                wall_micros: 7,
+                ..CostStat::default()
             })
         );
+    }
+
+    #[test]
+    fn recorded_labels_round_trip() {
+        for o in [
+            RecordedOutcome::Summarized,
+            RecordedOutcome::NotMemoryless,
+            RecordedOutcome::BudgetExhausted,
+            RecordedOutcome::Degraded,
+            RecordedOutcome::Unknown,
+        ] {
+            assert_eq!(RecordedOutcome::parse(o.label()), o);
+        }
+        for s in [
+            RecordedStrategy::Serial,
+            RecordedStrategy::Cubed,
+            RecordedStrategy::Portfolio,
+        ] {
+            assert_eq!(RecordedStrategy::parse(s.label()), s);
+        }
+        assert_eq!(RecordedOutcome::parse("wat"), RecordedOutcome::Unknown);
+        assert_eq!(RecordedStrategy::parse("wat"), RecordedStrategy::Serial);
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub mod filter;
 pub mod manual;
 pub mod population;
 
-pub use cache::{fingerprint_hash, CacheStats, CostBook, CostStat, SummaryCache};
+pub use cache::{
+    fingerprint_hash, CacheStats, CostBook, CostStat, RecordedOutcome, RecordedStrategy,
+    SummaryCache, COST_BOOK_HEADER,
+};
 pub use db::{corpus, App, LoopEntry, APPS};
 pub use filter::{filter_report, passes_automatic_filters, FilterStage};
 pub use manual::{manual_category, ManualCategory};

@@ -55,4 +55,25 @@ mod tests {
         // EI is never negative.
         assert!(expected_improvement(-3.0, 0.2, 0.0) >= 0.0);
     }
+
+    #[test]
+    fn ei_is_monotone() {
+        // Over a grid: nondecreasing in the mean (a better prediction is
+        // never a worse prospect) and nonincreasing in the incumbent (a
+        // higher bar is never easier to clear).
+        let grid: Vec<f64> = (-20..=20).map(|i| f64::from(i) * 0.25).collect();
+        for &sd in &[0.1, 0.5, 2.0] {
+            for w in grid.windows(2) {
+                let (lo, hi) = (w[0], w[1]);
+                assert!(
+                    expected_improvement(hi, sd, 0.0) >= expected_improvement(lo, sd, 0.0) - 1e-12,
+                    "EI must be nondecreasing in mean (sd={sd}, {lo}→{hi})"
+                );
+                assert!(
+                    expected_improvement(0.0, sd, hi) <= expected_improvement(0.0, sd, lo) + 1e-12,
+                    "EI must be nonincreasing in the incumbent (sd={sd}, {lo}→{hi})"
+                );
+            }
+        }
+    }
 }

@@ -31,9 +31,9 @@ pub mod linalg;
 pub mod regress;
 
 pub use ei::expected_improvement;
-pub use kernel::RbfKernel;
+pub use kernel::{RbfKernel, VecKernel};
 pub use linalg::Matrix;
-pub use regress::Gp;
+pub use regress::{Gp, VecGp};
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};

@@ -7,7 +7,7 @@
 //! at every thread count.
 
 use std::time::Duration;
-use strsum_bench::{CorpusReport, CorpusRunner, Fault, FaultPlan};
+use strsum_bench::{CorpusReport, CorpusRunner, Fault, FaultPlan, PlanSpec};
 use strsum_core::{BudgetKind, LoopOutcome, SynthesisConfig};
 use strsum_corpus::{App, LoopEntry};
 
@@ -65,14 +65,13 @@ fn outcome_of<'r>(report: &'r CorpusReport, id: &str) -> &'r LoopOutcome {
         .outcome
 }
 
-/// Fault injection needs `intra_loop(1)`: the forced-Unknown counter is
+/// Fault injection needs the serial plan: the forced-Unknown counter is
 /// shared across a loop's solver sessions, and concurrent search cubes
 /// would race it.
 fn faulted_runner() -> CorpusRunner {
     CorpusRunner::new(cfg())
         .threads(2)
-        .intra_loop(1)
-        .cost_schedule(false)
+        .plan(PlanSpec::serial().corpus_order())
         .fault_plan(plan())
 }
 
@@ -166,13 +165,11 @@ fn empty_plan_is_byte_identical_across_thread_counts() {
     let entries = corpus();
     let serial = CorpusRunner::new(cfg())
         .threads(1)
-        .intra_loop(1)
-        .cost_schedule(false)
+        .plan(PlanSpec::serial().corpus_order())
         .run(&entries);
     let parallel = CorpusRunner::new(cfg())
         .threads(4)
-        .intra_loop(2)
-        .cost_schedule(true)
+        .plan(PlanSpec::cubed(2))
         .run(&entries);
     for (s, p) in serial.results.iter().zip(&parallel.results) {
         assert_eq!(s.entry.id, p.entry.id, "results stay in corpus order");
