@@ -1,0 +1,43 @@
+//! Pinned benchmark for the symbolic engine's feasibility hot path: a
+//! deep-fork path condition (whitespace/digit span loop at length 8, two
+//! feasibility queries per fork, dozens of forks) executed with the
+//! layered pipeline on and off.
+//!
+//! `feasible/pipeline` is the benchmark to watch when touching the
+//! constructive string theory, the canonical cache, or the per-path
+//! incremental sessions; `feasible/pure_sat` pins the from-scratch
+//! bit-blasting baseline those layers replace. The path sets are
+//! byte-identical by construction (the CI audit gates it), so any delta
+//! between the two is pure solving effort.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use strsum_smt::TermPool;
+use strsum_symex::Engine;
+
+fn bench_feasible(c: &mut Criterion) {
+    let func = strsum_cfront::compile_one(
+        "char* f(char* s) { while (*s == ' ' || *s == '\\t' || isdigit(*s)) s++; return s; }",
+    )
+    .expect("compiles");
+    let mut group = c.benchmark_group("feasible");
+    group.sample_size(20);
+    for (name, fast) in [("pipeline", true), ("pure_sat", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut pool = TermPool::new();
+                let mut engine = Engine::new(&mut pool);
+                engine.set_fast_path(fast);
+                let run = engine
+                    .run_on_symbolic_string(black_box(&func), 8)
+                    .expect("loop shape");
+                assert!(run.complete);
+                black_box(run.stats)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_feasible);
+criterion_main!(benches);

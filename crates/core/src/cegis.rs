@@ -47,6 +47,14 @@ pub struct SynthesisConfig {
     /// clock and solver effort change. Applies to incremental sessions;
     /// the from-scratch reference path always searches serially.
     pub intra_loop: usize,
+    /// Layered feasibility pipeline in the symbolic engine (the default):
+    /// branch queries go through the constructive string theory and the
+    /// canonical-constraint cache before any SAT solving, and the SAT
+    /// layer keeps one incremental session per path. When false, every
+    /// query bit-blasts the full path condition from scratch — the
+    /// ablation baseline. Either setting explores byte-identical path
+    /// sets and synthesises byte-identical summaries.
+    pub theory_fast_path: bool,
 }
 
 impl Default for SynthesisConfig {
@@ -63,6 +71,7 @@ impl Default for SynthesisConfig {
             incremental: true,
             screen: true,
             intra_loop: 1,
+            theory_fast_path: true,
         }
     }
 }

@@ -64,9 +64,25 @@ impl BoundedChecker {
         budget: &Budget,
         cancel: Option<CancelToken>,
     ) -> Result<BoundedChecker, Stop> {
+        BoundedChecker::with_budget_opts(pool, func, max_ex_size, budget, cancel, true)
+    }
+
+    /// [`BoundedChecker::with_budget`] with the engine's layered
+    /// feasibility pipeline (theory → cache → incremental SAT) toggled
+    /// explicitly. `fast_path = false` is the ablation baseline: every
+    /// branch query bit-blasts the full path condition from scratch.
+    pub fn with_budget_opts(
+        pool: &mut TermPool,
+        func: &strsum_ir::Func,
+        max_ex_size: usize,
+        budget: &Budget,
+        cancel: Option<CancelToken>,
+        fast_path: bool,
+    ) -> Result<BoundedChecker, Stop> {
         let mut engine = Engine::new(pool);
         engine.max_paths = budget.symex_paths;
         engine.step_limit = budget.symex_steps;
+        engine.set_fast_path(fast_path);
         if budget.governed {
             engine.deadline = Some(std::time::Instant::now() + budget.wall);
             engine.cancel = cancel;

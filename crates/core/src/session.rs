@@ -147,12 +147,13 @@ impl<'f> SynthSession<'f> {
     ) -> Result<SynthSession<'f>, Stop> {
         let mut pool = TermPool::new();
         let fault = cfg.forced_unknown_at.map(FaultInjector::new);
-        let checker = BoundedChecker::with_budget(
+        let checker = BoundedChecker::with_budget_opts(
             &mut pool,
             func,
             cfg.max_ex_size,
             &cfg.budget,
             Some(cancel.clone()),
+            cfg.theory_fast_path,
         )?;
         let mut oracle = LoopOracle::new(func);
         let screen = cfg

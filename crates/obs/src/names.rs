@@ -41,3 +41,12 @@ pub const PLAN_MODELED: &str = "plan.modeled";
 pub const PLAN_PORTFOLIO_SERIAL_WIN: &str = "plan.portfolio.serial_win";
 /// A portfolio race resolved with the cubed arm first.
 pub const PLAN_PORTFOLIO_CUBED_WIN: &str = "plan.portfolio.cubed_win";
+
+/// Feasibility queries the constructive string theory answered Sat.
+pub const SYMEX_THEORY_SAT: &str = "symex.feasible.theory_sat";
+/// Feasibility queries the constructive string theory answered Unsat.
+pub const SYMEX_THEORY_UNSAT: &str = "symex.feasible.theory_unsat";
+/// Feasibility queries answered by the canonical-constraint-set cache.
+pub const SYMEX_CACHE_HIT: &str = "symex.feasible.cache_hit";
+/// Feasibility queries that fell through to the bit-blasting SAT layer.
+pub const SYMEX_SAT_FALLBACK: &str = "symex.feasible.sat_fallback";

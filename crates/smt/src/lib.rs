@@ -62,7 +62,7 @@ pub use eval::{eval_bool, eval_bv};
 pub use model::Model;
 pub use sat::{Lit, SatResult, Solver as SatSolver};
 pub use session::{Session, SessionStats};
-pub use strings::{ByteSet, StringAbstraction};
+pub use strings::{ByteSet, StringAbstraction, StringTheory, TheoryState, TheoryVerdict};
 pub use term::{Op, Sort, Term, TermId, TermPool};
 
 /// Outcome of a satisfiability check at the term level.
@@ -133,13 +133,48 @@ impl Solver {
     ///
     /// Panics if an assertion is not of boolean sort.
     pub fn check(&self, pool: &mut TermPool, assertions: &[TermId]) -> CheckResult {
+        self.check_parts(pool, assertions, &[]).0
+    }
+
+    /// Checks `prefix ∧ extra` without materialising the combined slice —
+    /// the shape of a symbolic-execution feasibility query, where a long
+    /// shared path prefix is probed against one new branch literal. The
+    /// borrowed prefix is never copied.
+    pub fn check_with_extra(
+        &self,
+        pool: &mut TermPool,
+        prefix: &[TermId],
+        extra: TermId,
+    ) -> CheckResult {
+        self.check_parts(pool, prefix, &[extra]).0
+    }
+
+    /// [`Solver::check_with_extra`] plus the solver-effort counters of the
+    /// throwaway session that answered it (zeroed when the constant fast
+    /// path answered without one). Ablation baselines use the counters to
+    /// attribute propagations per query.
+    pub fn check_with_extra_stats(
+        &self,
+        pool: &mut TermPool,
+        prefix: &[TermId],
+        extra: TermId,
+    ) -> (CheckResult, SessionStats) {
+        self.check_parts(pool, prefix, &[extra])
+    }
+
+    fn check_parts(
+        &self,
+        pool: &mut TermPool,
+        prefix: &[TermId],
+        extra: &[TermId],
+    ) -> (CheckResult, SessionStats) {
         // Fast path on trivially-known assertions.
-        let mut pending = Vec::with_capacity(assertions.len());
-        for &a in assertions {
+        let mut pending = Vec::with_capacity(prefix.len() + extra.len());
+        for &a in prefix.iter().chain(extra) {
             assert_eq!(pool.sort(a), Sort::Bool, "assertion must be boolean");
             match pool.as_bool_const(a) {
                 Some(true) => {}
-                Some(false) => return CheckResult::Unsat,
+                Some(false) => return (CheckResult::Unsat, SessionStats::default()),
                 None => pending.push(a),
             }
         }
@@ -156,7 +191,9 @@ impl Solver {
         for a in pending {
             session.assert_term(pool, a);
         }
-        session.check(pool, &[])
+        let result = session.check(pool, &[]);
+        let stats = session.stats();
+        (result, stats)
     }
 
     /// Returns `true` iff `cond` holds under every assignment satisfying
@@ -170,9 +207,8 @@ impl Solver {
         cond: TermId,
     ) -> bool {
         let not_cond = pool.not(cond);
-        let mut q: Vec<TermId> = assumptions.to_vec();
-        q.push(not_cond);
-        self.check(pool, &q).is_unsat()
+        self.check_with_extra(pool, assumptions, not_cond)
+            .is_unsat()
     }
 }
 

@@ -1,9 +1,15 @@
 //! Property tests for the constructive string solver: every model it
 //! builds satisfies the constraints it was given, and it is complete for
 //! satisfiable span constraints (brute-force cross-check on tiny domains).
+//! The second block exercises the theory solver against randomly built
+//! per-byte constraint systems: Sat models must satisfy the original
+//! terms under the concrete evaluator, and Unsat verdicts must agree
+//! with the bit-blasted reference solver.
 
 use proptest::prelude::*;
-use strsum_smt::{ByteSet, StringAbstraction};
+use strsum_smt::{
+    eval_bool, ByteSet, Solver, StringAbstraction, StringTheory, TermId, TermPool, TheoryVerdict,
+};
 
 fn small_set() -> impl Strategy<Value = ByteSet> {
     proptest::collection::vec(proptest::sample::select(&b" \t:;abc"[..]), 0..4)
@@ -70,5 +76,136 @@ proptest! {
         let once = a.cell(pos);
         a.constrain(pos, set);
         prop_assert_eq!(a.cell(pos), once);
+    }
+}
+
+/// One atomic constraint over a tiny family of 8-bit byte cells — the
+/// shape symex emits at branch forks. `CrossEq` couples two cells, which
+/// is outside the theory's decided fragment and must come back `Unknown`
+/// rather than wrong.
+#[derive(Debug, Clone)]
+enum Atom {
+    Eq(usize, u8),
+    Ne(usize, u8),
+    Ult(usize, u8),
+    Ule(u8, usize),
+    Or(usize, u8, u8),
+    AndRange(usize, u8, u8),
+    CrossEq(usize, usize),
+}
+
+const CELLS: usize = 3;
+
+/// Atoms inside the theory's decided fragment (single-cell only).
+fn single_cell_atom() -> impl Strategy<Value = Atom> {
+    let byte = 0u8..=255;
+    prop_oneof![
+        ((0..CELLS), byte.clone()).prop_map(|(v, k)| Atom::Eq(v, k)),
+        ((0..CELLS), byte.clone()).prop_map(|(v, k)| Atom::Ne(v, k)),
+        ((0..CELLS), byte.clone()).prop_map(|(v, k)| Atom::Ult(v, k)),
+        (byte.clone(), (0..CELLS)).prop_map(|(k, v)| Atom::Ule(k, v)),
+        ((0..CELLS), byte.clone(), byte.clone()).prop_map(|(v, a, b)| Atom::Or(v, a, b)),
+        ((0..CELLS), byte.clone(), byte).prop_map(|(v, a, b)| Atom::AndRange(v, a, b)),
+    ]
+}
+
+fn atom() -> impl Strategy<Value = Atom> {
+    prop_oneof![
+        single_cell_atom().prop_map(|a| a),
+        ((0..CELLS), (0..CELLS)).prop_map(|(a, b)| Atom::CrossEq(a, b)),
+    ]
+}
+
+fn build(pool: &mut TermPool, cells: &[TermId], a: &Atom) -> TermId {
+    match *a {
+        Atom::Eq(v, k) => {
+            let k = pool.bv_const(k as u64, 8);
+            pool.eq(cells[v], k)
+        }
+        Atom::Ne(v, k) => {
+            let k = pool.bv_const(k as u64, 8);
+            let eq = pool.eq(cells[v], k);
+            pool.not(eq)
+        }
+        Atom::Ult(v, k) => {
+            let k = pool.bv_const(k as u64, 8);
+            pool.bv_ult(cells[v], k)
+        }
+        Atom::Ule(k, v) => {
+            let k = pool.bv_const(k as u64, 8);
+            pool.bv_ule(k, cells[v])
+        }
+        Atom::Or(v, a, b) => {
+            let ka = pool.bv_const(a as u64, 8);
+            let kb = pool.bv_const(b as u64, 8);
+            let ea = pool.eq(cells[v], ka);
+            let eb = pool.eq(cells[v], kb);
+            pool.or(ea, eb)
+        }
+        Atom::AndRange(v, lo, hi) => {
+            let klo = pool.bv_const(lo as u64, 8);
+            let khi = pool.bv_const(hi as u64, 8);
+            let ge = pool.bv_ule(klo, cells[v]);
+            let le = pool.bv_ule(cells[v], khi);
+            pool.and(ge, le)
+        }
+        Atom::CrossEq(a, b) => pool.eq(cells[a], cells[b]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Soundness of the theory layer: a Sat verdict's model satisfies
+    /// every original term under the concrete evaluator, and an Unsat
+    /// verdict agrees with the bit-blasted solver. Unknown makes no
+    /// claim (the SAT layer handles it), but when every atom is
+    /// single-cell the theory must be decisive.
+    #[test]
+    fn theory_verdicts_are_sound(atoms in proptest::collection::vec(atom(), 1..6)) {
+        let mut pool = TermPool::new();
+        let cells: Vec<TermId> = (0..CELLS).map(|i| pool.var(&format!("c{i}"), 8)).collect();
+        let terms: Vec<TermId> = atoms.iter().map(|a| build(&mut pool, &cells, a)).collect();
+        let mut theory = StringTheory::new();
+        match theory.check(&pool, &terms) {
+            TheoryVerdict::Sat(m) => {
+                for (t, a) in terms.iter().zip(&atoms) {
+                    prop_assert!(
+                        eval_bool(&pool, *t, &|v| m.value_or_zero(v)),
+                        "model violates {a:?}"
+                    );
+                }
+            }
+            TheoryVerdict::Unsat => {
+                let r = Solver::new().check(&mut pool, &terms);
+                prop_assert!(r.is_unsat(), "theory Unsat but solver disagrees: {atoms:?}");
+            }
+            TheoryVerdict::Unknown => {
+                prop_assert!(
+                    atoms.iter().any(|a| matches!(a, Atom::CrossEq(x, y) if x != y)),
+                    "Unknown on a purely single-cell system: {atoms:?}"
+                );
+            }
+        }
+    }
+
+    /// Completeness against the reference solver on the decided fragment:
+    /// with cross-cell couplings excluded, the theory's verdict matches
+    /// bit-blasting exactly (same Sat/Unsat split, never Unknown).
+    #[test]
+    fn theory_matches_solver_on_fragment(
+        atoms in proptest::collection::vec(single_cell_atom(), 1..6)
+    ) {
+        let mut pool = TermPool::new();
+        let cells: Vec<TermId> = (0..CELLS).map(|i| pool.var(&format!("c{i}"), 8)).collect();
+        let terms: Vec<TermId> = atoms.iter().map(|a| build(&mut pool, &cells, a)).collect();
+        let mut theory = StringTheory::new();
+        let verdict = theory.check(&pool, &terms);
+        let reference = Solver::new().check(&mut pool, &terms);
+        match verdict {
+            TheoryVerdict::Sat(_) => prop_assert!(reference.is_sat()),
+            TheoryVerdict::Unsat => prop_assert!(reference.is_unsat()),
+            TheoryVerdict::Unknown => prop_assert!(false, "Unknown on fragment: {atoms:?}"),
+        }
     }
 }

@@ -1,10 +1,36 @@
 //! The symbolic executor.
+//!
+//! Branch feasibility — the hot path, issued twice per fork — is decided
+//! by a three-layer pipeline (DESIGN §9) so most queries never reach
+//! bit-blasting:
+//!
+//! 1. **constructive string theory** ([`strsum_smt::StringTheory`]): each
+//!    path carries saturated per-byte cells; a query that stays in the
+//!    per-cell fragment is answered by one set intersection;
+//! 2. **canonical-constraint-set cache**: the sorted, deduplicated
+//!    `TermId` set of `prefix ∧ extra` keys a verdict map, so
+//!    re-converging paths and repeated conditions never re-solve;
+//! 3. **incremental SAT**: each path holds a forked [`Session`] into
+//!    which the constraint prefix is flushed lazily (only when a query
+//!    actually reaches this layer); a child fork inherits the prefix's
+//!    clauses, learnt clauses and blast cache and asserts only its one
+//!    new literal, and sibling `c`/`¬c` queries share the same context
+//!    as assumption-scoped checks.
+//!
+//! Every layer is exact on the verdicts it returns, so path sets are
+//! byte-identical with the pipeline on or off (`use_theory`/`use_cache`/
+//! `use_incremental`); only wall clock and solver effort change. The
+//! all-off configuration is the from-scratch ablation baseline.
 
 use crate::memory::SymMemory;
 use crate::value::SymVal;
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 use strsum_ir::{BinOp, BlockId, Builtin, CastKind, CmpOp, Func, Instr, Operand, Terminator, Ty};
-use strsum_smt::{CancelToken, Solver, Sort, TermId, TermPool};
+use strsum_smt::{
+    CancelToken, CheckResult, Session, Solver, Sort, StringTheory, TermId, TermPool, TheoryState,
+    TheoryVerdict,
+};
 
 /// How a path ended.
 #[derive(Debug, Clone)]
@@ -29,12 +55,35 @@ pub struct PathResult {
 pub struct RunStats {
     /// Completed paths.
     pub paths: usize,
-    /// Solver feasibility queries issued.
+    /// Solver feasibility queries issued (all layers).
     pub solver_queries: u64,
-    /// Wall-clock time inside the solver.
+    /// Wall-clock time inside the SAT layer.
     pub solver_time: Duration,
     /// Fork events (both branch sides feasible).
     pub forks: u64,
+    /// Queries the constructive string theory answered Sat.
+    pub theory_sat: u64,
+    /// Queries the constructive string theory answered Unsat.
+    pub theory_unsat: u64,
+    /// Queries answered by the canonical-constraint-set cache.
+    pub cache_hits: u64,
+    /// Queries that reached the bit-blasting SAT layer.
+    pub sat_queries: u64,
+    /// SAT propagations spent across all feasibility queries.
+    pub sat_propagations: u64,
+    /// SAT conflicts spent across all feasibility queries.
+    pub sat_conflicts: u64,
+}
+
+impl RunStats {
+    /// Fraction of feasibility queries decided by the theory layer.
+    pub fn theory_hit_rate(&self) -> f64 {
+        if self.solver_queries == 0 {
+            0.0
+        } else {
+            (self.theory_sat + self.theory_unsat) as f64 / self.solver_queries as f64
+        }
+    }
 }
 
 /// Which budget interrupted an incomplete symbolic run.
@@ -65,7 +114,15 @@ pub struct SymbolicRun {
     pub exhaustion: Option<Exhaustion>,
 }
 
-#[derive(Debug, Clone)]
+/// The lazily-created incremental SAT context of one path: a session
+/// holding the first `flushed` prefix constraints as permanent clauses.
+#[derive(Debug)]
+struct PathCtx {
+    session: Session,
+    flushed: usize,
+}
+
+#[derive(Debug)]
 struct State {
     block: BlockId,
     prev: Option<BlockId>,
@@ -73,6 +130,32 @@ struct State {
     constraints: Vec<TermId>,
     mem: SymMemory,
     steps: u64,
+    /// Saturated per-byte theory cells of the asserted constraints.
+    theory: TheoryState,
+    /// Incremental SAT context; `None` until a query reaches the SAT
+    /// layer on this path (theory-decided paths never encode anything).
+    sat: Option<PathCtx>,
+}
+
+impl State {
+    /// A branch-fork copy: clones the path data and forks the SAT
+    /// context, so the child inherits the prefix's retained clauses and
+    /// blast cache without re-encoding.
+    fn fork(&self) -> State {
+        State {
+            block: self.block,
+            prev: self.prev,
+            values: self.values.clone(),
+            constraints: self.constraints.clone(),
+            mem: self.mem.clone(),
+            steps: self.steps,
+            theory: self.theory.clone(),
+            sat: self.sat.as_ref().map(|ctx| PathCtx {
+                session: ctx.session.fork(),
+                flushed: ctx.flushed,
+            }),
+        }
+    }
 }
 
 /// The symbolic execution engine. Borrows the term pool so that terms remain
@@ -89,6 +172,22 @@ pub struct Engine<'p> {
     pub deadline: Option<Instant>,
     /// Optional cooperative cancellation token checked per explored state.
     pub cancel: Option<CancelToken>,
+    /// Layer 1: decide feasibility constructively in the string theory
+    /// where the fragment covers the query (the default). Verdicts are
+    /// identical with this off; only solver effort changes.
+    pub use_theory: bool,
+    /// Layer 2: cache verdicts by canonical (sorted, deduplicated)
+    /// constraint set (the default).
+    pub use_cache: bool,
+    /// Layer 3: per-path incremental SAT sessions (the default). When
+    /// false, every SAT-layer query re-encodes and solves the full path
+    /// condition from scratch — the ablation baseline.
+    pub use_incremental: bool,
+    /// Shared translation memo of the constructive theory.
+    theory: StringTheory,
+    /// Feasibility verdicts keyed by canonical constraint set. Only
+    /// decisive (Sat/Unsat) verdicts are stored.
+    cache: HashMap<Box<[TermId]>, bool>,
 }
 
 impl<'p> Engine<'p> {
@@ -101,7 +200,20 @@ impl<'p> Engine<'p> {
             step_limit: 1_000_000,
             deadline: None,
             cancel: None,
+            use_theory: true,
+            use_cache: true,
+            use_incremental: true,
+            theory: StringTheory::new(),
+            cache: HashMap::new(),
         }
+    }
+
+    /// Turns the whole layered feasibility pipeline on or off at once —
+    /// `false` is the pure from-scratch SAT ablation baseline.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.use_theory = on;
+        self.use_cache = on;
+        self.use_incremental = on;
     }
 
     /// Access to the underlying pool (e.g. to build equivalence queries).
@@ -152,6 +264,8 @@ impl<'p> Engine<'p> {
             constraints: Vec::new(),
             mem,
             steps: 0,
+            theory: TheoryState::new(),
+            sat: None,
         };
         let mut stack = vec![initial];
         while let Some(state) = stack.pop() {
@@ -184,8 +298,32 @@ impl<'p> Engine<'p> {
             span.arg_u64("paths", stats.paths as u64);
             span.arg_u64("forks", stats.forks);
             span.arg_u64("solver_queries", stats.solver_queries);
+            span.arg_u64("theory_sat", stats.theory_sat);
+            span.arg_u64("theory_unsat", stats.theory_unsat);
+            span.arg_u64("cache_hits", stats.cache_hits);
+            span.arg_u64("sat_queries", stats.sat_queries);
             span.arg_u64("complete", u64::from(complete));
         }
+        strsum_obs::counter(
+            strsum_obs::names::SYMEX_THEORY_SAT,
+            "symex",
+            stats.theory_sat,
+        );
+        strsum_obs::counter(
+            strsum_obs::names::SYMEX_THEORY_UNSAT,
+            "symex",
+            stats.theory_unsat,
+        );
+        strsum_obs::counter(
+            strsum_obs::names::SYMEX_CACHE_HIT,
+            "symex",
+            stats.cache_hits,
+        );
+        strsum_obs::counter(
+            strsum_obs::names::SYMEX_SAT_FALLBACK,
+            "symex",
+            stats.sat_queries,
+        );
         SymbolicRun {
             paths,
             stats,
@@ -289,27 +427,29 @@ impl<'p> Engine<'p> {
                         continue;
                     }
                     let not_c = self.pool.not(c);
-                    let then_feasible = self.feasible(&state.constraints, c, stats);
-                    let else_feasible = self.feasible(&state.constraints, not_c, stats);
+                    // Sibling queries share the path's solving context:
+                    // same theory cells, same (lazily flushed) session.
+                    let then_feasible = self.feasible(&mut state, c, stats);
+                    let else_feasible = self.feasible(&mut state, not_c, stats);
                     match (then_feasible, else_feasible) {
                         (true, true) => {
                             stats.forks += 1;
-                            let mut other = state.clone();
-                            other.constraints.push(not_c);
+                            let mut other = state.fork();
+                            self.assume(&mut other, not_c);
                             other.prev = Some(other.block);
                             other.block = else_bb;
                             stack.push(other);
-                            state.constraints.push(c);
+                            self.assume(&mut state, c);
                             state.prev = Some(state.block);
                             state.block = then_bb;
                         }
                         (true, false) => {
-                            state.constraints.push(c);
+                            self.assume(&mut state, c);
                             state.prev = Some(state.block);
                             state.block = then_bb;
                         }
                         (false, true) => {
-                            state.constraints.push(not_c);
+                            self.assume(&mut state, not_c);
                             state.prev = Some(state.block);
                             state.block = else_bb;
                         }
@@ -327,14 +467,89 @@ impl<'p> Engine<'p> {
         }
     }
 
-    fn feasible(&mut self, constraints: &[TermId], extra: TermId, stats: &mut RunStats) -> bool {
-        let mut q: Vec<TermId> = constraints.to_vec();
-        q.push(extra);
-        let start = Instant::now();
+    /// Appends `lit` to the path condition, keeping the theory cells
+    /// saturated. The SAT context is *not* eagerly updated — the new
+    /// constraint is flushed into the session only if a later query
+    /// actually reaches the SAT layer.
+    fn assume(&mut self, state: &mut State, lit: TermId) {
+        state.constraints.push(lit);
+        if self.use_theory {
+            state.theory.assert(&mut self.theory, self.pool, lit);
+        }
+    }
+
+    /// Decides `state.constraints ∧ extra` through the layered pipeline:
+    /// constructive theory → canonical-set cache → (incremental) SAT.
+    fn feasible(&mut self, state: &mut State, extra: TermId, stats: &mut RunStats) -> bool {
         stats.solver_queries += 1;
-        let r = self.solver.check(self.pool, &q);
+        // Layer 1: the constructive string theory. Unsat is sound even
+        // when the path holds untranslated constraints; Sat only when
+        // every constraint is covered by the fragment.
+        if self.use_theory {
+            match state.theory.query(&mut self.theory, self.pool, extra) {
+                TheoryVerdict::Sat(_) => {
+                    stats.theory_sat += 1;
+                    return true;
+                }
+                TheoryVerdict::Unsat => {
+                    stats.theory_unsat += 1;
+                    return false;
+                }
+                TheoryVerdict::Unknown => {}
+            }
+        }
+        // Layer 2: verdicts by canonical constraint set. Hash-consing
+        // makes the sorted TermId set a semantic key: re-converging
+        // paths and repeated conditions map to the same entry.
+        let key = self
+            .use_cache
+            .then(|| feasibility_key(&state.constraints, extra));
+        if let Some(k) = &key {
+            if let Some(&v) = self.cache.get(k.as_ref()) {
+                stats.cache_hits += 1;
+                return v;
+            }
+        }
+        // Layer 3: SAT. Incremental mode flushes the un-encoded tail of
+        // the prefix into the path's session and probes `extra` as an
+        // assumption; the baseline re-solves everything from scratch.
+        let start = Instant::now();
+        stats.sat_queries += 1;
+        let (result, feasible) = if self.use_incremental {
+            let ctx = state.sat.get_or_insert_with(|| PathCtx {
+                session: Session::new(),
+                flushed: 0,
+            });
+            for &c in &state.constraints[ctx.flushed..] {
+                ctx.session.assert_term(self.pool, c);
+            }
+            ctx.flushed = state.constraints.len();
+            let before = ctx.session.stats();
+            let lit = ctx.session.lit(self.pool, extra);
+            let r = ctx.session.check(self.pool, &[lit]);
+            let d = ctx.session.stats().since(&before);
+            stats.sat_propagations += d.propagations;
+            stats.sat_conflicts += d.conflicts;
+            let f = !r.is_unsat();
+            (r, f)
+        } else {
+            let (r, s) = self
+                .solver
+                .check_with_extra_stats(self.pool, &state.constraints, extra);
+            stats.sat_propagations += s.propagations;
+            stats.sat_conflicts += s.conflicts;
+            let f = !r.is_unsat();
+            (r, f)
+        };
         stats.solver_time += start.elapsed();
-        !r.is_unsat()
+        // Cache only decisive verdicts — an `Unknown` treated as
+        // feasible must not masquerade as a proven `Sat`.
+        if !matches!(result, CheckResult::Unknown) {
+            if let Some(k) = key {
+                self.cache.insert(k, feasible);
+            }
+        }
+        feasible
     }
 
     fn operand(
@@ -627,6 +842,19 @@ impl<'p> Engine<'p> {
     }
 }
 
+/// Canonical cache key of a feasibility query: the sorted, deduplicated
+/// `TermId` set of `prefix ∧ extra`. Hash-consing makes structural
+/// equality coincide with id equality within a pool, so two queries with
+/// the same key denote the same conjunction.
+fn feasibility_key(prefix: &[TermId], extra: TermId) -> Box<[TermId]> {
+    let mut ids: Vec<TermId> = Vec::with_capacity(prefix.len() + 1);
+    ids.extend_from_slice(prefix);
+    ids.push(extra);
+    ids.sort_unstable_by_key(|t| t.0);
+    ids.dedup();
+    ids.into_boxed_slice()
+}
+
 /// Encodes a `<ctype.h>` builtin over a 32-bit term, returning a 32-bit
 /// 0/1 (or mapped character) term.
 pub fn builtin_term(pool: &mut TermPool, builtin: Builtin, arg: TermId) -> TermId {
@@ -812,6 +1040,135 @@ mod tests {
         let run = eng.run_on_symbolic_string(&f, 2).unwrap();
         assert!(run.stats.solver_queries > 0);
         assert!(run.stats.forks >= 2);
+    }
+
+    /// Renders a run's path set in a pool-independent form: per path, the
+    /// displayed constraints plus the displayed outcome.
+    fn path_fingerprint(pool: &TermPool, run: &SymbolicRun) -> Vec<String> {
+        run.paths
+            .iter()
+            .map(|p| {
+                let cs: Vec<String> = p.constraints.iter().map(|&c| pool.display(c)).collect();
+                let out = match &p.outcome {
+                    SymOutcome::Ret(Some(SymVal::Ptr { obj, off })) => {
+                        format!("ret ptr obj{} {}", obj, pool.display(*off))
+                    }
+                    SymOutcome::Ret(Some(SymVal::Int(t))) => {
+                        format!("ret int {}", pool.display(*t))
+                    }
+                    SymOutcome::Ret(Some(SymVal::Null)) => "ret null".to_string(),
+                    SymOutcome::Ret(None) => "ret void".to_string(),
+                    SymOutcome::Abort(m) => format!("abort {m}"),
+                };
+                format!("{} | {}", cs.join(" && "), out)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn theory_fast_path_answers_most_queries() {
+        // The whitespace/digit fragment is exactly what the theory
+        // decides: every feasibility query short-circuits before SAT.
+        let f = compile_one(
+            "char* f(char* s) { while (*s == ' ' || *s == '\\t' || isdigit(*s)) s++; return s; }",
+        )
+        .unwrap();
+        let mut pool = TermPool::new();
+        let mut eng = Engine::new(&mut pool);
+        let run = eng.run_on_symbolic_string(&f, 4).unwrap();
+        assert!(run.complete);
+        let s = run.stats;
+        assert!(s.solver_queries > 0);
+        assert_eq!(
+            s.theory_sat + s.theory_unsat,
+            s.solver_queries,
+            "every query in the per-cell fragment is theory-decided: {s:?}"
+        );
+        assert_eq!(s.sat_queries, 0);
+        assert_eq!(s.sat_propagations, 0);
+    }
+
+    #[test]
+    fn pipeline_configs_agree_byte_for_byte() {
+        // Path sets are identical with the pipeline on, partially on,
+        // and fully off — the determinism contract the CI audit gates.
+        let src = "char* f(char* s) { while (*s == ' ' || isalpha(*s)) s++; return s; }";
+        let f = compile_one(src).unwrap();
+        let mut fingerprints = Vec::new();
+        for (theory, cache, incremental) in [
+            (true, true, true),
+            (false, false, true),
+            (true, false, false),
+            (false, false, false),
+        ] {
+            let mut pool = TermPool::new();
+            let mut eng = Engine::new(&mut pool);
+            eng.use_theory = theory;
+            eng.use_cache = cache;
+            eng.use_incremental = incremental;
+            let run = eng.run_on_symbolic_string(&f, 3).unwrap();
+            assert!(run.complete);
+            fingerprints.push(path_fingerprint(&pool, &run));
+        }
+        for fp in &fingerprints[1..] {
+            assert_eq!(fp, &fingerprints[0], "configs must explore identical paths");
+        }
+    }
+
+    #[test]
+    fn cache_answers_repeated_constraint_sets() {
+        // The same cell condition tested twice on one path: with the
+        // theory disabled, the second query's canonical set collapses to
+        // the first's and hits the cache.
+        let f = compile_one(
+            "char* f(char* s) { if (*s == ' ') { if (*s == ' ') return s + 1; } return s; }",
+        )
+        .unwrap();
+        let mut pool = TermPool::new();
+        let mut eng = Engine::new(&mut pool);
+        eng.use_theory = false;
+        let run = eng.run_on_symbolic_string(&f, 2).unwrap();
+        assert!(run.complete);
+        assert!(
+            run.stats.cache_hits >= 1,
+            "re-tested condition must hit the cache: {:?}",
+            run.stats
+        );
+    }
+
+    #[test]
+    fn incremental_sessions_spend_fewer_propagations() {
+        // On a loop with an opaque (cross-cell) coupling the SAT layer
+        // actually runs; the incremental path must not spend more
+        // propagations than from-scratch re-solving.
+        let f = compile_one("char* f(char* s) { while (*s != 0 && s[0] == s[1]) s++; return s; }");
+        let f = match f {
+            Ok(f) => f,
+            // Fallback if the front-end rejects s[1]: use a ctype chain.
+            Err(_) => compile_one(
+                "char* f(char* s) { while (isalpha(*s) && isdigit(*s)) s++; return s; }",
+            )
+            .unwrap(),
+        };
+        let run_with = |incremental: bool| {
+            let mut pool = TermPool::new();
+            let mut eng = Engine::new(&mut pool);
+            eng.use_theory = false;
+            eng.use_cache = false;
+            eng.use_incremental = incremental;
+            let run = eng.run_on_symbolic_string(&f, 4).unwrap();
+            run.stats
+        };
+        let inc = run_with(true);
+        let scratch = run_with(false);
+        assert_eq!(inc.paths, scratch.paths);
+        assert!(inc.sat_queries > 0, "workload must exercise the SAT layer");
+        assert!(
+            inc.sat_propagations <= scratch.sat_propagations,
+            "incremental ({}) must not exceed from-scratch ({})",
+            inc.sat_propagations,
+            scratch.sat_propagations
+        );
     }
 
     #[test]
