@@ -1,0 +1,760 @@
+//! The versioned line-delimited wire protocol the summary daemon speaks.
+//!
+//! One frame per line, each a single flat JSON object carrying
+//! `"v":1` plus a `"type"` tag. Requests flow client → server
+//! ([`Frame::Summary`], [`Frame::Batch`], [`Frame::Shutdown`]) and
+//! results flow back ([`Frame::Response`], [`Frame::BatchResponse`],
+//! [`Frame::Error`]). Encoding is hand-rolled (the workspace is
+//! registry-free); decoding goes through [`crate::json`], whose numbers
+//! keep their raw text so `u64` counters round-trip exactly.
+//!
+//! Binary payloads — summaries, and loop source that is not valid UTF-8
+//! — travel as lowercase hex (`summary`, `source_hex`, `ir_hex`).
+//! UTF-8 source travels as a plain JSON string (`source`), which keeps
+//! frames human-readable for the common case.
+
+use std::time::Duration;
+
+use strsum_core::{Budget, BudgetKind, LoopOutcome, SolverTelemetry};
+use strsum_obs::escape;
+use strsum_smt::SessionStats;
+
+use crate::json::{self, hex, unhex, Json};
+use crate::PlanSpec;
+
+/// The protocol version every frame carries. Decoders reject frames
+/// from a different major version rather than guessing.
+pub const WIRE_VERSION: u64 = 1;
+
+/// What a summary request carries as its program text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceSpec {
+    /// Raw C loop source (the paper's front door). Bytes, not `String`:
+    /// non-UTF8 source is legal on the wire and classified by the
+    /// engine, not the codec.
+    C(Vec<u8>),
+    /// Pre-lowered IR, opaque bytes. Reserved: the engine currently
+    /// answers `not_memoryless` with an `unsupported` failure, the same
+    /// shape a compile error takes.
+    Ir(Vec<u8>),
+}
+
+impl SourceSpec {
+    /// The payload bytes, whichever variant.
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            SourceSpec::C(b) | SourceSpec::Ir(b) => b,
+        }
+    }
+}
+
+/// Per-request engine toggles. All default to on; a flag exists on the
+/// wire so a client can ablate one engine layer per request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestFlags {
+    /// Consult and update the persistent summary store.
+    pub store: bool,
+    /// Concrete-first screening before solver work.
+    pub screen: bool,
+    /// Constructive string-theory fast path in symex feasibility.
+    pub theory_fast_path: bool,
+}
+
+impl Default for RequestFlags {
+    fn default() -> RequestFlags {
+        RequestFlags {
+            store: true,
+            screen: true,
+            theory_fast_path: true,
+        }
+    }
+}
+
+/// One loop-summary request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummaryRequest {
+    /// Client-chosen identifier echoed on the response.
+    pub id: String,
+    /// The loop to summarise.
+    pub source: SourceSpec,
+    /// Resource budget; `None` means the server default.
+    pub budget: Option<Budget>,
+    /// Execution plan; `None` means the server default.
+    pub plan: Option<PlanSpec>,
+    /// Engine toggles.
+    pub flags: RequestFlags,
+}
+
+impl SummaryRequest {
+    /// A default-budget, default-plan request for C source.
+    pub fn c(id: impl Into<String>, source: impl Into<Vec<u8>>) -> SummaryRequest {
+        SummaryRequest {
+            id: id.into(),
+            source: SourceSpec::C(source.into()),
+            budget: None,
+            plan: None,
+            flags: RequestFlags::default(),
+        }
+    }
+}
+
+/// Where a served summary came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Origin {
+    /// Synthesised in this request.
+    Fresh,
+    /// Served from the persistent store (and therefore re-verified —
+    /// see [`SummaryResponse::reverified`]).
+    Store,
+}
+
+impl Origin {
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Origin::Fresh => "fresh",
+            Origin::Store => "store",
+        }
+    }
+}
+
+/// What one request cost, in the two units the cost book tracks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cost {
+    /// Wall-clock microseconds spent on this request.
+    pub wall_micros: u64,
+    /// SAT conflicts spent on this request.
+    pub conflicts: u64,
+}
+
+/// One loop-summary response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryResponse {
+    /// The request's `id`, echoed.
+    pub id: String,
+    /// How the request resolved.
+    pub outcome: LoopOutcome,
+    /// The verified summary program, when one was produced.
+    pub summary: Option<Vec<u8>>,
+    /// Human-readable failure detail, when synthesis concluded without
+    /// a summary.
+    pub failure: Option<String>,
+    /// Whether the summary was synthesised now or served from the
+    /// store.
+    pub origin: Origin,
+    /// True iff a store-served summary was re-verified by the bounded
+    /// checker in this process lifetime. The soundness gate requires
+    /// this on every `origin == Store` response.
+    pub reverified: bool,
+    /// What the request cost.
+    pub cost: Cost,
+    /// Solver-effort counters, when the engine ran the solver.
+    pub telemetry: Option<SolverTelemetry>,
+}
+
+impl SummaryResponse {
+    /// A minimal response shell for `outcome`; callers fill in payload
+    /// fields.
+    pub fn new(id: impl Into<String>, outcome: LoopOutcome) -> SummaryResponse {
+        SummaryResponse {
+            id: id.into(),
+            outcome,
+            summary: None,
+            failure: None,
+            origin: Origin::Fresh,
+            reverified: false,
+            cost: Cost::default(),
+            telemetry: None,
+        }
+    }
+}
+
+/// Several requests submitted as one frame; the server answers with one
+/// [`BatchResponse`] carrying responses in request order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRequest {
+    /// Client-chosen batch identifier echoed on the response.
+    pub id: String,
+    /// The member requests.
+    pub requests: Vec<SummaryRequest>,
+}
+
+/// The answer to a [`BatchRequest`]: member responses in request order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResponse {
+    /// The batch's `id`, echoed.
+    pub id: String,
+    /// One response per member request, in order.
+    pub responses: Vec<SummaryResponse>,
+}
+
+/// A server-side protocol error (malformed frame, unknown type, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// The offending frame's `id`, when one could be read.
+    pub id: Option<String>,
+    /// What went wrong.
+    pub message: String,
+}
+
+/// One protocol frame — exactly one JSON object, one line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server: summarise one loop.
+    Summary(SummaryRequest),
+    /// Client → server: summarise a batch.
+    Batch(BatchRequest),
+    /// Client → server: drain and exit.
+    Shutdown,
+    /// Server → client: answer to [`Frame::Summary`].
+    Response(SummaryResponse),
+    /// Server → client: answer to [`Frame::Batch`].
+    BatchResponse(BatchResponse),
+    /// Server → client: the frame could not be served.
+    Error(WireError),
+}
+
+/// A frame that failed to decode: what went wrong, as text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl DecodeError {
+    fn new(message: impl Into<String>) -> DecodeError {
+        DecodeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<json::ParseError> for DecodeError {
+    fn from(e: json::ParseError) -> DecodeError {
+        DecodeError::new(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+fn budget_obj(b: &Budget) -> String {
+    format!(
+        "{{\"wall_micros\":{},\"solver_conflicts\":{},\"symex_paths\":{},\"symex_steps\":{},\"retries\":{},\"escalation\":{},\"governed\":{}}}",
+        micros(b.wall),
+        b.solver_conflicts,
+        b.symex_paths,
+        b.symex_steps,
+        b.retries,
+        b.escalation,
+        b.governed
+    )
+}
+
+fn plan_obj(p: &PlanSpec) -> String {
+    format!(
+        "{{\"mode\":\"{}\",\"cubes\":{},\"cost_order\":{}}}",
+        p.mode.label(),
+        p.cubes(),
+        p.cost_order
+    )
+}
+
+fn flags_obj(f: &RequestFlags) -> String {
+    format!(
+        "{{\"store\":{},\"screen\":{},\"theory_fast_path\":{}}}",
+        f.store, f.screen, f.theory_fast_path
+    )
+}
+
+fn stats_obj(s: &SessionStats) -> String {
+    format!(
+        "{{\"queries\":{},\"conflicts\":{},\"propagations\":{},\"learnts\":{},\"clauses\":{},\"vars\":{},\"blast_hits\":{},\"blast_misses\":{}}}",
+        s.queries, s.conflicts, s.propagations, s.learnts, s.clauses, s.vars, s.blast_hits, s.blast_misses
+    )
+}
+
+fn telemetry_obj(t: &SolverTelemetry) -> String {
+    // `total` is derived, so the wire carries only the two source
+    // counters.
+    format!(
+        "{{\"search\":{},\"verify\":{}}}",
+        stats_obj(&t.search),
+        stats_obj(&t.verify)
+    )
+}
+
+fn request_fields(r: &SummaryRequest, out: &mut String) {
+    out.push_str(&format!("\"id\":\"{}\"", escape(&r.id)));
+    match &r.source {
+        SourceSpec::C(bytes) => match std::str::from_utf8(bytes) {
+            Ok(text) => out.push_str(&format!(",\"source\":\"{}\"", escape(text))),
+            Err(_) => out.push_str(&format!(",\"source_hex\":\"{}\"", hex(bytes))),
+        },
+        SourceSpec::Ir(bytes) => out.push_str(&format!(",\"ir_hex\":\"{}\"", hex(bytes))),
+    }
+    if let Some(b) = &r.budget {
+        out.push_str(&format!(",\"budget\":{}", budget_obj(b)));
+    }
+    if let Some(p) = &r.plan {
+        out.push_str(&format!(",\"plan\":{}", plan_obj(p)));
+    }
+    out.push_str(&format!(",\"flags\":{}", flags_obj(&r.flags)));
+}
+
+fn response_fields(r: &SummaryResponse, out: &mut String) {
+    out.push_str(&format!(
+        "\"id\":\"{}\",\"outcome\":\"{}\"",
+        escape(&r.id),
+        r.outcome.label()
+    ));
+    if let LoopOutcome::Crashed(msg) = &r.outcome {
+        out.push_str(&format!(",\"crash_msg\":\"{}\"", escape(msg)));
+    }
+    if let Some(summary) = &r.summary {
+        out.push_str(&format!(",\"summary\":\"{}\"", hex(summary)));
+    }
+    if let Some(failure) = &r.failure {
+        out.push_str(&format!(",\"failure\":\"{}\"", escape(failure)));
+    }
+    out.push_str(&format!(
+        ",\"origin\":\"{}\",\"reverified\":{},\"cost\":{{\"wall_micros\":{},\"conflicts\":{}}}",
+        r.origin.label(),
+        r.reverified,
+        r.cost.wall_micros,
+        r.cost.conflicts
+    ));
+    if let Some(t) = &r.telemetry {
+        out.push_str(&format!(",\"telemetry\":{}", telemetry_obj(t)));
+    }
+}
+
+/// Encodes one frame as its wire line (no trailing newline).
+pub fn encode_frame(frame: &Frame) -> String {
+    let mut out = format!("{{\"v\":{WIRE_VERSION},\"type\":");
+    match frame {
+        Frame::Summary(r) => {
+            out.push_str("\"summary\",");
+            request_fields(r, &mut out);
+        }
+        Frame::Batch(b) => {
+            out.push_str(&format!(
+                "\"batch\",\"id\":\"{}\",\"requests\":[",
+                escape(&b.id)
+            ));
+            for (i, r) in b.requests.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('{');
+                request_fields(r, &mut out);
+                out.push('}');
+            }
+            out.push(']');
+        }
+        Frame::Shutdown => out.push_str("\"shutdown\""),
+        Frame::Response(r) => {
+            out.push_str("\"response\",");
+            response_fields(r, &mut out);
+        }
+        Frame::BatchResponse(b) => {
+            out.push_str(&format!(
+                "\"batch_response\",\"id\":\"{}\",\"responses\":[",
+                escape(&b.id)
+            ));
+            for (i, r) in b.responses.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('{');
+                response_fields(r, &mut out);
+                out.push('}');
+            }
+            out.push(']');
+        }
+        Frame::Error(e) => {
+            out.push_str("\"error\",");
+            match &e.id {
+                Some(id) => out.push_str(&format!("\"id\":\"{}\",", escape(id))),
+                None => out.push_str("\"id\":null,"),
+            }
+            out.push_str(&format!("\"message\":\"{}\"", escape(&e.message)));
+        }
+    }
+    out.push('}');
+    out
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+fn need<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, DecodeError> {
+    obj.get(key)
+        .ok_or_else(|| DecodeError::new(format!("missing field {key:?}")))
+}
+
+fn need_str(obj: &Json, key: &str) -> Result<String, DecodeError> {
+    need(obj, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| DecodeError::new(format!("field {key:?} is not a string")))
+}
+
+fn opt_u64(obj: &Json, key: &str, default: u64) -> Result<u64, DecodeError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| DecodeError::new(format!("field {key:?} is not a u64"))),
+    }
+}
+
+fn opt_bool(obj: &Json, key: &str, default: bool) -> Result<bool, DecodeError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| DecodeError::new(format!("field {key:?} is not a bool"))),
+    }
+}
+
+fn opt_hex(obj: &Json, key: &str) -> Result<Option<Vec<u8>>, DecodeError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            let s = v
+                .as_str()
+                .ok_or_else(|| DecodeError::new(format!("field {key:?} is not a string")))?;
+            unhex(s)
+                .map(Some)
+                .ok_or_else(|| DecodeError::new(format!("field {key:?} is not hex")))
+        }
+    }
+}
+
+fn decode_budget(obj: &Json) -> Result<Budget, DecodeError> {
+    let d = Budget::default();
+    Ok(Budget {
+        wall: Duration::from_micros(opt_u64(obj, "wall_micros", micros(d.wall))?),
+        solver_conflicts: opt_u64(obj, "solver_conflicts", d.solver_conflicts)?,
+        symex_paths: opt_u64(obj, "symex_paths", d.symex_paths as u64)? as usize,
+        symex_steps: opt_u64(obj, "symex_steps", d.symex_steps)?,
+        retries: opt_u64(obj, "retries", u64::from(d.retries))? as u32,
+        escalation: opt_u64(obj, "escalation", u64::from(d.escalation))? as u32,
+        governed: opt_bool(obj, "governed", d.governed)?,
+    })
+}
+
+fn decode_plan(obj: &Json) -> Result<PlanSpec, DecodeError> {
+    let mode = need_str(obj, "mode")?;
+    let cubes = opt_u64(obj, "cubes", 0)? as usize;
+    let mut spec = PlanSpec::parse(&mode, cubes.max(2))
+        .ok_or_else(|| DecodeError::new(format!("unknown plan mode {mode:?}")))?;
+    if !opt_bool(obj, "cost_order", true)? {
+        spec = spec.corpus_order();
+    }
+    Ok(spec)
+}
+
+fn decode_flags(obj: &Json) -> Result<RequestFlags, DecodeError> {
+    let d = RequestFlags::default();
+    Ok(RequestFlags {
+        store: opt_bool(obj, "store", d.store)?,
+        screen: opt_bool(obj, "screen", d.screen)?,
+        theory_fast_path: opt_bool(obj, "theory_fast_path", d.theory_fast_path)?,
+    })
+}
+
+fn decode_stats(obj: &Json) -> Result<SessionStats, DecodeError> {
+    Ok(SessionStats {
+        queries: opt_u64(obj, "queries", 0)?,
+        conflicts: opt_u64(obj, "conflicts", 0)?,
+        propagations: opt_u64(obj, "propagations", 0)?,
+        learnts: opt_u64(obj, "learnts", 0)?,
+        clauses: opt_u64(obj, "clauses", 0)? as usize,
+        vars: opt_u64(obj, "vars", 0)? as usize,
+        blast_hits: opt_u64(obj, "blast_hits", 0)?,
+        blast_misses: opt_u64(obj, "blast_misses", 0)?,
+    })
+}
+
+fn decode_request(obj: &Json) -> Result<SummaryRequest, DecodeError> {
+    let id = need_str(obj, "id")?;
+    let source = if let Some(text) = obj.get("source") {
+        let text = text
+            .as_str()
+            .ok_or_else(|| DecodeError::new("field \"source\" is not a string"))?;
+        SourceSpec::C(text.as_bytes().to_vec())
+    } else if let Some(bytes) = opt_hex(obj, "source_hex")? {
+        SourceSpec::C(bytes)
+    } else if let Some(bytes) = opt_hex(obj, "ir_hex")? {
+        SourceSpec::Ir(bytes)
+    } else {
+        return Err(DecodeError::new(
+            "request has none of source/source_hex/ir_hex",
+        ));
+    };
+    let budget = match obj.get("budget") {
+        None | Some(Json::Null) => None,
+        Some(b) => Some(decode_budget(b)?),
+    };
+    let plan = match obj.get("plan") {
+        None | Some(Json::Null) => None,
+        Some(p) => Some(decode_plan(p)?),
+    };
+    let flags = match obj.get("flags") {
+        None => RequestFlags::default(),
+        Some(f) => decode_flags(f)?,
+    };
+    Ok(SummaryRequest {
+        id,
+        source,
+        budget,
+        plan,
+        flags,
+    })
+}
+
+/// The [`LoopOutcome`] behind a stable wire label; `crash_msg` supplies
+/// the `Crashed` payload.
+pub fn parse_outcome(label: &str, crash_msg: Option<&str>) -> Option<LoopOutcome> {
+    Some(match label {
+        "summarized" => LoopOutcome::Summarized,
+        "cache_hit" => LoopOutcome::CacheHit,
+        "not_memoryless" => LoopOutcome::NotMemoryless,
+        "budget_exhausted.wall" => LoopOutcome::BudgetExhausted(BudgetKind::Wall),
+        "budget_exhausted.solver_conflicts" => {
+            LoopOutcome::BudgetExhausted(BudgetKind::SolverConflicts)
+        }
+        "budget_exhausted.symex_paths" => LoopOutcome::BudgetExhausted(BudgetKind::SymexPaths),
+        "budget_exhausted.symex_steps" => LoopOutcome::BudgetExhausted(BudgetKind::SymexSteps),
+        "crashed" => LoopOutcome::Crashed(crash_msg.unwrap_or("").to_string()),
+        "degraded" => LoopOutcome::Degraded,
+        _ => return None,
+    })
+}
+
+fn decode_response(obj: &Json) -> Result<SummaryResponse, DecodeError> {
+    let id = need_str(obj, "id")?;
+    let label = need_str(obj, "outcome")?;
+    let crash_msg = match obj.get("crash_msg") {
+        None => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or_else(|| DecodeError::new("field \"crash_msg\" is not a string"))?,
+        ),
+    };
+    let outcome = parse_outcome(&label, crash_msg)
+        .ok_or_else(|| DecodeError::new(format!("unknown outcome {label:?}")))?;
+    let origin = match obj.get("origin").and_then(Json::as_str) {
+        None | Some("fresh") => Origin::Fresh,
+        Some("store") => Origin::Store,
+        Some(other) => return Err(DecodeError::new(format!("unknown origin {other:?}"))),
+    };
+    let cost = match obj.get("cost") {
+        None => Cost::default(),
+        Some(c) => Cost {
+            wall_micros: opt_u64(c, "wall_micros", 0)?,
+            conflicts: opt_u64(c, "conflicts", 0)?,
+        },
+    };
+    let telemetry = match obj.get("telemetry") {
+        None | Some(Json::Null) => None,
+        Some(t) => Some(SolverTelemetry {
+            search: decode_stats(need(t, "search")?)?,
+            verify: decode_stats(need(t, "verify")?)?,
+        }),
+    };
+    let failure = match obj.get("failure") {
+        None => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or_else(|| DecodeError::new("field \"failure\" is not a string"))?
+                .to_string(),
+        ),
+    };
+    Ok(SummaryResponse {
+        id,
+        outcome,
+        summary: opt_hex(obj, "summary")?,
+        failure,
+        origin,
+        reverified: opt_bool(obj, "reverified", false)?,
+        cost,
+        telemetry,
+    })
+}
+
+/// Decodes one wire line back into a [`Frame`].
+pub fn decode_frame(line: &str) -> Result<Frame, DecodeError> {
+    let obj = json::parse(line)?;
+    let v = need(&obj, "v")?
+        .as_u64()
+        .ok_or_else(|| DecodeError::new("field \"v\" is not a u64"))?;
+    if v != WIRE_VERSION {
+        return Err(DecodeError::new(format!(
+            "unsupported wire version {v} (this build speaks {WIRE_VERSION})"
+        )));
+    }
+    let kind = need_str(&obj, "type")?;
+    match kind.as_str() {
+        "summary" => Ok(Frame::Summary(decode_request(&obj)?)),
+        "batch" => {
+            let id = need_str(&obj, "id")?;
+            let items = need(&obj, "requests")?
+                .as_arr()
+                .ok_or_else(|| DecodeError::new("field \"requests\" is not an array"))?;
+            let requests = items
+                .iter()
+                .map(decode_request)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Frame::Batch(BatchRequest { id, requests }))
+        }
+        "shutdown" => Ok(Frame::Shutdown),
+        "response" => Ok(Frame::Response(decode_response(&obj)?)),
+        "batch_response" => {
+            let id = need_str(&obj, "id")?;
+            let items = need(&obj, "responses")?
+                .as_arr()
+                .ok_or_else(|| DecodeError::new("field \"responses\" is not an array"))?;
+            let responses = items
+                .iter()
+                .map(decode_response)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Frame::BatchResponse(BatchResponse { id, responses }))
+        }
+        "error" => {
+            let id = match obj.get("id") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| DecodeError::new("field \"id\" is not a string"))?
+                        .to_string(),
+                ),
+            };
+            Ok(Frame::Error(WireError {
+                id,
+                message: need_str(&obj, "message")?,
+            }))
+        }
+        other => Err(DecodeError::new(format!("unknown frame type {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_request_round_trips() {
+        let mut req = SummaryRequest::c("bash_01", "while (*s) s++;");
+        req.budget = Some(Budget::default().with_retries(2, 3));
+        req.plan = Some(PlanSpec::cubed(4).corpus_order());
+        req.flags.screen = false;
+        let frame = Frame::Summary(req);
+        let line = encode_frame(&frame);
+        assert!(!line.contains('\n'), "one frame per line: {line}");
+        assert_eq!(decode_frame(&line).unwrap(), frame);
+    }
+
+    #[test]
+    fn non_utf8_source_goes_hex() {
+        let frame = Frame::Summary(SummaryRequest::c("bin", vec![0xff, 0x00, b'x']));
+        let line = encode_frame(&frame);
+        assert!(line.contains("source_hex"), "{line}");
+        assert_eq!(decode_frame(&line).unwrap(), frame);
+    }
+
+    #[test]
+    fn response_round_trips_every_outcome() {
+        let outcomes = [
+            LoopOutcome::Summarized,
+            LoopOutcome::CacheHit,
+            LoopOutcome::NotMemoryless,
+            LoopOutcome::BudgetExhausted(BudgetKind::Wall),
+            LoopOutcome::BudgetExhausted(BudgetKind::SolverConflicts),
+            LoopOutcome::BudgetExhausted(BudgetKind::SymexPaths),
+            LoopOutcome::BudgetExhausted(BudgetKind::SymexSteps),
+            LoopOutcome::Crashed("worker panicked: \"boom\"\n".into()),
+            LoopOutcome::Degraded,
+        ];
+        for outcome in outcomes {
+            let mut resp = SummaryResponse::new("loop_7", outcome);
+            resp.summary = Some(vec![0, 1, 2, 0xfe]);
+            resp.origin = Origin::Store;
+            resp.reverified = true;
+            resp.cost = Cost {
+                wall_micros: u64::MAX,
+                conflicts: 1 << 60,
+            };
+            let frame = Frame::Response(resp);
+            let line = encode_frame(&frame);
+            assert_eq!(decode_frame(&line).unwrap(), frame, "{line}");
+        }
+    }
+
+    #[test]
+    fn batch_and_control_frames_round_trip() {
+        let batch = Frame::Batch(BatchRequest {
+            id: "b1".into(),
+            requests: vec![
+                SummaryRequest::c("a", "for(;*p;p++);"),
+                SummaryRequest::c("b", vec![0x80]),
+            ],
+        });
+        for frame in [
+            batch,
+            Frame::Shutdown,
+            Frame::BatchResponse(BatchResponse {
+                id: "b1".into(),
+                responses: vec![SummaryResponse::new("a", LoopOutcome::Summarized)],
+            }),
+            Frame::Error(WireError {
+                id: None,
+                message: "unknown frame type \"sumary\"".into(),
+            }),
+        ] {
+            assert_eq!(decode_frame(&encode_frame(&frame)).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn version_and_type_are_enforced() {
+        assert!(decode_frame("{\"v\":2,\"type\":\"shutdown\"}").is_err());
+        assert!(decode_frame("{\"type\":\"shutdown\"}").is_err());
+        assert!(decode_frame("{\"v\":1,\"type\":\"sumary\"}").is_err());
+        assert!(decode_frame("not json").is_err());
+    }
+
+    #[test]
+    fn telemetry_counters_survive_the_wire() {
+        let mut resp = SummaryResponse::new("t", LoopOutcome::Summarized);
+        let mut t = SolverTelemetry::default();
+        t.search.conflicts = (1 << 53) + 1; // would round through f64
+        t.verify.queries = u64::MAX;
+        resp.telemetry = Some(t);
+        let line = encode_frame(&Frame::Response(resp));
+        match decode_frame(&line).unwrap() {
+            Frame::Response(r) => {
+                let got = r.telemetry.unwrap();
+                assert_eq!(got.search, t.search);
+                assert_eq!(got.verify, t.verify);
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! Ablations of the design choices called out in DESIGN.md §10:
+//! Ablations of the design choices called out in DESIGN.md §12:
 //! meta-characters on/off in synthesis, iterative deepening vs fixed size,
 //! and the SWAR/bitmap mechanism behind Figure 5 in isolation.
 

@@ -9,21 +9,24 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 use strsum_bench::write_result;
-use strsum_bench::{Cli, CorpusRunner, PlanSpec};
+use strsum_bench::{Cli, CorpusRunner, PlanSpec, RequestSpec};
 use strsum_core::SynthesisConfig;
 
 fn main() {
     let cli = Cli::from_env();
+    cli.validate(&[]);
     let trace = cli.trace();
     let cfg = SynthesisConfig {
         budget: cli.budget(strsum_core::Budget::default().with_wall(Duration::from_secs(20))),
         ..Default::default()
     };
-    let summaries = CorpusRunner::new(cfg)
-        .threads(cli.threads())
-        .plan(cli.plan(PlanSpec::serial()))
-        .reuse_summaries(true)
-        .run_corpus()
+    let summaries = CorpusRunner::new(cli.plan(PlanSpec::serial()))
+        .serve(
+            RequestSpec::corpus()
+                .config(cfg)
+                .threads(cli.threads())
+                .reuse_summaries(true),
+        )
         .summaries();
 
     let mut out = String::new();

@@ -62,6 +62,7 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 use strsum_bench::{
     aggregate_screen, aggregate_telemetry, write_result, Cli, CorpusRunner, LoopSynth, PlanSpec,
+    RequestSpec,
 };
 use strsum_core::{Budget, SynthesisConfig};
 use strsum_corpus::{corpus, CacheStats};
@@ -112,6 +113,7 @@ fn disagreements(results: &[LoopSynth]) -> Vec<String> {
 
 fn main() {
     let cli = Cli::from_env();
+    cli.validate(&["--limit", "--verbose"]);
     let trace = cli.trace();
     let limit: usize = cli.parsed("--limit", 24);
     let timeout: f64 = cli.timeout_secs(10.0);
@@ -134,12 +136,17 @@ fn main() {
     // 4–8 use cost-aware plans (pass 4 populates the book the later
     // passes schedule and predict from).
     let run = |cfg: SynthesisConfig, cached: bool, n: usize, plan: PlanSpec| {
-        let mut runner = CorpusRunner::new(cfg).threads(n).cache(cached).plan(plan);
+        let mut runner = CorpusRunner::new(plan);
         if let Some(c) = trace.collector() {
             runner = runner.trace(c);
         }
         let start = Instant::now();
-        let report = runner.run(&entries);
+        let report = runner.serve(
+            RequestSpec::corpus_slice(limit)
+                .config(cfg)
+                .threads(n)
+                .cache(cached),
+        );
         (report, start.elapsed())
     };
     let pass1_plan = cli.plan(PlanSpec::serial().corpus_order());

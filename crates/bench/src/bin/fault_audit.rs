@@ -28,12 +28,15 @@
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
-use strsum_bench::{write_result, Cli, CorpusRunner, FaultPlan, LoopSynth, PlanSpec};
+use strsum_bench::{
+    loop_specs, write_result, Cli, CorpusRunner, FaultPlan, LoopSynth, PlanSpec, RequestSpec,
+};
 use strsum_core::{Budget, BudgetKind, LoopOutcome, SynthesisConfig};
 use strsum_obs::ToJson;
 
 fn main() {
     let cli = Cli::from_env();
+    cli.validate(&["--limit", "--seed"]);
     let limit: usize = cli.parsed("--limit", 18);
     let timeout: f64 = cli.timeout_secs(10.0);
     let threads = cli.threads().max(2);
@@ -54,10 +57,11 @@ fn main() {
     // Pass 1: serial clean baseline.
     println!("pass 1/4: serial clean baseline…");
     let start = Instant::now();
-    let serial = CorpusRunner::new(cfg.clone())
-        .threads(1)
-        .plan(PlanSpec::serial().corpus_order())
-        .run(&entries);
+    let serial = CorpusRunner::new(PlanSpec::serial().corpus_order()).serve(
+        RequestSpec::corpus_slice(limit)
+            .config(cfg.clone())
+            .threads(1),
+    );
     let serial_makespan = start.elapsed();
     assert_eq!(
         serial.outcomes.total(),
@@ -67,10 +71,11 @@ fn main() {
 
     // Pass 2: parallel clean — byte-identity with pass 1.
     println!("pass 2/4: parallel clean (byte-identity audit)…");
-    let parallel = CorpusRunner::new(cfg.clone())
-        .threads(threads)
-        .plan(PlanSpec::cubed(2).corpus_order())
-        .run(&entries);
+    let parallel = CorpusRunner::new(PlanSpec::cubed(2).corpus_order()).serve(
+        RequestSpec::corpus_slice(limit)
+            .config(cfg.clone())
+            .threads(threads),
+    );
     let mut violations: Vec<String> = Vec::new();
     let mut timing_races = 0usize;
     for (a, b) in serial.results.iter().zip(&parallel.results) {
@@ -106,10 +111,11 @@ fn main() {
         ..cfg.clone()
     };
     let start = Instant::now();
-    let ungoverned = CorpusRunner::new(ungoverned_cfg)
-        .threads(1)
-        .plan(PlanSpec::serial().corpus_order())
-        .run(&entries);
+    let ungoverned = CorpusRunner::new(PlanSpec::serial().corpus_order()).serve(
+        RequestSpec::corpus_slice(limit)
+            .config(ungoverned_cfg)
+            .threads(1),
+    );
     let ungoverned_makespan = start.elapsed();
     println!(
         "  makespan: governed {:.2}s vs ungoverned {:.2}s",
@@ -135,13 +141,14 @@ fn main() {
     let min_elapsed = |governed: bool| -> Vec<Duration> {
         let mut mins = vec![Duration::MAX; subset.len()];
         for _ in 0..REPS {
-            let report = CorpusRunner::new(SynthesisConfig {
-                budget: Budget { governed, ..budget },
-                ..cfg.clone()
-            })
-            .threads(1)
-            .plan(PlanSpec::serial().corpus_order())
-            .run(&subset);
+            let report = CorpusRunner::new(PlanSpec::serial().corpus_order()).serve(
+                RequestSpec::loops(loop_specs(&subset))
+                    .config(SynthesisConfig {
+                        budget: Budget { governed, ..budget },
+                        ..cfg.clone()
+                    })
+                    .threads(1),
+            );
             for (m, r) in mins.iter_mut().zip(&report.results) {
                 *m = (*m).min(r.elapsed);
             }
@@ -186,12 +193,14 @@ fn main() {
     println!("pass 4/4: seeded faults {planned:?}, then quarantine retry…");
 
     // 4a: no retries — pin the classification of each injected fault.
-    let faulted = CorpusRunner::new(cfg.clone())
-        .threads(threads)
-        // forced-Unknown counts queries; cubes would race the counter
-        .plan(PlanSpec::serial().corpus_order())
+    // forced-Unknown counts queries; cubes would race the counter
+    let faulted = CorpusRunner::new(PlanSpec::serial().corpus_order())
         .fault_plan(plan.clone())
-        .run(&entries);
+        .serve(
+            RequestSpec::corpus_slice(limit)
+                .config(cfg.clone())
+                .threads(threads),
+        );
     assert_eq!(
         faulted.results.len(),
         entries.len(),
@@ -227,12 +236,19 @@ fn main() {
 
     // 4b: one retry round — budget-exhausted loops must recover (they all
     // summarised cleanly in pass 1, and the retry lane runs fault-free).
-    let recovered = CorpusRunner::new(cfg)
-        .threads(threads)
-        .plan(PlanSpec::serial().corpus_order())
+    let recovered = CorpusRunner::new(PlanSpec::serial().corpus_order())
         .fault_plan(plan.clone())
-        .retries(1)
-        .run(&entries);
+        .serve(
+            RequestSpec::corpus_slice(limit)
+                .config(SynthesisConfig {
+                    budget: Budget {
+                        retries: 1,
+                        ..cfg.budget
+                    },
+                    ..cfg
+                })
+                .threads(threads),
+        );
     let mut recoveries = 0usize;
     for (id, fault) in plan.iter() {
         let got = outcome_of(&recovered.results, id);

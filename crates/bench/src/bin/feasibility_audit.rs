@@ -146,6 +146,7 @@ const CONFIGS: [Config; 3] = [
 
 fn main() {
     let cli = Cli::from_env();
+    cli.validate(&["--len", "--limit", "--synth-limit"]);
     let limit: usize = cli.parsed("--limit", 40);
     let len: usize = cli.parsed("--len", 6);
     let synth_limit: usize = cli.parsed("--synth-limit", 8);

@@ -15,12 +15,12 @@
 
 use std::fmt::Write as _;
 use std::time::Duration;
-use strsum_bench::{bar, write_result, Cli, CorpusRunner, PlanSpec};
+use strsum_bench::{bar, write_result, Cli, CorpusRunner, PlanSpec, RequestSpec};
 use strsum_core::{SolverTelemetry, SynthesisConfig};
-use strsum_corpus::corpus;
 
 fn main() {
     let cli = Cli::from_env();
+    cli.validate(&["--scale", "--max-size"]);
     let trace = cli.trace();
     let scale: f64 = cli.parsed("--scale", 0.25);
     let threads = cli.threads();
@@ -28,7 +28,7 @@ fn main() {
     // Scaled ladder (seconds): paper 30s/3min/10min/1h → 0.5/3/10/60 × scale.
     let ladder: [f64; 4] = [0.5 * scale, 3.0 * scale, 10.0 * scale, 60.0 * scale];
 
-    let entries = corpus();
+    let runner = CorpusRunner::new(cli.plan(PlanSpec::serial())).fault_plan(cli.fault_plan());
     let mut table: Vec<[usize; 4]> = Vec::new();
     let mut effort: Vec<SolverTelemetry> = Vec::new();
     for size in 1..=max_size {
@@ -39,11 +39,7 @@ fn main() {
             ),
             ..Default::default()
         };
-        let report = CorpusRunner::new(cfg)
-            .threads(threads)
-            .plan(cli.plan(PlanSpec::serial()))
-            .fault_plan(cli.fault_plan())
-            .run(&entries);
+        let report = runner.serve(RequestSpec::corpus().config(cfg).threads(threads));
         let mut row = [0usize; 4];
         for r in &report.results {
             if r.program.is_none() {

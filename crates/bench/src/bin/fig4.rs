@@ -6,7 +6,7 @@
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
-use strsum_bench::{bar, median, write_result, Cli, CorpusRunner, PlanSpec};
+use strsum_bench::{bar, median, write_result, Cli, CorpusRunner, PlanSpec, RequestSpec};
 use strsum_core::SynthesisConfig;
 use strsum_gadgets::symbolic::string_solver_models;
 use strsum_smt::TermPool;
@@ -14,6 +14,7 @@ use strsum_symex::Engine;
 
 fn main() {
     let cli = Cli::from_env();
+    cli.validate(&["--length"]);
     let trace = cli.trace();
     let len: usize = cli.parsed("--length", 13);
     let timeout: f64 = cli.timeout_secs(5.0);
@@ -23,11 +24,13 @@ fn main() {
         budget: strsum_core::Budget::default().with_wall(Duration::from_secs(20)),
         ..Default::default()
     };
-    let summaries = CorpusRunner::new(cfg)
-        .threads(threads)
-        .plan(cli.plan(PlanSpec::serial()))
-        .reuse_summaries(true)
-        .run_corpus()
+    let summaries = CorpusRunner::new(cli.plan(PlanSpec::serial()))
+        .serve(
+            RequestSpec::corpus()
+                .config(cfg)
+                .threads(threads)
+                .reuse_summaries(true),
+        )
         .summaries();
     let loops: Vec<_> = summaries
         .into_iter()

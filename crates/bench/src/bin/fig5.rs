@@ -12,7 +12,7 @@
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use strsum_bench::{write_result, Cli, CorpusRunner, PlanSpec};
+use strsum_bench::{write_result, Cli, CorpusRunner, PlanSpec, RequestSpec};
 use strsum_core::SynthesisConfig;
 use strsum_gadgets::compile_rust::{compile, Impl};
 
@@ -36,6 +36,7 @@ fn workload(entry_id: &str) -> [Vec<u8>; 4] {
 
 fn main() {
     let cli = Cli::from_env();
+    cli.validate(&["--iters"]);
     let trace = cli.trace();
     let iters: u64 = cli.parsed("--iters", 200_000);
     let threads = cli.threads();
@@ -43,11 +44,13 @@ fn main() {
         budget: strsum_core::Budget::default().with_wall(std::time::Duration::from_secs(20)),
         ..Default::default()
     };
-    let summaries = CorpusRunner::new(cfg)
-        .threads(threads)
-        .plan(cli.plan(PlanSpec::serial()))
-        .reuse_summaries(true)
-        .run_corpus()
+    let summaries = CorpusRunner::new(cli.plan(PlanSpec::serial()))
+        .serve(
+            RequestSpec::corpus()
+                .config(cfg)
+                .threads(threads)
+                .reuse_summaries(true),
+        )
         .summaries();
     let loops: Vec<_> = summaries
         .into_iter()

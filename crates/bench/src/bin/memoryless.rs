@@ -15,6 +15,7 @@ use strsum_corpus::corpus;
 
 fn main() {
     let cli = Cli::from_env();
+    cli.validate(&["--bound"]);
     let trace = cli.trace();
     let bound: usize = cli.parsed("--bound", 3);
     let mut out = String::new();

@@ -1,0 +1,377 @@
+//! The daemon front door must be invisible in the results: `serve_audit`
+//! replays a corpus slice through `strsum-server`'s engine — concurrent
+//! clients speaking the wire protocol over a Unix socket — and diffs
+//! every answer against the batch runner under the same config.
+//!
+//! Three gates, each fatal (exit 1):
+//!
+//! - **Byte identity (cold).** A freshly started daemon with an empty
+//!   store must synthesise byte-identical summaries, failure verdicts
+//!   and outcomes to `CorpusRunner::serve` for every loop that did not
+//!   race the wall clock. An in-run store hit on a semantic clone
+//!   (`CacheHit` where the runner says `Summarized`) is legitimate —
+//!   the bytes must still match.
+//! - **Byte identity (restart).** The daemon is then shut down —
+//!   draining, compacting — and a new daemon is opened over the same
+//!   store directory. The replay must serve every previously
+//!   summarised loop from the reloaded store, byte-identical.
+//! - **Soundness.** Every store hit must have been re-verified by the
+//!   bounded checker: the warm pass requires `origin == store` and
+//!   `reverified` on each hit, and the engine counters must satisfy
+//!   `reverified == store_hits + rejected` with `rejected == 0`.
+//!
+//! Serving metrics (throughput, p50/p99 latency, store hit rate) land
+//! in `results/BENCH_pr8.json` for the CI artifact.
+//!
+//! Usage: `cargo run --release -p strsum-bench --bin serve_audit
+//!         [--loops N] [--clients N] [--threads N] [--timeout-secs S]`
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use strsum_api::{
+    decode_frame, encode_frame, BatchRequest, Frame, Origin, SummaryRequest, SummaryResponse,
+};
+use strsum_bench::{write_result, Cli, CorpusRunner, LoopSynth, PlanSpec, RequestSpec};
+use strsum_core::{LoopOutcome, SynthesisConfig};
+use strsum_obs::ToJson;
+use strsum_server::{serve_unix_socket, Daemon, Engine, EngineStats};
+
+/// Wall-clock-raced verdicts, the only legitimate divergence between
+/// the daemon and the batch runner (same exclusion the
+/// serial-vs-parallel determinism audit applies).
+fn runner_timing_dependent(r: &LoopSynth) -> bool {
+    r.stats.degraded
+        || r.stats.exhausted.is_some()
+        || matches!(
+            r.failure.as_deref(),
+            Some("timeout" | "solver gave up on candidate search")
+        )
+}
+
+fn response_timing_dependent(r: &SummaryResponse) -> bool {
+    matches!(
+        r.outcome,
+        LoopOutcome::Degraded | LoopOutcome::BudgetExhausted(_)
+    ) || matches!(
+        r.failure.as_deref(),
+        Some("timeout" | "solver gave up on candidate search")
+    )
+}
+
+/// One daemon lifetime: open the store, serve `batches` from concurrent
+/// wire clients over a Unix socket, drain, compact, return the answers
+/// with the engine counters and the serving wall clock.
+fn daemon_phase(
+    store: &Path,
+    socket: &Path,
+    cfg: &SynthesisConfig,
+    workers: usize,
+    batches: &[BatchRequest],
+) -> (Vec<SummaryResponse>, EngineStats, f64) {
+    let engine = Engine::open(store, 0, cfg.clone()).expect("open engine");
+    let daemon = Arc::new(Daemon::start(Arc::new(engine), workers));
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = {
+        let daemon = Arc::clone(&daemon);
+        let stop = Arc::clone(&stop);
+        let socket = socket.to_path_buf();
+        std::thread::spawn(move || serve_unix_socket(&daemon, &socket, &stop))
+    };
+
+    let start = Instant::now();
+    let clients: Vec<_> = batches
+        .iter()
+        .cloned()
+        .map(|batch| {
+            let socket = socket.to_path_buf();
+            std::thread::spawn(move || -> Vec<SummaryResponse> {
+                let mut stream = connect_with_retry(&socket);
+                let mut line = encode_frame(&Frame::Batch(batch));
+                line.push('\n');
+                stream.write_all(line.as_bytes()).expect("send batch");
+                let mut reader = BufReader::new(stream);
+                let mut reply = String::new();
+                reader.read_line(&mut reply).expect("read batch response");
+                match decode_frame(reply.trim_end()).expect("decode batch response") {
+                    Frame::BatchResponse(b) => b.responses,
+                    other => panic!("unexpected reply frame: {other:?}"),
+                }
+            })
+        })
+        .collect();
+    let mut responses = Vec::new();
+    for c in clients {
+        responses.extend(c.join().expect("client thread"));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let stats = daemon.engine().stats();
+    stop.store(true, Ordering::SeqCst);
+    server
+        .join()
+        .expect("socket thread")
+        .expect("socket serving");
+    Arc::try_unwrap(daemon)
+        .ok()
+        .expect("all daemon handles released")
+        .shutdown()
+        .expect("daemon drain");
+    (responses, stats, elapsed)
+}
+
+/// The server thread races the clients to the bind; retry briefly.
+fn connect_with_retry(socket: &Path) -> UnixStream {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match UnixStream::connect(socket) {
+            Ok(s) => return s,
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("connect {}: {e}", socket.display()),
+        }
+    }
+}
+
+fn percentile(sorted_micros: &[u64], p: f64) -> u64 {
+    if sorted_micros.is_empty() {
+        return 0;
+    }
+    let idx = (p / 100.0 * (sorted_micros.len() - 1) as f64).round() as usize;
+    sorted_micros[idx.min(sorted_micros.len() - 1)]
+}
+
+fn main() -> ExitCode {
+    let cli = Cli::from_env();
+    cli.validate(&["--loops", "--clients"]);
+    let loops: usize = cli.parsed("--loops", 40);
+    let clients: usize = cli.parsed("--clients", 4).max(1);
+    let threads = cli.threads();
+    let timeout = cli.timeout_secs(20.0);
+    let cfg = SynthesisConfig::with_timeout(Duration::from_secs_f64(timeout));
+
+    let mut entries = strsum_corpus::corpus();
+    entries.truncate(loops);
+    let loops = entries.len();
+    println!(
+        "serve_audit: {loops} loops, {clients} wire clients, {threads} workers, {timeout}s timeout"
+    );
+
+    // The reference: the batch runner under the identical config. The
+    // determinism contract makes the plan irrelevant to the bytes; serial
+    // corpus order is the canonical baseline.
+    let reference = CorpusRunner::new(PlanSpec::serial().corpus_order())
+        .serve(
+            RequestSpec::corpus_slice(loops)
+                .config(cfg.clone())
+                .threads(threads),
+        )
+        .results;
+    let reference_by_id: HashMap<&str, &LoopSynth> =
+        reference.iter().map(|r| (r.entry.id.as_str(), r)).collect();
+
+    // The same slice as wire batches, one per client, contiguous split.
+    let per_client = loops.div_ceil(clients);
+    let batches: Vec<BatchRequest> = entries
+        .chunks(per_client.max(1))
+        .enumerate()
+        .map(|(c, chunk)| BatchRequest {
+            id: format!("client{c}"),
+            requests: chunk
+                .iter()
+                .map(|e| SummaryRequest::c(e.id.clone(), e.source.clone()))
+                .collect(),
+        })
+        .collect();
+
+    let scratch = std::env::temp_dir().join(format!("strsum-serve-audit-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+    let store: PathBuf = scratch.join("store");
+    let socket: PathBuf = scratch.join("sock");
+
+    let mut violations: Vec<String> = Vec::new();
+
+    // ---- Phase 1: cold daemon, empty store ---------------------------
+    let (cold, cold_stats, cold_secs) = daemon_phase(&store, &socket, &cfg, threads, &batches);
+    println!(
+        "cold:  {loops} answers in {cold_secs:.2}s  ({} hits, {} misses)",
+        cold_stats.store_hits, cold_stats.store_misses
+    );
+    let mut compared = 0usize;
+    for resp in &cold {
+        let Some(reference) = reference_by_id.get(resp.id.as_str()) else {
+            violations.push(format!("{}: daemon answered an unknown id", resp.id));
+            continue;
+        };
+        if runner_timing_dependent(reference) || response_timing_dependent(resp) {
+            continue;
+        }
+        let expected = reference.program.as_ref().map(|p| p.encode());
+        if expected != resp.summary {
+            violations.push(format!(
+                "{}: cold daemon summary differs from the batch runner",
+                resp.id
+            ));
+        }
+        // An in-run store hit on a semantic clone is the one legitimate
+        // outcome skew: the runner (cache off) synthesised, the daemon
+        // served the clone's verified bytes.
+        let outcome_ok = resp.outcome == reference.outcome
+            || (reference.outcome == LoopOutcome::Summarized
+                && resp.outcome == LoopOutcome::CacheHit);
+        if !outcome_ok {
+            violations.push(format!(
+                "{}: outcome skew — runner {:?}, daemon {:?}",
+                resp.id, reference.outcome, resp.outcome
+            ));
+        }
+        if resp.summary.is_none() && reference.failure != resp.failure {
+            violations.push(format!(
+                "{}: failure skew — runner {:?}, daemon {:?}",
+                resp.id, reference.failure, resp.failure
+            ));
+        }
+        compared += 1;
+    }
+    if compared < loops.div_ceil(2) {
+        violations.push(format!(
+            "only {compared}/{loops} loops compared deterministically — raise --timeout-secs"
+        ));
+    }
+    if cold_stats.reverified != cold_stats.store_hits + cold_stats.rejected {
+        violations.push(format!(
+            "cold soundness: reverified {} != hits {} + rejected {}",
+            cold_stats.reverified, cold_stats.store_hits, cold_stats.rejected
+        ));
+    }
+
+    // ---- Phase 2: daemon restart over the same store -----------------
+    let (warm, warm_stats, warm_secs) = daemon_phase(&store, &socket, &cfg, threads, &batches);
+    println!(
+        "warm:  {loops} answers in {warm_secs:.2}s  ({} hits, {} misses, {} reverified)",
+        warm_stats.store_hits, warm_stats.store_misses, warm_stats.reverified
+    );
+    let cold_by_id: HashMap<&str, &SummaryResponse> =
+        cold.iter().map(|r| (r.id.as_str(), r)).collect();
+    let mut expected_hits = 0u64;
+    for resp in &warm {
+        let before = cold_by_id[resp.id.as_str()];
+        if let Some(bytes) = &before.summary {
+            expected_hits += 1;
+            if resp.summary.as_deref() != Some(bytes.as_slice()) {
+                violations.push(format!(
+                    "{}: summary changed across daemon restart / store reload",
+                    resp.id
+                ));
+            }
+            if resp.origin != Origin::Store {
+                violations.push(format!(
+                    "{}: warm answer not served from the store",
+                    resp.id
+                ));
+            }
+            if !resp.reverified {
+                violations.push(format!(
+                    "{}: store hit served without re-verification",
+                    resp.id
+                ));
+            }
+            if resp.outcome != LoopOutcome::CacheHit {
+                violations.push(format!(
+                    "{}: warm outcome {:?}, expected CacheHit",
+                    resp.id, resp.outcome
+                ));
+            }
+        } else if !response_timing_dependent(before)
+            && !response_timing_dependent(resp)
+            && resp.outcome != before.outcome
+        {
+            violations.push(format!(
+                "{}: unsummarised outcome changed across restart — {:?} then {:?}",
+                resp.id, before.outcome, resp.outcome
+            ));
+        }
+    }
+    if warm_stats.store_hits != expected_hits {
+        violations.push(format!(
+            "warm store hits {} != {} summarised loops",
+            warm_stats.store_hits, expected_hits
+        ));
+    }
+    if warm_stats.rejected != 0 {
+        violations.push(format!(
+            "warm pass tombstoned {} store entries — the store served corrupt summaries",
+            warm_stats.rejected
+        ));
+    }
+    if warm_stats.reverified != warm_stats.store_hits + warm_stats.rejected {
+        violations.push(format!(
+            "warm soundness: reverified {} != hits {} + rejected {}",
+            warm_stats.reverified, warm_stats.store_hits, warm_stats.rejected
+        ));
+    }
+
+    // ---- Metrics + artifact ------------------------------------------
+    let mut lat: Vec<u64> = warm.iter().map(|r| r.cost.wall_micros).collect();
+    lat.sort_unstable();
+    let p50 = percentile(&lat, 50.0);
+    let p99 = percentile(&lat, 99.0);
+    let throughput = loops as f64 / warm_secs.max(1e-9);
+    let hit_rate = warm_stats.store_hits as f64
+        / (warm_stats.store_hits + warm_stats.store_misses).max(1) as f64;
+    println!(
+        "warm serving: {throughput:.1} req/s, p50 {p50}µs, p99 {p99}µs, hit rate {:.0}%",
+        hit_rate * 100.0
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"loops\": {loops},");
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"workers\": {threads},");
+    let _ = writeln!(json, "  \"timeout_secs\": {timeout},");
+    let _ = writeln!(json, "  \"compared\": {compared},");
+    let _ = writeln!(
+        json,
+        "  \"cold\": {{\"elapsed_secs\": {cold_secs:.3}, \"stats\": {}}},",
+        cold_stats.to_json()
+    );
+    let _ = writeln!(
+        json,
+        "  \"warm\": {{\"elapsed_secs\": {warm_secs:.3}, \"throughput_rps\": {throughput:.2}, \"p50_latency_micros\": {p50}, \"p99_latency_micros\": {p99}, \"store_hit_rate\": {hit_rate:.4}, \"stats\": {}}},",
+        warm_stats.to_json()
+    );
+    let _ = writeln!(
+        json,
+        "  \"violations\": [{}],",
+        violations
+            .iter()
+            .map(|v| format!("\"{}\"", strsum_obs::escape(v)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(json, "  \"ok\": {}", violations.is_empty());
+    json.push('}');
+    write_result("BENCH_pr8.json", &json);
+
+    let _ = std::fs::remove_dir_all(&scratch);
+    if violations.is_empty() {
+        println!("serve_audit: OK — daemon answers byte-identical to the batch runner, every store hit re-verified");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("serve_audit: {} violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

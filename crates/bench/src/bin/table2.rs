@@ -12,6 +12,7 @@ use strsum_corpus::{
 
 fn main() {
     let cli = Cli::from_env();
+    cli.validate(&["--seed"]);
     let trace = cli.trace();
     let seed: u64 = cli.parsed("--seed", 2019);
     let population = generate_population(seed);

@@ -11,13 +11,16 @@
 
 use std::fmt::Write as _;
 use std::time::Duration;
-use strsum_bench::{median, minutes, telemetry_report, write_result, Cli, CorpusRunner, PlanSpec};
+use strsum_bench::{
+    median, minutes, telemetry_report, write_result, Cli, CorpusRunner, PlanSpec, RequestSpec,
+};
 use strsum_core::{Budget, SynthesisConfig};
-use strsum_corpus::{corpus, APPS};
+use strsum_corpus::APPS;
 use strsum_obs::ToJson;
 
 fn main() {
     let cli = Cli::from_env();
+    cli.validate(&["--full"]);
     let trace = cli.trace();
     let base = if cli.flag("--full") {
         Budget::default().with_wall(Duration::from_secs(300))
@@ -34,15 +37,11 @@ fn main() {
     println!(
         "synthesising 115 loops (full vocabulary, max_prog_size=9, max_ex_size=3, timeout={timeout}s, {threads} threads)…"
     );
-    let entries = corpus();
-    let mut runner = CorpusRunner::new(cfg)
-        .threads(threads)
-        .plan(cli.plan(PlanSpec::serial()))
-        .fault_plan(cli.fault_plan());
+    let mut runner = CorpusRunner::new(cli.plan(PlanSpec::serial())).fault_plan(cli.fault_plan());
     if let Some(c) = trace.collector() {
         runner = runner.trace(c);
     }
-    let report = runner.run(&entries);
+    let report = runner.serve(RequestSpec::corpus().config(cfg).threads(threads));
     let results = &report.results;
 
     let mut out = String::new();

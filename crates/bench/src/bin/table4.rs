@@ -11,20 +11,20 @@
 
 use std::fmt::Write as _;
 use std::time::Duration;
-use strsum_bench::{write_result, Cli, CorpusRunner, PlanSpec};
+use strsum_bench::{write_result, Cli, CorpusRunner, PlanSpec, RequestSpec};
 use strsum_core::{Budget, SolverTelemetry, SynthesisConfig, Vocab};
-use strsum_corpus::corpus;
 use strsum_gp::{BayesOpt, Observation};
 
 fn main() {
     let cli = Cli::from_env();
+    cli.validate(&["--evals", "--seed"]);
     let trace = cli.trace();
     let timeout: f64 = cli.timeout_secs(2.0);
     let evals: usize = cli.parsed("--evals", 30);
     let threads = cli.threads();
     let seed: u64 = cli.parsed("--seed", 2019);
 
-    let entries = corpus();
+    let runner = CorpusRunner::new(cli.plan(PlanSpec::serial()));
     let success = |vocab: Vocab| -> (usize, SolverTelemetry) {
         let cfg = SynthesisConfig {
             vocab,
@@ -32,10 +32,7 @@ fn main() {
             budget: Budget::default().with_wall(Duration::from_secs_f64(timeout)),
             ..Default::default()
         };
-        let report = CorpusRunner::new(cfg)
-            .threads(threads)
-            .plan(cli.plan(PlanSpec::serial()))
-            .run(&entries);
+        let report = runner.serve(RequestSpec::corpus().config(cfg).threads(threads));
         let ok = report
             .results
             .iter()

@@ -29,6 +29,19 @@ pub struct Cli {
     args: Vec<String>,
 }
 
+/// The uniform flag set every experiment binary accepts (the accessors
+/// on [`Cli`]). Per-binary flags are passed to [`Cli::validate`].
+pub const UNIFORM_FLAGS: &[&str] = &[
+    "--threads",
+    "--timeout-secs",
+    "--budget-ms",
+    "--retries",
+    "--fault-plan",
+    "--trace",
+    "--plan",
+    "--cubes",
+];
+
 /// Raw `--flag value` lookup over the process arguments (shared by
 /// [`Cli`] and the deprecated free functions).
 pub(crate) fn raw_value(name: &str) -> Option<String> {
@@ -164,6 +177,35 @@ impl Cli {
     pub fn trace(&self) -> TraceArgs {
         TraceArgs::from_path(self.value("--trace"))
     }
+
+    /// Checks every `--flag` token against [`UNIFORM_FLAGS`] plus the
+    /// binary's own `extra` flags; `Err` carries the first unknown flag.
+    /// Tokens not starting with `--` are flag values and never checked.
+    pub fn check(&self, extra: &[&str]) -> Result<(), String> {
+        for arg in self.args.iter().skip(1) {
+            if arg.starts_with("--")
+                && !UNIFORM_FLAGS.contains(&arg.as_str())
+                && !extra.contains(&arg.as_str())
+            {
+                return Err(arg.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Exits 2 with a usage message on an unknown flag. Every binary
+    /// calls this before reading any flag: a typo'd flag silently
+    /// falling back to its default (`--paln adaptive` running serial)
+    /// would invalidate the run while *looking* like a clean benchmark.
+    pub fn validate(&self, extra: &[&str]) {
+        if let Err(flag) = self.check(extra) {
+            eprintln!("error: unknown flag {flag}");
+            let mut known: Vec<&str> = UNIFORM_FLAGS.iter().chain(extra).copied().collect();
+            known.sort_unstable();
+            eprintln!("usage: accepted flags are {}", known.join(", "));
+            std::process::exit(2);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -222,5 +264,26 @@ mod tests {
         // --cubes alone retargets a fixed default's cube count.
         let cli = Cli::from_args(&["prog", "--cubes", "2"]);
         assert_eq!(cli.plan(PlanSpec::cubed(4)), PlanSpec::cubed(2));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_not_ignored() {
+        // The motivating bug: `--paln adaptive` parsed cleanly and ran
+        // serial, silently invalidating the benchmark comparison.
+        let cli = Cli::from_args(&["prog", "--paln", "adaptive"]);
+        assert_eq!(cli.check(&[]), Err("--paln".to_string()));
+
+        // Uniform flags pass; values (even bare words) are not checked.
+        let cli = Cli::from_args(&["prog", "--plan", "adaptive", "--threads", "4"]);
+        assert_eq!(cli.check(&[]), Ok(()));
+
+        // Per-binary extras are accepted only when declared.
+        let cli = Cli::from_args(&["prog", "--full"]);
+        assert_eq!(cli.check(&[]), Err("--full".to_string()));
+        assert_eq!(cli.check(&["--full"]), Ok(()));
+
+        // Flag values never start with `--`, so a path value passes.
+        let cli = Cli::from_args(&["prog", "--trace", "out/trace.json"]);
+        assert_eq!(cli.check(&[]), Ok(()));
     }
 }

@@ -28,7 +28,22 @@ pub use plan::{
 };
 pub use runner::{CorpusReport, CorpusRunner, OutcomeCounts, RetryStats};
 pub use schedule::ljf_order;
+pub use strsum_api::{LoopSpec, RequestSpec, Scope};
 pub use trace::TraceArgs;
+
+/// The [`LoopSpec`] view of corpus entries — for feeding an explicit
+/// entry list (typically a corpus subset) through
+/// [`CorpusRunner::serve`] as [`Scope::Loops`]. Ids matching corpus
+/// entries keep their app attribution (see the runner docs).
+pub fn loop_specs(entries: &[LoopEntry]) -> Vec<LoopSpec> {
+    entries
+        .iter()
+        .map(|e| LoopSpec {
+            id: e.id.clone(),
+            source: e.source.clone().into_bytes(),
+        })
+        .collect()
+}
 
 /// Result of synthesising one corpus loop.
 #[derive(Debug, Clone)]

@@ -68,116 +68,11 @@ pub fn loop_features(func: &strsum_ir::Func, source: &str) -> LoopFeatures {
     ]
 }
 
-/// Which planning policy a run uses (the `--plan` flag).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PlanMode {
-    /// Every loop serial — the pre-planner default and the baseline the
-    /// CI regression gate measures adaptive against.
-    Serial,
-    /// Every loop cube-and-conquer with a fixed `k` — the PR 4
-    /// behaviour, kept for ablation.
-    Cubed(usize),
-    /// Per-loop strategy from the cost model (the planner proper).
-    Adaptive,
-    /// Every loop races serial vs. `Cubed(k)` arms — the maximal hedge,
-    /// kept for ablation and stress-testing the cancellation path.
-    Portfolio(usize),
-}
-
-impl PlanMode {
-    /// Stable label for reports and the `--plan` flag.
-    pub fn label(self) -> &'static str {
-        match self {
-            PlanMode::Serial => "serial",
-            PlanMode::Cubed(_) => "cubed",
-            PlanMode::Adaptive => "adaptive",
-            PlanMode::Portfolio(_) => "portfolio",
-        }
-    }
-}
-
-/// The planning policy of one run: a [`PlanMode`] plus whether dispatch
-/// is cost-ordered (longest-job-first from the book) or corpus-ordered.
-///
-/// Replaces the runner's old `intra_loop`/`cost_schedule` knob pair —
-/// the four historical combinations all have a spelling here:
-///
-/// | old                                  | new                                |
-/// |--------------------------------------|------------------------------------|
-/// | `intra_loop(1).cost_schedule(true)`  | `PlanSpec::serial()` (the default) |
-/// | `intra_loop(1).cost_schedule(false)` | `PlanSpec::serial().corpus_order()`|
-/// | `intra_loop(k).cost_schedule(true)`  | `PlanSpec::cubed(k)`               |
-/// | `intra_loop(k).cost_schedule(false)` | `PlanSpec::cubed(k).corpus_order()`|
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PlanSpec {
-    /// The planning policy.
-    pub mode: PlanMode,
-    /// Longest-job-first dispatch from the cost book (the default).
-    /// Disable for runs that must not read `results/costs.tsv`.
-    pub cost_order: bool,
-}
-
-impl Default for PlanSpec {
-    /// Serial, cost-ordered — byte-identical to the historical runner
-    /// default (`intra_loop` 1, `cost_schedule` on).
-    fn default() -> PlanSpec {
-        PlanSpec::serial()
-    }
-}
-
-impl PlanSpec {
-    /// Every loop serial, cost-ordered dispatch.
-    pub fn serial() -> PlanSpec {
-        PlanSpec {
-            mode: PlanMode::Serial,
-            cost_order: true,
-        }
-    }
-
-    /// Every loop cubed with `k` cubes (clamped to ≥ 2), cost-ordered.
-    pub fn cubed(k: usize) -> PlanSpec {
-        PlanSpec {
-            mode: PlanMode::Cubed(k.max(2)),
-            cost_order: true,
-        }
-    }
-
-    /// Cost-model-driven per-loop strategies, cost-ordered.
-    pub fn adaptive() -> PlanSpec {
-        PlanSpec {
-            mode: PlanMode::Adaptive,
-            cost_order: true,
-        }
-    }
-
-    /// Every loop races serial vs. `k`-cubed arms (k clamped to ≥ 2),
-    /// cost-ordered.
-    pub fn portfolio(k: usize) -> PlanSpec {
-        PlanSpec {
-            mode: PlanMode::Portfolio(k.max(2)),
-            cost_order: true,
-        }
-    }
-
-    /// Dispatch in corpus order instead of longest-job-first; the run
-    /// neither reads nor needs `results/costs.tsv` for ordering.
-    pub fn corpus_order(mut self) -> PlanSpec {
-        self.cost_order = false;
-        self
-    }
-
-    /// Parses a `--plan` value; `None` for an unrecognised mode. `k` is
-    /// the cube count fixed modes use (`--cubes`).
-    pub fn parse(mode: &str, k: usize) -> Option<PlanSpec> {
-        match mode {
-            "serial" => Some(PlanSpec::serial()),
-            "cubed" => Some(PlanSpec::cubed(k)),
-            "adaptive" => Some(PlanSpec::adaptive()),
-            "portfolio" => Some(PlanSpec::portfolio(k)),
-            _ => None,
-        }
-    }
-}
+// The plan *vocabulary* ([`PlanMode`], [`PlanSpec`]) moved to
+// `strsum-api` when the request/response API became the single front
+// door: a wire request carries its plan, so the daemon and the batch
+// runner must share the type. The decision machinery below stays here.
+pub use strsum_api::{PlanMode, PlanSpec};
 
 /// The execution strategy planned for one loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,14 +1,16 @@
 //! The one entry point over the synthesis stack: [`CorpusRunner`].
 //!
-//! Earlier revisions grew three parallel entry points (since removed)
-//! whose signatures drifted apart as options accumulated. The runner
-//! collapses them behind one builder: configure threads / execution plan
-//! / cross-loop cache / summary reuse / tracing, then
-//! [`CorpusRunner::run`] (or [`CorpusRunner::run_corpus`]) returns a
-//! single [`CorpusReport`] holding the per-loop results plus every
-//! aggregate the binaries report.
+//! Earlier revisions grew three parallel entry points (since removed),
+//! then a nine-method builder whose options accumulated the same way.
+//! Both collapsed into the request/response API:
+//! `CorpusRunner::new(PlanSpec)` fixes *how* to execute,
+//! [`CorpusRunner::serve`] takes a [`RequestSpec`] saying *what* to run
+//! (config / threads / cache / scope) and returns a single
+//! [`CorpusReport`] holding the per-loop results plus every aggregate
+//! the binaries report. The old builder methods survive as
+//! `#[deprecated]` shims for one release.
 //!
-//! Execution strategy is one knob: [`CorpusRunner::plan`] takes a
+//! Execution strategy is one knob: [`CorpusRunner::new`] takes a
 //! [`PlanSpec`] (serial / cubed / adaptive / portfolio × cost-ordered or
 //! corpus-ordered dispatch), which the [`crate::plan::ExecutionPlanner`]
 //! turns into a per-loop [`Plan`]. The old `intra_loop`/`cost_schedule`
@@ -31,12 +33,13 @@ use std::fs;
 use std::io::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use strsum_api::{LoopSpec, RequestSpec, Scope};
 use strsum_core::{
     loop_fingerprint, synthesize, synthesize_with_cancel, verify_summary, Budget, BudgetKind,
     CancelToken, LoopOutcome, SolverTelemetry, SynthStats, SynthesisConfig, SynthesisResult,
 };
 use strsum_corpus::{
-    fingerprint_hash, CacheStats, CostBook, CostStat, LoopEntry, RecordedOutcome, SummaryCache,
+    fingerprint_hash, App, CacheStats, CostBook, CostStat, LoopEntry, RecordedOutcome, SummaryCache,
 };
 use strsum_gadgets::Program;
 use strsum_obs::{names, Aggregate, Collector, ToJson};
@@ -175,18 +178,25 @@ impl CorpusReport {
     }
 }
 
-/// Builder for corpus synthesis runs. See the module docs.
+/// The front door over the synthesis stack: a runner is *how* to execute
+/// (execution plan, tracing, faults), a [`RequestSpec`] is *what* to run
+/// (config, threads, cache, scope) — [`CorpusRunner::serve`] joins them.
 ///
 /// ```no_run
+/// use strsum_api::{PlanSpec, RequestSpec};
 /// use strsum_bench::CorpusRunner;
-/// use strsum_core::SynthesisConfig;
 ///
-/// let report = CorpusRunner::new(SynthesisConfig::default())
-///     .threads(4)
-///     .cache(true)
-///     .run_corpus();
+/// let report = CorpusRunner::new(PlanSpec::serial())
+///     .serve(RequestSpec::corpus().threads(4).cache(true));
 /// println!("{} loops", report.results.len());
 /// ```
+///
+/// The nine-method builder this replaced survives as `#[deprecated]`
+/// shims for one release: `with_config` (the old `new`), plus
+/// `threads` / `cache` / `budget` / `retries` / `reuse_summaries` /
+/// `plan` / `run` / `run_corpus`. `trace` and `fault_plan` stay live —
+/// they are harness-side instrumentation, not request vocabulary, so a
+/// wire request can never carry them.
 #[derive(Debug, Clone)]
 pub struct CorpusRunner {
     cfg: SynthesisConfig,
@@ -199,11 +209,63 @@ pub struct CorpusRunner {
 }
 
 impl CorpusRunner {
+    /// A runner executing under `plan` (per-loop strategy policy ×
+    /// dispatch order — see [`PlanSpec`]); no tracing, no faults. Any
+    /// plan yields byte-identical summaries — only wall clock changes.
+    ///
+    /// Everything else a run varies (config, threads, cache, scope)
+    /// arrives with the [`RequestSpec`] at [`CorpusRunner::serve`] time.
+    pub fn new(plan: PlanSpec) -> CorpusRunner {
+        CorpusRunner {
+            cfg: SynthesisConfig::default(),
+            threads: default_threads(),
+            cache: false,
+            plan,
+            reuse_summaries: false,
+            trace: None,
+            fault_plan: FaultPlan::new(),
+        }
+    }
+
+    /// Serves one request: resolves the scope to loop entries, applies
+    /// the request's config/threads/cache knobs, and runs under this
+    /// runner's plan.
+    ///
+    /// Caller-supplied loops ([`Scope::Loops`]) whose id matches a
+    /// corpus entry keep that entry's app attribution (per-app grouping
+    /// in the tables keeps working on corpus subsets); unknown ids are
+    /// attributed to [`strsum_corpus::App::External`].
+    pub fn serve(&self, spec: RequestSpec) -> CorpusReport {
+        let mut runner = self.clone();
+        runner.cfg = spec.cfg;
+        if let Some(n) = spec.threads {
+            runner.threads = n;
+        }
+        runner.cache = spec.cache;
+        runner.reuse_summaries = spec.reuse_summaries;
+        match spec.scope {
+            Scope::Corpus { limit: None } => runner.run_full_corpus(),
+            Scope::Corpus { limit: Some(n) } => {
+                let mut entries = strsum_corpus::corpus();
+                entries.truncate(n);
+                runner.run_entries(&entries)
+            }
+            Scope::Loops(specs) => {
+                let entries = resolve_loop_specs(&specs);
+                runner.run_entries(&entries)
+            }
+        }
+    }
+
     /// A runner with `cfg`, all threads, no cache, the default plan
     /// (serial strategies, cost-ordered dispatch — or fixed cubes when
     /// `cfg.intra_loop` > 1, preserving the config's historical
     /// meaning), no tracing, no faults.
-    pub fn new(cfg: SynthesisConfig) -> CorpusRunner {
+    #[deprecated(
+        since = "0.1.0",
+        note = "use CorpusRunner::new(PlanSpec) and pass the config via RequestSpec::config"
+    )]
+    pub fn with_config(cfg: SynthesisConfig) -> CorpusRunner {
         let plan = if cfg.intra_loop > 1 {
             PlanSpec::cubed(cfg.intra_loop)
         } else {
@@ -221,18 +283,15 @@ impl CorpusRunner {
     }
 
     /// Worker-thread count (clamped to ≥ 1 at run time).
+    #[deprecated(since = "0.1.0", note = "use RequestSpec::threads")]
     pub fn threads(mut self, n: usize) -> CorpusRunner {
         self.threads = n;
         self
     }
 
-    /// The execution plan: which per-loop strategy policy to run
-    /// (serial / fixed cubes / cost-model adaptive / portfolio racing)
-    /// and whether dispatch is cost-ordered (longest-job-first from
-    /// `results/costs.tsv`) or corpus-ordered. See [`PlanSpec`] for the
-    /// conversion from the retired `intra_loop`/`cost_schedule` knobs.
-    /// Any plan yields byte-identical summaries — only wall clock
-    /// changes.
+    /// The execution plan — see [`CorpusRunner::new`], which took over
+    /// this knob.
+    #[deprecated(since = "0.1.0", note = "pass the PlanSpec to CorpusRunner::new")]
     pub fn plan(mut self, spec: PlanSpec) -> CorpusRunner {
         self.plan = spec;
         self
@@ -240,23 +299,28 @@ impl CorpusRunner {
 
     /// Enables the cross-loop summary cache (fingerprint grouping with
     /// mandatory re-verification of every hit).
+    #[deprecated(since = "0.1.0", note = "use RequestSpec::cache")]
     pub fn cache(mut self, on: bool) -> CorpusRunner {
         self.cache = on;
         self
     }
 
-    /// The unified resource budget every loop runs under: wall clock, SAT
-    /// conflicts, symex path/step caps, and the quarantine-lane retry
-    /// policy (see [`strsum_core::Budget`]). Overrides the config's.
+    /// The unified resource budget every loop runs under. Overrides the
+    /// config's.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set the budget on the SynthesisConfig passed via RequestSpec::config"
+    )]
     pub fn budget(mut self, budget: Budget) -> CorpusRunner {
         self.cfg.budget = budget;
         self
     }
 
-    /// Quarantine-lane retries: after the main run, loops that resolved to
-    /// [`LoopOutcome::BudgetExhausted`] are re-run longest-job-first with
-    /// an escalated budget, up to `n` rounds. `0` (the default) disables
-    /// the lane — required for byte-identity with pre-governor runs.
+    /// Quarantine-lane retries for budget-exhausted loops.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set budget.retries on the SynthesisConfig passed via RequestSpec::config"
+    )]
     pub fn retries(mut self, n: u32) -> CorpusRunner {
         self.cfg.budget.retries = n;
         self
@@ -281,10 +345,9 @@ impl CorpusRunner {
         self
     }
 
-    /// For [`CorpusRunner::run_corpus`]: load `results/summaries.tsv` when
-    /// it covers the whole corpus, otherwise synthesise once and write it.
-    /// Keeps the Figure 3–5 binaries independent of a fresh multi-minute
-    /// synthesis run.
+    /// Load `results/summaries.tsv` when it covers the whole corpus,
+    /// otherwise synthesise once and write it.
+    #[deprecated(since = "0.1.0", note = "use RequestSpec::reuse_summaries")]
     pub fn reuse_summaries(mut self, on: bool) -> CorpusRunner {
         self.reuse_summaries = on;
         self
@@ -295,10 +358,28 @@ impl CorpusRunner {
         &self.cfg
     }
 
-    /// Runs synthesis over `entries`, honouring every builder option
-    /// except [`CorpusRunner::reuse_summaries`] (the summaries file is
-    /// keyed by the full corpus, so reuse only applies to `run_corpus`).
+    /// Runs synthesis over `entries`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use CorpusRunner::serve with RequestSpec::loops"
+    )]
     pub fn run(&self, entries: &[LoopEntry]) -> CorpusReport {
+        self.run_entries(entries)
+    }
+
+    /// Runs over the full built-in corpus.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use CorpusRunner::serve with RequestSpec::corpus"
+    )]
+    pub fn run_corpus(&self) -> CorpusReport {
+        self.run_full_corpus()
+    }
+
+    /// Runs synthesis over `entries`, honouring every option except
+    /// `reuse_summaries` (the summaries file is keyed by the full
+    /// corpus, so reuse only applies to full-corpus runs).
+    fn run_entries(&self, entries: &[LoopEntry]) -> CorpusReport {
         if let Some(sink) = &self.trace {
             strsum_obs::install(sink.clone());
         }
@@ -312,12 +393,11 @@ impl CorpusRunner {
         self.report(results, cache, retries, plan)
     }
 
-    /// Runs over the full built-in corpus, honouring
-    /// [`CorpusRunner::reuse_summaries`].
-    pub fn run_corpus(&self) -> CorpusReport {
+    /// Runs over the full built-in corpus, honouring `reuse_summaries`.
+    fn run_full_corpus(&self) -> CorpusReport {
         let entries = strsum_corpus::corpus();
         if !self.reuse_summaries {
-            return self.run(&entries);
+            return self.run_entries(&entries);
         }
         if let Some(sink) = &self.trace {
             strsum_obs::install(sink.clone());
@@ -520,7 +600,7 @@ impl CorpusRunner {
         let cfg = &self.cfg;
         let faults = &self.fault_plan;
         let threads = self.threads;
-        let mut cache = SummaryCache::new();
+        let cache = SummaryCache::new();
 
         // Phase A: fingerprint every loop (concrete evaluation, no
         // solver), extracting the planner's structural features in the
@@ -710,10 +790,40 @@ impl CorpusRunner {
 /// missing or partially written file degrades to fewer records, never to
 /// an error — the book is a scheduling hint, not a correctness input.
 fn load_cost_book() -> CostBook {
-    match fs::read_to_string(results_dir().join("costs.tsv")) {
-        Ok(text) => CostBook::parse(&text),
-        Err(_) => CostBook::new(),
-    }
+    CostBook::load(&results_dir().join("costs.tsv"))
+}
+
+/// Resolves caller-supplied [`LoopSpec`]s to [`LoopEntry`]s. An id
+/// matching a corpus entry inherits that entry's app and description
+/// (the request's *source* stays authoritative), so per-app grouping in
+/// the tables survives running a corpus subset through the request API;
+/// unknown ids run as [`App::External`]. Non-UTF-8 source is passed
+/// through lossily and resolves downstream as a frontend rejection
+/// (`NotMemoryless`), matching the daemon engine's refusal.
+fn resolve_loop_specs(specs: &[LoopSpec]) -> Vec<LoopEntry> {
+    let corpus = strsum_corpus::corpus();
+    let by_id: std::collections::HashMap<&str, &LoopEntry> =
+        corpus.iter().map(|e| (e.id.as_str(), e)).collect();
+    specs
+        .iter()
+        .map(|s| {
+            let source = String::from_utf8_lossy(&s.source).into_owned();
+            match by_id.get(s.id.as_str()) {
+                Some(e) => LoopEntry {
+                    id: s.id.clone(),
+                    app: e.app,
+                    description: e.description.clone(),
+                    source,
+                },
+                None => LoopEntry {
+                    id: s.id.clone(),
+                    app: App::External,
+                    description: String::new(),
+                    source,
+                },
+            }
+        })
+        .collect()
 }
 
 /// The cost book's outcome tag for a loop's [`LoopOutcome`]. Cache hits
@@ -738,7 +848,7 @@ fn recorded_outcome(outcome: &LoopOutcome) -> RecordedOutcome {
 /// so neither `ljf_order`'s cost ranking nor the planner's predictor
 /// mistakes the cap for a true cost.
 fn record_costs(keys: &[Option<u64>], results: &[LoopSynth], plan: &Plan) {
-    let mut book = load_cost_book();
+    let mut fresh = CostBook::new();
     for (i, (key, r)) in keys.iter().zip(results).enumerate() {
         let Some(k) = *key else { continue };
         if r.cache_hit || matches!(r.outcome, LoopOutcome::Crashed(_)) {
@@ -746,7 +856,7 @@ fn record_costs(keys: &[Option<u64>], results: &[LoopSynth], plan: &Plan) {
         }
         let total = r.stats.solver.total();
         let strategy = plan.loops[i].strategy;
-        book.record(
+        fresh.record(
             k,
             CostStat {
                 conflicts: total.conflicts,
@@ -757,7 +867,14 @@ fn record_costs(keys: &[Option<u64>], results: &[LoopSynth], plan: &Plan) {
             },
         );
     }
-    let _ = fs::write(results_dir().join("costs.tsv"), book.dump());
+    // Re-read at save time and merge, then rename into place: two
+    // concurrent runs can no longer silently drop each other's rows (the
+    // old load-early/overwrite-late pattern lost whichever run finished
+    // first), and a reader never sees a half-written book.
+    let path = results_dir().join("costs.tsv");
+    let mut book = CostBook::load(&path);
+    book.merge(&fresh);
+    let _ = book.save(&path);
 }
 
 /// How a fresh-synthesis [`LoopSynth`] resolved, from its structured
@@ -1042,33 +1159,75 @@ fn load_summaries(path: &std::path::Path, entries: &[LoopEntry]) -> Option<Vec<L
 mod tests {
     use super::*;
 
-    /// The budget/retry setters layer as documented.
+    /// The deprecated shims still compile and layer exactly as the old
+    /// builder did — one release of source compatibility.
     #[test]
-    fn budget_setters_update_the_budget() {
-        let runner = CorpusRunner::new(SynthesisConfig::default())
+    #[allow(deprecated)]
+    fn deprecated_shims_preserve_old_builder_behaviour() {
+        let runner = CorpusRunner::with_config(SynthesisConfig::default())
             .budget(Budget::default().with_wall(Duration::from_secs(9)))
             .retries(2);
         assert_eq!(runner.cfg.budget.wall, Duration::from_secs(9));
         assert_eq!(runner.cfg.budget.retries, 2);
-    }
 
-    /// `new` derives the plan from the config's `intra_loop` knob so
-    /// pre-planner callers keep their behaviour, and `.plan()` replaces
-    /// it wholesale.
-    #[test]
-    fn plan_defaults_follow_intra_loop_and_plan_overrides() {
-        let runner = CorpusRunner::new(SynthesisConfig::default());
+        // `with_config` derives the plan from the config's `intra_loop`
+        // knob so pre-planner callers keep their behaviour, and `.plan()`
+        // replaces it wholesale.
+        let runner = CorpusRunner::with_config(SynthesisConfig::default());
         assert_eq!(runner.plan, PlanSpec::serial());
 
         let cfg = SynthesisConfig {
             intra_loop: 4,
             ..SynthesisConfig::default()
         };
-        let runner = CorpusRunner::new(cfg);
+        let runner = CorpusRunner::with_config(cfg);
         assert_eq!(runner.plan, PlanSpec::cubed(4));
 
-        let runner =
-            CorpusRunner::new(SynthesisConfig::default()).plan(PlanSpec::adaptive().corpus_order());
+        let runner = CorpusRunner::with_config(SynthesisConfig::default())
+            .plan(PlanSpec::adaptive().corpus_order());
         assert_eq!(runner.plan, PlanSpec::adaptive().corpus_order());
+    }
+
+    /// The new front door: `new` takes the plan, and `serve` applies the
+    /// per-request knobs without mutating the shared runner.
+    #[test]
+    fn serve_applies_request_knobs_without_mutating_the_runner() {
+        let runner = CorpusRunner::new(PlanSpec::adaptive().corpus_order());
+        assert_eq!(runner.plan, PlanSpec::adaptive().corpus_order());
+        assert!(!runner.cache);
+        assert!(!runner.reuse_summaries);
+
+        let report = runner.serve(
+            RequestSpec::loops(vec![])
+                .config(SynthesisConfig::default())
+                .threads(1)
+                .cache(true),
+        );
+        assert!(report.results.is_empty());
+        // The runner itself is untouched: `serve` clones per request.
+        assert!(!runner.cache);
+    }
+
+    /// Unknown loop ids resolve to `App::External`; corpus ids inherit
+    /// their app and description so per-app tables survive subsetting.
+    #[test]
+    fn loop_specs_resolve_against_the_corpus() {
+        let known = strsum_corpus::corpus().into_iter().next().unwrap();
+        let specs = vec![
+            LoopSpec {
+                id: known.id.clone(),
+                source: known.source.clone().into_bytes(),
+            },
+            LoopSpec {
+                id: "no_such_loop".to_string(),
+                source: b"char* loopFunction(char* s) { return s; }".to_vec(),
+            },
+        ];
+        let entries = resolve_loop_specs(&specs);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].app, known.app);
+        assert_eq!(entries[0].description, known.description);
+        assert_eq!(entries[1].app, App::External);
+        assert!(entries[1].description.is_empty());
     }
 }

@@ -16,7 +16,7 @@
 //! timeout, which this test skips rather than compares.
 
 use std::time::Duration;
-use strsum_bench::{CorpusRunner, LoopSynth, PlanSpec};
+use strsum_bench::{CorpusRunner, LoopSynth, PlanSpec, RequestSpec};
 use strsum_core::SynthesisConfig;
 
 /// Wall-clock-dependent verdicts, the only legitimate divergence source.
@@ -65,7 +65,6 @@ fn assert_byte_identical(serial: &[LoopSynth], other: &[LoopSynth], label: &str)
 
 #[test]
 fn every_plan_matches_the_serial_run_byte_for_byte() {
-    let entries: Vec<_> = strsum_corpus::corpus().into_iter().take(12).collect();
     // The timeout only decides when a loop is cut off, never which
     // candidate or counterexample comes next, so the parallel runs may get
     // a larger budget: on a host with fewer cores than workers an
@@ -73,17 +72,17 @@ fn every_plan_matches_the_serial_run_byte_for_byte() {
     // and every loop that finishes on both sides must still agree
     // byte-for-byte.
     let cfg = |timeout: u64| SynthesisConfig::with_timeout(Duration::from_secs(timeout));
-    let serial = CorpusRunner::new(cfg(8))
-        .threads(1)
-        .plan(PlanSpec::serial().corpus_order())
-        .run(&entries)
+    let serial = CorpusRunner::new(PlanSpec::serial().corpus_order())
+        .serve(RequestSpec::corpus_slice(12).config(cfg(8)).threads(1))
         .results;
     let threads = strsum_bench::default_threads().max(2);
     let run_plan = |plan: PlanSpec| {
-        CorpusRunner::new(cfg(24))
-            .threads(threads)
-            .plan(plan)
-            .run(&entries)
+        CorpusRunner::new(plan)
+            .serve(
+                RequestSpec::corpus_slice(12)
+                    .config(cfg(24))
+                    .threads(threads),
+            )
             .results
     };
 

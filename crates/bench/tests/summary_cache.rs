@@ -4,7 +4,7 @@
 //! rejected and replaced by fresh synthesis.
 
 use std::time::Duration;
-use strsum_bench::CorpusRunner;
+use strsum_bench::{loop_specs, CorpusRunner, PlanSpec, RequestSpec};
 use strsum_core::{loop_fingerprint, verify_summary, LoopOutcome, SynthesisConfig};
 use strsum_corpus::{App, LoopEntry, SummaryCache};
 use strsum_gadgets::interp::{run_bytes, Outcome};
@@ -32,7 +32,7 @@ fn cfg() -> SynthesisConfig {
 fn poisoned_entry_is_rejected_and_resynthesized() {
     let func = strsum_cfront::compile_one(SKIP_SPACES).unwrap();
     let fp = loop_fingerprint(&func, 3);
-    let mut cache = SummaryCache::new();
+    let cache = SummaryCache::new();
     // `C:F` (strchr for ':') is a well-formed summary of a *different*
     // loop — exactly what a poisoned or colliding entry looks like.
     cache.insert(fp.clone(), b"C:F".to_vec());
@@ -90,10 +90,12 @@ fn semantically_identical_loops_hit_the_cache() {
             "char* loopFunction(char* s) { while (*s != 0 && *s != ':') s++; return s; }",
         ),
     ];
-    let report = CorpusRunner::new(cfg())
-        .threads(2)
-        .cache(true)
-        .run(&entries);
+    let report = CorpusRunner::new(PlanSpec::serial()).serve(
+        RequestSpec::loops(loop_specs(&entries))
+            .config(cfg())
+            .threads(2)
+            .cache(true),
+    );
     let (results, stats) = (report.results, report.cache);
     assert_eq!(results.len(), 3);
     let progs: Vec<_> = results

@@ -46,7 +46,7 @@ use strsum_smt::{
 ///
 /// Counters are cumulative over the owning [`SynthSession`] — across CEGIS
 /// iterations and, under iterative deepening, across program sizes.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolverTelemetry {
     /// Effort spent finding candidate programs.
     pub search: SessionStats,

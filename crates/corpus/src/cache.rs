@@ -17,7 +17,9 @@
 //! The small-model theorem stays the sole soundness root.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::RwLock;
 
 /// Counters for cache effectiveness, reported by the benchmarks.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,13 +47,16 @@ impl strsum_obs::ToJson for CacheStats {
 /// Fingerprint-keyed store of synthesised summaries. See the module docs
 /// for the mandatory re-verification contract.
 ///
-/// Hit/miss accounting uses atomic counters so [`SummaryCache::lookup`]
-/// takes `&self`: a populated cache can be shared by reference across
-/// `par_map` workers, with mutation (`insert`/`reject`) confined to the
-/// single-threaded phase boundaries.
+/// Every method takes `&self`: the entry map sits behind an `RwLock` and
+/// the counters are atomics, so one cache instance can be shared by
+/// reference across `par_map` workers and server worker threads alike —
+/// concurrent lookups proceed in parallel, and `insert`/`reject` no
+/// longer force mutation to a single-threaded phase boundary (they did
+/// until PR 8, which is why the runner had distinct lookup/fallback
+/// phases around every `&mut` call site).
 #[derive(Debug, Default)]
 pub struct SummaryCache {
-    entries: HashMap<Vec<u64>, Vec<u8>>,
+    entries: RwLock<HashMap<Vec<u64>, Vec<u8>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     rejected: AtomicUsize,
@@ -66,11 +71,17 @@ impl SummaryCache {
     /// Looks up the summary previously stored for `fingerprint`. The
     /// returned bytes are *unverified* with respect to the caller's loop.
     pub fn lookup(&self, fingerprint: &[u64]) -> Option<Vec<u8>> {
-        match self.entries.get(fingerprint) {
+        let found = self
+            .entries
+            .read()
+            .expect("summary cache lock poisoned")
+            .get(fingerprint)
+            .cloned();
+        match found {
             Some(prog) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 strsum_obs::counter("cache.hit", "corpus", 1);
-                Some(prog.clone())
+                Some(prog)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -82,16 +93,22 @@ impl SummaryCache {
 
     /// Stores `program` (encoded gadget bytes) as the summary for
     /// `fingerprint`, replacing any previous entry.
-    pub fn insert(&mut self, fingerprint: Vec<u64>, program: Vec<u8>) {
-        self.entries.insert(fingerprint, program);
+    pub fn insert(&self, fingerprint: Vec<u64>, program: Vec<u8>) {
+        self.entries
+            .write()
+            .expect("summary cache lock poisoned")
+            .insert(fingerprint, program);
     }
 
     /// Records that a looked-up entry failed re-verification, and evicts
     /// it so later lookups don't keep paying for the same bad entry.
-    pub fn reject(&mut self, fingerprint: &[u64]) {
+    pub fn reject(&self, fingerprint: &[u64]) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
         strsum_obs::counter("cache.reject", "corpus", 1);
-        self.entries.remove(fingerprint);
+        self.entries
+            .write()
+            .expect("summary cache lock poisoned")
+            .remove(fingerprint);
     }
 
     /// Effectiveness counters accumulated so far.
@@ -105,12 +122,15 @@ impl SummaryCache {
 
     /// Number of distinct fingerprints currently stored.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries
+            .read()
+            .expect("summary cache lock poisoned")
+            .len()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 }
 
@@ -412,6 +432,43 @@ impl CostBook {
         self.entries.insert(key, cost);
     }
 
+    /// Folds `other`'s records into this book; `other` wins on key
+    /// conflicts (its records are the newer observations). Drop counts
+    /// accumulate, since both parses' diagnostics still matter.
+    ///
+    /// This is the safe way for a run to publish costs: build a fresh
+    /// book of *this run's* observations, [`CostBook::load`] the on-disk
+    /// book, merge the fresh book into it, and [`CostBook::save`] —
+    /// instead of overwriting the file with a load-modify-write race
+    /// that loses every record a concurrent process published in
+    /// between.
+    pub fn merge(&mut self, other: &CostBook) {
+        for (&k, &s) in &other.entries {
+            self.entries.insert(k, s);
+        }
+        self.dropped += other.dropped;
+    }
+
+    /// Reads the book at `path`; an empty book when the file is missing
+    /// or unreadable (the book is a hint — absence is a valid state).
+    pub fn load(path: &Path) -> CostBook {
+        match std::fs::read_to_string(path) {
+            Ok(text) => CostBook::parse(&text),
+            Err(_) => CostBook::new(),
+        }
+    }
+
+    /// Writes the book to `path` atomically: dump to a process-unique
+    /// sibling temp file, then rename over the target. Readers never see
+    /// a torn book, and two concurrent savers each land a complete one
+    /// (last rename wins — pair with [`CostBook::merge`] so the last
+    /// writer carries the other's records too).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, self.dump())?;
+        std::fs::rename(&tmp, path)
+    }
+
     /// Number of loops with a recorded cost.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -429,7 +486,7 @@ mod tests {
 
     #[test]
     fn hit_miss_reject_accounting() {
-        let mut cache = SummaryCache::new();
+        let cache = SummaryCache::new();
         let fp = vec![7u64, 0, 1, 2];
         assert_eq!(cache.lookup(&fp), None);
         cache.insert(fp.clone(), b"P \0F".to_vec());
@@ -541,6 +598,70 @@ mod tests {
                 ..CostStat::default()
             })
         );
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        // `&self` mutation: concurrent inserts/lookups through one shared
+        // reference, the server-worker usage pattern.
+        let cache = SummaryCache::new();
+        std::thread::scope(|scope| {
+            for t in 0u64..4 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let fp = vec![t, i];
+                        cache.insert(fp.clone(), vec![t as u8, i as u8]);
+                        assert_eq!(cache.lookup(&fp), Some(vec![t as u8, i as u8]));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 200);
+        assert_eq!(cache.stats().hits, 200);
+    }
+
+    #[test]
+    fn cost_book_merge_and_atomic_save() {
+        let dir = std::env::temp_dir().join(format!("strsum-costbook-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("costs.tsv");
+        let _ = std::fs::remove_file(&path);
+
+        assert!(CostBook::load(&path).is_empty(), "missing file reads empty");
+
+        // Process A records loop 1; process B records loops 1 and 2.
+        // B merges the disk book before saving, so A's record for any
+        // key B didn't touch survives — the lost-update fix.
+        let mut a = CostBook::new();
+        a.record(1, CostStat::default());
+        a.record(3, CostStat::default());
+        a.save(&path).unwrap();
+
+        let mut b_fresh = CostBook::new();
+        b_fresh.record(
+            1,
+            CostStat {
+                conflicts: 99,
+                ..CostStat::default()
+            },
+        );
+        b_fresh.record(2, CostStat::default());
+        let mut merged = CostBook::load(&path);
+        merged.merge(&b_fresh);
+        merged.save(&path).unwrap();
+
+        let on_disk = CostBook::load(&path);
+        assert_eq!(on_disk.len(), 3);
+        assert_eq!(on_disk.get(3), Some(CostStat::default()), "A's record kept");
+        assert_eq!(
+            on_disk.get(1).unwrap().conflicts,
+            99,
+            "the merging writer's newer record wins"
+        );
+        // No temp file left behind.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

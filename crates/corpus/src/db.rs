@@ -41,6 +41,10 @@ pub enum App {
     Libosip,
     /// GNU wget
     Wget,
+    /// Not part of the paper's 13-application corpus: a loop submitted
+    /// from outside (the daemon's wire path, ad-hoc API callers). Absent
+    /// from [`APPS`] so per-application tables stay corpus-shaped.
+    External,
 }
 
 /// All applications, in Table 2/3 order.
@@ -77,6 +81,7 @@ impl App {
             App::Tar => "tar",
             App::Libosip => "libosip",
             App::Wget => "wget",
+            App::External => "external",
         }
     }
 }

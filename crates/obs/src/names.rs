@@ -42,6 +42,20 @@ pub const PLAN_PORTFOLIO_SERIAL_WIN: &str = "plan.portfolio.serial_win";
 /// A portfolio race resolved with the cubed arm first.
 pub const PLAN_PORTFOLIO_CUBED_WIN: &str = "plan.portfolio.cubed_win";
 
+/// Corrupt/truncated append-log lines dropped by one summary-store open.
+pub const STORE_DROPPED: &str = "store.dropped";
+/// Entries evicted from the summary store by the cold-eviction pass.
+pub const STORE_EVICTED: &str = "store.evicted";
+/// One request was served a summary from the persistent store (after
+/// mandatory re-verification).
+pub const STORE_HIT: &str = "store.hit";
+/// One request missed the persistent store and synthesised fresh.
+pub const STORE_MISS: &str = "store.miss";
+/// One store hit was re-verified by the bounded checker before serving.
+pub const STORE_REVERIFIED: &str = "store.reverified";
+/// One store hit failed re-verification and was tombstoned.
+pub const STORE_REJECTED: &str = "store.rejected";
+
 /// Feasibility queries the constructive string theory answered Sat.
 pub const SYMEX_THEORY_SAT: &str = "symex.feasible.theory_sat";
 /// Feasibility queries the constructive string theory answered Unsat.

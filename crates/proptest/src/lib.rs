@@ -211,6 +211,8 @@ pub mod strategy {
         (A 0, B 1, C 2, D 3)
         (A 0, B 1, C 2, D 3, E 4)
         (A 0, B 1, C 2, D 3, E 4, F 5)
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
     }
 
     /// A `&str` used as a strategy is a generation *pattern*. Full regex

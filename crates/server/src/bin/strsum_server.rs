@@ -1,0 +1,124 @@
+//! `strsum-server` — the summary daemon binary.
+//!
+//! Speaks the line-delimited `strsum-api` wire protocol over
+//! stdin/stdout by default, or over a Unix socket with `--socket PATH`
+//! (multiple concurrent clients). Exits after a graceful drain when a
+//! `shutdown` frame arrives or stdin hits EOF.
+//!
+//! ```text
+//! strsum-server [--store DIR] [--shards N] [--workers N] [--socket PATH]
+//! ```
+
+use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use strsum_core::SynthesisConfig;
+use strsum_server::{serve_unix_socket, Daemon, Engine};
+
+struct Args {
+    store: std::path::PathBuf,
+    shards: usize,
+    workers: usize,
+    socket: Option<std::path::PathBuf>,
+}
+
+const USAGE: &str = "usage: strsum-server [--store DIR] [--shards N] [--workers N] [--socket PATH]
+
+Serves the strsum wire protocol (one JSON frame per line) on
+stdin/stdout, or on a Unix socket when --socket is given.
+
+  --store DIR    summary store directory (default: results/store)
+  --shards N     shard count for a fresh store (default: 8)
+  --workers N    worker threads (default: available parallelism)
+  --socket PATH  listen on a Unix socket instead of stdio
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        store: "results/store".into(),
+        shards: 0, // 0 → store default
+        workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
+        socket: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--store" => args.store = value("--store")?.into(),
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| "--shards needs a positive integer".to_string())?;
+            }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs a positive integer".to_string())?;
+            }
+            "--socket" => args.socket = Some(value("--socket")?.into()),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("strsum-server: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let engine = match Engine::open(&args.store, args.shards, SynthesisConfig::default()) {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!(
+                "strsum-server: cannot open store {}: {e}",
+                args.store.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "strsum-server: store {} ({} shards, {} entries), {} workers",
+        args.store.display(),
+        engine.store().shard_count(),
+        engine.store().len(),
+        args.workers.max(1),
+    );
+    let daemon = Arc::new(Daemon::start(Arc::new(engine), args.workers));
+
+    let served = match &args.socket {
+        Some(path) => {
+            eprintln!("strsum-server: listening on {}", path.display());
+            let stop = Arc::new(AtomicBool::new(false));
+            serve_unix_socket(&daemon, path, &stop)
+        }
+        None => daemon
+            .serve_lines(std::io::stdin().lock(), std::io::stdout().lock())
+            .map(|_| ()),
+    };
+    if let Err(e) = served {
+        eprintln!("strsum-server: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let daemon = Arc::try_unwrap(daemon)
+        .unwrap_or_else(|_| unreachable!("all connection threads joined before shutdown"));
+    let stats = daemon.engine().stats();
+    if let Err(e) = daemon.shutdown() {
+        eprintln!("strsum-server: drain failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "strsum-server: drained; hits {} misses {} reverified {} rejected {}",
+        stats.store_hits, stats.store_misses, stats.reverified, stats.rejected,
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,351 @@
+//! The daemon shell around the [`Engine`]: an ingestion queue feeding a
+//! worker pool, and the line-framed front ends (stdin/stdout and a Unix
+//! socket) that speak the `strsum-api` wire protocol.
+//!
+//! Responses preserve request order within a frame (batch responses are
+//! index-slotted), while different frames and different connections make
+//! progress concurrently — the queue is shared, so four clients
+//! replaying a corpus each keep every worker busy.
+//!
+//! Shutdown is a drain, not an abort: a `shutdown` frame (or EOF) stops
+//! intake on that connection; the daemon then finishes every request
+//! already enqueued, answers it, compacts the store, and only then
+//! exits. No accepted request is ever dropped.
+
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use strsum_api::{
+    decode_frame, encode_frame, BatchResponse, Frame, SummaryRequest, SummaryResponse, WireError,
+};
+
+use crate::engine::Engine;
+
+/// One queued unit of work: a request plus where its response goes
+/// (slot `index` of the submitting frame).
+struct Job {
+    req: SummaryRequest,
+    index: usize,
+    reply: Sender<(usize, SummaryResponse)>,
+}
+
+/// The worker pool and its intake. Cloneable handle semantics come from
+/// `Arc`-wrapping by callers; the daemon itself is consumed by
+/// [`Daemon::shutdown`].
+pub struct Daemon {
+    engine: Arc<Engine>,
+    tx: Sender<Job>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Spawns `workers` threads (min 1) serving requests on `engine`.
+    pub fn start(engine: Arc<Engine>, workers: usize) -> Daemon {
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || loop {
+                    // Hold the intake lock only for the dequeue; handling
+                    // runs unlocked so workers overlap.
+                    let job = match rx.lock().expect("daemon queue lock poisoned").recv() {
+                        Ok(job) => job,
+                        Err(_) => return, // intake closed: drain complete
+                    };
+                    let resp = engine.handle(&job.req);
+                    // A dropped receiver means the connection died; the
+                    // work is already done, the answer just has nowhere
+                    // to go.
+                    let _ = job.reply.send((job.index, resp));
+                })
+            })
+            .collect();
+        Daemon {
+            engine,
+            tx,
+            workers,
+        }
+    }
+
+    /// The engine this daemon serves.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Enqueues `requests` and blocks until all are answered, returning
+    /// responses in request order.
+    pub fn submit(&self, requests: Vec<SummaryRequest>) -> Vec<SummaryResponse> {
+        let n = requests.len();
+        let (reply, done) = channel();
+        for (index, req) in requests.into_iter().enumerate() {
+            self.tx
+                .send(Job {
+                    req,
+                    index,
+                    reply: reply.clone(),
+                })
+                .expect("worker pool alive while daemon exists");
+        }
+        drop(reply);
+        let mut slots: Vec<Option<SummaryResponse>> = (0..n).map(|_| None).collect();
+        for (index, resp) in done {
+            slots[index] = Some(resp);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job answers exactly once"))
+            .collect()
+    }
+
+    /// Serves one request frame, producing the frame to write back, or
+    /// `None` for a `shutdown` frame (the caller stops intake).
+    pub fn handle_frame(&self, frame: Frame) -> Option<Frame> {
+        match frame {
+            Frame::Summary(req) => {
+                let mut responses = self.submit(vec![req]);
+                Some(Frame::Response(responses.pop().expect("one in, one out")))
+            }
+            Frame::Batch(batch) => Some(Frame::BatchResponse(BatchResponse {
+                id: batch.id,
+                responses: self.submit(batch.requests),
+            })),
+            Frame::Shutdown => None,
+            // A response frame arriving at the server is a client bug.
+            Frame::Response(r) => Some(protocol_error(
+                Some(r.id),
+                "response frames flow server to client",
+            )),
+            Frame::BatchResponse(b) => Some(protocol_error(
+                Some(b.id),
+                "batch_response frames flow server to client",
+            )),
+            Frame::Error(e) => Some(Frame::Error(e)),
+        }
+    }
+
+    /// Reads line frames from `input` and writes answer frames to
+    /// `output` until EOF or a `shutdown` frame. Malformed lines get an
+    /// `error` frame; the connection keeps serving (a typo'd frame must
+    /// not kill a session). Returns whether a `shutdown` frame was seen.
+    pub fn serve_lines(
+        &self,
+        input: impl BufRead,
+        mut output: impl Write,
+    ) -> std::io::Result<bool> {
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let reply = match decode_frame(&line) {
+                Ok(frame) => match self.handle_frame(frame) {
+                    Some(reply) => reply,
+                    None => return Ok(true), // shutdown: stop intake
+                },
+                Err(e) => protocol_error(None, &e.message),
+            };
+            writeln!(output, "{}", encode_frame(&reply))?;
+            output.flush()?;
+        }
+        Ok(false)
+    }
+
+    /// Stops intake, drains the queue (every enqueued request still
+    /// answers), joins the workers, and compacts the store.
+    pub fn shutdown(self) -> std::io::Result<()> {
+        let Daemon {
+            engine,
+            tx,
+            workers,
+        } = self;
+        drop(tx); // close intake: workers exit once the queue is empty
+        for w in workers {
+            let _ = w.join();
+        }
+        engine.store().compact()
+    }
+}
+
+fn protocol_error(id: Option<String>, message: &str) -> Frame {
+    Frame::Error(WireError {
+        id,
+        message: message.to_string(),
+    })
+}
+
+/// Serves a Unix socket at `path` until `stop` goes true (e.g. by a
+/// connection seeing a `shutdown` frame), spawning one serving thread
+/// per connection. Joins all connection threads before returning, so a
+/// caller that then calls [`Daemon::shutdown`] gets the full drain.
+pub fn serve_unix_socket(
+    daemon: &Arc<Daemon>,
+    path: &std::path::Path,
+    stop: &Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let daemon = Arc::clone(daemon);
+                let stop = Arc::clone(stop);
+                conns.push(std::thread::spawn(move || {
+                    stream.set_nonblocking(false).ok();
+                    let reader =
+                        std::io::BufReader::new(stream.try_clone().expect("clone unix stream"));
+                    if let Ok(true) = daemon.serve_lines(reader, stream) {
+                        stop.store(true, Ordering::SeqCst);
+                    }
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for c in conns {
+        let _ = c.join();
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strsum_api::BatchRequest;
+    use strsum_core::{LoopOutcome, SynthesisConfig};
+
+    fn test_daemon(tag: &str, workers: usize) -> (Daemon, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("strsum-daemon-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = Engine::open(&dir, 4, SynthesisConfig::default()).unwrap();
+        (Daemon::start(Arc::new(engine), workers), dir)
+    }
+
+    const SKIP: &str = "char* loopFunction(char* s) {\n  while (*s == ' ') s++;\n  return s;\n}\n";
+    const UNTIL_NUL: &str = "char* loopFunction(char* s) {\n  while (*s) s++;\n  return s;\n}\n";
+
+    #[test]
+    fn batch_preserves_request_order_across_workers() {
+        let (daemon, dir) = test_daemon("order", 4);
+        let requests: Vec<_> = (0..12)
+            .map(|i| {
+                SummaryRequest::c(format!("req{i}"), if i % 2 == 0 { SKIP } else { UNTIL_NUL })
+            })
+            .collect();
+        let responses = daemon.submit(requests);
+        assert_eq!(responses.len(), 12);
+        for (i, resp) in responses.iter().enumerate() {
+            assert_eq!(resp.id, format!("req{i}"), "order preserved");
+            assert_eq!(resp.outcome.label(), resp.outcome.label());
+            assert!(
+                matches!(
+                    resp.outcome,
+                    LoopOutcome::Summarized | LoopOutcome::CacheHit
+                ),
+                "req{i}: {:?}",
+                resp.outcome
+            );
+        }
+        daemon.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn line_protocol_end_to_end_with_drain() {
+        let (daemon, dir) = test_daemon("lines", 2);
+        let batch = Frame::Batch(BatchRequest {
+            id: "b0".into(),
+            requests: vec![
+                SummaryRequest::c("x", SKIP),
+                SummaryRequest::c("y", "not c at all"),
+            ],
+        });
+        let input = format!(
+            "{}\nnot a frame\n{}\n",
+            encode_frame(&batch),
+            encode_frame(&Frame::Shutdown)
+        );
+        let mut output = Vec::new();
+        let saw_shutdown = daemon
+            .serve_lines(std::io::Cursor::new(input), &mut output)
+            .unwrap();
+        assert!(saw_shutdown);
+        let lines: Vec<&str> = std::str::from_utf8(&output).unwrap().lines().collect();
+        assert_eq!(lines.len(), 2, "batch answer + error frame");
+        match decode_frame(lines[0]).unwrap() {
+            Frame::BatchResponse(b) => {
+                assert_eq!(b.id, "b0");
+                assert_eq!(b.responses[0].id, "x");
+                assert_eq!(b.responses[0].outcome, LoopOutcome::Summarized);
+                assert_eq!(b.responses[1].outcome, LoopOutcome::NotMemoryless);
+            }
+            other => panic!("expected batch_response, got {other:?}"),
+        }
+        assert!(matches!(decode_frame(lines[1]).unwrap(), Frame::Error(_)));
+        daemon.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unix_socket_serves_concurrent_clients() {
+        use std::os::unix::net::UnixStream;
+        let (daemon, dir) = test_daemon("sock", 2);
+        let daemon = Arc::new(daemon);
+        let stop = Arc::new(AtomicBool::new(false));
+        let sock = dir.join("strsum.sock");
+        let acceptor = {
+            let daemon = Arc::clone(&daemon);
+            let sock = sock.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || serve_unix_socket(&daemon, &sock, &stop))
+        };
+        while !sock.exists() {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let clients: Vec<_> = (0..3)
+            .map(|c| {
+                let sock = sock.clone();
+                std::thread::spawn(move || {
+                    let stream = UnixStream::connect(&sock).unwrap();
+                    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+                    let mut w = &stream;
+                    let req = Frame::Summary(SummaryRequest::c(format!("c{c}"), SKIP));
+                    writeln!(w, "{}", encode_frame(&req)).unwrap();
+                    let mut line = String::new();
+                    reader.read_line(&mut line).unwrap();
+                    match decode_frame(line.trim()).unwrap() {
+                        Frame::Response(r) => {
+                            assert_eq!(r.id, format!("c{c}"));
+                            assert!(r.summary.is_some(), "{:?}", r.failure);
+                            r.summary
+                        }
+                        other => panic!("expected response, got {other:?}"),
+                    }
+                })
+            })
+            .collect();
+        let summaries: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        assert!(
+            summaries.windows(2).all(|w| w[0] == w[1]),
+            "all clients see byte-identical summaries"
+        );
+        stop.store(true, Ordering::SeqCst);
+        acceptor.join().unwrap().unwrap();
+        assert!(!sock.exists(), "socket cleaned up");
+        match Arc::try_unwrap(daemon) {
+            Ok(d) => d.shutdown().unwrap(),
+            Err(_) => panic!("no outstanding daemon handles"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

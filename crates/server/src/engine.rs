@@ -1,0 +1,372 @@
+//! The per-request summary engine: the governor lifecycle from the
+//! batch runner, rehosted behind the wire vocabulary and the persistent
+//! store.
+//!
+//! One request runs cfront → automatic filters → store lookup →
+//! (mandatory re-verification | synthesis) → store insert, exactly the
+//! phases `CorpusRunner` runs per loop, so a daemon answer is
+//! byte-identical to a batch answer for the same source and budget (the
+//! `serve_audit` bin gates this). The soundness rule survives the move
+//! to a persistent store unchanged: **every** store hit is re-verified
+//! by the bounded checker against the requesting loop before it is
+//! served, and a failed re-verification tombstones the entry and falls
+//! back to fresh synthesis.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use strsum_api::{Cost, Origin, PlanMode, SourceSpec, SummaryRequest, SummaryResponse};
+use strsum_core::{
+    loop_fingerprint, synthesize, verify_summary, LoopOutcome, SynthesisConfig, SynthesisResult,
+};
+use strsum_gadgets::Program;
+use strsum_obs::names;
+
+use crate::store::ShardedStore;
+
+/// Serving counters, reported in `BENCH_pr8.json`. The soundness gate is
+/// `reverified == store_hits + rejected`: every summary pulled from the
+/// persistent store went through the bounded checker in this process
+/// lifetime, whether it was then served or tombstoned.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests served a store summary (after re-verification).
+    pub store_hits: u64,
+    /// Requests that missed the store (or bypassed it) and synthesised.
+    pub store_misses: u64,
+    /// Store hits re-verified by the bounded checker before serving.
+    pub reverified: u64,
+    /// Store hits that failed re-verification and were tombstoned.
+    pub rejected: u64,
+}
+
+impl strsum_obs::ToJson for EngineStats {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"store_hits\":{},\"store_misses\":{},\"reverified\":{},\"rejected\":{}}}",
+            self.store_hits, self.store_misses, self.reverified, self.rejected
+        )
+    }
+}
+
+/// The request engine: a sharded store plus the synthesis lifecycle.
+/// All methods take `&self`; one engine is shared across the daemon's
+/// worker pool.
+pub struct Engine {
+    store: ShardedStore,
+    base: SynthesisConfig,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+    reverified: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Engine {
+    /// Opens an engine over the store at `dir` (created if missing) with
+    /// `shards` shard files (0 = default), serving requests under
+    /// `base` config defaults.
+    pub fn open(dir: &Path, shards: usize, base: SynthesisConfig) -> std::io::Result<Engine> {
+        Ok(Engine {
+            store: ShardedStore::open(dir, shards)?,
+            base,
+            store_hits: AtomicU64::new(0),
+            store_misses: AtomicU64::new(0),
+            reverified: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// The underlying store (for audits, compaction, eviction).
+    pub fn store(&self) -> &ShardedStore {
+        &self.store
+    }
+
+    /// Serving counters accumulated so far.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            store_misses: self.store_misses.load(Ordering::Relaxed),
+            reverified: self.reverified.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The effective synthesis config for one request: base defaults
+    /// with the request's budget, flags, and plan folded in.
+    fn request_cfg(&self, req: &SummaryRequest) -> SynthesisConfig {
+        let mut cfg = self.base.clone();
+        if let Some(budget) = req.budget {
+            cfg.budget = budget;
+        }
+        cfg.screen = req.flags.screen;
+        cfg.theory_fast_path = req.flags.theory_fast_path;
+        if let Some(plan) = req.plan {
+            // Per-request execution: serial and cubed run as asked;
+            // adaptive/portfolio need corpus-level context the per-request
+            // path doesn't have, so they run serial — byte-identical by
+            // the determinism contract, only wall clock differs.
+            cfg.intra_loop = match plan.mode {
+                PlanMode::Cubed(k) => k,
+                PlanMode::Serial | PlanMode::Adaptive | PlanMode::Portfolio(_) => 1,
+            };
+        }
+        cfg
+    }
+
+    /// Runs one request through the full lifecycle and produces its
+    /// response.
+    pub fn handle(&self, req: &SummaryRequest) -> SummaryResponse {
+        let start = Instant::now();
+        let mut span = strsum_obs::span("serve.request", "server");
+        if span.active() {
+            span.arg_str("id", req.id.clone());
+        }
+        let mut resp = self.handle_inner(req);
+        resp.cost.wall_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        resp
+    }
+
+    fn handle_inner(&self, req: &SummaryRequest) -> SummaryResponse {
+        // 1. Classify the payload. IR is reserved vocabulary; like a
+        //    compile failure, it resolves as outside the fragment.
+        let source = match &req.source {
+            SourceSpec::Ir(_) => {
+                return self.refuse(req, "unsupported: ir requests are reserved vocabulary")
+            }
+            SourceSpec::C(bytes) => match std::str::from_utf8(bytes) {
+                Ok(text) => text,
+                Err(_) => return self.refuse(req, "source is not valid UTF-8"),
+            },
+        };
+        // 2. Compile. A rejected source is a NotMemoryless with the
+        //    frontend's message — the runner's classification, verbatim.
+        let func = match strsum_cfront::compile_one(source) {
+            Ok(func) => func,
+            Err(e) => return self.refuse(req, &format!("does not compile: {e}")),
+        };
+        let cfg = self.request_cfg(req);
+
+        // 3. Store lookup by semantic fingerprint; every hit re-verifies
+        //    against *this* loop before serving (fingerprint match is
+        //    evidence, not proof — the small-model theorem stays the
+        //    sole soundness root).
+        let fp = loop_fingerprint(&func, cfg.max_ex_size);
+        if req.flags.store {
+            if let Some(bytes) = self.store.lookup(&fp) {
+                self.reverified.fetch_add(1, Ordering::Relaxed);
+                strsum_obs::counter(names::STORE_REVERIFIED, "server", 1);
+                let (ok, effort) = verify_summary(&func, &bytes, cfg.max_ex_size);
+                if ok {
+                    self.store_hits.fetch_add(1, Ordering::Relaxed);
+                    strsum_obs::counter(names::STORE_HIT, "server", 1);
+                    let mut resp = SummaryResponse::new(req.id.clone(), LoopOutcome::CacheHit);
+                    resp.summary = Some(bytes);
+                    resp.origin = Origin::Store;
+                    resp.reverified = true;
+                    resp.cost = Cost {
+                        wall_micros: 0, // filled by handle()
+                        conflicts: effort.conflicts,
+                    };
+                    resp.telemetry = Some(strsum_core::SolverTelemetry {
+                        verify: effort,
+                        ..Default::default()
+                    });
+                    return resp;
+                }
+                // Poisoned or colliding entry: tombstone it and fall
+                // through to fresh synthesis.
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                strsum_obs::counter(names::STORE_REJECTED, "server", 1);
+                let _ = self.store.remove(&fp);
+            }
+        }
+        self.store_misses.fetch_add(1, Ordering::Relaxed);
+        strsum_obs::counter(names::STORE_MISS, "server", 1);
+
+        // 4. Fresh synthesis under the request budget, classified
+        //    exactly as the batch runner classifies it.
+        let SynthesisResult { program, stats } = synthesize(&func, &cfg);
+        let outcome = if program.is_some() {
+            if stats.degraded {
+                LoopOutcome::Degraded
+            } else {
+                LoopOutcome::Summarized
+            }
+        } else if let Some(kind) = stats.exhausted {
+            LoopOutcome::BudgetExhausted(kind)
+        } else {
+            LoopOutcome::NotMemoryless
+        };
+        let mut resp = SummaryResponse::new(req.id.clone(), outcome);
+        resp.failure = stats.failure.clone();
+        resp.telemetry = Some(stats.solver);
+        resp.cost.conflicts = stats.solver.total().conflicts;
+        if let Some(program) = &program {
+            let bytes = program.encode();
+            // 5. Publish. Verified fresh summaries enter the store so
+            //    the next request with this fingerprint hits.
+            if req.flags.store {
+                let _ = self.store.insert(fp, bytes.clone());
+            }
+            resp.summary = Some(bytes);
+        }
+        resp
+    }
+
+    /// A NotMemoryless refusal with a failure message — the shape every
+    /// pre-synthesis rejection takes (mirrors the runner's compile-error
+    /// classification).
+    fn refuse(&self, req: &SummaryRequest, failure: &str) -> SummaryResponse {
+        let mut resp = SummaryResponse::new(req.id.clone(), LoopOutcome::NotMemoryless);
+        resp.failure = Some(failure.to_string());
+        resp
+    }
+}
+
+/// Decodes stored summary bytes for audits; `None` when undecodable
+/// (which the engine treats as any other re-verification failure).
+pub fn decode_summary(bytes: &[u8]) -> Option<Program> {
+    Program::decode(bytes).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use strsum_api::RequestFlags;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("strsum-engine-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const SKIP_SPACES: &str =
+        "char* loopFunction(char* s) {\n  while (*s == ' ') s++;\n  return s;\n}\n";
+
+    #[test]
+    fn fresh_then_hit_with_mandatory_reverify() {
+        let dir = tmp_dir("lifecycle");
+        let engine = Engine::open(&dir, 4, SynthesisConfig::default()).unwrap();
+
+        let req = SummaryRequest::c("r1", SKIP_SPACES);
+        let first = engine.handle(&req);
+        assert_eq!(
+            first.outcome,
+            LoopOutcome::Summarized,
+            "{:?}",
+            first.failure
+        );
+        assert_eq!(first.origin, Origin::Fresh);
+        assert!(first.summary.is_some());
+        assert_eq!(engine.stats().store_misses, 1);
+
+        let second = engine.handle(&SummaryRequest::c("r2", SKIP_SPACES));
+        assert_eq!(second.outcome, LoopOutcome::CacheHit);
+        assert_eq!(second.origin, Origin::Store);
+        assert!(second.reverified, "every store hit must be re-verified");
+        assert_eq!(second.summary, first.summary, "byte-identical");
+        let stats = engine.stats();
+        assert_eq!(stats.store_hits, 1);
+        assert_eq!(
+            stats.reverified,
+            stats.store_hits + stats.rejected,
+            "soundness gate"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_survives_engine_restart() {
+        let dir = tmp_dir("restart");
+        let summary = {
+            let engine = Engine::open(&dir, 4, SynthesisConfig::default()).unwrap();
+            engine
+                .handle(&SummaryRequest::c("a", SKIP_SPACES))
+                .summary
+                .unwrap()
+        };
+        let engine = Engine::open(&dir, 4, SynthesisConfig::default()).unwrap();
+        let resp = engine.handle(&SummaryRequest::c("b", SKIP_SPACES));
+        assert_eq!(resp.origin, Origin::Store, "reloaded store serves the hit");
+        assert!(resp.reverified);
+        assert_eq!(resp.summary, Some(summary));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn poisoned_store_entry_is_rejected_and_resynthesised() {
+        let dir = tmp_dir("poison");
+        let engine = Engine::open(&dir, 4, SynthesisConfig::default()).unwrap();
+        // Poison the store: a fingerprint mapped to garbage bytes.
+        let func = strsum_cfront::compile_one(SKIP_SPACES).unwrap();
+        let fp = loop_fingerprint(&func, SynthesisConfig::default().max_ex_size);
+        engine
+            .store()
+            .insert(fp, b"\xff\xff garbage".to_vec())
+            .unwrap();
+
+        let resp = engine.handle(&SummaryRequest::c("p", SKIP_SPACES));
+        assert_eq!(resp.outcome, LoopOutcome::Summarized, "fell back to fresh");
+        assert_eq!(resp.origin, Origin::Fresh);
+        let stats = engine.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.reverified, stats.store_hits + stats.rejected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn refusals_are_not_memoryless_with_failure() {
+        let dir = tmp_dir("refuse");
+        let engine = Engine::open(&dir, 2, SynthesisConfig::default()).unwrap();
+        for (req, needle) in [
+            (
+                SummaryRequest::c("bad-utf8", vec![0xff, 0xfe]),
+                "not valid UTF-8",
+            ),
+            (
+                SummaryRequest::c("bad-c", "while (*s ++; garbage"),
+                "does not compile",
+            ),
+            (
+                // Valid C, wrong shape: compiles but the engine refuses
+                // it downstream with the symbolic engine's message.
+                SummaryRequest::c("bad-shape", "int main() { return 0; }"),
+                "does not take a single pointer",
+            ),
+            (
+                SummaryRequest {
+                    source: SourceSpec::Ir(vec![1, 2, 3]),
+                    ..SummaryRequest::c("ir", "")
+                },
+                "unsupported",
+            ),
+        ] {
+            let resp = engine.handle(&req);
+            assert_eq!(resp.outcome, LoopOutcome::NotMemoryless, "{}", req.id);
+            let failure = resp.failure.expect("refusals carry a failure");
+            assert!(failure.contains(needle), "{}: {failure}", req.id);
+        }
+        assert_eq!(engine.stats().store_hits, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_flag_off_bypasses_the_store() {
+        let dir = tmp_dir("nostore");
+        let engine = Engine::open(&dir, 2, SynthesisConfig::default()).unwrap();
+        let mut req = SummaryRequest::c("n", SKIP_SPACES);
+        req.flags = RequestFlags {
+            store: false,
+            ..RequestFlags::default()
+        };
+        let first = engine.handle(&req);
+        assert_eq!(first.outcome, LoopOutcome::Summarized);
+        assert!(engine.store().is_empty(), "nothing published");
+        let second = engine.handle(&req);
+        assert_eq!(second.origin, Origin::Fresh, "no store, no hit");
+        assert_eq!(second.summary, first.summary, "determinism regardless");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! `strsum-server`: the sharded summary daemon.
+//!
+//! Three layers, composed bottom-up:
+//!
+//! - [`store`] — a fingerprint-sharded, crash-safe on-disk summary
+//!   index (checksummed append logs, tombstones, compaction, cold
+//!   eviction informed by a `CostBook`).
+//! - [`engine`] — the request lifecycle: parse → fingerprint → store
+//!   lookup with **mandatory re-verification** of every hit → fresh
+//!   synthesis on miss → classify exactly like the batch runner, so the
+//!   daemon's answers are byte-identical to `CorpusRunner`'s.
+//! - [`daemon`] — the service shell: ingestion queue + worker pool,
+//!   line-framed stdin/stdout and Unix-socket front ends speaking the
+//!   `strsum-api` wire protocol, graceful drain on shutdown.
+
+pub mod daemon;
+pub mod engine;
+pub mod store;
+
+pub use daemon::{serve_unix_socket, Daemon};
+pub use engine::{Engine, EngineStats};
+pub use store::{ShardedStore, DEFAULT_SHARDS};

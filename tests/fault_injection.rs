@@ -7,7 +7,9 @@
 //! at every thread count.
 
 use std::time::Duration;
-use strsum_bench::{CorpusReport, CorpusRunner, Fault, FaultPlan, PlanSpec};
+use strsum_bench::{
+    loop_specs, CorpusReport, CorpusRunner, Fault, FaultPlan, PlanSpec, RequestSpec,
+};
 use strsum_core::{BudgetKind, LoopOutcome, SynthesisConfig};
 use strsum_corpus::{App, LoopEntry};
 
@@ -69,16 +71,23 @@ fn outcome_of<'r>(report: &'r CorpusReport, id: &str) -> &'r LoopOutcome {
 /// shared across a loop's solver sessions, and concurrent search cubes
 /// would race it.
 fn faulted_runner() -> CorpusRunner {
-    CorpusRunner::new(cfg())
+    CorpusRunner::new(PlanSpec::serial().corpus_order()).fault_plan(plan())
+}
+
+/// The per-request side: these four loops under `cfg()` with `retries`
+/// rounds of the quarantine lane.
+fn request(entries: &[LoopEntry], retries: u32) -> RequestSpec {
+    let mut cfg = cfg();
+    cfg.budget.retries = retries;
+    RequestSpec::loops(loop_specs(entries))
+        .config(cfg)
         .threads(2)
-        .plan(PlanSpec::serial().corpus_order())
-        .fault_plan(plan())
 }
 
 #[test]
 fn injected_faults_classify_and_never_abort_the_run() {
     let entries = corpus();
-    let report = faulted_runner().run(&entries);
+    let report = faulted_runner().serve(request(&entries, 0));
 
     // Degradation, not disaster: the run completes with a full accounting.
     assert_eq!(report.results.len(), entries.len());
@@ -119,7 +128,7 @@ fn injected_faults_classify_and_never_abort_the_run() {
 #[test]
 fn retry_lane_recovers_budget_exhausted_loops() {
     let entries = corpus();
-    let report = faulted_runner().retries(1).run(&entries);
+    let report = faulted_runner().serve(request(&entries, 1));
 
     // Both budget exhaustions are retried fault-free with an escalated
     // budget and recover; the crash is not a budget exhaustion and is
@@ -145,8 +154,8 @@ fn retry_lane_recovers_budget_exhausted_loops() {
 #[test]
 fn faulted_runs_are_exactly_reproducible() {
     let entries = corpus();
-    let a = faulted_runner().retries(1).run(&entries);
-    let b = faulted_runner().retries(1).run(&entries);
+    let a = faulted_runner().serve(request(&entries, 1));
+    let b = faulted_runner().serve(request(&entries, 1));
     for (ra, rb) in a.results.iter().zip(&b.results) {
         assert_eq!(ra.outcome, rb.outcome, "{}", ra.entry.id);
         assert_eq!(
@@ -163,14 +172,9 @@ fn faulted_runs_are_exactly_reproducible() {
 #[test]
 fn empty_plan_is_byte_identical_across_thread_counts() {
     let entries = corpus();
-    let serial = CorpusRunner::new(cfg())
-        .threads(1)
-        .plan(PlanSpec::serial().corpus_order())
-        .run(&entries);
-    let parallel = CorpusRunner::new(cfg())
-        .threads(4)
-        .plan(PlanSpec::cubed(2))
-        .run(&entries);
+    let serial =
+        CorpusRunner::new(PlanSpec::serial().corpus_order()).serve(request(&entries, 0).threads(1));
+    let parallel = CorpusRunner::new(PlanSpec::cubed(2)).serve(request(&entries, 0).threads(4));
     for (s, p) in serial.results.iter().zip(&parallel.results) {
         assert_eq!(s.entry.id, p.entry.id, "results stay in corpus order");
         // These loops summarise in well under the budget, so no verdict
