@@ -51,6 +51,12 @@ pub struct RequestSpec {
     pub reuse_summaries: bool,
     /// Which loops to run.
     pub scope: Scope,
+    /// Admission-queue bound for daemon-style serving: at most this many
+    /// requests admitted-but-unanswered before intake blocks
+    /// (backpressure, not rejection). `None` means the server default.
+    /// The batch runner ignores it — a batch run admits its whole corpus
+    /// by construction.
+    pub queue_depth: Option<usize>,
 }
 
 impl Default for RequestSpec {
@@ -70,6 +76,7 @@ impl RequestSpec {
             cache: false,
             reuse_summaries: false,
             scope: Scope::Corpus { limit: None },
+            queue_depth: None,
         }
     }
 
@@ -114,6 +121,13 @@ impl RequestSpec {
     /// fingerprint group — a run can use either or both.
     pub fn reuse_summaries(mut self, on: bool) -> RequestSpec {
         self.reuse_summaries = on;
+        self
+    }
+
+    /// Same request with an explicit admission-queue bound (min 1) for
+    /// daemon-style serving. See [`RequestSpec::queue_depth`].
+    pub fn queue_depth(mut self, depth: usize) -> RequestSpec {
+        self.queue_depth = Some(depth.max(1));
         self
     }
 }

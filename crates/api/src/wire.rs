@@ -70,6 +70,47 @@ impl Default for RequestFlags {
     }
 }
 
+/// Scheduling priority of one request, consulted by the daemon's
+/// cross-request scheduler. Priority changes *when* a request runs,
+/// never *what* it answers — the determinism contract makes scheduling
+/// byte-invisible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Priority {
+    /// Always dispatched through the scheduler's fast lane, ahead of
+    /// queued synthesis — for latency-sensitive callers (an IDE
+    /// keystroke) that would rather wait on their own synthesis than on
+    /// someone else's.
+    Interactive,
+    /// Cost-ordered with everything else (the default).
+    #[default]
+    Normal,
+    /// Never takes the fast lane, even when predicted cheap — for
+    /// best-effort backfill (a corpus pre-warmer) that must not push
+    /// interactive traffic's p50 around.
+    Bulk,
+}
+
+impl Priority {
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Normal => "normal",
+            Priority::Bulk => "bulk",
+        }
+    }
+
+    /// The [`Priority`] behind a wire label.
+    pub fn parse(label: &str) -> Option<Priority> {
+        Some(match label {
+            "interactive" => Priority::Interactive,
+            "normal" => Priority::Normal,
+            "bulk" => Priority::Bulk,
+            _ => return None,
+        })
+    }
+}
+
 /// One loop-summary request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SummaryRequest {
@@ -83,6 +124,9 @@ pub struct SummaryRequest {
     pub plan: Option<PlanSpec>,
     /// Engine toggles.
     pub flags: RequestFlags,
+    /// Scheduling priority. Omitted on the wire when `Normal`, so
+    /// pre-priority frames decode (and re-encode) unchanged.
+    pub priority: Priority,
 }
 
 impl SummaryRequest {
@@ -94,7 +138,14 @@ impl SummaryRequest {
             budget: None,
             plan: None,
             flags: RequestFlags::default(),
+            priority: Priority::Normal,
         }
+    }
+
+    /// Same request at a different scheduling priority.
+    pub fn priority(mut self, priority: Priority) -> SummaryRequest {
+        self.priority = priority;
+        self
     }
 }
 
@@ -313,6 +364,9 @@ fn request_fields(r: &SummaryRequest, out: &mut String) {
         out.push_str(&format!(",\"plan\":{}", plan_obj(p)));
     }
     out.push_str(&format!(",\"flags\":{}", flags_obj(&r.flags)));
+    if r.priority != Priority::Normal {
+        out.push_str(&format!(",\"priority\":\"{}\"", r.priority.label()));
+    }
 }
 
 fn response_fields(r: &SummaryResponse, out: &mut String) {
@@ -520,12 +574,23 @@ fn decode_request(obj: &Json) -> Result<SummaryRequest, DecodeError> {
         None => RequestFlags::default(),
         Some(f) => decode_flags(f)?,
     };
+    let priority = match obj.get("priority") {
+        None | Some(Json::Null) => Priority::Normal,
+        Some(v) => {
+            let label = v
+                .as_str()
+                .ok_or_else(|| DecodeError::new("field \"priority\" is not a string"))?;
+            Priority::parse(label)
+                .ok_or_else(|| DecodeError::new(format!("unknown priority {label:?}")))?
+        }
+    };
     Ok(SummaryRequest {
         id,
         source,
         budget,
         plan,
         flags,
+        priority,
     })
 }
 
@@ -669,6 +734,26 @@ mod tests {
         let line = encode_frame(&frame);
         assert!(!line.contains('\n'), "one frame per line: {line}");
         assert_eq!(decode_frame(&line).unwrap(), frame);
+    }
+
+    #[test]
+    fn priority_round_trips_and_defaults_off_the_wire() {
+        for p in [Priority::Interactive, Priority::Bulk] {
+            let frame = Frame::Summary(SummaryRequest::c("p", "while (*s) s++;").priority(p));
+            let line = encode_frame(&frame);
+            assert!(line.contains("priority"), "{line}");
+            assert_eq!(decode_frame(&line).unwrap(), frame);
+        }
+        // Normal is the wire default and stays off the frame, so
+        // pre-priority clients and servers interoperate unchanged.
+        let frame = Frame::Summary(SummaryRequest::c("n", "while (*s) s++;"));
+        let line = encode_frame(&frame);
+        assert!(!line.contains("priority"), "{line}");
+        match decode_frame(&line).unwrap() {
+            Frame::Summary(r) => assert_eq!(r.priority, Priority::Normal),
+            other => panic!("wrong frame: {other:?}"),
+        }
+        assert!(decode_frame("{\"v\":1,\"type\":\"summary\",\"id\":\"x\",\"source\":\"\",\"priority\":\"urgent\"}").is_err());
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::time::Duration;
 use proptest::prelude::*;
 use strsum_api::{
     decode_frame, encode_frame, BatchRequest, BatchResponse, Cost, Frame, Origin, PlanSpec,
-    RequestFlags, SourceSpec, SummaryRequest, SummaryResponse, WireError,
+    Priority, RequestFlags, SourceSpec, SummaryRequest, SummaryResponse, WireError,
 };
 use strsum_core::{Budget, BudgetKind, LoopOutcome, SolverTelemetry};
 use strsum_smt::SessionStats;
@@ -68,9 +68,10 @@ fn any_request() -> impl Strategy<Value = SummaryRequest> {
         prop_oneof![Just(None), any_budget().prop_map(Some)],
         prop_oneof![Just(None), any_plan().prop_map(Some)],
         (any::<bool>(), any::<bool>(), any::<bool>()),
+        proptest::sample::select(&[Priority::Interactive, Priority::Normal, Priority::Bulk][..]),
     )
         .prop_map(
-            |(id, source, budget, plan, (store, screen, theory))| SummaryRequest {
+            |(id, source, budget, plan, (store, screen, theory), priority)| SummaryRequest {
                 id,
                 source,
                 budget,
@@ -80,6 +81,7 @@ fn any_request() -> impl Strategy<Value = SummaryRequest> {
                     screen,
                     theory_fast_path: theory,
                 },
+                priority,
             },
         )
 }

@@ -23,6 +23,18 @@
 //! Serving metrics (throughput, p50/p99 latency, store hit rate) land
 //! in `results/BENCH_pr8.json` for the CI artifact.
 //!
+//! A fourth phase benchmarks the cross-request scheduler: a mixed
+//! cold/warm workload (half the loops pre-warmed into the store, the
+//! full slice then replayed by concurrent clients with warm and cold
+//! requests interleaved) is served twice over identical stores — once
+//! under the FIFO fixed pool (PR 8 behaviour, `SchedOptions::fixed`)
+//! and once under the cost-model scheduler. Both runs must stay
+//! byte-identical to the batch reference and pass the soundness gate;
+//! the scheduler must not lose throughput against the fixed pool (a
+//! hard gate on multi-core hosts, informational on one core, with a
+//! 10% measurement-jitter allowance). Results land in
+//! `results/BENCH_pr9.json`.
+//!
 //! Usage: `cargo run --release -p strsum-bench --bin serve_audit
 //!         [--loops N] [--clients N] [--threads N] [--timeout-secs S]`
 
@@ -42,7 +54,10 @@ use strsum_api::{
 use strsum_bench::{write_result, Cli, CorpusRunner, LoopSynth, PlanSpec, RequestSpec};
 use strsum_core::{LoopOutcome, SynthesisConfig};
 use strsum_obs::ToJson;
-use strsum_server::{serve_unix_socket, Daemon, Engine, EngineStats};
+use strsum_server::{
+    serve_unix_socket, Daemon, Engine, EngineStats, SchedOptions, SchedStats,
+    DEFAULT_IDLE_TIMEOUT,
+};
 
 /// Wall-clock-raced verdicts, the only legitimate divergence between
 /// the daemon and the batch runner (same exclusion the
@@ -68,22 +83,22 @@ fn response_timing_dependent(r: &SummaryResponse) -> bool {
 
 /// One daemon lifetime: open the store, serve `batches` from concurrent
 /// wire clients over a Unix socket, drain, compact, return the answers
-/// with the engine counters and the serving wall clock.
+/// with the engine + scheduler counters and the serving wall clock.
 fn daemon_phase(
     store: &Path,
     socket: &Path,
     cfg: &SynthesisConfig,
-    workers: usize,
+    opts: SchedOptions,
     batches: &[BatchRequest],
-) -> (Vec<SummaryResponse>, EngineStats, f64) {
+) -> (Vec<SummaryResponse>, EngineStats, SchedStats, f64) {
     let engine = Engine::open(store, 0, cfg.clone()).expect("open engine");
-    let daemon = Arc::new(Daemon::start(Arc::new(engine), workers));
+    let daemon = Arc::new(Daemon::with_options(Arc::new(engine), opts));
     let stop = Arc::new(AtomicBool::new(false));
     let server = {
         let daemon = Arc::clone(&daemon);
         let stop = Arc::clone(&stop);
         let socket = socket.to_path_buf();
-        std::thread::spawn(move || serve_unix_socket(&daemon, &socket, &stop))
+        std::thread::spawn(move || serve_unix_socket(&daemon, &socket, &stop, DEFAULT_IDLE_TIMEOUT))
     };
 
     let start = Instant::now();
@@ -114,6 +129,7 @@ fn daemon_phase(
     let elapsed = start.elapsed().as_secs_f64();
 
     let stats = daemon.engine().stats();
+    let sched = daemon.sched_stats();
     stop.store(true, Ordering::SeqCst);
     server
         .join()
@@ -124,7 +140,7 @@ fn daemon_phase(
         .expect("all daemon handles released")
         .shutdown()
         .expect("daemon drain");
-    (responses, stats, elapsed)
+    (responses, stats, sched, elapsed)
 }
 
 /// The server thread races the clients to the bind; retry briefly.
@@ -202,7 +218,8 @@ fn main() -> ExitCode {
     let mut violations: Vec<String> = Vec::new();
 
     // ---- Phase 1: cold daemon, empty store ---------------------------
-    let (cold, cold_stats, cold_secs) = daemon_phase(&store, &socket, &cfg, threads, &batches);
+    let (cold, cold_stats, _, cold_secs) =
+        daemon_phase(&store, &socket, &cfg, SchedOptions::scheduled(threads), &batches);
     println!(
         "cold:  {loops} answers in {cold_secs:.2}s  ({} hits, {} misses)",
         cold_stats.store_hits, cold_stats.store_misses
@@ -256,7 +273,8 @@ fn main() -> ExitCode {
     }
 
     // ---- Phase 2: daemon restart over the same store -----------------
-    let (warm, warm_stats, warm_secs) = daemon_phase(&store, &socket, &cfg, threads, &batches);
+    let (warm, warm_stats, _, warm_secs) =
+        daemon_phase(&store, &socket, &cfg, SchedOptions::scheduled(threads), &batches);
     println!(
         "warm:  {loops} answers in {warm_secs:.2}s  ({} hits, {} misses, {} reverified)",
         warm_stats.store_hits, warm_stats.store_misses, warm_stats.reverified
@@ -363,9 +381,148 @@ fn main() -> ExitCode {
     json.push('}');
     write_result("BENCH_pr8.json", &json);
 
+    // ---- Phase 3: mixed workload, fixed pool vs scheduler ------------
+    // Half the slice is pre-warmed into each mode's store; the full
+    // slice is then replayed with warm and cold requests interleaved,
+    // so cheap hits compete with cold syntheses for the queue — the
+    // exact contention the scheduler exists to resolve.
+    let half = (loops / 2).max(1);
+    let prewarm = vec![BatchRequest {
+        id: "prewarm".into(),
+        requests: entries[..half]
+            .iter()
+            .map(|e| SummaryRequest::c(e.id.clone(), e.source.clone()))
+            .collect(),
+    }];
+    let (warm_half, cold_half) = entries.split_at(half);
+    let mut mixed = Vec::new();
+    for i in 0..warm_half.len().max(cold_half.len()) {
+        if let Some(e) = warm_half.get(i) {
+            mixed.push(e.clone());
+        }
+        if let Some(e) = cold_half.get(i) {
+            mixed.push(e.clone());
+        }
+    }
+    let mixed_batches: Vec<BatchRequest> = mixed
+        .chunks(mixed.len().div_ceil(clients).max(1))
+        .enumerate()
+        .map(|(c, chunk)| BatchRequest {
+            id: format!("mixed{c}"),
+            requests: chunk
+                .iter()
+                .map(|e| SummaryRequest::c(e.id.clone(), e.source.clone()))
+                .collect(),
+        })
+        .collect();
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut sched_violations: Vec<String> = Vec::new();
+    let mut mode_json: Vec<String> = Vec::new();
+    let mut throughputs: Vec<f64> = Vec::new();
+    for (name, opts) in [
+        ("fixed", SchedOptions::fixed(threads)),
+        ("scheduled", SchedOptions::scheduled(threads)),
+    ] {
+        let store = scratch.join(format!("store-{name}"));
+        // Pre-warm: populate the store (and the cost book) with the
+        // warm half, then measure a fresh daemon over it.
+        daemon_phase(&store, &socket, &cfg, opts, &prewarm);
+        let (responses, stats, sched, secs) =
+            daemon_phase(&store, &socket, &cfg, opts, &mixed_batches);
+        let throughput = mixed.len() as f64 / secs.max(1e-9);
+        throughputs.push(throughput);
+        let mut lat: Vec<u64> = responses.iter().map(|r| r.cost.wall_micros).collect();
+        lat.sort_unstable();
+        let (p50, p99) = (percentile(&lat, 50.0), percentile(&lat, 99.0));
+        println!(
+            "mixed/{name}: {} answers in {secs:.2}s ({throughput:.1} req/s), p50 {p50}µs, p99 {p99}µs, {} hits, fast-lane {}, heap {}, cubed {}",
+            responses.len(),
+            stats.store_hits,
+            sched.fast_lane,
+            sched.heap,
+            sched.cubed
+        );
+        // Byte identity against the phase-1 cold answers (the batch
+        // reference transitively): scheduling must be invisible in the
+        // bytes, whatever the mode.
+        for resp in &responses {
+            let Some(before) = cold_by_id.get(resp.id.as_str()) else {
+                sched_violations.push(format!("{name}/{}: unknown id", resp.id));
+                continue;
+            };
+            if response_timing_dependent(before) || response_timing_dependent(resp) {
+                continue;
+            }
+            if resp.summary != before.summary {
+                sched_violations.push(format!(
+                    "{name}/{}: mixed-workload summary differs from the cold reference",
+                    resp.id
+                ));
+            }
+        }
+        if stats.reverified != stats.store_hits + stats.rejected {
+            sched_violations.push(format!(
+                "{name} soundness: reverified {} != hits {} + rejected {}",
+                stats.reverified, stats.store_hits, stats.rejected
+            ));
+        }
+        mode_json.push(format!(
+            "  \"{name}\": {{\"elapsed_secs\": {secs:.3}, \"throughput_rps\": {throughput:.2}, \"p50_latency_micros\": {p50}, \"p99_latency_micros\": {p99}, \"stats\": {}, \"sched\": {}}},",
+            stats.to_json(),
+            sched.to_json()
+        ));
+    }
+    let (fixed_rps, sched_rps) = (throughputs[0], throughputs[1]);
+    let speedup = sched_rps / fixed_rps.max(1e-9);
+    // The throughput gate: the scheduler must not lose to the fixed
+    // pool. Hard on multi-core hosts (where leases and ordering have
+    // room to work), informational on one core; 10% jitter allowance.
+    let gate_hard = cores > 1;
+    println!(
+        "mixed: scheduler {sched_rps:.1} req/s vs fixed {fixed_rps:.1} req/s ({speedup:.2}x, {} gate on {cores} cores)",
+        if gate_hard { "hard" } else { "informational" }
+    );
+    if speedup < 0.9 {
+        let msg = format!(
+            "scheduler throughput regressed vs the fixed pool: {sched_rps:.1} < 0.9 * {fixed_rps:.1} req/s"
+        );
+        if gate_hard {
+            sched_violations.push(msg);
+        } else {
+            println!("note ({cores} core): {msg}");
+        }
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"loops\": {},", mixed.len());
+    let _ = writeln!(json, "  \"warm_half\": {half},");
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"workers\": {threads},");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"timeout_secs\": {timeout},");
+    for line in &mode_json {
+        let _ = writeln!(json, "{line}");
+    }
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"gate_hard\": {gate_hard},");
+    let _ = writeln!(
+        json,
+        "  \"violations\": [{}],",
+        sched_violations
+            .iter()
+            .map(|v| format!("\"{}\"", strsum_obs::escape(v)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(json, "  \"ok\": {}", sched_violations.is_empty());
+    json.push('}');
+    write_result("BENCH_pr9.json", &json);
+
+    violations.extend(sched_violations);
     let _ = std::fs::remove_dir_all(&scratch);
     if violations.is_empty() {
-        println!("serve_audit: OK — daemon answers byte-identical to the batch runner, every store hit re-verified");
+        println!("serve_audit: OK — daemon answers byte-identical to the batch runner, every store hit re-verified, scheduler holds throughput");
         ExitCode::SUCCESS
     } else {
         eprintln!("serve_audit: {} violation(s):", violations.len());

@@ -20,11 +20,16 @@ pub mod cache;
 pub mod db;
 pub mod filter;
 pub mod manual;
+pub mod plan;
 pub mod population;
 
 pub use cache::{
     fingerprint_hash, CacheStats, CostBook, CostStat, RecordedOutcome, RecordedStrategy,
     SummaryCache, COST_BOOK_HEADER,
+};
+pub use plan::{
+    cube_tier, ljf_order, loop_features, CostModel, ExecutionPlanner, LoopFeatures, LoopPlan,
+    Plan, PlanCounts, Strategy,
 };
 pub use db::{corpus, App, LoopEntry, APPS};
 pub use filter::{filter_report, passes_automatic_filters, FilterStage};

@@ -56,6 +56,22 @@ pub const STORE_REVERIFIED: &str = "store.reverified";
 /// One store hit failed re-verification and was tombstoned.
 pub const STORE_REJECTED: &str = "store.rejected";
 
+/// One request admitted to the daemon scheduler's run queue.
+pub const SCHED_ADMITTED: &str = "sched.admitted";
+/// One request dispatched through the scheduler's fast lane (refusal,
+/// store hit, predicted-cheap, or interactive priority).
+pub const SCHED_FAST_LANE: &str = "sched.fast_lane";
+/// One request dispatched from the cost-ordered synthesis heap.
+pub const SCHED_HEAP: &str = "sched.heap";
+/// One synthesis ran cubed under scheduler-granted core leases.
+pub const SCHED_CUBED: &str = "sched.cubed";
+/// One admission cost prediction came from a persisted `CostBook` row.
+pub const SCHED_PREDICTED_BOOK: &str = "sched.predicted.book";
+/// One admission cost prediction came from the in-process GP model.
+pub const SCHED_PREDICTED_MODEL: &str = "sched.predicted.model";
+/// One idle connection was closed by the per-connection read timeout.
+pub const SCHED_IDLE_CLOSED: &str = "sched.idle_closed";
+
 /// Feasibility queries the constructive string theory answered Sat.
 pub const SYMEX_THEORY_SAT: &str = "symex.feasible.theory_sat";
 /// Feasibility queries the constructive string theory answered Unsat.

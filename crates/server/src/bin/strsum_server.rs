@@ -6,7 +6,8 @@
 //! `shutdown` frame arrives or stdin hits EOF.
 //!
 //! ```text
-//! strsum-server [--store DIR] [--shards N] [--workers N] [--socket PATH]
+//! strsum-server [--store DIR] [--shards N] [--workers N]
+//!               [--queue-depth N] [--fifo] [--socket PATH]
 //! ```
 
 use std::process::ExitCode;
@@ -14,48 +15,71 @@ use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 use strsum_core::SynthesisConfig;
-use strsum_server::{serve_unix_socket, Daemon, Engine};
+use strsum_server::{
+    serve_unix_socket, Daemon, Engine, SchedOptions, DEFAULT_IDLE_TIMEOUT,
+};
 
+#[derive(Debug)]
 struct Args {
     store: std::path::PathBuf,
     shards: usize,
     workers: usize,
+    queue_depth: Option<usize>,
+    fifo: bool,
     socket: Option<std::path::PathBuf>,
 }
 
-const USAGE: &str = "usage: strsum-server [--store DIR] [--shards N] [--workers N] [--socket PATH]
+const USAGE: &str = "usage: strsum-server [--store DIR] [--shards N] [--workers N]
+                     [--queue-depth N] [--fifo] [--socket PATH]
 
 Serves the strsum wire protocol (one JSON frame per line) on
 stdin/stdout, or on a Unix socket when --socket is given.
 
-  --store DIR    summary store directory (default: results/store)
-  --shards N     shard count for a fresh store (default: 8)
-  --workers N    worker threads (default: available parallelism)
-  --socket PATH  listen on a Unix socket instead of stdio
+  --store DIR      summary store directory (default: results/store)
+  --shards N       shard count for a fresh store (default: 8)
+  --workers N      worker threads (default: available parallelism)
+  --queue-depth N  admitted-request bound before intake blocks
+                   (default: 1024)
+  --fifo           arrival-order scheduling (disable the cost-ordered
+                   run queue; benchmark baseline)
+  --socket PATH    listen on a Unix socket instead of stdio
 ";
 
-fn parse_args() -> Result<Args, String> {
+/// Parses one `--flag N` count that must be a positive integer —
+/// `0`, non-numeric, and missing values all reject with a usage error
+/// (exit 2 in `main`), never a silent fallback.
+fn positive(name: &str, value: Option<String>) -> Result<usize, String> {
+    let raw = value.ok_or_else(|| format!("{name} needs a value"))?;
+    match raw.parse::<usize>() {
+        Ok(0) | Err(_) => Err(format!("{name} needs a positive integer, got {raw:?}")),
+        Ok(n) => Ok(n),
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         store: "results/store".into(),
         shards: 0, // 0 → store default
         workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
+        queue_depth: None,
+        fifo: false,
         socket: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv.iter();
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
         match arg.as_str() {
             "--store" => args.store = value("--store")?.into(),
-            "--shards" => {
-                args.shards = value("--shards")?
-                    .parse()
-                    .map_err(|_| "--shards needs a positive integer".to_string())?;
+            "--shards" => args.shards = positive("--shards", value("--shards").ok())?,
+            "--workers" => args.workers = positive("--workers", value("--workers").ok())?,
+            "--queue-depth" => {
+                args.queue_depth = Some(positive("--queue-depth", value("--queue-depth").ok())?)
             }
-            "--workers" => {
-                args.workers = value("--workers")?
-                    .parse()
-                    .map_err(|_| "--workers needs a positive integer".to_string())?;
-            }
+            "--fifo" => args.fifo = true,
             "--socket" => args.socket = Some(value("--socket")?.into()),
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -68,7 +92,8 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
         Ok(args) => args,
         Err(message) => {
             eprintln!("strsum-server: {message}\n\n{USAGE}");
@@ -86,19 +111,29 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "strsum-server: store {} ({} shards, {} entries), {} workers",
+        "strsum-server: store {} ({} shards, {} entries, {} cost rows), {} workers, {} scheduling",
         args.store.display(),
         engine.store().shard_count(),
         engine.store().len(),
+        engine.cost_book_rows(),
         args.workers.max(1),
+        if args.fifo { "fifo" } else { "cost-ordered" },
     );
-    let daemon = Arc::new(Daemon::start(Arc::new(engine), args.workers));
+    let mut opts = if args.fifo {
+        SchedOptions::fixed(args.workers)
+    } else {
+        SchedOptions::scheduled(args.workers)
+    };
+    if let Some(depth) = args.queue_depth {
+        opts = opts.queue_depth(depth);
+    }
+    let daemon = Arc::new(Daemon::with_options(Arc::new(engine), opts));
 
     let served = match &args.socket {
         Some(path) => {
             eprintln!("strsum-server: listening on {}", path.display());
             let stop = Arc::new(AtomicBool::new(false));
-            serve_unix_socket(&daemon, path, &stop)
+            serve_unix_socket(&daemon, path, &stop, DEFAULT_IDLE_TIMEOUT)
         }
         None => daemon
             .serve_lines(std::io::stdin().lock(), std::io::stdout().lock())
@@ -112,13 +147,95 @@ fn main() -> ExitCode {
     let daemon = Arc::try_unwrap(daemon)
         .unwrap_or_else(|_| unreachable!("all connection threads joined before shutdown"));
     let stats = daemon.engine().stats();
+    let sched = daemon.sched_stats();
     if let Err(e) = daemon.shutdown() {
         eprintln!("strsum-server: drain failed: {e}");
         return ExitCode::FAILURE;
     }
     eprintln!(
-        "strsum-server: drained; hits {} misses {} reverified {} rejected {}",
-        stats.store_hits, stats.store_misses, stats.reverified, stats.rejected,
+        "strsum-server: drained; hits {} misses {} reverified {} rejected {}; \
+         fast-lane {} heap {} cubed {}",
+        stats.store_hits,
+        stats.store_misses,
+        stats.reverified,
+        stats.rejected,
+        sched.fast_lane,
+        sched.heap,
+        sched.cubed,
     );
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_parse_from_empty_argv() {
+        let args = parse_args(&[]).unwrap();
+        assert_eq!(args.store, std::path::PathBuf::from("results/store"));
+        assert_eq!(args.shards, 0, "0 → store default");
+        assert!(args.workers >= 1);
+        assert_eq!(args.queue_depth, None);
+        assert!(!args.fifo);
+        assert!(args.socket.is_none());
+    }
+
+    #[test]
+    fn explicit_counts_parse() {
+        let args = parse_args(&argv(&[
+            "--store",
+            "/tmp/s",
+            "--shards",
+            "4",
+            "--workers",
+            "3",
+            "--queue-depth",
+            "16",
+            "--fifo",
+            "--socket",
+            "/tmp/x.sock",
+        ]))
+        .unwrap();
+        assert_eq!(args.shards, 4);
+        assert_eq!(args.workers, 3);
+        assert_eq!(args.queue_depth, Some(16));
+        assert!(args.fifo);
+        assert_eq!(args.socket, Some(std::path::PathBuf::from("/tmp/x.sock")));
+    }
+
+    #[test]
+    fn zero_counts_are_rejected_not_clamped() {
+        for flag in ["--workers", "--shards", "--queue-depth"] {
+            let err = parse_args(&argv(&[flag, "0"])).unwrap_err();
+            assert!(err.contains("positive integer"), "{flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn non_numeric_counts_are_rejected() {
+        for (flag, bad) in [
+            ("--workers", "many"),
+            ("--shards", "-1"),
+            ("--queue-depth", "1e3"),
+        ] {
+            let err = parse_args(&argv(&[flag, bad])).unwrap_err();
+            assert!(err.contains("positive integer"), "{flag} {bad}: {err}");
+            assert!(err.contains(bad), "error names the bad value: {err}");
+        }
+    }
+
+    #[test]
+    fn missing_values_and_unknown_flags_are_rejected() {
+        assert!(parse_args(&argv(&["--workers"]))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse_args(&argv(&["--bogus"]))
+            .unwrap_err()
+            .contains("unknown flag"));
+    }
 }

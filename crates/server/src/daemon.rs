@@ -1,75 +1,65 @@
-//! The daemon shell around the [`Engine`]: an ingestion queue feeding a
-//! worker pool, and the line-framed front ends (stdin/stdout and a Unix
-//! socket) that speak the `strsum-api` wire protocol.
+//! The daemon shell around the [`Engine`]: the cross-request
+//! [`Scheduler`] plus the line-framed front ends (stdin/stdout and a
+//! Unix socket) that speak the `strsum-api` wire protocol.
 //!
 //! Responses preserve request order within a frame (batch responses are
 //! index-slotted), while different frames and different connections make
-//! progress concurrently — the queue is shared, so four clients
-//! replaying a corpus each keep every worker busy.
+//! progress concurrently — the run queue is shared, so four clients
+//! replaying a corpus each keep every worker busy, and the scheduler
+//! (not arrival order) decides what runs next. See [`crate::sched`] for
+//! the queueing policy; [`Daemon::start`] uses the cost-model policy,
+//! [`Daemon::with_options`] pins any other configuration.
 //!
 //! Shutdown is a drain, not an abort: a `shutdown` frame (or EOF) stops
 //! intake on that connection; the daemon then finishes every request
-//! already enqueued, answers it, compacts the store, and only then
+//! already admitted, answers it, merges this lifetime's observed costs
+//! into the store's `costs.tsv`, compacts the store, and only then
 //! exits. No accepted request is ever dropped.
 
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use strsum_api::{
     decode_frame, encode_frame, BatchResponse, Frame, SummaryRequest, SummaryResponse, WireError,
 };
+use strsum_obs::names;
 
 use crate::engine::Engine;
+use crate::sched::{SchedOptions, SchedStats, Scheduler};
 
-/// One queued unit of work: a request plus where its response goes
-/// (slot `index` of the submitting frame).
-struct Job {
-    req: SummaryRequest,
-    index: usize,
-    reply: Sender<(usize, SummaryResponse)>,
-}
+/// Default per-connection idle timeout for [`serve_unix_socket`]: a
+/// connection that sends nothing for this long is closed (its admitted
+/// requests still answer into the void; the daemon keeps serving).
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(300);
 
-/// The worker pool and its intake. Cloneable handle semantics come from
+/// How often a connection thread wakes to check idleness and the stop
+/// flag while blocked on a quiet socket.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// The scheduler and its intake. Cloneable handle semantics come from
 /// `Arc`-wrapping by callers; the daemon itself is consumed by
 /// [`Daemon::shutdown`].
 pub struct Daemon {
     engine: Arc<Engine>,
-    tx: Sender<Job>,
-    workers: Vec<JoinHandle<()>>,
+    sched: Scheduler,
 }
 
 impl Daemon {
-    /// Spawns `workers` threads (min 1) serving requests on `engine`.
+    /// Spawns `workers` threads (min 1) serving requests on `engine`
+    /// under the adaptive cost-model scheduler.
     pub fn start(engine: Arc<Engine>, workers: usize) -> Daemon {
-        let (tx, rx) = channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..workers.max(1))
-            .map(|_| {
-                let rx = Arc::clone(&rx);
-                let engine = Arc::clone(&engine);
-                std::thread::spawn(move || loop {
-                    // Hold the intake lock only for the dequeue; handling
-                    // runs unlocked so workers overlap.
-                    let job = match rx.lock().expect("daemon queue lock poisoned").recv() {
-                        Ok(job) => job,
-                        Err(_) => return, // intake closed: drain complete
-                    };
-                    let resp = engine.handle(&job.req);
-                    // A dropped receiver means the connection died; the
-                    // work is already done, the answer just has nowhere
-                    // to go.
-                    let _ = job.reply.send((job.index, resp));
-                })
-            })
-            .collect();
-        Daemon {
-            engine,
-            tx,
-            workers,
-        }
+        Daemon::with_options(engine, SchedOptions::scheduled(workers))
+    }
+
+    /// Spawns a daemon under an explicit scheduler configuration (the
+    /// FIFO baseline, a pinned core count, a custom queue depth).
+    pub fn with_options(engine: Arc<Engine>, opts: SchedOptions) -> Daemon {
+        let sched = Scheduler::start(Arc::clone(&engine), opts);
+        Daemon { engine, sched }
     }
 
     /// The engine this daemon serves.
@@ -77,19 +67,19 @@ impl Daemon {
         &self.engine
     }
 
-    /// Enqueues `requests` and blocks until all are answered, returning
-    /// responses in request order.
+    /// Scheduler counters accumulated so far.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched.stats()
+    }
+
+    /// Admits `requests` and blocks until all are answered, returning
+    /// responses in request order (whatever order the scheduler ran
+    /// them in).
     pub fn submit(&self, requests: Vec<SummaryRequest>) -> Vec<SummaryResponse> {
         let n = requests.len();
         let (reply, done) = channel();
         for (index, req) in requests.into_iter().enumerate() {
-            self.tx
-                .send(Job {
-                    req,
-                    index,
-                    reply: reply.clone(),
-                })
-                .expect("worker pool alive while daemon exists");
+            self.sched.submit(req, index, reply.clone());
         }
         drop(reply);
         let mut slots: Vec<Option<SummaryResponse>> = (0..n).map(|_| None).collect();
@@ -155,18 +145,14 @@ impl Daemon {
         Ok(false)
     }
 
-    /// Stops intake, drains the queue (every enqueued request still
-    /// answers), joins the workers, and compacts the store.
+    /// Stops intake, drains the run queue (every admitted request still
+    /// answers), joins the workers, merges this lifetime's observed
+    /// synthesis costs into the store's `costs.tsv`, and compacts the
+    /// store.
     pub fn shutdown(self) -> std::io::Result<()> {
-        let Daemon {
-            engine,
-            tx,
-            workers,
-        } = self;
-        drop(tx); // close intake: workers exit once the queue is empty
-        for w in workers {
-            let _ = w.join();
-        }
+        let Daemon { engine, sched } = self;
+        sched.shutdown();
+        engine.save_costs()?;
         engine.store().compact()
     }
 }
@@ -180,12 +166,15 @@ fn protocol_error(id: Option<String>, message: &str) -> Frame {
 
 /// Serves a Unix socket at `path` until `stop` goes true (e.g. by a
 /// connection seeing a `shutdown` frame), spawning one serving thread
-/// per connection. Joins all connection threads before returning, so a
-/// caller that then calls [`Daemon::shutdown`] gets the full drain.
+/// per connection. A connection that stays silent for `idle` is closed
+/// — a stalled client cannot pin a thread (or hold the daemon's drain
+/// hostage) forever. Joins all connection threads before returning, so
+/// a caller that then calls [`Daemon::shutdown`] gets the full drain.
 pub fn serve_unix_socket(
     daemon: &Arc<Daemon>,
     path: &std::path::Path,
     stop: &Arc<AtomicBool>,
+    idle: Duration,
 ) -> std::io::Result<()> {
     let _ = std::fs::remove_file(path);
     let listener = std::os::unix::net::UnixListener::bind(path)?;
@@ -197,10 +186,7 @@ pub fn serve_unix_socket(
                 let daemon = Arc::clone(daemon);
                 let stop = Arc::clone(stop);
                 conns.push(std::thread::spawn(move || {
-                    stream.set_nonblocking(false).ok();
-                    let reader =
-                        std::io::BufReader::new(stream.try_clone().expect("clone unix stream"));
-                    if let Ok(true) = daemon.serve_lines(reader, stream) {
+                    if let Ok(true) = serve_connection(&daemon, stream, &stop, idle) {
                         stop.store(true, Ordering::SeqCst);
                     }
                 }));
@@ -218,15 +204,76 @@ pub fn serve_unix_socket(
     Ok(())
 }
 
+/// Serves one socket connection with an idle timeout: reads tick every
+/// [`READ_TICK`] so the thread notices both a quiet client (close after
+/// `idle` of silence) and a daemon-wide stop. Returns whether a
+/// `shutdown` frame was seen, like [`Daemon::serve_lines`].
+fn serve_connection(
+    daemon: &Daemon,
+    stream: std::os::unix::net::UnixStream,
+    stop: &AtomicBool,
+    idle: Duration,
+) -> std::io::Result<bool> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(READ_TICK.min(idle.max(Duration::from_millis(1)))))?;
+    let mut reader = std::io::BufReader::new(stream.try_clone()?);
+    let mut out = &stream;
+    let mut idled = Duration::ZERO;
+    // `line` persists across timeouts: a tick can interrupt mid-line,
+    // leaving a partial read that the next tick completes.
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(false), // EOF: client closed
+            Ok(_) => {
+                idled = Duration::ZERO;
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    let reply = match decode_frame(trimmed) {
+                        Ok(frame) => match daemon.handle_frame(frame) {
+                            Some(reply) => reply,
+                            None => return Ok(true), // shutdown frame
+                        },
+                        Err(e) => protocol_error(None, &e.message),
+                    };
+                    writeln!(out, "{}", encode_frame(&reply))?;
+                    out.flush()?;
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(false); // daemon stopping: drop the wait
+                }
+                idled += READ_TICK;
+                if idled >= idle {
+                    strsum_obs::counter(names::SCHED_IDLE_CLOSED, "server", 1);
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use strsum_api::BatchRequest;
     use strsum_core::{LoopOutcome, SynthesisConfig};
 
-    fn test_daemon(tag: &str, workers: usize) -> (Daemon, std::path::PathBuf) {
+    fn test_dir(tag: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("strsum-daemon-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn test_daemon(tag: &str, workers: usize) -> (Daemon, std::path::PathBuf) {
+        let dir = test_dir(tag);
         let engine = Engine::open(&dir, 4, SynthesisConfig::default()).unwrap();
         (Daemon::start(Arc::new(engine), workers), dir)
     }
@@ -246,7 +293,6 @@ mod tests {
         assert_eq!(responses.len(), 12);
         for (i, resp) in responses.iter().enumerate() {
             assert_eq!(resp.id, format!("req{i}"), "order preserved");
-            assert_eq!(resp.outcome.label(), resp.outcome.label());
             assert!(
                 matches!(
                     resp.outcome,
@@ -256,6 +302,7 @@ mod tests {
                 resp.outcome
             );
         }
+        assert_eq!(daemon.sched_stats().admitted, 12);
         daemon.shutdown().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -307,7 +354,7 @@ mod tests {
             let daemon = Arc::clone(&daemon);
             let sock = sock.clone();
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || serve_unix_socket(&daemon, &sock, &stop))
+            std::thread::spawn(move || serve_unix_socket(&daemon, &sock, &stop, DEFAULT_IDLE_TIMEOUT))
         };
         while !sock.exists() {
             std::thread::sleep(std::time::Duration::from_millis(5));
@@ -346,6 +393,161 @@ mod tests {
             Ok(d) => d.shutdown().unwrap(),
             Err(_) => panic!("no outstanding daemon handles"),
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Satellite: a client that goes quiet is disconnected by the
+    /// per-connection idle timeout; the daemon itself keeps serving.
+    #[test]
+    fn stalled_connection_is_closed_by_the_idle_timeout() {
+        use std::os::unix::net::UnixStream;
+        let (daemon, dir) = test_daemon("idle", 1);
+        let daemon = Arc::new(daemon);
+        let stop = Arc::new(AtomicBool::new(false));
+        let sock = dir.join("idle.sock");
+        let acceptor = {
+            let daemon = Arc::clone(&daemon);
+            let sock = sock.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                serve_unix_socket(&daemon, &sock, &stop, Duration::from_millis(200))
+            })
+        };
+        while !sock.exists() {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let stream = UnixStream::connect(&sock).unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut w = &stream;
+        // One served request proves the connection is live...
+        writeln!(w, "{}", encode_frame(&Frame::Summary(SummaryRequest::c("live", SKIP)))).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(matches!(decode_frame(line.trim()).unwrap(), Frame::Response(_)));
+        // ...then silence: the server closes the connection (EOF on our
+        // side) once the idle budget runs out.
+        line.clear();
+        let n = reader.read_line(&mut line).unwrap();
+        assert_eq!(n, 0, "server hung up on the stalled connection");
+        stop.store(true, Ordering::SeqCst);
+        acceptor.join().unwrap().unwrap();
+        match Arc::try_unwrap(daemon) {
+            Ok(d) => d.shutdown().unwrap(),
+            Err(_) => panic!("no outstanding daemon handles"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Normalizes the one timing-variant response field so byte
+    /// comparison checks everything else the wire carries.
+    fn normalized(mut resp: SummaryResponse) -> String {
+        resp.cost.wall_micros = 0;
+        encode_frame(&Frame::Response(resp))
+    }
+
+    /// Satellite (determinism): identical response bytes at workers ∈
+    /// {1, 2, 4}. Cores are pinned to 1 so no cube leases are granted —
+    /// then even solver telemetry is invariant, and the comparison is
+    /// whole-frame bytes (wall clock zeroed).
+    #[test]
+    fn responses_are_byte_identical_across_worker_counts() {
+        let sources = [SKIP, UNTIL_NUL, "not c at all", SKIP, UNTIL_NUL, SKIP];
+        let requests = |tag: &str| -> Vec<SummaryRequest> {
+            sources
+                .iter()
+                .enumerate()
+                .map(|(i, src)| {
+                    let mut r = SummaryRequest::c(format!("{tag}{i}"), *src);
+                    r.id = format!("r{i}"); // same ids across runs
+                    r.flags.store = false; // no cross-request store effects
+                    r
+                })
+                .collect()
+        };
+        let mut runs: Vec<Vec<String>> = Vec::new();
+        for workers in [1usize, 2, 4] {
+            let dir = test_dir(&format!("det{workers}"));
+            let engine = Engine::open(&dir, 2, SynthesisConfig::default()).unwrap();
+            let daemon = Daemon::with_options(
+                Arc::new(engine),
+                SchedOptions::scheduled(workers).cores(1),
+            );
+            let responses = daemon.submit(requests("w"));
+            runs.push(responses.into_iter().map(normalized).collect());
+            daemon.shutdown().unwrap();
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        assert_eq!(runs[0], runs[1], "1 worker vs 2 workers");
+        assert_eq!(runs[0], runs[2], "1 worker vs 4 workers");
+    }
+
+    /// Satellite (determinism): admission order doesn't change any
+    /// response — submitting a permutation returns the permuted slots
+    /// with byte-identical per-id frames.
+    #[test]
+    fn admission_order_permutations_do_not_change_responses() {
+        use std::collections::HashMap;
+        let sources = [SKIP, UNTIL_NUL, "int main() { return 0; }", SKIP];
+        let build = |order: &[usize]| -> Vec<SummaryRequest> {
+            order
+                .iter()
+                .map(|&i| {
+                    let mut r = SummaryRequest::c(format!("p{i}"), sources[i]);
+                    r.flags.store = false;
+                    r
+                })
+                .collect()
+        };
+        let serve = |tag: &str, order: &[usize]| -> HashMap<String, String> {
+            let dir = test_dir(tag);
+            let engine = Engine::open(&dir, 2, SynthesisConfig::default()).unwrap();
+            let daemon =
+                Daemon::with_options(Arc::new(engine), SchedOptions::scheduled(2).cores(1));
+            let responses = daemon.submit(build(order));
+            // Slot order must match admission order before keying by id.
+            for (slot, &i) in order.iter().enumerate() {
+                assert_eq!(responses[slot].id, format!("p{i}"), "slotted");
+            }
+            let map = responses
+                .into_iter()
+                .map(|r| (r.id.clone(), normalized(r)))
+                .collect();
+            daemon.shutdown().unwrap();
+            std::fs::remove_dir_all(&dir).unwrap();
+            map
+        };
+        let forward = serve("perm-fwd", &[0, 1, 2, 3]);
+        let shuffled = serve("perm-shuf", &[2, 0, 3, 1]);
+        let reversed = serve("perm-rev", &[3, 2, 1, 0]);
+        assert_eq!(forward, shuffled);
+        assert_eq!(forward, reversed);
+    }
+
+    /// Satellite (cost feedback): a daemon run records its syntheses and
+    /// `shutdown` persists them; the next daemon over the same store
+    /// plans from the first run's rows.
+    #[test]
+    fn shutdown_persists_costs_for_the_next_daemon() {
+        let dir = test_dir("costs");
+        {
+            let engine = Engine::open(&dir, 2, SynthesisConfig::default()).unwrap();
+            let daemon = Daemon::start(Arc::new(engine), 2);
+            let responses = daemon.submit(vec![
+                SummaryRequest::c("a", SKIP),
+                SummaryRequest::c("b", UNTIL_NUL),
+            ]);
+            assert!(responses
+                .iter()
+                .all(|r| r.outcome == LoopOutcome::Summarized));
+            assert_eq!(daemon.engine().costs_recorded(), 2);
+            daemon.shutdown().unwrap();
+        }
+        assert!(dir.join("costs.tsv").exists(), "shutdown saved the book");
+        let engine = Engine::open(&dir, 2, SynthesisConfig::default()).unwrap();
+        assert!(
+            engine.cost_book_rows() >= 2,
+            "second daemon loads the first run's rows"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

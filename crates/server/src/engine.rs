@@ -11,15 +11,35 @@
 //! by the bounded checker against the requesting loop before it is
 //! served, and a failed re-verification tombstones the entry and falls
 //! back to fresh synthesis.
+//!
+//! For the daemon's cross-request scheduler the lifecycle is split at
+//! its natural pipeline boundary: [`Engine::prepare`] runs the cheap
+//! front half (decode → compile → fingerprint → store-presence +
+//! cost-estimate), and [`Engine::finish`] runs the expensive back half
+//! (re-verified store hit | synthesis → publish). [`Engine::handle`] is
+//! the two composed — the serial path every correctness test and the
+//! fixed-pool baseline exercise. Scheduling can therefore reorder
+//! *between* the halves without touching what either half computes, so
+//! responses stay byte-identical whatever the queue does.
+//!
+//! Every fresh synthesis is also recorded into a [`CostBook`] — the
+//! same rows, tags and exclusions as the batch runner's
+//! `record_costs` — kept live in memory for the scheduler's predictions
+//! and merged into `<store>/costs.tsv` on shutdown via the atomic
+//! load-merge-rename save, so served traffic trains the planner exactly
+//! like batch runs do.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
 use std::time::Instant;
 
 use strsum_api::{Cost, Origin, PlanMode, SourceSpec, SummaryRequest, SummaryResponse};
 use strsum_core::{
     loop_fingerprint, synthesize, verify_summary, LoopOutcome, SynthesisConfig, SynthesisResult,
 };
+use strsum_corpus::plan::{loop_features, CostModel, LoopFeatures};
+use strsum_corpus::{fingerprint_hash, CostBook, CostStat, RecordedOutcome, RecordedStrategy};
 use strsum_gadgets::Program;
 use strsum_obs::names;
 
@@ -50,30 +70,144 @@ impl strsum_obs::ToJson for EngineStats {
     }
 }
 
+/// Where a scheduler cost estimate for one admitted request came from —
+/// the daemon-side mirror of the batch planner's row/model/cold-start
+/// distinction, with the same trust semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostEstimate {
+    /// A budget-capped book row: the recorded wall is a *lower bound*
+    /// on true cost (the attempt was cut off), so the loop is
+    /// known-at-least-this-expensive.
+    CappedRow(u64),
+    /// A trusted book row: the recorded wall is the estimate.
+    Row(u64),
+    /// Predicted by the in-process GP model over structural features
+    /// (no book row for this fingerprint).
+    Modeled(u64),
+    /// Nothing known — no row, no fitted model.
+    Unknown,
+}
+
+impl CostEstimate {
+    /// The predicted wall microseconds, when there is one.
+    pub fn micros(self) -> Option<u64> {
+        match self {
+            CostEstimate::CappedRow(m) | CostEstimate::Row(m) | CostEstimate::Modeled(m) => {
+                Some(m)
+            }
+            CostEstimate::Unknown => None,
+        }
+    }
+}
+
+/// The in-process cost model: observation pairs from this daemon
+/// lifetime's fresh syntheses, refitted lazily. The persisted book
+/// carries costs but not feature vectors, so the GP trains on what this
+/// process has seen; book rows answer repeat fingerprints directly.
+struct ModelState {
+    xs: Vec<LoopFeatures>,
+    ys_ln: Vec<f64>,
+    fitted: Option<CostModel>,
+    dirty: bool,
+}
+
+/// Most recent observations kept for GP training — a bound on the
+/// O(n³) refit, not on learning: book rows already cover older loops.
+const MODEL_WINDOW: usize = 256;
+
+/// The outcome of [`Engine::prepare`]: either the request resolved at
+/// admission (refusals — nothing to schedule), or a compiled,
+/// fingerprinted task carrying everything the scheduler needs to place
+/// it and everything [`Engine::finish`] needs to run it.
+pub enum Prepared {
+    /// Answered during preparation; send as-is.
+    Done(SummaryResponse),
+    /// Ready for the back half of the lifecycle.
+    Task(PreparedTask),
+}
+
+/// A compiled request between the pipeline halves. Owning the IR means
+/// `finish` never re-parses; the scheduler only reads the cost fields.
+pub struct PreparedTask {
+    pub(crate) req: SummaryRequest,
+    pub(crate) func: strsum_ir::Func,
+    pub(crate) fp: Vec<u64>,
+    pub(crate) key: u64,
+    pub(crate) features: LoopFeatures,
+    pub(crate) cfg: SynthesisConfig,
+    pub(crate) store_present: bool,
+    pub(crate) estimate: CostEstimate,
+    pub(crate) prep_micros: u64,
+}
+
+impl PreparedTask {
+    /// The fingerprint hash (the cost book key).
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Whether the store held this fingerprint at preparation time (a
+    /// fast-lane candidate: finishing is one re-verification, not a
+    /// synthesis).
+    pub fn store_present(&self) -> bool {
+        self.store_present
+    }
+
+    /// The admission cost estimate.
+    pub fn estimate(&self) -> CostEstimate {
+        self.estimate
+    }
+
+    /// The request's scheduling priority.
+    pub fn priority(&self) -> strsum_api::Priority {
+        self.req.priority
+    }
+}
+
 /// The request engine: a sharded store plus the synthesis lifecycle.
 /// All methods take `&self`; one engine is shared across the daemon's
 /// worker pool.
 pub struct Engine {
     store: ShardedStore,
     base: SynthesisConfig,
+    book: RwLock<CostBook>,
+    fresh: Mutex<CostBook>,
+    model: Mutex<ModelState>,
+    book_path: PathBuf,
     store_hits: AtomicU64,
     store_misses: AtomicU64,
     reverified: AtomicU64,
     rejected: AtomicU64,
+    costs_recorded: AtomicU64,
 }
 
 impl Engine {
     /// Opens an engine over the store at `dir` (created if missing) with
     /// `shards` shard files (0 = default), serving requests under
-    /// `base` config defaults.
+    /// `base` config defaults. The cost book at `<dir>/costs.tsv` is
+    /// loaded for scheduling predictions (empty when absent — the book
+    /// is a hint).
     pub fn open(dir: &Path, shards: usize, base: SynthesisConfig) -> std::io::Result<Engine> {
+        let store = ShardedStore::open(dir, shards)?;
+        let book_path = dir.join("costs.tsv");
+        let book = CostBook::load(&book_path);
         Ok(Engine {
-            store: ShardedStore::open(dir, shards)?,
+            store,
             base,
+            book: RwLock::new(book),
+            fresh: Mutex::new(CostBook::new()),
+            model: Mutex::new(ModelState {
+                xs: Vec::new(),
+                ys_ln: Vec::new(),
+                fitted: None,
+                dirty: false,
+            }),
+            book_path,
             store_hits: AtomicU64::new(0),
             store_misses: AtomicU64::new(0),
             reverified: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            costs_recorded: AtomicU64::new(0),
         })
     }
 
@@ -92,6 +226,68 @@ impl Engine {
         }
     }
 
+    /// Fresh-synthesis costs recorded into the book this lifetime.
+    pub fn costs_recorded(&self) -> u64 {
+        self.costs_recorded.load(Ordering::Relaxed)
+    }
+
+    /// Rows in the live cost book (persisted rows plus this lifetime's
+    /// observations).
+    pub fn cost_book_rows(&self) -> usize {
+        self.book.read().expect("cost book lock").len()
+    }
+
+    /// The live book's row for a fingerprint hash, if any.
+    pub fn booked(&self, key: u64) -> Option<CostStat> {
+        self.book.read().expect("cost book lock").get(key)
+    }
+
+    /// Where [`Engine::save_costs`] persists the book.
+    pub fn cost_book_path(&self) -> &Path {
+        &self.book_path
+    }
+
+    /// Merges this lifetime's fresh cost observations into the book on
+    /// disk — load at save time, merge, atomic rename — so concurrent
+    /// writers (another daemon, a batch run pointed at the same file)
+    /// never lose each other's rows. No-op when nothing was recorded.
+    pub fn save_costs(&self) -> std::io::Result<()> {
+        let fresh = self.fresh.lock().expect("fresh cost book lock");
+        if fresh.is_empty() {
+            return Ok(());
+        }
+        let mut disk = CostBook::load(&self.book_path);
+        disk.merge(&fresh);
+        disk.save(&self.book_path)
+    }
+
+    /// The scheduler's cost estimate for a fingerprint hash: a book row
+    /// when one exists (capped rows flagged as lower bounds), else the
+    /// in-process GP model over `features`, else [`CostEstimate::Unknown`].
+    /// Untrusted rows (crashed workers, v1 books) carry no credible
+    /// signal and fall through to the model.
+    pub fn estimate(&self, key: u64, features: Option<&LoopFeatures>) -> CostEstimate {
+        if let Some(row) = self.book.read().expect("cost book lock").get(key) {
+            if row.capped() {
+                return CostEstimate::CappedRow(row.wall_micros);
+            }
+            if row.trusted() {
+                return CostEstimate::Row(row.wall_micros);
+            }
+        }
+        if let Some(f) = features {
+            let mut model = self.model.lock().expect("cost model lock");
+            if model.dirty {
+                model.fitted = CostModel::fit_points(&model.xs, &model.ys_ln);
+                model.dirty = false;
+            }
+            if let Some(m) = &model.fitted {
+                return CostEstimate::Modeled(m.predict_micros(f));
+            }
+        }
+        CostEstimate::Unknown
+    }
+
     /// The effective synthesis config for one request: base defaults
     /// with the request's budget, flags, and plan folded in.
     fn request_cfg(&self, req: &SummaryRequest) -> SynthesisConfig {
@@ -103,9 +299,11 @@ impl Engine {
         cfg.theory_fast_path = req.flags.theory_fast_path;
         if let Some(plan) = req.plan {
             // Per-request execution: serial and cubed run as asked;
-            // adaptive/portfolio need corpus-level context the per-request
-            // path doesn't have, so they run serial — byte-identical by
-            // the determinism contract, only wall clock differs.
+            // adaptive defers to the daemon scheduler's core-lease grant
+            // (folded in by `finish`), and portfolio needs racing arms
+            // the per-request path doesn't spawn, so both start from
+            // serial — byte-identical by the determinism contract, only
+            // wall clock differs.
             cfg.intra_loop = match plan.mode {
                 PlanMode::Cubed(k) => k,
                 PlanMode::Serial | PlanMode::Adaptive | PlanMode::Portfolio(_) => 1,
@@ -115,43 +313,108 @@ impl Engine {
     }
 
     /// Runs one request through the full lifecycle and produces its
-    /// response.
+    /// response — [`Engine::prepare`] and [`Engine::finish`] composed,
+    /// with no scheduler-granted cubes. This is the serial reference
+    /// path; the scheduler produces byte-identical responses because it
+    /// runs exactly these two halves.
     pub fn handle(&self, req: &SummaryRequest) -> SummaryResponse {
         let start = Instant::now();
         let mut span = strsum_obs::span("serve.request", "server");
         if span.active() {
             span.arg_str("id", req.id.clone());
         }
-        let mut resp = self.handle_inner(req);
+        let mut resp = match self.prepare(req.clone()) {
+            Prepared::Done(resp) => resp,
+            Prepared::Task(task) => self.finish(task, 1),
+        };
         resp.cost.wall_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
         resp
     }
 
-    fn handle_inner(&self, req: &SummaryRequest) -> SummaryResponse {
+    /// The front half of the lifecycle: classify the payload, compile,
+    /// fingerprint, probe the store, and estimate cost. Refusals (IR
+    /// requests, bad UTF-8, compile errors) resolve here — they are
+    /// cheap and need no scheduling.
+    pub fn prepare(&self, req: SummaryRequest) -> Prepared {
+        let start = Instant::now();
         // 1. Classify the payload. IR is reserved vocabulary; like a
         //    compile failure, it resolves as outside the fragment.
         let source = match &req.source {
             SourceSpec::Ir(_) => {
-                return self.refuse(req, "unsupported: ir requests are reserved vocabulary")
+                return Prepared::Done(
+                    self.refuse(&req, "unsupported: ir requests are reserved vocabulary"),
+                )
             }
             SourceSpec::C(bytes) => match std::str::from_utf8(bytes) {
-                Ok(text) => text,
-                Err(_) => return self.refuse(req, "source is not valid UTF-8"),
+                Ok(text) => text.to_string(),
+                Err(_) => return Prepared::Done(self.refuse(&req, "source is not valid UTF-8")),
             },
         };
         // 2. Compile. A rejected source is a NotMemoryless with the
         //    frontend's message — the runner's classification, verbatim.
-        let func = match strsum_cfront::compile_one(source) {
+        let func = match strsum_cfront::compile_one(&source) {
             Ok(func) => func,
-            Err(e) => return self.refuse(req, &format!("does not compile: {e}")),
+            Err(e) => return Prepared::Done(self.refuse(&req, &format!("does not compile: {e}"))),
         };
-        let cfg = self.request_cfg(req);
+        let cfg = self.request_cfg(&req);
+        // 3. Fingerprint and probe: the scheduler routes store-present
+        //    tasks down the fast lane (finishing is one bounded
+        //    re-verification) and cost-orders the rest.
+        let fp = loop_fingerprint(&func, cfg.max_ex_size);
+        let key = fingerprint_hash(&fp);
+        let features = loop_features(&func, &source);
+        let store_present = req.flags.store && self.store.lookup(&fp).is_some();
+        let estimate = if store_present {
+            CostEstimate::Unknown // irrelevant: no synthesis to size
+        } else {
+            self.estimate(key, Some(&features))
+        };
+        let prep_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        Prepared::Task(PreparedTask {
+            req,
+            func,
+            fp,
+            key,
+            features,
+            cfg,
+            store_present,
+            estimate,
+            prep_micros,
+        })
+    }
 
-        // 3. Store lookup by semantic fingerprint; every hit re-verifies
+    /// The back half of the lifecycle: store lookup with mandatory
+    /// re-verification, fresh synthesis on miss, publish, and cost
+    /// recording. `granted_cubes` is the scheduler's core-lease grant:
+    /// values above the request's own `intra_loop` raise it (the cube
+    /// merge theorem keeps the bytes identical at any k); 1 grants
+    /// nothing. Response `cost.wall_micros` is service time (preparation
+    /// plus this call), never queue wait.
+    pub fn finish(&self, task: PreparedTask, granted_cubes: usize) -> SummaryResponse {
+        let start = Instant::now();
+        let PreparedTask {
+            req,
+            func,
+            fp,
+            key,
+            features,
+            mut cfg,
+            prep_micros,
+            ..
+        } = task;
+        if granted_cubes > cfg.intra_loop {
+            cfg.intra_loop = granted_cubes;
+        }
+        let service = |mut resp: SummaryResponse| {
+            resp.cost.wall_micros = prep_micros
+                .saturating_add(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
+            resp
+        };
+
+        // 4. Store lookup by semantic fingerprint; every hit re-verifies
         //    against *this* loop before serving (fingerprint match is
         //    evidence, not proof — the small-model theorem stays the
         //    sole soundness root).
-        let fp = loop_fingerprint(&func, cfg.max_ex_size);
         if req.flags.store {
             if let Some(bytes) = self.store.lookup(&fp) {
                 self.reverified.fetch_add(1, Ordering::Relaxed);
@@ -165,14 +428,14 @@ impl Engine {
                     resp.origin = Origin::Store;
                     resp.reverified = true;
                     resp.cost = Cost {
-                        wall_micros: 0, // filled by handle()
+                        wall_micros: 0, // filled below
                         conflicts: effort.conflicts,
                     };
                     resp.telemetry = Some(strsum_core::SolverTelemetry {
                         verify: effort,
                         ..Default::default()
                     });
-                    return resp;
+                    return service(resp);
                 }
                 // Poisoned or colliding entry: tombstone it and fall
                 // through to fresh synthesis.
@@ -184,9 +447,12 @@ impl Engine {
         self.store_misses.fetch_add(1, Ordering::Relaxed);
         strsum_obs::counter(names::STORE_MISS, "server", 1);
 
-        // 4. Fresh synthesis under the request budget, classified
+        // 5. Fresh synthesis under the request budget, classified
         //    exactly as the batch runner classifies it.
+        let synth_start = Instant::now();
         let SynthesisResult { program, stats } = synthesize(&func, &cfg);
+        let synth_micros =
+            u64::try_from(synth_start.elapsed().as_micros()).unwrap_or(u64::MAX);
         let outcome = if program.is_some() {
             if stats.degraded {
                 LoopOutcome::Degraded
@@ -198,20 +464,66 @@ impl Engine {
         } else {
             LoopOutcome::NotMemoryless
         };
+        // 6. Record the observed cost — same rows and exclusions as the
+        //    batch runner's `record_costs` (cache hits and crashes never
+        //    reach this point), so served traffic trains the planner.
+        let recorded = match &outcome {
+            LoopOutcome::Summarized => RecordedOutcome::Summarized,
+            LoopOutcome::NotMemoryless => RecordedOutcome::NotMemoryless,
+            LoopOutcome::BudgetExhausted(_) => RecordedOutcome::BudgetExhausted,
+            LoopOutcome::Degraded => RecordedOutcome::Degraded,
+            LoopOutcome::CacheHit | LoopOutcome::Crashed(_) => RecordedOutcome::Unknown,
+        };
+        let cube_k = cfg.intra_loop.max(1);
+        self.record_cost(
+            key,
+            &features,
+            CostStat {
+                conflicts: stats.solver.total().conflicts,
+                wall_micros: synth_micros,
+                outcome: recorded,
+                strategy: if cube_k > 1 {
+                    RecordedStrategy::Cubed
+                } else {
+                    RecordedStrategy::Serial
+                },
+                cube_k: cube_k.min(u32::MAX as usize) as u32,
+            },
+        );
+
         let mut resp = SummaryResponse::new(req.id.clone(), outcome);
         resp.failure = stats.failure.clone();
         resp.telemetry = Some(stats.solver);
         resp.cost.conflicts = stats.solver.total().conflicts;
         if let Some(program) = &program {
             let bytes = program.encode();
-            // 5. Publish. Verified fresh summaries enter the store so
+            // 7. Publish. Verified fresh summaries enter the store so
             //    the next request with this fingerprint hits.
             if req.flags.store {
                 let _ = self.store.insert(fp, bytes.clone());
             }
             resp.summary = Some(bytes);
         }
-        resp
+        service(resp)
+    }
+
+    /// Records one fresh-synthesis cost into the live book (predictions
+    /// improve mid-run), the fresh book (merged to disk on shutdown),
+    /// and — when trusted — the model's training window.
+    fn record_cost(&self, key: u64, features: &LoopFeatures, stat: CostStat) {
+        self.fresh.lock().expect("fresh cost book lock").record(key, stat);
+        self.book.write().expect("cost book lock").record(key, stat);
+        self.costs_recorded.fetch_add(1, Ordering::Relaxed);
+        if stat.trusted() {
+            let mut model = self.model.lock().expect("cost model lock");
+            if model.xs.len() >= MODEL_WINDOW {
+                model.xs.remove(0);
+                model.ys_ln.remove(0);
+            }
+            model.xs.push(*features);
+            model.ys_ln.push((stat.wall_micros.max(1) as f64).ln());
+            model.dirty = true;
+        }
     }
 
     /// A NotMemoryless refusal with a failure message — the shape every
@@ -367,6 +679,87 @@ mod tests {
         let second = engine.handle(&req);
         assert_eq!(second.origin, Origin::Fresh, "no store, no hit");
         assert_eq!(second.summary, first.summary, "determinism regardless");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The pipeline halves compose to the same bytes as `handle`, and a
+    /// scheduler-granted cube count changes nothing but wall clock (the
+    /// cube merge theorem, exercised through the daemon's entry point).
+    #[test]
+    fn finish_with_granted_cubes_is_byte_identical() {
+        let dir = tmp_dir("cubes");
+        let engine = Engine::open(&dir, 2, SynthesisConfig::default()).unwrap();
+        let mut req = SummaryRequest::c("k", SKIP_SPACES);
+        req.flags.store = false; // no cross-request store effects
+        let serial = engine.handle(&req);
+        let cubed = match engine.prepare(req.clone()) {
+            Prepared::Task(task) => engine.finish(task, 4),
+            Prepared::Done(r) => panic!("unexpected refusal: {:?}", r.failure),
+        };
+        assert_eq!(cubed.outcome, serial.outcome);
+        assert_eq!(cubed.summary, serial.summary, "bytes identical at any k");
+        assert_eq!(cubed.failure, serial.failure);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Fresh syntheses land in the live book and the saved book;
+    /// a reopened engine estimates from the persisted row (satellite:
+    /// served traffic trains the planner across daemon runs).
+    #[test]
+    fn costs_persist_and_inform_the_next_engine() {
+        let dir = tmp_dir("costs");
+        let key = {
+            let engine = Engine::open(&dir, 2, SynthesisConfig::default()).unwrap();
+            let resp = engine.handle(&SummaryRequest::c("c1", SKIP_SPACES));
+            assert_eq!(resp.outcome, LoopOutcome::Summarized);
+            assert_eq!(engine.costs_recorded(), 1);
+            let task = match engine.prepare(SummaryRequest::c("c2", SKIP_SPACES)) {
+                Prepared::Task(t) => t,
+                Prepared::Done(r) => panic!("unexpected refusal: {:?}", r.failure),
+            };
+            assert!(task.store_present(), "published on the first pass");
+            engine.save_costs().unwrap();
+            task.key()
+        };
+        // A second engine over the same dir plans from the first run's
+        // rows before serving anything.
+        let engine = Engine::open(&dir, 2, SynthesisConfig::default()).unwrap();
+        let row = engine.booked(key).expect("persisted cost row loaded");
+        assert!(row.trusted(), "summarized rows are trusted estimates");
+        assert!(matches!(engine.estimate(key, None), CostEstimate::Row(_)));
+        // And the store hit itself is costless: serving it records
+        // nothing (a re-verification says nothing about synthesis cost).
+        let resp = engine.handle(&SummaryRequest::c("c3", SKIP_SPACES));
+        assert_eq!(resp.outcome, LoopOutcome::CacheHit);
+        assert_eq!(engine.costs_recorded(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// With no book row the estimate falls back to the GP model once
+    /// enough trusted observations accumulate in-process.
+    #[test]
+    fn model_estimates_unbooked_fingerprints() {
+        let dir = tmp_dir("model");
+        let engine = Engine::open(&dir, 2, SynthesisConfig::default()).unwrap();
+        // Distinct loops (distinct fingerprints) to accumulate trusted
+        // observations; store off so every handle synthesises.
+        let sources = [
+            "char* loopFunction(char* s) {\n  while (*s == ' ') s++;\n  return s;\n}\n",
+            "char* loopFunction(char* s) {\n  while (*s) s++;\n  return s;\n}\n",
+            "char* loopFunction(char* s) {\n  while (*s == 'x') s++;\n  return s;\n}\n",
+            "char* loopFunction(char* s) {\n  while (*s == '\\t') s++;\n  return s;\n}\n",
+        ];
+        for (i, src) in sources.iter().enumerate() {
+            let mut req = SummaryRequest::c(format!("m{i}"), *src);
+            req.flags.store = false;
+            engine.handle(&req);
+        }
+        assert!(engine.costs_recorded() >= 4);
+        let estimate = engine.estimate(u64::MAX, Some(&[1.0, 0.5, 3.0, 2.0]));
+        assert!(
+            matches!(estimate, CostEstimate::Modeled(_)),
+            "unbooked key with features must use the model: {estimate:?}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

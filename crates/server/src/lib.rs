@@ -1,7 +1,7 @@
 #![warn(missing_docs)]
 //! `strsum-server`: the sharded summary daemon.
 //!
-//! Three layers, composed bottom-up:
+//! Four layers, composed bottom-up:
 //!
 //! - [`store`] — a fingerprint-sharded, crash-safe on-disk summary
 //!   index (checksummed append logs, tombstones, compaction, cold
@@ -9,15 +9,26 @@
 //! - [`engine`] — the request lifecycle: parse → fingerprint → store
 //!   lookup with **mandatory re-verification** of every hit → fresh
 //!   synthesis on miss → classify exactly like the batch runner, so the
-//!   daemon's answers are byte-identical to `CorpusRunner`'s.
-//! - [`daemon`] — the service shell: ingestion queue + worker pool,
-//!   line-framed stdin/stdout and Unix-socket front ends speaking the
-//!   `strsum-api` wire protocol, graceful drain on shutdown.
+//!   daemon's answers are byte-identical to `CorpusRunner`'s. Split at
+//!   the pipeline boundary into [`Engine::prepare`] / [`Engine::finish`]
+//!   for the scheduler, with every fresh synthesis recorded into the
+//!   store's `CostBook`.
+//! - [`sched`] — the cross-request scheduler: a shared run queue
+//!   ordering admitted work by predicted cost (fast lane for cheap
+//!   finishes, longest-job-first heap for syntheses) and a core-lease
+//!   arbiter that runs predicted-expensive loops cubed when cores are
+//!   spare.
+//! - [`daemon`] — the service shell: line-framed stdin/stdout and
+//!   Unix-socket front ends (with per-connection idle timeouts)
+//!   speaking the `strsum-api` wire protocol, graceful drain on
+//!   shutdown.
 
 pub mod daemon;
 pub mod engine;
+pub mod sched;
 pub mod store;
 
-pub use daemon::{serve_unix_socket, Daemon};
-pub use engine::{Engine, EngineStats};
+pub use daemon::{serve_unix_socket, Daemon, DEFAULT_IDLE_TIMEOUT};
+pub use engine::{CostEstimate, Engine, EngineStats, Prepared, PreparedTask};
+pub use sched::{Policy, SchedOptions, SchedStats, Scheduler, DEFAULT_QUEUE_DEPTH};
 pub use store::{ShardedStore, DEFAULT_SHARDS};
