@@ -21,6 +21,7 @@ fn main() {
         ..Default::default()
     };
     let summaries = CorpusRunner::new(cli.plan(PlanSpec::serial()))
+        .persist_costs(true)
         .serve(
             RequestSpec::corpus()
                 .config(cfg)

@@ -136,7 +136,7 @@ fn main() {
     // 4–8 use cost-aware plans (pass 4 populates the book the later
     // passes schedule and predict from).
     let run = |cfg: SynthesisConfig, cached: bool, n: usize, plan: PlanSpec| {
-        let mut runner = CorpusRunner::new(plan);
+        let mut runner = CorpusRunner::new(plan).persist_costs(true);
         if let Some(c) = trace.collector() {
             runner = runner.trace(c);
         }

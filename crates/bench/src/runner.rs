@@ -194,9 +194,10 @@ impl CorpusReport {
 /// The nine-method builder this replaced survives as `#[deprecated]`
 /// shims for one release: `with_config` (the old `new`), plus
 /// `threads` / `cache` / `budget` / `retries` / `reuse_summaries` /
-/// `plan` / `run` / `run_corpus`. `trace` and `fault_plan` stay live —
-/// they are harness-side instrumentation, not request vocabulary, so a
-/// wire request can never carry them.
+/// `plan` / `run` / `run_corpus`. `trace`, `fault_plan` and
+/// `persist_costs` stay live — they are harness-side instrumentation
+/// and policy, not request vocabulary, so a wire request can never
+/// carry them.
 #[derive(Debug, Clone)]
 pub struct CorpusRunner {
     cfg: SynthesisConfig,
@@ -206,6 +207,7 @@ pub struct CorpusRunner {
     reuse_summaries: bool,
     trace: Option<Arc<Collector>>,
     fault_plan: FaultPlan,
+    persist_costs: bool,
 }
 
 impl CorpusRunner {
@@ -224,6 +226,7 @@ impl CorpusRunner {
             reuse_summaries: false,
             trace: None,
             fault_plan: FaultPlan::new(),
+            persist_costs: false,
         }
     }
 
@@ -279,6 +282,7 @@ impl CorpusRunner {
             reuse_summaries: false,
             trace: None,
             fault_plan: FaultPlan::new(),
+            persist_costs: false,
         }
     }
 
@@ -342,6 +346,18 @@ impl CorpusRunner {
     /// collector shared across several runs accumulates across them.
     pub fn trace(mut self, sink: Arc<Collector>) -> CorpusRunner {
         self.trace = Some(sink);
+        self
+    }
+
+    /// Merge this run's freshly observed costs into the persisted book
+    /// (`results/costs.tsv`) after a keyed run. Off by default: the book
+    /// is a shared, machine-generated artifact whose committed rows must
+    /// stay consistent with the committed benchmark results, so only the
+    /// benchmark binaries opt in — embedded and test runs read the book
+    /// for scheduling but never write it. Like `trace` and `fault_plan`
+    /// this is harness-side policy a wire request can never carry.
+    pub fn persist_costs(mut self, on: bool) -> CorpusRunner {
+        self.persist_costs = on;
         self
     }
 
@@ -576,7 +592,7 @@ impl CorpusRunner {
             .zip(raw)
             .map(|(e, r)| resolve(e, r))
             .collect();
-        if self.needs_keys() {
+        if self.persist_costs && self.needs_keys() {
             record_costs(&keys, &results, &plan);
         }
         (results, plan.counts())
@@ -779,7 +795,7 @@ impl CorpusRunner {
             .into_iter()
             .map(|s| s.expect("every loop is resolved by one phase"))
             .collect();
-        if self.needs_keys() {
+        if self.persist_costs && self.needs_keys() {
             record_costs(&keys, &results, &plan);
         }
         (results, cache.stats(), plan.counts())
@@ -840,6 +856,9 @@ fn recorded_outcome(outcome: &LoopOutcome) -> RecordedOutcome {
 }
 
 /// Merges this run's freshly observed costs into the persisted book.
+/// Only runs that opted in via [`CorpusRunner::persist_costs`] get here
+/// — the benchmark binaries are the book's producers; embedded and test
+/// runs must never rewrite the shared `results/costs.tsv`.
 /// Cache hits are skipped — a re-verification's cost says nothing about
 /// what synthesising the loop would cost — and so are crashes, whose
 /// zeroed stats would mark the loop trusted-cheap. Budget exhaustions
