@@ -15,7 +15,7 @@
 
 use std::time::Duration;
 
-use strsum_core::{Budget, BudgetKind, LoopOutcome, SolverTelemetry};
+use strsum_core::{Budget, BudgetKind, LoopOutcome, SolverTelemetry, SummaryKind};
 use strsum_obs::escape;
 use strsum_smt::SessionStats;
 
@@ -185,8 +185,19 @@ pub struct SummaryResponse {
     pub id: String,
     /// How the request resolved.
     pub outcome: LoopOutcome,
-    /// The verified summary program, when one was produced.
+    /// The verified summary bytes, when one was produced — a gadget
+    /// program or a tagged closed form, decodable by
+    /// [`strsum_core::Summary::decode`] either way.
     pub summary: Option<Vec<u8>>,
+    /// Which synthesis lane produced `summary`. `None` for gadget
+    /// summaries and unsummarised responses, and omitted on the wire, so
+    /// pre-recurrence-lane frames decode (and re-encode) unchanged —
+    /// see [`SummaryResponse::summary_kind`] for the effective kind.
+    pub kind: Option<SummaryKind>,
+    /// The closed-form payload for accumulator/builder summaries, so
+    /// kind-aware clients need not re-parse the tagged `summary` blob.
+    /// Omitted for gadget summaries.
+    pub closed_form: Option<Vec<u8>>,
     /// Human-readable failure detail, when synthesis concluded without
     /// a summary.
     pub failure: Option<String>,
@@ -211,12 +222,23 @@ impl SummaryResponse {
             id: id.into(),
             outcome,
             summary: None,
+            kind: None,
+            closed_form: None,
             failure: None,
             origin: Origin::Fresh,
             reverified: false,
             cost: Cost::default(),
             telemetry: None,
         }
+    }
+
+    /// The effective kind of the attached summary: the explicit wire
+    /// field when present, else [`SummaryKind::Gadget`] when a summary
+    /// travelled without one (every pre-recurrence-lane frame), else
+    /// `None`.
+    pub fn summary_kind(&self) -> Option<SummaryKind> {
+        self.kind
+            .or_else(|| self.summary.as_ref().map(|_| SummaryKind::Gadget))
     }
 }
 
@@ -380,6 +402,12 @@ fn response_fields(r: &SummaryResponse, out: &mut String) {
     }
     if let Some(summary) = &r.summary {
         out.push_str(&format!(",\"summary\":\"{}\"", hex(summary)));
+    }
+    if let Some(kind) = r.kind {
+        out.push_str(&format!(",\"kind\":\"{}\"", kind.label()));
+    }
+    if let Some(cf) = &r.closed_form {
+        out.push_str(&format!(",\"closed_form\":\"{}\"", hex(cf)));
     }
     if let Some(failure) = &r.failure {
         out.push_str(&format!(",\"failure\":\"{}\"", escape(failure)));
@@ -652,10 +680,24 @@ fn decode_response(obj: &Json) -> Result<SummaryResponse, DecodeError> {
                 .to_string(),
         ),
     };
+    let kind = match obj.get("kind") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let label = v
+                .as_str()
+                .ok_or_else(|| DecodeError::new("field \"kind\" is not a string"))?;
+            Some(
+                SummaryKind::parse(label)
+                    .ok_or_else(|| DecodeError::new(format!("unknown summary kind {label:?}")))?,
+            )
+        }
+    };
     Ok(SummaryResponse {
         id,
         outcome,
         summary: opt_hex(obj, "summary")?,
+        kind,
+        closed_form: opt_hex(obj, "closed_form")?,
         failure,
         origin,
         reverified: opt_bool(obj, "reverified", false)?,
@@ -753,7 +795,10 @@ mod tests {
             Frame::Summary(r) => assert_eq!(r.priority, Priority::Normal),
             other => panic!("wrong frame: {other:?}"),
         }
-        assert!(decode_frame("{\"v\":1,\"type\":\"summary\",\"id\":\"x\",\"source\":\"\",\"priority\":\"urgent\"}").is_err());
+        assert!(decode_frame(
+            "{\"v\":1,\"type\":\"summary\",\"id\":\"x\",\"source\":\"\",\"priority\":\"urgent\"}"
+        )
+        .is_err());
     }
 
     #[test]
@@ -790,6 +835,47 @@ mod tests {
             let line = encode_frame(&frame);
             assert_eq!(decode_frame(&line).unwrap(), frame, "{line}");
         }
+    }
+
+    #[test]
+    fn kind_and_closed_form_round_trip_and_default_off_the_wire() {
+        // A closed-form response carries both new fields explicitly.
+        let mut resp = SummaryResponse::new("acc_01", LoopOutcome::Summarized);
+        resp.summary = Some(vec![b'#', b's', 1, 0, b' ']);
+        resp.kind = Some(SummaryKind::Accumulator);
+        resp.closed_form = resp.summary.clone();
+        let frame = Frame::Response(resp);
+        let line = encode_frame(&frame);
+        assert!(line.contains("\"kind\":\"accumulator\""), "{line}");
+        assert!(line.contains("closed_form"), "{line}");
+        assert_eq!(decode_frame(&line).unwrap(), frame);
+        match decode_frame(&line).unwrap() {
+            Frame::Response(r) => {
+                assert_eq!(r.summary_kind(), Some(SummaryKind::Accumulator))
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+
+        // Gadget responses stay byte-identical to pre-kind frames: both
+        // fields absent, and the effective kind is derived.
+        let mut resp = SummaryResponse::new("bash_01", LoopOutcome::Summarized);
+        resp.summary = Some(vec![b'P', b' ', 0]);
+        let line = encode_frame(&Frame::Response(resp));
+        assert!(!line.contains("\"kind\""), "{line}");
+        assert!(!line.contains("closed_form"), "{line}");
+        match decode_frame(&line).unwrap() {
+            Frame::Response(r) => {
+                assert_eq!(r.kind, None);
+                assert_eq!(r.summary_kind(), Some(SummaryKind::Gadget));
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+
+        // Unknown kinds are rejected, not guessed.
+        assert!(decode_frame(
+            "{\"v\":1,\"type\":\"response\",\"id\":\"x\",\"outcome\":\"summarized\",\"kind\":\"magic\"}"
+        )
+        .is_err());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use strsum_api::{
     decode_frame, encode_frame, BatchRequest, BatchResponse, Cost, Frame, Origin, PlanSpec,
     Priority, RequestFlags, SourceSpec, SummaryRequest, SummaryResponse, WireError,
 };
-use strsum_core::{Budget, BudgetKind, LoopOutcome, SolverTelemetry};
+use strsum_core::{Budget, BudgetKind, LoopOutcome, SolverTelemetry, SummaryKind};
 use strsum_smt::SessionStats;
 
 fn any_source() -> impl Strategy<Value = SourceSpec> {
@@ -127,6 +127,17 @@ fn any_stats() -> impl Strategy<Value = SessionStats> {
         )
 }
 
+/// Every summary kind, plus `None` (the wire default: gadget or
+/// unsummarised, field omitted from the frame).
+fn any_kind() -> impl Strategy<Value = Option<SummaryKind>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(SummaryKind::Gadget)),
+        Just(Some(SummaryKind::Accumulator)),
+        Just(Some(SummaryKind::Builder)),
+    ]
+}
+
 fn any_response() -> impl Strategy<Value = SummaryResponse> {
     (
         ".{0,12}",
@@ -135,7 +146,14 @@ fn any_response() -> impl Strategy<Value = SummaryResponse> {
             Just(None),
             proptest::collection::vec(any::<u8>(), 0..32).prop_map(Some)
         ],
-        prop_oneof![Just(None), ".{0,32}".prop_map(Some)],
+        (
+            any_kind(),
+            prop_oneof![
+                Just(None),
+                proptest::collection::vec(any::<u8>(), 0..32).prop_map(Some)
+            ],
+            prop_oneof![Just(None), ".{0,32}".prop_map(Some)],
+        ),
         any::<bool>(),
         any::<bool>(),
         (any::<u64>(), any::<u64>()),
@@ -146,11 +164,22 @@ fn any_response() -> impl Strategy<Value = SummaryResponse> {
         ],
     )
         .prop_map(
-            |(id, outcome, summary, failure, store, reverified, (wall, conflicts), telemetry)| {
+            |(
+                id,
+                outcome,
+                summary,
+                (kind, closed_form, failure),
+                store,
+                reverified,
+                (wall, conflicts),
+                telemetry,
+            )| {
                 SummaryResponse {
                     id,
                     outcome,
                     summary,
+                    kind,
+                    closed_form,
                     failure,
                     origin: if store { Origin::Store } else { Origin::Fresh },
                     reverified,

@@ -78,7 +78,7 @@ fn config(screen: bool, incremental: bool, timeout: f64) -> SynthesisConfig {
 }
 
 fn mode_json(results: &[LoopSynth], cache: Option<&CacheStats>) -> String {
-    let ok = results.iter().filter(|r| r.program.is_some()).count();
+    let ok = results.iter().filter(|r| r.summary.is_some()).count();
     let secs: f64 = results.iter().map(|r| r.elapsed.as_secs_f64()).sum();
     let iterations: usize = results.iter().map(|r| r.stats.iterations).sum();
     let cache_hits = results.iter().filter(|r| r.cache_hit).count();
@@ -223,8 +223,8 @@ fn main() {
         let mut mismatches = Vec::new();
         let mut timing_races = 0usize;
         for (a, b) in xs.iter().zip(ys) {
-            let pa = a.program.as_ref().map(strsum_gadgets::Program::encode);
-            let pb = b.program.as_ref().map(strsum_gadgets::Program::encode);
+            let pa = a.summary.as_ref().map(strsum_core::Summary::encode);
+            let pb = b.summary.as_ref().map(strsum_core::Summary::encode);
             if pa == pb {
                 continue;
             }
@@ -262,7 +262,7 @@ fn main() {
         audit(&serial_mw, &portfolio, "serial-mw", "portfolio");
     if verbose {
         for (s, b) in screened.iter().zip(&baseline) {
-            let show = |r: &LoopSynth| match (&r.program, &r.failure) {
+            let show = |r: &LoopSynth| match (&r.summary, &r.failure) {
                 (Some(p), _) => format!("{:?}", String::from_utf8_lossy(&p.encode())),
                 (None, Some(f)) => format!("FAIL({f})"),
                 (None, None) => "FAIL(?)".to_string(),
@@ -286,7 +286,7 @@ fn main() {
     disagreed.extend(disagreements(&adaptive));
     disagreed.extend(disagreements(&portfolio));
 
-    let count_ok = |rs: &[LoopSynth]| rs.iter().filter(|r| r.program.is_some()).count();
+    let count_ok = |rs: &[LoopSynth]| rs.iter().filter(|r| r.summary.is_some()).count();
     let screened_q = aggregate_telemetry(&screened).total().queries;
     let baseline_q = aggregate_telemetry(&baseline).total().queries;
     let reduction = 100.0 * (1.0 - screened_q as f64 / baseline_q.max(1) as f64);
@@ -495,7 +495,7 @@ fn main() {
     // determinism audits are the hard gate everywhere.
     let gate_enforced = cores > 1;
     let gate_passed = !gate_enforced || adaptive_speedup >= 1.0;
-    let count_ok_plan = |rs: &[LoopSynth]| rs.iter().filter(|r| r.program.is_some()).count();
+    let count_ok_plan = |rs: &[LoopSynth]| rs.iter().filter(|r| r.summary.is_some()).count();
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(

@@ -85,8 +85,8 @@ fn main() {
             timing_races += 1;
             continue;
         }
-        let pa = a.program.as_ref().map(strsum_gadgets::Program::encode);
-        let pb = b.program.as_ref().map(strsum_gadgets::Program::encode);
+        let pa = a.summary.as_ref().map(strsum_core::Summary::encode);
+        let pb = b.summary.as_ref().map(strsum_core::Summary::encode);
         if pa != pb || a.failure != b.failure || a.outcome != b.outcome {
             violations.push(format!(
                 "{}: serial {:?}/{} vs parallel {:?}/{}",
@@ -176,7 +176,7 @@ fn main() {
     let summarised_ids: Vec<&str> = serial
         .results
         .iter()
-        .filter(|r| r.program.is_some())
+        .filter(|r| r.summary.is_some())
         .map(|r| r.entry.id.as_str())
         .collect();
     assert!(

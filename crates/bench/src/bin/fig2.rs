@@ -44,7 +44,7 @@ fn main() {
         let report = runner.serve(RequestSpec::corpus().config(cfg).threads(threads));
         let mut row = [0usize; 4];
         for r in &report.results {
-            if r.program.is_none() {
+            if r.summary.is_none() {
                 continue;
             }
             for (li, budget) in ladder.iter().enumerate() {

@@ -55,8 +55,7 @@ use strsum_bench::{write_result, Cli, CorpusRunner, LoopSynth, PlanSpec, Request
 use strsum_core::{LoopOutcome, SynthesisConfig};
 use strsum_obs::ToJson;
 use strsum_server::{
-    serve_unix_socket, Daemon, Engine, EngineStats, SchedOptions, SchedStats,
-    DEFAULT_IDLE_TIMEOUT,
+    serve_unix_socket, Daemon, Engine, EngineStats, SchedOptions, SchedStats, DEFAULT_IDLE_TIMEOUT,
 };
 
 /// Wall-clock-raced verdicts, the only legitimate divergence between
@@ -218,8 +217,13 @@ fn main() -> ExitCode {
     let mut violations: Vec<String> = Vec::new();
 
     // ---- Phase 1: cold daemon, empty store ---------------------------
-    let (cold, cold_stats, _, cold_secs) =
-        daemon_phase(&store, &socket, &cfg, SchedOptions::scheduled(threads), &batches);
+    let (cold, cold_stats, _, cold_secs) = daemon_phase(
+        &store,
+        &socket,
+        &cfg,
+        SchedOptions::scheduled(threads),
+        &batches,
+    );
     println!(
         "cold:  {loops} answers in {cold_secs:.2}s  ({} hits, {} misses)",
         cold_stats.store_hits, cold_stats.store_misses
@@ -233,7 +237,7 @@ fn main() -> ExitCode {
         if runner_timing_dependent(reference) || response_timing_dependent(resp) {
             continue;
         }
-        let expected = reference.program.as_ref().map(|p| p.encode());
+        let expected = reference.summary.as_ref().map(|s| s.encode());
         if expected != resp.summary {
             violations.push(format!(
                 "{}: cold daemon summary differs from the batch runner",
@@ -273,8 +277,13 @@ fn main() -> ExitCode {
     }
 
     // ---- Phase 2: daemon restart over the same store -----------------
-    let (warm, warm_stats, _, warm_secs) =
-        daemon_phase(&store, &socket, &cfg, SchedOptions::scheduled(threads), &batches);
+    let (warm, warm_stats, _, warm_secs) = daemon_phase(
+        &store,
+        &socket,
+        &cfg,
+        SchedOptions::scheduled(threads),
+        &batches,
+    );
     println!(
         "warm:  {loops} answers in {warm_secs:.2}s  ({} hits, {} misses, {} reverified)",
         warm_stats.store_hits, warm_stats.store_misses, warm_stats.reverified

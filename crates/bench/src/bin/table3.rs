@@ -71,7 +71,7 @@ fn main() {
             );
             continue;
         }
-        let ok: Vec<_> = rows.iter().filter(|r| r.program.is_some()).collect();
+        let ok: Vec<_> = rows.iter().filter(|r| r.summary.is_some()).collect();
         let mut times: Vec<f64> = ok.iter().map(|r| minutes(r.elapsed)).collect();
         let avg = if times.is_empty() {
             f64::NAN
@@ -100,7 +100,7 @@ fn main() {
     }
     let mut all_times: Vec<f64> = results
         .iter()
-        .filter(|r| r.program.is_some())
+        .filter(|r| r.summary.is_some())
         .map(|r| minutes(r.elapsed))
         .collect();
     let avg = all_times.iter().sum::<f64>() / all_times.len().max(1) as f64;
@@ -121,8 +121,8 @@ fn main() {
             "  {:12} {:>8.1}s  {}",
             r.entry.id,
             r.elapsed.as_secs_f64(),
-            match &r.program {
-                Some(p) => format!("{p}"),
+            match &r.summary {
+                Some(s) => s.describe(),
                 None => format!("FAIL ({})", r.failure.clone().unwrap_or_default()),
             }
         );
@@ -145,8 +145,8 @@ fn main() {
     let mut file = std::fs::File::create(cache).expect("cache");
     use std::io::Write as _;
     for r in results {
-        let enc = match &r.program {
-            Some(p) => p
+        let enc = match &r.summary {
+            Some(s) => s
                 .encode()
                 .iter()
                 .map(|b| format!("{b:02x}"))

@@ -36,7 +36,7 @@ fn main() {
         let ok = report
             .results
             .iter()
-            .filter(|r| r.program.is_some())
+            .filter(|r| r.summary.is_some())
             .count();
         (ok, report.telemetry)
     };

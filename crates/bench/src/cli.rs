@@ -43,7 +43,7 @@ pub const UNIFORM_FLAGS: &[&str] = &[
 ];
 
 /// Raw `--flag value` lookup over the process arguments (shared by
-/// [`Cli`] and the deprecated free functions).
+/// [`Cli`] and [`crate::TraceArgs`]).
 pub(crate) fn raw_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()

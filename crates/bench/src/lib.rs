@@ -9,7 +9,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Duration;
-use strsum_core::{LoopOutcome, ScreenStats, SolverTelemetry, SynthStats};
+use strsum_core::{LoopOutcome, ScreenStats, SolverTelemetry, Summary, SummaryKind, SynthStats};
 use strsum_corpus::LoopEntry;
 use strsum_gadgets::Program;
 
@@ -26,7 +26,7 @@ pub use plan::{
     loop_features, ExecutionPlanner, LoopFeatures, LoopPlan, Plan, PlanCounts, PlanMode, PlanSpec,
     Strategy,
 };
-pub use runner::{CorpusReport, CorpusRunner, OutcomeCounts, RetryStats};
+pub use runner::{CorpusReport, CorpusRunner, KindCounts, OutcomeCounts, RetryStats};
 pub use schedule::ljf_order;
 pub use strsum_api::{LoopSpec, RequestSpec, Scope};
 pub use trace::TraceArgs;
@@ -50,8 +50,10 @@ pub fn loop_specs(entries: &[LoopEntry]) -> Vec<LoopSpec> {
 pub struct LoopSynth {
     /// The corpus entry.
     pub entry: LoopEntry,
-    /// The synthesised program, if any.
-    pub program: Option<Program>,
+    /// The synthesised summary, if any: a gadget program for memoryless
+    /// loops, or a recurrence-lane closed form for accumulator/builder
+    /// loops (see [`strsum_core::Summary`]).
+    pub summary: Option<Summary>,
     /// Wall-clock time spent.
     pub elapsed: Duration,
     /// Failure reason when unsynthesised (including C frontend rejections).
@@ -65,6 +67,21 @@ pub struct LoopSynth {
     /// inexpressibility, budget exhaustion, worker crash and degraded
     /// minimisation (see [`strsum_core::LoopOutcome`]).
     pub outcome: LoopOutcome,
+}
+
+impl LoopSynth {
+    /// The gadget program, when the summary came from the gadget lane.
+    /// `None` for closed-form (accumulator/builder) summaries — the
+    /// coverage/testing figures, which consume gadget programs, skip
+    /// those the same way they skip unsummarised loops.
+    pub fn program(&self) -> Option<&Program> {
+        self.summary.as_ref().and_then(Summary::program)
+    }
+
+    /// Which lane summarised the loop, when one did.
+    pub fn kind(&self) -> Option<SummaryKind> {
+        self.summary.as_ref().map(Summary::kind)
+    }
 }
 
 /// Maps `f` over `items` on `threads` workers, preserving order.
@@ -242,18 +259,6 @@ pub(crate) fn unhex(s: &str) -> Vec<u8> {
     (0..s.len() / 2)
         .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).expect("valid hex"))
         .collect()
-}
-
-/// Parses `--flag value`-style arguments.
-#[deprecated(note = "use `Cli::from_env().value(name)` — one parser for all binaries")]
-pub fn arg_value(name: &str) -> Option<String> {
-    cli::raw_value(name)
-}
-
-/// Whether a bare `--flag` is present.
-#[deprecated(note = "use `Cli::from_env().flag(name)` — one parser for all binaries")]
-pub fn arg_flag(name: &str) -> bool {
-    std::env::args().any(|a| a == name)
 }
 
 /// Default worker-thread count.

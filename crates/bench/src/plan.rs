@@ -18,9 +18,9 @@
 //! [`CorpusRunner::plan`]: crate::CorpusRunner::plan
 
 pub use strsum_corpus::plan::{
-    cube_tier, detected_cores, loop_features, CostModel, ExecutionPlanner, LoopFeatures,
-    LoopPlan, Plan, PlanCounts, Strategy, CUBE4_CUTOFF_MICROS, CUBE8_CUTOFF_MICROS, FEATURE_DIM,
-    MIN_TRAIN, PORTFOLIO_SD, SERIAL_CUTOFF_MICROS,
+    cube_tier, detected_cores, loop_features, CostModel, ExecutionPlanner, LoopFeatures, LoopPlan,
+    Plan, PlanCounts, Strategy, CUBE4_CUTOFF_MICROS, CUBE8_CUTOFF_MICROS, FEATURE_DIM, MIN_TRAIN,
+    PORTFOLIO_SD, SERIAL_CUTOFF_MICROS,
 };
 
 // The plan *vocabulary* ([`PlanMode`], [`PlanSpec`]) lives in

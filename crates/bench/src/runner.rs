@@ -7,8 +7,14 @@
 //! [`CorpusRunner::serve`] takes a [`RequestSpec`] saying *what* to run
 //! (config / threads / cache / scope) and returns a single
 //! [`CorpusReport`] holding the per-loop results plus every aggregate
-//! the binaries report. The old builder methods survive as
-//! `#[deprecated]` shims for one release.
+//! the binaries report. The old builder methods survived one release as
+//! `#[deprecated]` shims and are now gone.
+//!
+//! Summaries are lane-agnostic: every loop goes through
+//! [`strsum_core::summarize_loop`], which tries the gadget CEGIS lane
+//! first and falls back to the recurrence lane for accumulator/builder
+//! loops, so a [`LoopSynth`] carries a [`strsum_core::Summary`] of any
+//! kind and the report tallies kinds in [`KindCounts`].
 //!
 //! Execution strategy is one knob: [`CorpusRunner::new`] takes a
 //! [`PlanSpec`] (serial / cubed / adaptive / portfolio × cost-ordered or
@@ -35,8 +41,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use strsum_api::{LoopSpec, RequestSpec, Scope};
 use strsum_core::{
-    loop_fingerprint, synthesize, synthesize_with_cancel, verify_summary, Budget, BudgetKind,
-    CancelToken, LoopOutcome, SolverTelemetry, SynthStats, SynthesisConfig, SynthesisResult,
+    loop_fingerprint, summarize_loop, summarize_loop_with_cancel, verify_summary, BudgetKind,
+    CancelToken, LoopOutcome, SolverTelemetry, SummarizeResult, Summary, SummaryKind, SynthStats,
+    SynthesisConfig,
 };
 use strsum_corpus::{
     fingerprint_hash, App, CacheStats, CostBook, CostStat, LoopEntry, RecordedOutcome, SummaryCache,
@@ -124,6 +131,44 @@ impl ToJson for OutcomeCounts {
     }
 }
 
+/// Tally of summary kinds over a run's summarised loops (fresh, cached
+/// and degraded alike). `total()` equals the number of loops carrying a
+/// summary, so `gadget` alone reproduces the pre-recurrence-lane count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindCounts {
+    /// Memoryless loops summarised by a gadget program.
+    pub gadget: usize,
+    /// Integer-accumulator loops summarised by a verified closed form.
+    pub accumulator: usize,
+    /// String-builder loops summarised by a verified closed form.
+    pub builder: usize,
+}
+
+impl KindCounts {
+    /// Tallies one summary's kind.
+    pub fn record(&mut self, kind: SummaryKind) {
+        match kind {
+            SummaryKind::Gadget => self.gadget += 1,
+            SummaryKind::Accumulator => self.accumulator += 1,
+            SummaryKind::Builder => self.builder += 1,
+        }
+    }
+
+    /// Total summaries tallied.
+    pub fn total(&self) -> usize {
+        self.gadget + self.accumulator + self.builder
+    }
+}
+
+impl ToJson for KindCounts {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"gadget\":{},\"accumulator\":{},\"builder\":{}}}",
+            self.gadget, self.accumulator, self.builder
+        )
+    }
+}
+
 /// What the quarantine/retry lane did in a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RetryStats {
@@ -161,6 +206,8 @@ pub struct CorpusReport {
     pub spans: Aggregate,
     /// Aggregate outcome taxonomy counts (sum = number of loops).
     pub outcomes: OutcomeCounts,
+    /// Summary-kind tallies (sum = number of summarised loops).
+    pub kinds: KindCounts,
     /// Quarantine/retry-lane accounting (all zero with `retries` = 0).
     pub retries: RetryStats,
     /// Per-strategy tallies of the executed plan (all zero for runs that
@@ -170,10 +217,15 @@ pub struct CorpusReport {
 
 impl CorpusReport {
     /// The `(entry, program)` view used by the coverage/testing figures.
+    /// Closed-form summaries yield `None` here — those figures exercise
+    /// gadget programs specifically.
     pub fn summaries(self) -> Vec<(LoopEntry, Option<Program>)> {
         self.results
             .into_iter()
-            .map(|r| (r.entry, r.program))
+            .map(|r| {
+                let program = r.program().cloned();
+                (r.entry, program)
+            })
             .collect()
     }
 }
@@ -191,13 +243,11 @@ impl CorpusReport {
 /// println!("{} loops", report.results.len());
 /// ```
 ///
-/// The nine-method builder this replaced survives as `#[deprecated]`
-/// shims for one release: `with_config` (the old `new`), plus
-/// `threads` / `cache` / `budget` / `retries` / `reuse_summaries` /
-/// `plan` / `run` / `run_corpus`. `trace`, `fault_plan` and
-/// `persist_costs` stay live — they are harness-side instrumentation
-/// and policy, not request vocabulary, so a wire request can never
-/// carry them.
+/// `trace`, `fault_plan` and `persist_costs` are harness-side
+/// instrumentation and policy, not request vocabulary, so they stay on
+/// the runner — a wire request can never carry them. (The nine-method
+/// builder this design replaced shipped one release of `#[deprecated]`
+/// shims, now removed.)
 #[derive(Debug, Clone)]
 pub struct CorpusRunner {
     cfg: SynthesisConfig,
@@ -260,76 +310,6 @@ impl CorpusRunner {
         }
     }
 
-    /// A runner with `cfg`, all threads, no cache, the default plan
-    /// (serial strategies, cost-ordered dispatch — or fixed cubes when
-    /// `cfg.intra_loop` > 1, preserving the config's historical
-    /// meaning), no tracing, no faults.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use CorpusRunner::new(PlanSpec) and pass the config via RequestSpec::config"
-    )]
-    pub fn with_config(cfg: SynthesisConfig) -> CorpusRunner {
-        let plan = if cfg.intra_loop > 1 {
-            PlanSpec::cubed(cfg.intra_loop)
-        } else {
-            PlanSpec::serial()
-        };
-        CorpusRunner {
-            cfg,
-            threads: default_threads(),
-            cache: false,
-            plan,
-            reuse_summaries: false,
-            trace: None,
-            fault_plan: FaultPlan::new(),
-            persist_costs: false,
-        }
-    }
-
-    /// Worker-thread count (clamped to ≥ 1 at run time).
-    #[deprecated(since = "0.1.0", note = "use RequestSpec::threads")]
-    pub fn threads(mut self, n: usize) -> CorpusRunner {
-        self.threads = n;
-        self
-    }
-
-    /// The execution plan — see [`CorpusRunner::new`], which took over
-    /// this knob.
-    #[deprecated(since = "0.1.0", note = "pass the PlanSpec to CorpusRunner::new")]
-    pub fn plan(mut self, spec: PlanSpec) -> CorpusRunner {
-        self.plan = spec;
-        self
-    }
-
-    /// Enables the cross-loop summary cache (fingerprint grouping with
-    /// mandatory re-verification of every hit).
-    #[deprecated(since = "0.1.0", note = "use RequestSpec::cache")]
-    pub fn cache(mut self, on: bool) -> CorpusRunner {
-        self.cache = on;
-        self
-    }
-
-    /// The unified resource budget every loop runs under. Overrides the
-    /// config's.
-    #[deprecated(
-        since = "0.1.0",
-        note = "set the budget on the SynthesisConfig passed via RequestSpec::config"
-    )]
-    pub fn budget(mut self, budget: Budget) -> CorpusRunner {
-        self.cfg.budget = budget;
-        self
-    }
-
-    /// Quarantine-lane retries for budget-exhausted loops.
-    #[deprecated(
-        since = "0.1.0",
-        note = "set budget.retries on the SynthesisConfig passed via RequestSpec::config"
-    )]
-    pub fn retries(mut self, n: u32) -> CorpusRunner {
-        self.cfg.budget.retries = n;
-        self
-    }
-
     /// Installs a deterministic fault plan (see [`FaultPlan`]): planned
     /// worker panics, forced solver `Unknown`s and expired deadlines,
     /// keyed by loop id. Faults fire only in the main lane — the retry
@@ -361,35 +341,9 @@ impl CorpusRunner {
         self
     }
 
-    /// Load `results/summaries.tsv` when it covers the whole corpus,
-    /// otherwise synthesise once and write it.
-    #[deprecated(since = "0.1.0", note = "use RequestSpec::reuse_summaries")]
-    pub fn reuse_summaries(mut self, on: bool) -> CorpusRunner {
-        self.reuse_summaries = on;
-        self
-    }
-
     /// The effective synthesis configuration.
     pub fn config(&self) -> &SynthesisConfig {
         &self.cfg
-    }
-
-    /// Runs synthesis over `entries`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use CorpusRunner::serve with RequestSpec::loops"
-    )]
-    pub fn run(&self, entries: &[LoopEntry]) -> CorpusReport {
-        self.run_entries(entries)
-    }
-
-    /// Runs over the full built-in corpus.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use CorpusRunner::serve with RequestSpec::corpus"
-    )]
-    pub fn run_corpus(&self) -> CorpusReport {
-        self.run_full_corpus()
     }
 
     /// Runs synthesis over `entries`, honouring every option except
@@ -438,8 +392,8 @@ impl CorpusRunner {
         let retries = self.retry_lane(&entries, &mut results);
         let mut file = fs::File::create(&path).expect("can create summary cache");
         for r in &results {
-            let enc = match &r.program {
-                Some(p) => hex(&p.encode()),
+            let enc = match &r.summary {
+                Some(s) => hex(&s.encode()),
                 None => "-".to_string(),
             };
             writeln!(file, "{}\t{}", r.entry.id, enc).expect("cache write");
@@ -489,7 +443,7 @@ impl CorpusRunner {
             for (&i, r) in idxs.iter().zip(raw) {
                 let r = resolve(&entries[i], r);
                 stats.retried += 1;
-                if r.program.is_some() {
+                if r.summary.is_some() {
                     stats.recovered += 1;
                     strsum_obs::counter(names::RETRY_RECOVERED, "corpus", 1);
                 }
@@ -507,9 +461,13 @@ impl CorpusRunner {
         plan: PlanCounts,
     ) -> CorpusReport {
         let mut outcomes = OutcomeCounts::default();
+        let mut kinds = KindCounts::default();
         for r in &results {
             outcomes.record(&r.outcome);
             strsum_obs::counter(outcome_counter(&r.outcome), "corpus", 1);
+            if let Some(s) = &r.summary {
+                kinds.record(s.kind());
+            }
         }
         let screen = aggregate_screen(&results);
         let telemetry = aggregate_telemetry(&results);
@@ -525,6 +483,7 @@ impl CorpusRunner {
             telemetry,
             spans,
             outcomes,
+            kinds,
             retries,
             plan,
         }
@@ -681,8 +640,8 @@ impl CorpusRunner {
             let result = resolve(&entries[i], result);
             let (fp, _) = fingerprints[i].as_ref().expect("reps have fingerprints");
             assert!(cache.lookup(fp).is_none(), "representative misses");
-            if let Some(p) = &result.program {
-                cache.insert(fp.clone(), p.encode());
+            if let Some(s) = &result.summary {
+                cache.insert(fp.clone(), s.encode());
             }
             slots[i] = Some(result);
         }
@@ -701,7 +660,7 @@ impl CorpusRunner {
                 Err(e) => {
                     slots[i] = Some(LoopSynth {
                         entry: entries[i].clone(),
-                        program: None,
+                        summary: None,
                         elapsed: Duration::ZERO,
                         failure: Some(e.clone()),
                         stats: SynthStats::default(),
@@ -739,12 +698,12 @@ impl CorpusRunner {
                         if !ok {
                             return (None, effort);
                         }
-                        let program =
-                            Program::decode(&bytes).expect("cache holds encoded programs");
+                        let summary =
+                            Summary::decode(&bytes).expect("cache holds encoded summaries");
                         (
                             Some(LoopSynth {
                                 entry: entries[idx].clone(),
-                                program: Some(program),
+                                summary: Some(summary),
                                 elapsed: start.elapsed(),
                                 failure: None,
                                 stats: SynthStats {
@@ -897,11 +856,11 @@ fn record_costs(keys: &[Option<u64>], results: &[LoopSynth], plan: &Plan) {
 }
 
 /// How a fresh-synthesis [`LoopSynth`] resolved, from its structured
-/// stats. Precedence: a program is success (degraded when minimisation
-/// was cut short); no program with a tripped budget is that budget's
-/// exhaustion; anything else is inexpressible in the vocabulary.
-fn classify(stats: &SynthStats, program: bool) -> LoopOutcome {
-    if program {
+/// stats. Precedence: a summary is success (degraded when minimisation
+/// was cut short); no summary with a tripped budget is that budget's
+/// exhaustion; anything else is inexpressible in either lane.
+fn classify(stats: &SynthStats, summarized: bool) -> LoopOutcome {
+    if summarized {
         if stats.degraded {
             LoopOutcome::Degraded
         } else {
@@ -915,11 +874,11 @@ fn classify(stats: &SynthStats, program: bool) -> LoopOutcome {
 }
 
 /// The [`LoopSynth`] recorded for a loop whose worker panicked: no
-/// program, no stats, the panic payload as both failure and outcome.
+/// summary, no stats, the panic payload as both failure and outcome.
 fn crashed(entry: LoopEntry, msg: String) -> LoopSynth {
     LoopSynth {
         entry,
-        program: None,
+        summary: None,
         elapsed: Duration::ZERO,
         failure: Some(msg.clone()),
         stats: SynthStats::default(),
@@ -990,15 +949,15 @@ fn synthesize_body(
     let start = Instant::now();
     match strsum_cfront::compile_one(&entry.source) {
         Ok(func) => {
-            let SynthesisResult { program, stats } = match cancel {
-                None => synthesize(&func, cfg),
-                Some(token) => synthesize_with_cancel(&func, cfg, token),
+            let SummarizeResult { summary, stats } = match cancel {
+                None => summarize_loop(&func, cfg),
+                Some(token) => summarize_loop_with_cancel(&func, cfg, token),
             };
-            span.arg_u64("synthesised", u64::from(program.is_some()));
-            let outcome = classify(&stats, program.is_some());
+            span.arg_u64("synthesised", u64::from(summary.is_some()));
+            let outcome = classify(&stats, summary.is_some());
             LoopSynth {
                 entry,
-                program,
+                summary,
                 elapsed: start.elapsed(),
                 failure: stats.failure.clone(),
                 stats,
@@ -1008,7 +967,7 @@ fn synthesize_body(
         }
         Err(e) => LoopSynth {
             entry,
-            program: None,
+            summary: None,
             elapsed: start.elapsed(),
             failure: Some(format!("does not compile: {e}")),
             stats: SynthStats::default(),
@@ -1151,18 +1110,18 @@ fn load_summaries(path: &std::path::Path, entries: &[LoopEntry]) -> Option<Vec<L
         entries
             .iter()
             .map(|e| {
-                let program = match map[&e.id].as_str() {
+                let summary = match map[&e.id].as_str() {
                     "-" => None,
-                    hexstr => Program::decode(&unhex(hexstr)).ok(),
+                    hexstr => Summary::decode(&unhex(hexstr)).ok(),
                 };
-                let outcome = if program.is_some() {
+                let outcome = if summary.is_some() {
                     LoopOutcome::Summarized
                 } else {
                     LoopOutcome::NotMemoryless
                 };
                 LoopSynth {
                     entry: e.clone(),
-                    program,
+                    summary,
                     elapsed: Duration::ZERO,
                     failure: None,
                     stats: SynthStats::default(),
@@ -1178,33 +1137,34 @@ fn load_summaries(path: &std::path::Path, entries: &[LoopEntry]) -> Option<Vec<L
 mod tests {
     use super::*;
 
-    /// The deprecated shims still compile and layer exactly as the old
-    /// builder did — one release of source compatibility.
+    /// Everything the removed nine-method builder used to configure now
+    /// arrives in exactly two places: the [`PlanSpec`] at construction
+    /// (how to execute) and the [`RequestSpec`] at serve time (what to
+    /// run — config with budget and retries, threads, cache, scope).
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_preserve_old_builder_behaviour() {
-        let runner = CorpusRunner::with_config(SynthesisConfig::default())
-            .budget(Budget::default().with_wall(Duration::from_secs(9)))
-            .retries(2);
-        assert_eq!(runner.cfg.budget.wall, Duration::from_secs(9));
-        assert_eq!(runner.cfg.budget.retries, 2);
-
-        // `with_config` derives the plan from the config's `intra_loop`
-        // knob so pre-planner callers keep their behaviour, and `.plan()`
-        // replaces it wholesale.
-        let runner = CorpusRunner::with_config(SynthesisConfig::default());
-        assert_eq!(runner.plan, PlanSpec::serial());
-
-        let cfg = SynthesisConfig {
-            intra_loop: 4,
-            ..SynthesisConfig::default()
-        };
-        let runner = CorpusRunner::with_config(cfg);
+    fn plan_and_request_cover_the_old_builder_vocabulary() {
+        let runner = CorpusRunner::new(PlanSpec::cubed(4));
         assert_eq!(runner.plan, PlanSpec::cubed(4));
 
-        let runner = CorpusRunner::with_config(SynthesisConfig::default())
-            .plan(PlanSpec::adaptive().corpus_order());
-        assert_eq!(runner.plan, PlanSpec::adaptive().corpus_order());
+        let cfg = SynthesisConfig {
+            budget: strsum_core::Budget {
+                wall: Duration::from_secs(9),
+                retries: 2,
+                ..strsum_core::Budget::default()
+            },
+            ..SynthesisConfig::default()
+        };
+        let report = runner.serve(
+            RequestSpec::loops(vec![])
+                .config(cfg)
+                .threads(1)
+                .cache(true),
+        );
+        assert!(report.results.is_empty());
+        // The runner itself stays immutable: all request knobs die with
+        // the per-call clone.
+        assert!(!runner.cache);
+        assert_eq!(runner.cfg.budget.retries, 0);
     }
 
     /// The new front door: `new` takes the plan, and `serve` applies the

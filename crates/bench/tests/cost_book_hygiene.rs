@@ -37,7 +37,7 @@ fn keyed_runs_leave_the_shared_book_untouched() {
                 .threads(1),
         );
         assert!(
-            report.results[0].program.is_some(),
+            report.results[0].summary.is_some(),
             "the run itself must succeed"
         );
     }

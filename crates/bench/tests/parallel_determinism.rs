@@ -41,8 +41,8 @@ fn assert_byte_identical(serial: &[LoopSynth], other: &[LoopSynth], label: &str)
         if timing_dependent(s) || timing_dependent(p) {
             continue;
         }
-        let a = s.program.as_ref().map(|prog| prog.encode());
-        let b = p.program.as_ref().map(|prog| prog.encode());
+        let a = s.summary.as_ref().map(|s| s.encode());
+        let b = p.summary.as_ref().map(|s| s.encode());
         assert_eq!(
             a, b,
             "{}: serial and {label} synthesised different programs",

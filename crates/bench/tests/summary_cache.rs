@@ -100,7 +100,7 @@ fn semantically_identical_loops_hit_the_cache() {
     assert_eq!(results.len(), 3);
     let progs: Vec<_> = results
         .iter()
-        .map(|r| r.program.as_ref().expect("all three synthesise").encode())
+        .map(|r| r.summary.as_ref().expect("all three synthesise").encode())
         .collect();
     assert_eq!(progs[0], progs[1], "clone reuses the cached summary");
     assert!(!results[0].cache_hit, "representative is synthesised");

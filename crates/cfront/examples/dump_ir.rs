@@ -1,0 +1,30 @@
+//! Print the IR cfront emits for a spread of accumulator-loop shapes.
+//!
+//! Useful when extending `strsum-core`'s recurrence lane: the extractor
+//! in `core::recur` pattern-matches this IR (header phis, back-edge
+//! commits, exit resolution), so seeing the exact instruction stream for
+//! a new loop shape is the first debugging step.
+//!
+//! ```text
+//! cargo run -p strsum-cfront --example dump_ir
+//! ```
+
+fn main() {
+    let srcs = [
+        ("counter", "int loopFunction(char* s) { int n = 0; while (*s) { n = n + 1; s = s + 1; } return n; }"),
+        ("atoi", "int loopFunction(char* s) { int v = 0; while (isdigit(*s)) { v = v * 10 + (*s - '0'); s = s + 1; } return v; }"),
+        ("cond_count", "int loopFunction(char* s) { int n = 0; while (*s) { if (*s == ' ') n = n + 1; s = s + 1; } return n; }"),
+        ("upper_ret_start", "char* loopFunction(char* s) { char* p = s; while (*p) { *p = toupper(*p); p = p + 1; } return s; }"),
+        ("lower_ret_end", "char* loopFunction(char* s) { while (*s) { *s = tolower(*s); s = s + 1; } return s; }"),
+        ("skip_digits", "char* loopFunction(char* s) { while (isdigit(*s)) { s = s + 1; } return s; }"),
+        ("long_counter", "long loopFunction(char* s) { long n = 0; while (*s) { n = n + 1; s = s + 1; } return n; }"),
+        ("incr_forms", "int loopFunction(char* s) { int n = 0; while (*s) { n++; s++; } return n; }"),
+    ];
+    for (name, src) in srcs {
+        println!("=== {name} ===");
+        match strsum_cfront::compile_one(src) {
+            Ok(f) => println!("{}", strsum_ir::printer::print(&f)),
+            Err(e) => println!("ERROR: {e:?}"),
+        }
+    }
+}

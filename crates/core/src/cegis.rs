@@ -55,6 +55,14 @@ pub struct SynthesisConfig {
     /// ablation baseline. Either setting explores byte-identical path
     /// sets and synthesises byte-identical summaries.
     pub theory_fast_path: bool,
+    /// Recurrence lane (the default): when gadget CEGIS concludes a loop
+    /// is inexpressible without exhausting a budget,
+    /// [`crate::recur::summarize_loop`] tries to extract and verify an
+    /// accumulator/builder closed form before classifying the loop
+    /// `NotMemoryless`. When false the lane never runs — the gadget
+    /// fragment's behaviour is byte-identical either way, because the lane
+    /// only fires after gadget synthesis has already failed.
+    pub recur_lane: bool,
 }
 
 impl Default for SynthesisConfig {
@@ -72,6 +80,7 @@ impl Default for SynthesisConfig {
             screen: true,
             intra_loop: 1,
             theory_fast_path: true,
+            recur_lane: true,
         }
     }
 }
@@ -145,6 +154,57 @@ pub fn synthesize_with_cancel(
     cancel: crate::budget::CancelToken,
 ) -> SynthesisResult {
     let start = Instant::now();
+    // Not a string loop at all: neither lane applies without a single
+    // `char*` parameter. Refused with the symbolic engine's message, so
+    // the classification predates (and survives) the recurrence lane.
+    if func.params.len() != 1 || func.params[0].1 != strsum_ir::Ty::Ptr {
+        return SynthesisResult {
+            program: None,
+            stats: SynthStats {
+                failure: Some(format!("{} does not take a single pointer", func.name)),
+                elapsed: start.elapsed(),
+                ..SynthStats::default()
+            },
+        };
+    }
+    // Gadget programs denote `char* → char*` functions; the bounded
+    // checker's original-loop term is only meaningful for pointer-returning
+    // loops (an integer-returning loop would encode as Invalid on every
+    // path and could vacuously "equal" an always-Invalid candidate). Such
+    // loops are inexpressible here by construction — fail immediately, with
+    // no budget charged, so the recurrence lane can take over.
+    if func.ret_ty != Some(strsum_ir::Ty::Ptr) {
+        return SynthesisResult {
+            program: None,
+            stats: SynthStats {
+                failure: Some(format!(
+                    "{}: loop does not return a pointer into its input",
+                    func.name
+                )),
+                elapsed: start.elapsed(),
+                ..SynthStats::default()
+            },
+        };
+    }
+    // Same blind spot on the effect side: the checker compares returned
+    // offsets only, so a loop that *writes* the buffer could "equal" a
+    // pure scan. Store-ful loops are outside the gadget fragment. (Scan
+    // reachable instructions — the arena also holds dead pre-mem2reg
+    // stores that no block references.)
+    if func.blocks.iter().any(|b| {
+        b.instrs
+            .iter()
+            .any(|&iid| matches!(func.instr(iid), strsum_ir::Instr::Store { .. }))
+    }) {
+        return SynthesisResult {
+            program: None,
+            stats: SynthStats {
+                failure: Some(format!("{}: loop writes to memory", func.name)),
+                elapsed: start.elapsed(),
+                ..SynthStats::default()
+            },
+        };
+    }
     match SynthSession::with_cancel(func, cfg.clone(), cancel) {
         Ok(mut session) => session.run_size(cfg.max_prog_size, cfg.budget.wall),
         Err(e) => SynthesisResult {

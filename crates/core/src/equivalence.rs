@@ -207,7 +207,7 @@ impl BoundedChecker {
 /// Constrains a symbolic buffer to canonical form: every byte after the
 /// first NUL is NUL. Strings of length k are then represented uniquely,
 /// and out-of-string reads behave identically in the loop and the summary.
-fn canonical_buffer_constraints(pool: &mut TermPool, chars: &[TermId]) -> Vec<TermId> {
+pub(crate) fn canonical_buffer_constraints(pool: &mut TermPool, chars: &[TermId]) -> Vec<TermId> {
     let zero = pool.bv_const(0, 8);
     let mut out = Vec::new();
     for w in chars.windows(2) {
@@ -218,25 +218,44 @@ fn canonical_buffer_constraints(pool: &mut TermPool, chars: &[TermId]) -> Vec<Te
     out
 }
 
-/// Re-verifies a summary (encoded program bytes, e.g. a cross-loop cache
-/// hit) against `func`, returning whether it is bounded-equivalent and
-/// the solver effort spent deciding that.
+/// Re-verifies a summary (encoded bytes of *either kind* — a gadget
+/// program or a [`crate::recur::ClosedForm`], e.g. a cross-loop cache or
+/// store hit) against `func`, returning whether it is bounded-equivalent
+/// and the solver effort spent deciding that.
 ///
-/// The bytes are first screened concretely on the loop's small-model
+/// Gadget bytes are first screened concretely on the loop's small-model
 /// grid ([`crate::screen::ConcreteScreen`]) — a visibly wrong summary is
 /// rejected with zero solver queries. A summary is *accepted* only by
-/// the full bounded checker: the grid is finite, so passing it proves
-/// nothing, and the small-model theorem remains the sole soundness root.
-/// Undecodable bytes and loops the checker cannot explore are rejected.
+/// the full bounded machinery (the [`BoundedChecker`] for gadget
+/// programs, [`crate::recur::verify_closed_form`] for closed forms): the
+/// grid is finite, so passing it proves nothing, and the small-model
+/// theorem remains the sole soundness root. Undecodable bytes and loops
+/// the checker cannot explore are rejected.
 pub fn verify_summary(
     func: &strsum_ir::Func,
     bytes: &[u8],
     max_ex_size: usize,
 ) -> (bool, strsum_smt::SessionStats) {
     let no_effort = strsum_smt::SessionStats::default();
-    let Ok(prog) = Program::decode(bytes) else {
-        return (false, no_effort);
+    let prog = match crate::recur::Summary::decode(bytes) {
+        Ok(crate::recur::Summary::Gadget(p)) => p,
+        Ok(sum) => {
+            // Closed-form summary: discharge through the recurrence lane's
+            // bounded checker (same engine, same canonical constraints).
+            let _span = strsum_obs::span("corpus.reverify", "verify");
+            let cf = sum.closed_form().expect("non-gadget summary");
+            return match crate::recur::verify_closed_form(func, cf, max_ex_size) {
+                Ok(stats) => (true, stats),
+                Err(_) => (false, no_effort),
+            };
+        }
+        Err(_) => return (false, no_effort),
     };
+    // A gadget summary denotes a `char* → char*` function; on a loop of a
+    // different shape the checker's original-loop term would be vacuous.
+    if func.ret_ty != Some(strsum_ir::Ty::Ptr) {
+        return (false, no_effort);
+    }
     let _span = strsum_obs::span("corpus.reverify", "verify");
     let mut oracle = LoopOracle::new(func);
     let mut screen = crate::screen::ConcreteScreen::new(&mut oracle, max_ex_size);

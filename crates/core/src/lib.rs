@@ -41,6 +41,7 @@ pub mod deepening;
 pub mod equivalence;
 pub mod memoryless;
 pub mod oracle;
+pub mod recur;
 pub mod screen;
 pub mod session;
 pub mod theory;
@@ -56,6 +57,10 @@ pub use deepening::{synthesize_deepening, DeepeningConfig};
 pub use equivalence::{check_equivalence, verify_summary, EquivalenceResult};
 pub use memoryless::{check_memoryless, Direction, MemorylessReport};
 pub use oracle::{LoopOracle, OracleOutcome};
+pub use recur::{
+    summarize_loop, summarize_loop_with_cancel, verify_closed_form, CfValue, ClosedForm,
+    SummarizeResult, Summary, SummaryKind, CLOSED_FORM_TAG,
+};
 pub use screen::{loop_alphabet, loop_fingerprint, ConcreteScreen, ScreenStats, ScreenVerdict};
 pub use session::{SolverTelemetry, SynthSession};
 pub use theory::{MemorylessSpec, OffsetSpec};

@@ -1,0 +1,184 @@
+//! Differential testing of the recurrence lane (satellite of the
+//! accumulator-summaries PR): every closed form the lane synthesises for
+//! the stateful corpus must agree with the IR interpreter — the ground
+//! truth the bounded verifier also checks against — on randomised
+//! inputs, including the empty string and strings long enough to wrap
+//! the accumulator width.
+//!
+//! The bounded verifier discharges equivalence up to `max_ex_size`;
+//! these tests cross-check far beyond that bound (up to 96 bytes, deep
+//! into i32 overflow for the fold families) with an independent
+//! executable semantics.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use strsum_core::{summarize_loop, CfValue, ClosedForm, Summary, SynthesisConfig};
+use strsum_ir::interp::{Interp, Memory};
+use strsum_ir::{Func, RtVal};
+
+/// One summarised stateful loop: its IR plus the lane's closed form.
+struct Subject {
+    id: String,
+    func: Func,
+    cf: ClosedForm,
+}
+
+/// Compiles and summarises every stateful-corpus loop once; panics if
+/// any fails to yield a closed form (the PR's acceptance criterion).
+fn subjects() -> &'static Vec<Subject> {
+    static SUBJECTS: OnceLock<Vec<Subject>> = OnceLock::new();
+    SUBJECTS.get_or_init(|| {
+        let cfg = SynthesisConfig::default();
+        strsum_corpus::stateful_corpus()
+            .into_iter()
+            .map(|entry| {
+                let func = strsum_cfront::compile_one(&entry.source)
+                    .unwrap_or_else(|e| panic!("{}: does not compile: {e}", entry.id));
+                let r = summarize_loop(&func, &cfg);
+                let cf = match r.summary {
+                    Some(Summary::Accumulator(cf) | Summary::Builder(cf)) => cf,
+                    other => panic!(
+                        "{}: expected a closed form, got {other:?} ({:?})",
+                        entry.id, r.stats.failure
+                    ),
+                };
+                Subject {
+                    id: entry.id,
+                    func,
+                    cf,
+                }
+            })
+            .collect()
+    })
+}
+
+/// Runs `func` on a NUL-terminated copy of `s` under the IR interpreter
+/// and renders the result in the closed-form value domain.
+fn interpret(func: &Func, s: &[u8]) -> CfValue {
+    let mut mem = Memory::new();
+    let obj = mem.alloc_cstr(s);
+    let ret = Interp::new(func, &mut mem)
+        .run(&[RtVal::Ptr { obj, off: 0 }])
+        .expect("stateful corpus loops terminate on NUL-terminated input")
+        .expect("loop functions return a value");
+    match ret {
+        RtVal::Int(v) => CfValue::Int(v),
+        RtVal::Ptr { obj: o, off } => {
+            assert_eq!(o, obj, "loop returned a foreign pointer");
+            let off = usize::try_from(off).expect("offset into the input");
+            // A pointer return from a store-ful loop is a builder result:
+            // compare the rewritten buffer too (minus the implicit NUL).
+            let bytes = mem.bytes(obj);
+            assert_eq!(*bytes.last().unwrap(), 0, "terminator survives");
+            CfValue::Mem {
+                bytes: bytes[..bytes.len() - 1].to_vec(),
+                ret: off,
+            }
+        }
+        RtVal::Null => panic!("unexpected NULL return"),
+    }
+}
+
+/// The closed-form value a pure accumulator family should be compared
+/// under: `Mem` from the interpreter collapses to `Ptr`/`Int` shape per
+/// family, so normalise the *closed form's* output instead — a fold
+/// yields `Int`, a scan yields `Ptr` (lifted to `Mem` with the input
+/// unchanged), a map yields `Mem` directly.
+fn eval_cf(cf: &ClosedForm, s: &[u8]) -> CfValue {
+    match cf.eval(s) {
+        CfValue::Ptr(n) => CfValue::Mem {
+            bytes: s.to_vec(),
+            ret: n,
+        },
+        v => v,
+    }
+}
+
+/// NUL-free C-string contents; lengths through 96 reach deep into i32
+/// wrap-around for the fold families (djb2 overflows within 6 bytes).
+fn any_contents() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(1u8..=255, 0..96)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every stateful-corpus closed form agrees with the interpreter.
+    #[test]
+    fn closed_forms_agree_with_the_interpreter(s in any_contents()) {
+        for subject in subjects() {
+            let got = eval_cf(&subject.cf, &s);
+            let want = interpret(&subject.func, &s);
+            prop_assert_eq!(
+                &got, &want,
+                "{}: closed form {} diverges on {:?}",
+                &subject.id, &subject.cf, &s
+            );
+        }
+    }
+
+    /// The `Scan` family — not synthesised for the stateful corpus, but
+    /// part of the closed-form vocabulary — agrees with a compiled scan
+    /// loop on the returned offset.
+    #[test]
+    fn scan_family_agrees_with_a_compiled_scan(s in any_contents()) {
+        static SCAN: OnceLock<Func> = OnceLock::new();
+        let func = SCAN.get_or_init(|| {
+            strsum_cfront::compile_one(
+                "char* f(char* s) { while (*s == ' ' || *s == '\\t') s = s + 1; return s; }",
+            )
+            .unwrap()
+        });
+        let cf = ClosedForm::Scan { cont: vec![b'\t', b' '] };
+        let want = interpret(func, &s);
+        prop_assert_eq!(eval_cf(&cf, &s), want);
+    }
+}
+
+/// The empty string is the base case of every recurrence: folds return
+/// `init`, builders return an untouched buffer at offset 0 (or the end,
+/// which is also 0).
+#[test]
+fn empty_string_is_the_recurrence_base_case() {
+    for subject in subjects() {
+        let got = eval_cf(&subject.cf, b"");
+        let want = interpret(&subject.func, b"");
+        assert_eq!(got, want, "{}: diverges on the empty string", subject.id);
+        if let ClosedForm::Fold { init, width, .. } = &subject.cf {
+            let ty = if *width == 64 {
+                strsum_ir::Ty::I64
+            } else {
+                strsum_ir::Ty::I32
+            };
+            assert_eq!(
+                got,
+                CfValue::Int(strsum_ir::interp::norm(*init, ty)),
+                "{}: empty input must yield the initial accumulator",
+                subject.id
+            );
+        }
+    }
+}
+
+/// Deterministic overflow edge: a long high-byte input wraps every
+/// 32-bit fold well past `i32::MAX`, and the closed form must wrap the
+/// same way the interpreter's typed arithmetic does.
+#[test]
+fn folds_wrap_exactly_like_the_interpreter() {
+    let long = vec![0xffu8; 80];
+    let mut exercised = 0;
+    for subject in subjects() {
+        if !matches!(subject.cf, ClosedForm::Fold { .. }) {
+            continue;
+        }
+        let got = eval_cf(&subject.cf, &long);
+        let want = interpret(&subject.func, &long);
+        assert_eq!(got, want, "{}: diverges under overflow", subject.id);
+        exercised += 1;
+    }
+    assert!(
+        exercised >= 5,
+        "expected several fold subjects, got {exercised}"
+    );
+}

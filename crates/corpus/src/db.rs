@@ -530,6 +530,86 @@ pub fn corpus() -> Vec<LoopEntry> {
     b.entries
 }
 
+/// The stateful companion corpus: accumulator and builder loops that fail
+/// the memoryless screen by construction (they carry an integer fold across
+/// iterations, or write the buffer as they scan) and therefore resolve as
+/// `NotMemoryless` under the gadget lane alone. The recurrence lane of
+/// `strsum-core` is expected to summarise them with verified closed forms.
+///
+/// These are deliberately *not* part of [`corpus`]: the paper's Table 3
+/// invariants (115 loops over 13 applications) must not shift. All entries
+/// use [`App::External`] and `acc_NN` identifiers.
+pub fn stateful_corpus() -> Vec<LoopEntry> {
+    let mk = |n: usize, description: &str, source: &str| LoopEntry {
+        id: format!("acc_{n:02}"),
+        app: App::External,
+        description: description.to_string(),
+        source: source.to_string(),
+    };
+    vec![
+        mk(
+            1,
+            "strlen as an int counter",
+            "int loopFunction(char* s) {\n    int n = 0;\n    while (*s) {\n        n = n + 1;\n        s = s + 1;\n    }\n    return n;\n}\n",
+        ),
+        mk(
+            2,
+            "count of leading digits",
+            "int loopFunction(char* s) {\n    int n = 0;\n    while (isdigit(*s)) {\n        n = n + 1;\n        s = s + 1;\n    }\n    return n;\n}\n",
+        ),
+        mk(
+            3,
+            "byte sum of the string",
+            "int loopFunction(char* s) {\n    int t = 0;\n    while (*s) {\n        t = t + *s;\n        s = s + 1;\n    }\n    return t;\n}\n",
+        ),
+        mk(
+            4,
+            "djb2-style rolling hash",
+            "int loopFunction(char* s) {\n    int h = 5381;\n    while (*s) {\n        h = h * 33 + *s;\n        s = s + 1;\n    }\n    return h;\n}\n",
+        ),
+        mk(
+            5,
+            "atoi digit fold",
+            "int loopFunction(char* s) {\n    int v = 0;\n    while (isdigit(*s)) {\n        v = v * 10 + (*s - '0');\n        s = s + 1;\n    }\n    return v;\n}\n",
+        ),
+        mk(
+            6,
+            "geometric growth per character",
+            "int loopFunction(char* s) {\n    int x = 1;\n    while (*s) {\n        x = x * 2;\n        s = s + 1;\n    }\n    return x;\n}\n",
+        ),
+        mk(
+            7,
+            "count of spaces seen",
+            "int loopFunction(char* s) {\n    int n = 0;\n    while (*s) {\n        if (*s == ' ')\n            n = n + 1;\n        s = s + 1;\n    }\n    return n;\n}\n",
+        ),
+        mk(
+            8,
+            "strlen as a long counter",
+            "long loopFunction(char* s) {\n    long n = 0;\n    while (*s) {\n        n = n + 1;\n        s = s + 1;\n    }\n    return n;\n}\n",
+        ),
+        mk(
+            9,
+            "in-place upcase returning the start",
+            "char* loopFunction(char* s) {\n    char* p = s;\n    while (*p) {\n        *p = toupper(*p);\n        p = p + 1;\n    }\n    return s;\n}\n",
+        ),
+        mk(
+            10,
+            "space-to-underscore rewrite returning the end",
+            "char* loopFunction(char* s) {\n    while (*s) {\n        if (*s == ' ')\n            *s = '_';\n        s = s + 1;\n    }\n    return s;\n}\n",
+        ),
+        mk(
+            11,
+            "in-place downcase returning the end",
+            "char* loopFunction(char* s) {\n    while (*s) {\n        *s = tolower(*s);\n        s = s + 1;\n    }\n    return s;\n}\n",
+        ),
+        mk(
+            12,
+            "alnum prefix length",
+            "int loopFunction(char* s) {\n    int n = 0;\n    while (isalnum(*s)) {\n        n = n + 1;\n        s = s + 1;\n    }\n    return n;\n}\n",
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -558,6 +638,31 @@ mod tests {
                 "{} lacks the extraction signature",
                 e.id
             );
+        }
+    }
+
+    #[test]
+    fn stateful_corpus_is_external_with_distinct_ids() {
+        let s = stateful_corpus();
+        assert!(s.len() >= 12, "stateful corpus unexpectedly small");
+        assert!(s.iter().all(|e| e.app == App::External));
+        let mut ids: Vec<&str> = s.iter().map(|e| e.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), s.len(), "duplicate stateful ids");
+        let table3: std::collections::HashSet<String> =
+            corpus().into_iter().map(|e| e.id).collect();
+        assert!(
+            s.iter().all(|e| !table3.contains(&e.id)),
+            "stateful ids must not collide with the Table 3 corpus"
+        );
+    }
+
+    #[test]
+    fn every_stateful_loop_compiles() {
+        for e in stateful_corpus() {
+            strsum_cfront::compile_one(&e.source)
+                .unwrap_or_else(|err| panic!("{} fails to compile: {err:?}", e.id));
         }
     }
 }

@@ -27,13 +27,13 @@ pub use cache::{
     fingerprint_hash, CacheStats, CostBook, CostStat, RecordedOutcome, RecordedStrategy,
     SummaryCache, COST_BOOK_HEADER,
 };
-pub use plan::{
-    cube_tier, ljf_order, loop_features, CostModel, ExecutionPlanner, LoopFeatures, LoopPlan,
-    Plan, PlanCounts, Strategy,
-};
-pub use db::{corpus, App, LoopEntry, APPS};
+pub use db::{corpus, stateful_corpus, App, LoopEntry, APPS};
 pub use filter::{filter_report, passes_automatic_filters, FilterStage};
 pub use manual::{manual_category, ManualCategory};
+pub use plan::{
+    cube_tier, ljf_order, loop_features, CostModel, ExecutionPlanner, LoopFeatures, LoopPlan, Plan,
+    PlanCounts, Strategy,
+};
 pub use population::{generate_population, PopulationLoop, POPULATION_SPEC};
 
 #[cfg(test)]

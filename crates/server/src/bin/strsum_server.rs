@@ -15,9 +15,7 @@ use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 use strsum_core::SynthesisConfig;
-use strsum_server::{
-    serve_unix_socket, Daemon, Engine, SchedOptions, DEFAULT_IDLE_TIMEOUT,
-};
+use strsum_server::{serve_unix_socket, Daemon, Engine, SchedOptions, DEFAULT_IDLE_TIMEOUT};
 
 #[derive(Debug)]
 struct Args {

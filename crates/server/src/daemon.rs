@@ -354,7 +354,9 @@ mod tests {
             let daemon = Arc::clone(&daemon);
             let sock = sock.clone();
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || serve_unix_socket(&daemon, &sock, &stop, DEFAULT_IDLE_TIMEOUT))
+            std::thread::spawn(move || {
+                serve_unix_socket(&daemon, &sock, &stop, DEFAULT_IDLE_TIMEOUT)
+            })
         };
         while !sock.exists() {
             std::thread::sleep(std::time::Duration::from_millis(5));
@@ -420,10 +422,18 @@ mod tests {
         let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
         let mut w = &stream;
         // One served request proves the connection is live...
-        writeln!(w, "{}", encode_frame(&Frame::Summary(SummaryRequest::c("live", SKIP)))).unwrap();
+        writeln!(
+            w,
+            "{}",
+            encode_frame(&Frame::Summary(SummaryRequest::c("live", SKIP)))
+        )
+        .unwrap();
         let mut line = String::new();
         reader.read_line(&mut line).unwrap();
-        assert!(matches!(decode_frame(line.trim()).unwrap(), Frame::Response(_)));
+        assert!(matches!(
+            decode_frame(line.trim()).unwrap(),
+            Frame::Response(_)
+        ));
         // ...then silence: the server closes the connection (EOF on our
         // side) once the idle budget runs out.
         line.clear();
@@ -468,10 +478,8 @@ mod tests {
         for workers in [1usize, 2, 4] {
             let dir = test_dir(&format!("det{workers}"));
             let engine = Engine::open(&dir, 2, SynthesisConfig::default()).unwrap();
-            let daemon = Daemon::with_options(
-                Arc::new(engine),
-                SchedOptions::scheduled(workers).cores(1),
-            );
+            let daemon =
+                Daemon::with_options(Arc::new(engine), SchedOptions::scheduled(workers).cores(1));
             let responses = daemon.submit(requests("w"));
             runs.push(responses.into_iter().map(normalized).collect());
             daemon.shutdown().unwrap();

@@ -36,11 +36,11 @@ use std::time::Instant;
 
 use strsum_api::{Cost, Origin, PlanMode, SourceSpec, SummaryRequest, SummaryResponse};
 use strsum_core::{
-    loop_fingerprint, synthesize, verify_summary, LoopOutcome, SynthesisConfig, SynthesisResult,
+    loop_fingerprint, summarize_loop, verify_summary, LoopOutcome, SummarizeResult, Summary,
+    SynthesisConfig,
 };
 use strsum_corpus::plan::{loop_features, CostModel, LoopFeatures};
 use strsum_corpus::{fingerprint_hash, CostBook, CostStat, RecordedOutcome, RecordedStrategy};
-use strsum_gadgets::Program;
 use strsum_obs::names;
 
 use crate::store::ShardedStore;
@@ -92,9 +92,7 @@ impl CostEstimate {
     /// The predicted wall microseconds, when there is one.
     pub fn micros(self) -> Option<u64> {
         match self {
-            CostEstimate::CappedRow(m) | CostEstimate::Row(m) | CostEstimate::Modeled(m) => {
-                Some(m)
-            }
+            CostEstimate::CappedRow(m) | CostEstimate::Row(m) | CostEstimate::Modeled(m) => Some(m),
             CostEstimate::Unknown => None,
         }
     }
@@ -424,6 +422,15 @@ impl Engine {
                     self.store_hits.fetch_add(1, Ordering::Relaxed);
                     strsum_obs::counter(names::STORE_HIT, "server", 1);
                     let mut resp = SummaryResponse::new(req.id.clone(), LoopOutcome::CacheHit);
+                    // Surface the lane on the wire for closed-form hits;
+                    // gadget hits keep the fields omitted (v1-compatible,
+                    // `summary_kind()` derives Gadget).
+                    if let Ok(summary) = Summary::decode(&bytes) {
+                        if summary.closed_form().is_some() {
+                            resp.kind = Some(summary.kind());
+                            resp.closed_form = Some(bytes.clone());
+                        }
+                    }
                     resp.summary = Some(bytes);
                     resp.origin = Origin::Store;
                     resp.reverified = true;
@@ -448,12 +455,13 @@ impl Engine {
         strsum_obs::counter(names::STORE_MISS, "server", 1);
 
         // 5. Fresh synthesis under the request budget, classified
-        //    exactly as the batch runner classifies it.
+        //    exactly as the batch runner classifies it. Both lanes run:
+        //    the gadget fragment first, then the recurrence lane for
+        //    stateful loops the memoryless screen rejects.
         let synth_start = Instant::now();
-        let SynthesisResult { program, stats } = synthesize(&func, &cfg);
-        let synth_micros =
-            u64::try_from(synth_start.elapsed().as_micros()).unwrap_or(u64::MAX);
-        let outcome = if program.is_some() {
+        let SummarizeResult { summary, stats } = summarize_loop(&func, &cfg);
+        let synth_micros = u64::try_from(synth_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let outcome = if summary.is_some() {
             if stats.degraded {
                 LoopOutcome::Degraded
             } else {
@@ -495,12 +503,17 @@ impl Engine {
         resp.failure = stats.failure.clone();
         resp.telemetry = Some(stats.solver);
         resp.cost.conflicts = stats.solver.total().conflicts;
-        if let Some(program) = &program {
-            let bytes = program.encode();
-            // 7. Publish. Verified fresh summaries enter the store so
-            //    the next request with this fingerprint hits.
+        if let Some(summary) = &summary {
+            let bytes = summary.encode();
+            // 7. Publish. Verified fresh summaries — gadget programs and
+            //    closed forms alike — enter the store so the next request
+            //    with this fingerprint hits.
             if req.flags.store {
                 let _ = self.store.insert(fp, bytes.clone());
+            }
+            if summary.closed_form().is_some() {
+                resp.kind = Some(summary.kind());
+                resp.closed_form = Some(bytes.clone());
             }
             resp.summary = Some(bytes);
         }
@@ -511,7 +524,10 @@ impl Engine {
     /// improve mid-run), the fresh book (merged to disk on shutdown),
     /// and — when trusted — the model's training window.
     fn record_cost(&self, key: u64, features: &LoopFeatures, stat: CostStat) {
-        self.fresh.lock().expect("fresh cost book lock").record(key, stat);
+        self.fresh
+            .lock()
+            .expect("fresh cost book lock")
+            .record(key, stat);
         self.book.write().expect("cost book lock").record(key, stat);
         self.costs_recorded.fetch_add(1, Ordering::Relaxed);
         if stat.trusted() {
@@ -536,10 +552,11 @@ impl Engine {
     }
 }
 
-/// Decodes stored summary bytes for audits; `None` when undecodable
-/// (which the engine treats as any other re-verification failure).
-pub fn decode_summary(bytes: &[u8]) -> Option<Program> {
-    Program::decode(bytes).ok()
+/// Decodes stored summary bytes for audits — gadget programs and
+/// closed forms alike; `None` when undecodable (which the engine treats
+/// as any other re-verification failure).
+pub fn decode_summary(bytes: &[u8]) -> Option<Summary> {
+    Summary::decode(bytes).ok()
 }
 
 #[cfg(test)]
@@ -679,6 +696,50 @@ mod tests {
         let second = engine.handle(&req);
         assert_eq!(second.origin, Origin::Fresh, "no store, no hit");
         assert_eq!(second.summary, first.summary, "determinism regardless");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// An accumulator loop — rejected by the memoryless screen — is
+    /// summarised by the recurrence lane, served with the lane surfaced
+    /// on the wire, published to the store, and re-verified on the hit
+    /// exactly like a gadget summary.
+    #[test]
+    fn accumulator_loop_served_with_kind_and_store_hit() {
+        let dir = tmp_dir("recur");
+        let engine = Engine::open(&dir, 2, SynthesisConfig::default()).unwrap();
+        let src = "int loopFunction(char* s) {\n  int n = 0;\n  while (*s) { n = n + 1; s = s + 1; }\n  return n;\n}\n";
+
+        let first = engine.handle(&SummaryRequest::c("a1", src));
+        assert_eq!(
+            first.outcome,
+            LoopOutcome::Summarized,
+            "{:?}",
+            first.failure
+        );
+        assert_eq!(first.origin, Origin::Fresh);
+        assert_eq!(
+            first.summary_kind(),
+            Some(strsum_core::SummaryKind::Accumulator)
+        );
+        assert_eq!(
+            first.closed_form, first.summary,
+            "closed form is the payload"
+        );
+        let summary = decode_summary(first.summary.as_ref().unwrap()).expect("decodable");
+        assert!(summary.closed_form().is_some());
+
+        let second = engine.handle(&SummaryRequest::c("a2", src));
+        assert_eq!(second.outcome, LoopOutcome::CacheHit);
+        assert_eq!(second.origin, Origin::Store);
+        assert!(second.reverified, "closed-form hits re-verify like gadgets");
+        assert_eq!(second.summary, first.summary, "byte-identical");
+        assert_eq!(
+            second.summary_kind(),
+            Some(strsum_core::SummaryKind::Accumulator)
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.store_hits, 1);
+        assert_eq!(stats.reverified, stats.store_hits + stats.rejected);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

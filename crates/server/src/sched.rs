@@ -163,7 +163,9 @@ struct Job {
 /// A prepared task waiting in the cost-ordered heap. Orders by the LJF
 /// policy; `BinaryHeap` is a max-heap, so `Ord::Greater` pops first.
 struct HeapItem {
-    task: PreparedTask,
+    /// Boxed: the task owns the compiled IR, and heap sifts (and the
+    /// `Work` enum) should move a pointer, not half a kilobyte.
+    task: Box<PreparedTask>,
     index: usize,
     reply: Sender<(usize, SummaryResponse)>,
     /// LJF band: 3 capped, 2 unknown, 1 trusted/modeled, 0 bulk.
@@ -405,7 +407,7 @@ fn run_raw(shared: &Shared, job: Job) {
             let (band, wall) = ljf_band(&task);
             let mut st = shared.state.lock().expect("scheduler lock");
             st.heap.push(HeapItem {
-                task,
+                task: Box::new(task),
                 index,
                 reply,
                 band,
@@ -436,7 +438,7 @@ fn run_heavy(shared: &Shared, item: HeapItem) {
         shared.cubed.fetch_add(1, Ordering::Relaxed);
         strsum_obs::counter(names::SCHED_CUBED, "server", 1);
     }
-    let resp = shared.engine.finish(item.task, cubes);
+    let resp = shared.engine.finish(*item.task, cubes);
     if extra > 0 {
         shared.spare.fetch_add(extra as isize, Ordering::SeqCst);
     }
@@ -528,7 +530,10 @@ mod tests {
         (Arc::new(engine), dir)
     }
 
-    fn drain(n: usize, done: std::sync::mpsc::Receiver<(usize, SummaryResponse)>) -> Vec<SummaryResponse> {
+    fn drain(
+        n: usize,
+        done: std::sync::mpsc::Receiver<(usize, SummaryResponse)>,
+    ) -> Vec<SummaryResponse> {
         let mut slots: Vec<Option<SummaryResponse>> = (0..n).map(|_| None).collect();
         for (index, resp) in done {
             slots[index] = Some(resp);
@@ -552,7 +557,10 @@ mod tests {
         for (i, resp) in responses.iter().enumerate() {
             assert_eq!(resp.id, format!("s{i}"), "slotted by admission index");
             assert!(
-                matches!(resp.outcome, LoopOutcome::Summarized | LoopOutcome::CacheHit),
+                matches!(
+                    resp.outcome,
+                    LoopOutcome::Summarized | LoopOutcome::CacheHit
+                ),
                 "s{i}: {:?}",
                 resp.outcome
             );
@@ -607,9 +615,7 @@ mod tests {
     fn heap_rank_follows_the_ljf_policy() {
         // Band beats wall beats admission order; within a band, larger
         // predicted wall first; within a tie, earlier admission first.
-        let mk = |band: u8, wall: u64, seq: u64| {
-            (band, wall, std::cmp::Reverse(seq))
-        };
+        let mk = |band: u8, wall: u64, seq: u64| (band, wall, std::cmp::Reverse(seq));
         let capped = mk(3, 10, 5);
         let unknown = mk(2, 0, 9);
         let trusted_big = mk(1, 1_000_000, 7);

@@ -14,28 +14,105 @@
 //! mapped to [`UNSAFE_SENTINEL`].
 
 use crate::engine::NULL_SENTINEL;
-use strsum_ir::interp::{run_loop_function, run_loop_function_null};
-use strsum_ir::Func;
+use strsum_ir::interp::{Interp, Memory};
+use strsum_ir::{Func, RtVal};
 
 /// 64-bit sentinel for an unsafe execution (out-of-bounds read, NULL
 /// dereference, non-termination budget, foreign pointer). Matches
 /// `strsum_gadgets::symbolic::INVALID_SENTINEL`.
 pub const UNSAFE_SENTINEL: u64 = 0xffff_ffff_ffff_fff3;
 
+/// Tag bit for integer-return outcomes. Offsets are bounded by the grid
+/// string length and sentinels have bit 63 set, so `[2^62, 2^63)` is
+/// free for the accumulator lane's outcome domain.
+const INT_TAG: u64 = 1 << 62;
+
+/// Tag bit for mutated-memory (builder) outcomes: bit 63 set, bit 62
+/// clear, so the range `[2^63, 2^63 + 2^62)` is disjoint from offsets,
+/// integer outcomes, and the (high-bits-saturated) sentinels.
+const MEM_TAG: u64 = 1 << 63;
+
+/// Payload bits available under either tag.
+const PAYLOAD_MASK: u64 = (1 << 62) - 1;
+
+/// Multiplicative mixer (the 64-bit golden-ratio constant): spreads
+/// small accumulator values across the payload bits so nearby results
+/// don't collide after masking.
+fn mix(v: u64) -> u64 {
+    v.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// FNV-1a over a byte buffer — the mutated-memory digest.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Runs `func` concretely on `input` (`None` models a NULL `char*`) and
-/// encodes the result: a pointer `input + o` as `o`, a NULL return as
-/// [`NULL_SENTINEL`], anything unsafe as [`UNSAFE_SENTINEL`].
+/// encodes the result:
+///
+/// - a pointer `input + o` with the buffer untouched as `o` — the
+///   legacy memoryless encoding, byte-identical to every fingerprint
+///   computed before the recurrence lane existed;
+/// - a NULL return as [`NULL_SENTINEL`];
+/// - an integer return `v` in the [`INT_TAG`] domain (mixed, and folded
+///   with the buffer digest if the loop also wrote memory);
+/// - a pointer return over a *mutated* buffer in the [`MEM_TAG`] domain
+///   (offset mixed with the final buffer contents — the builder lane);
+/// - anything unsafe as [`UNSAFE_SENTINEL`].
+///
+/// The domains are pairwise disjoint, so an accumulator loop can never
+/// collide with a scan, a builder, or a sentinel on any grid string.
 pub fn concrete_outcome(func: &Func, input: Option<&[u8]>) -> u64 {
-    match input {
-        None => match run_loop_function_null(func) {
-            Ok(None) => NULL_SENTINEL,
-            Ok(Some(_)) | Err(_) => UNSAFE_SENTINEL,
-        },
-        Some(s) => match run_loop_function(func, s) {
-            Ok(None) => NULL_SENTINEL,
-            Ok(Some(off)) if off >= 0 && (off as usize) <= s.len() => off as u64,
-            Ok(Some(_)) | Err(_) => UNSAFE_SENTINEL,
-        },
+    let mut mem = Memory::new();
+    let (arg, obj) = match input {
+        None => (RtVal::Null, None),
+        Some(s) => {
+            let obj = mem.alloc_cstr(s);
+            (RtVal::Ptr { obj, off: 0 }, Some(obj))
+        }
+    };
+    let ret = match Interp::new(func, &mut mem).run(&[arg]) {
+        Ok(Some(v)) => v,
+        Ok(None) | Err(_) => return UNSAFE_SENTINEL,
+    };
+    // Did the loop rewrite its input? (NULL input allocates nothing, so
+    // a NULL-guarded early return is never flagged as mutation.)
+    let mutated = match (obj, input) {
+        (Some(obj), Some(s)) => {
+            let bytes = mem.bytes(obj);
+            bytes.len() != s.len() + 1 || &bytes[..s.len()] != s || bytes[s.len()] != 0
+        }
+        _ => false,
+    };
+    match ret {
+        RtVal::Null => NULL_SENTINEL,
+        RtVal::Int(v) => {
+            let mut payload = mix(v as u64);
+            if let (true, Some(obj)) = (mutated, obj) {
+                payload ^= fnv(mem.bytes(obj));
+            }
+            INT_TAG | (payload & PAYLOAD_MASK)
+        }
+        RtVal::Ptr { obj: o, off } => {
+            let Some(obj) = obj else {
+                return UNSAFE_SENTINEL; // pointer return on NULL input
+            };
+            let len = input.map(<[u8]>::len).unwrap_or(0);
+            if o != obj || off < 0 || off as usize > len {
+                return UNSAFE_SENTINEL; // foreign or out-of-range pointer
+            }
+            if mutated {
+                let payload = mix(off as u64).wrapping_add(fnv(mem.bytes(obj)));
+                MEM_TAG | (payload & PAYLOAD_MASK)
+            } else {
+                off as u64
+            }
+        }
     }
 }
 
@@ -108,6 +185,55 @@ mod tests {
                 b"bb".to_vec(),
             ]
         );
+    }
+
+    #[test]
+    fn stateful_outcomes_live_in_disjoint_domains() {
+        // Accumulator: integer return, INT_TAG domain.
+        let count = compile_one(
+            "int f(char* s) { int n = 0; while (*s) { n = n + 1; s = s + 1; } return n; }",
+        )
+        .unwrap();
+        let sum = compile_one(
+            "int f(char* s) { int t = 0; while (*s) { t = t + *s; s = s + 1; } return t; }",
+        )
+        .unwrap();
+        // Builder: in-place rewrite, MEM_TAG domain.
+        let lower = compile_one(
+            "char* f(char* s) { while (*s) { *s = tolower(*s); s = s + 1; } return s; }",
+        )
+        .unwrap();
+        // Memoryless scan: legacy offset domain, untouched.
+        let scan = compile_one("char* f(char* s) { while (*s == ' ') s++; return s; }").unwrap();
+
+        let c = concrete_outcome(&count, Some(b"ab"));
+        let t = concrete_outcome(&sum, Some(b"ab"));
+        assert_eq!(c & MEM_TAG, 0);
+        assert_ne!(c & INT_TAG, 0, "integer returns are tagged");
+        assert_ne!(c, t, "different accumulators, different outcomes");
+        assert_eq!(
+            c,
+            concrete_outcome(&count, Some(b"xy")),
+            "same count, same outcome"
+        );
+
+        let m = concrete_outcome(&lower, Some(b"AB"));
+        assert_ne!(m & MEM_TAG, 0, "mutations are tagged");
+        assert_eq!(m & INT_TAG, 0, "builder domain is disjoint from INT_TAG");
+        assert_ne!(
+            m,
+            concrete_outcome(&lower, Some(b"CD")),
+            "different rewrites, different outcomes"
+        );
+
+        // The legacy ptr encoding is byte-identical: a memoryless loop
+        // still fingerprints as the plain returned offset.
+        assert_eq!(concrete_outcome(&scan, Some(b"  x")), 2);
+        for outcome in [c, t, m] {
+            assert_ne!(outcome, UNSAFE_SENTINEL);
+            assert_ne!(outcome, NULL_SENTINEL);
+            assert!(outcome > 96, "never collides with a grid offset");
+        }
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub struct PathResult {
     pub constraints: Vec<TermId>,
     /// Terminal outcome.
     pub outcome: SymOutcome,
+    /// Final memory state of the path (the input buffer's bytes after the
+    /// loop — consumers verifying in-place builders read it; everyone else
+    /// ignores it).
+    pub mem: SymMemory,
 }
 
 /// Counters for an engine run.
@@ -402,6 +406,7 @@ impl<'p> Engine<'p> {
                     return Some(PathResult {
                         constraints: state.constraints,
                         outcome: SymOutcome::Ret(out),
+                        mem: state.mem,
                     });
                 }
                 Terminator::Unreachable => {
@@ -464,6 +469,7 @@ impl<'p> Engine<'p> {
         PathResult {
             constraints: state.constraints,
             outcome: SymOutcome::Abort(msg.to_string()),
+            mem: state.mem,
         }
     }
 

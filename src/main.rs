@@ -14,7 +14,8 @@
 use std::process::ExitCode;
 use std::time::Duration;
 use strsum::core::{
-    check_memoryless, synthesize, synthesize_deepening, DeepeningConfig, SynthesisConfig, Vocab,
+    check_memoryless, summarize_loop, synthesize_deepening, DeepeningConfig, Summary,
+    SynthesisConfig, Vocab,
 };
 use strsum::corpus::{filter::classify, manual_category, ManualCategory};
 
@@ -128,18 +129,24 @@ fn cmd_summarize(args: &[String]) -> Result<(), String> {
             println!("{name}: skipped (not char*(char*))");
             continue;
         }
-        let program = if deepen {
+        let summary = if deepen {
             let dcfg = DeepeningConfig {
                 base: cfg.clone(),
                 total_timeout: cfg.budget.wall,
                 ..Default::default()
             };
-            synthesize_deepening(&func, &dcfg).1.program
+            // Deepening governs the gadget lane only; a loop it cannot
+            // express still gets a recurrence-lane attempt.
+            synthesize_deepening(&func, &dcfg)
+                .1
+                .program
+                .map(Summary::Gadget)
+                .or_else(|| summarize_loop(&func, &cfg).summary)
         } else {
-            synthesize(&func, &cfg).program
+            summarize_loop(&func, &cfg).summary
         };
-        match program {
-            Some(p) => {
+        match summary {
+            Some(Summary::Gadget(p)) => {
                 println!("{name}: {p}");
                 let var = &func.params[0].0;
                 if let Some(idiom) = strsum::gadgets::recognize(&p) {
@@ -148,6 +155,10 @@ fn cmd_summarize(args: &[String]) -> Result<(), String> {
                 for line in p.to_c(var).lines() {
                     println!("    {line}");
                 }
+            }
+            Some(s) => {
+                // Accumulator/builder closed form from the recurrence lane.
+                println!("{name}: [{}] {}", s.kind(), s.describe());
             }
             None => println!("{name}: no summary within the budget"),
         }
@@ -209,12 +220,23 @@ fn cmd_refactor(args: &[String]) -> Result<(), String> {
         total_timeout: cfg.budget.wall,
         ..Default::default()
     };
-    let program = synthesize_deepening(func, &dcfg)
+    // Refactoring rewrites to string.h calls, which only gadget programs
+    // denote; a closed-form (accumulator/builder) summary reports itself
+    // instead of silently claiming "no summary".
+    let summary = synthesize_deepening(func, &dcfg)
         .1
         .program
-        .or_else(|| synthesize(func, &cfg).program);
-    let Some(program) = program else {
+        .map(Summary::Gadget)
+        .or_else(|| summarize_loop(func, &cfg).summary);
+    let Some(summary) = summary else {
         return Err(format!("{name}: no summary within the budget"));
+    };
+    let Some(program) = summary.program().cloned() else {
+        return Err(format!(
+            "{name}: summarised by the {} closed form ({}); refactoring targets gadget summaries",
+            summary.kind(),
+            summary.describe()
+        ));
     };
     let refactored = strsum::refactor::rewrite(&source, &program)?;
     print!(

@@ -141,7 +141,7 @@ fn retry_lane_recovers_budget_exhausted_loops() {
     ));
     for id in ["fi_02", "fi_03"] {
         let r = report.results.iter().find(|r| r.entry.id == id).unwrap();
-        assert!(r.program.is_some(), "{id} has a summary after retry");
+        assert!(r.summary.is_some(), "{id} has a summary after retry");
         assert!(r.failure.is_none(), "{id} carries no stale failure");
     }
     assert_eq!(report.retries.rounds, 1);
@@ -159,8 +159,8 @@ fn faulted_runs_are_exactly_reproducible() {
     for (ra, rb) in a.results.iter().zip(&b.results) {
         assert_eq!(ra.outcome, rb.outcome, "{}", ra.entry.id);
         assert_eq!(
-            ra.program.as_ref().map(|p| p.encode()),
-            rb.program.as_ref().map(|p| p.encode()),
+            ra.summary.as_ref().map(|s| s.encode()),
+            rb.summary.as_ref().map(|s| s.encode()),
             "{}",
             ra.entry.id
         );
@@ -182,8 +182,8 @@ fn empty_plan_is_byte_identical_across_thread_counts() {
         assert!(s.stats.exhausted.is_none() && p.stats.exhausted.is_none());
         assert_eq!(s.outcome, p.outcome, "{}", s.entry.id);
         assert_eq!(
-            s.program.as_ref().map(|prog| prog.encode()),
-            p.program.as_ref().map(|prog| prog.encode()),
+            s.summary.as_ref().map(|sm| sm.encode()),
+            p.summary.as_ref().map(|sm| sm.encode()),
             "{}",
             s.entry.id
         );
